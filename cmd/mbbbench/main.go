@@ -1,0 +1,105 @@
+// Command mbbbench regenerates the paper's tables and figures on the
+// synthetic workloads.
+//
+// Usage:
+//
+//	mbbbench -exp table4|table5|table6|fig4|fig5|fig6|all
+//	         [-budget 20s] [-maxverts 30000] [-instances 3]
+//	         [-sizes 32,64,128] [-densities 0.7,0.8,0.9,0.95]
+//	         [-datasets github,jester] [-seed 1]
+//
+// Absolute times differ from the paper (different hardware, language and
+// synthetic data); the qualitative shapes — who wins and where the "-"
+// timeouts appear — are the reproduction target. See EXPERIMENTS.md.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/exp"
+)
+
+func main() {
+	expFlag := flag.String("exp", "all", "experiment: table4, table5, table6, fig4, fig5, fig6, all")
+	budget := flag.Duration("budget", 20*time.Second, "per-run budget (the paper used 4h)")
+	maxVerts := flag.Int("maxverts", 30000, "sparse dataset scale cap")
+	instances := flag.Int("instances", 3, "random instances per Table 4 cell")
+	sizes := flag.String("sizes", "32,64,128", "Table 4 side sizes")
+	densities := flag.String("densities", "0.70,0.75,0.80,0.85,0.90,0.95", "Table 4 densities")
+	datasets := flag.String("datasets", "", "comma-separated dataset subset (default: all)")
+	seed := flag.Int64("seed", 1, "random seed")
+	flag.Parse()
+
+	cfg := exp.DefaultConfig(os.Stdout)
+	cfg.Budget = *budget
+	cfg.MaxVerts = *maxVerts
+	cfg.DenseInstances = *instances
+	cfg.Seed = *seed
+	cfg.DenseSizes = parseInts(*sizes)
+	cfg.DenseDensities = parseFloats(*densities)
+	if *datasets != "" {
+		cfg.Datasets = strings.Split(*datasets, ",")
+	}
+
+	runs := map[string]func(exp.Config) error{
+		"table4": exp.Table4,
+		"table5": exp.Table5,
+		"table6": exp.Table6,
+		"fig4":   exp.Fig4,
+		"fig5":   exp.Fig5,
+		"fig6":   exp.Fig6,
+	}
+	order := []string{"table4", "table5", "table6", "fig4", "fig5", "fig6"}
+
+	which := strings.ToLower(*expFlag)
+	if which == "all" {
+		for _, name := range order {
+			if err := runs[name](cfg); err != nil {
+				fatal(err)
+			}
+			fmt.Println()
+		}
+		return
+	}
+	fn, ok := runs[which]
+	if !ok {
+		fatal(fmt.Errorf("unknown experiment %q", which))
+	}
+	if err := fn(cfg); err != nil {
+		fatal(err)
+	}
+}
+
+func parseInts(s string) []int {
+	var out []int
+	for _, f := range strings.Split(s, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil {
+			fatal(fmt.Errorf("bad integer %q", f))
+		}
+		out = append(out, v)
+	}
+	return out
+}
+
+func parseFloats(s string) []float64 {
+	var out []float64
+	for _, f := range strings.Split(s, ",") {
+		v, err := strconv.ParseFloat(strings.TrimSpace(f), 64)
+		if err != nil {
+			fatal(fmt.Errorf("bad float %q", f))
+		}
+		out = append(out, v)
+	}
+	return out
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "mbbbench:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,111 @@
+// Command mbbsolve computes a maximum balanced biclique of a bipartite
+// graph in the text edge-list format (header "nL nR m", then "l r" lines;
+// '%' and '#' start comments).
+//
+// Usage:
+//
+//	mbbsolve [-algo auto|hbvmbb|densembb|basicbb|extbbcl] [-timeout 30s]
+//	         [-order bidegeneracy|degeneracy|degree] [-q] [file]
+//
+// With no file the graph is read from standard input. The result is
+// printed as the two vertex sets (side-local indices) plus statistics.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/decomp"
+	"repro/mbb"
+)
+
+func main() {
+	algoFlag := flag.String("algo", "auto", "algorithm: auto, hbvmbb, densembb, basicbb, extbbcl")
+	timeout := flag.Duration("timeout", 0, "wall-clock budget (0 = unlimited)")
+	orderFlag := flag.String("order", "bidegeneracy", "total search order for hbvmbb: bidegeneracy, degeneracy, degree")
+	quiet := flag.Bool("q", false, "print only the balanced size")
+	flag.Parse()
+
+	var in io.Reader = os.Stdin
+	if flag.NArg() > 0 {
+		f, err := os.Open(flag.Arg(0))
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		in = f
+	}
+	g, err := mbb.ReadGraph(in)
+	if err != nil {
+		fatal(err)
+	}
+
+	opt := &mbb.Options{Timeout: *timeout}
+	switch strings.ToLower(*algoFlag) {
+	case "auto":
+		opt.Algorithm = mbb.Auto
+	case "hbvmbb":
+		opt.Algorithm = mbb.HbvMBB
+	case "densembb":
+		opt.Algorithm = mbb.DenseMBB
+	case "basicbb":
+		opt.Algorithm = mbb.BasicBB
+	case "extbbcl":
+		opt.Algorithm = mbb.ExtBBCL
+	default:
+		fatal(fmt.Errorf("unknown algorithm %q", *algoFlag))
+	}
+	switch strings.ToLower(*orderFlag) {
+	case "bidegeneracy":
+		opt.Order = decomp.OrderBidegeneracy
+	case "degeneracy":
+		opt.Order = decomp.OrderDegeneracy
+	case "degree":
+		opt.Order = decomp.OrderDegree
+	default:
+		fatal(fmt.Errorf("unknown order %q", *orderFlag))
+	}
+
+	start := time.Now()
+	res, err := mbb.Solve(g, opt)
+	if err != nil {
+		fatal(err)
+	}
+	elapsed := time.Since(start)
+
+	if *quiet {
+		fmt.Println(res.Biclique.Size())
+		return
+	}
+	fmt.Printf("graph: %d x %d, %d edges (density %.4g)\n", g.NL(), g.NR(), g.NumEdges(), g.Density())
+	fmt.Printf("algorithm: %v\n", res.Algorithm)
+	fmt.Printf("balanced biclique size: %d per side", res.Biclique.Size())
+	if !res.Exact {
+		fmt.Printf(" (budget exhausted; may be suboptimal)")
+	}
+	fmt.Println()
+	fmt.Printf("A (left):  %v\n", localIdx(g, res.Biclique.A))
+	fmt.Printf("B (right): %v\n", localIdx(g, res.Biclique.B))
+	fmt.Printf("time: %v, nodes: %d, poly cases: %d", elapsed, res.Stats.Nodes, res.Stats.PolyCases)
+	if res.Stats.Step != 0 {
+		fmt.Printf(", terminated at %v", res.Stats.Step)
+	}
+	fmt.Println()
+}
+
+func localIdx(g *mbb.Graph, vs []int) []int {
+	out := make([]int, len(vs))
+	for i, v := range vs {
+		out[i] = g.LocalIndex(v)
+	}
+	return out
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "mbbsolve:", err)
+	os.Exit(1)
+}

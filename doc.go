@@ -1,0 +1,9 @@
+// Package repro is a from-scratch Go reproduction of "Efficient Exact
+// Algorithms for Maximum Balanced Biclique Search in Bipartite Graphs"
+// (Chen, Liu, Zhou, Xu, Li — PVLDB/SIGMOD 2021 line of work).
+//
+// The public API lives in the mbb subpackage; the algorithms live under
+// internal/ (see DESIGN.md for the system inventory) and the root-level
+// bench_test.go regenerates every table and figure of the paper's
+// evaluation (see EXPERIMENTS.md for the measured results).
+package repro

@@ -1,0 +1,67 @@
+package baseline
+
+import (
+	"repro/internal/bigraph"
+	"repro/internal/core"
+	"repro/internal/decomp"
+	"repro/internal/heur"
+)
+
+// AdpKind names the four composed baselines of Table 3: a heuristic for
+// step 1 (POLS or SBMNAS), the core-based upper-bound reduction, and an
+// adapted MBE searcher (FMBE or iMBEA) replacing steps 2–3.
+type AdpKind int
+
+const (
+	Adp1 AdpKind = iota + 1 // POLS   + core bound + FMBE
+	Adp2                    // POLS   + core bound + iMBEA
+	Adp3                    // SBMNAS + core bound + FMBE
+	Adp4                    // SBMNAS + core bound + iMBEA
+)
+
+// String returns the Table 3 name.
+func (k AdpKind) String() string {
+	switch k {
+	case Adp1:
+		return "adp1"
+	case Adp2:
+		return "adp2"
+	case Adp3:
+		return "adp3"
+	case Adp4:
+		return "adp4"
+	}
+	return "adp?"
+}
+
+// Adp runs the composed baseline: heuristic, Lemma 4 core reduction, then
+// the adapted exact MBE search with incumbent pruning. The result is
+// exact when the budget does not run out.
+func Adp(g *bigraph.Graph, kind AdpKind, budget *core.Budget) core.Result {
+	var opt heur.LocalSearchOptions
+	switch kind {
+	case Adp1, Adp2:
+		opt = heur.POLSDefaults()
+	default:
+		opt = heur.SBMNASDefaults()
+	}
+	best := heur.LocalSearch(g, opt)
+
+	// Core-based upper-bound reduction (Lemma 4).
+	mask := decomp.KCoreMask(g, best.Size()+1)
+	reduced, newToOld := g.InducedByMask(mask)
+
+	var stats core.Stats
+	if reduced.NumVertices() > 0 {
+		kindMBE := FMBE
+		if kind == Adp2 || kind == Adp4 {
+			kindMBE = IMBEA
+		}
+		res := MBESearch(reduced, kindMBE, best.Size(), budget)
+		stats = res.Stats
+		if res.Biclique.Size() > best.Size() {
+			best = res.Biclique.Remap(newToOld)
+		}
+	}
+	return core.Result{Biclique: best, Stats: stats}
+}

@@ -1,0 +1,144 @@
+package baseline_test
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/baseline"
+	"repro/internal/bigraph"
+	"repro/internal/core"
+)
+
+func randomBigraph(rng *rand.Rand, maxSide int, p float64) *bigraph.Graph {
+	nl, nr := 1+rng.Intn(maxSide), 1+rng.Intn(maxSide)
+	b := bigraph.NewBuilder(nl, nr)
+	for l := 0; l < nl; l++ {
+		for r := 0; r < nr; r++ {
+			if rng.Float64() < p {
+				b.AddEdge(l, r)
+			}
+		}
+	}
+	return b.Build()
+}
+
+func TestExtBBCLKnown(t *testing.T) {
+	// Complete K4,4 → size 4.
+	b := bigraph.NewBuilder(4, 4)
+	for i := 0; i < 4; i++ {
+		for j := 0; j < 4; j++ {
+			b.AddEdge(i, j)
+		}
+	}
+	res := baseline.ExtBBCL(b.Build(), nil)
+	if res.Biclique.Size() != 4 {
+		t.Fatalf("K4,4: size = %d, want 4", res.Biclique.Size())
+	}
+}
+
+func TestExtBBCLEmpty(t *testing.T) {
+	res := baseline.ExtBBCL(bigraph.FromEdges(3, 3, nil), nil)
+	if res.Biclique.Size() != 0 {
+		t.Fatalf("empty: size = %d", res.Biclique.Size())
+	}
+}
+
+func TestQuickExtBBCLMatchesBruteForce(t *testing.T) {
+	densities := []float64{0.1, 0.3, 0.5, 0.8}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := randomBigraph(rng, 11, densities[rng.Intn(len(densities))])
+		want := baseline.BruteForceSize(g)
+		res := baseline.ExtBBCL(g, nil)
+		if res.Biclique.Size() != want {
+			t.Logf("got %d want %d on %dx%d edges=%v", res.Biclique.Size(), want, g.NL(), g.NR(), g.Edges())
+			return false
+		}
+		if want > 0 && (!res.Biclique.IsBicliqueOf(g) || !res.Biclique.IsBalanced()) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickMBESearchersMatchBruteForce(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := randomBigraph(rng, 11, 0.15+0.5*rng.Float64())
+		want := baseline.BruteForceSize(g)
+		for _, kind := range []baseline.MBEKind{baseline.IMBEA, baseline.FMBE} {
+			res := baseline.MBESearch(g, kind, 0, nil)
+			if res.Biclique.Size() != want {
+				t.Logf("kind %v: got %d want %d on edges=%v nl=%d nr=%d",
+					kind, res.Biclique.Size(), want, g.Edges(), g.NL(), g.NR())
+				return false
+			}
+			if want > 0 && (!res.Biclique.IsBicliqueOf(g) || !res.Biclique.IsBalanced()) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMBELowerSuppressesSmaller(t *testing.T) {
+	// K3,3: with lower=3, nothing strictly larger exists → empty result.
+	b := bigraph.NewBuilder(3, 3)
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 3; j++ {
+			b.AddEdge(i, j)
+		}
+	}
+	g := b.Build()
+	for _, kind := range []baseline.MBEKind{baseline.IMBEA, baseline.FMBE} {
+		res := baseline.MBESearch(g, kind, 3, nil)
+		if res.Biclique.Size() != 0 {
+			t.Fatalf("kind %v: expected no result above lower bound", kind)
+		}
+	}
+}
+
+func TestQuickAdpMatchesBruteForce(t *testing.T) {
+	kinds := []baseline.AdpKind{baseline.Adp1, baseline.Adp2, baseline.Adp3, baseline.Adp4}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := randomBigraph(rng, 10, 0.3)
+		want := baseline.BruteForceSize(g)
+		for _, k := range kinds {
+			res := baseline.Adp(g, k, nil)
+			if res.Biclique.Size() != want {
+				t.Logf("%v: got %d want %d on edges=%v nl=%d nr=%d", k, res.Biclique.Size(), want, g.Edges(), g.NL(), g.NR())
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAdpNames(t *testing.T) {
+	if baseline.Adp1.String() != "adp1" || baseline.Adp4.String() != "adp4" {
+		t.Fatal("names wrong")
+	}
+	if baseline.AdpKind(0).String() != "adp?" {
+		t.Fatal("unknown name wrong")
+	}
+}
+
+func TestExtBBCLBudget(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	g := randomBigraph(rng, 20, 0.5)
+	res := baseline.ExtBBCL(g, &core.Budget{MaxNodes: 2})
+	if !res.Stats.TimedOut {
+		t.Fatal("expected timeout")
+	}
+}

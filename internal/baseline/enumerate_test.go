@@ -1,0 +1,153 @@
+package baseline_test
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/baseline"
+	"repro/internal/bigraph"
+	"repro/internal/core"
+)
+
+// bruteMaximalBicliques enumerates all maximal bicliques (both sides
+// nonempty) as closed pairs: for every subset B of the right side, take
+// A = Γ(B) and close back B' = Γ(A); collect distinct pairs where B' ⊇ B.
+func bruteMaximalBicliques(g *bigraph.Graph) map[string]bool {
+	out := map[string]bool{}
+	nr := g.NR()
+	for mask := uint64(1); mask < 1<<uint(nr); mask++ {
+		var B []int
+		for j := 0; j < nr; j++ {
+			if mask&(1<<uint(j)) != 0 {
+				B = append(B, g.Right(j))
+			}
+		}
+		A := commonNeighborsOf(g, B)
+		if len(A) == 0 {
+			continue
+		}
+		B2 := commonNeighborsOf(g, A)
+		out[pairKey(A, B2)] = true
+	}
+	return out
+}
+
+func commonNeighborsOf(g *bigraph.Graph, set []int) []int {
+	counts := map[int]int{}
+	for _, v := range set {
+		for _, w := range g.Neighbors(v) {
+			counts[int(w)]++
+		}
+	}
+	var out []int
+	for w, c := range counts {
+		if c == len(set) {
+			out = append(out, w)
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+func pairKey(A, B []int) string {
+	a := append([]int(nil), A...)
+	b := append([]int(nil), B...)
+	sort.Ints(a)
+	sort.Ints(b)
+	return fmt.Sprint(a, "|", b)
+}
+
+func TestEnumerateMaximalComplete(t *testing.T) {
+	b := bigraph.NewBuilder(3, 3)
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 3; j++ {
+			b.AddEdge(i, j)
+		}
+	}
+	g := b.Build()
+	var got [][2][]int
+	n := baseline.EnumerateMaximal(g, nil, func(A, B []int) bool {
+		got = append(got, [2][]int{A, B})
+		return true
+	})
+	if n != 1 || len(got) != 1 {
+		t.Fatalf("complete K3,3 has exactly 1 maximal biclique, got %d", n)
+	}
+	if len(got[0][0]) != 3 || len(got[0][1]) != 3 {
+		t.Fatalf("wrong maximal biclique: %v", got[0])
+	}
+}
+
+func TestEnumerateMaximalEdgeless(t *testing.T) {
+	if n := baseline.EnumerateMaximal(bigraph.FromEdges(3, 3, nil), nil, func(A, B []int) bool { return true }); n != 0 {
+		t.Fatalf("edgeless graph reported %d bicliques", n)
+	}
+}
+
+func TestEnumerateMaximalEarlyStop(t *testing.T) {
+	// A perfect matching has one maximal biclique per edge.
+	g := bigraph.FromEdges(4, 4, [][2]int{{0, 0}, {1, 1}, {2, 2}, {3, 3}})
+	n := baseline.EnumerateMaximal(g, nil, func(A, B []int) bool { return false })
+	if n != 1 {
+		t.Fatalf("early stop reported %d, want 1", n)
+	}
+	n = baseline.EnumerateMaximal(g, nil, func(A, B []int) bool { return true })
+	if n != 4 {
+		t.Fatalf("matching has 4 maximal bicliques, got %d", n)
+	}
+}
+
+func TestQuickEnumerateMatchesBrute(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := randomBigraph(rng, 8, 0.2+0.5*rng.Float64())
+		want := bruteMaximalBicliques(g)
+		got := map[string]bool{}
+		baseline.EnumerateMaximal(g, nil, func(A, B []int) bool {
+			key := pairKey(A, B)
+			if got[key] {
+				t.Logf("duplicate %s", key)
+				return false
+			}
+			got[key] = true
+			// Must be a biclique.
+			for _, a := range A {
+				for _, b := range B {
+					if !g.HasEdge(a, b) {
+						t.Logf("not a biclique: %v %v", A, B)
+						return false
+					}
+				}
+			}
+			return true
+		})
+		if len(got) != len(want) {
+			t.Logf("got %d maximal bicliques, want %d (edges=%v nl=%d nr=%d)",
+				len(got), len(want), g.Edges(), g.NL(), g.NR())
+			return false
+		}
+		for k := range got {
+			if !want[k] {
+				t.Logf("spurious biclique %s", k)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEnumerateBudget(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	g := randomBigraph(rng, 14, 0.5)
+	n := baseline.EnumerateMaximal(g, &core.Budget{MaxNodes: 1}, func(A, B []int) bool { return true })
+	full := baseline.EnumerateMaximal(g, nil, func(A, B []int) bool { return true })
+	if full > 1 && n >= full {
+		t.Fatalf("budget did not truncate: %d vs %d", n, full)
+	}
+}

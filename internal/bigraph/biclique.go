@@ -1,0 +1,68 @@
+package bigraph
+
+// Biclique is a pair of vertex sets (A ⊆ L, B ⊆ R) given as unified ids.
+// The zero value is the empty biclique.
+type Biclique struct {
+	A []int // left-side unified ids
+	B []int // right-side unified ids
+}
+
+// Size returns min(|A|, |B|), i.e. the balanced size of the biclique. The
+// paper measures results as |A|+|B| of a balanced biclique; Size is the
+// per-side count (half of that).
+func (bc Biclique) Size() int {
+	if len(bc.A) < len(bc.B) {
+		return len(bc.A)
+	}
+	return len(bc.B)
+}
+
+// IsBicliqueOf verifies that every (a, b) pair in A×B is an edge of g and
+// that the sides are on the correct partitions with no duplicates.
+func (bc Biclique) IsBicliqueOf(g *Graph) bool {
+	seen := make(map[int]bool, len(bc.A)+len(bc.B))
+	for _, a := range bc.A {
+		if a < 0 || a >= g.NumVertices() || !g.IsLeft(a) || seen[a] {
+			return false
+		}
+		seen[a] = true
+	}
+	for _, b := range bc.B {
+		if b < 0 || b >= g.NumVertices() || g.IsLeft(b) || seen[b] {
+			return false
+		}
+		seen[b] = true
+	}
+	for _, a := range bc.A {
+		for _, b := range bc.B {
+			if !g.HasEdge(a, b) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// IsBalanced reports whether |A| == |B|.
+func (bc Biclique) IsBalanced() bool { return len(bc.A) == len(bc.B) }
+
+// Balanced trims the larger side (arbitrarily, keeping prefix order) so the
+// result is balanced. Removing vertices from a biclique keeps it a
+// biclique, so the result is a balanced biclique whenever bc is a biclique.
+func (bc Biclique) Balanced() Biclique {
+	s := bc.Size()
+	return Biclique{A: bc.A[:s:s], B: bc.B[:s:s]}
+}
+
+// Remap translates the vertex ids through newToOld, used to lift a
+// biclique found in an induced subgraph back to the parent graph.
+func (bc Biclique) Remap(newToOld []int) Biclique {
+	out := Biclique{A: make([]int, len(bc.A)), B: make([]int, len(bc.B))}
+	for i, v := range bc.A {
+		out.A[i] = newToOld[v]
+	}
+	for i, v := range bc.B {
+		out.B[i] = newToOld[v]
+	}
+	return out
+}

@@ -1,0 +1,181 @@
+// Package bigraph implements the bipartite graph substrate: an immutable
+// CSR-style adjacency representation over a unified vertex-id space,
+// builders, induced subgraphs, and text IO.
+//
+// Vertex ids are unified: left vertices occupy [0, NL) and right vertices
+// occupy [NL, NL+NR). All adjacency lists are sorted, which makes edge
+// queries O(log d) and neighbourhood merges linear.
+package bigraph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Graph is an immutable bipartite graph.
+type Graph struct {
+	nl, nr int
+	// CSR layout: neighbours of v are adj[off[v]:off[v+1]], sorted ascending.
+	off []int32
+	adj []int32
+	m   int
+}
+
+// NL returns the number of left-side vertices.
+func (g *Graph) NL() int { return g.nl }
+
+// NR returns the number of right-side vertices.
+func (g *Graph) NR() int { return g.nr }
+
+// NumVertices returns |L| + |R|.
+func (g *Graph) NumVertices() int { return g.nl + g.nr }
+
+// NumEdges returns the number of edges.
+func (g *Graph) NumEdges() int { return g.m }
+
+// IsLeft reports whether unified vertex id v lies on the left side.
+func (g *Graph) IsLeft(v int) bool { return v < g.nl }
+
+// Left returns the unified id of the i-th left vertex.
+func (g *Graph) Left(i int) int { return i }
+
+// Right returns the unified id of the j-th right vertex.
+func (g *Graph) Right(j int) int { return g.nl + j }
+
+// LocalIndex maps a unified id to its side-local index.
+func (g *Graph) LocalIndex(v int) int {
+	if v < g.nl {
+		return v
+	}
+	return v - g.nl
+}
+
+// Deg returns the degree of unified vertex v.
+func (g *Graph) Deg(v int) int { return int(g.off[v+1] - g.off[v]) }
+
+// Neighbors returns the sorted neighbour list of v. The returned slice
+// aliases the graph's storage and must not be modified.
+func (g *Graph) Neighbors(v int) []int32 { return g.adj[g.off[v]:g.off[v+1]] }
+
+// HasEdge reports whether the edge (u, v) exists. u and v are unified ids;
+// the lookup is a binary search in the shorter adjacency list.
+func (g *Graph) HasEdge(u, v int) bool {
+	if g.Deg(u) > g.Deg(v) {
+		u, v = v, u
+	}
+	ns := g.Neighbors(u)
+	i := sort.Search(len(ns), func(i int) bool { return ns[i] >= int32(v) })
+	return i < len(ns) && ns[i] == int32(v)
+}
+
+// Density returns |E| / (|L|·|R|), the edge density used throughout the
+// paper's evaluation. It is 0 for degenerate shapes.
+func (g *Graph) Density() float64 {
+	if g.nl == 0 || g.nr == 0 {
+		return 0
+	}
+	return float64(g.m) / (float64(g.nl) * float64(g.nr))
+}
+
+// MaxDegree returns the maximum degree over all vertices.
+func (g *Graph) MaxDegree() int {
+	d := 0
+	for v := 0; v < g.NumVertices(); v++ {
+		if dv := g.Deg(v); dv > d {
+			d = dv
+		}
+	}
+	return d
+}
+
+// Builder accumulates edges for a bipartite graph with fixed side sizes.
+// Duplicate edges are tolerated and removed at Build time.
+type Builder struct {
+	nl, nr int
+	deg    []int32
+	edges  [][2]int32 // (left unified id, right unified id)
+}
+
+// NewBuilder returns a builder for a graph with nl left and nr right
+// vertices.
+func NewBuilder(nl, nr int) *Builder {
+	if nl < 0 || nr < 0 {
+		panic("bigraph: negative side size")
+	}
+	return &Builder{nl: nl, nr: nr, deg: make([]int32, nl+nr)}
+}
+
+// AddEdge records an edge between side-local left index l and side-local
+// right index r. It panics on out-of-range indices (programmer error).
+func (b *Builder) AddEdge(l, r int) {
+	if l < 0 || l >= b.nl || r < 0 || r >= b.nr {
+		panic(fmt.Sprintf("bigraph: edge (%d,%d) out of range %dx%d", l, r, b.nl, b.nr))
+	}
+	b.edges = append(b.edges, [2]int32{int32(l), int32(b.nl + r)})
+}
+
+// NumEdgesAdded reports how many edges (including duplicates) were added.
+func (b *Builder) NumEdgesAdded() int { return len(b.edges) }
+
+// Build finalises the graph: edges are deduplicated and adjacency lists
+// sorted. The builder can be reused afterwards only by adding more edges.
+func (b *Builder) Build() *Graph {
+	sort.Slice(b.edges, func(i, j int) bool {
+		if b.edges[i][0] != b.edges[j][0] {
+			return b.edges[i][0] < b.edges[j][0]
+		}
+		return b.edges[i][1] < b.edges[j][1]
+	})
+	// Deduplicate in place.
+	uniq := b.edges[:0]
+	for i, e := range b.edges {
+		if i == 0 || e != b.edges[i-1] {
+			uniq = append(uniq, e)
+		}
+	}
+	b.edges = uniq
+	n := b.nl + b.nr
+	deg := make([]int32, n)
+	for _, e := range b.edges {
+		deg[e[0]]++
+		deg[e[1]]++
+	}
+	off := make([]int32, n+1)
+	for v := 0; v < n; v++ {
+		off[v+1] = off[v] + deg[v]
+	}
+	adj := make([]int32, 2*len(b.edges))
+	cur := make([]int32, n)
+	copy(cur, off[:n])
+	for _, e := range b.edges {
+		l, r := e[0], e[1]
+		adj[cur[l]] = r
+		cur[l]++
+		adj[cur[r]] = l
+		cur[r]++
+	}
+	// Left lists are produced in sorted order by the edge sort; right lists
+	// are sorted because left ids appear in ascending order during the fill.
+	return &Graph{nl: b.nl, nr: b.nr, off: off, adj: adj, m: len(b.edges)}
+}
+
+// FromEdges builds a graph from side-local (l, r) pairs.
+func FromEdges(nl, nr int, edges [][2]int) *Graph {
+	b := NewBuilder(nl, nr)
+	for _, e := range edges {
+		b.AddEdge(e[0], e[1])
+	}
+	return b.Build()
+}
+
+// Edges returns all edges as side-local (l, r) pairs in deterministic
+// order. Intended for tests and IO, not hot paths.
+func (g *Graph) Edges() [][2]int {
+	out := make([][2]int, 0, g.m)
+	for l := 0; l < g.nl; l++ {
+		for _, r := range g.Neighbors(l) {
+			out = append(out, [2]int{l, int(r) - g.nl})
+		}
+	}
+	return out
+}

@@ -1,0 +1,295 @@
+package bigraph
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// fig1b is the sparse example graph of the paper's Figure 1(b), with
+// L = {1..6} (indices 0..5) and R = {7..12} (indices 0..5). See the decomp
+// package tests for how the edge set was reconstructed from the paper.
+func fig1b() *Graph {
+	edges := [][2]int{
+		{0, 0},         // 1-7
+		{1, 0}, {1, 1}, // 2-7, 2-8
+		{2, 1}, {2, 2}, {2, 3}, // 3-8, 3-9, 3-10
+		{3, 2}, {3, 3}, // 4-9, 4-10
+		{4, 2}, {4, 3}, // 5-9, 5-10
+		{5, 1}, {5, 4}, {5, 5}, // 6-8, 6-11, 6-12
+	}
+	return FromEdges(6, 6, edges)
+}
+
+func TestBuildBasics(t *testing.T) {
+	g := fig1b()
+	if g.NL() != 6 || g.NR() != 6 || g.NumVertices() != 12 {
+		t.Fatalf("sizes: NL=%d NR=%d", g.NL(), g.NR())
+	}
+	if g.NumEdges() != 13 {
+		t.Fatalf("m = %d, want 13", g.NumEdges())
+	}
+	if g.Deg(2) != 3 { // vertex "3" has neighbours 8,9,10
+		t.Fatalf("deg(2) = %d, want 3", g.Deg(2))
+	}
+	if !g.HasEdge(2, g.Right(1)) || g.HasEdge(0, g.Right(5)) {
+		t.Fatal("HasEdge wrong")
+	}
+	if g.HasEdge(g.Right(1), 0) {
+		t.Fatal("HasEdge should be symmetric and (8,1) is not an edge")
+	}
+	if !g.HasEdge(g.Right(1), 1) {
+		t.Fatal("HasEdge symmetric lookup failed")
+	}
+	if g.MaxDegree() != 3 {
+		t.Fatalf("dmax = %d, want 3", g.MaxDegree())
+	}
+}
+
+func TestBuilderDeduplicates(t *testing.T) {
+	b := NewBuilder(2, 2)
+	b.AddEdge(0, 0)
+	b.AddEdge(0, 0)
+	b.AddEdge(1, 1)
+	if b.NumEdgesAdded() != 3 {
+		t.Fatalf("NumEdgesAdded = %d", b.NumEdgesAdded())
+	}
+	g := b.Build()
+	if g.NumEdges() != 2 {
+		t.Fatalf("m = %d, want 2 after dedup", g.NumEdges())
+	}
+}
+
+func TestNeighborsSorted(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	b := NewBuilder(40, 40)
+	for i := 0; i < 600; i++ {
+		b.AddEdge(rng.Intn(40), rng.Intn(40))
+	}
+	g := b.Build()
+	for v := 0; v < g.NumVertices(); v++ {
+		ns := g.Neighbors(v)
+		for i := 1; i < len(ns); i++ {
+			if ns[i-1] >= ns[i] {
+				t.Fatalf("neighbours of %d not strictly sorted: %v", v, ns)
+			}
+		}
+		// bipartite: all neighbours on the other side
+		for _, w := range ns {
+			if g.IsLeft(v) == g.IsLeft(int(w)) {
+				t.Fatalf("edge within one side: %d-%d", v, w)
+			}
+		}
+	}
+}
+
+func TestDensity(t *testing.T) {
+	g := FromEdges(2, 2, [][2]int{{0, 0}, {0, 1}, {1, 0}, {1, 1}})
+	if g.Density() != 1.0 {
+		t.Fatalf("density = %v", g.Density())
+	}
+	if (&Graph{}).Density() != 0 {
+		t.Fatal("empty graph density should be 0")
+	}
+}
+
+func TestEdgesRoundTrip(t *testing.T) {
+	g := fig1b()
+	g2 := FromEdges(g.NL(), g.NR(), g.Edges())
+	if g2.NumEdges() != g.NumEdges() {
+		t.Fatalf("round trip m = %d", g2.NumEdges())
+	}
+	for v := 0; v < g.NumVertices(); v++ {
+		if g.Deg(v) != g2.Deg(v) {
+			t.Fatalf("deg mismatch at %d", v)
+		}
+	}
+}
+
+func TestInduced(t *testing.T) {
+	g := fig1b()
+	// keep vertices 3,4,5 (ids 2,3,4) and 9,10 (ids 8,9): a 3x2 biclique
+	sub, newToOld := g.Induced([]int{2, 3, 4, 8, 9})
+	if sub.NL() != 3 || sub.NR() != 2 {
+		t.Fatalf("sub sizes %dx%d", sub.NL(), sub.NR())
+	}
+	if sub.NumEdges() != 6 {
+		t.Fatalf("sub m = %d, want 6", sub.NumEdges())
+	}
+	want := []int{2, 3, 4, 8, 9}
+	for i, v := range newToOld {
+		if v != want[i] {
+			t.Fatalf("newToOld = %v", newToOld)
+		}
+	}
+}
+
+func TestInducedByMask(t *testing.T) {
+	g := fig1b()
+	mask := make([]bool, g.NumVertices())
+	mask[2], mask[3], mask[8], mask[9] = true, true, true, true
+	sub, _ := g.InducedByMask(mask)
+	if sub.NL() != 2 || sub.NR() != 2 || sub.NumEdges() != 4 {
+		t.Fatalf("induced by mask: %dx%d m=%d", sub.NL(), sub.NR(), sub.NumEdges())
+	}
+}
+
+func TestInducedEmpty(t *testing.T) {
+	g := fig1b()
+	sub, newToOld := g.Induced(nil)
+	if sub.NumVertices() != 0 || len(newToOld) != 0 {
+		t.Fatal("empty induced subgraph not empty")
+	}
+}
+
+func TestIORoundTrip(t *testing.T) {
+	g := fig1b()
+	var buf bytes.Buffer
+	if err := Write(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.NL() != g.NL() || g2.NR() != g.NR() || g2.NumEdges() != g.NumEdges() {
+		t.Fatalf("round trip mismatch")
+	}
+	for v := 0; v < g.NumVertices(); v++ {
+		ns, ns2 := g.Neighbors(v), g2.Neighbors(v)
+		if len(ns) != len(ns2) {
+			t.Fatalf("deg mismatch at %d", v)
+		}
+		for i := range ns {
+			if ns[i] != ns2[i] {
+				t.Fatalf("adj mismatch at %d", v)
+			}
+		}
+	}
+}
+
+func TestReadComments(t *testing.T) {
+	in := "% konect style comment\n# hash comment\n2 2 2\n0 1\n1 0\n"
+	g, err := Read(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumEdges() != 2 {
+		t.Fatalf("m = %d", g.NumEdges())
+	}
+}
+
+func TestReadErrors(t *testing.T) {
+	cases := []string{
+		"",             // empty
+		"x y\n",        // bad header
+		"2\n",          // short header
+		"2 2 1\n0\n",   // short edge
+		"2 2 1\na b\n", // non-numeric edge
+		"2 2 1\n5 0\n", // out of range
+		"-1 2 0\n",     // negative header
+	}
+	for _, in := range cases {
+		if _, err := Read(strings.NewReader(in)); err == nil {
+			t.Errorf("Read(%q) succeeded, want error", in)
+		}
+	}
+}
+
+func TestBuilderPanicsOutOfRange(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewBuilder(1, 1).AddEdge(1, 0)
+}
+
+func TestBicliqueVerify(t *testing.T) {
+	g := fig1b()
+	bc := Biclique{A: []int{2, 3}, B: []int{8, 9}} // ({3,4},{9,10})
+	if !bc.IsBicliqueOf(g) {
+		t.Fatal("known biclique rejected")
+	}
+	if !bc.IsBalanced() || bc.Size() != 2 {
+		t.Fatal("balance/size wrong")
+	}
+	bad := Biclique{A: []int{0, 2}, B: []int{8}}
+	if bad.IsBicliqueOf(g) {
+		t.Fatal("non-biclique accepted (1 is not adjacent to 9)")
+	}
+	wrongSide := Biclique{A: []int{8}, B: []int{2}}
+	if wrongSide.IsBicliqueOf(g) {
+		t.Fatal("side-swapped biclique accepted")
+	}
+	dup := Biclique{A: []int{2, 2}, B: []int{8, 9}}
+	if dup.IsBicliqueOf(g) {
+		t.Fatal("duplicate vertex accepted")
+	}
+}
+
+func TestBicliqueBalancedTrims(t *testing.T) {
+	bc := Biclique{A: []int{1, 2, 3}, B: []int{10, 11}}
+	bal := bc.Balanced()
+	if len(bal.A) != 2 || len(bal.B) != 2 {
+		t.Fatalf("Balanced = %+v", bal)
+	}
+}
+
+func TestBicliqueRemap(t *testing.T) {
+	bc := Biclique{A: []int{0, 1}, B: []int{2}}
+	m := []int{10, 20, 30}
+	got := bc.Remap(m)
+	if got.A[0] != 10 || got.A[1] != 20 || got.B[0] != 30 {
+		t.Fatalf("Remap = %+v", got)
+	}
+}
+
+// TestQuickInducedPreservesEdges: for random graphs and random keep sets,
+// the induced subgraph has exactly the edges with both endpoints kept.
+func TestQuickInducedPreservesEdges(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		nl, nr := 1+rng.Intn(12), 1+rng.Intn(12)
+		b := NewBuilder(nl, nr)
+		for l := 0; l < nl; l++ {
+			for r := 0; r < nr; r++ {
+				if rng.Intn(3) == 0 {
+					b.AddEdge(l, r)
+				}
+			}
+		}
+		g := b.Build()
+		mask := make([]bool, g.NumVertices())
+		var keep []int
+		for v := range mask {
+			if rng.Intn(2) == 0 {
+				mask[v] = true
+				keep = append(keep, v)
+			}
+		}
+		sub, newToOld := g.Induced(keep)
+		// count edges with both endpoints kept
+		want := 0
+		for _, e := range g.Edges() {
+			if mask[e[0]] && mask[g.Right(e[1])] {
+				want++
+			}
+		}
+		if sub.NumEdges() != want {
+			return false
+		}
+		// every subgraph edge maps back to an original edge
+		for _, e := range sub.Edges() {
+			if !g.HasEdge(newToOld[e[0]], newToOld[sub.Right(e[1])]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}

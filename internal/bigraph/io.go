@@ -1,0 +1,83 @@
+package bigraph
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// The text format is a simple edge list:
+//
+//	% optional comment lines
+//	nL nR m
+//	l r
+//	...
+//
+// with side-local 0-based indices. Lines starting with '%' or '#' are
+// comments (KONECT files use '%'). The m in the header is advisory; the
+// reader trusts the actual number of edge lines.
+
+// Write serialises g in the text edge-list format.
+func Write(w io.Writer, g *Graph) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "%d %d %d\n", g.NL(), g.NR(), g.NumEdges()); err != nil {
+		return err
+	}
+	for l := 0; l < g.NL(); l++ {
+		for _, r := range g.Neighbors(l) {
+			if _, err := fmt.Fprintf(bw, "%d %d\n", l, int(r)-g.NL()); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// Read parses the text edge-list format produced by Write.
+func Read(r io.Reader) (*Graph, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<16), 1<<24)
+	var b *Builder
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || text[0] == '%' || text[0] == '#' {
+			continue
+		}
+		fields := strings.Fields(text)
+		if b == nil {
+			if len(fields) < 2 {
+				return nil, fmt.Errorf("bigraph: line %d: bad header %q", line, text)
+			}
+			nl, err1 := strconv.Atoi(fields[0])
+			nr, err2 := strconv.Atoi(fields[1])
+			if err1 != nil || err2 != nil || nl < 0 || nr < 0 {
+				return nil, fmt.Errorf("bigraph: line %d: bad header %q", line, text)
+			}
+			b = NewBuilder(nl, nr)
+			continue
+		}
+		if len(fields) != 2 {
+			return nil, fmt.Errorf("bigraph: line %d: bad edge %q", line, text)
+		}
+		l, err1 := strconv.Atoi(fields[0])
+		rr, err2 := strconv.Atoi(fields[1])
+		if err1 != nil || err2 != nil {
+			return nil, fmt.Errorf("bigraph: line %d: bad edge %q", line, text)
+		}
+		if l < 0 || l >= b.nl || rr < 0 || rr >= b.nr {
+			return nil, fmt.Errorf("bigraph: line %d: edge (%d,%d) out of range %dx%d", line, l, rr, b.nl, b.nr)
+		}
+		b.AddEdge(l, rr)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if b == nil {
+		return nil, fmt.Errorf("bigraph: empty input")
+	}
+	return b.Build(), nil
+}

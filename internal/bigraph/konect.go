@@ -1,0 +1,83 @@
+package bigraph
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// ReadKONECT parses the KONECT out.* bipartite edge-list format:
+//
+//	% bip unweighted
+//	% <m> <nL> <nR>        (optional size hint)
+//	<l> <r> [weight [timestamp]]
+//	...
+//
+// Vertex ids are 1-based and the two columns index the two sides
+// independently. Weights and timestamps are ignored; duplicate edges are
+// merged. Side sizes are taken from the size hint when present, otherwise
+// from the maximum observed ids.
+func ReadKONECT(r io.Reader) (*Graph, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<16), 1<<24)
+	var edges [][2]int
+	nl, nr := 0, 0
+	hintSeen := false
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" {
+			continue
+		}
+		if text[0] == '%' || text[0] == '#' {
+			// A comment of the form "% m nl nr" is the size hint.
+			fields := strings.Fields(text[1:])
+			if !hintSeen && len(fields) == 3 {
+				if _, err1 := strconv.Atoi(fields[0]); err1 == nil {
+					a, err2 := strconv.Atoi(fields[1])
+					b, err3 := strconv.Atoi(fields[2])
+					if err2 == nil && err3 == nil && a > 0 && b > 0 {
+						nl, nr = a, b
+						hintSeen = true
+					}
+				}
+			}
+			continue
+		}
+		fields := strings.Fields(text)
+		if len(fields) < 2 {
+			return nil, fmt.Errorf("bigraph: konect line %d: %q", line, text)
+		}
+		l, err1 := strconv.Atoi(fields[0])
+		rr, err2 := strconv.Atoi(fields[1])
+		if err1 != nil || err2 != nil || l < 1 || rr < 1 {
+			return nil, fmt.Errorf("bigraph: konect line %d: bad ids %q", line, text)
+		}
+		if !hintSeen {
+			if l > nl {
+				nl = l
+			}
+			if rr > nr {
+				nr = rr
+			}
+		}
+		edges = append(edges, [2]int{l - 1, rr - 1})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(edges) == 0 && !hintSeen {
+		return nil, fmt.Errorf("bigraph: empty konect input")
+	}
+	b := NewBuilder(nl, nr)
+	for _, e := range edges {
+		if e[0] >= nl || e[1] >= nr {
+			return nil, fmt.Errorf("bigraph: konect edge (%d,%d) exceeds size hint %dx%d", e[0]+1, e[1]+1, nl, nr)
+		}
+		b.AddEdge(e[0], e[1])
+	}
+	return b.Build(), nil
+}

@@ -1,0 +1,58 @@
+package bigraph
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestReadKONECT(t *testing.T) {
+	in := `% bip unweighted
+% 4 3 5
+1 1
+1 2
+2 3 1.0 1234567
+3 5
+`
+	g, err := ReadKONECT(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NL() != 3 || g.NR() != 5 {
+		t.Fatalf("sizes %dx%d, want 3x5 (from hint)", g.NL(), g.NR())
+	}
+	if g.NumEdges() != 4 {
+		t.Fatalf("m = %d, want 4", g.NumEdges())
+	}
+	if !g.HasEdge(0, g.Right(0)) || !g.HasEdge(2, g.Right(4)) {
+		t.Fatal("edges wrong")
+	}
+}
+
+func TestReadKONECTNoHint(t *testing.T) {
+	in := "% bip\n2 1\n2 4\n1 1\n1 1\n"
+	g, err := ReadKONECT(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NL() != 2 || g.NR() != 4 {
+		t.Fatalf("sizes %dx%d from max ids", g.NL(), g.NR())
+	}
+	if g.NumEdges() != 3 { // duplicate 1-1 merged
+		t.Fatalf("m = %d, want 3", g.NumEdges())
+	}
+}
+
+func TestReadKONECTErrors(t *testing.T) {
+	cases := []string{
+		"",               // empty
+		"% bip\nx y\n",   // non-numeric
+		"% bip\n0 1\n",   // 0-based id
+		"% bip\n1\n",     // short line
+		"% 2 1 1\n1 2\n", // edge exceeds hint
+	}
+	for _, in := range cases {
+		if _, err := ReadKONECT(strings.NewReader(in)); err == nil {
+			t.Errorf("ReadKONECT(%q) succeeded, want error", in)
+		}
+	}
+}

@@ -1,0 +1,250 @@
+// Package bitset provides fixed-capacity dense bit sets used as the core
+// data structure for the dense branch-and-bound solver. All hot operations
+// (intersection counts, subset tests, fused and/and-not) are implemented
+// word-wise over []uint64 with no allocation.
+package bitset
+
+import (
+	"math/bits"
+	"strconv"
+	"strings"
+)
+
+const wordBits = 64
+
+// Set is a fixed-capacity bit set. The capacity is fixed at construction;
+// operations combining two sets require equal word lengths.
+type Set struct {
+	words []uint64
+	n     int // capacity in bits
+}
+
+// New returns an empty set with capacity for n bits.
+func New(n int) *Set {
+	if n < 0 {
+		panic("bitset: negative capacity")
+	}
+	return &Set{words: make([]uint64, (n+wordBits-1)/wordBits), n: n}
+}
+
+// NewFull returns a set of capacity n with all n bits set.
+func NewFull(n int) *Set {
+	s := New(n)
+	s.FillAll()
+	return s
+}
+
+// Cap reports the capacity in bits.
+func (s *Set) Cap() int { return s.n }
+
+// Words exposes the backing words for read-only scanning.
+func (s *Set) Words() []uint64 { return s.words }
+
+// Add sets bit i.
+func (s *Set) Add(i int) { s.words[i/wordBits] |= 1 << uint(i%wordBits) }
+
+// Remove clears bit i.
+func (s *Set) Remove(i int) { s.words[i/wordBits] &^= 1 << uint(i%wordBits) }
+
+// Contains reports whether bit i is set.
+func (s *Set) Contains(i int) bool {
+	return s.words[i/wordBits]&(1<<uint(i%wordBits)) != 0
+}
+
+// Count returns the number of set bits.
+func (s *Set) Count() int {
+	c := 0
+	for _, w := range s.words {
+		c += bits.OnesCount64(w)
+	}
+	return c
+}
+
+// Empty reports whether no bit is set.
+func (s *Set) Empty() bool {
+	for _, w := range s.words {
+		if w != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Clear unsets every bit, keeping capacity.
+func (s *Set) Clear() {
+	for i := range s.words {
+		s.words[i] = 0
+	}
+}
+
+// FillAll sets every bit in [0, Cap()).
+func (s *Set) FillAll() {
+	for i := range s.words {
+		s.words[i] = ^uint64(0)
+	}
+	s.trim()
+}
+
+// trim clears any bits at positions >= n in the last word.
+func (s *Set) trim() {
+	if rem := s.n % wordBits; rem != 0 && len(s.words) > 0 {
+		s.words[len(s.words)-1] &= (1 << uint(rem)) - 1
+	}
+}
+
+// Clone returns an independent copy of s.
+func (s *Set) Clone() *Set {
+	w := make([]uint64, len(s.words))
+	copy(w, s.words)
+	return &Set{words: w, n: s.n}
+}
+
+// CopyFrom overwrites s with the contents of t. Capacities must match.
+func (s *Set) CopyFrom(t *Set) {
+	if s.n != t.n {
+		panic("bitset: capacity mismatch in CopyFrom")
+	}
+	copy(s.words, t.words)
+}
+
+// And sets s = s ∩ t.
+func (s *Set) And(t *Set) {
+	for i, w := range t.words {
+		s.words[i] &= w
+	}
+}
+
+// AndNot sets s = s \ t.
+func (s *Set) AndNot(t *Set) {
+	for i, w := range t.words {
+		s.words[i] &^= w
+	}
+}
+
+// Or sets s = s ∪ t.
+func (s *Set) Or(t *Set) {
+	for i, w := range t.words {
+		s.words[i] |= w
+	}
+}
+
+// IntersectInto stores a ∩ b into s without allocating.
+func (s *Set) IntersectInto(a, b *Set) {
+	for i := range s.words {
+		s.words[i] = a.words[i] & b.words[i]
+	}
+}
+
+// AndCount returns |s ∩ t| without materialising the intersection.
+func (s *Set) AndCount(t *Set) int {
+	c := 0
+	for i, w := range t.words {
+		c += bits.OnesCount64(s.words[i] & w)
+	}
+	return c
+}
+
+// AndNotCount returns |s \ t|.
+func (s *Set) AndNotCount(t *Set) int {
+	c := 0
+	for i, w := range t.words {
+		c += bits.OnesCount64(s.words[i] &^ w)
+	}
+	return c
+}
+
+// ContainsAll reports whether t ⊆ s.
+func (s *Set) ContainsAll(t *Set) bool {
+	for i, w := range t.words {
+		if w&^s.words[i] != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Equal reports whether s and t hold exactly the same bits.
+func (s *Set) Equal(t *Set) bool {
+	if s.n != t.n {
+		return false
+	}
+	for i, w := range t.words {
+		if s.words[i] != w {
+			return false
+		}
+	}
+	return true
+}
+
+// First returns the index of the lowest set bit, or -1 if the set is empty.
+func (s *Set) First() int {
+	for i, w := range s.words {
+		if w != 0 {
+			return i*wordBits + bits.TrailingZeros64(w)
+		}
+	}
+	return -1
+}
+
+// NextAfter returns the lowest set bit strictly greater than i, or -1.
+func (s *Set) NextAfter(i int) int {
+	i++
+	if i >= s.n {
+		return -1
+	}
+	wi := i / wordBits
+	w := s.words[wi] >> uint(i%wordBits)
+	if w != 0 {
+		return i + bits.TrailingZeros64(w)
+	}
+	for wi++; wi < len(s.words); wi++ {
+		if s.words[wi] != 0 {
+			return wi*wordBits + bits.TrailingZeros64(s.words[wi])
+		}
+	}
+	return -1
+}
+
+// ForEach calls fn for every set bit in increasing order. If fn returns
+// false the iteration stops.
+func (s *Set) ForEach(fn func(i int) bool) {
+	for wi, w := range s.words {
+		base := wi * wordBits
+		for w != 0 {
+			b := bits.TrailingZeros64(w)
+			if !fn(base + b) {
+				return
+			}
+			w &= w - 1
+		}
+	}
+}
+
+// AppendTo appends all set bits to dst and returns the extended slice.
+func (s *Set) AppendTo(dst []int) []int {
+	s.ForEach(func(i int) bool {
+		dst = append(dst, i)
+		return true
+	})
+	return dst
+}
+
+// Slice returns the set bits as a fresh sorted slice.
+func (s *Set) Slice() []int { return s.AppendTo(make([]int, 0, s.Count())) }
+
+// String renders the set as "{1, 5, 9}" for debugging.
+func (s *Set) String() string {
+	var b strings.Builder
+	b.WriteByte('{')
+	first := true
+	s.ForEach(func(i int) bool {
+		if !first {
+			b.WriteString(", ")
+		}
+		first = false
+		b.WriteString(strconv.Itoa(i))
+		return true
+	})
+	b.WriteByte('}')
+	return b.String()
+}

@@ -1,0 +1,273 @@
+package bitset
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestBasicOps(t *testing.T) {
+	s := New(130)
+	if got := s.Count(); got != 0 {
+		t.Fatalf("empty count = %d, want 0", got)
+	}
+	for _, i := range []int{0, 1, 63, 64, 65, 128, 129} {
+		s.Add(i)
+		if !s.Contains(i) {
+			t.Fatalf("Contains(%d) = false after Add", i)
+		}
+	}
+	if got := s.Count(); got != 7 {
+		t.Fatalf("count = %d, want 7", got)
+	}
+	s.Remove(64)
+	if s.Contains(64) {
+		t.Fatal("Contains(64) after Remove")
+	}
+	if got := s.Count(); got != 6 {
+		t.Fatalf("count = %d, want 6", got)
+	}
+}
+
+func TestFillAllRespectsCapacity(t *testing.T) {
+	for _, n := range []int{0, 1, 63, 64, 65, 100, 128, 129} {
+		s := NewFull(n)
+		if got := s.Count(); got != n {
+			t.Errorf("NewFull(%d).Count() = %d", n, got)
+		}
+	}
+}
+
+func TestSetAlgebra(t *testing.T) {
+	const n = 200
+	a, b := New(n), New(n)
+	for i := 0; i < n; i += 2 {
+		a.Add(i)
+	}
+	for i := 0; i < n; i += 3 {
+		b.Add(i)
+	}
+	inter := a.Clone()
+	inter.And(b)
+	want := 0
+	for i := 0; i < n; i++ {
+		if i%2 == 0 && i%3 == 0 {
+			want++
+			if !inter.Contains(i) {
+				t.Fatalf("intersection missing %d", i)
+			}
+		} else if inter.Contains(i) {
+			t.Fatalf("intersection contains %d", i)
+		}
+	}
+	if got := a.AndCount(b); got != want {
+		t.Fatalf("AndCount = %d, want %d", got, want)
+	}
+	diff := a.Clone()
+	diff.AndNot(b)
+	if got := diff.Count(); got != a.Count()-want {
+		t.Fatalf("AndNot count = %d, want %d", got, a.Count()-want)
+	}
+	if got := a.AndNotCount(b); got != a.Count()-want {
+		t.Fatalf("AndNotCount = %d, want %d", got, a.Count()-want)
+	}
+	union := a.Clone()
+	union.Or(b)
+	if got := union.Count(); got != a.Count()+b.Count()-want {
+		t.Fatalf("Or count = %d", got)
+	}
+}
+
+func TestIntersectInto(t *testing.T) {
+	const n = 77
+	a, b, dst := New(n), New(n), New(n)
+	a.Add(3)
+	a.Add(50)
+	a.Add(76)
+	b.Add(50)
+	b.Add(76)
+	dst.Add(1) // stale content must be overwritten
+	dst.IntersectInto(a, b)
+	if dst.Contains(1) || dst.Contains(3) || !dst.Contains(50) || !dst.Contains(76) {
+		t.Fatalf("IntersectInto wrong: %v", dst)
+	}
+}
+
+func TestContainsAll(t *testing.T) {
+	a, b := New(100), New(100)
+	a.Add(5)
+	a.Add(70)
+	b.Add(5)
+	if !a.ContainsAll(b) {
+		t.Fatal("a should contain b")
+	}
+	b.Add(71)
+	if a.ContainsAll(b) {
+		t.Fatal("a should not contain b")
+	}
+}
+
+func TestIteration(t *testing.T) {
+	s := New(300)
+	want := []int{0, 7, 63, 64, 127, 128, 255, 299}
+	for _, i := range want {
+		s.Add(i)
+	}
+	if got := s.Slice(); len(got) != len(want) {
+		t.Fatalf("Slice = %v", got)
+	} else {
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("Slice = %v, want %v", got, want)
+			}
+		}
+	}
+	if got := s.First(); got != 0 {
+		t.Fatalf("First = %d", got)
+	}
+	if got := s.NextAfter(0); got != 7 {
+		t.Fatalf("NextAfter(0) = %d", got)
+	}
+	if got := s.NextAfter(128); got != 255 {
+		t.Fatalf("NextAfter(128) = %d", got)
+	}
+	if got := s.NextAfter(299); got != -1 {
+		t.Fatalf("NextAfter(299) = %d", got)
+	}
+	if got := New(64).First(); got != -1 {
+		t.Fatalf("First on empty = %d", got)
+	}
+}
+
+func TestForEachEarlyStop(t *testing.T) {
+	s := New(64)
+	for i := 0; i < 10; i++ {
+		s.Add(i)
+	}
+	visited := 0
+	s.ForEach(func(i int) bool {
+		visited++
+		return visited < 3
+	})
+	if visited != 3 {
+		t.Fatalf("visited = %d, want 3", visited)
+	}
+}
+
+func TestEqualAndClone(t *testing.T) {
+	a := New(90)
+	a.Add(1)
+	a.Add(89)
+	b := a.Clone()
+	if !a.Equal(b) {
+		t.Fatal("clone not equal")
+	}
+	b.Add(2)
+	if a.Equal(b) {
+		t.Fatal("mutated clone still equal")
+	}
+	if a.Equal(New(91)) {
+		t.Fatal("different capacities reported equal")
+	}
+}
+
+func TestString(t *testing.T) {
+	s := New(10)
+	s.Add(1)
+	s.Add(5)
+	if got := s.String(); got != "{1, 5}" {
+		t.Fatalf("String = %q", got)
+	}
+	if got := New(4).String(); got != "{}" {
+		t.Fatalf("empty String = %q", got)
+	}
+}
+
+// TestQuickCountMatchesReference cross-checks Count/AndCount against a
+// map-based reference on random memberships.
+func TestQuickCountMatchesReference(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(500)
+		a, b := New(n), New(n)
+		ma, mb := map[int]bool{}, map[int]bool{}
+		for i := 0; i < n; i++ {
+			if rng.Intn(2) == 0 {
+				a.Add(i)
+				ma[i] = true
+			}
+			if rng.Intn(3) == 0 {
+				b.Add(i)
+				mb[i] = true
+			}
+		}
+		inter := 0
+		for i := range ma {
+			if mb[i] {
+				inter++
+			}
+		}
+		return a.Count() == len(ma) && b.Count() == len(mb) && a.AndCount(b) == inter
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickAlgebraLaws checks De Morgan style identities on random sets.
+func TestQuickAlgebraLaws(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(300)
+		a, b := New(n), New(n)
+		for i := 0; i < n; i++ {
+			if rng.Intn(2) == 0 {
+				a.Add(i)
+			}
+			if rng.Intn(2) == 0 {
+				b.Add(i)
+			}
+		}
+		// |a| = |a∩b| + |a\b|
+		if a.Count() != a.AndCount(b)+a.AndNotCount(b) {
+			return false
+		}
+		// a∩b ⊆ a and a∩b ⊆ b
+		inter := a.Clone()
+		inter.And(b)
+		return a.ContainsAll(inter) && b.ContainsAll(inter)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPoolRecycles(t *testing.T) {
+	p := NewPool(128)
+	s := p.Get()
+	s.Add(5)
+	p.Put(s)
+	s2 := p.Get()
+	if s2 != s {
+		t.Fatal("pool did not recycle")
+	}
+	if !s2.Empty() {
+		t.Fatal("recycled set not cleared")
+	}
+	src := New(128)
+	src.Add(7)
+	c := p.GetCopy(src)
+	if !c.Contains(7) || c.Count() != 1 {
+		t.Fatal("GetCopy wrong contents")
+	}
+	p.Put(nil) // must be a no-op
+}
+
+func TestPoolForeignSetPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on foreign set")
+		}
+	}()
+	NewPool(64).Put(New(65))
+}

@@ -1,0 +1,43 @@
+package bitset
+
+// Pool hands out scratch sets of a single fixed capacity and recycles them.
+// The dense branch-and-bound recursion allocates two candidate sets per
+// node; recycling them keeps the solver allocation-free in steady state.
+// Pool is not safe for concurrent use; each solver owns its own pool.
+type Pool struct {
+	n    int
+	free []*Set
+}
+
+// NewPool returns a pool producing sets with capacity n bits.
+func NewPool(n int) *Pool { return &Pool{n: n} }
+
+// Get returns an empty set of the pool's capacity.
+func (p *Pool) Get() *Set {
+	if k := len(p.free); k > 0 {
+		s := p.free[k-1]
+		p.free = p.free[:k-1]
+		s.Clear()
+		return s
+	}
+	return New(p.n)
+}
+
+// GetCopy returns a pooled copy of t, which must have the pool capacity.
+func (p *Pool) GetCopy(t *Set) *Set {
+	s := p.Get()
+	s.CopyFrom(t)
+	return s
+}
+
+// Put returns a set to the pool. The set must have been produced by Get or
+// GetCopy on the same pool (same capacity).
+func (p *Pool) Put(s *Set) {
+	if s == nil {
+		return
+	}
+	if s.n != p.n {
+		panic("bitset: foreign set returned to pool")
+	}
+	p.free = append(p.free, s)
+}

@@ -1,0 +1,158 @@
+// Package core holds the types shared by all MBB solvers: search budgets,
+// search statistics, and the solver result envelope. The algorithms
+// themselves live in internal/dense (Algorithms 1–3) and internal/sparse
+// (Algorithms 4–8); this package is their common vocabulary.
+package core
+
+import (
+	"time"
+
+	"repro/internal/bigraph"
+)
+
+// Budget bounds a search by wall-clock deadline and/or node count. The
+// zero value means "unlimited". Budgets are consumed by Spend, which is
+// cheap enough to call once per branch-and-bound node: the deadline is
+// polled only every 1024 nodes.
+type Budget struct {
+	Deadline time.Time // zero means no deadline
+	MaxNodes int64     // 0 means no node limit
+
+	nodes    int64
+	exceeded bool
+}
+
+// NewTimeBudget returns a budget that expires after d from now. A
+// non-positive d means unlimited.
+func NewTimeBudget(d time.Duration) *Budget {
+	if d <= 0 {
+		return &Budget{}
+	}
+	return &Budget{Deadline: time.Now().Add(d)}
+}
+
+// Spend consumes one node from the budget and reports whether the search
+// may continue.
+func (b *Budget) Spend() bool {
+	if b == nil {
+		return true
+	}
+	if b.exceeded {
+		return false
+	}
+	b.nodes++
+	if b.MaxNodes > 0 && b.nodes > b.MaxNodes {
+		b.exceeded = true
+		return false
+	}
+	if !b.Deadline.IsZero() && b.nodes%1024 == 0 && time.Now().After(b.Deadline) {
+		b.exceeded = true
+		return false
+	}
+	return true
+}
+
+// Exceeded reports whether the budget has run out.
+func (b *Budget) Exceeded() bool { return b != nil && b.exceeded }
+
+// Nodes returns how many nodes were spent so far.
+func (b *Budget) Nodes() int64 {
+	if b == nil {
+		return 0
+	}
+	return b.nodes
+}
+
+// Step identifies where the sparse framework (Algorithm 4) terminated,
+// reported as S1/S2/S3 in the paper's Table 5.
+type Step int
+
+const (
+	StepNone Step = 0 // not applicable (dense solver, baselines)
+	Step1    Step = 1 // heuristic + reduction proved optimality (Lemma 5)
+	Step2    Step = 2 // bridging pruned every vertex-centred subgraph
+	Step3    Step = 3 // maximality verification ran exhaustive search
+)
+
+// String renders the step the way Table 5 does.
+func (s Step) String() string {
+	switch s {
+	case Step1:
+		return "S1"
+	case Step2:
+		return "S2"
+	case Step3:
+		return "S3"
+	}
+	return "-"
+}
+
+// Stats aggregates search counters. Every counter is best-effort
+// instrumentation used by the experiment harness; none affects results.
+type Stats struct {
+	Nodes      int64 // branch-and-bound recursions entered
+	PolyCases  int64 // dynamicMBB (Algorithm 2) invocations
+	Reductions int64 // vertices removed or promoted by Lemmas 1–2
+
+	// Sparse-framework counters.
+	Step            Step    // where Algorithm 4 terminated
+	Subgraphs       int64   // vertex-centred subgraphs generated
+	SubgraphsPruned int64   // pruned before exhaustive search
+	HeurGlobalSize  int     // balanced size after step 1 (hMBB), Figure 4
+	HeurLocalSize   int     // balanced size after step 2 (bridge), Figure 4
+	SumSearchDepth  int64   // Σ max recursion depth over dense solves, Figure 5
+	SearchSamples   int64   // number of dense solves measured
+	SumSubDensity   float64 // Σ density of vertex-centred subgraphs, Figure 6
+	DensitySamples  int64
+	SumSubVertices  int64 // Σ |V(H)| over vertex-centred subgraphs
+	Bidegeneracy    int   // δ̈ of the reduced graph (0 if never computed)
+	TimedOut        bool  // budget ran out; result may be suboptimal
+}
+
+// Merge adds other's counters into s (Step, Bidegeneracy and TimedOut are
+// merged toward the most advanced/true value).
+func (s *Stats) Merge(other *Stats) {
+	s.Nodes += other.Nodes
+	s.PolyCases += other.PolyCases
+	s.Reductions += other.Reductions
+	s.Subgraphs += other.Subgraphs
+	s.SubgraphsPruned += other.SubgraphsPruned
+	s.SumSearchDepth += other.SumSearchDepth
+	s.SearchSamples += other.SearchSamples
+	s.SumSubDensity += other.SumSubDensity
+	s.DensitySamples += other.DensitySamples
+	s.SumSubVertices += other.SumSubVertices
+	if other.Step > s.Step {
+		s.Step = other.Step
+	}
+	if other.Bidegeneracy > s.Bidegeneracy {
+		s.Bidegeneracy = other.Bidegeneracy
+	}
+	s.TimedOut = s.TimedOut || other.TimedOut
+}
+
+// AvgSearchDepth returns the mean max-recursion-depth over all dense
+// solves (Figure 5's measure), or 0 if none ran.
+func (s *Stats) AvgSearchDepth() float64 {
+	if s.SearchSamples == 0 {
+		return 0
+	}
+	return float64(s.SumSearchDepth) / float64(s.SearchSamples)
+}
+
+// AvgSubgraphDensity returns the mean edge density of the generated
+// vertex-centred subgraphs (Figure 6's measure), or 0 if none.
+func (s *Stats) AvgSubgraphDensity() float64 {
+	if s.DensitySamples == 0 {
+		return 0
+	}
+	return s.SumSubDensity / float64(s.DensitySamples)
+}
+
+// Result is a solver outcome: the best balanced biclique found plus
+// search statistics. When Stats.TimedOut is false the biclique is an
+// exact maximum balanced biclique.
+type Result struct {
+	Biclique bigraph.Biclique
+	Stats    Stats
+}

@@ -1,0 +1,128 @@
+package core
+
+import (
+	"testing"
+	"time"
+)
+
+func TestBudgetNil(t *testing.T) {
+	var b *Budget
+	if !b.Spend() {
+		t.Fatal("nil budget must be unlimited")
+	}
+	if b.Exceeded() {
+		t.Fatal("nil budget never exceeds")
+	}
+	if b.Nodes() != 0 {
+		t.Fatal("nil budget has no nodes")
+	}
+}
+
+func TestBudgetZeroValueUnlimited(t *testing.T) {
+	b := &Budget{}
+	for i := 0; i < 10000; i++ {
+		if !b.Spend() {
+			t.Fatal("zero budget must be unlimited")
+		}
+	}
+	if b.Nodes() != 10000 {
+		t.Fatalf("nodes = %d", b.Nodes())
+	}
+}
+
+func TestBudgetMaxNodes(t *testing.T) {
+	b := &Budget{MaxNodes: 3}
+	for i := 0; i < 3; i++ {
+		if !b.Spend() {
+			t.Fatalf("spend %d should succeed", i)
+		}
+	}
+	if b.Spend() {
+		t.Fatal("fourth spend should fail")
+	}
+	if !b.Exceeded() {
+		t.Fatal("budget should report exceeded")
+	}
+	// Once exceeded, stays exceeded.
+	if b.Spend() {
+		t.Fatal("spend after exceeded should fail")
+	}
+}
+
+func TestBudgetDeadline(t *testing.T) {
+	b := &Budget{Deadline: time.Now().Add(-time.Second)}
+	// The deadline is only polled every 1024 nodes.
+	ok := true
+	for i := 0; i < 2048 && ok; i++ {
+		ok = b.Spend()
+	}
+	if ok {
+		t.Fatal("expired deadline not detected within 2048 spends")
+	}
+}
+
+func TestNewTimeBudget(t *testing.T) {
+	if b := NewTimeBudget(0); !b.Deadline.IsZero() {
+		t.Fatal("non-positive duration should mean unlimited")
+	}
+	b := NewTimeBudget(time.Hour)
+	if b.Deadline.IsZero() {
+		t.Fatal("deadline not set")
+	}
+	if !b.Spend() {
+		t.Fatal("fresh hour budget should allow spending")
+	}
+}
+
+func TestStepString(t *testing.T) {
+	cases := map[Step]string{Step1: "S1", Step2: "S2", Step3: "S3", StepNone: "-", Step(9): "-"}
+	for s, want := range cases {
+		if s.String() != want {
+			t.Errorf("%d.String() = %q, want %q", s, s.String(), want)
+		}
+	}
+}
+
+func TestStatsMerge(t *testing.T) {
+	a := Stats{Nodes: 1, PolyCases: 2, Reductions: 3, Subgraphs: 4,
+		SubgraphsPruned: 5, SumSearchDepth: 6, SearchSamples: 2,
+		SumSubDensity: 0.5, DensitySamples: 1, SumSubVertices: 7,
+		Step: Step1, Bidegeneracy: 3}
+	b := Stats{Nodes: 10, PolyCases: 20, Reductions: 30, Subgraphs: 40,
+		SubgraphsPruned: 50, SumSearchDepth: 60, SearchSamples: 3,
+		SumSubDensity: 1.5, DensitySamples: 3, SumSubVertices: 70,
+		Step: Step3, Bidegeneracy: 2, TimedOut: true}
+	a.Merge(&b)
+	if a.Nodes != 11 || a.PolyCases != 22 || a.Reductions != 33 {
+		t.Fatalf("counter merge wrong: %+v", a)
+	}
+	if a.Subgraphs != 44 || a.SubgraphsPruned != 55 || a.SumSubVertices != 77 {
+		t.Fatalf("subgraph merge wrong: %+v", a)
+	}
+	if a.Step != Step3 {
+		t.Fatalf("step merge = %v", a.Step)
+	}
+	if a.Bidegeneracy != 3 {
+		t.Fatalf("bidegeneracy merge = %d", a.Bidegeneracy)
+	}
+	if !a.TimedOut {
+		t.Fatal("timeout not merged")
+	}
+}
+
+func TestStatsAverages(t *testing.T) {
+	var s Stats
+	if s.AvgSearchDepth() != 0 || s.AvgSubgraphDensity() != 0 {
+		t.Fatal("empty stats should average to 0")
+	}
+	s.SumSearchDepth = 10
+	s.SearchSamples = 4
+	if got := s.AvgSearchDepth(); got != 2.5 {
+		t.Fatalf("AvgSearchDepth = %v", got)
+	}
+	s.SumSubDensity = 1.0
+	s.DensitySamples = 2
+	if got := s.AvgSubgraphDensity(); got != 0.5 {
+		t.Fatalf("AvgSubgraphDensity = %v", got)
+	}
+}

@@ -1,0 +1,464 @@
+package decomp
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/bigraph"
+)
+
+// fig1b is the paper's Figure 1(b) graph. The figure itself is garbled in
+// the arXiv text; this edge set was reverse-engineered as the unique
+// natural one consistent with every stated fact: the example bicliques,
+// N2(2) = {1,3,6}, the vertex-2/vertex-3 centred subgraphs of Figure 3,
+// and the core and bicore numbers of Table 2.
+// Paper labels: L = {1..6}, R = {7..12}; edges 1-7, 2-7, 2-8, 3-8, 3-9,
+// 3-10, 4-9, 4-10, 5-9, 5-10, 6-8, 6-11, 6-12.
+func fig1b() *bigraph.Graph {
+	edges := [][2]int{
+		{0, 0},
+		{1, 0}, {1, 1},
+		{2, 1}, {2, 2}, {2, 3},
+		{3, 2}, {3, 3},
+		{4, 2}, {4, 3},
+		{5, 1}, {5, 4}, {5, 5},
+	}
+	return bigraph.FromEdges(6, 6, edges)
+}
+
+func TestCoresFig1b(t *testing.T) {
+	g := fig1b()
+	res := Cores(g)
+	// Table 2: vertices 1..12 have core numbers 1 1 2 2 2 1 1 1 2 2 1 1.
+	want := []int{1, 1, 2, 2, 2, 1, 1, 1, 2, 2, 1, 1}
+	for v, w := range want {
+		if res.Core[v] != w {
+			t.Errorf("core(%d) = %d, want %d", v, res.Core[v], w)
+		}
+	}
+	if res.Degeneracy() != 2 {
+		t.Errorf("degeneracy = %d, want 2", res.Degeneracy())
+	}
+}
+
+func TestBicoresFig1b(t *testing.T) {
+	g := fig1b()
+	// Table 2: vertices 1..12 have bicore numbers 2 3 4 4 4 3 2 3 4 4 3 3.
+	want := []int{2, 3, 4, 4, 4, 3, 2, 3, 4, 4, 3, 3}
+	for _, res := range []*BicoreResult{Bicores(g), BicoresFast(g)} {
+		for v, w := range want {
+			if res.Bicore[v] != w {
+				t.Errorf("bc(%d) = %d, want %d", v, res.Bicore[v], w)
+			}
+		}
+		if res.Bidegeneracy() != 4 {
+			t.Errorf("bidegeneracy = %d, want 4", res.Bidegeneracy())
+		}
+	}
+}
+
+func TestTwoHopFig1b(t *testing.T) {
+	g := fig1b()
+	th := NewTwoHop(g)
+	// Paper: N≤2 of vertex 2 = {1, 3, 6, 7, 8} (its 2-hop neighbours are
+	// {1, 3, 6}). In our 0-based unified ids vertex 2 is 1 and the expected
+	// set is {0, 2, 5, 6, 7}.
+	got := th.Set(1, nil)
+	want := map[int]bool{0: true, 2: true, 5: true, 6: true, 7: true}
+	if len(got) != len(want) {
+		t.Fatalf("N<=2(1) = %v", got)
+	}
+	for _, v := range got {
+		if !want[v] {
+			t.Fatalf("N<=2(1) = %v, unexpected %d", got, v)
+		}
+	}
+	if th.Size(1, nil) != 5 {
+		t.Fatalf("Size = %d", th.Size(1, nil))
+	}
+}
+
+func TestTwoHopWithMask(t *testing.T) {
+	g := fig1b()
+	th := NewTwoHop(g)
+	alive := make([]bool, g.NumVertices())
+	for v := range alive {
+		alive[v] = true
+	}
+	alive[6] = false // remove R-vertex 7: path 1-7-2 broken
+	// vertex 0 ("1") loses its only neighbour → empty N≤2
+	if got := th.Size(0, alive); got != 0 {
+		t.Fatalf("Size(0) with 7 removed = %d, want 0", got)
+	}
+	// vertex 1 ("2") keeps 8, with 2-hop neighbours 3 and 6
+	if got := th.Size(1, alive); got != 3 {
+		t.Fatalf("Size(1) with 7 removed = %d, want 3", got)
+	}
+}
+
+// bruteTwoHopSize recomputes |N≤2| by BFS to depth 2 for cross-checking.
+func bruteTwoHopSize(g *bigraph.Graph, u int, alive []bool) int {
+	seen := map[int]bool{u: true}
+	for _, w := range g.Neighbors(u) {
+		if alive != nil && !alive[int(w)] {
+			continue
+		}
+		seen[int(w)] = true
+		for _, x := range g.Neighbors(int(w)) {
+			if alive != nil && !alive[int(x)] {
+				continue
+			}
+			seen[int(x)] = true
+		}
+	}
+	return len(seen) - 1
+}
+
+func randomBigraph(rng *rand.Rand, maxSide int, p float64) *bigraph.Graph {
+	nl, nr := 1+rng.Intn(maxSide), 1+rng.Intn(maxSide)
+	b := bigraph.NewBuilder(nl, nr)
+	for l := 0; l < nl; l++ {
+		for r := 0; r < nr; r++ {
+			if rng.Float64() < p {
+				b.AddEdge(l, r)
+			}
+		}
+	}
+	return b.Build()
+}
+
+func TestQuickTwoHopMatchesBFS(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := randomBigraph(rng, 14, 0.25)
+		th := NewTwoHop(g)
+		alive := make([]bool, g.NumVertices())
+		for v := range alive {
+			alive[v] = rng.Intn(4) != 0
+		}
+		for v := 0; v < g.NumVertices(); v++ {
+			if !alive[v] {
+				continue
+			}
+			if th.Size(v, alive) != bruteTwoHopSize(g, v, alive) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// bruteCore computes core numbers by definition: core(v) is the largest k
+// such that v survives peeling all vertices with degree < k.
+func bruteCore(g *bigraph.Graph) []int {
+	n := g.NumVertices()
+	core := make([]int, n)
+	for k := 1; ; k++ {
+		mask := KCoreMask(g, k)
+		any := false
+		for v := 0; v < n; v++ {
+			if mask[v] {
+				core[v] = k
+				any = true
+			}
+		}
+		if !any {
+			return core
+		}
+	}
+}
+
+func TestQuickCoresMatchDefinition(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := randomBigraph(rng, 16, 0.3)
+		got := Cores(g).Core
+		want := bruteCore(g)
+		for v := range want {
+			if got[v] != want[v] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// bruteBicore computes bicore numbers by definition: bc(v) is the largest
+// k such that v survives iterated removal of vertices with |N≤2| < k.
+func bruteBicore(g *bigraph.Graph) []int {
+	n := g.NumVertices()
+	th := NewTwoHop(g)
+	bc := make([]int, n)
+	for k := 1; ; k++ {
+		alive := make([]bool, n)
+		for v := range alive {
+			alive[v] = true
+		}
+		for {
+			removed := false
+			for v := 0; v < n; v++ {
+				if alive[v] && th.Size(v, alive) < k {
+					alive[v] = false
+					removed = true
+				}
+			}
+			if !removed {
+				break
+			}
+		}
+		any := false
+		for v := 0; v < n; v++ {
+			if alive[v] {
+				bc[v] = k
+				any = true
+			}
+		}
+		if !any {
+			return bc
+		}
+	}
+}
+
+func TestQuickBicoresMatchDefinition(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := randomBigraph(rng, 10, 0.3)
+		want := bruteBicore(g)
+		for _, res := range []*BicoreResult{Bicores(g), BicoresFast(g)} {
+			for v := range want {
+				if res.Bicore[v] != want[v] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickFastBicoreMatchesExact is an empirical check of the paper's
+// Lemma 10: the decrement-maintained peeling must agree with the exact
+// recompute-everything peeling.
+func TestQuickFastBicoreMatchesExact(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := randomBigraph(rng, 18, 0.2+0.5*rng.Float64())
+		a, b := Bicores(g), BicoresFast(g)
+		for v := range a.Bicore {
+			if a.Bicore[v] != b.Bicore[v] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestOrderProperty verifies the defining property of each peeling order:
+// vertex v_i minimises the relevant measure in the suffix-induced subgraph.
+func TestOrderProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 20; trial++ {
+		g := randomBigraph(rng, 12, 0.3)
+		n := g.NumVertices()
+
+		// Degeneracy order: every vertex has at most core(v) ≤ δ(G)
+		// neighbours among its successors, and core numbers are
+		// non-decreasing along the order. (The Batagelj–Zaversnik order is
+		// the by-core-number order, which satisfies exactly this; it need
+		// not pick the instantaneous minimum-degree vertex at every step.)
+		res := Cores(g)
+		ord := res.Order
+		alive := make([]bool, n)
+		for v := range alive {
+			alive[v] = true
+		}
+		degIn := func(v int) int {
+			d := 0
+			for _, w := range g.Neighbors(v) {
+				if alive[int(w)] {
+					d++
+				}
+			}
+			return d
+		}
+		prev := 0
+		for _, v := range ord {
+			alive[v] = false
+			if degIn(v) > res.Core[v] {
+				t.Fatalf("degeneracy order violated: %d has %d later neighbours but core %d", v, degIn(v), res.Core[v])
+			}
+			if res.Core[v] < prev {
+				t.Fatalf("core numbers not monotone along order")
+			}
+			prev = res.Core[v]
+		}
+		for v := range alive {
+			alive[v] = true
+		}
+
+		// bidegeneracy order: v_i has min |N≤2| in suffix subgraph
+		th := NewTwoHop(g)
+		bord := Bicores(g).Order
+		for v := range alive {
+			alive[v] = true
+		}
+		for _, v := range bord {
+			sv := th.Size(v, alive)
+			for u := 0; u < n; u++ {
+				if alive[u] && th.Size(u, alive) < sv {
+					t.Fatalf("bidegeneracy order violated")
+				}
+			}
+			alive[v] = false
+		}
+	}
+}
+
+func TestKCoreMaskWithin(t *testing.T) {
+	g := fig1b()
+	start := make([]bool, g.NumVertices())
+	for v := range start {
+		start[v] = true
+	}
+	// 2-core of whole graph = {3,4,5}x{9,10} (ids 2,3,4, 8,9)
+	mask := KCoreMaskWithin(g, start, 2)
+	want := map[int]bool{2: true, 3: true, 4: true, 8: true, 9: true}
+	for v := range start {
+		if mask[v] != want[v] {
+			t.Fatalf("2-core mask[%d] = %v", v, mask[v])
+		}
+	}
+	// excluding vertex 5 (id 4) leaves {3,4}x{9,10}
+	start[4] = false
+	mask = KCoreMaskWithin(g, start, 2)
+	want = map[int]bool{2: true, 3: true, 8: true, 9: true}
+	for v := range start {
+		if mask[v] != want[v] {
+			t.Fatalf("restricted 2-core mask[%d] = %v", v, mask[v])
+		}
+	}
+}
+
+func TestKCoreMaskEmpty(t *testing.T) {
+	g := fig1b()
+	mask := KCoreMask(g, 10)
+	for v, ok := range mask {
+		if ok {
+			t.Fatalf("vertex %d in 10-core of a degree<=3 graph", v)
+		}
+	}
+}
+
+func TestDegreeOrder(t *testing.T) {
+	g := fig1b()
+	ord := DegreeOrder(g)
+	for i := 1; i < len(ord); i++ {
+		if g.Deg(ord[i-1]) > g.Deg(ord[i]) {
+			t.Fatalf("degree order not non-decreasing")
+		}
+	}
+}
+
+func TestOrderKinds(t *testing.T) {
+	g := fig1b()
+	for _, k := range []OrderKind{OrderDegree, OrderDegeneracy, OrderBidegeneracy} {
+		ord := Order(g, k)
+		if len(ord) != g.NumVertices() {
+			t.Fatalf("%v order has %d entries", k, len(ord))
+		}
+		seen := map[int]bool{}
+		for _, v := range ord {
+			if seen[v] {
+				t.Fatalf("%v order repeats %d", k, v)
+			}
+			seen[v] = true
+		}
+	}
+	if OrderDegree.String() != "maxDeg" || OrderBidegeneracy.String() != "bidegeneracy" || OrderDegeneracy.String() != "degeneracy" {
+		t.Fatal("order names wrong")
+	}
+	if OrderKind(99).String() != "unknown" {
+		t.Fatal("unknown order name wrong")
+	}
+}
+
+func TestSumTwoHopSizes(t *testing.T) {
+	g := fig1b()
+	th := NewTwoHop(g)
+	want := 0
+	for v := 0; v < g.NumVertices(); v++ {
+		want += th.Size(v, nil)
+	}
+	if got := SumTwoHopSizes(g); got != want {
+		t.Fatalf("SumTwoHopSizes = %d, want %d", got, want)
+	}
+}
+
+// TestLemma10Counterexample documents a deviation from the paper: Lemma 10
+// claims that when the removed vertex u has minimum (|N≤2|, degree), every
+// v ∈ N≤2(u) loses at most one member of its own N≤2. Simulating the exact
+// peeling on small random graphs finds removals where an affected vertex
+// loses two or more (the removal also severs two-hop bridges). BicoresFast
+// therefore maintains exact pair counts instead of relying on the lemma.
+func TestLemma10Counterexample(t *testing.T) {
+	found := false
+	for seed := int64(0); seed < 40 && !found; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		g := randomBigraph(rng, 12, 0.3)
+		n := g.NumVertices()
+		th := NewTwoHop(g)
+		alive := make([]bool, n)
+		for v := range alive {
+			alive[v] = true
+		}
+		aliveCount := n
+		for aliveCount > 0 {
+			// Pick the minimum-(|N≤2|, degree, id) vertex, as Lemma 10
+			// prescribes.
+			bestV, bestKey, bestDeg := -1, 1<<30, 1<<30
+			for v := 0; v < n; v++ {
+				if !alive[v] {
+					continue
+				}
+				k := th.Size(v, alive)
+				d := 0
+				for _, w := range g.Neighbors(v) {
+					if alive[int(w)] {
+						d++
+					}
+				}
+				if k < bestKey || (k == bestKey && d < bestDeg) {
+					bestV, bestKey, bestDeg = v, k, d
+				}
+			}
+			affected := th.Set(bestV, alive)
+			before := make(map[int]int, len(affected))
+			for _, w := range affected {
+				before[w] = th.Size(w, alive)
+			}
+			alive[bestV] = false
+			aliveCount--
+			for _, w := range affected {
+				if delta := before[w] - th.Size(w, alive); delta >= 2 {
+					found = true
+				}
+			}
+		}
+	}
+	if !found {
+		t.Fatal("no Lemma 10 counterexample found; if the lemma holds, " +
+			"BicoresFast could use the cheaper decrement-by-one update")
+	}
+}

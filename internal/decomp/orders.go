@@ -1,0 +1,69 @@
+package decomp
+
+import (
+	"sort"
+
+	"repro/internal/bigraph"
+)
+
+// OrderKind selects the total search order used to build vertex-centred
+// subgraphs (Definition 6). The paper compares all three in Lemmas 6–8 and
+// Figures 5–6.
+type OrderKind int
+
+const (
+	// OrderDegree peels by static degree (smallest first), the analogue of
+	// the non-increasing-degree total order of Lemma 6.
+	OrderDegree OrderKind = iota
+	// OrderDegeneracy uses the core-decomposition peeling order (Lemma 7).
+	OrderDegeneracy
+	// OrderBidegeneracy uses the bicore peeling order (Lemma 8), the
+	// paper's proposal.
+	OrderBidegeneracy
+)
+
+// String returns the paper's name for the order.
+func (k OrderKind) String() string {
+	switch k {
+	case OrderDegree:
+		return "maxDeg"
+	case OrderDegeneracy:
+		return "degeneracy"
+	case OrderBidegeneracy:
+		return "bidegeneracy"
+	}
+	return "unknown"
+}
+
+// DegreeOrder returns the vertices sorted by increasing degree (ties by
+// id). Processing small-degree vertices first keeps early vertex-centred
+// subgraphs small, mirroring how the peeling orders behave.
+func DegreeOrder(g *bigraph.Graph) []int {
+	n := g.NumVertices()
+	order := make([]int, n)
+	for v := range order {
+		order[v] = v
+	}
+	sort.Slice(order, func(i, j int) bool {
+		di, dj := g.Deg(order[i]), g.Deg(order[j])
+		if di != dj {
+			return di < dj
+		}
+		return order[i] < order[j]
+	})
+	return order
+}
+
+// Order computes the requested total order for g. For OrderBidegeneracy
+// the fast (Lemma 10) peeling is used.
+func Order(g *bigraph.Graph, kind OrderKind) []int {
+	switch kind {
+	case OrderDegree:
+		return DegreeOrder(g)
+	case OrderDegeneracy:
+		return Cores(g).Order
+	case OrderBidegeneracy:
+		return BicoresFast(g).Order
+	}
+	panic("decomp: unknown order kind")
+}

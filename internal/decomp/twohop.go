@@ -1,0 +1,110 @@
+package decomp
+
+import "repro/internal/bigraph"
+
+// TwoHop computes N≤2 neighbourhoods (Definitions 1–2 of the paper): for a
+// vertex u, N≤2(u) = N(u) ∪ N2(u) where N2(u) holds the vertices at
+// shortest-path distance exactly 2. In a bipartite graph N(u) and N2(u)
+// live on opposite sides, so the union is disjoint.
+//
+// TwoHop uses a timestamped mark array so repeated queries need no
+// clearing. It is not safe for concurrent use.
+type TwoHop struct {
+	g     *bigraph.Graph
+	mark  []int32
+	stamp int32
+	buf   []int
+}
+
+// NewTwoHop returns a query object for g.
+func NewTwoHop(g *bigraph.Graph) *TwoHop {
+	return &TwoHop{g: g, mark: make([]int32, g.NumVertices())}
+}
+
+// next advances the timestamp, resetting marks implicitly.
+func (t *TwoHop) next() {
+	t.stamp++
+	if t.stamp == 0 { // wrapped: hard reset
+		for i := range t.mark {
+			t.mark[i] = 0
+		}
+		t.stamp = 1
+	}
+}
+
+// Size returns |N≤2(u)| within the subgraph of alive vertices. A nil alive
+// mask means the whole graph.
+func (t *TwoHop) Size(u int, alive []bool) int {
+	t.next()
+	t.mark[u] = t.stamp
+	count := 0
+	for _, wn := range t.g.Neighbors(u) {
+		w := int(wn)
+		if alive != nil && !alive[w] {
+			continue
+		}
+		if t.mark[w] != t.stamp {
+			t.mark[w] = t.stamp
+			count++
+		}
+		for _, xn := range t.g.Neighbors(w) {
+			x := int(xn)
+			if alive != nil && !alive[x] {
+				continue
+			}
+			if t.mark[x] != t.stamp {
+				t.mark[x] = t.stamp
+				count++
+			}
+		}
+	}
+	return count
+}
+
+// Append appends N≤2(u) (within alive) to dst and returns it. The order is
+// deterministic: 1-hop and 2-hop vertices interleaved by discovery along
+// sorted adjacency lists.
+func (t *TwoHop) Append(u int, alive []bool, dst []int) []int {
+	t.next()
+	t.mark[u] = t.stamp
+	for _, wn := range t.g.Neighbors(u) {
+		w := int(wn)
+		if alive != nil && !alive[w] {
+			continue
+		}
+		if t.mark[w] != t.stamp {
+			t.mark[w] = t.stamp
+			dst = append(dst, w)
+		}
+		for _, xn := range t.g.Neighbors(w) {
+			x := int(xn)
+			if alive != nil && !alive[x] {
+				continue
+			}
+			if t.mark[x] != t.stamp {
+				t.mark[x] = t.stamp
+				dst = append(dst, x)
+			}
+		}
+	}
+	return dst
+}
+
+// Set returns N≤2(u) within alive as a fresh slice.
+func (t *TwoHop) Set(u int, alive []bool) []int {
+	t.buf = t.Append(u, alive, t.buf[:0])
+	out := make([]int, len(t.buf))
+	copy(out, t.buf)
+	return out
+}
+
+// SumSizes returns Σ_u |N≤2(u)|, the quantity that bounds the cost of
+// bicore decomposition (Lemma 9).
+func SumTwoHopSizes(g *bigraph.Graph) int {
+	t := NewTwoHop(g)
+	total := 0
+	for v := 0; v < g.NumVertices(); v++ {
+		total += t.Size(v, nil)
+	}
+	return total
+}

@@ -1,0 +1,413 @@
+package dense_test
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/baseline"
+	"repro/internal/bigraph"
+	"repro/internal/core"
+	"repro/internal/dense"
+)
+
+func randomBigraph(rng *rand.Rand, maxSide int, p float64) *bigraph.Graph {
+	nl, nr := 1+rng.Intn(maxSide), 1+rng.Intn(maxSide)
+	b := bigraph.NewBuilder(nl, nr)
+	for l := 0; l < nl; l++ {
+		for r := 0; r < nr; r++ {
+			if rng.Float64() < p {
+				b.AddEdge(l, r)
+			}
+		}
+	}
+	return b.Build()
+}
+
+// solveToBiclique runs the dense solver on a whole graph and lifts the
+// matrix-local answer to unified ids.
+func solveToBiclique(g *bigraph.Graph, mode dense.Mode) bigraph.Biclique {
+	m := dense.FromBigraph(g)
+	res := dense.Solve(m, dense.Options{Mode: mode})
+	if !res.Found {
+		return bigraph.Biclique{}
+	}
+	bc := bigraph.Biclique{}
+	for _, l := range res.A {
+		bc.A = append(bc.A, g.Left(l))
+	}
+	for _, r := range res.B {
+		bc.B = append(bc.B, g.Right(r))
+	}
+	return bc
+}
+
+func TestMatrixBasics(t *testing.T) {
+	m := dense.NewMatrix(3, 2)
+	m.AddEdge(0, 0)
+	m.AddEdge(0, 0) // duplicate ignored
+	m.AddEdge(2, 1)
+	if m.NumEdges() != 2 {
+		t.Fatalf("edges = %d", m.NumEdges())
+	}
+	if !m.HasEdge(0, 0) || m.HasEdge(1, 0) {
+		t.Fatal("HasEdge wrong")
+	}
+	if m.NL() != 3 || m.NR() != 2 {
+		t.Fatal("sizes wrong")
+	}
+	if m.Density() != 2.0/6.0 {
+		t.Fatalf("density = %v", m.Density())
+	}
+	if !m.RowL(0).Contains(0) || !m.RowR(1).Contains(2) {
+		t.Fatal("rows wrong")
+	}
+}
+
+func TestFromInduced(t *testing.T) {
+	g := bigraph.FromEdges(3, 3, [][2]int{{0, 0}, {0, 1}, {1, 1}, {2, 2}})
+	m := dense.FromInduced(g, []int{0, 1}, []int{g.Right(1)})
+	if m.NL() != 2 || m.NR() != 1 || m.NumEdges() != 2 {
+		t.Fatalf("induced matrix wrong: %dx%d m=%d", m.NL(), m.NR(), m.NumEdges())
+	}
+	if !m.HasEdge(0, 0) || !m.HasEdge(1, 0) {
+		t.Fatal("edges wrong")
+	}
+}
+
+func TestSolveCompleteBipartite(t *testing.T) {
+	for _, mode := range []dense.Mode{dense.ModeBasic, dense.ModeDense} {
+		for _, n := range []int{1, 2, 5, 8} {
+			m := dense.NewMatrix(n, n)
+			for i := 0; i < n; i++ {
+				for j := 0; j < n; j++ {
+					m.AddEdge(i, j)
+				}
+			}
+			res := dense.Solve(m, dense.Options{Mode: mode})
+			if !res.Found || res.Size != n {
+				t.Fatalf("mode %v complete K%d,%d: size = %d, want %d", mode, n, n, res.Size, n)
+			}
+		}
+	}
+}
+
+func TestSolveEmptyGraph(t *testing.T) {
+	m := dense.NewMatrix(4, 4)
+	for _, mode := range []dense.Mode{dense.ModeBasic, dense.ModeDense} {
+		res := dense.Solve(m, dense.Options{Mode: mode})
+		if res.Found {
+			t.Fatalf("mode %v found biclique in empty graph", mode)
+		}
+	}
+}
+
+func TestSolveFig1a(t *testing.T) {
+	// Figure 1(a): dense 5x5 graph whose MBB is ({1,2},{6,7}), size 2.
+	// We reconstruct a 5x5 dense graph with known optimum: complete 5x5
+	// minus a perfect matching has MBB of size 4 per side... instead use
+	// the paper's property directly: a dense graph where every vertex
+	// misses ≤ 2 must be solved by the polynomial case in one node.
+	m := dense.NewMatrix(5, 5)
+	for i := 0; i < 5; i++ {
+		for j := 0; j < 5; j++ {
+			if i != j { // complement is a perfect matching (5 odd paths)
+				m.AddEdge(i, j)
+			}
+		}
+	}
+	res := dense.Solve(m, dense.Options{Mode: dense.ModeDense})
+	// Complement = 5 disjoint edges; from each we can take one endpoint;
+	// optimum balanced size is 4 by taking L sides of two edges... the
+	// exact optimum: choose a of the 5 components to contribute L, the
+	// rest R: best min(a, 5-a) at a=2 or 3 → 2? No: each component offers
+	// (1,0) or (0,1); plus nothing trivial. Best balanced = min(a, 5-a)
+	// maximised at a=2 → 2... but we can also *drop* a component's
+	// contribution — which never helps. However (1,0)/(0,1) per odd path
+	// of length 1: frontier also allows... The true optimum of K5,5 minus
+	// perfect matching: A of size k needs B ⊆ common neighbours =
+	// vertices not matched to A: 5-k choices → min(k, 5-k) → best 2 at
+	// k=2 (wait: min(2,3)=2, min(3,2)=2) → 2? k=2: B can have 3 vertices
+	// but balance trims to 2. Optimum is ⌊5/2⌋ = 2.
+	if !res.Found || res.Size != 2 {
+		t.Fatalf("K5,5 minus matching: size = %d, want 2", res.Size)
+	}
+	// Note: the greedy seed may already prove optimality via the bounds,
+	// in which case dynamicMBB need not fire; exactness is what matters.
+	// Verify the witness is a genuine biclique.
+	for _, a := range res.A {
+		for _, b := range res.B {
+			if !m.HasEdge(a, b) {
+				t.Fatalf("witness not a biclique: (%d,%d) missing", a, b)
+			}
+		}
+	}
+}
+
+func TestPolyCaseCycleComplement(t *testing.T) {
+	// Complement = a single 2k-cycle: L_i missing R_i and R_{i+1 mod k}.
+	for _, k := range []int{2, 3, 4, 5, 8} {
+		m := dense.NewMatrix(k, k)
+		for i := 0; i < k; i++ {
+			for j := 0; j < k; j++ {
+				if j != i && j != (i+1)%k {
+					m.AddEdge(i, j)
+				}
+			}
+		}
+		g := bigraph.NewBuilder(k, k)
+		for i := 0; i < k; i++ {
+			for j := 0; j < k; j++ {
+				if m.HasEdge(i, j) {
+					g.AddEdge(i, j)
+				}
+			}
+		}
+		want := baseline.BruteForceSize(g.Build())
+		res := dense.Solve(m, dense.Options{Mode: dense.ModeDense})
+		got := 0
+		if res.Found {
+			got = res.Size
+		}
+		if got != want {
+			t.Fatalf("cycle complement k=%d: got %d, want %d", k, got, want)
+		}
+	}
+}
+
+func TestSolveWithLowerBound(t *testing.T) {
+	// K3,3: optimum 3. With Lower=3 nothing strictly larger exists.
+	m := dense.NewMatrix(3, 3)
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 3; j++ {
+			m.AddEdge(i, j)
+		}
+	}
+	res := dense.Solve(m, dense.Options{Mode: dense.ModeDense, Lower: 3})
+	if res.Found {
+		t.Fatal("found result not strictly larger than lower bound")
+	}
+	res = dense.Solve(m, dense.Options{Mode: dense.ModeDense, Lower: 2})
+	if !res.Found || res.Size != 3 {
+		t.Fatalf("with lower 2: size = %d, want 3", res.Size)
+	}
+}
+
+func TestSolveFixedA(t *testing.T) {
+	// Two disjoint K2,2s; anchoring at a vertex of the first must return
+	// a biclique through it.
+	m := dense.NewMatrix(4, 4)
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 2; j++ {
+			m.AddEdge(i, j)
+			m.AddEdge(2+i, 2+j)
+		}
+	}
+	res := dense.Solve(m, dense.Options{Mode: dense.ModeDense, FixedA: []int{0}})
+	if !res.Found || res.Size != 2 {
+		t.Fatalf("anchored solve: size = %d, want 2", res.Size)
+	}
+	foundAnchor := false
+	for _, a := range res.A {
+		if a == 0 {
+			foundAnchor = true
+		}
+		if a >= 2 {
+			t.Fatalf("anchored solve escaped the anchor's component: A=%v", res.A)
+		}
+	}
+	if !foundAnchor {
+		t.Fatalf("anchor not in result: A=%v", res.A)
+	}
+}
+
+func TestSolveBudgetExhaustion(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	g := randomBigraph(rng, 14, 0.5)
+	m := dense.FromBigraph(g)
+	b := &core.Budget{MaxNodes: 1}
+	res := dense.Solve(m, dense.Options{Mode: dense.ModeBasic, Budget: b})
+	if !res.Stats.TimedOut {
+		t.Fatal("expected timeout flag with 1-node budget")
+	}
+}
+
+// TestQuickModesMatchBruteForce is the central correctness test: both
+// search modes must find the exact optimum on random graphs across the
+// density spectrum.
+func TestQuickModesMatchBruteForce(t *testing.T) {
+	densities := []float64{0.1, 0.3, 0.5, 0.7, 0.85, 0.95}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := randomBigraph(rng, 12, densities[rng.Intn(len(densities))])
+		want := baseline.BruteForceSize(g)
+		for _, mode := range []dense.Mode{dense.ModeBasic, dense.ModeDense} {
+			bc := solveToBiclique(g, mode)
+			if bc.Size() != want {
+				t.Logf("mode %v: got %d want %d on %dx%d m=%d edges=%v",
+					mode, bc.Size(), want, g.NL(), g.NR(), g.NumEdges(), g.Edges())
+				return false
+			}
+			if want > 0 && (!bc.IsBicliqueOf(g) || !bc.IsBalanced()) {
+				t.Logf("mode %v: invalid witness %v", mode, bc)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickDenseGraphsPolyConvergence: on sufficiently dense graphs the
+// dense solver must reach the polynomial case and stay exact.
+func TestQuickDensePolyConvergence(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		nl, nr := 4+rng.Intn(10), 4+rng.Intn(10)
+		b := bigraph.NewBuilder(nl, nr)
+		for l := 0; l < nl; l++ {
+			for r := 0; r < nr; r++ {
+				if rng.Float64() < 0.9 {
+					b.AddEdge(l, r)
+				}
+			}
+		}
+		g := b.Build()
+		want := baseline.BruteForceSize(g)
+		bc := solveToBiclique(g, dense.ModeDense)
+		return bc.Size() == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickAnchoredSolve cross-checks FixedA solves against an anchored
+// brute force.
+func TestQuickAnchoredSolve(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := randomBigraph(rng, 10, 0.4)
+		if g.Deg(0) == 0 {
+			return true
+		}
+		m := dense.FromBigraph(g)
+		res := dense.Solve(m, dense.Options{Mode: dense.ModeDense, FixedA: []int{0}})
+		// anchored brute force: enumerate subsets of L containing 0
+		best := 0
+		nl := g.NL()
+		for mask := uint64(1); mask < 1<<uint(nl); mask++ {
+			if mask&1 == 0 {
+				continue
+			}
+			var s []int
+			for i := 0; i < nl; i++ {
+				if mask&(1<<uint(i)) != 0 {
+					s = append(s, i)
+				}
+			}
+			// common neighbourhood
+			common := map[int]int{}
+			for _, l := range s {
+				for _, r := range g.Neighbors(l) {
+					common[int(r)]++
+				}
+			}
+			cnt := 0
+			for _, c := range common {
+				if c == len(s) {
+					cnt++
+				}
+			}
+			size := len(s)
+			if cnt < size {
+				size = cnt
+			}
+			if size > best {
+				best = size
+			}
+		}
+		got := 0
+		if res.Found {
+			got = res.Size
+		}
+		if got != best {
+			t.Logf("anchored: got %d want %d on edges=%v", got, best, g.Edges())
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBruteForceKnown(t *testing.T) {
+	// Figure 1(b): optimum balanced size is 2 (({3,4},{9,10})).
+	edges := [][2]int{
+		{0, 0}, {1, 0}, {1, 1}, {2, 1}, {2, 2}, {2, 3},
+		{3, 2}, {3, 3}, {4, 2}, {4, 3}, {5, 1}, {5, 4}, {5, 5},
+	}
+	g := bigraph.FromEdges(6, 6, edges)
+	bc := baseline.BruteForce(g)
+	if bc.Size() != 2 {
+		t.Fatalf("fig1b optimum = %d, want 2", bc.Size())
+	}
+	if !bc.IsBicliqueOf(g) || !bc.IsBalanced() {
+		t.Fatalf("invalid brute-force witness %v", bc)
+	}
+}
+
+func TestBruteForceFlip(t *testing.T) {
+	// NL > NR exercises the flipped enumeration path.
+	g := bigraph.FromEdges(5, 2, [][2]int{{0, 0}, {0, 1}, {1, 0}, {1, 1}, {2, 0}, {3, 1}, {4, 0}})
+	bc := baseline.BruteForce(g)
+	if bc.Size() != 2 {
+		t.Fatalf("size = %d, want 2", bc.Size())
+	}
+	if !bc.IsBicliqueOf(g) {
+		t.Fatalf("invalid witness %v", bc)
+	}
+}
+
+func TestBruteForceEmpty(t *testing.T) {
+	if baseline.BruteForce(bigraph.FromEdges(3, 3, nil)).Size() != 0 {
+		t.Fatal("empty graph should have size 0")
+	}
+	if baseline.BruteForce(bigraph.FromEdges(0, 3, nil)).Size() != 0 {
+		t.Fatal("no-left-side graph should have size 0")
+	}
+}
+
+// TestQuickAblationsStayExact: disabling any engineered pruning must
+// never change the answer, only the node count.
+func TestQuickAblationsStayExact(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := randomBigraph(rng, 11, 0.3+0.6*rng.Float64())
+		want := baseline.BruteForceSize(g)
+		m := dense.FromBigraph(g)
+		for _, opt := range []dense.Options{
+			{Mode: dense.ModeDense, DisableProfileBound: true},
+			{Mode: dense.ModeDense, DisableMatchingBound: true},
+			{Mode: dense.ModeDense, DisableGreedySeed: true},
+			{Mode: dense.ModeDense, DisableProfileBound: true, DisableMatchingBound: true, DisableGreedySeed: true},
+		} {
+			res := dense.Solve(m, opt)
+			got := 0
+			if res.Found {
+				got = res.Size
+			}
+			if got != want {
+				t.Logf("opt %+v: got %d want %d", opt, got, want)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

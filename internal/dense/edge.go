@@ -1,0 +1,308 @@
+package dense
+
+import (
+	"repro/internal/bitset"
+	"repro/internal/core"
+)
+
+// This file extends the dense machinery to the two sibling problems the
+// paper's related work discusses (§7 and §4.2): the NP-hard maximum
+// *edge* biclique problem (maximise |A|·|B|) and the size-constrained
+// (a, b)-biclique decision problem ("is there a biclique with |A| ≥ a and
+// |B| ≥ b?"). Both reuse the bitset candidate machinery of the MBB
+// solver: include/exclude branching, all-connection promotion and
+// candidate-product bounding.
+
+// EdgeResult is the outcome of SolveMaxEdge.
+type EdgeResult struct {
+	A, B  []int // matrix-local indices of a maximum edge biclique
+	Edges int   // |A|·|B|
+	Stats core.Stats
+}
+
+// SolveMaxEdge computes a biclique of m maximising |A|·|B| exactly
+// (within budget). Both sides of the result are nonempty whenever m has
+// at least one edge.
+func SolveMaxEdge(m *Matrix, budget *core.Budget) EdgeResult {
+	s := &edgeSolver{m: m, budget: budget,
+		poolL: bitset.NewPool(m.nl), poolR: bitset.NewPool(m.nr)}
+	CA := bitset.NewFull(m.nl)
+	CB := bitset.NewFull(m.nr)
+	s.node(CA, CB)
+	res := EdgeResult{A: s.bestA, B: s.bestB, Edges: s.best}
+	res.Stats.Nodes = s.nodes
+	res.Stats.TimedOut = s.timedOut
+	return res
+}
+
+type edgeSolver struct {
+	m            *Matrix
+	budget       *core.Budget
+	poolL, poolR *bitset.Pool
+	A, B         []int
+	best         int
+	bestA, bestB []int
+	nodes        int64
+	timedOut     bool
+}
+
+func (s *edgeSolver) node(CA, CB *bitset.Set) {
+	if !s.budget.Spend() {
+		s.timedOut = true
+		return
+	}
+	s.nodes++
+	baseA, baseB := len(s.A), len(s.B)
+	defer func() {
+		s.A = s.A[:baseA]
+		s.B = s.B[:baseB]
+	}()
+
+	// All-connection promotion (Lemma 1 carries over: a candidate
+	// adjacent to the whole opposite candidate set can always join, and
+	// for the edge objective extra vertices never hurt).
+	for changed := true; changed; {
+		changed = false
+		cb := CB.Count()
+		if cb > 0 {
+			for u := CA.First(); u != -1; u = CA.NextAfter(u) {
+				if s.m.rowL[u].AndCount(CB) == cb {
+					CA.Remove(u)
+					s.A = append(s.A, u)
+					changed = true
+				}
+			}
+		}
+		ca := CA.Count()
+		if ca > 0 {
+			for v := CB.First(); v != -1; v = CB.NextAfter(v) {
+				if s.m.rowR[v].AndCount(CA) == ca {
+					CB.Remove(v)
+					s.B = append(s.B, v)
+					changed = true
+				}
+			}
+		}
+	}
+
+	a, b := len(s.A), len(s.B)
+	ca, cb := CA.Count(), CB.Count()
+
+	// Current realisable candidates: extend one side freely.
+	s.update(a, b+cb, CB, b)
+	s.updateFlip(b, a+ca, CA, a)
+
+	// Bound: even taking every candidate cannot beat the incumbent.
+	if (a+ca)*(b+cb) <= s.best {
+		return
+	}
+	if ca == 0 || cb == 0 {
+		return
+	}
+
+	// Branch at the candidate with the most missing edges.
+	u, onLeft, maxMiss := -1, true, -1
+	for v := CA.First(); v != -1; v = CA.NextAfter(v) {
+		if miss := cb - s.m.rowL[v].AndCount(CB); miss > maxMiss {
+			maxMiss, u, onLeft = miss, v, true
+		}
+	}
+	for v := CB.First(); v != -1; v = CB.NextAfter(v) {
+		if miss := ca - s.m.rowR[v].AndCount(CA); miss > maxMiss {
+			maxMiss, u, onLeft = miss, v, false
+		}
+	}
+	if onLeft {
+		CA.Remove(u)
+		ca2, cb2 := s.poolL.GetCopy(CA), s.poolR.GetCopy(CB)
+		s.node(ca2, cb2) // exclude first (triviality last)
+		s.poolL.Put(ca2)
+		s.poolR.Put(cb2)
+		CB.And(s.m.rowL[u])
+		s.A = append(s.A, u)
+		s.node(CA, CB)
+		s.A = s.A[:len(s.A)-1]
+		return
+	}
+	CB.Remove(u)
+	ca2, cb2 := s.poolL.GetCopy(CA), s.poolR.GetCopy(CB)
+	s.node(ca2, cb2)
+	s.poolL.Put(ca2)
+	s.poolR.Put(cb2)
+	CA.And(s.m.rowR[u])
+	s.B = append(s.B, u)
+	s.node(CA, CB)
+	s.B = s.B[:len(s.B)-1]
+}
+
+// update records A × (B ∪ CB) if it improves the incumbent (every CB
+// vertex is adjacent to all of A).
+func (s *edgeSolver) update(a, bTotal int, CB *bitset.Set, b int) {
+	if a == 0 || bTotal == 0 || a*bTotal <= s.best {
+		return
+	}
+	s.best = a * bTotal
+	s.bestA = append(s.bestA[:0], s.A...)
+	s.bestB = append(s.bestB[:0], s.B...)
+	need := bTotal - b
+	for v := CB.First(); need > 0; v = CB.NextAfter(v) {
+		s.bestB = append(s.bestB, v)
+		need--
+	}
+}
+
+func (s *edgeSolver) updateFlip(b, aTotal int, CA *bitset.Set, a int) {
+	if b == 0 || aTotal == 0 || aTotal*b <= s.best {
+		return
+	}
+	s.best = aTotal * b
+	s.bestB = append(s.bestB[:0], s.B...)
+	s.bestA = append(s.bestA[:0], s.A...)
+	need := aTotal - a
+	for v := CA.First(); need > 0; v = CA.NextAfter(v) {
+		s.bestA = append(s.bestA, v)
+		need--
+	}
+}
+
+// HasSizeConstrained reports whether m contains a biclique with |A| ≥ a
+// and |B| ≥ b (the paper's (a, b)-biclique decision problem, §4.2), and
+// returns a witness when it does. a and b must be positive.
+func HasSizeConstrained(m *Matrix, a, b int, budget *core.Budget) (bool, []int, []int) {
+	if a <= 0 || b <= 0 {
+		panic("dense: (a,b) must be positive")
+	}
+	s := &abSolver{m: m, budget: budget, ta: a, tb: b,
+		poolL: bitset.NewPool(m.nl), poolR: bitset.NewPool(m.nr)}
+	s.node(bitset.NewFull(m.nl), bitset.NewFull(m.nr))
+	return s.found, s.witA, s.witB
+}
+
+type abSolver struct {
+	m            *Matrix
+	budget       *core.Budget
+	ta, tb       int
+	poolL, poolR *bitset.Pool
+	A, B         []int
+	found        bool
+	witA, witB   []int
+	timedOut     bool
+}
+
+func (s *abSolver) node(CA, CB *bitset.Set) {
+	if s.found {
+		return
+	}
+	if !s.budget.Spend() {
+		s.timedOut = true
+		return
+	}
+	baseA, baseB := len(s.A), len(s.B)
+	defer func() {
+		s.A = s.A[:baseA]
+		s.B = s.B[:baseB]
+	}()
+
+	// Reduction: a candidate that cannot reach the target side size goes.
+	for changed := true; changed; {
+		changed = false
+		for u := CA.First(); u != -1; u = CA.NextAfter(u) {
+			if len(s.B)+s.m.rowL[u].AndCount(CB) < s.tb {
+				CA.Remove(u)
+				changed = true
+			}
+		}
+		for v := CB.First(); v != -1; v = CB.NextAfter(v) {
+			if len(s.A)+s.m.rowR[v].AndCount(CA) < s.ta {
+				CB.Remove(v)
+				changed = true
+			}
+		}
+	}
+
+	a, b := len(s.A), len(s.B)
+	ca, cb := CA.Count(), CB.Count()
+	if a+ca < s.ta || b+cb < s.tb {
+		return
+	}
+
+	// Check the two one-sided completions.
+	if a >= s.ta && b+cb >= s.tb {
+		s.install(CA, CB, a, s.tb-b)
+		return
+	}
+	if b >= s.tb && a+ca >= s.ta {
+		s.installA(CA, s.ta-a)
+		return
+	}
+
+	// Branch on the max-missing candidate.
+	u, onLeft, maxMiss := -1, true, -1
+	for v := CA.First(); v != -1; v = CA.NextAfter(v) {
+		if miss := cb - s.m.rowL[v].AndCount(CB); miss > maxMiss {
+			maxMiss, u, onLeft = miss, v, true
+		}
+	}
+	for v := CB.First(); v != -1; v = CB.NextAfter(v) {
+		if miss := ca - s.m.rowR[v].AndCount(CA); miss > maxMiss {
+			maxMiss, u, onLeft = miss, v, false
+		}
+	}
+	if maxMiss == 0 {
+		// The candidate subgraph is complete: everything fits.
+		s.A = append(s.A, CA.AppendTo(nil)...)
+		s.B = append(s.B, CB.AppendTo(nil)...)
+		if len(s.A) >= s.ta && len(s.B) >= s.tb {
+			s.witA = append([]int(nil), s.A[:s.ta]...)
+			s.witB = append([]int(nil), s.B[:s.tb]...)
+			s.found = true
+		}
+		return
+	}
+	if onLeft {
+		CA.Remove(u)
+		ca2, cb2 := s.poolL.GetCopy(CA), s.poolR.GetCopy(CB)
+		cb2.And(s.m.rowL[u])
+		s.A = append(s.A, u)
+		s.node(ca2, cb2) // include first: we only need existence
+		s.A = s.A[:len(s.A)-1]
+		s.poolL.Put(ca2)
+		s.poolR.Put(cb2)
+		if !s.found {
+			s.node(CA, CB)
+		}
+		return
+	}
+	CB.Remove(u)
+	ca2, cb2 := s.poolL.GetCopy(CA), s.poolR.GetCopy(CB)
+	ca2.And(s.m.rowR[u])
+	s.B = append(s.B, u)
+	s.node(ca2, cb2)
+	s.B = s.B[:len(s.B)-1]
+	s.poolL.Put(ca2)
+	s.poolR.Put(cb2)
+	if !s.found {
+		s.node(CA, CB)
+	}
+}
+
+// install completes the witness with need vertices from CB.
+func (s *abSolver) install(CA, CB *bitset.Set, a, need int) {
+	s.witA = append([]int(nil), s.A[:s.ta]...)
+	s.witB = append([]int(nil), s.B...)
+	for v := CB.First(); need > 0; v = CB.NextAfter(v) {
+		s.witB = append(s.witB, v)
+		need--
+	}
+	s.found = true
+}
+
+func (s *abSolver) installA(CA *bitset.Set, need int) {
+	s.witB = append([]int(nil), s.B[:s.tb]...)
+	s.witA = append([]int(nil), s.A...)
+	for v := CA.First(); need > 0; v = CA.NextAfter(v) {
+		s.witA = append(s.witA, v)
+		need--
+	}
+	s.found = true
+}

@@ -1,0 +1,187 @@
+package dense_test
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/core"
+	"repro/internal/dense"
+)
+
+func randMatrix(rng *rand.Rand, maxSide int, p float64) *dense.Matrix {
+	nl, nr := 1+rng.Intn(maxSide), 1+rng.Intn(maxSide)
+	m := dense.NewMatrix(nl, nr)
+	for l := 0; l < nl; l++ {
+		for r := 0; r < nr; r++ {
+			if rng.Float64() < p {
+				m.AddEdge(l, r)
+			}
+		}
+	}
+	return m
+}
+
+// bruteMaxEdge maximises |A|·|common(A)| over all nonempty A ⊆ L.
+func bruteMaxEdge(m *dense.Matrix) int {
+	best := 0
+	for mask := uint64(1); mask < 1<<uint(m.NL()); mask++ {
+		var a []int
+		for i := 0; i < m.NL(); i++ {
+			if mask&(1<<uint(i)) != 0 {
+				a = append(a, i)
+			}
+		}
+		common := 0
+		for r := 0; r < m.NR(); r++ {
+			ok := true
+			for _, l := range a {
+				if !m.HasEdge(l, r) {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				common++
+			}
+		}
+		if e := len(a) * common; e > best {
+			best = e
+		}
+	}
+	return best
+}
+
+func TestSolveMaxEdgeKnown(t *testing.T) {
+	// 3x3 complete + a pendant row: optimum is the 3x3 block (9 edges).
+	m := dense.NewMatrix(4, 3)
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 3; j++ {
+			m.AddEdge(i, j)
+		}
+	}
+	m.AddEdge(3, 0)
+	res := dense.SolveMaxEdge(m, nil)
+	// A 4x1 biclique has 4 edges; 3x3 has 9.
+	if res.Edges != 9 {
+		t.Fatalf("edges = %d, want 9", res.Edges)
+	}
+	if len(res.A)*len(res.B) != 9 {
+		t.Fatalf("witness %vx%v inconsistent", res.A, res.B)
+	}
+}
+
+func TestSolveMaxEdgeEmpty(t *testing.T) {
+	res := dense.SolveMaxEdge(dense.NewMatrix(3, 3), nil)
+	if res.Edges != 0 {
+		t.Fatalf("edges = %d on empty graph", res.Edges)
+	}
+}
+
+func TestQuickMaxEdgeMatchesBrute(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := randMatrix(rng, 10, 0.15+0.7*rng.Float64())
+		res := dense.SolveMaxEdge(m, nil)
+		want := bruteMaxEdge(m)
+		if res.Edges != want {
+			t.Logf("got %d want %d (%dx%d)", res.Edges, want, m.NL(), m.NR())
+			return false
+		}
+		// Witness validity.
+		for _, l := range res.A {
+			for _, r := range res.B {
+				if !m.HasEdge(l, r) {
+					return false
+				}
+			}
+		}
+		return len(res.A)*len(res.B) == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 70}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSolveMaxEdgeBudget(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	m := randMatrix(rng, 30, 0.5)
+	res := dense.SolveMaxEdge(m, &core.Budget{MaxNodes: 1})
+	if !res.Stats.TimedOut {
+		t.Fatal("expected timeout flag")
+	}
+}
+
+// bruteHasAB checks the (a,b) decision by subset enumeration.
+func bruteHasAB(m *dense.Matrix, a, b int) bool {
+	for mask := uint64(1); mask < 1<<uint(m.NL()); mask++ {
+		var s []int
+		for i := 0; i < m.NL(); i++ {
+			if mask&(1<<uint(i)) != 0 {
+				s = append(s, i)
+			}
+		}
+		if len(s) < a {
+			continue
+		}
+		common := 0
+		for r := 0; r < m.NR(); r++ {
+			ok := true
+			for _, l := range s {
+				if !m.HasEdge(l, r) {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				common++
+			}
+		}
+		if common >= b {
+			return true
+		}
+	}
+	return false
+}
+
+func TestQuickSizeConstrained(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := randMatrix(rng, 9, 0.2+0.6*rng.Float64())
+		a := 1 + rng.Intn(4)
+		b := 1 + rng.Intn(4)
+		got, wa, wb := dense.HasSizeConstrained(m, a, b, nil)
+		want := bruteHasAB(m, a, b)
+		if got != want {
+			t.Logf("(%d,%d): got %v want %v on %dx%d", a, b, got, want, m.NL(), m.NR())
+			return false
+		}
+		if got {
+			if len(wa) < a || len(wb) < b {
+				t.Logf("witness too small: %v %v", wa, wb)
+				return false
+			}
+			for _, l := range wa {
+				for _, r := range wb {
+					if !m.HasEdge(l, r) {
+						t.Log("witness not a biclique")
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSizeConstrainedPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for non-positive target")
+		}
+	}()
+	dense.HasSizeConstrained(dense.NewMatrix(2, 2), 0, 1, nil)
+}

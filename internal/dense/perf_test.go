@@ -1,0 +1,40 @@
+package dense_test
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/dense"
+)
+
+func randDense(n int, dens float64, seed int64) *dense.Matrix {
+	rng := rand.New(rand.NewSource(seed))
+	m := dense.NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if rng.Float64() < dens {
+				m.AddEdge(i, j)
+			}
+		}
+	}
+	return m
+}
+
+func TestPerfSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("perf smoke")
+	}
+	for _, cfg := range []struct {
+		n    int
+		dens float64
+	}{{24, 0.7}, {32, 0.7}, {48, 0.7}, {48, 0.9}} {
+		m := randDense(cfg.n, cfg.dens, 42)
+		start := time.Now()
+		b := core.NewTimeBudget(5 * time.Second)
+		res := dense.Solve(m, dense.Options{Mode: dense.ModeDense, Budget: b})
+		t.Logf("n=%d dens=%.2f: size=%d nodes=%d poly=%d red=%d timeout=%v in %v",
+			cfg.n, cfg.dens, res.Size, res.Stats.Nodes, res.Stats.PolyCases, res.Stats.Reductions, res.Stats.TimedOut, time.Since(start))
+	}
+}

@@ -1,0 +1,471 @@
+package dense
+
+import "repro/internal/bitset"
+
+// This file implements dynamicMBB (Algorithm 2), the polynomial-time MBB
+// solver for candidate subgraphs satisfying Lemma 3: every candidate
+// vertex misses at most two neighbours on the opposite candidate side.
+//
+// In that regime the bipartite complement of the candidate subgraph has
+// maximum degree ≤ 2, i.e. it is a disjoint union of paths, cycles and
+// isolated vertices (Observation 1). Choosing a biclique (A' ⊆ CA,
+// B' ⊆ CB) is exactly choosing a set with no complement edge between A'
+// and B'; since every complement edge joins the two sides, that is an
+// independent set in the complement. Per component the Pareto frontier of
+// achievable (a, b) = (#left picks, #right picks) profiles has a closed
+// form (the corrected version of the paper's Observation 2, which is
+// garbled in the arXiv text; see frontierClosed and the package tests
+// that validate it against an explicit DP). The components are then
+// combined with an array knapsack — the dense form of Algorithm 2's
+// stamped table.
+//
+// dynamicMBB runs in two passes: a fast allocation-light pass that only
+// computes the optimal size, and, only when that size beats the
+// incumbent, a reconstruction pass (per-component independent-set DP with
+// backtracking) that materialises a witness.
+
+type component struct {
+	seq   []int // node encodings in path order (for cycles, cyclic order)
+	cycle bool
+	// frontier[a] = max #right picks over independent sets with exactly a
+	// left picks; -1 if no such set.
+	frontier []int
+}
+
+// frontierClosed fills c.frontier from the closed forms. With countL and
+// countR the side sizes of the component:
+//
+//	LR-ended path (countL == countR == k):   fr[a] = k − a
+//	LL-ended path (countL == k+1, countR=k): fr[0] = k, fr[a] = k−a, fr[k+1] = 0
+//	RR-ended path (countL == k, countR=k+1): fr[0] = k+1, fr[a] = k−a
+//	cycle (countL == countR == k):           fr[0] = k, fr[a] = max(k−1−a, 0)
+//
+// Intuition: picks must be pairwise non-adjacent along the component; a
+// maximal arrangement packs all left picks consecutively and then all
+// right picks, and switching sides once costs one extra position (twice
+// on a cycle).
+func (c *component) frontierClosed(nl int) {
+	countL := 0
+	for _, enc := range c.seq {
+		if enc < nl {
+			countL++
+		}
+	}
+	countR := len(c.seq) - countL
+	c.frontier = make([]int, countL+1)
+	switch {
+	case c.cycle:
+		k := countL // == countR on a cycle
+		c.frontier[0] = k
+		for a := 1; a <= k; a++ {
+			if b := k - 1 - a; b > 0 {
+				c.frontier[a] = b
+			}
+		}
+	case countL == countR:
+		for a := 0; a <= countL; a++ {
+			c.frontier[a] = countL - a
+		}
+	case countL > countR: // LL-ended path
+		k := countR
+		c.frontier[0] = k
+		for a := 1; a <= k; a++ {
+			c.frontier[a] = k - a
+		}
+		c.frontier[k+1] = 0
+	default: // RR-ended path
+		k := countL
+		c.frontier[0] = k + 1
+		for a := 1; a <= k; a++ {
+			c.frontier[a] = k - a
+		}
+	}
+}
+
+const (
+	firstFree = iota
+	firstForceSkip
+	firstForceTake
+)
+
+// pathDP runs the independent-set DP over seq with the given constraint
+// on the first node and optionally forbidding taking the last node. It
+// returns the full per-position table for backtracking:
+// f[pos][a][c] = max right picks using seq[:pos] with a left picks and
+// c=1 iff seq[pos-1] taken; -1 marks unreachable states. Used only for
+// witness reconstruction and as the test oracle for frontierClosed.
+func pathDP(seq []int, nl, countL, firstMode int, lastNoTake bool) [][][2]int {
+	m := len(seq)
+	f := make([][][2]int, m+1)
+	for p := range f {
+		f[p] = make([][2]int, countL+1)
+		for a := range f[p] {
+			f[p][a] = [2]int{-1, -1}
+		}
+	}
+	f[0][0][0] = 0
+	for p, enc := range seq {
+		isL := enc < nl
+		for a := 0; a <= countL; a++ {
+			for c := 0; c < 2; c++ {
+				v := f[p][a][c]
+				if v < 0 {
+					continue
+				}
+				// Skip seq[p].
+				if !(p == 0 && firstMode == firstForceTake) {
+					if v > f[p+1][a][0] {
+						f[p+1][a][0] = v
+					}
+				}
+				// Take seq[p]: previous must not be taken.
+				if c == 1 || (p == 0 && firstMode == firstForceSkip) {
+					continue
+				}
+				if lastNoTake && p == m-1 {
+					continue
+				}
+				if isL {
+					if a+1 <= countL && v > f[p+1][a+1][1] {
+						f[p+1][a+1][1] = v
+					}
+				} else {
+					if v+1 > f[p+1][a][1] {
+						f[p+1][a][1] = v + 1
+					}
+				}
+			}
+		}
+	}
+	return f
+}
+
+// frontierDP computes the frontier by explicit DP; the tests check it
+// agrees with frontierClosed on every component shape.
+func (c *component) frontierDP(nl int) []int {
+	countL := 0
+	for _, enc := range c.seq {
+		if enc < nl {
+			countL++
+		}
+	}
+	fr := make([]int, countL+1)
+	for a := range fr {
+		fr[a] = -1
+	}
+	merge := func(f [][][2]int) {
+		last := f[len(c.seq)]
+		for a := 0; a <= countL; a++ {
+			for cc := 0; cc < 2; cc++ {
+				if v := last[a][cc]; v > fr[a] {
+					fr[a] = v
+				}
+			}
+		}
+	}
+	if !c.cycle {
+		merge(pathDP(c.seq, nl, countL, firstFree, false))
+		return fr
+	}
+	merge(pathDP(c.seq, nl, countL, firstForceSkip, false))
+	merge(pathDP(c.seq, nl, countL, firstForceTake, true))
+	return fr
+}
+
+// backtrack extracts a chosen node set achieving (a, ≥b) from a pathDP
+// table. It returns nil if not achievable in this table.
+func backtrack(f [][][2]int, seq []int, nl, a, b int) []int {
+	m := len(seq)
+	c := -1
+	for cc := 0; cc < 2; cc++ {
+		if f[m][a][cc] >= b {
+			c = cc
+			b = f[m][a][c]
+			break
+		}
+	}
+	if c < 0 {
+		return nil
+	}
+	var chosen []int
+	for p := m; p > 0; p-- {
+		enc := seq[p-1]
+		isL := enc < nl
+		if c == 1 {
+			chosen = append(chosen, enc)
+			pa, pb := a, b
+			if isL {
+				pa--
+			} else {
+				pb--
+			}
+			if f[p-1][pa][0] >= pb {
+				a, b, c = pa, pb, 0
+				continue
+			}
+			return nil // inconsistent table (unreachable)
+		}
+		if f[p-1][a][0] >= b {
+			c = 0
+			continue
+		}
+		if f[p-1][a][1] >= b {
+			c = 1
+			continue
+		}
+		return nil
+	}
+	return chosen
+}
+
+// pick reconstructs a chosen node set achieving (a, frontier[a]).
+func (c *component) pick(nl, a int) []int {
+	countL := 0
+	for _, enc := range c.seq {
+		if enc < nl {
+			countL++
+		}
+	}
+	b := c.frontier[a]
+	if b < 0 {
+		return nil
+	}
+	if !c.cycle {
+		return backtrack(pathDP(c.seq, nl, countL, firstFree, false), c.seq, nl, a, b)
+	}
+	if got := backtrack(pathDP(c.seq, nl, countL, firstForceSkip, false), c.seq, nl, a, b); got != nil {
+		return got
+	}
+	return backtrack(pathDP(c.seq, nl, countL, firstForceTake, true), c.seq, nl, a, b)
+}
+
+// decompose builds the complement components of the candidate subgraph.
+// It returns the components plus the trivial (complement-isolated) nodes
+// of each side, all in node encodings: left candidate i (position in
+// caList) is i, right candidate j is nl+j.
+func (s *solver) decompose(CA, CB *bitset.Set, caList, cbList []int) (comps []*component, trivialL, trivialR []int) {
+	nl, nr := len(caList), len(cbList)
+	if cap(s.posR) < s.m.nr {
+		s.posR = make([]int32, s.m.nr)
+	}
+	for j, r := range cbList {
+		s.posR[r] = int32(j)
+	}
+	adj := make([][2]int32, nl+nr) // complement degree ≤ 2 per node
+	deg := make([]int8, nl+nr)
+	miss := s.poolR.Get()
+	for i, u := range caList {
+		miss.CopyFrom(CB)
+		miss.AndNot(s.m.rowL[u])
+		miss.ForEach(func(r int) bool {
+			j := int(s.posR[r])
+			adj[i][deg[i]] = int32(nl + j)
+			deg[i]++
+			adj[nl+j][deg[nl+j]] = int32(i)
+			deg[nl+j]++
+			return true
+		})
+	}
+	s.poolR.Put(miss)
+
+	visited := make([]bool, nl+nr)
+	walk := func(start int) *component {
+		c := &component{}
+		prev := -1
+		cur := start
+		for {
+			visited[cur] = true
+			c.seq = append(c.seq, cur)
+			next := -1
+			for k := int8(0); k < deg[cur]; k++ {
+				w := int(adj[cur][k])
+				if w != prev && !visited[w] {
+					next = w
+					break
+				}
+			}
+			if next == -1 {
+				for k := int8(0); k < deg[cur]; k++ {
+					if int(adj[cur][k]) == start && len(c.seq) > 2 {
+						c.cycle = true
+					}
+				}
+				return c
+			}
+			prev, cur = cur, next
+		}
+	}
+	for enc := 0; enc < nl+nr; enc++ {
+		if deg[enc] == 0 {
+			if enc < nl {
+				trivialL = append(trivialL, enc)
+			} else {
+				trivialR = append(trivialR, enc)
+			}
+			visited[enc] = true
+		}
+	}
+	for enc := 0; enc < nl+nr; enc++ {
+		if !visited[enc] && deg[enc] == 1 {
+			comps = append(comps, walk(enc))
+		}
+	}
+	for enc := 0; enc < nl+nr; enc++ {
+		if !visited[enc] {
+			comps = append(comps, walk(enc))
+		}
+	}
+	return comps, trivialL, trivialR
+}
+
+// dynamicMBB solves the current subproblem exactly in polynomial time and
+// updates the incumbent if it finds a strictly larger balanced biclique.
+// Precondition: every vertex of CA misses ≤ 2 vertices of CB and vice
+// versa (checked by the caller via pickBranch).
+func (s *solver) dynamicMBB(CA, CB *bitset.Set) {
+	caList := s.caScratch[:0]
+	caList = CA.AppendTo(caList)
+	s.caScratch = caList
+	cbList := s.cbScratch[:0]
+	cbList = CB.AppendTo(cbList)
+	s.cbScratch = cbList
+	nl := len(caList)
+
+	comps, trivialL, trivialR := s.decompose(CA, CB, caList, cbList)
+	for _, c := range comps {
+		c.frontierClosed(nl)
+	}
+
+	// Fast size pass: array knapsack over component frontiers.
+	// fb[a] = max total right picks achievable with a total left picks.
+	a0 := len(s.A) + len(trivialL)
+	b0 := len(s.B) + len(trivialR)
+	maxA := a0 + nl
+	if cap(s.fbScratch) < maxA+1 {
+		s.fbScratch = make([]int, maxA+1)
+		s.fbTmp = make([]int, maxA+1)
+	}
+	fb := s.fbScratch[:maxA+1]
+	tmp := s.fbTmp[:maxA+1]
+	for i := range fb {
+		fb[i] = -1
+	}
+	fb[a0] = b0
+	hi := a0 // highest reachable a so far
+	for _, c := range comps {
+		for i := range tmp {
+			tmp[i] = -1
+		}
+		for a := a0; a <= hi; a++ {
+			base := fb[a]
+			if base < 0 {
+				continue
+			}
+			for x, y := range c.frontier {
+				if y < 0 {
+					continue
+				}
+				if v := base + y; v > tmp[a+x] {
+					tmp[a+x] = v
+				}
+			}
+		}
+		hi += len(c.frontier) - 1
+		if hi > maxA {
+			hi = maxA
+		}
+		copy(fb, tmp)
+	}
+	bestMin, bestA := s.bestSize, -1
+	for a := a0; a <= hi; a++ {
+		if fb[a] < 0 {
+			continue
+		}
+		if m := minInt(a, fb[a]); m > bestMin {
+			bestMin, bestA = m, a
+		}
+	}
+	if bestA < 0 {
+		return // nothing better than the incumbent here
+	}
+
+	// Reconstruction pass (rare): re-run the knapsack stage by stage,
+	// then walk backwards choosing a consistent per-component profile.
+	s.reconstruct(comps, caList, cbList, trivialL, trivialR, a0, b0, bestA, bestMin)
+}
+
+// reconstruct materialises a witness achieving min(a,b) == bestMin with
+// total left picks targetA, and installs it as the incumbent.
+func (s *solver) reconstruct(comps []*component, caList, cbList, trivialL, trivialR []int, a0, b0, targetA, bestMin int) {
+	nl := len(caList)
+	// stage[p][a] = max right picks after combining comps[:p].
+	stages := make([][]int, len(comps)+1)
+	maxA := a0 + nl
+	mk := func() []int {
+		v := make([]int, maxA+1)
+		for i := range v {
+			v[i] = -1
+		}
+		return v
+	}
+	stages[0] = mk()
+	stages[0][a0] = b0
+	for p, c := range comps {
+		nxt := mk()
+		for a := a0; a <= maxA; a++ {
+			base := stages[p][a]
+			if base < 0 {
+				continue
+			}
+			for x, y := range c.frontier {
+				if y < 0 || a+x > maxA {
+					continue
+				}
+				if v := base + y; v > nxt[a+x] {
+					nxt[a+x] = v
+				}
+			}
+		}
+		stages[p+1] = nxt
+	}
+
+	chosenA := append([]int(nil), s.A...)
+	chosenB := append([]int(nil), s.B...)
+	for _, enc := range trivialL {
+		chosenA = append(chosenA, caList[enc])
+	}
+	for _, enc := range trivialR {
+		chosenB = append(chosenB, cbList[enc-nl])
+	}
+	a, b := targetA, stages[len(comps)][targetA]
+	for p := len(comps); p >= 1; p-- {
+		c := comps[p-1]
+		found := false
+		for x, y := range c.frontier {
+			if y < 0 || a-x < a0 {
+				continue
+			}
+			if prev := stages[p-1][a-x]; prev >= 0 && prev+y >= b {
+				if x > 0 || y > 0 {
+					for _, enc := range c.pick(nl, x) {
+						if enc < nl {
+							chosenA = append(chosenA, caList[enc])
+						} else {
+							chosenB = append(chosenB, cbList[enc-nl])
+						}
+					}
+				}
+				a, b = a-x, minInt(prev, b-y)
+				found = true
+				break
+			}
+		}
+		if !found {
+			return // unreachable for a consistent table
+		}
+	}
+
+	s.bestSize = bestMin
+	s.bestA = append(s.bestA[:0], chosenA[:bestMin]...)
+	s.bestB = append(s.bestB[:0], chosenB[:bestMin]...)
+}

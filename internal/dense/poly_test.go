@@ -1,0 +1,119 @@
+package dense
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestFrontierClosedMatchesDP validates the closed-form (a, b) Pareto
+// frontiers (the corrected Observation 2) against the explicit
+// independent-set DP for every path/cycle shape up to 24 nodes and both
+// starting sides.
+func TestFrontierClosedMatchesDP(t *testing.T) {
+	for m := 2; m <= 24; m++ {
+		for _, startLeft := range []bool{true, false} {
+			// Build the encoded alternating sequence. Encodings only need
+			// to distinguish sides: use nl as the side threshold with
+			// left nodes < nl.
+			nl := m // generous: left encodings 0..nl-1, right nl..
+			seq := make([]int, m)
+			li, ri := 0, 0
+			for p := 0; p < m; p++ {
+				isL := (p%2 == 0) == startLeft
+				if isL {
+					seq[p] = li
+					li++
+				} else {
+					seq[p] = nl + ri
+					ri++
+				}
+			}
+			shapes := []bool{false}
+			if m >= 4 && m%2 == 0 {
+				shapes = append(shapes, true) // cycles are even-length
+			}
+			for _, cyc := range shapes {
+				c := &component{seq: seq, cycle: cyc}
+				c.frontierClosed(nl)
+				want := c.frontierDP(nl)
+				if len(want) != len(c.frontier) {
+					t.Fatalf("m=%d startLeft=%v cyc=%v: len %d vs %d", m, startLeft, cyc, len(c.frontier), len(want))
+				}
+				for a := range want {
+					if c.frontier[a] != want[a] {
+						t.Fatalf("m=%d startLeft=%v cyc=%v: frontier[%d] = %d, DP = %d (closed=%v dp=%v)",
+							m, startLeft, cyc, a, c.frontier[a], want[a], c.frontier, want)
+					}
+				}
+				// Every frontier point must be realisable by pick.
+				for a := range c.frontier {
+					if c.frontier[a] < 0 {
+						continue
+					}
+					chosen := c.pick(nl, a)
+					gotA, gotB := 0, 0
+					for _, enc := range chosen {
+						if enc < nl {
+							gotA++
+						} else {
+							gotB++
+						}
+					}
+					if gotA != a || gotB < c.frontier[a] {
+						t.Fatalf("m=%d cyc=%v pick(%d): got (%d,%d), want (%d,>=%d)",
+							m, cyc, a, gotA, gotB, a, c.frontier[a])
+					}
+					// Independence check.
+					pos := map[int]int{}
+					for p, enc := range seq {
+						pos[enc] = p
+					}
+					for _, x := range chosen {
+						for _, y := range chosen {
+							if x == y {
+								continue
+							}
+							d := pos[x] - pos[y]
+							if d < 0 {
+								d = -d
+							}
+							if d == 1 || (cyc && d == m-1) {
+								t.Fatalf("m=%d cyc=%v pick(%d): adjacent picks", m, cyc, a)
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestFrontierRandomComponents fuzzes longer random components.
+func TestFrontierRandomComponents(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 50; trial++ {
+		m := 2 + rng.Intn(40)
+		startLeft := rng.Intn(2) == 0
+		cyc := m >= 4 && m%2 == 0 && rng.Intn(2) == 0
+		nl := m
+		seq := make([]int, m)
+		li, ri := 0, 0
+		for p := 0; p < m; p++ {
+			if (p%2 == 0) == startLeft {
+				seq[p] = li
+				li++
+			} else {
+				seq[p] = nl + ri
+				ri++
+			}
+		}
+		c := &component{seq: seq, cycle: cyc}
+		c.frontierClosed(nl)
+		want := c.frontierDP(nl)
+		for a := range want {
+			if c.frontier[a] != want[a] {
+				t.Fatalf("m=%d cyc=%v: frontier[%d]=%d, DP=%d", m, cyc, a, c.frontier[a], want[a])
+			}
+		}
+	}
+}

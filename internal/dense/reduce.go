@@ -1,0 +1,57 @@
+package dense
+
+import "repro/internal/bitset"
+
+// reduce applies the paper's two reduction rules (Lemmas 1 and 2) to the
+// candidate sets until a fixed point:
+//
+//   - All-connection rule (Lemma 1): a candidate adjacent to every vertex
+//     of the opposite candidate set is promoted into the partial solution.
+//     Promotion is safe because any biclique extending (A, B) inside the
+//     candidate subgraph remains a biclique after adding the promoted
+//     vertex, and a larger side never hurts a balanced result (the final
+//     answer is trimmed).
+//
+//   - Low-degree rule (Lemma 2, tightened): u ∈ CA is dropped as soon as
+//     |B| + deg(u, CB) ≤ best. If u belonged to a balanced biclique of
+//     size ≥ best+1 inside this subproblem, its right side — contained in
+//     B ∪ (CB ∩ N(u)) — would have at least best+1 vertices.
+//
+// reduce mutates CA/CB and appends promoted vertices to s.A/s.B; node's
+// epilogue restores the partial sets.
+func (s *solver) reduce(CA, CB *bitset.Set) {
+	for {
+		changed := false
+		cb := CB.Count()
+		for u := CA.First(); u != -1; u = CA.NextAfter(u) {
+			deg := s.m.rowL[u].AndCount(CB)
+			if len(s.B)+deg <= s.bestSize {
+				CA.Remove(u)
+				s.stats.Reductions++
+				changed = true
+			} else if deg == cb && cb > 0 {
+				CA.Remove(u)
+				s.A = append(s.A, u)
+				s.stats.Reductions++
+				changed = true
+			}
+		}
+		ca := CA.Count()
+		for v := CB.First(); v != -1; v = CB.NextAfter(v) {
+			deg := s.m.rowR[v].AndCount(CA)
+			if len(s.A)+deg <= s.bestSize {
+				CB.Remove(v)
+				s.stats.Reductions++
+				changed = true
+			} else if deg == ca && ca > 0 {
+				CB.Remove(v)
+				s.B = append(s.B, v)
+				s.stats.Reductions++
+				changed = true
+			}
+		}
+		if !changed {
+			return
+		}
+	}
+}

@@ -1,0 +1,475 @@
+package dense
+
+import (
+	"math/bits"
+
+	"repro/internal/bitset"
+	"repro/internal/core"
+)
+
+// Mode selects the search algorithm.
+type Mode int
+
+const (
+	// ModeBasic is Algorithm 1: plain branch and bound with the simple
+	// bounding condition and alternating-side expansion.
+	ModeBasic Mode = iota
+	// ModeDense is Algorithm 3 (denseMBB): Lemma 1/2 reductions, the
+	// polynomially solvable case of Lemma 3 solved by dynamicMBB, and
+	// triviality-last branching at a vertex missing ≥ 3 neighbours.
+	ModeDense
+)
+
+// Options configures a solve over a Matrix.
+type Options struct {
+	Mode   Mode
+	Budget *core.Budget // nil means unlimited
+
+	// Lower is the incumbent balanced size: only bicliques of balanced
+	// size strictly greater than Lower are searched for and reported.
+	Lower int
+
+	// FixedA forces the given left indices into the partial solution A.
+	// Candidate right vertices are restricted to their common neighbours.
+	// Used by the sparse framework to anchor the search at the centre
+	// vertex of a vertex-centred subgraph.
+	FixedA []int
+
+	// CandA/CandB restrict the candidate sets to the given indices. Nil
+	// means the whole side.
+	CandA, CandB []int
+
+	// Ablation switches (benchmarking the design choices documented in
+	// DESIGN.md §3; production callers leave them false).
+	DisableProfileBound  bool // drop the degree-profile bound
+	DisableMatchingBound bool // drop the complement-matching bound
+	DisableGreedySeed    bool // start with an empty incumbent
+}
+
+// Result of a dense solve. A and B are matrix-local indices; Found is true
+// only if a balanced biclique strictly larger than Options.Lower exists
+// (or was found before the budget ran out).
+type Result struct {
+	Found bool
+	A, B  []int
+	Size  int // balanced per-side size, == len(A) == len(B) when Found
+	Stats core.Stats
+}
+
+// Solve runs the configured algorithm to completion (or budget
+// exhaustion) and returns the best balanced biclique strictly larger than
+// Options.Lower, if any.
+func Solve(m *Matrix, opt Options) Result {
+	s := &solver{
+		m:        m,
+		mode:     opt.Mode,
+		budget:   opt.Budget,
+		bestSize: opt.Lower,
+		poolL:    bitset.NewPool(m.nl),
+		poolR:    bitset.NewPool(m.nr),
+
+		noProfileBound:  opt.DisableProfileBound,
+		noMatchingBound: opt.DisableMatchingBound,
+	}
+
+	CA := bitset.New(m.nl)
+	if opt.CandA == nil {
+		CA.FillAll()
+	} else {
+		for _, v := range opt.CandA {
+			CA.Add(v)
+		}
+	}
+	CB := bitset.New(m.nr)
+	if opt.CandB == nil {
+		CB.FillAll()
+	} else {
+		for _, v := range opt.CandB {
+			CB.Add(v)
+		}
+	}
+	for _, u := range opt.FixedA {
+		s.A = append(s.A, u)
+		CA.Remove(u)
+		CB.And(m.rowL[u])
+	}
+
+	if opt.Mode == ModeDense && !opt.DisableGreedySeed {
+		s.greedySeed(CA, CB)
+	}
+	s.node(CA, CB)
+
+	res := Result{Stats: s.stats}
+	res.Stats.SumSearchDepth = int64(s.maxDepth)
+	res.Stats.SearchSamples = 1
+	res.Stats.TimedOut = s.timedOut
+	if s.bestSize > opt.Lower {
+		res.Found = true
+		res.Size = s.bestSize
+		res.A, res.B = s.bestA, s.bestB
+	}
+	return res
+}
+
+type solver struct {
+	m      *Matrix
+	mode   Mode
+	budget *core.Budget
+	stats  core.Stats
+
+	poolL, poolR *bitset.Pool
+	A, B         []int // current partial biclique (matrix-local indices)
+
+	bestSize     int
+	bestA, bestB []int
+
+	// sufA[x] = number of CA vertices with ≥ x neighbours in CB at the
+	// current node (filled by pickBranch); sufB is symmetric. Backing for
+	// the degree-profile bound.
+	sufA, sufB []int
+
+	// Scratch buffers for dynamicMBB (allocation-free fast path).
+	caScratch, cbScratch []int
+	fbScratch, fbTmp     []int
+	posR                 []int32
+	matchScratch         *bitset.Set
+
+	noProfileBound, noMatchingBound bool
+
+	depth, maxDepth int
+	timedOut        bool
+}
+
+// profileBound returns the largest target size t consistent with the
+// candidate degree profiles: a balanced biclique of size t through this
+// node needs ≥ t−|A| vertices of CA with ≥ t−|B| neighbours in CB and
+// ≥ t−|B| vertices of CB with ≥ t−|A| neighbours in CA. Feasibility is
+// monotone in t, so the maximum is found by binary search. This is the
+// whole-subproblem generalisation of the Lemma 2 per-vertex rule.
+func (s *solver) profileBound(a, b, ca, cb int) int {
+	lo, hi := 0, minInt(a+ca, b+cb)
+	feasible := func(t int) bool {
+		na, nb := t-a, t-b
+		if na < 0 {
+			na = 0
+		}
+		if nb < 0 {
+			nb = 0
+		}
+		xa, xb := t-b, t-a
+		if xa < 0 {
+			xa = 0
+		}
+		if xb < 0 {
+			xb = 0
+		}
+		return s.sufA[xa] >= na && s.sufB[xb] >= nb
+	}
+	for lo < hi {
+		mid := (lo + hi + 1) / 2
+		if feasible(mid) {
+			lo = mid
+		} else {
+			hi = mid - 1
+		}
+	}
+	return lo
+}
+
+// node owns CA and CB: it may mutate them freely and the caller must not
+// reuse them afterwards.
+func (s *solver) node(CA, CB *bitset.Set) {
+	if !s.budget.Spend() {
+		s.timedOut = true
+		return
+	}
+	s.stats.Nodes++
+	s.depth++
+	if s.depth > s.maxDepth {
+		s.maxDepth = s.depth
+	}
+	baseA, baseB := len(s.A), len(s.B)
+	defer func() {
+		s.depth--
+		s.A = s.A[:baseA]
+		s.B = s.B[:baseB]
+	}()
+
+	if s.mode == ModeDense {
+		s.reduce(CA, CB)
+	}
+
+	a, b := len(s.A), len(s.B)
+	ca, cb := CA.Count(), CB.Count()
+	s.updateOneSided(CB, a, b, cb)
+	s.updateOneSidedR(CA, a, b, ca)
+
+	// Bounding condition (Algorithm 1 line 1 / Algorithm 3 lines 1, 3).
+	if ub := minInt(a+ca, b+cb); ub <= s.bestSize {
+		return
+	}
+	if ca == 0 || cb == 0 {
+		return // terminal: one-sided extension already evaluated
+	}
+
+	if s.mode == ModeDense {
+		u, onLeft, maxMiss := s.pickBranch(CA, CB, ca, cb)
+		// Degree-profile bound: prune unless some target t > best is
+		// consistent with the candidate degree distributions.
+		if !s.noProfileBound && s.profileBound(a, b, ca, cb) <= s.bestSize {
+			return
+		}
+		// Complement-matching bound (König-style): every matching edge of
+		// the complement candidate graph forces at least one exclusion.
+		if !s.noMatchingBound && s.matchingBound(CA, CB, a, b, ca, cb) <= s.bestSize {
+			return
+		}
+		if maxMiss <= 2 {
+			// Lemma 3: the candidate subgraph is polynomially solvable.
+			s.stats.PolyCases++
+			s.dynamicMBB(CA, CB)
+			return
+		}
+		s.branch(u, onLeft, CA, CB)
+		return
+	}
+
+	// ModeBasic: expand the smaller side to keep the enumeration
+	// near-balanced (the role-swap of Algorithm 1).
+	if a <= b {
+		s.branch(CA.First(), true, CA, CB)
+	} else {
+		s.branch(CB.First(), false, CA, CB)
+	}
+}
+
+// branch explores the include/exclude subtrees for vertex u (a left index
+// if onLeft, else a right index).
+//
+// In ModeDense the exclude branch is explored first: the branch vertex is
+// the one missing the most neighbours — the least likely member of a
+// large biclique — so excluding it is the "triviality last" move that
+// steers the first descent towards the dense, polynomially solvable core
+// and picks up a strong incumbent immediately. ModeBasic keeps Algorithm
+// 1's include-first order.
+func (s *solver) branch(u int, onLeft bool, CA, CB *bitset.Set) {
+	excludeFirst := s.mode == ModeDense
+	if onLeft {
+		CA.Remove(u)
+		if excludeFirst {
+			ca2, cb2 := s.poolL.GetCopy(CA), s.poolR.GetCopy(CB)
+			s.node(ca2, cb2)
+			s.poolL.Put(ca2)
+			s.poolR.Put(cb2)
+			CB.And(s.m.rowL[u])
+			s.A = append(s.A, u)
+			s.node(CA, CB)
+			s.A = s.A[:len(s.A)-1]
+			return
+		}
+		// Include u: A ← A∪{u}, CB ← CB ∩ N(u).
+		ca2 := s.poolL.GetCopy(CA)
+		cb2 := s.poolR.GetCopy(CB)
+		cb2.And(s.m.rowL[u])
+		s.A = append(s.A, u)
+		s.node(ca2, cb2)
+		s.A = s.A[:len(s.A)-1]
+		s.poolL.Put(ca2)
+		s.poolR.Put(cb2)
+		// Exclude u.
+		s.node(CA, CB)
+		return
+	}
+	CB.Remove(u)
+	if excludeFirst {
+		ca2, cb2 := s.poolL.GetCopy(CA), s.poolR.GetCopy(CB)
+		s.node(ca2, cb2)
+		s.poolL.Put(ca2)
+		s.poolR.Put(cb2)
+		CA.And(s.m.rowR[u])
+		s.B = append(s.B, u)
+		s.node(CA, CB)
+		s.B = s.B[:len(s.B)-1]
+		return
+	}
+	ca2 := s.poolL.GetCopy(CA)
+	ca2.And(s.m.rowR[u])
+	cb2 := s.poolR.GetCopy(CB)
+	s.B = append(s.B, u)
+	s.node(ca2, cb2)
+	s.B = s.B[:len(s.B)-1]
+	s.poolL.Put(ca2)
+	s.poolR.Put(cb2)
+	s.node(CA, CB)
+}
+
+// pickBranch scans both candidate sides for the vertex missing the most
+// neighbours on the opposite candidate side. If every vertex misses at
+// most 2, the subgraph satisfies Lemma 3. As a side effect it fills the
+// suffix degree counts used by profileBound.
+func (s *solver) pickBranch(CA, CB *bitset.Set, ca, cb int) (u int, onLeft bool, maxMiss int) {
+	if cap(s.sufA) < cb+2 {
+		s.sufA = make([]int, cb+2)
+	}
+	if cap(s.sufB) < ca+2 {
+		s.sufB = make([]int, ca+2)
+	}
+	s.sufA = s.sufA[:cb+2]
+	s.sufB = s.sufB[:ca+2]
+	for i := range s.sufA {
+		s.sufA[i] = 0
+	}
+	for i := range s.sufB {
+		s.sufB[i] = 0
+	}
+
+	u, onLeft, maxMiss = -1, true, -1
+	for v := CA.First(); v != -1; v = CA.NextAfter(v) {
+		deg := s.m.rowL[v].AndCount(CB)
+		s.sufA[deg]++
+		if miss := cb - deg; miss > maxMiss {
+			maxMiss, u, onLeft = miss, v, true
+		}
+	}
+	for v := CB.First(); v != -1; v = CB.NextAfter(v) {
+		deg := s.m.rowR[v].AndCount(CA)
+		s.sufB[deg]++
+		if miss := ca - deg; miss > maxMiss {
+			maxMiss, u, onLeft = miss, v, false
+		}
+	}
+	// Turn histograms into suffix counts: sufX[x] = #vertices with deg ≥ x.
+	for x := cb; x >= 0; x-- {
+		s.sufA[x] += s.sufA[x+1]
+	}
+	for x := ca; x >= 0; x-- {
+		s.sufB[x] += s.sufB[x+1]
+	}
+	return u, onLeft, maxMiss
+}
+
+// updateOneSided records the balanced biclique obtained by extending B
+// with arbitrary vertices of CB (every one of them is adjacent to all of
+// A, so any subset yields a biclique).
+func (s *solver) updateOneSided(CB *bitset.Set, a, b, cb int) {
+	c := minInt(a, b+cb)
+	if c <= s.bestSize {
+		return
+	}
+	s.bestSize = c
+	s.bestA = append(s.bestA[:0], s.A[:c]...)
+	s.bestB = append(s.bestB[:0], s.B...)
+	need := c - b
+	for v := CB.First(); need > 0; v = CB.NextAfter(v) {
+		s.bestB = append(s.bestB, v)
+		need--
+	}
+}
+
+// updateOneSidedR is the mirror image: extend A from CA.
+func (s *solver) updateOneSidedR(CA *bitset.Set, a, b, ca int) {
+	c := minInt(b, a+ca)
+	if c <= s.bestSize {
+		return
+	}
+	s.bestSize = c
+	s.bestB = append(s.bestB[:0], s.B[:c]...)
+	s.bestA = append(s.bestA[:0], s.A...)
+	need := c - a
+	for v := CA.First(); need > 0; v = CA.NextAfter(v) {
+		s.bestA = append(s.bestA, v)
+		need--
+	}
+}
+
+// greedySeed primes the incumbent with a cheap alternating greedy pass:
+// always extend the smaller side with the candidate keeping the most
+// opposite candidates alive. Every intermediate state is evaluated via
+// the one-sided extension rule, so the recorded incumbent is the best
+// balanced biclique along the greedy trajectory. The search that follows
+// starts with strong Lemma 2 reductions and bound prunes from the root.
+func (s *solver) greedySeed(CA0, CB0 *bitset.Set) {
+	CA := s.poolL.GetCopy(CA0)
+	CB := s.poolR.GetCopy(CB0)
+	baseA, baseB := len(s.A), len(s.B)
+	for {
+		a, b := len(s.A), len(s.B)
+		ca, cb := CA.Count(), CB.Count()
+		s.updateOneSided(CB, a, b, cb)
+		s.updateOneSidedR(CA, a, b, ca)
+		if (a <= b && ca == 0) || (a > b && cb == 0) {
+			break
+		}
+		if a <= b {
+			bestU, bestDeg := -1, -1
+			for u := CA.First(); u != -1; u = CA.NextAfter(u) {
+				if d := s.m.rowL[u].AndCount(CB); d > bestDeg {
+					bestU, bestDeg = u, d
+				}
+			}
+			CA.Remove(bestU)
+			CB.And(s.m.rowL[bestU])
+			s.A = append(s.A, bestU)
+		} else {
+			bestV, bestDeg := -1, -1
+			for v := CB.First(); v != -1; v = CB.NextAfter(v) {
+				if d := s.m.rowR[v].AndCount(CA); d > bestDeg {
+					bestV, bestDeg = v, d
+				}
+			}
+			CB.Remove(bestV)
+			CA.And(s.m.rowR[bestV])
+			s.B = append(s.B, bestV)
+		}
+	}
+	s.A = s.A[:baseA]
+	s.B = s.B[:baseB]
+	s.poolL.Put(CA)
+	s.poolR.Put(CB)
+}
+
+// matchingBound returns an upper bound on the balanced size achievable
+// from this node. A biclique extension must pick SA ⊆ CA and SB ⊆ CB with
+// no complement edge between them, so for every edge of any matching M in
+// the complement candidate graph at least one endpoint is discarded:
+// |SA| + |SB| ≤ ca + cb − |M|, hence
+//
+//	t ≤ (a + b + ca + cb − |M|) / 2.
+//
+// Any matching certifies the bound; a greedy maximal matching (first free
+// complement partner per CA vertex) is used for speed.
+func (s *solver) matchingBound(CA, CB *bitset.Set, a, b, ca, cb int) int {
+	if s.matchScratch == nil || s.matchScratch.Cap() != s.m.nr {
+		s.matchScratch = bitset.New(s.m.nr)
+	}
+	free := s.matchScratch
+	free.CopyFrom(CB) // complement partners still unmatched
+	m := 0
+	for u := CA.First(); u != -1; u = CA.NextAfter(u) {
+		// First unmatched CB vertex missing from u's neighbourhood.
+		v := firstAndNot(free, s.m.rowL[u])
+		if v >= 0 {
+			free.Remove(v)
+			m++
+		}
+	}
+	return (a + b + ca + cb - m) / 2
+}
+
+// firstAndNot returns the first bit set in a but not in b, or -1.
+func firstAndNot(a, b *bitset.Set) int {
+	aw, bw := a.Words(), b.Words()
+	for i, w := range aw {
+		if d := w &^ bw[i]; d != 0 {
+			return i*64 + bits.TrailingZeros64(d)
+		}
+	}
+	return -1
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,144 @@
+// Package exp is the experiment harness: it regenerates every table and
+// figure of the paper's evaluation (Section 6) on the synthetic workloads
+// of internal/workload and prints them in the paper's layout. Absolute
+// numbers differ from the paper (different hardware, language and data
+// stand-ins); the harness exists to reproduce the qualitative shape: who
+// wins, by what order of magnitude, and where the crossovers fall.
+package exp
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/bigraph"
+	"repro/internal/core"
+	"repro/internal/decomp"
+	"repro/internal/sparse"
+	"repro/internal/workload"
+)
+
+// Config controls workload scale and per-run budgets. Zero values select
+// the defaults of DefaultConfig.
+type Config struct {
+	W io.Writer
+
+	// Budget is the per-algorithm-run timeout (the paper used 4 hours;
+	// the default here is far smaller so the suite completes quickly).
+	Budget time.Duration
+
+	// MaxVerts caps the generated vertex count of each sparse dataset
+	// stand-in (the documented scale-down).
+	MaxVerts int
+
+	// DenseSizes and DenseDensities define the Table 4 sweep.
+	DenseSizes     []int
+	DenseDensities []float64
+	// DenseInstances is the number of random instances averaged per cell
+	// (the paper used 100).
+	DenseInstances int
+
+	// Datasets restricts Tables 5/6 and the figures to the named
+	// datasets; nil means all (Table 5) / the tough subset (Table 6 and
+	// figures).
+	Datasets []string
+
+	Seed int64
+}
+
+// DefaultConfig returns a configuration sized to finish in a few minutes.
+func DefaultConfig(w io.Writer) Config {
+	return Config{
+		W:              w,
+		Budget:         20 * time.Second,
+		MaxVerts:       30000,
+		DenseSizes:     []int{32, 64, 128},
+		DenseDensities: []float64{0.70, 0.75, 0.80, 0.85, 0.90, 0.95},
+		DenseInstances: 3,
+		Seed:           1,
+	}
+}
+
+func (c *Config) fill() {
+	def := DefaultConfig(c.W)
+	if c.Budget == 0 {
+		c.Budget = def.Budget
+	}
+	if c.MaxVerts == 0 {
+		c.MaxVerts = def.MaxVerts
+	}
+	if len(c.DenseSizes) == 0 {
+		c.DenseSizes = def.DenseSizes
+	}
+	if len(c.DenseDensities) == 0 {
+		c.DenseDensities = def.DenseDensities
+	}
+	if c.DenseInstances == 0 {
+		c.DenseInstances = def.DenseInstances
+	}
+	if c.Seed == 0 {
+		c.Seed = def.Seed
+	}
+}
+
+// selectDatasets resolves the dataset list against a default pool.
+func (c *Config) selectDatasets(pool []workload.Dataset) []workload.Dataset {
+	if len(c.Datasets) == 0 {
+		return pool
+	}
+	var out []workload.Dataset
+	for _, name := range c.Datasets {
+		if d, ok := workload.ByName(name); ok {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// timed runs fn under a fresh budget and returns the elapsed seconds, the
+// result, and whether the budget expired.
+func (c *Config) timed(fn func(b *core.Budget) core.Result) (float64, core.Result, bool) {
+	b := core.NewTimeBudget(c.Budget)
+	start := time.Now()
+	res := fn(b)
+	return time.Since(start).Seconds(), res, res.Stats.TimedOut
+}
+
+// cell formats a timing cell, printing "-" on timeout like the paper.
+func cell(secs float64, timedOut bool) string {
+	if timedOut {
+		return "-"
+	}
+	switch {
+	case secs < 0.01:
+		return fmt.Sprintf("%.4f", secs)
+	case secs < 1:
+		return fmt.Sprintf("%.3f", secs)
+	default:
+		return fmt.Sprintf("%.2f", secs)
+	}
+}
+
+// variantOptions returns the sparse.Options for each Table 3 variant.
+func variantOptions(name string) sparse.Options {
+	switch name {
+	case "hbvMBB":
+		return sparse.DefaultOptions()
+	case "bd1":
+		return sparse.Options{Order: decomp.OrderBidegeneracy, SkipHeuristic: true}
+	case "bd2":
+		return sparse.Options{SkipCoreOpts: true}
+	case "bd3":
+		return sparse.Options{Order: decomp.OrderBidegeneracy, UseBasicBB: true}
+	case "bd4":
+		return sparse.Options{Order: decomp.OrderDegree}
+	case "bd5":
+		return sparse.Options{Order: decomp.OrderDegeneracy}
+	}
+	panic("exp: unknown variant " + name)
+}
+
+// generate builds the seeded stand-in for dataset d.
+func (c *Config) generate(d workload.Dataset) *bigraph.Graph {
+	return d.Generate(c.MaxVerts, c.Seed)
+}

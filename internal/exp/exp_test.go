@@ -1,0 +1,113 @@
+package exp
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+func smallConfig(buf *bytes.Buffer) Config {
+	return Config{
+		W:              buf,
+		Budget:         5 * time.Second,
+		MaxVerts:       2500,
+		DenseSizes:     []int{16, 32},
+		DenseDensities: []float64{0.7, 0.9},
+		DenseInstances: 2,
+		Seed:           1,
+	}
+}
+
+func TestTable4Small(t *testing.T) {
+	var buf bytes.Buffer
+	cfg := smallConfig(&buf)
+	if err := Table4(cfg); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "denseMBB") || !strings.Contains(out, "70%") {
+		t.Fatalf("unexpected output:\n%s", out)
+	}
+	if len(strings.Split(strings.TrimSpace(out), "\n")) < 4 {
+		t.Fatalf("too few rows:\n%s", out)
+	}
+}
+
+func TestTable5Small(t *testing.T) {
+	var buf bytes.Buffer
+	cfg := smallConfig(&buf)
+	cfg.Datasets = []string{"unicodelang", "moreno-crime-crime", "escorts"}
+	if err := Table5(cfg); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"unicodelang", "escorts", "hbvMBB", "adp1"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in output:\n%s", want, out)
+		}
+	}
+}
+
+func TestTable6Small(t *testing.T) {
+	var buf bytes.Buffer
+	cfg := smallConfig(&buf)
+	cfg.Datasets = []string{"github"}
+	if err := Table6(cfg); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"github", "bdegOrder", "bd5"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in output:\n%s", want, out)
+		}
+	}
+}
+
+func TestFiguresSmall(t *testing.T) {
+	for name, fn := range map[string]func(Config) error{
+		"fig4": Fig4, "fig5": Fig5, "fig6": Fig6,
+	} {
+		var buf bytes.Buffer
+		cfg := smallConfig(&buf)
+		cfg.Datasets = []string{"github", "jester"}
+		if err := fn(cfg); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if !strings.Contains(buf.String(), "github") {
+			t.Fatalf("%s: missing dataset row:\n%s", name, buf.String())
+		}
+	}
+}
+
+func TestVariantOptionsPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for unknown variant")
+		}
+	}()
+	variantOptions("bd9")
+}
+
+func TestCellFormatting(t *testing.T) {
+	if got := cell(0.001, false); got != "0.0010" {
+		t.Errorf("cell(0.001) = %q", got)
+	}
+	if got := cell(0.5, false); got != "0.500" {
+		t.Errorf("cell(0.5) = %q", got)
+	}
+	if got := cell(12.345, false); got != "12.35" {
+		t.Errorf("cell(12.345) = %q", got)
+	}
+	if got := cell(99, true); got != "-" {
+		t.Errorf("timeout cell = %q", got)
+	}
+}
+
+func TestSelectDatasets(t *testing.T) {
+	cfg := Config{Datasets: []string{"github", "nonexistent", "jester"}}
+	got := cfg.selectDatasets(nil)
+	if len(got) != 2 || got[0].Name != "github" || got[1].Name != "jester" {
+		t.Fatalf("selectDatasets = %v", got)
+	}
+}

@@ -1,0 +1,101 @@
+package exp
+
+import (
+	"fmt"
+	"text/tabwriter"
+
+	"repro/internal/core"
+	"repro/internal/decomp"
+	"repro/internal/sparse"
+	"repro/internal/workload"
+)
+
+// Fig4 reproduces "Effectiveness of heuristics": per tough dataset, the
+// gap between the heuristic results (heuGlobal after step 1, heuLocal
+// after step 2) and the optimum balanced biclique.
+func Fig4(cfg Config) error {
+	cfg.fill()
+	datasets := cfg.selectDatasets(workload.Tough())
+	fmt.Fprintf(cfg.W, "Figure 4: heuristic gap to the optimum (per-side vertices)\n")
+	tw := tabwriter.NewWriter(cfg.W, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "dataset\toptimum\theuGlobal gap\theuLocal gap")
+	for _, d := range datasets {
+		g := cfg.generate(d)
+		_, res, timedOut := cfg.timed(func(b *core.Budget) core.Result {
+			o := sparse.DefaultOptions()
+			o.Budget = b
+			return sparse.Solve(g, o)
+		})
+		if timedOut {
+			fmt.Fprintf(tw, "D%d %s\t-\t-\t-\n", d.DIndex, d.Name)
+			continue
+		}
+		opt := res.Biclique.Size()
+		fmt.Fprintf(tw, "D%d %s\t%d\t%d\t%d\n", d.DIndex, d.Name, opt,
+			opt-res.Stats.HeurGlobalSize, opt-res.Stats.HeurLocalSize)
+	}
+	return tw.Flush()
+}
+
+// Fig5 reproduces "Evaluation on search depth": the average maximum
+// recursion depth of the exhaustive searches, normalised by δ̈(G), for
+// the three total search orders.
+func Fig5(cfg Config) error {
+	cfg.fill()
+	datasets := cfg.selectDatasets(workload.Tough())
+	fmt.Fprintf(cfg.W, "Figure 5: average search depth over bidegeneracy (lower is better)\n")
+	tw := tabwriter.NewWriter(cfg.W, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "dataset\tδ̈\tmaxDeg\tdegeneracy\tbidegeneracy")
+	for _, d := range datasets {
+		g := cfg.generate(d)
+		bideg := decomp.BicoresFast(g).Bidegeneracy()
+		fmt.Fprintf(tw, "D%d %s\t%d", d.DIndex, d.Name, bideg)
+		for _, kind := range []decomp.OrderKind{decomp.OrderDegree, decomp.OrderDegeneracy, decomp.OrderBidegeneracy} {
+			kind := kind
+			_, res, timedOut := cfg.timed(func(b *core.Budget) core.Result {
+				o := sparse.DefaultOptions()
+				o.Order = kind
+				o.Budget = b
+				return sparse.Solve(g, o)
+			})
+			if timedOut || bideg == 0 {
+				fmt.Fprint(tw, "\t-")
+				continue
+			}
+			fmt.Fprintf(tw, "\t%.3f", res.Stats.AvgSearchDepth()/float64(bideg))
+		}
+		fmt.Fprintln(tw)
+	}
+	return tw.Flush()
+}
+
+// Fig6 reproduces "Evaluation on density of vertex centered subgraphs":
+// the average edge density of the generated vertex-centred subgraphs for
+// the three total search orders.
+func Fig6(cfg Config) error {
+	cfg.fill()
+	datasets := cfg.selectDatasets(workload.Tough())
+	fmt.Fprintf(cfg.W, "Figure 6: average density of vertex-centred subgraphs (higher is better)\n")
+	tw := tabwriter.NewWriter(cfg.W, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "dataset\tmaxDeg\tdegeneracy\tbidegeneracy")
+	for _, d := range datasets {
+		g := cfg.generate(d)
+		fmt.Fprintf(tw, "D%d %s", d.DIndex, d.Name)
+		for _, kind := range []decomp.OrderKind{decomp.OrderDegree, decomp.OrderDegeneracy, decomp.OrderBidegeneracy} {
+			kind := kind
+			_, res, timedOut := cfg.timed(func(b *core.Budget) core.Result {
+				o := sparse.DefaultOptions()
+				o.Order = kind
+				o.Budget = b
+				return sparse.Solve(g, o)
+			})
+			if timedOut {
+				fmt.Fprint(tw, "\t-")
+				continue
+			}
+			fmt.Fprintf(tw, "\t%.4f", res.Stats.AvgSubgraphDensity())
+		}
+		fmt.Fprintln(tw)
+	}
+	return tw.Flush()
+}

@@ -1,0 +1,179 @@
+package exp
+
+import (
+	"fmt"
+	"text/tabwriter"
+	"time"
+
+	"repro/internal/baseline"
+	"repro/internal/bigraph"
+	"repro/internal/core"
+	"repro/internal/decomp"
+	"repro/internal/dense"
+	"repro/internal/sparse"
+	"repro/internal/workload"
+)
+
+// Table4 reproduces "Efficiency for dense bipartite graphs": average
+// running time of extBBCL and denseMBB over random dense bipartite
+// graphs, for each size and density. Timeouts print as "-".
+func Table4(cfg Config) error {
+	cfg.fill()
+	tw := tabwriter.NewWriter(cfg.W, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(cfg.W, "Table 4: efficiency for dense bipartite graphs (avg over %d instances, budget %v)\n",
+		cfg.DenseInstances, cfg.Budget)
+	fmt.Fprint(tw, "density")
+	for _, n := range cfg.DenseSizes {
+		fmt.Fprintf(tw, "\t%dx%d extBBCl\t%dx%d denseMBB", n, n, n, n)
+	}
+	fmt.Fprintln(tw)
+	for _, d := range cfg.DenseDensities {
+		fmt.Fprintf(tw, "%.0f%%", d*100)
+		for _, n := range cfg.DenseSizes {
+			ext, extTO := avgDense(cfg, n, d, func(g *bigraph.Graph, b *core.Budget) core.Result {
+				return baseline.ExtBBCL(g, b)
+			})
+			dns, dnsTO := avgDense(cfg, n, d, func(g *bigraph.Graph, b *core.Budget) core.Result {
+				return denseSolve(g, b)
+			})
+			fmt.Fprintf(tw, "\t%s\t%s", cell(ext, extTO), cell(dns, dnsTO))
+		}
+		fmt.Fprintln(tw)
+	}
+	return tw.Flush()
+}
+
+// avgDense averages run time over the configured instances; a single
+// timeout marks the cell as timed out (like the paper's "-").
+func avgDense(cfg Config, n int, density float64, run func(*bigraph.Graph, *core.Budget) core.Result) (float64, bool) {
+	total := 0.0
+	for i := 0; i < cfg.DenseInstances; i++ {
+		g := workload.Dense(n, n, density, cfg.Seed+int64(i)*131)
+		secs, _, timedOut := cfg.timed(func(b *core.Budget) core.Result { return run(g, b) })
+		if timedOut {
+			return 0, true
+		}
+		total += secs
+	}
+	return total / float64(cfg.DenseInstances), false
+}
+
+// denseSolve adapts the dense solver to the core.Result envelope.
+func denseSolve(g *bigraph.Graph, b *core.Budget) core.Result {
+	m := dense.FromBigraph(g)
+	dres := dense.Solve(m, dense.Options{Mode: dense.ModeDense, Budget: b})
+	res := core.Result{Stats: dres.Stats}
+	for _, l := range dres.A {
+		res.Biclique.A = append(res.Biclique.A, g.Left(l))
+	}
+	for _, r := range dres.B {
+		res.Biclique.B = append(res.Biclique.B, g.Right(r))
+	}
+	return res
+}
+
+// Table5 reproduces "Efficiency for sparse bipartite graphs": per
+// dataset, the measured optimum and the running times of adp1..adp4,
+// extBBCL and hbvMBB (with the step at which hbvMBB terminated).
+func Table5(cfg Config) error {
+	cfg.fill()
+	datasets := cfg.selectDatasets(workload.Registry)
+	fmt.Fprintf(cfg.W, "Table 5: efficiency for sparse bipartite graphs (scaled to ≤%d vertices, budget %v)\n",
+		cfg.MaxVerts, cfg.Budget)
+	tw := tabwriter.NewWriter(cfg.W, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "dataset\t|L|\t|R|\tdens(e-4)\topt\tadp1\tadp2\tadp3\tadp4\textBBCl\thbvMBB")
+	for _, d := range datasets {
+		g := cfg.generate(d)
+		row := fmt.Sprintf("%s\t%d\t%d\t%.3f", d.Name, g.NL(), g.NR(), g.Density()*1e4)
+
+		opt := -1
+		hbvSecs, hbvRes, hbvTO := cfg.timed(func(b *core.Budget) core.Result {
+			so := sparse.DefaultOptions()
+			so.Budget = b
+			return sparse.Solve(g, so)
+		})
+		if !hbvTO {
+			opt = hbvRes.Biclique.Size()
+		}
+
+		var cells []string
+		for _, kind := range []baseline.AdpKind{baseline.Adp1, baseline.Adp2, baseline.Adp3, baseline.Adp4} {
+			kind := kind
+			secs, res, timedOut := cfg.timed(func(b *core.Budget) core.Result {
+				return baseline.Adp(g, kind, b)
+			})
+			if !timedOut && opt >= 0 && res.Biclique.Size() != opt {
+				// Exactness cross-check between independent solvers.
+				return fmt.Errorf("exp: %s: %v found %d, hbvMBB found %d",
+					d.Name, kind, res.Biclique.Size(), opt)
+			}
+			cells = append(cells, cell(secs, timedOut))
+		}
+		extSecs, extRes, extTO := cfg.timed(func(b *core.Budget) core.Result {
+			return baseline.ExtBBCL(g, b)
+		})
+		if !extTO && opt >= 0 && extRes.Biclique.Size() != opt {
+			return fmt.Errorf("exp: %s: extBBCL found %d, hbvMBB found %d", d.Name, extRes.Biclique.Size(), opt)
+		}
+		cells = append(cells, cell(extSecs, extTO))
+		hbvCell := cell(hbvSecs, hbvTO)
+		if !hbvTO {
+			hbvCell += ", " + hbvRes.Stats.Step.String()
+		}
+		cells = append(cells, hbvCell)
+
+		optStr := "-"
+		if opt >= 0 {
+			optStr = fmt.Sprint(opt)
+		}
+		fmt.Fprintf(tw, "%s\t%s", row, optStr)
+		for _, c := range cells {
+			fmt.Fprintf(tw, "\t%s", c)
+		}
+		fmt.Fprintln(tw)
+	}
+	return tw.Flush()
+}
+
+// Table6 reproduces "Efficiency of our techniques on tough datasets": the
+// decomposition overheads (hMBB, degOrder, bdegOrder) and the bd1..bd5
+// ablation variants against full hbvMBB.
+func Table6(cfg Config) error {
+	cfg.fill()
+	datasets := cfg.selectDatasets(workload.Tough())
+	fmt.Fprintf(cfg.W, "Table 6: techniques on tough datasets (scaled to ≤%d vertices, budget %v)\n",
+		cfg.MaxVerts, cfg.Budget)
+	tw := tabwriter.NewWriter(cfg.W, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "dataset\thMBB\tdegOrder\tbdegOrder\tbd1\tbd2\tbd3\tbd4\tbd5\thbvMBB")
+	for _, d := range datasets {
+		g := cfg.generate(d)
+		fmt.Fprintf(tw, "%s", d.Name)
+
+		// Heuristic step alone.
+		secs, _, timedOut := cfg.timed(func(b *core.Budget) core.Result {
+			o := sparse.DefaultOptions()
+			o.Budget = b
+			return sparse.HeuristicOnly(g, o)
+		})
+		fmt.Fprintf(tw, "\t%s", cell(secs, timedOut))
+
+		// Decomposition overheads.
+		start := time.Now()
+		decomp.Cores(g)
+		fmt.Fprintf(tw, "\t%s", cell(time.Since(start).Seconds(), false))
+		start = time.Now()
+		decomp.BicoresFast(g)
+		fmt.Fprintf(tw, "\t%s", cell(time.Since(start).Seconds(), false))
+
+		for _, name := range []string{"bd1", "bd2", "bd3", "bd4", "bd5", "hbvMBB"} {
+			opt := variantOptions(name)
+			secs, _, timedOut := cfg.timed(func(b *core.Budget) core.Result {
+				opt.Budget = b
+				return sparse.Solve(g, opt)
+			})
+			fmt.Fprintf(tw, "\t%s", cell(secs, timedOut))
+		}
+		fmt.Fprintln(tw)
+	}
+	return tw.Flush()
+}

@@ -1,0 +1,181 @@
+// Package heur implements the heuristic balanced-biclique finders used by
+// the paper: the max-degree and max-core greedy rules of hMBB (Algorithm
+// 5), the local core-based greedy of bridgeMBB (Algorithm 6), and
+// simplified reimplementations of the POLS [26] and SBMNAS [16] local
+// search heuristics used to assemble the adp1..adp4 baselines.
+package heur
+
+import (
+	"sort"
+
+	"repro/internal/bigraph"
+)
+
+// Greedy finds a balanced biclique by seeded alternating expansion: it
+// anchors at each of the `seeds` highest-scoring vertices in turn, then
+// repeatedly extends the smaller side with the highest-scoring compatible
+// candidate. score is indexed by unified vertex id — pass degrees for the
+// max-degree rule or core numbers for the max-core rule. The best biclique
+// over all seeds is returned.
+func Greedy(g *bigraph.Graph, score []int, seeds int) bigraph.Biclique {
+	n := g.NumVertices()
+	if n == 0 || g.NumEdges() == 0 {
+		return bigraph.Biclique{}
+	}
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(i, j int) bool {
+		if score[order[i]] != score[order[j]] {
+			return score[order[i]] > score[order[j]]
+		}
+		return order[i] < order[j]
+	})
+	if seeds < 1 {
+		seeds = 1
+	}
+	if seeds > n {
+		seeds = n
+	}
+	var best bigraph.Biclique
+	for _, u := range order[:seeds] {
+		if g.Deg(u) == 0 {
+			continue
+		}
+		bc := expand(g, u, score)
+		if bc.Size() > best.Size() {
+			best = bc
+		}
+	}
+	return best
+}
+
+// expand grows a balanced biclique around seed u by alternating sides.
+func expand(g *bigraph.Graph, u int, score []int) bigraph.Biclique {
+	// Orient so the seed is on the "A" side; flip back at the end.
+	flip := !g.IsLeft(u)
+
+	A := []int{u}
+	var B []int
+	// CB: candidates adjacent to all of A; CA: candidates adjacent to all
+	// of B (restricted to the 2-hop neighbourhood of u for locality).
+	CB := toInts(g.Neighbors(u))
+	CA := twoHopSameSide(g, u)
+
+	for {
+		if len(A) <= len(B) {
+			if len(CA) == 0 {
+				break
+			}
+			v := pickBest(CA, score)
+			A = append(A, v)
+			CA = removeOne(CA, v)
+			CB = intersectAdj(g, CB, v)
+		} else {
+			if len(CB) == 0 {
+				break
+			}
+			v := pickBest(CB, score)
+			B = append(B, v)
+			CB = removeOne(CB, v)
+			CA = intersectAdj(g, CA, v)
+		}
+	}
+	// Final balancing: every remaining CB vertex is adjacent to all of A
+	// (and CA to all of B), so either side can be topped up freely.
+	for len(B) < len(A) && len(CB) > 0 {
+		B = append(B, CB[len(CB)-1])
+		CB = CB[:len(CB)-1]
+	}
+	for len(A) < len(B) && len(CA) > 0 {
+		A = append(A, CA[len(CA)-1])
+		CA = CA[:len(CA)-1]
+	}
+	s := len(A)
+	if len(B) < s {
+		s = len(B)
+	}
+	bc := bigraph.Biclique{A: A[:s:s], B: B[:s:s]}
+	if flip {
+		bc.A, bc.B = bc.B, bc.A
+	}
+	return bc
+}
+
+// twoHopSameSide returns the vertices at distance exactly two from u.
+func twoHopSameSide(g *bigraph.Graph, u int) []int {
+	seen := map[int]bool{u: true}
+	var out []int
+	for _, w := range g.Neighbors(u) {
+		for _, x := range g.Neighbors(int(w)) {
+			if !seen[int(x)] {
+				seen[int(x)] = true
+				out = append(out, int(x))
+			}
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+func toInts(a []int32) []int {
+	out := make([]int, len(a))
+	for i, v := range a {
+		out[i] = int(v)
+	}
+	return out
+}
+
+// pickBest returns the element of cand with the highest score.
+func pickBest(cand []int, score []int) int {
+	best := cand[0]
+	for _, v := range cand[1:] {
+		if score[v] > score[best] {
+			best = v
+		}
+	}
+	return best
+}
+
+func removeOne(a []int, v int) []int {
+	for i, x := range a {
+		if x == v {
+			a[i] = a[len(a)-1]
+			a = a[:len(a)-1]
+			sort.Ints(a)
+			return a
+		}
+	}
+	return a
+}
+
+// intersectAdj returns cand ∩ N(v), keeping cand sorted.
+func intersectAdj(g *bigraph.Graph, cand []int, v int) []int {
+	ns := g.Neighbors(v)
+	out := cand[:0]
+	i, j := 0, 0
+	for i < len(cand) && j < len(ns) {
+		switch {
+		case cand[i] < int(ns[j]):
+			i++
+		case cand[i] > int(ns[j]):
+			j++
+		default:
+			out = append(out, cand[i])
+			i++
+			j++
+		}
+	}
+	return out
+}
+
+// DegreeScores returns the degree of every vertex, the score vector of the
+// max-degree greedy rule.
+func DegreeScores(g *bigraph.Graph) []int {
+	s := make([]int, g.NumVertices())
+	for v := range s {
+		s[v] = g.Deg(v)
+	}
+	return s
+}

@@ -1,0 +1,142 @@
+package heur_test
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/baseline"
+	"repro/internal/bigraph"
+	"repro/internal/decomp"
+	"repro/internal/heur"
+)
+
+func randomBigraph(rng *rand.Rand, maxSide int, p float64) *bigraph.Graph {
+	nl, nr := 1+rng.Intn(maxSide), 1+rng.Intn(maxSide)
+	b := bigraph.NewBuilder(nl, nr)
+	for l := 0; l < nl; l++ {
+		for r := 0; r < nr; r++ {
+			if rng.Float64() < p {
+				b.AddEdge(l, r)
+			}
+		}
+	}
+	return b.Build()
+}
+
+func TestGreedyComplete(t *testing.T) {
+	b := bigraph.NewBuilder(5, 5)
+	for i := 0; i < 5; i++ {
+		for j := 0; j < 5; j++ {
+			b.AddEdge(i, j)
+		}
+	}
+	g := b.Build()
+	bc := heur.Greedy(g, heur.DegreeScores(g), 3)
+	if bc.Size() != 5 {
+		t.Fatalf("K5,5 greedy size = %d, want 5", bc.Size())
+	}
+	if !bc.IsBicliqueOf(g) || !bc.IsBalanced() {
+		t.Fatal("invalid greedy result")
+	}
+}
+
+func TestGreedyEmpty(t *testing.T) {
+	g := bigraph.FromEdges(4, 4, nil)
+	if heur.Greedy(g, heur.DegreeScores(g), 2).Size() != 0 {
+		t.Fatal("greedy on edgeless graph should be empty")
+	}
+	if heur.Greedy(bigraph.FromEdges(0, 0, nil), nil, 1).Size() != 0 {
+		t.Fatal("greedy on empty graph should be empty")
+	}
+}
+
+func TestGreedySeedOnRightSide(t *testing.T) {
+	// Highest-degree vertex on the R side exercises the flip path.
+	g := bigraph.FromEdges(3, 1, [][2]int{{0, 0}, {1, 0}, {2, 0}})
+	bc := heur.Greedy(g, heur.DegreeScores(g), 1)
+	if bc.Size() != 1 {
+		t.Fatalf("size = %d, want 1", bc.Size())
+	}
+	if !bc.IsBicliqueOf(g) {
+		t.Fatal("invalid")
+	}
+}
+
+// TestQuickGreedyValid: greedy output is always a valid balanced biclique
+// and never beats the optimum.
+func TestQuickGreedyValid(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := randomBigraph(rng, 12, 0.3)
+		opt := baseline.BruteForceSize(g)
+		for _, scores := range [][]int{heur.DegreeScores(g), decomp.Cores(g).Core} {
+			bc := heur.Greedy(g, scores, 4)
+			if bc.Size() > opt {
+				return false
+			}
+			if bc.Size() > 0 && (!bc.IsBicliqueOf(g) || !bc.IsBalanced()) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickLocalSearchValid: POLS/SBMNAS outputs are valid balanced
+// bicliques bounded by the optimum.
+func TestQuickLocalSearchValid(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := randomBigraph(rng, 10, 0.4)
+		opt := baseline.BruteForceSize(g)
+		for _, lso := range []heur.LocalSearchOptions{heur.POLSDefaults(), heur.SBMNASDefaults()} {
+			lso.Iters = 60
+			lso.Restarts = 2
+			lso.Seed = seed
+			bc := heur.LocalSearch(g, lso)
+			if bc.Size() > opt {
+				return false
+			}
+			if bc.Size() > 0 && (!bc.IsBicliqueOf(g) || !bc.IsBalanced()) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestLocalSearchFindsPlanted: local search should recover a planted
+// biclique that greedy-from-hubs can miss.
+func TestLocalSearchFindsPlanted(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	b := bigraph.NewBuilder(60, 60)
+	for i := 0; i < 250; i++ {
+		b.AddEdge(rng.Intn(60), rng.Intn(60))
+	}
+	for i := 0; i < 5; i++ {
+		for j := 0; j < 5; j++ {
+			b.AddEdge(40+i, 40+j)
+		}
+	}
+	g := b.Build()
+	bc := heur.LocalSearch(g, heur.SBMNASDefaults())
+	if bc.Size() < 3 {
+		t.Fatalf("local search found only %d; want >= 3", bc.Size())
+	}
+	if !bc.IsBicliqueOf(g) {
+		t.Fatal("invalid result")
+	}
+}
+
+func TestLocalSearchEdgeless(t *testing.T) {
+	if heur.LocalSearch(bigraph.FromEdges(3, 3, nil), heur.POLSDefaults()).Size() != 0 {
+		t.Fatal("edgeless graph should give empty result")
+	}
+}

@@ -1,0 +1,189 @@
+package heur
+
+import (
+	"math/rand"
+	"sort"
+
+	"repro/internal/bigraph"
+)
+
+// LocalSearchOptions configures the POLS/SBMNAS-style local search.
+type LocalSearchOptions struct {
+	// Iters bounds the number of improvement attempts per restart.
+	Iters int
+	// Restarts is the number of independent seeded starts.
+	Restarts int
+	// MultiMove enables SBMNAS-style compound moves (drop several vertices
+	// at once to escape plateaus); with it disabled the search performs
+	// POLS-style pair operations only.
+	MultiMove bool
+	// Seed makes the search deterministic.
+	Seed int64
+}
+
+// POLSDefaults mirrors the pair-local-search configuration of [26].
+func POLSDefaults() LocalSearchOptions {
+	return LocalSearchOptions{Iters: 400, Restarts: 4, MultiMove: false, Seed: 1}
+}
+
+// SBMNASDefaults mirrors the multi-neighbourhood configuration of [16].
+func SBMNASDefaults() LocalSearchOptions {
+	return LocalSearchOptions{Iters: 400, Restarts: 4, MultiMove: true, Seed: 1}
+}
+
+// LocalSearch runs a balanced-biclique local search: starting from greedy
+// seeds it repeatedly tries to add compatible pairs, swap a boundary
+// vertex pair, or (MultiMove) drop a random fraction and regrow. It
+// returns the best balanced biclique observed. The search is heuristic:
+// it never proves optimality, exactly like the originals.
+func LocalSearch(g *bigraph.Graph, opt LocalSearchOptions) bigraph.Biclique {
+	if g.NumEdges() == 0 {
+		return bigraph.Biclique{}
+	}
+	rng := rand.New(rand.NewSource(opt.Seed))
+	deg := DegreeScores(g)
+	var best bigraph.Biclique
+	if opt.Restarts < 1 {
+		opt.Restarts = 1
+	}
+	for r := 0; r < opt.Restarts; r++ {
+		cur := seedSolution(g, deg, rng, r)
+		cur = growPairs(g, cur)
+		if cur.Size() > best.Size() {
+			best = cloneBiclique(cur)
+		}
+		for it := 0; it < opt.Iters; it++ {
+			next := perturb(g, cur, rng, opt.MultiMove)
+			next = growPairs(g, next)
+			if next.Size() >= cur.Size() {
+				cur = next // accept sideways moves to traverse plateaus
+			}
+			if cur.Size() > best.Size() {
+				best = cloneBiclique(cur)
+			}
+		}
+	}
+	return best
+}
+
+// seedSolution picks a starting biclique: the greedy solution for restart
+// 0 and random single-edge seeds afterwards.
+func seedSolution(g *bigraph.Graph, deg []int, rng *rand.Rand, restart int) bigraph.Biclique {
+	if restart == 0 {
+		return Greedy(g, deg, 4)
+	}
+	for tries := 0; tries < 32; tries++ {
+		v := rng.Intn(g.NumVertices())
+		if g.Deg(v) == 0 {
+			continue
+		}
+		w := int(g.Neighbors(v)[rng.Intn(g.Deg(v))])
+		if !g.IsLeft(v) {
+			v, w = w, v
+		}
+		return bigraph.Biclique{A: []int{v}, B: []int{w}}
+	}
+	return bigraph.Biclique{}
+}
+
+// growPairs repeatedly adds an (l, r) pair where l is adjacent to all of
+// B∪{r} and r to all of A∪{l}; this keeps the biclique balanced at every
+// step (the pair operation of POLS).
+func growPairs(g *bigraph.Graph, bc bigraph.Biclique) bigraph.Biclique {
+	if len(bc.A) == 0 {
+		return bc
+	}
+	for {
+		candL := commonNeighbors(g, bc.B) // adjacent to every b ∈ B
+		candR := commonNeighbors(g, bc.A) // adjacent to every a ∈ A
+		candL = subtract(candL, bc.A)
+		candR = subtract(candR, bc.B)
+		found := false
+		for _, l := range candL {
+			for _, r := range candR {
+				if g.HasEdge(l, r) {
+					bc.A = append(bc.A, l)
+					bc.B = append(bc.B, r)
+					found = true
+					break
+				}
+			}
+			if found {
+				break
+			}
+		}
+		if !found {
+			return bc
+		}
+	}
+}
+
+// perturb removes vertices to escape a local optimum: one random pair
+// (POLS) or a random fraction of the solution (SBMNAS-style multi-move).
+func perturb(g *bigraph.Graph, bc bigraph.Biclique, rng *rand.Rand, multi bool) bigraph.Biclique {
+	out := cloneBiclique(bc)
+	if len(out.A) == 0 {
+		return out
+	}
+	drop := 1
+	if multi && len(out.A) > 2 {
+		drop = 1 + rng.Intn(len(out.A)/2)
+	}
+	for d := 0; d < drop && len(out.A) > 0; d++ {
+		i := rng.Intn(len(out.A))
+		j := rng.Intn(len(out.B))
+		out.A[i] = out.A[len(out.A)-1]
+		out.A = out.A[:len(out.A)-1]
+		out.B[j] = out.B[len(out.B)-1]
+		out.B = out.B[:len(out.B)-1]
+	}
+	return out
+}
+
+// commonNeighbors returns the vertices adjacent to every vertex of set
+// (the whole other side when set is empty is represented by nil, meaning
+// "unconstrained" — callers with empty sets get nil and must handle it).
+func commonNeighbors(g *bigraph.Graph, set []int) []int {
+	if len(set) == 0 {
+		return nil
+	}
+	// Start from the smallest adjacency list.
+	minV := set[0]
+	for _, v := range set[1:] {
+		if g.Deg(v) < g.Deg(minV) {
+			minV = v
+		}
+	}
+	out := toInts(g.Neighbors(minV))
+	for _, v := range set {
+		if v == minV {
+			continue
+		}
+		out = intersectAdj(g, out, v)
+		if len(out) == 0 {
+			return out
+		}
+	}
+	return out
+}
+
+// subtract removes members of b from a (both sorted ascending).
+func subtract(a, b []int) []int {
+	sorted := append([]int(nil), b...)
+	sort.Ints(sorted)
+	out := a[:0]
+	for _, x := range a {
+		i := sort.SearchInts(sorted, x)
+		if i >= len(sorted) || sorted[i] != x {
+			out = append(out, x)
+		}
+	}
+	return out
+}
+
+func cloneBiclique(bc bigraph.Biclique) bigraph.Biclique {
+	return bigraph.Biclique{
+		A: append([]int(nil), bc.A...),
+		B: append([]int(nil), bc.B...),
+	}
+}

@@ -1,0 +1,187 @@
+// Package matching implements maximum bipartite matching (Hopcroft–Karp)
+// and its König-theorem corollaries over bitset adjacency matrices. The
+// paper's related-work section (§7) describes how the polynomially
+// solvable maximum *vertex* biclique (MVB) problem reduces to minimum
+// vertex cover on the bipartite complement, which in turn reduces to
+// maximum matching; this package provides that machinery, both as a
+// standalone solver (MVB) and as the exact version of the dense solver's
+// matching bound.
+package matching
+
+import (
+	"repro/internal/bitset"
+	"repro/internal/dense"
+)
+
+// Adjacency abstracts the edge set Hopcroft–Karp runs on: either the
+// matrix itself or its complement, without materialising the latter.
+type Adjacency struct {
+	m          *dense.Matrix
+	complement bool
+	// scratch row for complement iteration
+	row *bitset.Set
+}
+
+// NewAdjacency wraps m; with complement true the edge set is inverted.
+func NewAdjacency(m *dense.Matrix, complement bool) *Adjacency {
+	return &Adjacency{m: m, complement: complement, row: bitset.New(m.NR())}
+}
+
+// neighborsL calls fn for every right-neighbour of left vertex l.
+func (a *Adjacency) neighborsL(l int, fn func(r int) bool) {
+	if !a.complement {
+		a.m.RowL(l).ForEach(fn)
+		return
+	}
+	a.row.FillAll()
+	a.row.AndNot(a.m.RowL(l))
+	a.row.ForEach(fn)
+}
+
+// has reports whether (l, r) is an edge of the (possibly complemented)
+// adjacency.
+func (a *Adjacency) has(l, r int) bool {
+	return a.m.HasEdge(l, r) != a.complement
+}
+
+// Matching is a maximum matching: MatchL[l] is the right partner of left
+// vertex l (or -1), MatchR[r] symmetric.
+type Matching struct {
+	MatchL, MatchR []int
+	Size           int
+}
+
+const inf = int(^uint(0) >> 1)
+
+// HopcroftKarp computes a maximum matching in O(E√V).
+func HopcroftKarp(adj *Adjacency) *Matching {
+	nl, nr := adj.m.NL(), adj.m.NR()
+	matchL := make([]int, nl)
+	matchR := make([]int, nr)
+	for i := range matchL {
+		matchL[i] = -1
+	}
+	for j := range matchR {
+		matchR[j] = -1
+	}
+	dist := make([]int, nl)
+	queue := make([]int, 0, nl)
+	size := 0
+
+	bfs := func() bool {
+		queue = queue[:0]
+		for l := 0; l < nl; l++ {
+			if matchL[l] == -1 {
+				dist[l] = 0
+				queue = append(queue, l)
+			} else {
+				dist[l] = inf
+			}
+		}
+		found := false
+		for qi := 0; qi < len(queue); qi++ {
+			l := queue[qi]
+			adj.neighborsL(l, func(r int) bool {
+				nxt := matchR[r]
+				if nxt == -1 {
+					found = true
+				} else if dist[nxt] == inf {
+					dist[nxt] = dist[l] + 1
+					queue = append(queue, nxt)
+				}
+				return true
+			})
+		}
+		return found
+	}
+
+	var dfs func(l int) bool
+	dfs = func(l int) bool {
+		ok := false
+		adj.neighborsL(l, func(r int) bool {
+			nxt := matchR[r]
+			if nxt == -1 || (dist[nxt] == dist[l]+1 && dfs(nxt)) {
+				matchL[l] = r
+				matchR[r] = l
+				ok = true
+				return false // stop iteration
+			}
+			return true
+		})
+		if !ok {
+			dist[l] = inf
+		}
+		return ok
+	}
+
+	for bfs() {
+		for l := 0; l < nl; l++ {
+			if matchL[l] == -1 && dfs(l) {
+				size++
+			}
+		}
+	}
+	return &Matching{MatchL: matchL, MatchR: matchR, Size: size}
+}
+
+// KonigCover derives a minimum vertex cover from a maximum matching via
+// alternating reachability (König's theorem): starting from the unmatched
+// left vertices, alternate unmatched/matched edges; the cover is the
+// unreached left vertices plus the reached right vertices.
+func KonigCover(adj *Adjacency, m *Matching) (coverL, coverR []bool) {
+	nl, nr := adj.m.NL(), adj.m.NR()
+	visitedL := make([]bool, nl)
+	visitedR := make([]bool, nr)
+	queue := make([]int, 0, nl)
+	for l := 0; l < nl; l++ {
+		if m.MatchL[l] == -1 {
+			visitedL[l] = true
+			queue = append(queue, l)
+		}
+	}
+	for qi := 0; qi < len(queue); qi++ {
+		l := queue[qi]
+		adj.neighborsL(l, func(r int) bool {
+			if visitedR[r] {
+				return true
+			}
+			visitedR[r] = true
+			if nxt := m.MatchR[r]; nxt != -1 && !visitedL[nxt] {
+				visitedL[nxt] = true
+				queue = append(queue, nxt)
+			}
+			return true
+		})
+	}
+	coverL = make([]bool, nl)
+	coverR = make([]bool, nr)
+	for l := 0; l < nl; l++ {
+		coverL[l] = !visitedL[l]
+	}
+	for r := 0; r < nr; r++ {
+		coverR[r] = visitedR[r]
+	}
+	return coverL, coverR
+}
+
+// MaxVertexBiclique solves the maximum *vertex* biclique problem exactly
+// in polynomial time: (A, B) is a biclique of m iff the vertices outside
+// it cover every complement edge, so the maximum |A|+|B| equals
+// |L|+|R| − MVC(complement) = |L|+|R| − maxmatching(complement) by König.
+// It returns the two sides as matrix-local indices.
+func MaxVertexBiclique(m *dense.Matrix) (A, B []int) {
+	adj := NewAdjacency(m, true)
+	mt := HopcroftKarp(adj)
+	coverL, coverR := KonigCover(adj, mt)
+	for l := 0; l < m.NL(); l++ {
+		if !coverL[l] {
+			A = append(A, l)
+		}
+	}
+	for r := 0; r < m.NR(); r++ {
+		if !coverR[r] {
+			B = append(B, r)
+		}
+	}
+	return A, B
+}

@@ -1,0 +1,210 @@
+package matching
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/dense"
+)
+
+func randMatrix(rng *rand.Rand, maxSide int, p float64) *dense.Matrix {
+	nl, nr := 1+rng.Intn(maxSide), 1+rng.Intn(maxSide)
+	m := dense.NewMatrix(nl, nr)
+	for l := 0; l < nl; l++ {
+		for r := 0; r < nr; r++ {
+			if rng.Float64() < p {
+				m.AddEdge(l, r)
+			}
+		}
+	}
+	return m
+}
+
+// bruteMatching computes the maximum matching size by augmenting-path
+// search (Kuhn's algorithm), the reference for Hopcroft–Karp.
+func bruteMatching(m *dense.Matrix, complement bool) int {
+	nl, nr := m.NL(), m.NR()
+	matchR := make([]int, nr)
+	for j := range matchR {
+		matchR[j] = -1
+	}
+	has := func(l, r int) bool { return m.HasEdge(l, r) != complement }
+	var try func(l int, seen []bool) bool
+	try = func(l int, seen []bool) bool {
+		for r := 0; r < nr; r++ {
+			if !has(l, r) || seen[r] {
+				continue
+			}
+			seen[r] = true
+			if matchR[r] == -1 || try(matchR[r], seen) {
+				matchR[r] = l
+				return true
+			}
+		}
+		return false
+	}
+	size := 0
+	for l := 0; l < nl; l++ {
+		if try(l, make([]bool, nr)) {
+			size++
+		}
+	}
+	return size
+}
+
+func TestHopcroftKarpPerfect(t *testing.T) {
+	// Complete K5,5: matching 5.
+	m := dense.NewMatrix(5, 5)
+	for i := 0; i < 5; i++ {
+		for j := 0; j < 5; j++ {
+			m.AddEdge(i, j)
+		}
+	}
+	got := HopcroftKarp(NewAdjacency(m, false))
+	if got.Size != 5 {
+		t.Fatalf("size = %d, want 5", got.Size)
+	}
+	// Complement of K5,5 has no edges: matching 0.
+	if HopcroftKarp(NewAdjacency(m, true)).Size != 0 {
+		t.Fatal("complement of complete graph should have empty matching")
+	}
+}
+
+func TestQuickHopcroftKarpMatchesKuhn(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := randMatrix(rng, 15, 0.3)
+		for _, comp := range []bool{false, true} {
+			got := HopcroftKarp(NewAdjacency(m, comp))
+			want := bruteMatching(m, comp)
+			if got.Size != want {
+				t.Logf("comp=%v got %d want %d", comp, got.Size, want)
+				return false
+			}
+			// The matching must be consistent and use real edges.
+			adj := NewAdjacency(m, comp)
+			count := 0
+			for l, r := range got.MatchL {
+				if r == -1 {
+					continue
+				}
+				count++
+				if got.MatchR[r] != l || !adj.has(l, r) {
+					return false
+				}
+			}
+			if count != got.Size {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickKonigCoverValid(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := randMatrix(rng, 12, 0.4)
+		adj := NewAdjacency(m, false)
+		mt := HopcroftKarp(adj)
+		coverL, coverR := KonigCover(adj, mt)
+		// Cover size equals matching size (König) ...
+		size := 0
+		for _, c := range coverL {
+			if c {
+				size++
+			}
+		}
+		for _, c := range coverR {
+			if c {
+				size++
+			}
+		}
+		if size != mt.Size {
+			t.Logf("cover %d != matching %d", size, mt.Size)
+			return false
+		}
+		// ... and covers every edge.
+		for l := 0; l < m.NL(); l++ {
+			for r := 0; r < m.NR(); r++ {
+				if m.HasEdge(l, r) && !coverL[l] && !coverR[r] {
+					t.Logf("edge (%d,%d) uncovered", l, r)
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// bruteMVB enumerates subsets to find the maximum |A|+|B| biclique.
+func bruteMVB(m *dense.Matrix) int {
+	nl, nr := m.NL(), m.NR()
+	best := 0
+	for mask := uint64(0); mask < 1<<uint(nl); mask++ {
+		var a []int
+		for i := 0; i < nl; i++ {
+			if mask&(1<<uint(i)) != 0 {
+				a = append(a, i)
+			}
+		}
+		common := 0
+		for r := 0; r < nr; r++ {
+			ok := true
+			for _, l := range a {
+				if !m.HasEdge(l, r) {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				common++
+			}
+		}
+		if len(a) > 0 && common > 0 && len(a)+common > best {
+			best = len(a) + common
+		}
+	}
+	return best
+}
+
+func TestQuickMaxVertexBiclique(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := randMatrix(rng, 10, 0.5)
+		A, B := MaxVertexBiclique(m)
+		// Result is a biclique.
+		for _, l := range A {
+			for _, r := range B {
+				if !m.HasEdge(l, r) {
+					t.Logf("not a biclique: (%d,%d)", l, r)
+					return false
+				}
+			}
+		}
+		want := bruteMVB(m)
+		got := len(A) + len(B)
+		// The König construction may return one empty side on graphs with
+		// isolated-ish structure; the brute force requires both sides
+		// nonempty, so got can exceed want only in that degenerate case.
+		if len(A) > 0 && len(B) > 0 && got < want {
+			t.Logf("got %d want %d", got, want)
+			return false
+		}
+		if got > want && len(A) > 0 && len(B) > 0 {
+			t.Logf("impossible: exceeded brute force (%d > %d)", got, want)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

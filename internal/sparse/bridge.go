@@ -1,0 +1,114 @@
+package sparse
+
+import (
+	"repro/internal/bigraph"
+	"repro/internal/decomp"
+	"repro/internal/heur"
+)
+
+// centred is a materialised vertex-centred subgraph (Definition 6):
+// the centre vertex plus its N≤2 successors in the total search order.
+type centred struct {
+	sub    *bigraph.Graph
+	toOrig []int // sub unified ids → original unified ids
+	center int   // centre vertex in sub unified ids
+}
+
+// bridge is step 2 of the framework (Algorithm 6): it computes the total
+// search order, generates one vertex-centred subgraph per vertex, prunes
+// subgraphs whose size or degeneracy cannot beat the incumbent, and runs
+// the local core-based greedy heuristic on each survivor to tighten the
+// incumbent further. reduced is the step-1 output graph; newToOld maps
+// its ids to original ids.
+func (s *state) bridge(reduced *bigraph.Graph, newToOld []int) []centred {
+	kind := s.opt.Order
+	if s.opt.SkipCoreOpts {
+		kind = decomp.OrderDegree // peeling orders are core-based
+	}
+
+	var order []int
+	switch kind {
+	case decomp.OrderBidegeneracy:
+		bi := decomp.BicoresFast(reduced)
+		order = bi.Order
+		s.stats.Bidegeneracy = bi.Bidegeneracy()
+	default:
+		order = decomp.Order(reduced, kind)
+	}
+	pos := make([]int, reduced.NumVertices())
+	for i, v := range order {
+		pos[v] = i
+	}
+
+	th := decomp.NewTwoHop(reduced)
+	var survivors []centred
+	members := make([]int, 0, 64)
+	for i, v := range order {
+		if !s.opt.Budget.Spend() {
+			s.stats.TimedOut = true
+			break
+		}
+		members = members[:0]
+		members = append(members, v)
+		members = th.Append(v, nil, members)
+		// Keep only successors in the order (Observation 5).
+		kept := members[:1]
+		for _, w := range members[1:] {
+			if pos[w] > i {
+				kept = append(kept, w)
+			}
+		}
+		s.stats.Subgraphs++
+		// Size prune: each side needs at least best+1 vertices.
+		nl, nr := 0, 0
+		for _, w := range kept {
+			if reduced.IsLeft(w) {
+				nl++
+			} else {
+				nr++
+			}
+		}
+		if nl <= s.bestSize() || nr <= s.bestSize() {
+			s.stats.SubgraphsPruned++
+			continue
+		}
+
+		sub, toReduced := reduced.Induced(kept)
+		s.stats.SumSubDensity += sub.Density()
+		s.stats.DensitySamples++
+		s.stats.SumSubVertices += int64(sub.NumVertices())
+
+		var scores []int
+		if s.opt.SkipCoreOpts {
+			scores = heur.DegreeScores(sub)
+		} else {
+			// Degeneracy prune: a biclique of balanced size best+1 forces
+			// δ(H) ≥ best+1.
+			c := decomp.Cores(sub)
+			if c.Degeneracy() <= s.bestSize() {
+				s.stats.SubgraphsPruned++
+				continue
+			}
+			scores = c.Core
+		}
+
+		// Map sub ids to original ids and locate the centre.
+		compose(toReduced, newToOld)
+		centerOrig := newToOld[v]
+		center := -1
+		for j, ov := range toReduced {
+			if ov == centerOrig {
+				center = j
+				break
+			}
+		}
+
+		// Local greedy heuristic (Algorithm 6 lines 11–13).
+		if bc := heur.Greedy(sub, scores, s.opt.Seeds); bc.Size() > 0 {
+			s.improve(remap(bc, toReduced))
+		}
+
+		survivors = append(survivors, centred{sub: sub, toOrig: toReduced, center: center})
+	}
+	return survivors
+}

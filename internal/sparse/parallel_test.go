@@ -1,0 +1,68 @@
+package sparse_test
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/baseline"
+	"repro/internal/bigraph"
+	"repro/internal/sparse"
+	"repro/internal/workload"
+)
+
+// TestQuickParallelMatchesSequential: the parallel verifier must return
+// the same optimum as the sequential one (and the brute force) on random
+// graphs.
+func TestQuickParallelMatchesSequential(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := randomBigraph(rng, 14, 0.25)
+		want := baseline.BruteForceSize(g)
+		for _, workers := range []int{2, 4} {
+			opt := sparse.DefaultOptions()
+			opt.Workers = workers
+			opt.SkipHeuristic = true // force work into step 3
+			res := sparse.Solve(g, opt)
+			if res.Biclique.Size() != want {
+				t.Logf("workers=%d: got %d want %d", workers, res.Biclique.Size(), want)
+				return false
+			}
+			if want > 0 && !res.Biclique.IsBicliqueOf(g) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestParallelPlanted: a medium planted instance exercised with real
+// concurrency (race detector builds catch sharing bugs here).
+func TestParallelPlanted(t *testing.T) {
+	g := workload.PowerLaw(2000, 2000, 12000, 0.5, 3)
+	g, _, _ = workload.Plant(g, 9, 4)
+	g = quasi(g)
+	seqOpt := sparse.DefaultOptions()
+	seq := sparse.Solve(g, seqOpt)
+	parOpt := sparse.DefaultOptions()
+	parOpt.Workers = 4
+	par := sparse.Solve(g, parOpt)
+	if seq.Biclique.Size() != par.Biclique.Size() {
+		t.Fatalf("parallel %d != sequential %d", par.Biclique.Size(), seq.Biclique.Size())
+	}
+	if par.Biclique.Size() < 9 {
+		t.Fatalf("missed planted biclique: %d", par.Biclique.Size())
+	}
+	if !par.Biclique.IsBicliqueOf(g) {
+		t.Fatal("invalid parallel result")
+	}
+}
+
+// quasi adds a quasi-dense block so the early-termination shortcut cannot
+// fire and step 3 actually runs.
+func quasi(g *bigraph.Graph) *bigraph.Graph {
+	return workload.PlantQuasi(g, 27, 27, 0.6, 99)
+}

@@ -1,0 +1,133 @@
+// Package sparse implements the paper's framework for large sparse
+// bipartite graphs (Section 5): hbvMBB (Algorithm 4) with its three
+// steps — heuristics + reduction (hMBB, Algorithm 5), bridging to locally
+// dense vertex-centred subgraphs over a total search order (bridgeMBB,
+// Algorithm 6, Definitions 5–6), and maximality verification with the
+// dense solver (verifyMBB, Algorithm 8) — plus the bd1..bd5 ablation
+// variants of Table 3.
+package sparse
+
+import (
+	"repro/internal/bigraph"
+	"repro/internal/core"
+	"repro/internal/decomp"
+)
+
+// Options configures hbvMBB and its ablation variants.
+type Options struct {
+	Budget *core.Budget // nil means unlimited
+
+	// Order is the total search order used to build vertex-centred
+	// subgraphs. The default (zero value) is decomp.OrderDegree; callers
+	// should normally pass decomp.OrderBidegeneracy, the paper's choice.
+	Order decomp.OrderKind
+
+	// SkipHeuristic disables step 1 entirely (variant bd1).
+	SkipHeuristic bool
+
+	// SkipCoreOpts disables every core/bicore-based optimisation (variant
+	// bd2): no Lemma 4 reduction, no degeneracy pruning of subgraphs, and
+	// degree-based scores replace core numbers in the heuristics. It also
+	// forces the degree order, since the peeling orders are themselves
+	// core-based.
+	SkipCoreOpts bool
+
+	// UseBasicBB verifies subgraphs with Algorithm 1 instead of denseMBB
+	// (variant bd3).
+	UseBasicBB bool
+
+	// Seeds is the number of high-score seed vertices each greedy
+	// heuristic tries (default 8).
+	Seeds int
+
+	// Workers sets the number of goroutines used by the maximality
+	// verification step; values ≤ 1 keep it sequential. Parallel
+	// verification is an engineering extension over the paper (whose
+	// implementation is sequential); results are identical, only the
+	// schedule differs. With a MaxNodes budget the limit applies per
+	// worker.
+	Workers int
+}
+
+// DefaultOptions returns the full hbvMBB configuration used in the
+// paper's headline results.
+func DefaultOptions() Options {
+	return Options{Order: decomp.OrderBidegeneracy, Seeds: 8}
+}
+
+// Solve runs Algorithm 4 (hbvMBB) on g and returns the maximum balanced
+// biclique (exact unless the budget ran out).
+func Solve(g *bigraph.Graph, opt Options) core.Result {
+	if opt.Seeds <= 0 {
+		opt.Seeds = 8
+	}
+	st := &state{g: g, opt: opt}
+
+	// Step 1: heuristics and global reduction (hMBB).
+	reduced, newToOld, done := st.hMBB()
+	st.stats.HeurGlobalSize = st.bestSize()
+	st.stats.HeurLocalSize = st.bestSize() // refined by step 2 if it runs
+	if done {
+		st.stats.Step = core.Step1
+		return st.result()
+	}
+
+	// Step 2: bridge to vertex-centred subgraphs.
+	survivors := st.bridge(reduced, newToOld)
+	st.stats.HeurLocalSize = st.bestSize()
+	if len(survivors) == 0 {
+		st.stats.Step = core.Step2
+		return st.result()
+	}
+
+	// Step 3: maximality verification.
+	st.stats.Step = core.Step3
+	st.verify(survivors)
+	return st.result()
+}
+
+// HeuristicOnly runs only step 1 of the framework (hMBB, Algorithm 5):
+// the greedy heuristics with core-based reduction and early termination.
+// The result is the heuristic incumbent; Stats.Step is Step1 if
+// optimality was proven, StepNone otherwise.
+func HeuristicOnly(g *bigraph.Graph, opt Options) core.Result {
+	if opt.Seeds <= 0 {
+		opt.Seeds = 8
+	}
+	st := &state{g: g, opt: opt}
+	_, _, done := st.hMBB()
+	st.stats.HeurGlobalSize = st.bestSize()
+	if done {
+		st.stats.Step = core.Step1
+	}
+	return st.result()
+}
+
+// state carries the incumbent (always in original unified ids) and the
+// aggregated statistics across the three steps.
+type state struct {
+	g     *bigraph.Graph
+	opt   Options
+	best  bigraph.Biclique
+	stats core.Stats
+}
+
+func (s *state) bestSize() int { return s.best.Size() }
+
+// improve installs bc (given in original unified ids) if strictly larger.
+func (s *state) improve(bc bigraph.Biclique) bool {
+	if bc.Size() > s.best.Size() {
+		s.best = bc.Balanced()
+		return true
+	}
+	return false
+}
+
+func (s *state) result() core.Result {
+	return core.Result{Biclique: s.best, Stats: s.stats}
+}
+
+// remap lifts a biclique through a newToOld table.
+func remap(bc bigraph.Biclique, newToOld []int) bigraph.Biclique {
+	return bc.Remap(newToOld)
+}

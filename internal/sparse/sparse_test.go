@@ -1,0 +1,181 @@
+package sparse_test
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/baseline"
+	"repro/internal/bigraph"
+	"repro/internal/core"
+	"repro/internal/decomp"
+	"repro/internal/sparse"
+)
+
+func randomBigraph(rng *rand.Rand, maxSide int, p float64) *bigraph.Graph {
+	nl, nr := 1+rng.Intn(maxSide), 1+rng.Intn(maxSide)
+	b := bigraph.NewBuilder(nl, nr)
+	for l := 0; l < nl; l++ {
+		for r := 0; r < nr; r++ {
+			if rng.Float64() < p {
+				b.AddEdge(l, r)
+			}
+		}
+	}
+	return b.Build()
+}
+
+func fig1b() *bigraph.Graph {
+	edges := [][2]int{
+		{0, 0}, {1, 0}, {1, 1}, {2, 1}, {2, 2}, {2, 3},
+		{3, 2}, {3, 3}, {4, 2}, {4, 3}, {5, 1}, {5, 4}, {5, 5},
+	}
+	return bigraph.FromEdges(6, 6, edges)
+}
+
+func TestSolveFig1b(t *testing.T) {
+	g := fig1b()
+	res := sparse.Solve(g, sparse.DefaultOptions())
+	if res.Biclique.Size() != 2 {
+		t.Fatalf("size = %d, want 2", res.Biclique.Size())
+	}
+	if !res.Biclique.IsBicliqueOf(g) || !res.Biclique.IsBalanced() {
+		t.Fatalf("invalid result %+v", res.Biclique)
+	}
+	// The paper's walkthrough of this graph terminates in step 1 via the
+	// Lemma 5 early-termination check (δ(G) = 2 = found size).
+	if res.Stats.Step != core.Step1 {
+		t.Errorf("step = %v, want S1", res.Stats.Step)
+	}
+}
+
+func TestSolveEmptyAndTiny(t *testing.T) {
+	for _, g := range []*bigraph.Graph{
+		bigraph.FromEdges(0, 0, nil),
+		bigraph.FromEdges(3, 3, nil),
+		bigraph.FromEdges(1, 1, [][2]int{{0, 0}}),
+	} {
+		res := sparse.Solve(g, sparse.DefaultOptions())
+		want := baseline.BruteForceSize(g)
+		if res.Biclique.Size() != want {
+			t.Fatalf("size = %d, want %d (nl=%d nr=%d m=%d)", res.Biclique.Size(), want, g.NL(), g.NR(), g.NumEdges())
+		}
+	}
+}
+
+func allVariants() map[string]sparse.Options {
+	return map[string]sparse.Options{
+		"hbvMBB": sparse.DefaultOptions(),
+		"bd1":    {Order: decomp.OrderBidegeneracy, SkipHeuristic: true},
+		"bd2":    {SkipCoreOpts: true},
+		"bd3":    {Order: decomp.OrderBidegeneracy, UseBasicBB: true},
+		"bd4":    {Order: decomp.OrderDegree},
+		"bd5":    {Order: decomp.OrderDegeneracy},
+	}
+}
+
+// TestQuickAllVariantsExact: every variant must stay exact on random
+// graphs (the variants trade speed, never correctness).
+func TestQuickAllVariantsExact(t *testing.T) {
+	variants := allVariants()
+	densities := []float64{0.05, 0.15, 0.3, 0.5, 0.8}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := randomBigraph(rng, 12, densities[rng.Intn(len(densities))])
+		want := baseline.BruteForceSize(g)
+		for name, opt := range variants {
+			res := sparse.Solve(g, opt)
+			if res.Biclique.Size() != want {
+				t.Logf("%s: got %d want %d on %dx%d edges=%v",
+					name, res.Biclique.Size(), want, g.NL(), g.NR(), g.Edges())
+				return false
+			}
+			if want > 0 && (!res.Biclique.IsBicliqueOf(g) || !res.Biclique.IsBalanced()) {
+				t.Logf("%s: invalid witness", name)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPlantedBiclique embeds a known K8,8 into a sparse background and
+// checks the framework recovers exactly size 8.
+func TestPlantedBiclique(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	nl, nr, k := 300, 300, 8
+	b := bigraph.NewBuilder(nl, nr)
+	for i := 0; i < 2000; i++ {
+		b.AddEdge(rng.Intn(nl), rng.Intn(nr))
+	}
+	for i := 0; i < k; i++ {
+		for j := 0; j < k; j++ {
+			b.AddEdge(100+i, 100+j)
+		}
+	}
+	g := b.Build()
+	res := sparse.Solve(g, sparse.DefaultOptions())
+	if res.Biclique.Size() != k {
+		t.Fatalf("planted size = %d, want %d", res.Biclique.Size(), k)
+	}
+	if !res.Biclique.IsBicliqueOf(g) {
+		t.Fatal("invalid witness")
+	}
+	if res.Stats.TimedOut {
+		t.Fatal("unexpected timeout")
+	}
+}
+
+func TestBudgetRespected(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	g := randomBigraph(rng, 40, 0.3)
+	opt := sparse.DefaultOptions()
+	opt.SkipHeuristic = true // force work into steps 2/3
+	opt.Budget = &core.Budget{MaxNodes: 1}
+	res := sparse.Solve(g, opt)
+	if !res.Stats.TimedOut {
+		t.Skip("graph solved within one node; acceptable")
+	}
+	// Result may be suboptimal but must still be a valid biclique.
+	if res.Biclique.Size() > 0 && !res.Biclique.IsBicliqueOf(g) {
+		t.Fatal("timeout result invalid")
+	}
+}
+
+func TestStatsPopulated(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	// A graph sparse enough to reach step 2/3 with a nontrivial optimum.
+	g := randomBigraph(rng, 30, 0.15)
+	opt := sparse.DefaultOptions()
+	opt.SkipHeuristic = true
+	res := sparse.Solve(g, opt)
+	if res.Stats.Step == core.StepNone {
+		t.Fatal("step not recorded")
+	}
+	if res.Stats.Subgraphs == 0 {
+		t.Fatal("no vertex-centred subgraphs recorded")
+	}
+	if res.Stats.Step == core.Step3 && res.Stats.SearchSamples == 0 && res.Stats.SubgraphsPruned == 0 {
+		t.Fatal("step 3 ran but neither solved nor pruned any subgraph")
+	}
+}
+
+// TestOrdersAgree: the three search orders must give identical optima.
+func TestOrdersAgree(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for trial := 0; trial < 10; trial++ {
+		g := randomBigraph(rng, 25, 0.2)
+		want := -1
+		for _, kind := range []decomp.OrderKind{decomp.OrderDegree, decomp.OrderDegeneracy, decomp.OrderBidegeneracy} {
+			res := sparse.Solve(g, sparse.Options{Order: kind})
+			if want == -1 {
+				want = res.Biclique.Size()
+			} else if res.Biclique.Size() != want {
+				t.Fatalf("order %v: got %d want %d", kind, res.Biclique.Size(), want)
+			}
+		}
+	}
+}

@@ -1,0 +1,184 @@
+package sparse
+
+import (
+	"sync"
+
+	"repro/internal/bigraph"
+	"repro/internal/core"
+	"repro/internal/decomp"
+	"repro/internal/dense"
+)
+
+// verify is step 3 of the framework (Algorithm 8): each surviving
+// vertex-centred subgraph is reduced to the (best+1)-core and, if its
+// centre survives, searched exhaustively with the dense solver anchored
+// at the centre. Any strictly larger balanced biclique found becomes the
+// new incumbent, which strengthens the reduction for the remaining
+// subgraphs. With Options.Workers > 1 the subgraphs are verified
+// concurrently; each worker reads the incumbent at dispatch time, so
+// pruning is slightly weaker than the sequential schedule but the result
+// is identical.
+func (s *state) verify(survivors []centred) {
+	if s.opt.Workers > 1 {
+		s.verifyParallel(survivors)
+		return
+	}
+	for _, h := range survivors {
+		if s.opt.Budget.Exceeded() {
+			s.stats.TimedOut = true
+			return
+		}
+		bc, stats, found := s.solveCentred(h, s.bestSize(), s.opt.Budget)
+		s.stats.Merge(&stats)
+		if found {
+			s.improve(bc)
+		}
+	}
+}
+
+// verifyParallel fans the surviving subgraphs out to a worker pool. The
+// shared budget is replaced by per-worker budgets with the same deadline
+// (core.Budget is not safe for concurrent use); node limits are applied
+// per worker.
+func (s *state) verifyParallel(survivors []centred) {
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	jobs := make(chan centred)
+	workers := s.opt.Workers
+
+	for w := 0; w < workers; w++ {
+		wb := cloneBudget(s.opt.Budget)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for h := range jobs {
+				mu.Lock()
+				best := s.bestSize()
+				mu.Unlock()
+				bc, stats, found := s.solveCentred(h, best, wb)
+				mu.Lock()
+				s.stats.Merge(&stats)
+				if found {
+					s.improve(bc)
+				}
+				mu.Unlock()
+				if wb.Exceeded() {
+					mu.Lock()
+					s.stats.TimedOut = true
+					mu.Unlock()
+					break
+				}
+			}
+			// Drain remaining jobs if we broke early.
+			for range jobs {
+			}
+		}()
+	}
+	for _, h := range survivors {
+		jobs <- h
+	}
+	close(jobs)
+	wg.Wait()
+}
+
+// cloneBudget derives an independent budget with the same limits.
+func cloneBudget(b *core.Budget) *core.Budget {
+	if b == nil {
+		return nil
+	}
+	return &core.Budget{Deadline: b.Deadline, MaxNodes: b.MaxNodes}
+}
+
+// solveCentred verifies one vertex-centred subgraph against the incumbent
+// size `best` and returns an improving biclique (in original unified ids)
+// if one exists. It is safe for concurrent use: it only reads immutable
+// state from s (the graph and options).
+func (s *state) solveCentred(h centred, best int, budget *core.Budget) (bigraph.Biclique, core.Stats, bool) {
+	var stats core.Stats
+	mode := dense.ModeDense
+	if s.opt.UseBasicBB {
+		mode = dense.ModeBasic
+	}
+
+	// Re-apply the cheap prunes with the (possibly improved) incumbent.
+	mask := decomp.KCoreMask(h.sub, best+1)
+	if !mask[h.center] {
+		stats.SubgraphsPruned++
+		return bigraph.Biclique{}, stats, false
+	}
+	sub2, toSub := h.sub.InducedByMask(mask)
+	nl, nr := sub2.NL(), sub2.NR()
+	if nl <= best || nr <= best {
+		stats.SubgraphsPruned++
+		return bigraph.Biclique{}, stats, false
+	}
+	toOrig := make([]int, len(toSub))
+	for i, v := range toSub {
+		toOrig[i] = h.toOrig[v]
+	}
+
+	// Locate the centre in sub2 and orient the matrix so the centre side
+	// is the matrix's left side.
+	centerOrig := h.toOrig[h.center]
+	center := indexOf(toOrig, centerOrig)
+	if center < 0 {
+		return bigraph.Biclique{}, stats, false // unreachable: mask held
+	}
+	var lefts, rights []int
+	if sub2.IsLeft(center) {
+		lefts = sideIDs(sub2, true)
+		rights = sideIDs(sub2, false)
+	} else {
+		lefts = sideIDs(sub2, false)
+		rights = sideIDs(sub2, true)
+	}
+	anchor := indexOf(lefts, center)
+	m := dense.FromInduced(sub2, lefts, rights)
+	res := dense.Solve(m, dense.Options{
+		Mode:   mode,
+		Budget: budget,
+		Lower:  best,
+		FixedA: []int{anchor},
+	})
+	stats.Merge(&res.Stats)
+	if !res.Found {
+		return bigraph.Biclique{}, stats, false
+	}
+	// Lift matrix indices → sub2 ids → original ids, then split by
+	// original side (the matrix may be side-flipped).
+	var bc bigraph.Biclique
+	for _, i := range res.A {
+		bc.A = append(bc.A, toOrig[lefts[i]])
+	}
+	for _, j := range res.B {
+		bc.B = append(bc.B, toOrig[rights[j]])
+	}
+	if !s.g.IsLeft(bc.A[0]) {
+		bc.A, bc.B = bc.B, bc.A
+	}
+	return bc, stats, true
+}
+
+// sideIDs lists the unified ids of one side of g.
+func sideIDs(g *bigraph.Graph, left bool) []int {
+	var out []int
+	if left {
+		for i := 0; i < g.NL(); i++ {
+			out = append(out, g.Left(i))
+		}
+	} else {
+		for j := 0; j < g.NR(); j++ {
+			out = append(out, g.Right(j))
+		}
+	}
+	return out
+}
+
+func indexOf(a []int, v int) int {
+	for i, x := range a {
+		if x == v {
+			return i
+		}
+	}
+	return -1
+}

@@ -1,0 +1,139 @@
+package workload
+
+import "repro/internal/bigraph"
+
+// Dataset describes one KONECT graph from the paper's Table 5, with the
+// published side sizes, density and optimum balanced size.
+type Dataset struct {
+	Name    string
+	L, R    int     // published side sizes
+	Density float64 // published density (absolute, not ×10⁻⁴)
+	Optimum int     // published maximum balanced biclique size (per side)
+	Tough   bool    // member of the Table 6 "tough" subset
+	DIndex  int     // D1..D12 index within the tough subset (0 otherwise)
+}
+
+// Registry lists the 30 datasets of Table 5 in the paper's order. The
+// density column of the paper is given ×10⁻⁴; here it is absolute.
+var Registry = []Dataset{
+	{Name: "unicodelang", L: 254, R: 614, Density: 8.0e-4, Optimum: 4},
+	{Name: "moreno-crime-crime", L: 829, R: 551, Density: 3.2e-4, Optimum: 2},
+	{Name: "opsahl-ucforum", L: 899, R: 522, Density: 71.855e-4, Optimum: 5},
+	{Name: "escorts", L: 10106, R: 6624, Density: 0.756e-4, Optimum: 6},
+	{Name: "jester", L: 173421, R: 100, Density: 563.376e-4, Optimum: 100, Tough: true, DIndex: 1},
+	{Name: "pics-ut", L: 17122, R: 82035, Density: 1.637e-4, Optimum: 30, Tough: true, DIndex: 2},
+	{Name: "youtube-groupmemberships", L: 94238, R: 30087, Density: 0.103e-4, Optimum: 12},
+	{Name: "dbpedia-writer", L: 89356, R: 46213, Density: 0.035e-4, Optimum: 6},
+	{Name: "dbpedia-starring", L: 76099, R: 81085, Density: 0.046e-4, Optimum: 6},
+	{Name: "github", L: 56519, R: 120867, Density: 0.064e-4, Optimum: 12, Tough: true, DIndex: 3},
+	{Name: "dbpedia-recordlabel", L: 168337, R: 18421, Density: 0.075e-4, Optimum: 6},
+	{Name: "dbpedia-producer", L: 48833, R: 138844, Density: 0.031e-4, Optimum: 6},
+	{Name: "dbpedia-location", L: 172091, R: 53407, Density: 0.032e-4, Optimum: 5},
+	{Name: "dbpedia-occupation", L: 127577, R: 101730, Density: 0.019e-4, Optimum: 6},
+	{Name: "dbpedia-genre", L: 258934, R: 7783, Density: 0.230e-4, Optimum: 7},
+	{Name: "discogs-lgenre", L: 270771, R: 15, Density: 1021.2e-4, Optimum: 15},
+	{Name: "bookcrossing-full-rating", L: 105278, R: 340523, Density: 0.032e-4, Optimum: 13, Tough: true, DIndex: 4},
+	{Name: "flickr-groupmemberships", L: 395979, R: 103631, Density: 0.208e-4, Optimum: 47, Tough: true, DIndex: 5},
+	{Name: "actor-movie", L: 127823, R: 383640, Density: 0.030e-4, Optimum: 8, Tough: true, DIndex: 6},
+	{Name: "stackexchange-stackoverflow", L: 545196, R: 96680, Density: 0.025e-4, Optimum: 9, Tough: true, DIndex: 7},
+	{Name: "bibsonomy-2ui", L: 5794, R: 767447, Density: 0.575e-4, Optimum: 8},
+	{Name: "dbpedia-team", L: 901166, R: 34461, Density: 0.044e-4, Optimum: 6},
+	{Name: "reuters", L: 781265, R: 283911, Density: 0.273e-4, Optimum: 51, Tough: true, DIndex: 8},
+	{Name: "discogs-style", L: 1617943, R: 383, Density: 38.868e-4, Optimum: 42, Tough: true, DIndex: 9},
+	{Name: "gottron-trec", L: 556077, R: 1173225, Density: 0.128e-4, Optimum: 101, Tough: true, DIndex: 10},
+	{Name: "edit-frwiktionary", L: 5017, R: 1907247, Density: 0.773e-4, Optimum: 19},
+	{Name: "discogs-affiliation", L: 1754823, R: 270771, Density: 0.030e-4, Optimum: 26, Tough: true, DIndex: 11},
+	{Name: "wiki-en-cat", L: 1853493, R: 182947, Density: 0.011e-4, Optimum: 14},
+	{Name: "edit-dewiki", L: 425842, R: 3195148, Density: 0.042e-4, Optimum: 49, Tough: true, DIndex: 12},
+	{Name: "dblp-author", L: 1425813, R: 4000, Density: 0.002e-4, Optimum: 10},
+}
+
+// Tough returns the Table 6 subset (D1..D12) in order.
+func Tough() []Dataset {
+	var out []Dataset
+	for _, d := range Registry {
+		if d.Tough {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// ByName returns the dataset with the given name, or false.
+func ByName(name string) (Dataset, bool) {
+	for _, d := range Registry {
+		if d.Name == name {
+			return d, true
+		}
+	}
+	return Dataset{}, false
+}
+
+// ScaledShape returns the generated side sizes and target edge count for
+// the stand-in graph: the vertex total is reduced to at most maxVerts
+// (preserving the L:R ratio), the published average degree is preserved,
+// and each side keeps at least the published optimum (so the plant fits)
+// plus a small floor.
+func (d Dataset) ScaledShape(maxVerts int) (nl, nr, m int) {
+	total := d.L + d.R
+	f := 1.0
+	if maxVerts > 0 && total > maxVerts {
+		f = float64(total) / float64(maxVerts)
+	}
+	nl = int(float64(d.L) / f)
+	nr = int(float64(d.R) / f)
+	floor := func(orig int) int {
+		lo := d.Optimum
+		if orig < lo {
+			lo = orig
+		}
+		if orig >= 32 && lo < 32 {
+			lo = 32
+		}
+		return lo
+	}
+	if lo := floor(d.L); nl < lo {
+		nl = lo
+	}
+	if lo := floor(d.R); nr < lo {
+		nr = lo
+	}
+	origEdges := d.Density * float64(d.L) * float64(d.R)
+	m = int(origEdges / f)
+	return nl, nr, m
+}
+
+// Generate builds the seeded stand-in graph for d: a power-law background
+// at the scaled shape, a quasi-dense block that lifts the degeneracy
+// above the optimum (so the sparse framework cannot shortcut every
+// dataset at step 1, mirroring the S1/S2/S3 mix of Table 5), and a
+// planted Optimum×Optimum biclique. The measured optimum may exceed
+// d.Optimum if the random parts happen to contain something larger; the
+// harness always reports the measured value.
+func (d Dataset) Generate(maxVerts int, seed int64) *bigraph.Graph {
+	nl, nr, m := d.ScaledShape(maxVerts)
+	g := PowerLaw(nl, nr, m, 0.5, seed)
+	k := d.Optimum
+	if k > nl {
+		k = nl
+	}
+	if k > nr {
+		k = nr
+	}
+	if k >= 3 {
+		// A 3k×3k block at density p has degeneracy ≈ 3kp > k (so the
+		// Lemma 5 shortcut cannot fire) while the expected number of
+		// (k+1)×(k+1) all-ones submatrices, ~exp(2·3k·H(1/3) + (k+1)²·ln p),
+		// stays far below 1 for the chosen p — the planted biclique
+		// remains the optimum.
+		p := 0.65
+		if k < 7 {
+			p = 0.4
+		}
+		g = PlantQuasi(g, 3*k, 3*k, p, seed+2)
+	}
+	if k > 0 {
+		g, _, _ = Plant(g, k, seed+1)
+	}
+	return g
+}

@@ -1,0 +1,191 @@
+package workload_test
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/bigraph"
+	"repro/internal/sparse"
+	"repro/internal/workload"
+)
+
+func TestDenseDeterministicAndOnTarget(t *testing.T) {
+	g1 := workload.Dense(60, 60, 0.8, 7)
+	g2 := workload.Dense(60, 60, 0.8, 7)
+	if g1.NumEdges() != g2.NumEdges() {
+		t.Fatal("not deterministic")
+	}
+	got := g1.Density()
+	if math.Abs(got-0.8) > 0.05 {
+		t.Fatalf("density = %v, want ~0.8", got)
+	}
+	g3 := workload.Dense(60, 60, 0.8, 8)
+	if g1.NumEdges() == g3.NumEdges() && equalEdges(g1, g3) {
+		t.Fatal("different seeds gave identical graphs")
+	}
+}
+
+func equalEdges(a, b *bigraph.Graph) bool {
+	ea, eb := a.Edges(), b.Edges()
+	if len(ea) != len(eb) {
+		return false
+	}
+	for i := range ea {
+		if ea[i] != eb[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestPowerLawShape(t *testing.T) {
+	g := workload.PowerLaw(2000, 1000, 8000, 0.5, 3)
+	if g.NL() != 2000 || g.NR() != 1000 {
+		t.Fatal("shape wrong")
+	}
+	if g.NumEdges() < 6000 {
+		t.Fatalf("too many duplicates: m = %d", g.NumEdges())
+	}
+	// Power-law: the max degree should greatly exceed the average.
+	avg := 2.0 * float64(g.NumEdges()) / float64(g.NumVertices())
+	if float64(g.MaxDegree()) < 4*avg {
+		t.Fatalf("degree distribution too flat: max %d avg %.1f", g.MaxDegree(), avg)
+	}
+	// Deterministic.
+	if !equalEdges(g, workload.PowerLaw(2000, 1000, 8000, 0.5, 3)) {
+		t.Fatal("not deterministic")
+	}
+}
+
+func TestPowerLawEmptySides(t *testing.T) {
+	g := workload.PowerLaw(0, 5, 10, 0.5, 1)
+	if g.NumEdges() != 0 {
+		t.Fatal("edges on empty side")
+	}
+}
+
+func TestPlant(t *testing.T) {
+	g := workload.PowerLaw(200, 200, 400, 0.5, 5)
+	planted, lefts, rights := workload.Plant(g, 6, 9)
+	if len(lefts) != 6 || len(rights) != 6 {
+		t.Fatal("plant sizes wrong")
+	}
+	bc := bigraph.Biclique{}
+	for _, l := range lefts {
+		bc.A = append(bc.A, planted.Left(l))
+	}
+	for _, r := range rights {
+		bc.B = append(bc.B, planted.Right(r))
+	}
+	if !bc.IsBicliqueOf(planted) {
+		t.Fatal("planted biclique not present")
+	}
+}
+
+func TestPlantTooLargePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	workload.Plant(bigraph.FromEdges(3, 3, nil), 4, 1)
+}
+
+func TestRegistryComplete(t *testing.T) {
+	if len(workload.Registry) != 30 {
+		t.Fatalf("registry has %d datasets, want 30", len(workload.Registry))
+	}
+	tough := workload.Tough()
+	if len(tough) != 12 {
+		t.Fatalf("tough subset has %d datasets, want 12", len(tough))
+	}
+	for i, d := range tough {
+		if d.DIndex != i+1 {
+			t.Fatalf("tough order broken at %s: DIndex %d at position %d", d.Name, d.DIndex, i)
+		}
+	}
+	if _, ok := workload.ByName("jester"); !ok {
+		t.Fatal("ByName failed")
+	}
+	if _, ok := workload.ByName("nope"); ok {
+		t.Fatal("ByName found a ghost")
+	}
+}
+
+func TestScaledShapeInvariants(t *testing.T) {
+	for _, d := range workload.Registry {
+		nl, nr, m := d.ScaledShape(40000)
+		if nl+nr > 40000+2*d.Optimum+64 {
+			t.Errorf("%s: scaled total %d too large", d.Name, nl+nr)
+		}
+		if nl < min2(d.Optimum, d.L) || nr < min2(d.Optimum, d.R) {
+			t.Errorf("%s: optimum does not fit: %dx%d opt %d", d.Name, nl, nr, d.Optimum)
+		}
+		if m < 0 {
+			t.Errorf("%s: negative edges", d.Name)
+		}
+		// Average degree is preserved within a factor of ~2.
+		origAvg := 2 * d.Density * float64(d.L) * float64(d.R) / float64(d.L+d.R)
+		scaledAvg := 2 * float64(m) / float64(nl+nr)
+		if origAvg > 1 && (scaledAvg < origAvg/2 || scaledAvg > 2.5*origAvg) {
+			t.Errorf("%s: avg degree drifted: orig %.2f scaled %.2f", d.Name, origAvg, scaledAvg)
+		}
+	}
+}
+
+func min2(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// TestGenerateAndSolveSmall: end-to-end sanity on a few small datasets —
+// the generated stand-in must contain at least the planted optimum.
+func TestGenerateAndSolveSmall(t *testing.T) {
+	for _, name := range []string{"unicodelang", "moreno-crime-crime", "escorts"} {
+		d, _ := workload.ByName(name)
+		g := d.Generate(8000, 1)
+		res := sparse.Solve(g, sparse.DefaultOptions())
+		if res.Biclique.Size() < d.Optimum {
+			t.Errorf("%s: solved %d < planted %d", name, res.Biclique.Size(), d.Optimum)
+		}
+		if !res.Biclique.IsBicliqueOf(g) {
+			t.Errorf("%s: invalid witness", name)
+		}
+	}
+}
+
+func TestPlantQuasi(t *testing.T) {
+	g := workload.PowerLaw(100, 100, 200, 0.5, 3)
+	before := g.NumEdges()
+	q := workload.PlantQuasi(g, 20, 20, 0.5, 7)
+	if q.NumEdges() <= before {
+		t.Fatalf("quasi block added no edges: %d -> %d", before, q.NumEdges())
+	}
+	if q.NL() != 100 || q.NR() != 100 {
+		t.Fatal("shape changed")
+	}
+	// Clamping: requesting a block bigger than the graph must not panic.
+	q2 := workload.PlantQuasi(g, 1000, 1000, 0.1, 8)
+	if q2.NL() != 100 {
+		t.Fatal("clamped quasi wrong")
+	}
+	// p <= 0 is a no-op returning the same graph.
+	if got := workload.PlantQuasi(g, 10, 10, 0, 9); got != g {
+		t.Fatal("zero-p quasi should return the input unchanged")
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	d, _ := workload.ByName("github")
+	g1 := d.Generate(5000, 42)
+	g2 := d.Generate(5000, 42)
+	if g1.NumEdges() != g2.NumEdges() || !equalEdges(g1, g2) {
+		t.Fatal("dataset generation not deterministic")
+	}
+	g3 := d.Generate(5000, 43)
+	if equalEdges(g1, g3) {
+		t.Fatal("different seeds produced identical graphs")
+	}
+}

@@ -1,0 +1,100 @@
+package mbb
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/baseline"
+	"repro/internal/core"
+	"repro/internal/dense"
+	"repro/internal/matching"
+)
+
+// This file exposes the sibling biclique problems the paper's related
+// work covers (§7): the polynomial maximum *vertex* biclique, the NP-hard
+// maximum *edge* biclique, the size-constrained (a, b) decision problem
+// (§4.2) and full maximal biclique enumeration.
+
+// errTooLarge guards the dense-matrix based extensions.
+var errTooLarge = errors.New("mbb: graph too large for a dense adjacency matrix")
+
+func matrixOf(g *Graph) (*dense.Matrix, error) {
+	if g == nil {
+		return nil, ErrNilGraph
+	}
+	if int64(g.NL())*int64(g.NR()) > 1<<32 {
+		return nil, fmt.Errorf("%w (%d×%d)", errTooLarge, g.NL(), g.NR())
+	}
+	return dense.FromBigraph(g), nil
+}
+
+// liftMatrix translates matrix-local index sets back to unified ids.
+func liftMatrix(g *Graph, A, B []int) Biclique {
+	var bc Biclique
+	for _, l := range A {
+		bc.A = append(bc.A, g.Left(l))
+	}
+	for _, r := range B {
+		bc.B = append(bc.B, g.Right(r))
+	}
+	return bc
+}
+
+// SolveMaxVertex computes a maximum *vertex* biclique — maximising
+// |A|+|B| with no balance constraint — in polynomial time via the
+// König-theorem reduction to maximum matching on the bipartite
+// complement (§7 of the paper).
+func SolveMaxVertex(g *Graph) (Biclique, error) {
+	m, err := matrixOf(g)
+	if err != nil {
+		return Biclique{}, err
+	}
+	A, B := matching.MaxVertexBiclique(m)
+	return liftMatrix(g, A, B), nil
+}
+
+// SolveMaxEdge computes a maximum *edge* biclique — maximising |A|·|B| —
+// exactly by branch and bound. The problem is NP-hard; timeout 0 means
+// unlimited. The boolean reports whether the search completed (exact).
+func SolveMaxEdge(g *Graph, timeout time.Duration) (Biclique, bool, error) {
+	m, err := matrixOf(g)
+	if err != nil {
+		return Biclique{}, false, err
+	}
+	res := dense.SolveMaxEdge(m, core.NewTimeBudget(timeout))
+	return liftMatrix(g, res.A, res.B), !res.Stats.TimedOut, nil
+}
+
+// HasBiclique answers the size-constrained (a, b)-biclique decision
+// problem (§4.2): does g contain a biclique with |A| ≥ a and |B| ≥ b?
+// On success the returned biclique is a witness with exactly (a, b)
+// vertices. a and b must be positive.
+func HasBiclique(g *Graph, a, b int, timeout time.Duration) (bool, Biclique, error) {
+	if a <= 0 || b <= 0 {
+		return false, Biclique{}, fmt.Errorf("mbb: sizes must be positive, got (%d,%d)", a, b)
+	}
+	m, err := matrixOf(g)
+	if err != nil {
+		return false, Biclique{}, err
+	}
+	ok, A, B := dense.HasSizeConstrained(m, a, b, core.NewTimeBudget(timeout))
+	if !ok {
+		return false, Biclique{}, nil
+	}
+	return true, liftMatrix(g, A, B), nil
+}
+
+// EnumerateMaximalBicliques calls fn for every maximal biclique of g with
+// both sides nonempty (iMBEA-style enumeration with maximality checking).
+// Returning false from fn stops the enumeration early. The return value
+// is the number of bicliques reported.
+func EnumerateMaximalBicliques(g *Graph, timeout time.Duration, fn func(bc Biclique) bool) (int, error) {
+	if g == nil {
+		return 0, ErrNilGraph
+	}
+	n := baseline.EnumerateMaximal(g, core.NewTimeBudget(timeout), func(A, B []int) bool {
+		return fn(Biclique{A: A, B: B})
+	})
+	return n, nil
+}

@@ -1,0 +1,128 @@
+package mbb_test
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/mbb"
+)
+
+func TestSolveMaxVertex(t *testing.T) {
+	// Star: one left hub connected to 5 rights → MVB is 1+5 = 6.
+	g := mbb.FromEdges(3, 5, [][2]int{{0, 0}, {0, 1}, {0, 2}, {0, 3}, {0, 4}, {1, 0}})
+	bc, err := mbb.SolveMaxVertex(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(bc.A) + len(bc.B); got != 6 {
+		t.Fatalf("MVB size = %d, want 6 (%v %v)", got, bc.A, bc.B)
+	}
+	if !bc.IsBicliqueOf(g) {
+		t.Fatal("invalid MVB")
+	}
+	if _, err := mbb.SolveMaxVertex(nil); err == nil {
+		t.Fatal("nil graph accepted")
+	}
+}
+
+func TestSolveMaxEdge(t *testing.T) {
+	// 2x3 complete block (6 edges) beats a 1x4 star (4 edges).
+	g := mbb.FromEdges(3, 4, [][2]int{
+		{0, 0}, {0, 1}, {0, 2},
+		{1, 0}, {1, 1}, {1, 2},
+		{2, 3},
+	})
+	bc, exact, err := mbb.SolveMaxEdge(g, time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !exact {
+		t.Fatal("tiny instance should be exact")
+	}
+	if got := len(bc.A) * len(bc.B); got != 6 {
+		t.Fatalf("MEB edges = %d, want 6", got)
+	}
+	if !bc.IsBicliqueOf(g) {
+		t.Fatal("invalid MEB")
+	}
+}
+
+func TestHasBiclique(t *testing.T) {
+	g := mbb.FromEdges(3, 3, [][2]int{{0, 0}, {0, 1}, {1, 0}, {1, 1}, {2, 2}})
+	ok, bc, err := mbb.HasBiclique(g, 2, 2, 0)
+	if err != nil || !ok {
+		t.Fatalf("expected a (2,2) biclique: %v %v", ok, err)
+	}
+	if len(bc.A) != 2 || len(bc.B) != 2 || !bc.IsBicliqueOf(g) {
+		t.Fatalf("bad witness %v", bc)
+	}
+	ok, _, err = mbb.HasBiclique(g, 3, 2, 0)
+	if err != nil || ok {
+		t.Fatalf("there is no (3,2) biclique: %v %v", ok, err)
+	}
+	if _, _, err := mbb.HasBiclique(g, 0, 1, 0); err == nil {
+		t.Fatal("non-positive size accepted")
+	}
+}
+
+func TestEnumerateMaximalBicliques(t *testing.T) {
+	// Perfect matching: 4 maximal bicliques.
+	g := mbb.FromEdges(4, 4, [][2]int{{0, 0}, {1, 1}, {2, 2}, {3, 3}})
+	count := 0
+	n, err := mbb.EnumerateMaximalBicliques(g, 0, func(bc mbb.Biclique) bool {
+		count++
+		return bc.IsBicliqueOf(g)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 4 || count != 4 {
+		t.Fatalf("enumerated %d, want 4", n)
+	}
+	if _, err := mbb.EnumerateMaximalBicliques(nil, 0, nil); err == nil {
+		t.Fatal("nil graph accepted")
+	}
+}
+
+// TestExtensionsConsistency ties the three objectives together on random
+// graphs: MVB ≥ 2·MBB, MEB ≥ MBB², and the (k,k) decision agrees with the
+// MBB optimum.
+func TestExtensionsConsistency(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 15; trial++ {
+		g := randomGraph(rng, 10, 0.4)
+		res, err := mbb.Solve(g, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		k := res.Biclique.Size()
+
+		mvb, err := mbb.SolveMaxVertex(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(mvb.A)+len(mvb.B) < 2*k {
+			t.Fatalf("MVB %d < 2*MBB %d", len(mvb.A)+len(mvb.B), 2*k)
+		}
+
+		meb, exact, err := mbb.SolveMaxEdge(g, time.Minute)
+		if err != nil || !exact {
+			t.Fatalf("MEB failed: %v %v", err, exact)
+		}
+		if len(meb.A)*len(meb.B) < k*k {
+			t.Fatalf("MEB %d < MBB² %d", len(meb.A)*len(meb.B), k*k)
+		}
+
+		if k > 0 {
+			ok, _, err := mbb.HasBiclique(g, k, k, 0)
+			if err != nil || !ok {
+				t.Fatalf("(k,k) decision false for k = MBB = %d", k)
+			}
+		}
+		ok, _, err := mbb.HasBiclique(g, k+1, k+1, 0)
+		if err != nil || ok {
+			t.Fatalf("(k+1,k+1) decision true above the optimum %d", k)
+		}
+	}
+}

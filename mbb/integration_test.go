@@ -1,0 +1,133 @@
+package mbb_test
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/mbb"
+)
+
+// TestDatasetStandInsEndToEnd solves a sample of the Table 5 stand-ins at
+// small scale and checks the planted optimum is recovered exactly.
+func TestDatasetStandInsEndToEnd(t *testing.T) {
+	wantOpt := map[string]int{}
+	for _, d := range mbb.Datasets() {
+		wantOpt[d.Name] = d.Optimum
+	}
+	for _, name := range []string{"unicodelang", "moreno-crime-crime", "opsahl-ucforum", "escorts", "github", "dbpedia-genre"} {
+		g, ok := mbb.GenerateDataset(name, 8000, 3)
+		if !ok {
+			t.Fatalf("unknown dataset %s", name)
+		}
+		res, err := mbb.Solve(g, &mbb.Options{Algorithm: mbb.HbvMBB, Timeout: time.Minute})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Exact {
+			t.Errorf("%s: not exact within a minute", name)
+			continue
+		}
+		if res.Biclique.Size() < wantOpt[name] {
+			t.Errorf("%s: found %d < planted %d", name, res.Biclique.Size(), wantOpt[name])
+		}
+		if !res.Biclique.IsBicliqueOf(g) || !res.Biclique.IsBalanced() {
+			t.Errorf("%s: invalid result", name)
+		}
+	}
+}
+
+// TestQuickMonotoneUnderEdgeAddition: adding edges can never shrink the
+// maximum balanced biclique.
+func TestQuickMonotoneUnderEdgeAddition(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		nl, nr := 2+rng.Intn(10), 2+rng.Intn(10)
+		var edges [][2]int
+		for l := 0; l < nl; l++ {
+			for r := 0; r < nr; r++ {
+				if rng.Float64() < 0.3 {
+					edges = append(edges, [2]int{l, r})
+				}
+			}
+		}
+		g1 := mbb.FromEdges(nl, nr, edges)
+		// Add a few more random edges.
+		extra := append([][2]int(nil), edges...)
+		for i := 0; i < 4; i++ {
+			extra = append(extra, [2]int{rng.Intn(nl), rng.Intn(nr)})
+		}
+		g2 := mbb.FromEdges(nl, nr, extra)
+		r1, err1 := mbb.Solve(g1, nil)
+		r2, err2 := mbb.Solve(g2, nil)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return r2.Biclique.Size() >= r1.Biclique.Size()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickSubgraphBound: the MBB of an induced subgraph never exceeds
+// the MBB of the full graph (exercises consistency between the sparse
+// pipeline and graph surgery).
+func TestQuickSubgraphBound(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		nl, nr := 3+rng.Intn(9), 3+rng.Intn(9)
+		b := mbb.NewBuilder(nl, nr)
+		for l := 0; l < nl; l++ {
+			for r := 0; r < nr; r++ {
+				if rng.Float64() < 0.4 {
+					b.AddEdge(l, r)
+				}
+			}
+		}
+		g := b.Build()
+		full, err := mbb.Solve(g, nil)
+		if err != nil {
+			return false
+		}
+		// Drop one left vertex's edges by rebuilding without it.
+		drop := rng.Intn(nl)
+		b2 := mbb.NewBuilder(nl, nr)
+		for _, e := range g.Edges() {
+			if e[0] != drop {
+				b2.AddEdge(e[0], e[1])
+			}
+		}
+		sub, err := mbb.Solve(b2.Build(), nil)
+		if err != nil {
+			return false
+		}
+		return sub.Biclique.Size() <= full.Biclique.Size()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDeterminism: repeated solves of the same graph return the same
+// size regardless of algorithm.
+func TestDeterminism(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	g := randomGraph(rng, 12, 0.4)
+	var sizes []int
+	for i := 0; i < 3; i++ {
+		for _, a := range []mbb.Algorithm{mbb.HbvMBB, mbb.DenseMBB} {
+			res, err := mbb.Solve(g, &mbb.Options{Algorithm: a})
+			if err != nil {
+				t.Fatal(err)
+			}
+			sizes = append(sizes, res.Biclique.Size())
+		}
+	}
+	for _, s := range sizes {
+		if s != sizes[0] {
+			t.Fatalf("nondeterministic sizes: %v", sizes)
+		}
+	}
+}

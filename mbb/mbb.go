@@ -1,0 +1,194 @@
+// Package mbb is the public API of the maximum-balanced-biclique library:
+// exact solvers for dense and sparse bipartite graphs reproducing Chen,
+// Liu, Zhou, Xu and Li, "Efficient Exact Algorithms for Maximum Balanced
+// Biclique Search in Bipartite Graphs" (PVLDB/SIGMOD 2021 line of work).
+//
+// Quick start:
+//
+//	g := mbb.FromEdges(3, 3, [][2]int{{0, 0}, {0, 1}, {1, 0}, {1, 1}})
+//	res, err := mbb.Solve(g, nil)
+//	// res.Biclique.A and .B hold the two sides; res.Exact reports
+//	// whether the search completed within budget.
+//
+// The solver picks hbvMBB (the sparse framework, Algorithm 4) or denseMBB
+// (Algorithm 3) automatically based on graph shape; Options overrides the
+// choice, adds budgets, or selects baseline algorithms for comparison.
+package mbb
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/baseline"
+	"repro/internal/bigraph"
+	"repro/internal/core"
+	"repro/internal/decomp"
+	"repro/internal/dense"
+	"repro/internal/sparse"
+)
+
+// Graph is a bipartite graph. Left vertices have unified ids [0, NL());
+// right vertices have [NL(), NL()+NR()).
+type Graph = bigraph.Graph
+
+// Builder accumulates edges for a Graph.
+type Builder = bigraph.Builder
+
+// Biclique is a pair of vertex sets (A over the left side, B over the
+// right side, both as unified ids).
+type Biclique = bigraph.Biclique
+
+// Stats carries search statistics.
+type Stats = core.Stats
+
+// NewBuilder returns a builder for an nl×nr bipartite graph.
+func NewBuilder(nl, nr int) *Builder { return bigraph.NewBuilder(nl, nr) }
+
+// FromEdges builds a graph from side-local (l, r) index pairs.
+func FromEdges(nl, nr int, edges [][2]int) *Graph { return bigraph.FromEdges(nl, nr, edges) }
+
+// ReadGraph parses the text edge-list format ("nL nR m" header, one "l r"
+// pair per line, '%'/'#' comments).
+func ReadGraph(r io.Reader) (*Graph, error) { return bigraph.Read(r) }
+
+// WriteGraph serialises g in the text edge-list format.
+func WriteGraph(w io.Writer, g *Graph) error { return bigraph.Write(w, g) }
+
+// Algorithm selects the solver.
+type Algorithm int
+
+const (
+	// Auto picks DenseMBB for small dense graphs and HbvMBB otherwise.
+	Auto Algorithm = iota
+	// HbvMBB is the paper's framework for large sparse graphs
+	// (Algorithm 4): heuristics + reduction, bridging to vertex-centred
+	// subgraphs in bidegeneracy order, and dense verification.
+	HbvMBB
+	// DenseMBB is the reduction/branch-and-bound solver for dense graphs
+	// (Algorithm 3).
+	DenseMBB
+	// BasicBB is the plain enumeration of Algorithm 1 (mainly a baseline).
+	BasicBB
+	// ExtBBCL is the prior state-of-the-art exact algorithm [31].
+	ExtBBCL
+)
+
+// String names the algorithm as in the paper.
+func (a Algorithm) String() string {
+	switch a {
+	case Auto:
+		return "auto"
+	case HbvMBB:
+		return "hbvMBB"
+	case DenseMBB:
+		return "denseMBB"
+	case BasicBB:
+		return "basicBB"
+	case ExtBBCL:
+		return "extBBCL"
+	}
+	return "unknown"
+}
+
+// Options configures Solve. The zero value (or nil) means: automatic
+// algorithm choice, bidegeneracy order, no budget.
+type Options struct {
+	Algorithm Algorithm
+
+	// Timeout bounds the wall-clock search time; 0 means unlimited. When
+	// the budget expires the best biclique found so far is returned with
+	// Exact == false.
+	Timeout time.Duration
+
+	// MaxNodes bounds the number of search nodes; 0 means unlimited.
+	MaxNodes int64
+
+	// Order selects the total search order for HbvMBB (default
+	// bidegeneracy, the paper's choice).
+	Order decomp.OrderKind
+}
+
+// Result is the outcome of Solve.
+type Result struct {
+	// Biclique is the best balanced biclique found. A and B are unified
+	// vertex ids of the input graph.
+	Biclique Biclique
+	// Exact is true when the search ran to completion, proving optimality.
+	Exact bool
+	// Algorithm is the solver that actually ran (resolves Auto).
+	Algorithm Algorithm
+	// Stats holds search counters.
+	Stats Stats
+}
+
+// ErrNilGraph is returned when Solve receives a nil graph.
+var ErrNilGraph = errors.New("mbb: nil graph")
+
+// denseAutoLimit bounds the adjacency-matrix size (in bits per side
+// product) under which Auto considers the dense solver.
+const denseAutoLimit = 1 << 24 // 16M cells ≈ 2 MB per side
+
+// Solve computes a maximum balanced biclique of g. opt may be nil for
+// defaults. The result is exact unless a budget expired (Result.Exact).
+func Solve(g *Graph, opt *Options) (Result, error) {
+	if g == nil {
+		return Result{}, ErrNilGraph
+	}
+	if opt == nil {
+		opt = &Options{}
+	}
+	algo := opt.Algorithm
+	if algo == Auto {
+		if int64(g.NL())*int64(g.NR()) <= denseAutoLimit && g.Density() >= 0.4 {
+			algo = DenseMBB
+		} else {
+			algo = HbvMBB
+		}
+	}
+	budget := &core.Budget{MaxNodes: opt.MaxNodes}
+	if opt.Timeout > 0 {
+		budget.Deadline = time.Now().Add(opt.Timeout)
+	}
+
+	var res core.Result
+	switch algo {
+	case HbvMBB:
+		so := sparse.DefaultOptions()
+		if opt.Order != 0 {
+			so.Order = opt.Order
+		}
+		so.Budget = budget
+		res = sparse.Solve(g, so)
+	case DenseMBB, BasicBB:
+		mode := dense.ModeDense
+		if algo == BasicBB {
+			mode = dense.ModeBasic
+		}
+		if int64(g.NL())*int64(g.NR()) > 1<<32 {
+			return Result{}, fmt.Errorf("mbb: graph too large for the dense solver (%d×%d); use HbvMBB", g.NL(), g.NR())
+		}
+		m := dense.FromBigraph(g)
+		dres := dense.Solve(m, dense.Options{Mode: mode, Budget: budget})
+		res.Stats = dres.Stats
+		if dres.Found {
+			for _, l := range dres.A {
+				res.Biclique.A = append(res.Biclique.A, g.Left(l))
+			}
+			for _, r := range dres.B {
+				res.Biclique.B = append(res.Biclique.B, g.Right(r))
+			}
+		}
+	case ExtBBCL:
+		res = baseline.ExtBBCL(g, budget)
+	default:
+		return Result{}, fmt.Errorf("mbb: unknown algorithm %d", algo)
+	}
+	return Result{
+		Biclique:  res.Biclique,
+		Exact:     !res.Stats.TimedOut,
+		Algorithm: algo,
+		Stats:     res.Stats,
+	}, nil
+}

@@ -1,0 +1,153 @@
+package mbb_test
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/baseline"
+	"repro/mbb"
+)
+
+func randomGraph(rng *rand.Rand, maxSide int, p float64) *mbb.Graph {
+	nl, nr := 1+rng.Intn(maxSide), 1+rng.Intn(maxSide)
+	b := mbb.NewBuilder(nl, nr)
+	for l := 0; l < nl; l++ {
+		for r := 0; r < nr; r++ {
+			if rng.Float64() < p {
+				b.AddEdge(l, r)
+			}
+		}
+	}
+	return b.Build()
+}
+
+func TestSolveNil(t *testing.T) {
+	if _, err := mbb.Solve(nil, nil); err == nil {
+		t.Fatal("expected error for nil graph")
+	}
+}
+
+func TestSolveDefaults(t *testing.T) {
+	g := mbb.FromEdges(3, 3, [][2]int{{0, 0}, {0, 1}, {1, 0}, {1, 1}, {2, 2}})
+	res, err := mbb.Solve(g, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Biclique.Size() != 2 || !res.Exact {
+		t.Fatalf("size = %d exact = %v, want 2/true", res.Biclique.Size(), res.Exact)
+	}
+	if !res.Biclique.IsBicliqueOf(g) {
+		t.Fatal("invalid witness")
+	}
+}
+
+func TestAutoPicksDenseForDenseGraphs(t *testing.T) {
+	b := mbb.NewBuilder(10, 10)
+	for i := 0; i < 10; i++ {
+		for j := 0; j < 10; j++ {
+			b.AddEdge(i, j)
+		}
+	}
+	res, err := mbb.Solve(b.Build(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Algorithm != mbb.DenseMBB {
+		t.Fatalf("auto picked %v for a complete graph", res.Algorithm)
+	}
+	if res.Biclique.Size() != 10 {
+		t.Fatalf("size = %d", res.Biclique.Size())
+	}
+}
+
+func TestAutoPicksSparseForSparseGraphs(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	b := mbb.NewBuilder(5000, 5000)
+	for i := 0; i < 8000; i++ {
+		b.AddEdge(rng.Intn(5000), rng.Intn(5000))
+	}
+	res, err := mbb.Solve(b.Build(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Algorithm != mbb.HbvMBB {
+		t.Fatalf("auto picked %v for a sparse graph", res.Algorithm)
+	}
+}
+
+func TestQuickAllAlgorithmsAgree(t *testing.T) {
+	algos := []mbb.Algorithm{mbb.HbvMBB, mbb.DenseMBB, mbb.BasicBB, mbb.ExtBBCL}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := randomGraph(rng, 11, 0.1+0.7*rng.Float64())
+		want := baseline.BruteForceSize(g)
+		for _, a := range algos {
+			res, err := mbb.Solve(g, &mbb.Options{Algorithm: a})
+			if err != nil {
+				t.Logf("%v: %v", a, err)
+				return false
+			}
+			if res.Biclique.Size() != want {
+				t.Logf("%v: got %d want %d (edges=%v nl=%d nr=%d)",
+					a, res.Biclique.Size(), want, g.Edges(), g.NL(), g.NR())
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSolveTimeout(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	g := randomGraph(rng, 60, 0.5)
+	res, err := mbb.Solve(g, &mbb.Options{Algorithm: mbb.BasicBB, MaxNodes: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Exact {
+		t.Fatal("10-node basicBB on a 60x60 graph cannot be exact")
+	}
+	// Timeout variant.
+	res, err = mbb.Solve(g, &mbb.Options{Algorithm: mbb.BasicBB, Timeout: time.Nanosecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = res
+}
+
+func TestGraphIO(t *testing.T) {
+	g := mbb.FromEdges(2, 3, [][2]int{{0, 0}, {1, 2}})
+	var buf bytes.Buffer
+	if err := mbb.WriteGraph(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := mbb.ReadGraph(strings.NewReader(buf.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.NumEdges() != 2 || g2.NL() != 2 || g2.NR() != 3 {
+		t.Fatal("round trip failed")
+	}
+}
+
+func TestAlgorithmNames(t *testing.T) {
+	names := map[mbb.Algorithm]string{
+		mbb.Auto: "auto", mbb.HbvMBB: "hbvMBB", mbb.DenseMBB: "denseMBB",
+		mbb.BasicBB: "basicBB", mbb.ExtBBCL: "extBBCL",
+	}
+	for a, want := range names {
+		if a.String() != want {
+			t.Errorf("%d.String() = %q, want %q", a, a.String(), want)
+		}
+	}
+	if mbb.Algorithm(99).String() != "unknown" {
+		t.Error("unknown name wrong")
+	}
+}

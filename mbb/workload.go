@@ -1,0 +1,58 @@
+package mbb
+
+import "repro/internal/workload"
+
+// This file exposes the paper's evaluation workloads through the public
+// API so downstream users can regenerate the experiments without touching
+// internal packages.
+
+// GenerateDense returns a uniform random bipartite graph (the Table 4
+// workload family). Deterministic in seed.
+func GenerateDense(nl, nr int, density float64, seed int64) *Graph {
+	return workload.Dense(nl, nr, density, seed)
+}
+
+// GeneratePowerLaw returns a power-law bipartite graph with roughly m
+// edges (the sparse background family). Deterministic in seed.
+func GeneratePowerLaw(nl, nr, m int, seed int64) *Graph {
+	return workload.PowerLaw(nl, nr, m, 0.5, seed)
+}
+
+// PlantBiclique embeds a complete k×k biclique into g and returns the new
+// graph. Deterministic in seed.
+func PlantBiclique(g *Graph, k int, seed int64) *Graph {
+	planted, _, _ := workload.Plant(g, k, seed)
+	return planted
+}
+
+// DatasetInfo describes one KONECT dataset of the paper's Table 5.
+type DatasetInfo struct {
+	Name    string
+	L, R    int     // published side sizes
+	Density float64 // published edge density
+	Optimum int     // published maximum balanced biclique size
+	Tough   bool    // member of the Table 6 "tough" subset
+}
+
+// Datasets lists the 30 Table 5 datasets.
+func Datasets() []DatasetInfo {
+	out := make([]DatasetInfo, 0, len(workload.Registry))
+	for _, d := range workload.Registry {
+		out = append(out, DatasetInfo{
+			Name: d.Name, L: d.L, R: d.R, Density: d.Density,
+			Optimum: d.Optimum, Tough: d.Tough,
+		})
+	}
+	return out
+}
+
+// GenerateDataset builds the synthetic stand-in for the named Table 5
+// dataset, scaled to at most maxVerts vertices (0 keeps the published
+// size). It returns false if the name is unknown.
+func GenerateDataset(name string, maxVerts int, seed int64) (*Graph, bool) {
+	d, ok := workload.ByName(name)
+	if !ok {
+		return nil, false
+	}
+	return d.Generate(maxVerts, seed), true
+}
