@@ -2,6 +2,11 @@
 // per table and figure. Sizes are trimmed so `go test -bench=.` finishes
 // in minutes; cmd/mbbbench runs the full-scale sweeps with configurable
 // budgets and prints the tables in the paper's layout.
+//
+// Solver-level benchmarks go through the mbb registry (mbb.Options.Solver)
+// so they measure exactly what library users run; substrate benchmarks
+// (bitsets, decompositions, matrix construction) call the internal
+// packages directly.
 package repro
 
 import (
@@ -15,14 +20,34 @@ import (
 	"repro/internal/decomp"
 	"repro/internal/dense"
 	"repro/internal/heur"
-	"repro/internal/matching"
 	"repro/internal/sparse"
 	"repro/internal/workload"
+	"repro/mbb"
 )
 
 // benchBudget bounds each solve inside a benchmark iteration so a single
 // pathological instance cannot stall the whole suite.
 const benchBudget = 10 * time.Second
+
+// benchExec returns a fresh execution context with the benchmark budget.
+func benchExec() *core.Exec {
+	return core.NewExec(nil, core.Limits{Timeout: benchBudget})
+}
+
+// solveNamed runs one registry solver under the benchmark budget,
+// skipping the benchmark if the budget is exhausted.
+func solveNamed(b *testing.B, solver string, g *mbb.Graph, opt mbb.Options) {
+	b.Helper()
+	opt.Solver = solver
+	opt.Timeout = benchBudget
+	res, err := mbb.Solve(g, &opt)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if !res.Exact {
+		b.Skip("budget exhausted at this size")
+	}
+}
 
 // --- Table 4: efficiency on dense bipartite graphs -----------------------
 
@@ -33,16 +58,9 @@ func BenchmarkTable4DenseMBB(b *testing.B) {
 		for _, d := range []float64{0.70, 0.80, 0.90, 0.95} {
 			b.Run(fmt.Sprintf("n=%d/density=%.2f", n, d), func(b *testing.B) {
 				g := workload.Dense(n, n, d, 42)
-				m := dense.FromBigraph(g)
 				b.ResetTimer()
 				for i := 0; i < b.N; i++ {
-					res := dense.Solve(m, dense.Options{
-						Mode:   dense.ModeDense,
-						Budget: core.NewTimeBudget(benchBudget),
-					})
-					if res.Stats.TimedOut {
-						b.Skip("budget exhausted at this size")
-					}
+					solveNamed(b, "denseMBB", g, mbb.Options{})
 				}
 			})
 		}
@@ -59,10 +77,7 @@ func BenchmarkTable4ExtBBCL(b *testing.B) {
 				g := workload.Dense(n, n, d, 42)
 				b.ResetTimer()
 				for i := 0; i < b.N; i++ {
-					res := baseline.ExtBBCL(g, core.NewTimeBudget(benchBudget))
-					if res.Stats.TimedOut {
-						b.Skip("budget exhausted at this size")
-					}
+					solveNamed(b, "extBBCL", g, mbb.Options{})
 				}
 			})
 		}
@@ -83,12 +98,7 @@ func BenchmarkTable5HbvMBB(b *testing.B) {
 			g := d.Generate(20000, 1)
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				opt := sparse.DefaultOptions()
-				opt.Budget = core.NewTimeBudget(benchBudget)
-				res := sparse.Solve(g, opt)
-				if res.Stats.TimedOut {
-					b.Skip("budget exhausted")
-				}
+				solveNamed(b, "hbvMBB", g, mbb.Options{})
 			}
 		})
 	}
@@ -103,10 +113,7 @@ func BenchmarkTable5Adp3(b *testing.B) {
 			g := d.Generate(20000, 1)
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				res := baseline.Adp(g, baseline.Adp3, core.NewTimeBudget(benchBudget))
-				if res.Stats.TimedOut {
-					b.Skip("budget exhausted")
-				}
+				solveNamed(b, "adp3", g, mbb.Options{})
 			}
 		})
 	}
@@ -121,10 +128,7 @@ func BenchmarkTable5ExtBBCL(b *testing.B) {
 			g := d.Generate(20000, 1)
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				res := baseline.ExtBBCL(g, core.NewTimeBudget(benchBudget))
-				if res.Stats.TimedOut {
-					b.Skip("budget exhausted")
-				}
+				solveNamed(b, "extBBCL", g, mbb.Options{})
 			}
 		})
 	}
@@ -136,29 +140,14 @@ func BenchmarkTable5ExtBBCL(b *testing.B) {
 // heuristic step; bd2: no core/bicore optimisations; bd3: basicBB instead
 // of denseMBB; bd4/bd5: weaker total orders) on tough stand-ins.
 func BenchmarkTable6Variants(b *testing.B) {
-	variants := []struct {
-		name string
-		opt  sparse.Options
-	}{
-		{"hbvMBB", sparse.DefaultOptions()},
-		{"bd1", sparse.Options{Order: decomp.OrderBidegeneracy, SkipHeuristic: true}},
-		{"bd2", sparse.Options{SkipCoreOpts: true}},
-		{"bd3", sparse.Options{Order: decomp.OrderBidegeneracy, UseBasicBB: true}},
-		{"bd4", sparse.Options{Order: decomp.OrderDegree}},
-		{"bd5", sparse.Options{Order: decomp.OrderDegeneracy}},
-	}
+	variants := []string{"hbvMBB", "bd1", "bd2", "bd3", "bd4", "bd5"}
 	for _, dsName := range []string{"github", "pics-ut"} {
 		d, _ := workload.ByName(dsName)
 		g := d.Generate(15000, 1)
 		for _, v := range variants {
-			b.Run(dsName+"/"+v.name, func(b *testing.B) {
+			b.Run(dsName+"/"+v, func(b *testing.B) {
 				for i := 0; i < b.N; i++ {
-					opt := v.opt
-					opt.Budget = core.NewTimeBudget(benchBudget)
-					res := sparse.Solve(g, opt)
-					if res.Stats.TimedOut {
-						b.Skip("budget exhausted")
-					}
+					solveNamed(b, v, g, mbb.Options{})
 				}
 			})
 		}
@@ -197,9 +186,7 @@ func BenchmarkFig4Heuristics(b *testing.B) {
 	g := d.Generate(15000, 1)
 	b.Run("heuGlobal", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			opt := sparse.DefaultOptions()
-			opt.Budget = core.NewTimeBudget(benchBudget)
-			sparse.HeuristicOnly(g, opt)
+			sparse.HeuristicOnly(benchExec(), g, sparse.DefaultOptions())
 		}
 	})
 	b.Run("greedyDegree", func(b *testing.B) {
@@ -211,12 +198,12 @@ func BenchmarkFig4Heuristics(b *testing.B) {
 	})
 	b.Run("POLS", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			heur.LocalSearch(g, heur.POLSDefaults())
+			heur.LocalSearch(benchExec(), g, heur.POLSDefaults())
 		}
 	})
 	b.Run("SBMNAS", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			heur.LocalSearch(g, heur.SBMNASDefaults())
+			heur.LocalSearch(benchExec(), g, heur.SBMNASDefaults())
 		}
 	})
 }
@@ -232,13 +219,7 @@ func BenchmarkFig5Orders(b *testing.B) {
 	for _, kind := range []decomp.OrderKind{decomp.OrderDegree, decomp.OrderDegeneracy, decomp.OrderBidegeneracy} {
 		b.Run(kind.String(), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				opt := sparse.DefaultOptions()
-				opt.Order = kind
-				opt.Budget = core.NewTimeBudget(benchBudget)
-				res := sparse.Solve(g, opt)
-				if res.Stats.TimedOut {
-					b.Skip("budget exhausted")
-				}
+				solveNamed(b, "hbvMBB", g, mbb.Options{Order: kind})
 			}
 		})
 	}
@@ -292,7 +273,7 @@ func BenchmarkDynamicMBB(b *testing.B) {
 			}
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				dense.Solve(m, dense.Options{Mode: dense.ModeDense})
+				dense.Solve(nil, m, dense.Options{Mode: dense.ModeDense})
 			}
 		})
 	}
@@ -352,9 +333,7 @@ func BenchmarkAblationBounds(b *testing.B) {
 	for _, c := range cases {
 		b.Run(c.name, func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				opt := c.opt
-				opt.Budget = core.NewTimeBudget(benchBudget)
-				res := dense.Solve(m, opt)
+				res := dense.Solve(benchExec(), m, c.opt)
 				if res.Stats.TimedOut {
 					b.Skip("budget exhausted")
 				}
@@ -363,20 +342,15 @@ func BenchmarkAblationBounds(b *testing.B) {
 	}
 }
 
-// BenchmarkParallelVerify measures the worker-pool extension of step 3.
+// BenchmarkParallelVerify measures the streaming worker-pool pipeline of
+// steps 2+3.
 func BenchmarkParallelVerify(b *testing.B) {
 	d, _ := workload.ByName("pics-ut")
 	g := d.Generate(15000, 1)
 	for _, workers := range []int{1, 2, 4} {
 		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				opt := sparse.DefaultOptions()
-				opt.Workers = workers
-				opt.Budget = core.NewTimeBudget(benchBudget)
-				res := sparse.Solve(g, opt)
-				if res.Stats.TimedOut {
-					b.Skip("budget exhausted")
-				}
+				solveNamed(b, "hbvMBB", g, mbb.Options{Workers: workers})
 			}
 		})
 	}
@@ -385,19 +359,17 @@ func BenchmarkParallelVerify(b *testing.B) {
 // BenchmarkMaxEdge and BenchmarkMaxVertex track the extension solvers.
 func BenchmarkMaxEdge(b *testing.B) {
 	g := workload.Dense(32, 32, 0.7, 7)
-	m := dense.FromBigraph(g)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		dense.SolveMaxEdge(m, core.NewTimeBudget(benchBudget))
+		mbb.SolveMaxEdge(g, benchBudget)
 	}
 }
 
 func BenchmarkMaxVertex(b *testing.B) {
 	g := workload.Dense(256, 256, 0.5, 7)
-	m := dense.FromBigraph(g)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		matching.MaxVertexBiclique(m)
+		mbb.SolveMaxVertex(g)
 	}
 }
 
@@ -406,6 +378,6 @@ func BenchmarkEnumerateMaximal(b *testing.B) {
 	g := workload.PowerLaw(2000, 2000, 10000, 0.5, 11)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		baseline.EnumerateMaximal(g, core.NewTimeBudget(benchBudget), func(A, B []int) bool { return true })
+		baseline.EnumerateMaximal(benchExec(), g, func(A, B []int) bool { return true })
 	}
 }

@@ -6,7 +6,15 @@
 //	mbbbench -exp table4|table5|table6|fig4|fig5|fig6|all
 //	         [-budget 20s] [-maxverts 30000] [-instances 3]
 //	         [-sizes 32,64,128] [-densities 0.7,0.8,0.9,0.95]
-//	         [-datasets github,jester] [-seed 1]
+//	         [-datasets github,jester] [-seed 1] [-workers 4] [-json]
+//
+// With -json the human-readable tables go to standard error and a JSON
+// array of per-run records — one object per (experiment, dataset, solver)
+// timing, with the measured size, node count and S1/S2/S3 step — goes to
+// standard output, so benchmark trajectories can be captured
+// reproducibly:
+//
+//	mbbbench -exp table5 -json > BENCH_table5.json
 //
 // Absolute times differ from the paper (different hardware, language and
 // synthetic data); the qualitative shapes — who wins and where the "-"
@@ -14,6 +22,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -33,17 +42,27 @@ func main() {
 	densities := flag.String("densities", "0.70,0.75,0.80,0.85,0.90,0.95", "Table 4 densities")
 	datasets := flag.String("datasets", "", "comma-separated dataset subset (default: all)")
 	seed := flag.Int64("seed", 1, "random seed")
+	workers := flag.Int("workers", 0, "sparse verification pipeline goroutines (<=1 sequential)")
+	jsonOut := flag.Bool("json", false, "emit per-run timing records as JSON on stdout (tables move to stderr)")
 	flag.Parse()
 
-	cfg := exp.DefaultConfig(os.Stdout)
+	out := os.Stdout
+	if *jsonOut {
+		out = os.Stderr
+	}
+	cfg := exp.DefaultConfig(out)
 	cfg.Budget = *budget
 	cfg.MaxVerts = *maxVerts
 	cfg.DenseInstances = *instances
 	cfg.Seed = *seed
+	cfg.Workers = *workers
 	cfg.DenseSizes = parseInts(*sizes)
 	cfg.DenseDensities = parseFloats(*densities)
 	if *datasets != "" {
 		cfg.Datasets = strings.Split(*datasets, ",")
+	}
+	if *jsonOut {
+		cfg.Recorder = exp.NewRecorder()
 	}
 
 	runs := map[string]func(exp.Config) error{
@@ -62,8 +81,9 @@ func main() {
 			if err := runs[name](cfg); err != nil {
 				fatal(err)
 			}
-			fmt.Println()
+			fmt.Fprintln(out)
 		}
+		emitJSON(cfg)
 		return
 	}
 	fn, ok := runs[which]
@@ -71,6 +91,20 @@ func main() {
 		fatal(fmt.Errorf("unknown experiment %q", which))
 	}
 	if err := fn(cfg); err != nil {
+		fatal(err)
+	}
+	emitJSON(cfg)
+}
+
+// emitJSON writes the collected per-run records to stdout when -json is
+// active (the Recorder is only created in that case).
+func emitJSON(cfg exp.Config) {
+	if cfg.Recorder == nil {
+		return
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(cfg.Recorder.Records()); err != nil {
 		fatal(err)
 	}
 }

@@ -4,18 +4,25 @@
 //
 // Usage:
 //
-//	mbbsolve [-algo auto|hbvmbb|densembb|basicbb|extbbcl] [-timeout 30s]
+//	mbbsolve [-solver auto|hbvMBB|denseMBB|basicBB|extBBCL|bd1..bd5|adp1..adp4|heur]
+//	         [-timeout 30s] [-workers 4]
 //	         [-order bidegeneracy|degeneracy|degree] [-q] [file]
 //
-// With no file the graph is read from standard input. The result is
-// printed as the two vertex sets (side-local indices) plus statistics.
+// With no file the graph is read from standard input. The solver is
+// resolved through the mbb registry (run with -solver help to list the
+// registered names). Interrupting the run (Ctrl-C) cancels the search
+// gracefully: the best biclique found so far is printed with a
+// "may be suboptimal" marker. The result is printed as the two vertex
+// sets (side-local indices) plus statistics.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"strings"
 	"time"
 
@@ -24,11 +31,43 @@ import (
 )
 
 func main() {
-	algoFlag := flag.String("algo", "auto", "algorithm: auto, hbvmbb, densembb, basicbb, extbbcl")
+	solverFlag := flag.String("solver", "auto", "registered solver name (try: -solver help)")
+	algoFlag := flag.String("algo", "", "alias of -solver (kept for compatibility)")
 	timeout := flag.Duration("timeout", 0, "wall-clock budget (0 = unlimited)")
-	orderFlag := flag.String("order", "bidegeneracy", "total search order for hbvmbb: bidegeneracy, degeneracy, degree")
+	workers := flag.Int("workers", 0, "verification pipeline goroutines (<=1 sequential)")
+	orderFlag := flag.String("order", "bidegeneracy", "total search order for the sparse framework: bidegeneracy, degeneracy, degree")
 	quiet := flag.Bool("q", false, "print only the balanced size")
 	flag.Parse()
+
+	solverSet := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "solver" {
+			solverSet = true
+		}
+	})
+	name := *solverFlag
+	if *algoFlag != "" {
+		if solverSet {
+			fatal(fmt.Errorf("-algo and -solver are aliases; pass only one"))
+		}
+		name = *algoFlag
+	}
+	if strings.EqualFold(name, "help") || strings.EqualFold(name, "list") {
+		listSolvers(os.Stdout)
+		return
+	}
+
+	opt := &mbb.Options{Solver: name, Timeout: *timeout, Workers: *workers}
+	switch strings.ToLower(*orderFlag) {
+	case "bidegeneracy":
+		opt.Order = decomp.OrderBidegeneracy
+	case "degeneracy":
+		opt.Order = decomp.OrderDegeneracy
+	case "degree":
+		opt.Order = decomp.OrderDegree
+	default:
+		fatal(fmt.Errorf("unknown order %q", *orderFlag))
+	}
 
 	var in io.Reader = os.Stdin
 	if flag.NArg() > 0 {
@@ -44,34 +83,13 @@ func main() {
 		fatal(err)
 	}
 
-	opt := &mbb.Options{Timeout: *timeout}
-	switch strings.ToLower(*algoFlag) {
-	case "auto":
-		opt.Algorithm = mbb.Auto
-	case "hbvmbb":
-		opt.Algorithm = mbb.HbvMBB
-	case "densembb":
-		opt.Algorithm = mbb.DenseMBB
-	case "basicbb":
-		opt.Algorithm = mbb.BasicBB
-	case "extbbcl":
-		opt.Algorithm = mbb.ExtBBCL
-	default:
-		fatal(fmt.Errorf("unknown algorithm %q", *algoFlag))
-	}
-	switch strings.ToLower(*orderFlag) {
-	case "bidegeneracy":
-		opt.Order = decomp.OrderBidegeneracy
-	case "degeneracy":
-		opt.Order = decomp.OrderDegeneracy
-	case "degree":
-		opt.Order = decomp.OrderDegree
-	default:
-		fatal(fmt.Errorf("unknown order %q", *orderFlag))
-	}
+	// Ctrl-C cancels the execution context; the engine returns the best
+	// biclique found so far with Exact == false.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
 
 	start := time.Now()
-	res, err := mbb.Solve(g, opt)
+	res, err := mbb.SolveContext(ctx, g, opt)
 	if err != nil {
 		fatal(err)
 	}
@@ -82,10 +100,10 @@ func main() {
 		return
 	}
 	fmt.Printf("graph: %d x %d, %d edges (density %.4g)\n", g.NL(), g.NR(), g.NumEdges(), g.Density())
-	fmt.Printf("algorithm: %v\n", res.Algorithm)
+	fmt.Printf("solver: %s\n", res.Solver)
 	fmt.Printf("balanced biclique size: %d per side", res.Biclique.Size())
 	if !res.Exact {
-		fmt.Printf(" (budget exhausted; may be suboptimal)")
+		fmt.Printf(" (search interrupted or budget exhausted; may be suboptimal)")
 	}
 	fmt.Println()
 	fmt.Printf("A (left):  %v\n", localIdx(g, res.Biclique.A))
@@ -95,6 +113,13 @@ func main() {
 		fmt.Printf(", terminated at %v", res.Stats.Step)
 	}
 	fmt.Println()
+}
+
+func listSolvers(w io.Writer) {
+	fmt.Fprintln(w, "registered solvers:")
+	for _, spec := range mbb.Solvers() {
+		fmt.Fprintf(w, "  %-10s %-12s %s\n", spec.Name, spec.Paper, spec.Doc)
+	}
 }
 
 func localIdx(g *mbb.Graph, vs []int) []int {

@@ -1,9 +1,41 @@
 // Package repro is a from-scratch Go reproduction of "Efficient Exact
 // Algorithms for Maximum Balanced Biclique Search in Bipartite Graphs"
-// (Chen, Liu, Zhou, Xu, Li — PVLDB/SIGMOD 2021 line of work).
+// (Chen, Liu, Zhou, Xu, Li — PVLDB/SIGMOD 2021 line of work), grown into
+// a cancellable, concurrency-safe solver engine.
+//
+// # Layout
 //
 // The public API lives in the mbb subpackage; the algorithms live under
 // internal/ (see DESIGN.md for the system inventory) and the root-level
 // bench_test.go regenerates every table and figure of the paper's
 // evaluation (see EXPERIMENTS.md for the measured results).
+//
+// # Execution engine
+//
+// Every solve runs on an internal/core.Exec execution context built by
+// mbb.SolveContext. It is the single object threaded through all solver
+// layers — internal/dense (Algorithms 1–3), internal/sparse (Algorithms
+// 4–8), internal/baseline (extBBCL, the adp MBE baselines, brute force)
+// and internal/heur — and it carries four concerns:
+//
+//   - cancellation: a context.Context polled on the search hot path, so
+//     Ctrl-C or a server deadline aborts any solver promptly with the
+//     best-so-far result;
+//   - budgets: wall-clock deadlines and node limits consumed through one
+//     atomic counter, safe under any number of workers;
+//   - the shared incumbent: an atomic balanced-size that every layer
+//     reads while pruning, so an improvement found by one verification
+//     worker instantly tightens the bounds inside all the others;
+//   - statistics: mutex-guarded aggregation of the per-step counters the
+//     experiment harness reports.
+//
+// Solvers are registered by name (mbb.Solvers, mbb.Lookup, mbb.Register)
+// and selected with mbb.Options.Solver; cmd/mbbsolve, cmd/mbbbench, the
+// benchmarks and internal/exp all resolve solvers through that one
+// registry. The sparse framework's bridging and verification steps
+// (Algorithms 6 and 8) run as a streaming producer/consumer pipeline
+// over a bounded channel: peak memory is O(workers) vertex-centred
+// subgraphs rather than all of them, sequential when Options.Workers <= 1
+// (the paper's schedule) and a worker pool otherwise, with identical
+// optima either way.
 package repro

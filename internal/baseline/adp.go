@@ -37,7 +37,7 @@ func (k AdpKind) String() string {
 // Adp runs the composed baseline: heuristic, Lemma 4 core reduction, then
 // the adapted exact MBE search with incumbent pruning. The result is
 // exact when the budget does not run out.
-func Adp(g *bigraph.Graph, kind AdpKind, budget *core.Budget) core.Result {
+func Adp(ex *core.Exec, g *bigraph.Graph, kind AdpKind) core.Result {
 	var opt heur.LocalSearchOptions
 	switch kind {
 	case Adp1, Adp2:
@@ -45,7 +45,7 @@ func Adp(g *bigraph.Graph, kind AdpKind, budget *core.Budget) core.Result {
 	default:
 		opt = heur.SBMNASDefaults()
 	}
-	best := heur.LocalSearch(g, opt)
+	best := heur.LocalSearch(ex, g, opt)
 
 	// Core-based upper-bound reduction (Lemma 4).
 	mask := decomp.KCoreMask(g, best.Size()+1)
@@ -57,7 +57,7 @@ func Adp(g *bigraph.Graph, kind AdpKind, budget *core.Budget) core.Result {
 		if kind == Adp2 || kind == Adp4 {
 			kindMBE = IMBEA
 		}
-		res := MBESearch(reduced, kindMBE, best.Size(), budget)
+		res := MBESearch(ex, reduced, kindMBE, best.Size())
 		stats = res.Stats
 		if res.Biclique.Size() > best.Size() {
 			best = res.Biclique.Remap(newToOld)

@@ -31,14 +31,14 @@ func TestExtBBCLKnown(t *testing.T) {
 			b.AddEdge(i, j)
 		}
 	}
-	res := baseline.ExtBBCL(b.Build(), nil)
+	res := baseline.ExtBBCL(nil, b.Build())
 	if res.Biclique.Size() != 4 {
 		t.Fatalf("K4,4: size = %d, want 4", res.Biclique.Size())
 	}
 }
 
 func TestExtBBCLEmpty(t *testing.T) {
-	res := baseline.ExtBBCL(bigraph.FromEdges(3, 3, nil), nil)
+	res := baseline.ExtBBCL(nil, bigraph.FromEdges(3, 3, nil))
 	if res.Biclique.Size() != 0 {
 		t.Fatalf("empty: size = %d", res.Biclique.Size())
 	}
@@ -50,7 +50,7 @@ func TestQuickExtBBCLMatchesBruteForce(t *testing.T) {
 		rng := rand.New(rand.NewSource(seed))
 		g := randomBigraph(rng, 11, densities[rng.Intn(len(densities))])
 		want := baseline.BruteForceSize(g)
-		res := baseline.ExtBBCL(g, nil)
+		res := baseline.ExtBBCL(nil, g)
 		if res.Biclique.Size() != want {
 			t.Logf("got %d want %d on %dx%d edges=%v", res.Biclique.Size(), want, g.NL(), g.NR(), g.Edges())
 			return false
@@ -71,7 +71,7 @@ func TestQuickMBESearchersMatchBruteForce(t *testing.T) {
 		g := randomBigraph(rng, 11, 0.15+0.5*rng.Float64())
 		want := baseline.BruteForceSize(g)
 		for _, kind := range []baseline.MBEKind{baseline.IMBEA, baseline.FMBE} {
-			res := baseline.MBESearch(g, kind, 0, nil)
+			res := baseline.MBESearch(nil, g, kind, 0)
 			if res.Biclique.Size() != want {
 				t.Logf("kind %v: got %d want %d on edges=%v nl=%d nr=%d",
 					kind, res.Biclique.Size(), want, g.Edges(), g.NL(), g.NR())
@@ -98,7 +98,7 @@ func TestMBELowerSuppressesSmaller(t *testing.T) {
 	}
 	g := b.Build()
 	for _, kind := range []baseline.MBEKind{baseline.IMBEA, baseline.FMBE} {
-		res := baseline.MBESearch(g, kind, 3, nil)
+		res := baseline.MBESearch(nil, g, kind, 3)
 		if res.Biclique.Size() != 0 {
 			t.Fatalf("kind %v: expected no result above lower bound", kind)
 		}
@@ -112,7 +112,7 @@ func TestQuickAdpMatchesBruteForce(t *testing.T) {
 		g := randomBigraph(rng, 10, 0.3)
 		want := baseline.BruteForceSize(g)
 		for _, k := range kinds {
-			res := baseline.Adp(g, k, nil)
+			res := baseline.Adp(nil, g, k)
 			if res.Biclique.Size() != want {
 				t.Logf("%v: got %d want %d on edges=%v nl=%d nr=%d", k, res.Biclique.Size(), want, g.Edges(), g.NL(), g.NR())
 				return false
@@ -137,7 +137,7 @@ func TestAdpNames(t *testing.T) {
 func TestExtBBCLBudget(t *testing.T) {
 	rng := rand.New(rand.NewSource(3))
 	g := randomBigraph(rng, 20, 0.5)
-	res := baseline.ExtBBCL(g, &core.Budget{MaxNodes: 2})
+	res := baseline.ExtBBCL(core.NewExec(nil, core.Limits{MaxNodes: 2}), g)
 	if !res.Stats.TimedOut {
 		t.Fatal("expected timeout")
 	}

@@ -14,11 +14,11 @@ import (
 // and right unified-id sets; returning false stops the enumeration. The
 // return value is the number of maximal bicliques reported (possibly
 // truncated by fn or the budget).
-func EnumerateMaximal(g *bigraph.Graph, budget *core.Budget, fn func(A, B []int) bool) int {
+func EnumerateMaximal(ex *core.Exec, g *bigraph.Graph, fn func(A, B []int) bool) int {
 	if g.NumEdges() == 0 {
 		return 0
 	}
-	e := &enumerator{g: g, budget: budget, fn: fn}
+	e := &enumerator{g: g, ex: ex, fn: fn}
 	// Left candidates: every left vertex with an edge; right candidate
 	// set P: all right vertices, processed in ascending degree order (the
 	// iMBEA ordering heuristic).
@@ -46,7 +46,7 @@ func EnumerateMaximal(g *bigraph.Graph, budget *core.Budget, fn func(A, B []int)
 
 type enumerator struct {
 	g       *bigraph.Graph
-	budget  *core.Budget
+	ex      *core.Exec
 	fn      func(A, B []int) bool
 	count   int
 	stopped bool
@@ -56,7 +56,7 @@ type enumerator struct {
 // R, P holds unprocessed right candidates and Q the processed ones used
 // for maximality checking.
 func (e *enumerator) expand(L, R, P, Q []int32) {
-	if e.stopped || !e.budget.Spend() {
+	if e.stopped || !e.ex.Spend() {
 		e.stopped = true
 		return
 	}

@@ -69,7 +69,7 @@ func TestEnumerateMaximalComplete(t *testing.T) {
 	}
 	g := b.Build()
 	var got [][2][]int
-	n := baseline.EnumerateMaximal(g, nil, func(A, B []int) bool {
+	n := baseline.EnumerateMaximal(nil, g, func(A, B []int) bool {
 		got = append(got, [2][]int{A, B})
 		return true
 	})
@@ -82,7 +82,7 @@ func TestEnumerateMaximalComplete(t *testing.T) {
 }
 
 func TestEnumerateMaximalEdgeless(t *testing.T) {
-	if n := baseline.EnumerateMaximal(bigraph.FromEdges(3, 3, nil), nil, func(A, B []int) bool { return true }); n != 0 {
+	if n := baseline.EnumerateMaximal(nil, bigraph.FromEdges(3, 3, nil), func(A, B []int) bool { return true }); n != 0 {
 		t.Fatalf("edgeless graph reported %d bicliques", n)
 	}
 }
@@ -90,11 +90,11 @@ func TestEnumerateMaximalEdgeless(t *testing.T) {
 func TestEnumerateMaximalEarlyStop(t *testing.T) {
 	// A perfect matching has one maximal biclique per edge.
 	g := bigraph.FromEdges(4, 4, [][2]int{{0, 0}, {1, 1}, {2, 2}, {3, 3}})
-	n := baseline.EnumerateMaximal(g, nil, func(A, B []int) bool { return false })
+	n := baseline.EnumerateMaximal(nil, g, func(A, B []int) bool { return false })
 	if n != 1 {
 		t.Fatalf("early stop reported %d, want 1", n)
 	}
-	n = baseline.EnumerateMaximal(g, nil, func(A, B []int) bool { return true })
+	n = baseline.EnumerateMaximal(nil, g, func(A, B []int) bool { return true })
 	if n != 4 {
 		t.Fatalf("matching has 4 maximal bicliques, got %d", n)
 	}
@@ -106,7 +106,7 @@ func TestQuickEnumerateMatchesBrute(t *testing.T) {
 		g := randomBigraph(rng, 8, 0.2+0.5*rng.Float64())
 		want := bruteMaximalBicliques(g)
 		got := map[string]bool{}
-		baseline.EnumerateMaximal(g, nil, func(A, B []int) bool {
+		baseline.EnumerateMaximal(nil, g, func(A, B []int) bool {
 			key := pairKey(A, B)
 			if got[key] {
 				t.Logf("duplicate %s", key)
@@ -145,8 +145,8 @@ func TestQuickEnumerateMatchesBrute(t *testing.T) {
 func TestEnumerateBudget(t *testing.T) {
 	rng := rand.New(rand.NewSource(6))
 	g := randomBigraph(rng, 14, 0.5)
-	n := baseline.EnumerateMaximal(g, &core.Budget{MaxNodes: 1}, func(A, B []int) bool { return true })
-	full := baseline.EnumerateMaximal(g, nil, func(A, B []int) bool { return true })
+	n := baseline.EnumerateMaximal(core.NewExec(nil, core.Limits{MaxNodes: 1}), g, func(A, B []int) bool { return true })
+	full := baseline.EnumerateMaximal(nil, g, func(A, B []int) bool { return true })
 	if full > 1 && n >= full {
 		t.Fatalf("budget did not truncate: %d vs %d", n, full)
 	}

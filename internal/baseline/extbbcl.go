@@ -20,8 +20,8 @@ import (
 //
 // When the search branches at v and 2·t_v cannot beat the incumbent, the
 // branch including v is pruned.
-func ExtBBCL(g *bigraph.Graph, budget *core.Budget) core.Result {
-	e := &extSolver{g: g, budget: budget}
+func ExtBBCL(ex *core.Exec, g *bigraph.Graph) core.Result {
+	e := &extSolver{g: g, ex: ex}
 	e.precompute()
 	if !e.timedOut {
 		order := make([]int32, 0, g.NumVertices())
@@ -52,8 +52,8 @@ func ExtBBCL(g *bigraph.Graph, budget *core.Budget) core.Result {
 }
 
 type extSolver struct {
-	g      *bigraph.Graph
-	budget *core.Budget
+	g     *bigraph.Graph
+	ex    *core.Exec
 	tight  []int // t_v per vertex
 	best   bigraph.Biclique
 	nodes  int64
@@ -69,7 +69,7 @@ func (e *extSolver) precompute() {
 	basic := make([]int, n)
 	e.counts = make([]int32, n)
 	for v := 0; v < n; v++ {
-		if !e.budget.Spend() {
+		if !e.ex.Spend() {
 			e.timedOut = true
 			return
 		}
@@ -124,7 +124,7 @@ func hIndex(vals []int) int {
 // rec is the alternating branch-and-bound enumeration with the tight
 // upper-bound prune.
 func (e *extSolver) rec(A, B, CA, CB []int32) {
-	if !e.budget.Spend() {
+	if !e.ex.Spend() {
 		e.timedOut = true
 		return
 	}

@@ -33,8 +33,8 @@ const (
 // MBESearch runs the adapted enumeration and returns the best balanced
 // biclique with size strictly greater than lower (or the incumbent-less
 // best when lower is 0). The returned stats count enumeration nodes.
-func MBESearch(g *bigraph.Graph, kind MBEKind, lower int, budget *core.Budget) core.Result {
-	m := &mbeSolver{g: g, budget: budget, bestSize: lower}
+func MBESearch(ex *core.Exec, g *bigraph.Graph, kind MBEKind, lower int) core.Result {
+	m := &mbeSolver{g: g, ex: ex, bestSize: lower}
 	switch kind {
 	case IMBEA:
 		m.global()
@@ -49,7 +49,7 @@ func MBESearch(g *bigraph.Graph, kind MBEKind, lower int, budget *core.Budget) c
 
 type mbeSolver struct {
 	g        *bigraph.Graph
-	budget   *core.Budget
+	ex       *core.Exec
 	best     bigraph.Biclique
 	bestSize int
 	nodes    int64
@@ -85,7 +85,7 @@ func (m *mbeSolver) global() {
 // expand grows the enumeration set S (with common neighbourhood common;
 // nil means "not yet seeded") over the remaining candidates.
 func (m *mbeSolver) expand(S, common, cand []int32, enumLeft bool) {
-	if !m.budget.Spend() {
+	if !m.ex.Spend() {
 		m.timedOut = true
 		return
 	}

@@ -1,66 +1,200 @@
-// Package core holds the types shared by all MBB solvers: search budgets,
-// search statistics, and the solver result envelope. The algorithms
-// themselves live in internal/dense (Algorithms 1–3) and internal/sparse
-// (Algorithms 4–8); this package is their common vocabulary.
+// Package core holds the execution spine shared by all MBB solvers: the
+// Exec execution context (cancellation, budgets, the shared incumbent
+// size and statistics aggregation), search statistics, and the solver
+// result envelope. The algorithms themselves live in internal/dense
+// (Algorithms 1–3) and internal/sparse (Algorithms 4–8); this package is
+// their common vocabulary.
 package core
 
 import (
+	"context"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/bigraph"
 )
 
-// Budget bounds a search by wall-clock deadline and/or node count. The
-// zero value means "unlimited". Budgets are consumed by Spend, which is
-// cheap enough to call once per branch-and-bound node: the deadline is
-// polled only every 1024 nodes.
-type Budget struct {
-	Deadline time.Time // zero means no deadline
-	MaxNodes int64     // 0 means no node limit
-
-	nodes    int64
-	exceeded bool
+// Limits bounds a search by wall-clock time and/or node count. The zero
+// value means "unlimited". Deadline and Timeout may both be set; the
+// earlier one wins.
+type Limits struct {
+	Timeout  time.Duration // 0 means no timeout
+	Deadline time.Time     // zero means no deadline
+	MaxNodes int64         // 0 means no node limit
 }
 
-// NewTimeBudget returns a budget that expires after d from now. A
-// non-positive d means unlimited.
-func NewTimeBudget(d time.Duration) *Budget {
-	if d <= 0 {
-		return &Budget{}
+// Exec is the execution context threaded through every solver layer. It
+// combines
+//
+//   - cancellation: the context passed to NewExec is polled alongside the
+//     deadline, so callers can abort a search with context.CancelFunc;
+//   - the wall-clock/node budget, consumed via Spend with atomic
+//     counters, safe for any number of concurrent workers;
+//   - the shared incumbent balanced size (Best/OfferBest), an atomic that
+//     lets one worker's improvement immediately tighten the pruning
+//     bounds of every other worker;
+//   - per-step Stats aggregation (AddStats/Snapshot) under an internal
+//     mutex.
+//
+// The nil *Exec is valid and means "unlimited, nothing shared": Spend
+// reports true, Best reports 0, and the aggregation methods are no-ops.
+// Every method is safe for concurrent use.
+type Exec struct {
+	ctx      context.Context
+	deadline time.Time
+	maxNodes int64
+
+	nodes   atomic.Int64
+	stopped atomic.Bool
+	best    atomic.Int64
+
+	mu    sync.Mutex
+	stats Stats
+}
+
+// NewExec returns an execution context bound to ctx and lim. A nil ctx
+// means context.Background(). The effective deadline is the earliest of
+// lim.Deadline, now+lim.Timeout and the context's own deadline.
+func NewExec(ctx context.Context, lim Limits) *Exec {
+	if ctx == nil {
+		ctx = context.Background()
 	}
-	return &Budget{Deadline: time.Now().Add(d)}
+	e := &Exec{ctx: ctx, deadline: lim.Deadline, maxNodes: lim.MaxNodes}
+	if lim.Timeout > 0 {
+		if d := time.Now().Add(lim.Timeout); e.deadline.IsZero() || d.Before(e.deadline) {
+			e.deadline = d
+		}
+	}
+	if d, ok := ctx.Deadline(); ok && (e.deadline.IsZero() || d.Before(e.deadline)) {
+		e.deadline = d
+	}
+	if ctx.Err() != nil {
+		// Already cancelled: stop before the first node is spent (Spend
+		// polls the context only every 1024 nodes, which a small search
+		// might never reach).
+		e.stopped.Store(true)
+	}
+	return e
 }
 
-// Spend consumes one node from the budget and reports whether the search
-// may continue.
-func (b *Budget) Spend() bool {
-	if b == nil {
+// Background returns an unlimited execution context. Prefer this over a
+// nil *Exec when the incumbent must be shared across workers.
+func Background() *Exec { return NewExec(context.Background(), Limits{}) }
+
+// Spend consumes one search node and reports whether the search may
+// continue. It is the per-node hot-path check: the node counter is a
+// single atomic add, and the deadline and context are polled only every
+// 1024 nodes (a branch-and-bound node is microseconds, so cancellation
+// still takes effect promptly).
+func (e *Exec) Spend() bool {
+	if e == nil {
 		return true
 	}
-	if b.exceeded {
+	if e.stopped.Load() {
 		return false
 	}
-	b.nodes++
-	if b.MaxNodes > 0 && b.nodes > b.MaxNodes {
-		b.exceeded = true
+	n := e.nodes.Add(1)
+	if e.maxNodes > 0 && n > e.maxNodes {
+		e.stopped.Store(true)
 		return false
 	}
-	if !b.Deadline.IsZero() && b.nodes%1024 == 0 && time.Now().After(b.Deadline) {
-		b.exceeded = true
-		return false
+	if n&1023 == 0 {
+		if e.ctx.Err() != nil || (!e.deadline.IsZero() && time.Now().After(e.deadline)) {
+			e.stopped.Store(true)
+			return false
+		}
 	}
 	return true
 }
 
-// Exceeded reports whether the budget has run out.
-func (b *Budget) Exceeded() bool { return b != nil && b.exceeded }
+// Stop cancels the execution from the inside: every subsequent Spend
+// reports false across all workers.
+func (e *Exec) Stop() {
+	if e != nil {
+		e.stopped.Store(true)
+	}
+}
 
-// Nodes returns how many nodes were spent so far.
-func (b *Budget) Nodes() int64 {
-	if b == nil {
+// Stopped reports whether the budget ran out, the context was cancelled,
+// or Stop was called.
+func (e *Exec) Stopped() bool {
+	if e == nil {
+		return false
+	}
+	if e.stopped.Load() {
+		return true
+	}
+	// A cancelled context counts as stopped even before the next poll.
+	if e.ctx.Err() != nil {
+		e.stopped.Store(true)
+		return true
+	}
+	return false
+}
+
+// Err returns the context error if the context was cancelled, nil
+// otherwise (budget exhaustion is reported via Stopped, not Err).
+func (e *Exec) Err() error {
+	if e == nil {
+		return nil
+	}
+	return e.ctx.Err()
+}
+
+// Nodes returns how many nodes were spent so far, across all workers.
+func (e *Exec) Nodes() int64 {
+	if e == nil {
 		return 0
 	}
-	return b.nodes
+	return e.nodes.Load()
+}
+
+// Best returns the shared incumbent balanced size.
+func (e *Exec) Best() int {
+	if e == nil {
+		return 0
+	}
+	return int(e.best.Load())
+}
+
+// OfferBest installs n as the shared incumbent balanced size if it is
+// strictly larger than the current one, and reports whether it was. The
+// size — not the witness — is shared: workers keep their witnesses local
+// and the owner of the search installs the largest one.
+func (e *Exec) OfferBest(n int) bool {
+	if e == nil {
+		return false
+	}
+	for {
+		cur := e.best.Load()
+		if int64(n) <= cur {
+			return false
+		}
+		if e.best.CompareAndSwap(cur, int64(n)) {
+			return true
+		}
+	}
+}
+
+// AddStats merges other into the aggregated execution statistics.
+func (e *Exec) AddStats(other *Stats) {
+	if e == nil {
+		return
+	}
+	e.mu.Lock()
+	e.stats.Merge(other)
+	e.mu.Unlock()
+}
+
+// Snapshot returns a copy of the aggregated execution statistics.
+func (e *Exec) Snapshot() Stats {
+	if e == nil {
+		return Stats{}
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.stats
 }
 
 // Step identifies where the sparse framework (Algorithm 4) terminated,

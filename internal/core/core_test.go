@@ -1,76 +1,179 @@
 package core
 
 import (
+	"context"
+	"sync"
 	"testing"
 	"time"
 )
 
-func TestBudgetNil(t *testing.T) {
-	var b *Budget
-	if !b.Spend() {
-		t.Fatal("nil budget must be unlimited")
+func TestExecNil(t *testing.T) {
+	var e *Exec
+	if !e.Spend() {
+		t.Fatal("nil exec must be unlimited")
 	}
-	if b.Exceeded() {
-		t.Fatal("nil budget never exceeds")
+	if e.Stopped() {
+		t.Fatal("nil exec never stops")
 	}
-	if b.Nodes() != 0 {
-		t.Fatal("nil budget has no nodes")
+	if e.Nodes() != 0 || e.Best() != 0 || e.Err() != nil {
+		t.Fatal("nil exec has no state")
+	}
+	if e.OfferBest(5) {
+		t.Fatal("nil exec accepts no incumbent")
+	}
+	e.Stop()
+	e.AddStats(&Stats{Nodes: 1})
+	if s := e.Snapshot(); s.Nodes != 0 {
+		t.Fatal("nil exec aggregates nothing")
 	}
 }
 
-func TestBudgetZeroValueUnlimited(t *testing.T) {
-	b := &Budget{}
+func TestExecUnlimited(t *testing.T) {
+	e := Background()
 	for i := 0; i < 10000; i++ {
-		if !b.Spend() {
-			t.Fatal("zero budget must be unlimited")
+		if !e.Spend() {
+			t.Fatal("unlimited exec must always allow spending")
 		}
 	}
-	if b.Nodes() != 10000 {
-		t.Fatalf("nodes = %d", b.Nodes())
+	if e.Nodes() != 10000 {
+		t.Fatalf("nodes = %d", e.Nodes())
 	}
 }
 
-func TestBudgetMaxNodes(t *testing.T) {
-	b := &Budget{MaxNodes: 3}
+func TestExecMaxNodes(t *testing.T) {
+	e := NewExec(nil, Limits{MaxNodes: 3})
 	for i := 0; i < 3; i++ {
-		if !b.Spend() {
+		if !e.Spend() {
 			t.Fatalf("spend %d should succeed", i)
 		}
 	}
-	if b.Spend() {
+	if e.Spend() {
 		t.Fatal("fourth spend should fail")
 	}
-	if !b.Exceeded() {
-		t.Fatal("budget should report exceeded")
+	if !e.Stopped() {
+		t.Fatal("exec should report stopped")
 	}
-	// Once exceeded, stays exceeded.
-	if b.Spend() {
-		t.Fatal("spend after exceeded should fail")
+	// Once stopped, stays stopped.
+	if e.Spend() {
+		t.Fatal("spend after stop should fail")
 	}
 }
 
-func TestBudgetDeadline(t *testing.T) {
-	b := &Budget{Deadline: time.Now().Add(-time.Second)}
+func TestExecDeadline(t *testing.T) {
+	e := NewExec(nil, Limits{Deadline: time.Now().Add(-time.Second)})
 	// The deadline is only polled every 1024 nodes.
 	ok := true
 	for i := 0; i < 2048 && ok; i++ {
-		ok = b.Spend()
+		ok = e.Spend()
 	}
 	if ok {
 		t.Fatal("expired deadline not detected within 2048 spends")
 	}
 }
 
-func TestNewTimeBudget(t *testing.T) {
-	if b := NewTimeBudget(0); !b.Deadline.IsZero() {
-		t.Fatal("non-positive duration should mean unlimited")
+func TestExecTimeout(t *testing.T) {
+	e := NewExec(nil, Limits{Timeout: time.Hour})
+	if e.deadline.IsZero() {
+		t.Fatal("timeout should set a deadline")
 	}
-	b := NewTimeBudget(time.Hour)
-	if b.Deadline.IsZero() {
-		t.Fatal("deadline not set")
-	}
-	if !b.Spend() {
+	if !e.Spend() {
 		t.Fatal("fresh hour budget should allow spending")
+	}
+	// The earliest of Timeout and Deadline wins.
+	past := time.Now().Add(-time.Minute)
+	e = NewExec(nil, Limits{Timeout: time.Hour, Deadline: past})
+	if !e.deadline.Equal(past) {
+		t.Fatal("explicit earlier deadline should win")
+	}
+}
+
+func TestExecContextCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	e := NewExec(ctx, Limits{})
+	if !e.Spend() {
+		t.Fatal("live context should allow spending")
+	}
+	cancel()
+	if !e.Stopped() {
+		t.Fatal("cancelled context should stop the exec immediately")
+	}
+	if e.Err() == nil {
+		t.Fatal("Err should surface the context error")
+	}
+	ok := true
+	for i := 0; i < 2048 && ok; i++ {
+		ok = e.Spend()
+	}
+	if ok {
+		t.Fatal("cancelled context not detected within 2048 spends")
+	}
+}
+
+func TestExecContextDeadlineAdopted(t *testing.T) {
+	ctx, cancel := context.WithDeadline(context.Background(), time.Now().Add(time.Minute))
+	defer cancel()
+	e := NewExec(ctx, Limits{Timeout: time.Hour})
+	d, _ := ctx.Deadline()
+	if !e.deadline.Equal(d) {
+		t.Fatal("context deadline earlier than timeout should win")
+	}
+}
+
+func TestExecStop(t *testing.T) {
+	e := Background()
+	e.Stop()
+	if e.Spend() || !e.Stopped() {
+		t.Fatal("Stop should halt all spending")
+	}
+}
+
+func TestExecOfferBest(t *testing.T) {
+	e := Background()
+	if e.Best() != 0 {
+		t.Fatal("fresh incumbent should be 0")
+	}
+	if !e.OfferBest(3) || e.Best() != 3 {
+		t.Fatal("first offer should install")
+	}
+	if e.OfferBest(3) || e.OfferBest(2) {
+		t.Fatal("equal or smaller offers must be rejected")
+	}
+	if !e.OfferBest(5) || e.Best() != 5 {
+		t.Fatal("larger offer should install")
+	}
+}
+
+// TestExecConcurrent hammers the shared state from many goroutines; run
+// with -race to catch sharing bugs.
+func TestExecConcurrent(t *testing.T) {
+	e := NewExec(nil, Limits{MaxNodes: 50000})
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 10000; i++ {
+				e.Spend()
+				e.OfferBest(i % 97)
+				if i%1000 == 0 {
+					e.AddStats(&Stats{Nodes: 1, Subgraphs: int64(w)})
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if !e.Stopped() {
+		t.Fatal("80000 spends must exhaust a 50000-node budget")
+	}
+	if n := e.Nodes(); n < 50000 {
+		t.Fatalf("nodes = %d, want >= 50000", n)
+	}
+	if e.Best() != 96 {
+		t.Fatalf("best = %d, want 96", e.Best())
+	}
+	if s := e.Snapshot(); s.Nodes != 80 {
+		t.Fatalf("aggregated stats nodes = %d, want 80", s.Nodes)
 	}
 }
 

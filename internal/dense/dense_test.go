@@ -28,7 +28,7 @@ func randomBigraph(rng *rand.Rand, maxSide int, p float64) *bigraph.Graph {
 // matrix-local answer to unified ids.
 func solveToBiclique(g *bigraph.Graph, mode dense.Mode) bigraph.Biclique {
 	m := dense.FromBigraph(g)
-	res := dense.Solve(m, dense.Options{Mode: mode})
+	res := dense.Solve(nil, m, dense.Options{Mode: mode})
 	if !res.Found {
 		return bigraph.Biclique{}
 	}
@@ -84,7 +84,7 @@ func TestSolveCompleteBipartite(t *testing.T) {
 					m.AddEdge(i, j)
 				}
 			}
-			res := dense.Solve(m, dense.Options{Mode: mode})
+			res := dense.Solve(nil, m, dense.Options{Mode: mode})
 			if !res.Found || res.Size != n {
 				t.Fatalf("mode %v complete K%d,%d: size = %d, want %d", mode, n, n, res.Size, n)
 			}
@@ -95,7 +95,7 @@ func TestSolveCompleteBipartite(t *testing.T) {
 func TestSolveEmptyGraph(t *testing.T) {
 	m := dense.NewMatrix(4, 4)
 	for _, mode := range []dense.Mode{dense.ModeBasic, dense.ModeDense} {
-		res := dense.Solve(m, dense.Options{Mode: mode})
+		res := dense.Solve(nil, m, dense.Options{Mode: mode})
 		if res.Found {
 			t.Fatalf("mode %v found biclique in empty graph", mode)
 		}
@@ -116,7 +116,7 @@ func TestSolveFig1a(t *testing.T) {
 			}
 		}
 	}
-	res := dense.Solve(m, dense.Options{Mode: dense.ModeDense})
+	res := dense.Solve(nil, m, dense.Options{Mode: dense.ModeDense})
 	// Complement = 5 disjoint edges; from each we can take one endpoint;
 	// optimum balanced size is 4 by taking L sides of two edges... the
 	// exact optimum: choose a of the 5 components to contribute L, the
@@ -164,7 +164,7 @@ func TestPolyCaseCycleComplement(t *testing.T) {
 			}
 		}
 		want := baseline.BruteForceSize(g.Build())
-		res := dense.Solve(m, dense.Options{Mode: dense.ModeDense})
+		res := dense.Solve(nil, m, dense.Options{Mode: dense.ModeDense})
 		got := 0
 		if res.Found {
 			got = res.Size
@@ -183,11 +183,11 @@ func TestSolveWithLowerBound(t *testing.T) {
 			m.AddEdge(i, j)
 		}
 	}
-	res := dense.Solve(m, dense.Options{Mode: dense.ModeDense, Lower: 3})
+	res := dense.Solve(nil, m, dense.Options{Mode: dense.ModeDense, Lower: 3})
 	if res.Found {
 		t.Fatal("found result not strictly larger than lower bound")
 	}
-	res = dense.Solve(m, dense.Options{Mode: dense.ModeDense, Lower: 2})
+	res = dense.Solve(nil, m, dense.Options{Mode: dense.ModeDense, Lower: 2})
 	if !res.Found || res.Size != 3 {
 		t.Fatalf("with lower 2: size = %d, want 3", res.Size)
 	}
@@ -203,7 +203,7 @@ func TestSolveFixedA(t *testing.T) {
 			m.AddEdge(2+i, 2+j)
 		}
 	}
-	res := dense.Solve(m, dense.Options{Mode: dense.ModeDense, FixedA: []int{0}})
+	res := dense.Solve(nil, m, dense.Options{Mode: dense.ModeDense, FixedA: []int{0}})
 	if !res.Found || res.Size != 2 {
 		t.Fatalf("anchored solve: size = %d, want 2", res.Size)
 	}
@@ -225,8 +225,8 @@ func TestSolveBudgetExhaustion(t *testing.T) {
 	rng := rand.New(rand.NewSource(3))
 	g := randomBigraph(rng, 14, 0.5)
 	m := dense.FromBigraph(g)
-	b := &core.Budget{MaxNodes: 1}
-	res := dense.Solve(m, dense.Options{Mode: dense.ModeBasic, Budget: b})
+	ex := core.NewExec(nil, core.Limits{MaxNodes: 1})
+	res := dense.Solve(ex, m, dense.Options{Mode: dense.ModeBasic})
 	if !res.Stats.TimedOut {
 		t.Fatal("expected timeout flag with 1-node budget")
 	}
@@ -294,7 +294,7 @@ func TestQuickAnchoredSolve(t *testing.T) {
 			return true
 		}
 		m := dense.FromBigraph(g)
-		res := dense.Solve(m, dense.Options{Mode: dense.ModeDense, FixedA: []int{0}})
+		res := dense.Solve(nil, m, dense.Options{Mode: dense.ModeDense, FixedA: []int{0}})
 		// anchored brute force: enumerate subsets of L containing 0
 		best := 0
 		nl := g.NL()
@@ -395,7 +395,7 @@ func TestQuickAblationsStayExact(t *testing.T) {
 			{Mode: dense.ModeDense, DisableGreedySeed: true},
 			{Mode: dense.ModeDense, DisableProfileBound: true, DisableMatchingBound: true, DisableGreedySeed: true},
 		} {
-			res := dense.Solve(m, opt)
+			res := dense.Solve(nil, m, opt)
 			got := 0
 			if res.Found {
 				got = res.Size

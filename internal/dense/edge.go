@@ -20,11 +20,11 @@ type EdgeResult struct {
 	Stats core.Stats
 }
 
-// SolveMaxEdge computes a biclique of m maximising |A|·|B| exactly
-// (within budget). Both sides of the result are nonempty whenever m has
-// at least one edge.
-func SolveMaxEdge(m *Matrix, budget *core.Budget) EdgeResult {
-	s := &edgeSolver{m: m, budget: budget,
+// SolveMaxEdge computes a biclique of m maximising |A|·|B| exactly,
+// within the budget of ex (nil means unlimited). Both sides of the result
+// are nonempty whenever m has at least one edge.
+func SolveMaxEdge(ex *core.Exec, m *Matrix) EdgeResult {
+	s := &edgeSolver{m: m, ex: ex,
 		poolL: bitset.NewPool(m.nl), poolR: bitset.NewPool(m.nr)}
 	CA := bitset.NewFull(m.nl)
 	CB := bitset.NewFull(m.nr)
@@ -37,7 +37,7 @@ func SolveMaxEdge(m *Matrix, budget *core.Budget) EdgeResult {
 
 type edgeSolver struct {
 	m            *Matrix
-	budget       *core.Budget
+	ex           *core.Exec
 	poolL, poolR *bitset.Pool
 	A, B         []int
 	best         int
@@ -47,7 +47,7 @@ type edgeSolver struct {
 }
 
 func (s *edgeSolver) node(CA, CB *bitset.Set) {
-	if !s.budget.Spend() {
+	if !s.ex.Spend() {
 		s.timedOut = true
 		return
 	}
@@ -167,12 +167,13 @@ func (s *edgeSolver) updateFlip(b, aTotal int, CA *bitset.Set, a int) {
 
 // HasSizeConstrained reports whether m contains a biclique with |A| ≥ a
 // and |B| ≥ b (the paper's (a, b)-biclique decision problem, §4.2), and
-// returns a witness when it does. a and b must be positive.
-func HasSizeConstrained(m *Matrix, a, b int, budget *core.Budget) (bool, []int, []int) {
+// returns a witness when it does. a and b must be positive; ex bounds the
+// search (nil means unlimited).
+func HasSizeConstrained(ex *core.Exec, m *Matrix, a, b int) (bool, []int, []int) {
 	if a <= 0 || b <= 0 {
 		panic("dense: (a,b) must be positive")
 	}
-	s := &abSolver{m: m, budget: budget, ta: a, tb: b,
+	s := &abSolver{m: m, ex: ex, ta: a, tb: b,
 		poolL: bitset.NewPool(m.nl), poolR: bitset.NewPool(m.nr)}
 	s.node(bitset.NewFull(m.nl), bitset.NewFull(m.nr))
 	return s.found, s.witA, s.witB
@@ -180,7 +181,7 @@ func HasSizeConstrained(m *Matrix, a, b int, budget *core.Budget) (bool, []int, 
 
 type abSolver struct {
 	m            *Matrix
-	budget       *core.Budget
+	ex           *core.Exec
 	ta, tb       int
 	poolL, poolR *bitset.Pool
 	A, B         []int
@@ -193,7 +194,7 @@ func (s *abSolver) node(CA, CB *bitset.Set) {
 	if s.found {
 		return
 	}
-	if !s.budget.Spend() {
+	if !s.ex.Spend() {
 		s.timedOut = true
 		return
 	}

@@ -61,7 +61,7 @@ func TestSolveMaxEdgeKnown(t *testing.T) {
 		}
 	}
 	m.AddEdge(3, 0)
-	res := dense.SolveMaxEdge(m, nil)
+	res := dense.SolveMaxEdge(nil, m)
 	// A 4x1 biclique has 4 edges; 3x3 has 9.
 	if res.Edges != 9 {
 		t.Fatalf("edges = %d, want 9", res.Edges)
@@ -72,7 +72,7 @@ func TestSolveMaxEdgeKnown(t *testing.T) {
 }
 
 func TestSolveMaxEdgeEmpty(t *testing.T) {
-	res := dense.SolveMaxEdge(dense.NewMatrix(3, 3), nil)
+	res := dense.SolveMaxEdge(nil, dense.NewMatrix(3, 3))
 	if res.Edges != 0 {
 		t.Fatalf("edges = %d on empty graph", res.Edges)
 	}
@@ -82,7 +82,7 @@ func TestQuickMaxEdgeMatchesBrute(t *testing.T) {
 	f := func(seed int64) bool {
 		rng := rand.New(rand.NewSource(seed))
 		m := randMatrix(rng, 10, 0.15+0.7*rng.Float64())
-		res := dense.SolveMaxEdge(m, nil)
+		res := dense.SolveMaxEdge(nil, m)
 		want := bruteMaxEdge(m)
 		if res.Edges != want {
 			t.Logf("got %d want %d (%dx%d)", res.Edges, want, m.NL(), m.NR())
@@ -106,7 +106,7 @@ func TestQuickMaxEdgeMatchesBrute(t *testing.T) {
 func TestSolveMaxEdgeBudget(t *testing.T) {
 	rng := rand.New(rand.NewSource(1))
 	m := randMatrix(rng, 30, 0.5)
-	res := dense.SolveMaxEdge(m, &core.Budget{MaxNodes: 1})
+	res := dense.SolveMaxEdge(core.NewExec(nil, core.Limits{MaxNodes: 1}), m)
 	if !res.Stats.TimedOut {
 		t.Fatal("expected timeout flag")
 	}
@@ -150,7 +150,7 @@ func TestQuickSizeConstrained(t *testing.T) {
 		m := randMatrix(rng, 9, 0.2+0.6*rng.Float64())
 		a := 1 + rng.Intn(4)
 		b := 1 + rng.Intn(4)
-		got, wa, wb := dense.HasSizeConstrained(m, a, b, nil)
+		got, wa, wb := dense.HasSizeConstrained(nil, m, a, b)
 		want := bruteHasAB(m, a, b)
 		if got != want {
 			t.Logf("(%d,%d): got %v want %v on %dx%d", a, b, got, want, m.NL(), m.NR())
@@ -183,5 +183,5 @@ func TestSizeConstrainedPanics(t *testing.T) {
 			t.Fatal("expected panic for non-positive target")
 		}
 	}()
-	dense.HasSizeConstrained(dense.NewMatrix(2, 2), 0, 1, nil)
+	dense.HasSizeConstrained(nil, dense.NewMatrix(2, 2), 0, 1)
 }

@@ -32,8 +32,8 @@ func TestPerfSmoke(t *testing.T) {
 	}{{24, 0.7}, {32, 0.7}, {48, 0.7}, {48, 0.9}} {
 		m := randDense(cfg.n, cfg.dens, 42)
 		start := time.Now()
-		b := core.NewTimeBudget(5 * time.Second)
-		res := dense.Solve(m, dense.Options{Mode: dense.ModeDense, Budget: b})
+		ex := core.NewExec(nil, core.Limits{Timeout: 5 * time.Second})
+		res := dense.Solve(ex, m, dense.Options{Mode: dense.ModeDense})
 		t.Logf("n=%d dens=%.2f: size=%d nodes=%d poly=%d red=%d timeout=%v in %v",
 			cfg.n, cfg.dens, res.Size, res.Stats.Nodes, res.Stats.PolyCases, res.Stats.Reductions, res.Stats.TimedOut, time.Since(start))
 	}

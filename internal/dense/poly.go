@@ -465,7 +465,7 @@ func (s *solver) reconstruct(comps []*component, caList, cbList, trivialL, trivi
 		}
 	}
 
-	s.bestSize = bestMin
+	s.record(bestMin)
 	s.bestA = append(s.bestA[:0], chosenA[:bestMin]...)
 	s.bestB = append(s.bestB[:0], chosenB[:bestMin]...)
 }

@@ -22,11 +22,12 @@ const (
 
 // Options configures a solve over a Matrix.
 type Options struct {
-	Mode   Mode
-	Budget *core.Budget // nil means unlimited
+	Mode Mode
 
 	// Lower is the incumbent balanced size: only bicliques of balanced
 	// size strictly greater than Lower are searched for and reported.
+	// The execution context's shared incumbent (Exec.Best) is read live
+	// during the search and tightens this bound as other workers improve.
 	Lower int
 
 	// FixedA forces the given left indices into the partial solution A.
@@ -47,8 +48,9 @@ type Options struct {
 }
 
 // Result of a dense solve. A and B are matrix-local indices; Found is true
-// only if a balanced biclique strictly larger than Options.Lower exists
-// (or was found before the budget ran out).
+// only if a balanced biclique strictly larger than Options.Lower was found
+// by this solve (bicliques matched elsewhere and shared via the execution
+// context raise the pruning bound but are never reported here).
 type Result struct {
 	Found bool
 	A, B  []int
@@ -56,20 +58,29 @@ type Result struct {
 	Stats core.Stats
 }
 
-// Solve runs the configured algorithm to completion (or budget
-// exhaustion) and returns the best balanced biclique strictly larger than
-// Options.Lower, if any.
-func Solve(m *Matrix, opt Options) Result {
+// Solve runs the configured algorithm under ex (nil means unlimited) to
+// completion or budget exhaustion and returns the best balanced biclique
+// strictly larger than Options.Lower, if any. Solve is safe to call from
+// many goroutines sharing one ex: the budget is consumed atomically and
+// the shared incumbent size tightens every concurrent solve. Because the
+// incumbent size is adopted as a pruning bound, solves sharing an ex
+// must be searching the same optimum — the same graph, or subgraphs of
+// one graph as the sparse verification pipeline does; reusing an ex
+// across unrelated graphs prunes with a bound that does not apply.
+func Solve(ex *core.Exec, m *Matrix, opt Options) Result {
 	s := &solver{
 		m:        m,
 		mode:     opt.Mode,
-		budget:   opt.Budget,
+		ex:       ex,
 		bestSize: opt.Lower,
 		poolL:    bitset.NewPool(m.nl),
 		poolR:    bitset.NewPool(m.nr),
 
 		noProfileBound:  opt.DisableProfileBound,
 		noMatchingBound: opt.DisableMatchingBound,
+	}
+	if sb := ex.Best(); sb > s.bestSize {
+		s.bestSize = sb
 	}
 
 	CA := bitset.New(m.nl)
@@ -103,24 +114,29 @@ func Solve(m *Matrix, opt Options) Result {
 	res.Stats.SumSearchDepth = int64(s.maxDepth)
 	res.Stats.SearchSamples = 1
 	res.Stats.TimedOut = s.timedOut
-	if s.bestSize > opt.Lower {
+	if s.found {
 		res.Found = true
-		res.Size = s.bestSize
+		res.Size = s.foundSize
 		res.A, res.B = s.bestA, s.bestB
 	}
 	return res
 }
 
 type solver struct {
-	m      *Matrix
-	mode   Mode
-	budget *core.Budget
-	stats  core.Stats
+	m     *Matrix
+	mode  Mode
+	ex    *core.Exec
+	stats core.Stats
 
 	poolL, poolR *bitset.Pool
 	A, B         []int // current partial biclique (matrix-local indices)
 
+	// bestSize is the pruning bound: the max of Options.Lower, the local
+	// finds and the shared incumbent read from ex. found/foundSize record
+	// only the local finds (what Result may legitimately report).
 	bestSize     int
+	found        bool
+	foundSize    int
 	bestA, bestB []int
 
 	// sufA[x] = number of CA vertices with ≥ x neighbours in CB at the
@@ -179,9 +195,14 @@ func (s *solver) profileBound(a, b, ca, cb int) int {
 // node owns CA and CB: it may mutate them freely and the caller must not
 // reuse them afterwards.
 func (s *solver) node(CA, CB *bitset.Set) {
-	if !s.budget.Spend() {
+	if !s.ex.Spend() {
 		s.timedOut = true
 		return
+	}
+	// Adopt the shared incumbent: an improvement found by any concurrent
+	// worker immediately strengthens this solve's pruning bound.
+	if sb := s.ex.Best(); sb > s.bestSize {
+		s.bestSize = sb
 	}
 	s.stats.Nodes++
 	s.depth++
@@ -356,7 +377,7 @@ func (s *solver) updateOneSided(CB *bitset.Set, a, b, cb int) {
 	if c <= s.bestSize {
 		return
 	}
-	s.bestSize = c
+	s.record(c)
 	s.bestA = append(s.bestA[:0], s.A[:c]...)
 	s.bestB = append(s.bestB[:0], s.B...)
 	need := c - b
@@ -366,13 +387,22 @@ func (s *solver) updateOneSided(CB *bitset.Set, a, b, cb int) {
 	}
 }
 
+// record installs c as a locally found balanced size and publishes it to
+// the shared incumbent so concurrent workers prune with it immediately.
+func (s *solver) record(c int) {
+	s.bestSize = c
+	s.found = true
+	s.foundSize = c
+	s.ex.OfferBest(c)
+}
+
 // updateOneSidedR is the mirror image: extend A from CA.
 func (s *solver) updateOneSidedR(CA *bitset.Set, a, b, ca int) {
 	c := minInt(b, a+ca)
 	if c <= s.bestSize {
 		return
 	}
-	s.bestSize = c
+	s.record(c)
 	s.bestB = append(s.bestB[:0], s.B[:c]...)
 	s.bestA = append(s.bestA[:0], s.A...)
 	need := c - a

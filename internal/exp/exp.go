@@ -4,18 +4,24 @@
 // numbers differ from the paper (different hardware, language and data
 // stand-ins); the harness exists to reproduce the qualitative shape: who
 // wins, by what order of magnitude, and where the crossovers fall.
+//
+// Solvers are resolved through the mbb registry (mbb.Lookup), so the
+// harness measures exactly what library users run; each run gets a fresh
+// core.Exec carrying the per-run budget. An optional Recorder captures
+// every timed run as a structured Record for JSON export
+// (cmd/mbbbench -json).
 package exp
 
 import (
 	"fmt"
 	"io"
+	"sync"
 	"time"
 
 	"repro/internal/bigraph"
 	"repro/internal/core"
-	"repro/internal/decomp"
-	"repro/internal/sparse"
 	"repro/internal/workload"
+	"repro/mbb"
 )
 
 // Config controls workload scale and per-run budgets. Zero values select
@@ -42,6 +48,13 @@ type Config struct {
 	// datasets; nil means all (Table 5) / the tough subset (Table 6 and
 	// figures).
 	Datasets []string
+
+	// Workers is passed to the sparse framework's verification pipeline
+	// (0 keeps it sequential, the paper's schedule).
+	Workers int
+
+	// Recorder, when non-nil, collects a Record per timed solver run.
+	Recorder *Recorder
 
 	Seed int64
 }
@@ -81,6 +94,44 @@ func (c *Config) fill() {
 	}
 }
 
+// Record is one measured solver run, the unit of the -json export.
+type Record struct {
+	Exp      string  `json:"exp"`               // "table4", "fig5", ...
+	Dataset  string  `json:"dataset"`           // dataset name or dense-cell label
+	Solver   string  `json:"solver"`            // registry solver name
+	Seconds  float64 `json:"seconds"`           // wall-clock run time
+	TimedOut bool    `json:"timed_out"`         // budget expired (the paper's "-")
+	Size     int     `json:"size"`              // balanced biclique size found
+	Nodes    int64   `json:"nodes,omitempty"`   // search nodes spent
+	Step     string  `json:"step,omitempty"`    // S1/S2/S3 for the sparse framework
+	Workers  int     `json:"workers,omitempty"` // verification pipeline width
+}
+
+// Recorder collects Records across experiments; safe for concurrent use.
+type Recorder struct {
+	mu      sync.Mutex
+	records []Record
+}
+
+// NewRecorder returns an empty Recorder.
+func NewRecorder() *Recorder { return &Recorder{} }
+
+// Records returns a copy of everything recorded so far.
+func (r *Recorder) Records() []Record {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]Record(nil), r.records...)
+}
+
+func (r *Recorder) add(rec Record) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.records = append(r.records, rec)
+	r.mu.Unlock()
+}
+
 // selectDatasets resolves the dataset list against a default pool.
 func (c *Config) selectDatasets(pool []workload.Dataset) []workload.Dataset {
 	if len(c.Datasets) == 0 {
@@ -95,13 +146,54 @@ func (c *Config) selectDatasets(pool []workload.Dataset) []workload.Dataset {
 	return out
 }
 
-// timed runs fn under a fresh budget and returns the elapsed seconds, the
-// result, and whether the budget expired.
-func (c *Config) timed(fn func(b *core.Budget) core.Result) (float64, core.Result, bool) {
-	b := core.NewTimeBudget(c.Budget)
+// timed runs fn under a fresh execution context carrying the per-run
+// budget and returns the elapsed seconds, the result, and whether the
+// budget expired.
+func (c *Config) timed(fn func(ex *core.Exec) core.Result) (float64, core.Result, bool) {
+	ex := core.NewExec(nil, core.Limits{Timeout: c.Budget})
 	start := time.Now()
-	res := fn(b)
+	res := fn(ex)
 	return time.Since(start).Seconds(), res, res.Stats.TimedOut
+}
+
+// runSolver resolves name in the mbb registry, runs it on g under a
+// fresh budgeted execution context, records the run, and returns the
+// elapsed seconds, result and timeout flag.
+func (c *Config) runSolver(expName, dataset, name string, g *bigraph.Graph, opt *mbb.Options) (float64, core.Result, bool, error) {
+	spec, ok := mbb.Lookup(name)
+	if !ok {
+		return 0, core.Result{}, false, fmt.Errorf("exp: unknown solver %q", name)
+	}
+	if opt == nil {
+		opt = &mbb.Options{}
+	}
+	if opt.Workers == 0 {
+		opt.Workers = c.Workers
+	}
+	var runErr error
+	secs, res, timedOut := c.timed(func(ex *core.Exec) core.Result {
+		r, err := spec.Run(ex, g, opt)
+		if err != nil {
+			runErr = err
+		}
+		return r
+	})
+	if runErr != nil {
+		return 0, core.Result{}, false, runErr
+	}
+	c.Recorder.add(Record{
+		Exp: expName, Dataset: dataset, Solver: spec.Name,
+		Seconds: secs, TimedOut: timedOut, Size: res.Biclique.Size(),
+		Nodes: res.Stats.Nodes, Step: stepLabel(res.Stats.Step), Workers: opt.Workers,
+	})
+	return secs, res, timedOut, nil
+}
+
+func stepLabel(s core.Step) string {
+	if s == core.StepNone {
+		return ""
+	}
+	return s.String()
 }
 
 // cell formats a timing cell, printing "-" on timeout like the paper.
@@ -117,25 +209,6 @@ func cell(secs float64, timedOut bool) string {
 	default:
 		return fmt.Sprintf("%.2f", secs)
 	}
-}
-
-// variantOptions returns the sparse.Options for each Table 3 variant.
-func variantOptions(name string) sparse.Options {
-	switch name {
-	case "hbvMBB":
-		return sparse.DefaultOptions()
-	case "bd1":
-		return sparse.Options{Order: decomp.OrderBidegeneracy, SkipHeuristic: true}
-	case "bd2":
-		return sparse.Options{SkipCoreOpts: true}
-	case "bd3":
-		return sparse.Options{Order: decomp.OrderBidegeneracy, UseBasicBB: true}
-	case "bd4":
-		return sparse.Options{Order: decomp.OrderDegree}
-	case "bd5":
-		return sparse.Options{Order: decomp.OrderDegeneracy}
-	}
-	panic("exp: unknown variant " + name)
 }
 
 // generate builds the seeded stand-in for dataset d.

@@ -80,13 +80,39 @@ func TestFiguresSmall(t *testing.T) {
 	}
 }
 
-func TestVariantOptionsPanics(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Fatal("expected panic for unknown variant")
+func TestRunSolverUnknown(t *testing.T) {
+	var buf bytes.Buffer
+	cfg := smallConfig(&buf)
+	cfg.fill()
+	if _, _, _, err := cfg.runSolver("test", "d", "bd9", nil, nil); err == nil {
+		t.Fatal("expected error for unknown solver")
+	}
+}
+
+func TestRecorderCapturesRuns(t *testing.T) {
+	var buf bytes.Buffer
+	cfg := smallConfig(&buf)
+	cfg.Recorder = NewRecorder()
+	cfg.Datasets = []string{"unicodelang"}
+	if err := Table5(cfg); err != nil {
+		t.Fatal(err)
+	}
+	recs := cfg.Recorder.Records()
+	if len(recs) == 0 {
+		t.Fatal("no records captured")
+	}
+	solvers := map[string]bool{}
+	for _, r := range recs {
+		if r.Exp != "table5" || r.Dataset != "unicodelang" {
+			t.Fatalf("bad record %+v", r)
 		}
-	}()
-	variantOptions("bd9")
+		solvers[r.Solver] = true
+	}
+	for _, want := range []string{"hbvMBB", "adp1", "extBBCL"} {
+		if !solvers[want] {
+			t.Fatalf("missing solver %q in records %v", want, solvers)
+		}
+	}
 }
 
 func TestCellFormatting(t *testing.T) {

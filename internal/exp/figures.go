@@ -4,10 +4,9 @@ import (
 	"fmt"
 	"text/tabwriter"
 
-	"repro/internal/core"
 	"repro/internal/decomp"
-	"repro/internal/sparse"
 	"repro/internal/workload"
+	"repro/mbb"
 )
 
 // Fig4 reproduces "Effectiveness of heuristics": per tough dataset, the
@@ -21,11 +20,10 @@ func Fig4(cfg Config) error {
 	fmt.Fprintln(tw, "dataset\toptimum\theuGlobal gap\theuLocal gap")
 	for _, d := range datasets {
 		g := cfg.generate(d)
-		_, res, timedOut := cfg.timed(func(b *core.Budget) core.Result {
-			o := sparse.DefaultOptions()
-			o.Budget = b
-			return sparse.Solve(g, o)
-		})
+		_, res, timedOut, err := cfg.runSolver("fig4", d.Name, "hbvMBB", g, nil)
+		if err != nil {
+			return err
+		}
 		if timedOut {
 			fmt.Fprintf(tw, "D%d %s\t-\t-\t-\n", d.DIndex, d.Name)
 			continue
@@ -51,13 +49,10 @@ func Fig5(cfg Config) error {
 		bideg := decomp.BicoresFast(g).Bidegeneracy()
 		fmt.Fprintf(tw, "D%d %s\t%d", d.DIndex, d.Name, bideg)
 		for _, kind := range []decomp.OrderKind{decomp.OrderDegree, decomp.OrderDegeneracy, decomp.OrderBidegeneracy} {
-			kind := kind
-			_, res, timedOut := cfg.timed(func(b *core.Budget) core.Result {
-				o := sparse.DefaultOptions()
-				o.Order = kind
-				o.Budget = b
-				return sparse.Solve(g, o)
-			})
+			_, res, timedOut, err := cfg.runSolver("fig5", d.Name, "hbvMBB", g, &mbb.Options{Order: kind})
+			if err != nil {
+				return err
+			}
 			if timedOut || bideg == 0 {
 				fmt.Fprint(tw, "\t-")
 				continue
@@ -82,13 +77,10 @@ func Fig6(cfg Config) error {
 		g := cfg.generate(d)
 		fmt.Fprintf(tw, "D%d %s", d.DIndex, d.Name)
 		for _, kind := range []decomp.OrderKind{decomp.OrderDegree, decomp.OrderDegeneracy, decomp.OrderBidegeneracy} {
-			kind := kind
-			_, res, timedOut := cfg.timed(func(b *core.Budget) core.Result {
-				o := sparse.DefaultOptions()
-				o.Order = kind
-				o.Budget = b
-				return sparse.Solve(g, o)
-			})
+			_, res, timedOut, err := cfg.runSolver("fig6", d.Name, "hbvMBB", g, &mbb.Options{Order: kind})
+			if err != nil {
+				return err
+			}
 			if timedOut {
 				fmt.Fprint(tw, "\t-")
 				continue

@@ -5,12 +5,7 @@ import (
 	"text/tabwriter"
 	"time"
 
-	"repro/internal/baseline"
-	"repro/internal/bigraph"
-	"repro/internal/core"
 	"repro/internal/decomp"
-	"repro/internal/dense"
-	"repro/internal/sparse"
 	"repro/internal/workload"
 )
 
@@ -30,46 +25,37 @@ func Table4(cfg Config) error {
 	for _, d := range cfg.DenseDensities {
 		fmt.Fprintf(tw, "%.0f%%", d*100)
 		for _, n := range cfg.DenseSizes {
-			ext, extTO := avgDense(cfg, n, d, func(g *bigraph.Graph, b *core.Budget) core.Result {
-				return baseline.ExtBBCL(g, b)
-			})
-			dns, dnsTO := avgDense(cfg, n, d, func(g *bigraph.Graph, b *core.Budget) core.Result {
-				return denseSolve(g, b)
-			})
-			fmt.Fprintf(tw, "\t%s\t%s", cell(ext, extTO), cell(dns, dnsTO))
+			for _, solver := range []string{"extBBCL", "denseMBB"} {
+				secs, timedOut, err := avgDense(cfg, n, d, solver)
+				if err != nil {
+					return err
+				}
+				fmt.Fprintf(tw, "\t%s", cell(secs, timedOut))
+			}
 		}
 		fmt.Fprintln(tw)
 	}
 	return tw.Flush()
 }
 
-// avgDense averages run time over the configured instances; a single
-// timeout marks the cell as timed out (like the paper's "-").
-func avgDense(cfg Config, n int, density float64, run func(*bigraph.Graph, *core.Budget) core.Result) (float64, bool) {
+// avgDense averages the named solver's run time over the configured
+// instances; a single timeout marks the cell as timed out (like the
+// paper's "-").
+func avgDense(cfg Config, n int, density float64, solver string) (float64, bool, error) {
+	label := fmt.Sprintf("n=%d,density=%.2f", n, density)
 	total := 0.0
 	for i := 0; i < cfg.DenseInstances; i++ {
 		g := workload.Dense(n, n, density, cfg.Seed+int64(i)*131)
-		secs, _, timedOut := cfg.timed(func(b *core.Budget) core.Result { return run(g, b) })
+		secs, _, timedOut, err := cfg.runSolver("table4", label, solver, g, nil)
+		if err != nil {
+			return 0, false, err
+		}
 		if timedOut {
-			return 0, true
+			return 0, true, nil
 		}
 		total += secs
 	}
-	return total / float64(cfg.DenseInstances), false
-}
-
-// denseSolve adapts the dense solver to the core.Result envelope.
-func denseSolve(g *bigraph.Graph, b *core.Budget) core.Result {
-	m := dense.FromBigraph(g)
-	dres := dense.Solve(m, dense.Options{Mode: dense.ModeDense, Budget: b})
-	res := core.Result{Stats: dres.Stats}
-	for _, l := range dres.A {
-		res.Biclique.A = append(res.Biclique.A, g.Left(l))
-	}
-	for _, r := range dres.B {
-		res.Biclique.B = append(res.Biclique.B, g.Right(r))
-	}
-	return res
+	return total / float64(cfg.DenseInstances), false, nil
 }
 
 // Table5 reproduces "Efficiency for sparse bipartite graphs": per
@@ -87,35 +73,27 @@ func Table5(cfg Config) error {
 		row := fmt.Sprintf("%s\t%d\t%d\t%.3f", d.Name, g.NL(), g.NR(), g.Density()*1e4)
 
 		opt := -1
-		hbvSecs, hbvRes, hbvTO := cfg.timed(func(b *core.Budget) core.Result {
-			so := sparse.DefaultOptions()
-			so.Budget = b
-			return sparse.Solve(g, so)
-		})
+		hbvSecs, hbvRes, hbvTO, err := cfg.runSolver("table5", d.Name, "hbvMBB", g, nil)
+		if err != nil {
+			return err
+		}
 		if !hbvTO {
 			opt = hbvRes.Biclique.Size()
 		}
 
 		var cells []string
-		for _, kind := range []baseline.AdpKind{baseline.Adp1, baseline.Adp2, baseline.Adp3, baseline.Adp4} {
-			kind := kind
-			secs, res, timedOut := cfg.timed(func(b *core.Budget) core.Result {
-				return baseline.Adp(g, kind, b)
-			})
+		for _, solver := range []string{"adp1", "adp2", "adp3", "adp4", "extBBCL"} {
+			secs, res, timedOut, err := cfg.runSolver("table5", d.Name, solver, g, nil)
+			if err != nil {
+				return err
+			}
 			if !timedOut && opt >= 0 && res.Biclique.Size() != opt {
 				// Exactness cross-check between independent solvers.
-				return fmt.Errorf("exp: %s: %v found %d, hbvMBB found %d",
-					d.Name, kind, res.Biclique.Size(), opt)
+				return fmt.Errorf("exp: %s: %s found %d, hbvMBB found %d",
+					d.Name, solver, res.Biclique.Size(), opt)
 			}
 			cells = append(cells, cell(secs, timedOut))
 		}
-		extSecs, extRes, extTO := cfg.timed(func(b *core.Budget) core.Result {
-			return baseline.ExtBBCL(g, b)
-		})
-		if !extTO && opt >= 0 && extRes.Biclique.Size() != opt {
-			return fmt.Errorf("exp: %s: extBBCL found %d, hbvMBB found %d", d.Name, extRes.Biclique.Size(), opt)
-		}
-		cells = append(cells, cell(extSecs, extTO))
 		hbvCell := cell(hbvSecs, hbvTO)
 		if !hbvTO {
 			hbvCell += ", " + hbvRes.Stats.Step.String()
@@ -149,13 +127,13 @@ func Table6(cfg Config) error {
 		g := cfg.generate(d)
 		fmt.Fprintf(tw, "%s", d.Name)
 
-		// Heuristic step alone.
-		secs, _, timedOut := cfg.timed(func(b *core.Budget) core.Result {
-			o := sparse.DefaultOptions()
-			o.Budget = b
-			return sparse.HeuristicOnly(g, o)
-		})
-		fmt.Fprintf(tw, "\t%s", cell(secs, timedOut))
+		// Heuristic step alone ("heur" reports TimedOut unless Lemma 5
+		// proved optimality; the overhead column only wants the time).
+		secs, _, _, err := cfg.runSolver("table6", d.Name, "heur", g, nil)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(tw, "\t%s", cell(secs, false))
 
 		// Decomposition overheads.
 		start := time.Now()
@@ -165,12 +143,11 @@ func Table6(cfg Config) error {
 		decomp.BicoresFast(g)
 		fmt.Fprintf(tw, "\t%s", cell(time.Since(start).Seconds(), false))
 
-		for _, name := range []string{"bd1", "bd2", "bd3", "bd4", "bd5", "hbvMBB"} {
-			opt := variantOptions(name)
-			secs, _, timedOut := cfg.timed(func(b *core.Budget) core.Result {
-				opt.Budget = b
-				return sparse.Solve(g, opt)
-			})
+		for _, solver := range []string{"bd1", "bd2", "bd3", "bd4", "bd5", "hbvMBB"} {
+			secs, _, timedOut, err := cfg.runSolver("table6", d.Name, solver, g, nil)
+			if err != nil {
+				return err
+			}
 			fmt.Fprintf(tw, "\t%s", cell(secs, timedOut))
 		}
 		fmt.Fprintln(tw)

@@ -97,7 +97,7 @@ func TestQuickLocalSearchValid(t *testing.T) {
 			lso.Iters = 60
 			lso.Restarts = 2
 			lso.Seed = seed
-			bc := heur.LocalSearch(g, lso)
+			bc := heur.LocalSearch(nil, g, lso)
 			if bc.Size() > opt {
 				return false
 			}
@@ -126,7 +126,7 @@ func TestLocalSearchFindsPlanted(t *testing.T) {
 		}
 	}
 	g := b.Build()
-	bc := heur.LocalSearch(g, heur.SBMNASDefaults())
+	bc := heur.LocalSearch(nil, g, heur.SBMNASDefaults())
 	if bc.Size() < 3 {
 		t.Fatalf("local search found only %d; want >= 3", bc.Size())
 	}
@@ -136,7 +136,7 @@ func TestLocalSearchFindsPlanted(t *testing.T) {
 }
 
 func TestLocalSearchEdgeless(t *testing.T) {
-	if heur.LocalSearch(bigraph.FromEdges(3, 3, nil), heur.POLSDefaults()).Size() != 0 {
+	if heur.LocalSearch(nil, bigraph.FromEdges(3, 3, nil), heur.POLSDefaults()).Size() != 0 {
 		t.Fatal("edgeless graph should give empty result")
 	}
 }

@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"repro/internal/bigraph"
+	"repro/internal/core"
 )
 
 // LocalSearchOptions configures the POLS/SBMNAS-style local search.
@@ -35,8 +36,10 @@ func SBMNASDefaults() LocalSearchOptions {
 // seeds it repeatedly tries to add compatible pairs, swap a boundary
 // vertex pair, or (MultiMove) drop a random fraction and regrow. It
 // returns the best balanced biclique observed. The search is heuristic:
-// it never proves optimality, exactly like the originals.
-func LocalSearch(g *bigraph.Graph, opt LocalSearchOptions) bigraph.Biclique {
+// it never proves optimality, exactly like the originals. ex bounds the
+// iteration count and makes the search cancellable (nil means run the
+// configured iterations to completion).
+func LocalSearch(ex *core.Exec, g *bigraph.Graph, opt LocalSearchOptions) bigraph.Biclique {
 	if g.NumEdges() == 0 {
 		return bigraph.Biclique{}
 	}
@@ -53,6 +56,9 @@ func LocalSearch(g *bigraph.Graph, opt LocalSearchOptions) bigraph.Biclique {
 			best = cloneBiclique(cur)
 		}
 		for it := 0; it < opt.Iters; it++ {
+			if !ex.Spend() {
+				return best
+			}
 			next := perturb(g, cur, rng, opt.MultiMove)
 			next = growPairs(g, next)
 			if next.Size() >= cur.Size() {

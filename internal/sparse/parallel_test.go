@@ -23,7 +23,7 @@ func TestQuickParallelMatchesSequential(t *testing.T) {
 			opt := sparse.DefaultOptions()
 			opt.Workers = workers
 			opt.SkipHeuristic = true // force work into step 3
-			res := sparse.Solve(g, opt)
+			res := sparse.Solve(nil, g, opt)
 			if res.Biclique.Size() != want {
 				t.Logf("workers=%d: got %d want %d", workers, res.Biclique.Size(), want)
 				return false
@@ -46,10 +46,10 @@ func TestParallelPlanted(t *testing.T) {
 	g, _, _ = workload.Plant(g, 9, 4)
 	g = quasi(g)
 	seqOpt := sparse.DefaultOptions()
-	seq := sparse.Solve(g, seqOpt)
+	seq := sparse.Solve(nil, g, seqOpt)
 	parOpt := sparse.DefaultOptions()
 	parOpt.Workers = 4
-	par := sparse.Solve(g, parOpt)
+	par := sparse.Solve(nil, g, parOpt)
 	if seq.Biclique.Size() != par.Biclique.Size() {
 		t.Fatalf("parallel %d != sequential %d", par.Biclique.Size(), seq.Biclique.Size())
 	}

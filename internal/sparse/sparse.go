@@ -5,18 +5,27 @@
 // Algorithm 6, Definitions 5–6), and maximality verification with the
 // dense solver (verifyMBB, Algorithm 8) — plus the bd1..bd5 ablation
 // variants of Table 3.
+//
+// Steps 2 and 3 run as a streaming pipeline: vertex-centred subgraphs
+// flow from the producer (the bridging step) through a bounded channel
+// into a pool of verification workers, so peak memory is O(workers)
+// subgraphs instead of O(all subgraphs), and an improvement found by any
+// worker immediately tightens the pruning of the producer and of every
+// other worker via the execution context's shared incumbent size.
 package sparse
 
 import (
+	"sync"
+
 	"repro/internal/bigraph"
 	"repro/internal/core"
 	"repro/internal/decomp"
 )
 
-// Options configures hbvMBB and its ablation variants.
+// Options configures hbvMBB and its ablation variants. Budgets and
+// cancellation are carried by the *core.Exec passed to Solve, not by
+// Options.
 type Options struct {
-	Budget *core.Budget // nil means unlimited
-
 	// Order is the total search order used to build vertex-centred
 	// subgraphs. The default (zero value) is decomp.OrderDegree; callers
 	// should normally pass decomp.OrderBidegeneracy, the paper's choice.
@@ -41,11 +50,10 @@ type Options struct {
 	Seeds int
 
 	// Workers sets the number of goroutines used by the maximality
-	// verification step; values ≤ 1 keep it sequential. Parallel
-	// verification is an engineering extension over the paper (whose
-	// implementation is sequential); results are identical, only the
-	// schedule differs. With a MaxNodes budget the limit applies per
-	// worker.
+	// verification step; values ≤ 1 keep the pipeline sequential (the
+	// paper's schedule). The workers share one budget and one incumbent
+	// through the execution context, so the optimum is identical — only
+	// the schedule (and therefore the node count) differs.
 	Workers int
 }
 
@@ -55,34 +63,23 @@ func DefaultOptions() Options {
 	return Options{Order: decomp.OrderBidegeneracy, Seeds: 8}
 }
 
-// Solve runs Algorithm 4 (hbvMBB) on g and returns the maximum balanced
-// biclique (exact unless the budget ran out).
-func Solve(g *bigraph.Graph, opt Options) core.Result {
-	if opt.Seeds <= 0 {
-		opt.Seeds = 8
-	}
-	st := &state{g: g, opt: opt}
+// Solve runs Algorithm 4 (hbvMBB) on g under the execution context ex
+// (nil means unlimited) and returns the maximum balanced biclique (exact
+// unless the budget ran out or ex was cancelled).
+func Solve(ex *core.Exec, g *bigraph.Graph, opt Options) core.Result {
+	st := newState(ex, g, opt)
 
 	// Step 1: heuristics and global reduction (hMBB).
 	reduced, newToOld, done := st.hMBB()
-	st.stats.HeurGlobalSize = st.bestSize()
-	st.stats.HeurLocalSize = st.bestSize() // refined by step 2 if it runs
+	st.heurGlobal = st.bestSize()
+	st.heurLocal = st.heurGlobal // refined by step 2 if it runs
 	if done {
-		st.stats.Step = core.Step1
+		st.step = core.Step1
 		return st.result()
 	}
 
-	// Step 2: bridge to vertex-centred subgraphs.
-	survivors := st.bridge(reduced, newToOld)
-	st.stats.HeurLocalSize = st.bestSize()
-	if len(survivors) == 0 {
-		st.stats.Step = core.Step2
-		return st.result()
-	}
-
-	// Step 3: maximality verification.
-	st.stats.Step = core.Step3
-	st.verify(survivors)
+	// Steps 2+3: the streaming bridge/verify pipeline.
+	st.pipeline(reduced, newToOld)
 	return st.result()
 }
 
@@ -90,41 +87,82 @@ func Solve(g *bigraph.Graph, opt Options) core.Result {
 // the greedy heuristics with core-based reduction and early termination.
 // The result is the heuristic incumbent; Stats.Step is Step1 if
 // optimality was proven, StepNone otherwise.
-func HeuristicOnly(g *bigraph.Graph, opt Options) core.Result {
-	if opt.Seeds <= 0 {
-		opt.Seeds = 8
-	}
-	st := &state{g: g, opt: opt}
+func HeuristicOnly(ex *core.Exec, g *bigraph.Graph, opt Options) core.Result {
+	st := newState(ex, g, opt)
 	_, _, done := st.hMBB()
-	st.stats.HeurGlobalSize = st.bestSize()
+	st.heurGlobal = st.bestSize()
+	st.heurLocal = st.heurGlobal
 	if done {
-		st.stats.Step = core.Step1
+		st.step = core.Step1
 	}
 	return st.result()
 }
 
 // state carries the incumbent (always in original unified ids) and the
-// aggregated statistics across the three steps.
+// framework-level statistics across the three steps. The incumbent size
+// is mirrored into the execution context's shared atomic so every layer
+// (producer, workers, the dense solver's inner nodes) prunes with the
+// freshest bound; the witness itself lives here under mu.
 type state struct {
-	g     *bigraph.Graph
-	opt   Options
-	best  bigraph.Biclique
-	stats core.Stats
+	g   *bigraph.Graph
+	opt Options
+	ex  *core.Exec
+
+	mu   sync.Mutex
+	best bigraph.Biclique
+
+	// Framework-level stats, written only from the coordinating
+	// goroutine (the additive per-solve counters flow through
+	// ex.AddStats instead).
+	step                  core.Step
+	heurGlobal, heurLocal int
+	bidegeneracy          int
 }
 
-func (s *state) bestSize() int { return s.best.Size() }
+func newState(ex *core.Exec, g *bigraph.Graph, opt Options) *state {
+	if opt.Seeds <= 0 {
+		opt.Seeds = 8
+	}
+	if ex == nil {
+		// The shared incumbent and budget live in the Exec, so the
+		// framework always runs with one, even if the caller did not
+		// care to provide one.
+		ex = core.Background()
+	}
+	return &state{g: g, opt: opt, ex: ex}
+}
 
-// improve installs bc (given in original unified ids) if strictly larger.
+// bestSize reads the shared incumbent balanced size.
+func (s *state) bestSize() int { return s.ex.Best() }
+
+// improve installs bc (given in original unified ids) if strictly larger
+// than the incumbent, publishing the new size to the execution context.
+// Safe for concurrent use.
 func (s *state) improve(bc bigraph.Biclique) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	if bc.Size() > s.best.Size() {
 		s.best = bc.Balanced()
+		s.ex.OfferBest(s.best.Size())
 		return true
 	}
 	return false
 }
 
 func (s *state) result() core.Result {
-	return core.Result{Biclique: s.best, Stats: s.stats}
+	stats := s.ex.Snapshot()
+	stats.Step = s.step
+	stats.HeurGlobalSize = s.heurGlobal
+	stats.HeurLocalSize = s.heurLocal
+	if s.bidegeneracy > stats.Bidegeneracy {
+		stats.Bidegeneracy = s.bidegeneracy
+	}
+	if s.ex.Stopped() {
+		stats.TimedOut = true
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return core.Result{Biclique: s.best, Stats: stats}
 }
 
 // remap lifts a biclique through a newToOld table.

@@ -35,7 +35,7 @@ func fig1b() *bigraph.Graph {
 
 func TestSolveFig1b(t *testing.T) {
 	g := fig1b()
-	res := sparse.Solve(g, sparse.DefaultOptions())
+	res := sparse.Solve(nil, g, sparse.DefaultOptions())
 	if res.Biclique.Size() != 2 {
 		t.Fatalf("size = %d, want 2", res.Biclique.Size())
 	}
@@ -55,7 +55,7 @@ func TestSolveEmptyAndTiny(t *testing.T) {
 		bigraph.FromEdges(3, 3, nil),
 		bigraph.FromEdges(1, 1, [][2]int{{0, 0}}),
 	} {
-		res := sparse.Solve(g, sparse.DefaultOptions())
+		res := sparse.Solve(nil, g, sparse.DefaultOptions())
 		want := baseline.BruteForceSize(g)
 		if res.Biclique.Size() != want {
 			t.Fatalf("size = %d, want %d (nl=%d nr=%d m=%d)", res.Biclique.Size(), want, g.NL(), g.NR(), g.NumEdges())
@@ -84,7 +84,7 @@ func TestQuickAllVariantsExact(t *testing.T) {
 		g := randomBigraph(rng, 12, densities[rng.Intn(len(densities))])
 		want := baseline.BruteForceSize(g)
 		for name, opt := range variants {
-			res := sparse.Solve(g, opt)
+			res := sparse.Solve(nil, g, opt)
 			if res.Biclique.Size() != want {
 				t.Logf("%s: got %d want %d on %dx%d edges=%v",
 					name, res.Biclique.Size(), want, g.NL(), g.NR(), g.Edges())
@@ -117,7 +117,7 @@ func TestPlantedBiclique(t *testing.T) {
 		}
 	}
 	g := b.Build()
-	res := sparse.Solve(g, sparse.DefaultOptions())
+	res := sparse.Solve(nil, g, sparse.DefaultOptions())
 	if res.Biclique.Size() != k {
 		t.Fatalf("planted size = %d, want %d", res.Biclique.Size(), k)
 	}
@@ -134,8 +134,8 @@ func TestBudgetRespected(t *testing.T) {
 	g := randomBigraph(rng, 40, 0.3)
 	opt := sparse.DefaultOptions()
 	opt.SkipHeuristic = true // force work into steps 2/3
-	opt.Budget = &core.Budget{MaxNodes: 1}
-	res := sparse.Solve(g, opt)
+	ex := core.NewExec(nil, core.Limits{MaxNodes: 1})
+	res := sparse.Solve(ex, g, opt)
 	if !res.Stats.TimedOut {
 		t.Skip("graph solved within one node; acceptable")
 	}
@@ -151,7 +151,7 @@ func TestStatsPopulated(t *testing.T) {
 	g := randomBigraph(rng, 30, 0.15)
 	opt := sparse.DefaultOptions()
 	opt.SkipHeuristic = true
-	res := sparse.Solve(g, opt)
+	res := sparse.Solve(nil, g, opt)
 	if res.Stats.Step == core.StepNone {
 		t.Fatal("step not recorded")
 	}
@@ -170,7 +170,7 @@ func TestOrdersAgree(t *testing.T) {
 		g := randomBigraph(rng, 25, 0.2)
 		want := -1
 		for _, kind := range []decomp.OrderKind{decomp.OrderDegree, decomp.OrderDegeneracy, decomp.OrderBidegeneracy} {
-			res := sparse.Solve(g, sparse.Options{Order: kind})
+			res := sparse.Solve(nil, g, sparse.Options{Order: kind})
 			if want == -1 {
 				want = res.Biclique.Size()
 			} else if res.Biclique.Size() != want {

@@ -1,99 +1,36 @@
 package sparse
 
 import (
-	"sync"
-
 	"repro/internal/bigraph"
 	"repro/internal/core"
 	"repro/internal/decomp"
 	"repro/internal/dense"
 )
 
-// verify is step 3 of the framework (Algorithm 8): each surviving
-// vertex-centred subgraph is reduced to the (best+1)-core and, if its
-// centre survives, searched exhaustively with the dense solver anchored
-// at the centre. Any strictly larger balanced biclique found becomes the
-// new incumbent, which strengthens the reduction for the remaining
-// subgraphs. With Options.Workers > 1 the subgraphs are verified
-// concurrently; each worker reads the incumbent at dispatch time, so
-// pruning is slightly weaker than the sequential schedule but the result
-// is identical.
-func (s *state) verify(survivors []centred) {
-	if s.opt.Workers > 1 {
-		s.verifyParallel(survivors)
-		return
+// verifyOne is step 3 of the framework (Algorithm 8) for a single
+// vertex-centred subgraph: reduce it to the (best+1)-core and, if its
+// centre survives, search it exhaustively with the dense solver anchored
+// at the centre. Any strictly larger balanced biclique becomes the new
+// incumbent, which — through the execution context's shared size —
+// immediately strengthens the reduction of every other in-flight
+// subgraph. Safe for concurrent use by the worker pool.
+func (s *state) verifyOne(h centred) {
+	if s.ex.Stopped() {
+		return // drain quickly after cancellation or budget exhaustion
 	}
-	for _, h := range survivors {
-		if s.opt.Budget.Exceeded() {
-			s.stats.TimedOut = true
-			return
-		}
-		bc, stats, found := s.solveCentred(h, s.bestSize(), s.opt.Budget)
-		s.stats.Merge(&stats)
-		if found {
-			s.improve(bc)
-		}
+	bc, stats, found := s.solveCentred(h, s.bestSize())
+	s.ex.AddStats(&stats)
+	if found {
+		s.improve(bc)
 	}
-}
-
-// verifyParallel fans the surviving subgraphs out to a worker pool. The
-// shared budget is replaced by per-worker budgets with the same deadline
-// (core.Budget is not safe for concurrent use); node limits are applied
-// per worker.
-func (s *state) verifyParallel(survivors []centred) {
-	var mu sync.Mutex
-	var wg sync.WaitGroup
-	jobs := make(chan centred)
-	workers := s.opt.Workers
-
-	for w := 0; w < workers; w++ {
-		wb := cloneBudget(s.opt.Budget)
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for h := range jobs {
-				mu.Lock()
-				best := s.bestSize()
-				mu.Unlock()
-				bc, stats, found := s.solveCentred(h, best, wb)
-				mu.Lock()
-				s.stats.Merge(&stats)
-				if found {
-					s.improve(bc)
-				}
-				mu.Unlock()
-				if wb.Exceeded() {
-					mu.Lock()
-					s.stats.TimedOut = true
-					mu.Unlock()
-					break
-				}
-			}
-			// Drain remaining jobs if we broke early.
-			for range jobs {
-			}
-		}()
-	}
-	for _, h := range survivors {
-		jobs <- h
-	}
-	close(jobs)
-	wg.Wait()
-}
-
-// cloneBudget derives an independent budget with the same limits.
-func cloneBudget(b *core.Budget) *core.Budget {
-	if b == nil {
-		return nil
-	}
-	return &core.Budget{Deadline: b.Deadline, MaxNodes: b.MaxNodes}
 }
 
 // solveCentred verifies one vertex-centred subgraph against the incumbent
 // size `best` and returns an improving biclique (in original unified ids)
 // if one exists. It is safe for concurrent use: it only reads immutable
-// state from s (the graph and options).
-func (s *state) solveCentred(h centred, best int, budget *core.Budget) (bigraph.Biclique, core.Stats, bool) {
+// state from s (the graph and options) and the concurrency-safe execution
+// context.
+func (s *state) solveCentred(h centred, best int) (bigraph.Biclique, core.Stats, bool) {
 	var stats core.Stats
 	mode := dense.ModeDense
 	if s.opt.UseBasicBB {
@@ -134,9 +71,8 @@ func (s *state) solveCentred(h centred, best int, budget *core.Budget) (bigraph.
 	}
 	anchor := indexOf(lefts, center)
 	m := dense.FromInduced(sub2, lefts, rights)
-	res := dense.Solve(m, dense.Options{
+	res := dense.Solve(s.ex, m, dense.Options{
 		Mode:   mode,
-		Budget: budget,
 		Lower:  best,
 		FixedA: []int{anchor},
 	})

@@ -146,7 +146,7 @@ func TestGenerateAndSolveSmall(t *testing.T) {
 	for _, name := range []string{"unicodelang", "moreno-crime-crime", "escorts"} {
 		d, _ := workload.ByName(name)
 		g := d.Generate(8000, 1)
-		res := sparse.Solve(g, sparse.DefaultOptions())
+		res := sparse.Solve(nil, g, sparse.DefaultOptions())
 		if res.Biclique.Size() < d.Optimum {
 			t.Errorf("%s: solved %d < planted %d", name, res.Biclique.Size(), d.Optimum)
 		}

@@ -1,0 +1,224 @@
+package mbb_test
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/baseline"
+	"repro/internal/core"
+	"repro/mbb"
+)
+
+// TestSolveContextPreCancelled: a context cancelled before the call must
+// come back immediately with Exact == false.
+func TestSolveContextPreCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	rng := rand.New(rand.NewSource(7))
+	g := randomGraph(rng, 40, 0.4)
+	start := time.Now()
+	res, err := mbb.SolveContext(ctx, g, &mbb.Options{Algorithm: mbb.BasicBB})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Exact {
+		t.Fatal("cancelled search must not claim exactness")
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("pre-cancelled solve took %v", elapsed)
+	}
+}
+
+// TestSolveContextCancelMidSearch cancels a search that would otherwise
+// run effectively forever (plain branch and bound on a 300x300 random
+// graph explores >10^15 nodes; an 80x80 instance already needs millions)
+// and checks it returns promptly with Exact == false.
+func TestSolveContextCancelMidSearch(t *testing.T) {
+	const n = 300
+	rng := rand.New(rand.NewSource(4))
+	b := mbb.NewBuilder(n, n)
+	for l := 0; l < n; l++ {
+		for r := 0; r < n; r++ {
+			if rng.Float64() < 0.5 {
+				b.AddEdge(l, r)
+			}
+		}
+	}
+	g := b.Build()
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(100 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	res, err := mbb.SolveContext(ctx, g, &mbb.Options{Algorithm: mbb.BasicBB})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Exact {
+		t.Fatalf("basicBB on a %dx%d graph cannot complete in 100ms", n, n)
+	}
+	if elapsed := time.Since(start); elapsed > 10*time.Second {
+		t.Fatalf("cancellation took %v to take effect", elapsed)
+	}
+	// The best-so-far witness must still be valid.
+	if res.Biclique.Size() > 0 && !res.Biclique.IsBicliqueOf(g) {
+		t.Fatal("cancelled result invalid")
+	}
+}
+
+// TestSolveContextCancelSparse exercises the cancellation path through
+// the sparse framework's streaming pipeline with workers.
+func TestSolveContextCancelSparse(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	rng := rand.New(rand.NewSource(3))
+	g := randomGraph(rng, 60, 0.3)
+	res, err := mbb.SolveContext(ctx, g, &mbb.Options{Algorithm: mbb.HbvMBB, Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Exact {
+		t.Fatal("cancelled sparse search must not claim exactness")
+	}
+}
+
+// TestQuickWorkersMatchSequential: through the public API, the streaming
+// pipeline with 4 workers must find the same optimum as the sequential
+// schedule on random graphs (run under -race in CI, this also shakes out
+// sharing bugs). bd1 skips the step-1 heuristic so the work lands in the
+// pipeline.
+func TestQuickWorkersMatchSequential(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := randomGraph(rng, 14, 0.25)
+		want := baseline.BruteForceSize(g)
+		for _, workers := range []int{1, 4} {
+			res, err := mbb.Solve(g, &mbb.Options{Solver: "bd1", Workers: workers})
+			if err != nil {
+				t.Log(err)
+				return false
+			}
+			if res.Biclique.Size() != want {
+				t.Logf("workers=%d: got %d want %d", workers, res.Biclique.Size(), want)
+				return false
+			}
+			if want > 0 && !res.Biclique.IsBicliqueOf(g) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRegistryContents(t *testing.T) {
+	want := []string{"auto", "hbvMBB", "denseMBB", "basicBB", "extBBCL",
+		"bd1", "bd2", "bd3", "bd4", "bd5", "adp1", "adp2", "adp3", "adp4", "heur"}
+	names := map[string]bool{}
+	for _, s := range mbb.Solvers() {
+		names[s.Name] = true
+		if s.Doc == "" || s.Run == nil {
+			t.Errorf("solver %q lacks doc or run", s.Name)
+		}
+	}
+	for _, n := range want {
+		if !names[n] {
+			t.Errorf("missing registered solver %q", n)
+		}
+	}
+	if len(names) != len(want) {
+		t.Errorf("registry has %d solvers, want %d: %v", len(names), len(want), mbb.SolverNames())
+	}
+}
+
+func TestRegistryLookup(t *testing.T) {
+	for _, name := range []string{"hbvMBB", "HBVMBB", "hbvmbb"} {
+		spec, ok := mbb.Lookup(name)
+		if !ok || spec.Name != "hbvMBB" {
+			t.Fatalf("Lookup(%q) = %v, %v", name, spec.Name, ok)
+		}
+	}
+	if _, ok := mbb.Lookup("nope"); ok {
+		t.Fatal("unknown name resolved")
+	}
+	if _, err := mbb.Solve(mbb.FromEdges(1, 1, nil), &mbb.Options{Solver: "nope"}); err == nil {
+		t.Fatal("unknown solver accepted by Solve")
+	}
+}
+
+func TestRegisterValidation(t *testing.T) {
+	if err := mbb.Register(mbb.SolverSpec{Name: "x"}); err == nil {
+		t.Fatal("nil Run accepted")
+	}
+	dup := mbb.SolverSpec{Name: "HBVmbb", Doc: "dup",
+		Run: func(ex *core.Exec, g *mbb.Graph, opt *mbb.Options) (core.Result, error) {
+			return core.Result{}, nil
+		}}
+	if err := mbb.Register(dup); err == nil {
+		t.Fatal("case-insensitive duplicate accepted")
+	}
+}
+
+// TestQuickRegistrySolversAgree: every registered exact solver must find
+// the brute-force optimum on random graphs.
+func TestQuickRegistrySolversAgree(t *testing.T) {
+	exact := []string{"auto", "hbvMBB", "denseMBB", "basicBB", "extBBCL",
+		"bd1", "bd2", "bd3", "bd4", "bd5", "adp1", "adp2", "adp3", "adp4"}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := randomGraph(rng, 10, 0.1+0.7*rng.Float64())
+		want := baseline.BruteForceSize(g)
+		for _, name := range exact {
+			res, err := mbb.Solve(g, &mbb.Options{Solver: name})
+			if err != nil {
+				t.Logf("%s: %v", name, err)
+				return false
+			}
+			if res.Biclique.Size() != want {
+				t.Logf("%s: got %d want %d (edges=%v)", name, res.Biclique.Size(), want, g.Edges())
+				return false
+			}
+			if res.Solver == "" || res.Solver == "auto" {
+				t.Logf("%s: unresolved solver name %q", name, res.Solver)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDenseCellLimit: lowering the cap must surface ErrTooLarge from
+// every dense-matrix entry point.
+func TestDenseCellLimit(t *testing.T) {
+	old := mbb.DenseCellLimit
+	defer func() { mbb.DenseCellLimit = old }()
+	mbb.DenseCellLimit = 8
+	g := mbb.FromEdges(4, 4, [][2]int{{0, 0}, {1, 1}, {2, 2}, {3, 3}})
+
+	if _, err := mbb.Solve(g, &mbb.Options{Algorithm: mbb.DenseMBB}); !errors.Is(err, mbb.ErrTooLarge) {
+		t.Fatalf("Solve(denseMBB) err = %v, want ErrTooLarge", err)
+	}
+	if _, err := mbb.SolveMaxVertex(g); !errors.Is(err, mbb.ErrTooLarge) {
+		t.Fatalf("SolveMaxVertex err = %v, want ErrTooLarge", err)
+	}
+	if _, _, err := mbb.SolveMaxEdge(g, 0); !errors.Is(err, mbb.ErrTooLarge) {
+		t.Fatalf("SolveMaxEdge err = %v, want ErrTooLarge", err)
+	}
+	if _, _, err := mbb.HasBiclique(g, 1, 1, 0); !errors.Is(err, mbb.ErrTooLarge) {
+		t.Fatalf("HasBiclique err = %v, want ErrTooLarge", err)
+	}
+	// hbvMBB does not build a global matrix and must still work.
+	if _, err := mbb.Solve(g, &mbb.Options{Algorithm: mbb.HbvMBB}); err != nil {
+		t.Fatalf("hbvMBB should not be capped: %v", err)
+	}
+}

@@ -1,6 +1,7 @@
 package mbb
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"time"
@@ -16,15 +17,25 @@ import (
 // maximum *edge* biclique, the size-constrained (a, b) decision problem
 // (§4.2) and full maximal biclique enumeration.
 
-// errTooLarge guards the dense-matrix based extensions.
-var errTooLarge = errors.New("mbb: graph too large for a dense adjacency matrix")
+// ErrTooLarge guards every dense-adjacency-matrix construction: it is
+// returned (wrapped with the offending dimensions) whenever
+// NL()×NR() exceeds DenseCellLimit. Test with errors.Is.
+var ErrTooLarge = errors.New("mbb: graph too large for a dense adjacency matrix")
+
+// DenseCellLimit caps the number of adjacency-matrix cells (NL()×NR())
+// the dense solvers will allocate. The matrix stores one bit per cell in
+// each orientation, so the default of 2^28 cells bounds the allocation
+// to ~64 MB; earlier releases allowed 2^32 cells (~1 GB), which let a
+// single Solve call exhaust small containers. Callers that know their
+// memory budget may raise (or lower) it before solving.
+var DenseCellLimit int64 = 1 << 28
 
 func matrixOf(g *Graph) (*dense.Matrix, error) {
 	if g == nil {
 		return nil, ErrNilGraph
 	}
-	if int64(g.NL())*int64(g.NR()) > 1<<32 {
-		return nil, fmt.Errorf("%w (%d×%d)", errTooLarge, g.NL(), g.NR())
+	if int64(g.NL())*int64(g.NR()) > DenseCellLimit {
+		return nil, fmt.Errorf("%w (%d×%d exceeds DenseCellLimit %d)", ErrTooLarge, g.NL(), g.NR(), DenseCellLimit)
 	}
 	return dense.FromBigraph(g), nil
 }
@@ -39,6 +50,12 @@ func liftMatrix(g *Graph, A, B []int) Biclique {
 		bc.B = append(bc.B, g.Right(r))
 	}
 	return bc
+}
+
+// timeoutExec builds the execution context used by the extension solvers
+// (no cancellation surface yet; timeout 0 means unlimited).
+func timeoutExec(timeout time.Duration) *core.Exec {
+	return core.NewExec(context.Background(), core.Limits{Timeout: timeout})
 }
 
 // SolveMaxVertex computes a maximum *vertex* biclique — maximising
@@ -62,7 +79,7 @@ func SolveMaxEdge(g *Graph, timeout time.Duration) (Biclique, bool, error) {
 	if err != nil {
 		return Biclique{}, false, err
 	}
-	res := dense.SolveMaxEdge(m, core.NewTimeBudget(timeout))
+	res := dense.SolveMaxEdge(timeoutExec(timeout), m)
 	return liftMatrix(g, res.A, res.B), !res.Stats.TimedOut, nil
 }
 
@@ -78,7 +95,7 @@ func HasBiclique(g *Graph, a, b int, timeout time.Duration) (bool, Biclique, err
 	if err != nil {
 		return false, Biclique{}, err
 	}
-	ok, A, B := dense.HasSizeConstrained(m, a, b, core.NewTimeBudget(timeout))
+	ok, A, B := dense.HasSizeConstrained(timeoutExec(timeout), m, a, b)
 	if !ok {
 		return false, Biclique{}, nil
 	}
@@ -93,7 +110,7 @@ func EnumerateMaximalBicliques(g *Graph, timeout time.Duration, fn func(bc Bicli
 	if g == nil {
 		return 0, ErrNilGraph
 	}
-	n := baseline.EnumerateMaximal(g, core.NewTimeBudget(timeout), func(A, B []int) bool {
+	n := baseline.EnumerateMaximal(timeoutExec(timeout), g, func(A, B []int) bool {
 		return fn(Biclique{A: A, B: B})
 	})
 	return n, nil

@@ -1,4 +1,4 @@
-// Package mbb is the public API of the maximum-balanced-biclique library:
+// Package mbb is the public API of the maximum-balanced-biclique engine:
 // exact solvers for dense and sparse bipartite graphs reproducing Chen,
 // Liu, Zhou, Xu and Li, "Efficient Exact Algorithms for Maximum Balanced
 // Biclique Search in Bipartite Graphs" (PVLDB/SIGMOD 2021 line of work).
@@ -10,23 +10,45 @@
 //	// res.Biclique.A and .B hold the two sides; res.Exact reports
 //	// whether the search completed within budget.
 //
-// The solver picks hbvMBB (the sparse framework, Algorithm 4) or denseMBB
-// (Algorithm 3) automatically based on graph shape; Options overrides the
-// choice, adds budgets, or selects baseline algorithms for comparison.
+// # Engine architecture
+//
+// Every solve runs on a core.Exec execution context created by
+// SolveContext: it carries context.Context cancellation, the wall-clock
+// and node budgets (atomic, safe under Options.Workers > 1), the shared
+// incumbent balanced size that lets concurrent workers tighten each
+// other's pruning bounds the moment any of them improves, and the
+// aggregated search statistics. Cancel the context — or set a Timeout or
+// MaxNodes budget — and the search returns promptly with the best
+// biclique found so far and Exact == false.
+//
+// Solvers are named and pluggable: Solvers lists the registry, Lookup
+// resolves a name case-insensitively, and Register adds custom entries.
+// The built-in names (see registry.go for the paper mapping) are
+//
+//	auto      — picks denseMBB or hbvMBB from the graph shape
+//	denseMBB  — reduction/branch-and-bound for dense graphs (Algorithm 3)
+//	hbvMBB    — the sparse framework (Algorithm 4, steps = Algorithms 5-8)
+//	basicBB   — plain branch and bound (Algorithm 1)
+//	extBBCL   — prior state-of-the-art exact algorithm [31]
+//	bd1..bd5  — hbvMBB ablations of Table 3
+//	adp1..adp4 — composed MBE-based baselines of Table 3
+//	heur      — step 1 heuristic only (hMBB, Algorithm 5), inexact
+//
+// hbvMBB's bridging and verification steps (Algorithms 6 and 8) run as a
+// streaming pipeline: vertex-centred subgraphs flow through a bounded
+// channel into Options.Workers verification workers, so peak memory is
+// O(workers) subgraphs and every improvement propagates instantly.
 package mbb
 
 import (
+	"context"
 	"errors"
-	"fmt"
 	"io"
 	"time"
 
-	"repro/internal/baseline"
 	"repro/internal/bigraph"
 	"repro/internal/core"
 	"repro/internal/decomp"
-	"repro/internal/dense"
-	"repro/internal/sparse"
 )
 
 // Graph is a bipartite graph. Left vertices have unified ids [0, NL());
@@ -56,7 +78,9 @@ func ReadGraph(r io.Reader) (*Graph, error) { return bigraph.Read(r) }
 // WriteGraph serialises g in the text edge-list format.
 func WriteGraph(w io.Writer, g *Graph) error { return bigraph.Write(w, g) }
 
-// Algorithm selects the solver.
+// Algorithm selects one of the classic solvers by enum value. It predates
+// the named registry and is kept for compatibility; Options.Solver (any
+// registered name, including the bd/adp ablations) takes precedence.
 type Algorithm int
 
 const (
@@ -75,7 +99,7 @@ const (
 	ExtBBCL
 )
 
-// String names the algorithm as in the paper.
+// String names the algorithm as in the paper (and as registered).
 func (a Algorithm) String() string {
 	switch a {
 	case Auto:
@@ -92,9 +116,17 @@ func (a Algorithm) String() string {
 	return "unknown"
 }
 
-// Options configures Solve. The zero value (or nil) means: automatic
-// algorithm choice, bidegeneracy order, no budget.
+// Options configures Solve and SolveContext. The zero value (or nil)
+// means: automatic solver choice, bidegeneracy order, no budget, a
+// sequential verification pipeline.
 type Options struct {
+	// Solver names a registered solver (see Solvers). When non-empty it
+	// takes precedence over Algorithm; "auto" (or empty plus Algorithm ==
+	// Auto) picks denseMBB or hbvMBB from the graph shape.
+	Solver string
+
+	// Algorithm is the classic enum selector, consulted only when Solver
+	// is empty.
 	Algorithm Algorithm
 
 	// Timeout bounds the wall-clock search time; 0 means unlimited. When
@@ -102,12 +134,18 @@ type Options struct {
 	// Exact == false.
 	Timeout time.Duration
 
-	// MaxNodes bounds the number of search nodes; 0 means unlimited.
+	// MaxNodes bounds the number of search nodes across all workers;
+	// 0 means unlimited.
 	MaxNodes int64
 
-	// Order selects the total search order for HbvMBB (default
-	// bidegeneracy, the paper's choice).
+	// Order selects the total search order for the sparse framework
+	// (default bidegeneracy, the paper's choice). Ignored by solvers
+	// whose variant fixes the order (bd4, bd5).
 	Order decomp.OrderKind
+
+	// Workers is the number of goroutines used by the sparse framework's
+	// streaming verification pipeline; values ≤ 1 keep it sequential.
+	Workers int
 }
 
 // Result is the outcome of Solve.
@@ -117,7 +155,12 @@ type Result struct {
 	Biclique Biclique
 	// Exact is true when the search ran to completion, proving optimality.
 	Exact bool
-	// Algorithm is the solver that actually ran (resolves Auto).
+	// Solver is the registry name of the solver that actually ran
+	// (resolves "auto").
+	Solver string
+	// Algorithm is the classic enum value of the solver that ran, for
+	// callers predating the registry; Auto when the solver has no enum
+	// value (bd/adp variants, heur, custom registrations).
 	Algorithm Algorithm
 	// Stats holds search counters.
 	Stats Stats
@@ -130,65 +173,79 @@ var ErrNilGraph = errors.New("mbb: nil graph")
 // product) under which Auto considers the dense solver.
 const denseAutoLimit = 1 << 24 // 16M cells ≈ 2 MB per side
 
-// Solve computes a maximum balanced biclique of g. opt may be nil for
-// defaults. The result is exact unless a budget expired (Result.Exact).
-func Solve(g *Graph, opt *Options) (Result, error) {
+// autoSolverName resolves the automatic solver choice from the graph
+// shape: the dense solver for small dense graphs, the sparse framework
+// for everything else.
+func autoSolverName(g *Graph) string {
+	if int64(g.NL())*int64(g.NR()) <= denseAutoLimit && g.Density() >= 0.4 {
+		return "denseMBB"
+	}
+	return "hbvMBB"
+}
+
+// SolveContext computes a maximum balanced biclique of g under ctx: the
+// solver is resolved through the registry, an execution context carrying
+// ctx plus the Timeout/MaxNodes budgets is built, and the search runs
+// until completion, budget exhaustion or cancellation — whichever comes
+// first. opt may be nil for defaults.
+func SolveContext(ctx context.Context, g *Graph, opt *Options) (Result, error) {
 	if g == nil {
 		return Result{}, ErrNilGraph
 	}
 	if opt == nil {
 		opt = &Options{}
 	}
-	algo := opt.Algorithm
-	if algo == Auto {
-		if int64(g.NL())*int64(g.NR()) <= denseAutoLimit && g.Density() >= 0.4 {
-			algo = DenseMBB
-		} else {
-			algo = HbvMBB
-		}
+	name := opt.Solver
+	if name == "" {
+		name = opt.Algorithm.String()
 	}
-	budget := &core.Budget{MaxNodes: opt.MaxNodes}
-	if opt.Timeout > 0 {
-		budget.Deadline = time.Now().Add(opt.Timeout)
+	spec, ok := Lookup(name)
+	if !ok {
+		return Result{}, unknownSolverError(name)
 	}
-
-	var res core.Result
-	switch algo {
-	case HbvMBB:
-		so := sparse.DefaultOptions()
-		if opt.Order != 0 {
-			so.Order = opt.Order
-		}
-		so.Budget = budget
-		res = sparse.Solve(g, so)
-	case DenseMBB, BasicBB:
-		mode := dense.ModeDense
-		if algo == BasicBB {
-			mode = dense.ModeBasic
-		}
-		if int64(g.NL())*int64(g.NR()) > 1<<32 {
-			return Result{}, fmt.Errorf("mbb: graph too large for the dense solver (%d×%d); use HbvMBB", g.NL(), g.NR())
-		}
-		m := dense.FromBigraph(g)
-		dres := dense.Solve(m, dense.Options{Mode: mode, Budget: budget})
-		res.Stats = dres.Stats
-		if dres.Found {
-			for _, l := range dres.A {
-				res.Biclique.A = append(res.Biclique.A, g.Left(l))
-			}
-			for _, r := range dres.B {
-				res.Biclique.B = append(res.Biclique.B, g.Right(r))
-			}
-		}
-	case ExtBBCL:
-		res = baseline.ExtBBCL(g, budget)
-	default:
-		return Result{}, fmt.Errorf("mbb: unknown algorithm %d", algo)
+	ex := core.NewExec(ctx, core.Limits{Timeout: opt.Timeout, MaxNodes: opt.MaxNodes})
+	if spec.Name == "auto" {
+		spec, _ = Lookup(autoSolverName(g))
+	}
+	res, err := spec.Run(ex, g, opt)
+	if err != nil {
+		return Result{}, err
+	}
+	exact := !res.Stats.TimedOut
+	if spec.Heuristic {
+		// A heuristic solver proves optimality only when the Lemma 5
+		// early-termination step fired.
+		exact = exact && res.Stats.Step == core.Step1
 	}
 	return Result{
 		Biclique:  res.Biclique,
-		Exact:     !res.Stats.TimedOut,
-		Algorithm: algo,
+		Exact:     exact,
+		Solver:    spec.Name,
+		Algorithm: algorithmOf(spec.Name),
 		Stats:     res.Stats,
 	}, nil
+}
+
+// Solve computes a maximum balanced biclique of g. opt may be nil for
+// defaults. The result is exact unless a budget expired (Result.Exact).
+// It is a compatibility wrapper over SolveContext with a background
+// context.
+func Solve(g *Graph, opt *Options) (Result, error) {
+	return SolveContext(context.Background(), g, opt)
+}
+
+// algorithmOf maps a registry name back to the classic enum value, Auto
+// when there is none.
+func algorithmOf(name string) Algorithm {
+	switch name {
+	case "hbvMBB":
+		return HbvMBB
+	case "denseMBB":
+		return DenseMBB
+	case "basicBB":
+		return BasicBB
+	case "extBBCL":
+		return ExtBBCL
+	}
+	return Auto
 }

@@ -1,0 +1,239 @@
+package mbb
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/baseline"
+	"repro/internal/core"
+	"repro/internal/decomp"
+	"repro/internal/dense"
+	"repro/internal/sparse"
+)
+
+// SolverSpec is one entry of the named solver registry. Run executes the
+// solver under an execution context: ex carries the budget, cancellation
+// and the shared incumbent (never pass a nil ex when sharing matters —
+// SolveContext builds one from Options). opt supplies solver tuning
+// (Order, Workers); its budget fields are ignored here because the
+// budget already lives in ex.
+type SolverSpec struct {
+	// Name is the canonical solver name; Lookup is case-insensitive.
+	Name string
+	// Paper cites what the solver reproduces (algorithm or table of the
+	// source paper), "" for custom registrations.
+	Paper string
+	// Doc is a one-line description.
+	Doc string
+	// Heuristic marks solvers whose completed runs still do not prove
+	// optimality (Result.Exact then additionally requires the Lemma 5
+	// early-termination step, Stats.Step == S1).
+	Heuristic bool
+	// Run executes the solver. It must be safe for concurrent use.
+	Run func(ex *core.Exec, g *Graph, opt *Options) (core.Result, error)
+}
+
+var (
+	regMu    sync.RWMutex
+	registry = map[string]SolverSpec{}
+)
+
+// Register adds spec to the solver registry. It fails on an empty name,
+// a nil Run, or a duplicate (case-insensitive) name.
+func Register(spec SolverSpec) error {
+	if spec.Name == "" || spec.Run == nil {
+		return fmt.Errorf("mbb: Register needs a name and a Run function")
+	}
+	key := strings.ToLower(spec.Name)
+	regMu.Lock()
+	defer regMu.Unlock()
+	if _, dup := registry[key]; dup {
+		return fmt.Errorf("mbb: solver %q already registered", spec.Name)
+	}
+	registry[key] = spec
+	return nil
+}
+
+// Lookup resolves a solver name case-insensitively.
+func Lookup(name string) (SolverSpec, bool) {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	spec, ok := registry[strings.ToLower(name)]
+	return spec, ok
+}
+
+// Solvers returns every registered solver, sorted by name.
+func Solvers() []SolverSpec {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	out := make([]SolverSpec, 0, len(registry))
+	for _, spec := range registry {
+		out = append(out, spec)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// SolverNames returns the sorted registered names.
+func SolverNames() []string {
+	specs := Solvers()
+	names := make([]string, len(specs))
+	for i, s := range specs {
+		names[i] = s.Name
+	}
+	return names
+}
+
+func unknownSolverError(name string) error {
+	return fmt.Errorf("mbb: unknown solver %q (registered: %s)", name, strings.Join(SolverNames(), ", "))
+}
+
+func mustRegister(spec SolverSpec) {
+	if err := Register(spec); err != nil {
+		panic(err)
+	}
+}
+
+// runSparse adapts a sparse.Options variant to the registry signature.
+// Options.Order and Options.Workers override the variant's values when
+// set, so the same entry serves the order sweeps of Figures 5–6 and the
+// parallel pipeline.
+func runSparse(variant func() sparse.Options) func(*core.Exec, *Graph, *Options) (core.Result, error) {
+	return func(ex *core.Exec, g *Graph, opt *Options) (core.Result, error) {
+		so := variant()
+		if opt.Order != 0 {
+			so.Order = opt.Order
+		}
+		if opt.Workers != 0 {
+			so.Workers = opt.Workers
+		}
+		return sparse.Solve(ex, g, so), nil
+	}
+}
+
+// runDense adapts the dense matrix solver: build the adjacency matrix
+// (guarded by DenseCellLimit) and lift matrix-local indices back to
+// unified ids.
+func runDense(mode dense.Mode) func(*core.Exec, *Graph, *Options) (core.Result, error) {
+	return func(ex *core.Exec, g *Graph, opt *Options) (core.Result, error) {
+		m, err := matrixOf(g)
+		if err != nil {
+			return core.Result{}, err
+		}
+		dres := dense.Solve(ex, m, dense.Options{Mode: mode})
+		res := core.Result{Stats: dres.Stats}
+		if dres.Found {
+			res.Biclique = liftMatrix(g, dres.A, dres.B)
+		}
+		return res, nil
+	}
+}
+
+func runAdp(kind baseline.AdpKind) func(*core.Exec, *Graph, *Options) (core.Result, error) {
+	return func(ex *core.Exec, g *Graph, opt *Options) (core.Result, error) {
+		return baseline.Adp(ex, g, kind), nil
+	}
+}
+
+func init() {
+	mustRegister(SolverSpec{
+		Name: "auto", Paper: "§6",
+		Doc: "denseMBB for small dense graphs, hbvMBB otherwise",
+		Run: func(ex *core.Exec, g *Graph, opt *Options) (core.Result, error) {
+			spec, _ := Lookup(autoSolverName(g))
+			return spec.Run(ex, g, opt)
+		},
+	})
+	mustRegister(SolverSpec{
+		Name: "hbvMBB", Paper: "Algorithm 4",
+		Doc: "sparse framework: hMBB heuristics, bridging, streaming dense verification",
+		Run: runSparse(sparse.DefaultOptions),
+	})
+	mustRegister(SolverSpec{
+		Name: "denseMBB", Paper: "Algorithm 3",
+		Doc: "reduction + branch-and-bound with the dynamicMBB polynomial case",
+		Run: runDense(dense.ModeDense),
+	})
+	mustRegister(SolverSpec{
+		Name: "basicBB", Paper: "Algorithm 1",
+		Doc: "plain branch and bound (baseline)",
+		Run: runDense(dense.ModeBasic),
+	})
+	mustRegister(SolverSpec{
+		Name: "extBBCL", Paper: "§3 [31]",
+		Doc: "prior state-of-the-art exact algorithm (Zhou, Rossi, Hao)",
+		Run: func(ex *core.Exec, g *Graph, opt *Options) (core.Result, error) {
+			return baseline.ExtBBCL(ex, g), nil
+		},
+	})
+
+	// Table 3 ablation variants of hbvMBB.
+	mustRegister(SolverSpec{
+		Name: "bd1", Paper: "Table 3",
+		Doc: "hbvMBB without the step-1 heuristic",
+		Run: runSparse(func() sparse.Options {
+			return sparse.Options{Order: decomp.OrderBidegeneracy, SkipHeuristic: true, Seeds: 8}
+		}),
+	})
+	mustRegister(SolverSpec{
+		Name: "bd2", Paper: "Table 3",
+		Doc: "hbvMBB without core/bicore optimisations",
+		Run: runSparse(func() sparse.Options {
+			return sparse.Options{SkipCoreOpts: true, Seeds: 8}
+		}),
+	})
+	mustRegister(SolverSpec{
+		Name: "bd3", Paper: "Table 3",
+		Doc: "hbvMBB verifying with basicBB instead of denseMBB",
+		Run: runSparse(func() sparse.Options {
+			return sparse.Options{Order: decomp.OrderBidegeneracy, UseBasicBB: true, Seeds: 8}
+		}),
+	})
+	mustRegister(SolverSpec{
+		Name: "bd4", Paper: "Table 3",
+		Doc: "hbvMBB under the max-degree total order",
+		Run: runSparse(func() sparse.Options {
+			return sparse.Options{Order: decomp.OrderDegree, Seeds: 8}
+		}),
+	})
+	mustRegister(SolverSpec{
+		Name: "bd5", Paper: "Table 3",
+		Doc: "hbvMBB under the degeneracy total order",
+		Run: runSparse(func() sparse.Options {
+			return sparse.Options{Order: decomp.OrderDegeneracy, Seeds: 8}
+		}),
+	})
+
+	// Composed MBE-based baselines of Table 3.
+	mustRegister(SolverSpec{
+		Name: "adp1", Paper: "Table 3",
+		Doc: "POLS + core bound + FMBE", Run: runAdp(baseline.Adp1),
+	})
+	mustRegister(SolverSpec{
+		Name: "adp2", Paper: "Table 3",
+		Doc: "POLS + core bound + iMBEA", Run: runAdp(baseline.Adp2),
+	})
+	mustRegister(SolverSpec{
+		Name: "adp3", Paper: "Table 3",
+		Doc: "SBMNAS + core bound + FMBE", Run: runAdp(baseline.Adp3),
+	})
+	mustRegister(SolverSpec{
+		Name: "adp4", Paper: "Table 3",
+		Doc: "SBMNAS + core bound + iMBEA", Run: runAdp(baseline.Adp4),
+	})
+
+	mustRegister(SolverSpec{
+		Name: "heur", Paper: "Algorithm 5",
+		Doc:       "step-1 heuristic only (hMBB); exact only when Lemma 5 fires",
+		Heuristic: true,
+		Run: func(ex *core.Exec, g *Graph, opt *Options) (core.Result, error) {
+			so := sparse.DefaultOptions()
+			if opt.Order != 0 {
+				so.Order = opt.Order
+			}
+			return sparse.HeuristicOnly(ex, g, so), nil
+		},
+	})
+}
