@@ -6,7 +6,8 @@
 //	mbbbench -exp table4|table5|table6|fig4|fig5|fig6|all
 //	         [-budget 20s] [-maxverts 30000] [-instances 3]
 //	         [-sizes 32,64,128] [-densities 0.7,0.8,0.9,0.95]
-//	         [-datasets github,jester] [-seed 1] [-workers 4] [-json]
+//	         [-datasets github,jester] [-seed 1] [-workers 4]
+//	         [-reduce auto|on|off] [-json]
 //
 // With -json the human-readable tables go to standard error and a JSON
 // array of per-run records — one object per (experiment, dataset, solver)
@@ -31,6 +32,7 @@ import (
 	"time"
 
 	"repro/internal/exp"
+	"repro/mbb"
 )
 
 func main() {
@@ -42,7 +44,8 @@ func main() {
 	densities := flag.String("densities", "0.70,0.75,0.80,0.85,0.90,0.95", "Table 4 densities")
 	datasets := flag.String("datasets", "", "comma-separated dataset subset (default: all)")
 	seed := flag.Int64("seed", 1, "random seed")
-	workers := flag.Int("workers", 0, "sparse verification pipeline goroutines (<=1 sequential)")
+	workers := flag.Int("workers", 0, "sparse verification pipeline / planner goroutines (<=1 sequential)")
+	reduceFlag := flag.String("reduce", "auto", "reduce-and-conquer planner: auto (off for named solvers), on, off")
 	jsonOut := flag.Bool("json", false, "emit per-run timing records as JSON on stdout (tables move to stderr)")
 	flag.Parse()
 
@@ -56,6 +59,11 @@ func main() {
 	cfg.DenseInstances = *instances
 	cfg.Seed = *seed
 	cfg.Workers = *workers
+	reduce, ok := mbb.ParseReduce(*reduceFlag)
+	if !ok {
+		fatal(fmt.Errorf("unknown -reduce mode %q (want auto, on or off)", *reduceFlag))
+	}
+	cfg.Reduce = reduce
 	cfg.DenseSizes = parseInts(*sizes)
 	cfg.DenseDensities = parseFloats(*densities)
 	if *datasets != "" {

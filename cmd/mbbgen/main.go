@@ -46,27 +46,13 @@ func main() {
 		return
 	}
 
-	var g *bigraph.Graph
-	switch *kind {
-	case "dense":
-		g = workload.Dense(*nl, *nr, *density, *seed)
-	case "powerlaw":
-		edges := *m
-		if edges == 0 {
-			edges = (*nl + *nr) * 2
-		}
-		g = workload.PowerLaw(*nl, *nr, edges, *alpha, *seed)
-	case "dataset":
-		d, ok := workload.ByName(*name)
-		if !ok {
-			fatal(fmt.Errorf("unknown dataset %q (use -list)", *name))
-		}
-		g = d.Generate(*maxVerts, *seed)
-	default:
-		fatal(fmt.Errorf("unknown kind %q", *kind))
-	}
-	if *plant > 0 && *kind != "dataset" {
-		g, _, _ = workload.Plant(g, *plant, *seed+1)
+	g, err := buildGraph(genSpec{
+		Kind: *kind, NL: *nl, NR: *nr, Density: *density, M: *m,
+		Alpha: *alpha, Plant: *plant, Name: *name, MaxVerts: *maxVerts,
+		Seed: *seed,
+	})
+	if err != nil {
+		fatal(err)
 	}
 
 	var w io.Writer = os.Stdout
@@ -83,6 +69,46 @@ func main() {
 	}
 	fmt.Fprintf(os.Stderr, "mbbgen: %d x %d, %d edges (density %.4g)\n",
 		g.NL(), g.NR(), g.NumEdges(), g.Density())
+}
+
+// genSpec holds the parsed generator parameters; buildGraph turns it into
+// a graph so tests can exercise the exact construction the command runs.
+type genSpec struct {
+	Kind     string
+	NL, NR   int
+	Density  float64
+	M        int
+	Alpha    float64
+	Plant    int
+	Name     string
+	MaxVerts int
+	Seed     int64
+}
+
+func buildGraph(s genSpec) (*bigraph.Graph, error) {
+	var g *bigraph.Graph
+	switch s.Kind {
+	case "dense":
+		g = workload.Dense(s.NL, s.NR, s.Density, s.Seed)
+	case "powerlaw":
+		edges := s.M
+		if edges == 0 {
+			edges = (s.NL + s.NR) * 2
+		}
+		g = workload.PowerLaw(s.NL, s.NR, edges, s.Alpha, s.Seed)
+	case "dataset":
+		d, ok := workload.ByName(s.Name)
+		if !ok {
+			return nil, fmt.Errorf("unknown dataset %q (use -list)", s.Name)
+		}
+		g = d.Generate(s.MaxVerts, s.Seed)
+	default:
+		return nil, fmt.Errorf("unknown kind %q", s.Kind)
+	}
+	if s.Plant > 0 && s.Kind != "dataset" {
+		g, _, _ = workload.Plant(g, s.Plant, s.Seed+1)
+	}
+	return g, nil
 }
 
 func fatal(err error) {

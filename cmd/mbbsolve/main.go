@@ -5,7 +5,7 @@
 // Usage:
 //
 //	mbbsolve [-solver auto|hbvMBB|denseMBB|basicBB|extBBCL|bd1..bd5|adp1..adp4|heur]
-//	         [-timeout 30s] [-workers 4]
+//	         [-timeout 30s] [-workers 4] [-reduce auto|on|off]
 //	         [-order bidegeneracy|degeneracy|degree] [-q] [file]
 //
 // With no file the graph is read from standard input. The solver is
@@ -34,7 +34,8 @@ func main() {
 	solverFlag := flag.String("solver", "auto", "registered solver name (try: -solver help)")
 	algoFlag := flag.String("algo", "", "alias of -solver (kept for compatibility)")
 	timeout := flag.Duration("timeout", 0, "wall-clock budget (0 = unlimited)")
-	workers := flag.Int("workers", 0, "verification pipeline goroutines (<=1 sequential)")
+	workers := flag.Int("workers", 0, "verification pipeline / component solve goroutines (<=1 sequential)")
+	reduceFlag := flag.String("reduce", "auto", "reduce-and-conquer planner: auto (on for -solver auto), on, off")
 	orderFlag := flag.String("order", "bidegeneracy", "total search order for the sparse framework: bidegeneracy, degeneracy, degree")
 	quiet := flag.Bool("q", false, "print only the balanced size")
 	flag.Parse()
@@ -57,7 +58,11 @@ func main() {
 		return
 	}
 
-	opt := &mbb.Options{Solver: name, Timeout: *timeout, Workers: *workers}
+	reduce, ok := mbb.ParseReduce(*reduceFlag)
+	if !ok {
+		fatal(fmt.Errorf("unknown -reduce mode %q (want auto, on or off)", *reduceFlag))
+	}
+	opt := &mbb.Options{Solver: name, Timeout: *timeout, Workers: *workers, Reduce: reduce}
 	switch strings.ToLower(*orderFlag) {
 	case "bidegeneracy":
 		opt.Order = decomp.OrderBidegeneracy
@@ -113,6 +118,10 @@ func main() {
 		fmt.Printf(", terminated at %v", res.Stats.Step)
 	}
 	fmt.Println()
+	if res.Stats.SeedTau > 0 || res.Stats.Peeled > 0 || res.Stats.Components > 0 {
+		fmt.Printf("planner: tau=%d, peeled %d vertices, %d components\n",
+			res.Stats.SeedTau, res.Stats.Peeled, res.Stats.Components)
+	}
 }
 
 func listSolvers(w io.Writer) {

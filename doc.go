@@ -38,4 +38,24 @@
 // subgraphs rather than all of them, sequential when Options.Workers <= 1
 // (the paper's schedule) and a worker pool otherwise, with identical
 // optima either way.
+//
+// # Planner
+//
+// Ahead of any exact solver, mbb.SolveContext can run a reduce-and-conquer
+// planner (mbb.Options.Reduce; on by default for the "auto" solver):
+//
+//	heuristic → reduce → decompose → solve → remap
+//
+// A greedy heuristic seeds the shared incumbent with a lower bound τ;
+// the planner peels every vertex that provably cannot belong to a
+// balanced biclique larger than τ — the (τ+1)-core intersected with the
+// 2τ+1 bicore threshold of internal/decomp, iterated to a fixed point —
+// splits the survivor into connected components (bigraph.Components),
+// solves the components concurrently largest-first on the shared
+// execution context, and remaps the winner to the original vertex ids.
+// The reduction is optimum-preserving, so every registered exact solver
+// returns the same balanced size with the planner on or off; the
+// differential fuzz harness (mbb's FuzzSolversAgree and its ≥50-case
+// seeded corpus) checks exactly that agreement against the brute-force
+// oracle on every test run.
 package repro

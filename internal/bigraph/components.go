@@ -1,0 +1,45 @@
+package bigraph
+
+// Components returns the connected components of g as lists of unified
+// vertex ids. Each component is sorted ascending; components appear in
+// order of their smallest vertex id, so the output is deterministic.
+// Isolated vertices form singleton components.
+//
+// Together the components partition the vertex set, and — because every
+// edge joins two vertices of the same component — inducing g on each
+// component partitions the edge set as well. The maximum balanced
+// biclique of g is therefore the maximum over the per-component optima,
+// which is what lets the planner solve components independently.
+func (g *Graph) Components() [][]int {
+	n := g.NumVertices()
+	comp := make([]int32, n)
+	for v := range comp {
+		comp[v] = -1
+	}
+	var out [][]int
+	stack := make([]int, 0, 64)
+	for v := 0; v < n; v++ {
+		if comp[v] >= 0 {
+			continue
+		}
+		id := int32(len(out))
+		members := []int{}
+		comp[v] = id
+		stack = append(stack[:0], v)
+		for len(stack) > 0 {
+			u := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			members = append(members, u)
+			for _, wn := range g.Neighbors(u) {
+				w := int(wn)
+				if comp[w] < 0 {
+					comp[w] = id
+					stack = append(stack, w)
+				}
+			}
+		}
+		sortInts(members)
+		out = append(out, members)
+	}
+	return out
+}

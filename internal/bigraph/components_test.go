@@ -1,0 +1,139 @@
+package bigraph
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// randomSparse builds a random bipartite graph that is usually
+// disconnected: few edges relative to the vertex count.
+func randomSparse(rng *rand.Rand, maxSide, maxEdges int) *Graph {
+	nl, nr := 1+rng.Intn(maxSide), 1+rng.Intn(maxSide)
+	b := NewBuilder(nl, nr)
+	for e := rng.Intn(maxEdges + 1); e > 0; e-- {
+		b.AddEdge(rng.Intn(nl), rng.Intn(nr))
+	}
+	return b.Build()
+}
+
+// TestComponentsPartitionVertices: every vertex appears in exactly one
+// component, components are sorted ascending, and the list is ordered by
+// smallest member.
+func TestComponentsPartitionVertices(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for it := 0; it < 200; it++ {
+		g := randomSparse(rng, 20, 30)
+		comps := g.Components()
+		seen := make([]int, g.NumVertices())
+		prevFirst := -1
+		for _, c := range comps {
+			if len(c) == 0 {
+				t.Fatal("empty component")
+			}
+			if c[0] <= prevFirst {
+				t.Fatalf("components not ordered by smallest member: %d after %d", c[0], prevFirst)
+			}
+			prevFirst = c[0]
+			for i, v := range c {
+				if i > 0 && c[i-1] >= v {
+					t.Fatalf("component not sorted ascending: %v", c)
+				}
+				seen[v]++
+			}
+		}
+		for v, n := range seen {
+			if n != 1 {
+				t.Fatalf("vertex %d in %d components", v, n)
+			}
+		}
+	}
+}
+
+// TestComponentsPartitionEdges: inducing the graph on its components
+// recovers every edge exactly once (no edge crosses components), and each
+// component is internally connected.
+func TestComponentsPartitionEdges(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	for it := 0; it < 200; it++ {
+		g := randomSparse(rng, 20, 40)
+		comps := g.Components()
+		total := 0
+		label := make([]int, g.NumVertices())
+		for id, c := range comps {
+			for _, v := range c {
+				label[v] = id
+			}
+		}
+		for _, c := range comps {
+			sub, _ := g.Induced(c)
+			total += sub.NumEdges()
+			if len(c) > 1 && !connected(sub) {
+				t.Fatalf("component of size %d not connected", len(c))
+			}
+		}
+		if total != g.NumEdges() {
+			t.Fatalf("components cover %d of %d edges", total, g.NumEdges())
+		}
+		for _, e := range g.Edges() {
+			if label[e[0]] != label[g.Right(e[1])] {
+				t.Fatalf("edge %v crosses components", e)
+			}
+		}
+	}
+}
+
+// TestComponentsInducedRoundTrip: mapping every induced-subgraph edge
+// through newToOld recovers an edge of the original graph, and mapping the
+// original ids forward and back is the identity.
+func TestComponentsInducedRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for it := 0; it < 200; it++ {
+		g := randomSparse(rng, 20, 40)
+		for _, c := range g.Components() {
+			sub, newToOld := g.Induced(c)
+			if sub.NumVertices() != len(c) {
+				t.Fatalf("induced lost vertices: %d of %d", sub.NumVertices(), len(c))
+			}
+			oldToNew := make(map[int]int, len(newToOld))
+			for nv, ov := range newToOld {
+				oldToNew[ov] = nv
+			}
+			for _, v := range c {
+				nv, ok := oldToNew[v]
+				if !ok || newToOld[nv] != v {
+					t.Fatalf("id %d does not round-trip", v)
+				}
+			}
+			for _, e := range sub.Edges() {
+				ol, or := newToOld[e[0]], newToOld[sub.Right(e[1])]
+				if !g.HasEdge(ol, or) {
+					t.Fatalf("induced edge %v maps to non-edge (%d,%d)", e, ol, or)
+				}
+			}
+		}
+	}
+}
+
+// connected reports whether g is connected as an undirected graph.
+func connected(g *Graph) bool {
+	n := g.NumVertices()
+	if n == 0 {
+		return true
+	}
+	seen := make([]bool, n)
+	stack := []int{0}
+	seen[0] = true
+	count := 0
+	for len(stack) > 0 {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		count++
+		for _, w := range g.Neighbors(v) {
+			if !seen[w] {
+				seen[w] = true
+				stack = append(stack, int(w))
+			}
+		}
+	}
+	return count == n
+}

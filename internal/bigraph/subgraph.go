@@ -59,3 +59,22 @@ func sortInts(a []int) {
 	}
 	sort.Ints(a)
 }
+
+// IdentityMap returns the identity id mapping of length n — the newToOld
+// table of an unreduced graph.
+func IdentityMap(n int) []int {
+	m := make([]int, n)
+	for i := range m {
+		m[i] = i
+	}
+	return m
+}
+
+// ComposeMap rewrites inner (ids into a mid graph) in place so it maps
+// directly into the outer graph: inner[i] = outer[inner[i]]. Used to
+// collapse chains of Induced/InducedByMask newToOld tables.
+func ComposeMap(inner, outer []int) {
+	for i, v := range inner {
+		inner[i] = outer[v]
+	}
+}

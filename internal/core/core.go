@@ -133,6 +133,28 @@ func (e *Exec) Stopped() bool {
 	return false
 }
 
+// ShouldStop reports whether new work should not begin: like Stopped, but
+// it additionally latches the stop when the wall-clock deadline has
+// passed, even before any Spend poll observes it. Call it only BEFORE
+// starting a stage or subproblem — the latch marks the run as cut short,
+// which is accurate exactly when there is remaining work to skip. Result
+// labeling after completed work must keep using Stopped, so a search that
+// ran to completion just past its deadline — without ever being cut
+// short — is not retroactively marked TimedOut.
+func (e *Exec) ShouldStop() bool {
+	if e == nil {
+		return false
+	}
+	if e.Stopped() {
+		return true
+	}
+	if !e.deadline.IsZero() && time.Now().After(e.deadline) {
+		e.stopped.Store(true)
+		return true
+	}
+	return false
+}
+
 // Err returns the context error if the context was cancelled, nil
 // otherwise (budget exhaustion is reported via Stopped, not Err).
 func (e *Exec) Err() error {
@@ -241,6 +263,12 @@ type Stats struct {
 	SumSubVertices  int64 // Σ |V(H)| over vertex-centred subgraphs
 	Bidegeneracy    int   // δ̈ of the reduced graph (0 if never computed)
 	TimedOut        bool  // budget ran out; result may be suboptimal
+
+	// Planner counters (the reduce-and-conquer preprocessing stage that
+	// mbb.SolveContext runs ahead of the solver when Options.Reduce is on).
+	SeedTau    int   // heuristic lower bound τ that seeded the planner
+	Peeled     int64 // vertices removed by the optimum-preserving reduction
+	Components int   // connected components handed to the solve stage
 }
 
 // Merge adds other's counters into s (Step, Bidegeneracy and TimedOut are
@@ -256,11 +284,31 @@ func (s *Stats) Merge(other *Stats) {
 	s.SumSubDensity += other.SumSubDensity
 	s.DensitySamples += other.DensitySamples
 	s.SumSubVertices += other.SumSubVertices
+	s.Peeled += other.Peeled
+	s.Components += other.Components
+	s.MergeOutcome(other)
+}
+
+// MergeOutcome merges only the non-additive outcome fields of other into
+// s: the step, heuristic sizes, bidegeneracy and seed bound are taken
+// toward the maximum, and the timeout flag is or-ed. The planner uses it
+// to combine per-component solver results whose additive counters already
+// flowed through Exec.AddStats — merging those again would double count.
+func (s *Stats) MergeOutcome(other *Stats) {
 	if other.Step > s.Step {
 		s.Step = other.Step
 	}
 	if other.Bidegeneracy > s.Bidegeneracy {
 		s.Bidegeneracy = other.Bidegeneracy
+	}
+	if other.HeurGlobalSize > s.HeurGlobalSize {
+		s.HeurGlobalSize = other.HeurGlobalSize
+	}
+	if other.HeurLocalSize > s.HeurLocalSize {
+		s.HeurLocalSize = other.HeurLocalSize
+	}
+	if other.SeedTau > s.SeedTau {
+		s.SeedTau = other.SeedTau
 	}
 	s.TimedOut = s.TimedOut || other.TimedOut
 }

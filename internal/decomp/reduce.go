@@ -1,0 +1,93 @@
+package decomp
+
+import "repro/internal/bigraph"
+
+// ReduceMask returns the mask (indexed by unified id) of vertices that can
+// still belong to a balanced biclique of per-side size strictly greater
+// than tau. Two optimum-preserving rules are intersected:
+//
+//   - the core rule (Lemma 4): every vertex of a (tau+1)×(tau+1) balanced
+//     biclique has degree ≥ tau+1 inside it, so it lies in the
+//     (tau+1)-core;
+//   - the bicore rule: inside the biclique each vertex has tau+1 one-hop
+//     neighbours on the opposite side and tau two-hop neighbours on its
+//     own side, so |N≤2| ≥ 2·tau+1 within the biclique and its bicore
+//     number is at least 2·tau+1.
+//
+// Dropping the masked-out vertices never removes a vertex of any balanced
+// biclique larger than tau; with an incumbent witness of size tau in hand
+// the optimum is preserved. One call applies each rule once — removing
+// vertices lowers the survivors' degrees and bicore numbers, so callers
+// iterate (inducing on the mask) to a fixed point.
+func ReduceMask(g *bigraph.Graph, tau int) []bool {
+	mask := KCoreMask(g, tau+1)
+	alive := 0
+	for _, ok := range mask {
+		if ok {
+			alive++
+		}
+	}
+	if alive == 0 {
+		return mask
+	}
+	// Apply the bicore rule on the core-reduced subgraph, not on g: its
+	// bicore numbers are no larger than g's, so the mask is at least as
+	// tight — while witness vertices, whose biclique survives the core
+	// mask intact, still clear the threshold. BicoreMask peels only to
+	// the threshold fixed point instead of running the full (and far more
+	// expensive) bicore decomposition.
+	sub, newToOld := g.InducedByMask(mask)
+	keep := BicoreMask(sub, 2*tau+1)
+	for v, ov := range newToOld {
+		if !keep[v] {
+			mask[ov] = false
+		}
+	}
+	return mask
+}
+
+// BicoreMask returns the mask of vertices in the thr-bicore of g: the
+// maximal induced subgraph in which every vertex has |N≤2| ≥ thr, i.e.
+// exactly the vertices with bicore number ≥ thr. Unlike Bicores and
+// BicoresFast it does not compute the full decomposition — it peels
+// sub-threshold vertices until none remain, recomputing only the two-hop
+// sizes the last removal affected — so when little or nothing is
+// removable it costs one two-hop sweep instead of a full peel to empty.
+func BicoreMask(g *bigraph.Graph, thr int) []bool {
+	n := g.NumVertices()
+	th := NewTwoHop(g)
+	alive := make([]bool, n)
+	for v := range alive {
+		alive[v] = true
+	}
+	queued := make([]bool, n)
+	queue := make([]int, 0)
+	for v := 0; v < n; v++ {
+		if th.Size(v, alive) < thr {
+			queue = append(queue, v)
+			queued[v] = true
+		}
+	}
+	affected := make([]int, 0, 64)
+	for len(queue) > 0 {
+		v := queue[len(queue)-1]
+		queue = queue[:len(queue)-1]
+		if !alive[v] {
+			continue
+		}
+		// Two-hop sizes only shrink as vertices are removed, so a vertex
+		// that once dropped below the threshold is certain to be peeled.
+		affected = th.Append(v, alive, affected[:0])
+		alive[v] = false
+		for _, w := range affected {
+			if !alive[w] || queued[w] {
+				continue
+			}
+			if th.Size(w, alive) < thr {
+				queue = append(queue, w)
+				queued[w] = true
+			}
+		}
+	}
+	return alive
+}

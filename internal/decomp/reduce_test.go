@@ -1,0 +1,112 @@
+package decomp
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/workload"
+)
+
+// TestReduceMaskKeepsPlantedWitness: for every tau below the planted
+// balanced size k, the reduction mask must keep every vertex of the
+// planted k×k biclique — peeling is only allowed to discard vertices that
+// cannot be part of a balanced biclique strictly larger than tau.
+func TestReduceMaskKeepsPlantedWitness(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for it := 0; it < 25; it++ {
+		nl, nr := 20+rng.Intn(30), 20+rng.Intn(30)
+		k := 3 + rng.Intn(4)
+		bg := workload.PowerLaw(nl, nr, 2*(nl+nr), 0.5, rng.Int63())
+		g, lefts, rights := workload.Plant(bg, k, rng.Int63())
+		for tau := 0; tau < k; tau++ {
+			mask := ReduceMask(g, tau)
+			for _, l := range lefts {
+				if !mask[l] {
+					t.Fatalf("tau=%d k=%d: planted left vertex %d peeled", tau, k, l)
+				}
+			}
+			for _, r := range rights {
+				if !mask[g.Right(r)] {
+					t.Fatalf("tau=%d k=%d: planted right vertex %d peeled", tau, k, r)
+				}
+			}
+		}
+	}
+}
+
+// TestReduceMaskSurvivorBounds: every survivor of ReduceMask(g, tau) has
+// degree ≥ tau+1 and bicore number ≥ 2·tau+1 within the original graph —
+// the two rules the mask intersects.
+func TestReduceMaskSurvivorBounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	for it := 0; it < 25; it++ {
+		g := workload.PowerLaw(15+rng.Intn(25), 15+rng.Intn(25), 120, 0.5, rng.Int63())
+		bi := BicoresFast(g)
+		for tau := 0; tau <= 3; tau++ {
+			mask := ReduceMask(g, tau)
+			for v, ok := range mask {
+				if !ok {
+					continue
+				}
+				if g.Deg(v) < tau+1 {
+					t.Fatalf("tau=%d: survivor %d has degree %d", tau, v, g.Deg(v))
+				}
+				if bi.Bicore[v] < 2*tau+1 {
+					t.Fatalf("tau=%d: survivor %d has bicore %d", tau, v, bi.Bicore[v])
+				}
+			}
+		}
+	}
+}
+
+// TestBicoreMaskMatchesDecomposition: the threshold peeling must select
+// exactly the vertices whose full-decomposition bicore number clears the
+// threshold, for every threshold up to past the bidegeneracy.
+func TestBicoreMaskMatchesDecomposition(t *testing.T) {
+	rng := rand.New(rand.NewSource(44))
+	for it := 0; it < 20; it++ {
+		g := workload.PowerLaw(10+rng.Intn(25), 10+rng.Intn(25), 100, 0.5, rng.Int63())
+		bi := BicoresFast(g)
+		for thr := 0; thr <= bi.Bidegeneracy()+1; thr++ {
+			mask := BicoreMask(g, thr)
+			for v, ok := range mask {
+				if want := bi.Bicore[v] >= thr; ok != want {
+					t.Fatalf("thr=%d vertex %d: BicoreMask=%v, bicore number %d", thr, v, ok, bi.Bicore[v])
+				}
+			}
+		}
+	}
+}
+
+// TestReduceMaskEmptiesAboveOptimum: with tau at least the true maximum
+// balanced size, iterating the reduction must reach the empty graph —
+// this is what lets the planner prove a heuristic witness optimal.
+func TestReduceMaskEmptiesAboveOptimum(t *testing.T) {
+	// A complete 4×4 biclique has optimum 4: reducing with tau=4 must
+	// remove everything, while tau=3 must keep it whole.
+	g := workload.Dense(4, 4, 1.0, 1)
+	mask := ReduceMask(g, 3)
+	for v, ok := range mask {
+		if !ok {
+			t.Fatalf("tau=3 removed vertex %d of a K4,4", v)
+		}
+	}
+	mask = ReduceMask(g, 4)
+	cur := g
+	for rounds := 0; cur.NumVertices() > 0; rounds++ {
+		if rounds > 10 {
+			t.Fatal("reduction with tau=optimum did not converge to empty")
+		}
+		kept := 0
+		for _, ok := range mask {
+			if ok {
+				kept++
+			}
+		}
+		if kept == cur.NumVertices() {
+			t.Fatalf("reduction with tau=4 stalled at %d vertices", kept)
+		}
+		cur, _ = cur.InducedByMask(mask)
+		mask = ReduceMask(cur, 4)
+	}
+}

@@ -13,6 +13,7 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"sync"
@@ -50,8 +51,15 @@ type Config struct {
 	Datasets []string
 
 	// Workers is passed to the sparse framework's verification pipeline
-	// (0 keeps it sequential, the paper's schedule).
+	// and the planner's component solves (0 keeps both sequential, the
+	// paper's schedule).
 	Workers int
+
+	// Reduce selects the planner mode passed to every run (the default,
+	// mbb.ReduceAuto, keeps explicitly named solvers planner-free so the
+	// paper's numbers are measured unchanged; mbb.ReduceOn measures every
+	// solver behind the reduce-and-conquer planner).
+	Reduce mbb.Reduce
 
 	// Recorder, when non-nil, collects a Record per timed solver run.
 	Recorder *Recorder
@@ -105,6 +113,12 @@ type Record struct {
 	Nodes    int64   `json:"nodes,omitempty"`   // search nodes spent
 	Step     string  `json:"step,omitempty"`    // S1/S2/S3 for the sparse framework
 	Workers  int     `json:"workers,omitempty"` // verification pipeline width
+
+	// Planner fields, nonzero only when the reduce-and-conquer planner ran.
+	Reduce     string `json:"reduce,omitempty"`     // planner mode ("on"; omitted when off)
+	Tau        int    `json:"tau,omitempty"`        // heuristic seed lower bound
+	Peeled     int64  `json:"peeled,omitempty"`     // vertices removed by reduction
+	Components int    `json:"components,omitempty"` // components handed to the solvers
 }
 
 // Recorder collects Records across experiments; safe for concurrent use.
@@ -146,19 +160,11 @@ func (c *Config) selectDatasets(pool []workload.Dataset) []workload.Dataset {
 	return out
 }
 
-// timed runs fn under a fresh execution context carrying the per-run
-// budget and returns the elapsed seconds, the result, and whether the
-// budget expired.
-func (c *Config) timed(fn func(ex *core.Exec) core.Result) (float64, core.Result, bool) {
-	ex := core.NewExec(nil, core.Limits{Timeout: c.Budget})
-	start := time.Now()
-	res := fn(ex)
-	return time.Since(start).Seconds(), res, res.Stats.TimedOut
-}
-
-// runSolver resolves name in the mbb registry, runs it on g under a
-// fresh budgeted execution context, records the run, and returns the
-// elapsed seconds, result and timeout flag.
+// runSolver resolves name in the mbb registry, runs it through
+// mbb.SolveContext — so the run takes exactly the path library users take,
+// including the reduce-and-conquer planner when Config.Reduce enables
+// it — under the per-run budget, records the run, and returns the elapsed
+// seconds, result and timeout flag.
 func (c *Config) runSolver(expName, dataset, name string, g *bigraph.Graph, opt *mbb.Options) (float64, core.Result, bool, error) {
 	spec, ok := mbb.Lookup(name)
 	if !ok {
@@ -167,25 +173,33 @@ func (c *Config) runSolver(expName, dataset, name string, g *bigraph.Graph, opt 
 	if opt == nil {
 		opt = &mbb.Options{}
 	}
-	if opt.Workers == 0 {
-		opt.Workers = c.Workers
+	o := *opt
+	if o.Workers == 0 {
+		o.Workers = c.Workers
 	}
-	var runErr error
-	secs, res, timedOut := c.timed(func(ex *core.Exec) core.Result {
-		r, err := spec.Run(ex, g, opt)
-		if err != nil {
-			runErr = err
-		}
-		return r
-	})
-	if runErr != nil {
-		return 0, core.Result{}, false, runErr
+	o.Solver = spec.Name
+	o.Timeout = c.Budget
+	if o.Reduce == mbb.ReduceAuto {
+		o.Reduce = c.Reduce
 	}
-	c.Recorder.add(Record{
+	start := time.Now()
+	sres, err := mbb.SolveContext(context.Background(), g, &o)
+	if err != nil {
+		return 0, core.Result{}, false, err
+	}
+	secs := time.Since(start).Seconds()
+	res := core.Result{Biclique: sres.Biclique, Stats: sres.Stats}
+	timedOut := res.Stats.TimedOut
+	rec := Record{
 		Exp: expName, Dataset: dataset, Solver: spec.Name,
 		Seconds: secs, TimedOut: timedOut, Size: res.Biclique.Size(),
-		Nodes: res.Stats.Nodes, Step: stepLabel(res.Stats.Step), Workers: opt.Workers,
-	})
+		Nodes: res.Stats.Nodes, Step: stepLabel(res.Stats.Step), Workers: o.Workers,
+		Tau: res.Stats.SeedTau, Peeled: res.Stats.Peeled, Components: res.Stats.Components,
+	}
+	if sres.Reduced {
+		rec.Reduce = "on"
+	}
+	c.Recorder.add(rec)
 	return secs, res, timedOut, nil
 }
 

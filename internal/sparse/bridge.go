@@ -138,7 +138,7 @@ func (s *state) produce(reduced *bigraph.Graph, newToOld []int, emit func(centre
 		}
 
 		// Map sub ids to original ids and locate the centre.
-		compose(toReduced, newToOld)
+		bigraph.ComposeMap(toReduced, newToOld)
 		centerOrig := newToOld[v]
 		center := -1
 		for j, ov := range toReduced {

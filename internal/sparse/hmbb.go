@@ -24,7 +24,7 @@ func (s *state) hMBB() (reduced *bigraph.Graph, newToOld []int, done bool) {
 	if s.opt.SkipHeuristic {
 		// Variant bd1: no heuristic, no global reduction; step 2 works on
 		// the whole graph.
-		newToOld = identity(g.NumVertices())
+		newToOld = bigraph.IdentityMap(g.NumVertices())
 		return g, newToOld, false
 	}
 
@@ -34,7 +34,7 @@ func (s *state) hMBB() (reduced *bigraph.Graph, newToOld []int, done bool) {
 	if s.opt.SkipCoreOpts {
 		// Variant bd2: keep the heuristic but skip every core-based
 		// reduction and the core-greedy pass.
-		newToOld = identity(g.NumVertices())
+		newToOld = bigraph.IdentityMap(g.NumVertices())
 		return g, newToOld, false
 	}
 
@@ -62,25 +62,8 @@ func (s *state) hMBB() (reduced *bigraph.Graph, newToOld []int, done bool) {
 		if reduced2.NumVertices() == 0 {
 			return nil, nil, true
 		}
-		compose(n2, newToOld)
+		bigraph.ComposeMap(n2, newToOld)
 		return reduced2, n2, false
 	}
 	return reduced, newToOld, false
-}
-
-// identity returns the identity id mapping of length n.
-func identity(n int) []int {
-	m := make([]int, n)
-	for i := range m {
-		m[i] = i
-	}
-	return m
-}
-
-// compose rewrites inner (ids into the mid graph) in place so it maps
-// directly into the outer graph: inner[i] = outer[inner[i]].
-func compose(inner, outer []int) {
-	for i, v := range inner {
-		inner[i] = outer[v]
-	}
 }

@@ -1,0 +1,130 @@
+package mbb_test
+
+import (
+	"testing"
+
+	"repro/internal/baseline"
+	"repro/mbb"
+)
+
+// The differential harness: every registered solver — with and without the
+// reduce-and-conquer planner — must agree with the brute-force oracle on
+// the maximum balanced size. Exact solvers must match it exactly;
+// heuristic solvers must never exceed it and must match it whenever they
+// claim exactness. The same check runs over a seeded corpus in plain
+// `go test` (TestSolversAgreeCorpus) and as a fuzz target
+// (FuzzSolversAgree) for CI's bounded smoke run and open-ended fuzzing.
+
+// agreeGraph decodes fuzz-sized parameters into a small test graph. Sides
+// are capped at 7 so the brute-force oracle enumerates ≤ 2^7 subsets.
+func agreeGraph(nlRaw, nrRaw, mode, density uint8, edges uint16, seed int64) *mbb.Graph {
+	nl := 1 + int(nlRaw)%7
+	nr := 1 + int(nrRaw)%7
+	if mode%2 == 0 {
+		p := float64(density) / 255 // full range incl. 0 and 1
+		return mbb.GenerateDense(nl, nr, p, seed)
+	}
+	m := 1 + int(edges)%(3*(nl+nr))
+	return mbb.GeneratePowerLaw(nl, nr, m, seed)
+}
+
+// checkSolversAgree runs every registered solver on g in both planner
+// modes and compares against the oracle.
+func checkSolversAgree(t *testing.T, g *mbb.Graph) {
+	t.Helper()
+	oracle := baseline.BruteForceSize(g)
+	for _, spec := range mbb.Solvers() {
+		for _, reduce := range []mbb.Reduce{mbb.ReduceOff, mbb.ReduceOn} {
+			res, err := mbb.Solve(g, &mbb.Options{Solver: spec.Name, Reduce: reduce})
+			if err != nil {
+				t.Fatalf("%s reduce=%v: %v", spec.Name, reduce, err)
+			}
+			bc := res.Biclique
+			if !bc.IsBicliqueOf(g) {
+				t.Fatalf("%s reduce=%v: returned an invalid biclique %v", spec.Name, reduce, bc)
+			}
+			if !bc.IsBalanced() {
+				t.Fatalf("%s reduce=%v: returned an unbalanced biclique %v", spec.Name, reduce, bc)
+			}
+			size := bc.Size()
+			if spec.Heuristic {
+				if size > oracle {
+					t.Fatalf("%s reduce=%v: heuristic size %d exceeds oracle %d", spec.Name, reduce, size, oracle)
+				}
+				if res.Exact && size != oracle {
+					t.Fatalf("%s reduce=%v: claims exactness at size %d, oracle %d", spec.Name, reduce, size, oracle)
+				}
+				continue
+			}
+			if !res.Exact {
+				t.Fatalf("%s reduce=%v: unbudgeted exact solve reported inexact", spec.Name, reduce)
+			}
+			if size != oracle {
+				t.Fatalf("%s reduce=%v: size %d, oracle %d (graph %dx%d, %d edges)",
+					spec.Name, reduce, size, oracle, g.NL(), g.NR(), g.NumEdges())
+			}
+		}
+	}
+}
+
+// agreeCase is one seeded corpus entry.
+type agreeCase struct {
+	nl, nr, mode, density uint8
+	edges                 uint16
+	seed                  int64
+}
+
+// agreeCorpus returns the seeded cases: a deterministic sweep over both
+// workload families plus hand-picked degenerate shapes. Must stay ≥ 50
+// entries — the differential harness's acceptance floor.
+func agreeCorpus() []agreeCase {
+	cases := []agreeCase{
+		{0, 0, 0, 0, 0, 1},   // 1×1, empty
+		{0, 0, 0, 255, 0, 1}, // 1×1, complete
+		{6, 6, 0, 255, 0, 2}, // 7×7 complete
+		{6, 0, 1, 0, 1, 3},   // 7×1 star-ish power law
+		{0, 6, 1, 0, 30, 4},  // 1×7 multi-edge power law
+		{3, 5, 0, 128, 0, 5}, // mid-density dense
+		{6, 6, 1, 0, 40, 6},  // saturated power law
+		{2, 2, 0, 200, 0, 7}, // small dense
+		{5, 3, 1, 0, 7, 8},   // sparse power law
+		{6, 5, 0, 60, 0, 9},  // low-density dense
+	}
+	// Deterministic sweep: alternate families, vary shape and density.
+	for i := 0; len(cases) < 56; i++ {
+		cases = append(cases, agreeCase{
+			nl:      uint8(i * 3),
+			nr:      uint8(i*5 + 1),
+			mode:    uint8(i),
+			density: uint8(i * 37),
+			edges:   uint16(i * 11),
+			seed:    int64(100 + i),
+		})
+	}
+	return cases
+}
+
+// TestSolversAgreeCorpus runs the differential check over the seeded
+// corpus in every plain `go test` run (the fuzz target below reuses the
+// same corpus as its seeds).
+func TestSolversAgreeCorpus(t *testing.T) {
+	cases := agreeCorpus()
+	if len(cases) < 50 {
+		t.Fatalf("corpus shrank to %d cases; need ≥ 50", len(cases))
+	}
+	for _, c := range cases {
+		checkSolversAgree(t, agreeGraph(c.nl, c.nr, c.mode, c.density, c.edges, c.seed))
+	}
+}
+
+// FuzzSolversAgree is the open-ended differential fuzz target:
+//
+//	go test ./mbb -run=FuzzSolversAgree -fuzz=FuzzSolversAgree -fuzztime=20s
+func FuzzSolversAgree(f *testing.F) {
+	for _, c := range agreeCorpus() {
+		f.Add(c.nl, c.nr, c.mode, c.density, c.edges, c.seed)
+	}
+	f.Fuzz(func(t *testing.T, nlRaw, nrRaw, mode, density uint8, edges uint16, seed int64) {
+		checkSolversAgree(t, agreeGraph(nlRaw, nrRaw, mode, density, edges, seed))
+	})
+}

@@ -21,6 +21,20 @@
 // MaxNodes budget — and the search returns promptly with the best
 // biclique found so far and Exact == false.
 //
+// When Options.Reduce enables it (the default for the "auto" solver), a
+// reduce-and-conquer planner runs ahead of the solver:
+//
+//	heuristic → reduce → decompose → solve → remap
+//
+// A greedy heuristic seeds the shared incumbent with a lower bound τ; the
+// planner then peels every vertex that provably cannot belong to a
+// balanced biclique larger than τ (the (τ+1)-core intersected with the
+// 2τ+1 bicore threshold, iterated to a fixed point), splits the survivor
+// into connected components, solves the components concurrently largest
+// first — all sharing one budget and incumbent — and maps the winner back
+// to the original vertex ids. Reduction statistics (τ, vertices peeled,
+// components solved) are reported in Stats.
+//
 // Solvers are named and pluggable: Solvers lists the registry, Lookup
 // resolves a name case-insensitively, and Register adds custom entries.
 // The built-in names (see registry.go for the paper mapping) are
@@ -144,8 +158,21 @@ type Options struct {
 	Order decomp.OrderKind
 
 	// Workers is the number of goroutines used by the sparse framework's
-	// streaming verification pipeline; values ≤ 1 keep it sequential.
+	// streaming verification pipeline and by the planner's per-component
+	// solves; values ≤ 1 keep both sequential.
 	Workers int
+
+	// Reduce controls the reduce-and-conquer planner that runs ahead of
+	// the solver: a cheap greedy heuristic seeds the shared incumbent with
+	// a lower bound τ, vertices that cannot belong to any balanced
+	// biclique larger than τ are peeled to a fixed point (the (τ+1)-core
+	// intersected with the 2τ+1 bicore threshold), and the surviving
+	// connected components are solved concurrently — largest first — on
+	// the shared execution context. The default (ReduceAuto) enables the
+	// planner for the "auto" solver and disables it for explicitly named
+	// solvers; ReduceOn/ReduceOff override per call. Heuristic solvers
+	// never use the planner.
+	Reduce Reduce
 }
 
 // Result is the outcome of Solve.
@@ -162,6 +189,9 @@ type Result struct {
 	// callers predating the registry; Auto when the solver has no enum
 	// value (bd/adp variants, heur, custom registrations).
 	Algorithm Algorithm
+	// Reduced reports whether the reduce-and-conquer planner ran ahead of
+	// the solver (see Options.Reduce).
+	Reduced bool
 	// Stats holds search counters.
 	Stats Stats
 }
@@ -204,10 +234,18 @@ func SolveContext(ctx context.Context, g *Graph, opt *Options) (Result, error) {
 		return Result{}, unknownSolverError(name)
 	}
 	ex := core.NewExec(ctx, core.Limits{Timeout: opt.Timeout, MaxNodes: opt.MaxNodes})
-	if spec.Name == "auto" {
+	isAuto := spec.Name == "auto"
+	if isAuto {
 		spec, _ = Lookup(autoSolverName(g))
 	}
-	res, err := spec.Run(ex, g, opt)
+	var res core.Result
+	var err error
+	planned := planActive(opt, isAuto, spec.Heuristic)
+	if planned {
+		res, err = planSolve(ex, g, spec, isAuto, opt)
+	} else {
+		res, err = spec.Run(ex, g, opt)
+	}
 	if err != nil {
 		return Result{}, err
 	}
@@ -222,6 +260,7 @@ func SolveContext(ctx context.Context, g *Graph, opt *Options) (Result, error) {
 		Exact:     exact,
 		Solver:    spec.Name,
 		Algorithm: algorithmOf(spec.Name),
+		Reduced:   planned,
 		Stats:     res.Stats,
 	}, nil
 }

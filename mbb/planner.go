@@ -1,0 +1,274 @@
+package mbb
+
+import (
+	"sort"
+	"sync"
+
+	"repro/internal/bigraph"
+	"repro/internal/core"
+	"repro/internal/decomp"
+	"repro/internal/heur"
+)
+
+// Reduce selects the planner's preprocessing mode (see Options.Reduce).
+type Reduce int
+
+const (
+	// ReduceAuto (the default) runs the planner for the "auto" solver and
+	// skips it when a solver was named explicitly.
+	ReduceAuto Reduce = iota
+	// ReduceOn runs the planner for any exact solver.
+	ReduceOn
+	// ReduceOff disables the planner.
+	ReduceOff
+)
+
+// String renders the mode the way the -reduce command-line flag spells it.
+func (r Reduce) String() string {
+	switch r {
+	case ReduceOn:
+		return "on"
+	case ReduceOff:
+		return "off"
+	}
+	return "auto"
+}
+
+// ParseReduce parses a -reduce flag value: "auto", "on" (or "true"), "off"
+// (or "false").
+func ParseReduce(s string) (Reduce, bool) {
+	switch s {
+	case "auto", "":
+		return ReduceAuto, true
+	case "on", "true", "1":
+		return ReduceOn, true
+	case "off", "false", "0":
+		return ReduceOff, true
+	}
+	return ReduceAuto, false
+}
+
+// planActive reports whether the planner should run: always when forced
+// on, never when forced off or for heuristic solvers (the planner's
+// component pruning assumes exact sub-solves), and for ReduceAuto exactly
+// when the caller asked for the automatic solver.
+func planActive(opt *Options, isAuto, heuristic bool) bool {
+	if heuristic {
+		return false
+	}
+	switch opt.Reduce {
+	case ReduceOn:
+		return true
+	case ReduceOff:
+		return false
+	}
+	return isAuto
+}
+
+// reduction is a peeled graph in its own id space, the mapping back to
+// the original ids, and how many vertices the peeling removed.
+type reduction struct {
+	g        *Graph
+	newToOld []int
+	peeled   int
+}
+
+// applyMask induces red.g on mask and composes the id mapping, keeping
+// the peeled count.
+func applyMask(red reduction, mask []bool) reduction {
+	kept := 0
+	for _, ok := range mask {
+		if ok {
+			kept++
+		}
+	}
+	if kept == red.g.NumVertices() {
+		return red
+	}
+	sub, n2 := red.g.InducedByMask(mask)
+	bigraph.ComposeMap(n2, red.newToOld)
+	return reduction{g: sub, newToOld: n2, peeled: red.peeled + red.g.NumVertices() - kept}
+}
+
+// reduceFixedPoint applies the optimum-preserving reduction of
+// decomp.ReduceMask — the (tau+1)-core intersected with the 2·tau+1
+// bicore threshold — iterating until no vertex is removed or ex wants to
+// stop (stopping early just leaves a larger, still-equivalent graph).
+// Any balanced biclique of per-side size strictly greater than tau
+// survives intact, so solving the result (plus a size-tau witness in
+// hand) solves the original graph.
+func reduceFixedPoint(ex *core.Exec, red reduction, tau int) reduction {
+	for red.g.NumVertices() > 0 && !ex.ShouldStop() {
+		next := applyMask(red, decomp.ReduceMask(red.g, tau))
+		if next.peeled == red.peeled {
+			break
+		}
+		red = next
+	}
+	return red
+}
+
+// planSolve is the reduce-and-conquer planner: it seeds the shared
+// incumbent with a cheap greedy lower bound τ, peels vertices that cannot
+// belong to any balanced biclique larger than τ (reduceFixedPoint), splits
+// the survivor into connected components, solves the components
+// concurrently — largest first, as workers sharing the execution context's
+// budget and incumbent — and maps the winner back to the original ids.
+// spec is the solver to run per component; when isAuto is true the
+// dense/sparse choice is re-made per component from its shape.
+func planSolve(ex *core.Exec, g *Graph, spec SolverSpec, isAuto bool, opt *Options) (core.Result, error) {
+	// Already cancelled or past the deadline: return before paying for
+	// the (unbudgeted) seed heuristic.
+	if ex.ShouldStop() {
+		stats := ex.Snapshot()
+		stats.TimedOut = true
+		return core.Result{Stats: stats}, nil
+	}
+
+	// Seed τ with the max-degree greedy (Algorithm 5's first pass), apply
+	// the cheap core-only reduction, and try the max-core greedy on the
+	// survivor — core numbers are only meaningful after the fringe is
+	// gone. Only then run the heavier bicore fixed point, on the smallest
+	// graph and the best τ the heuristics could buy.
+	seed := heur.Greedy(g, heur.DegreeScores(g), 8).Balanced()
+	tau := seed.Size()
+	ex.OfferBest(tau)
+
+	red := reduction{g: g, newToOld: bigraph.IdentityMap(g.NumVertices())}
+	if !ex.ShouldStop() {
+		red = applyMask(red, decomp.KCoreMask(g, tau+1))
+		if red.g.NumVertices() > 0 {
+			bc := heur.Greedy(red.g, decomp.Cores(red.g).Core, 8).Balanced()
+			if bc.Size() > tau {
+				seed = bc.Remap(red.newToOld)
+				tau = bc.Size()
+				ex.OfferBest(tau)
+				red = applyMask(red, decomp.KCoreMask(red.g, tau+1))
+			}
+		}
+		red = reduceFixedPoint(ex, red, tau)
+	}
+
+	// Keep only components that are large enough to beat τ on both sides,
+	// largest (by vertex count, then smallest id) first so the long solves
+	// start as early as possible.
+	type job struct {
+		ids    []int
+		nl, nr int
+	}
+	var jobs []job
+	if red.g.NumVertices() > 0 && !ex.ShouldStop() {
+		for _, comp := range red.g.Components() {
+			nl, nr := 0, 0
+			for _, v := range comp {
+				if red.g.IsLeft(v) {
+					nl++
+				} else {
+					nr++
+				}
+			}
+			if nl > tau && nr > tau {
+				jobs = append(jobs, job{ids: comp, nl: nl, nr: nr})
+			}
+		}
+		sort.SliceStable(jobs, func(i, j int) bool {
+			return len(jobs[i].ids) > len(jobs[j].ids)
+		})
+	}
+
+	// When no component survives, the reduction closed the graph (or no
+	// surviving component can beat τ) and the heuristic witness is
+	// optimal — the planner's analogue of the sparse framework's step-1
+	// termination. Stats.Step stays untouched: it reports Algorithm-4
+	// steps and would mislabel dense/baseline solver runs; SeedTau,
+	// Peeled and Components carry the planner's own story.
+	pstats := core.Stats{SeedTau: tau, Peeled: int64(red.peeled), Components: len(jobs)}
+	ex.AddStats(&pstats)
+
+	workers := opt.Workers
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+	// Options.Workers is a total goroutine budget: when the planner fans
+	// out over components, it is split across them so the per-component
+	// inner pipelines never multiply to Workers² goroutines.
+	copt := *opt
+	if workers > 1 {
+		copt.Workers = opt.Workers / workers
+	}
+
+	var (
+		mu       sync.Mutex
+		best     = seed
+		outcome  core.Stats
+		firstErr error
+	)
+	solveComp := func(j job) {
+		if ex.ShouldStop() {
+			return
+		}
+		// Re-check against the live incumbent: an earlier (larger)
+		// component may have raised it past what this one can offer.
+		if incumbent := ex.Best(); j.nl <= incumbent || j.nr <= incumbent {
+			return
+		}
+		sub, toOrig := red.g.Induced(j.ids)
+		bigraph.ComposeMap(toOrig, red.newToOld)
+		rspec := spec
+		if isAuto {
+			rspec, _ = Lookup(autoSolverName(sub))
+		}
+		res, err := rspec.Run(ex, sub, &copt)
+		mu.Lock()
+		defer mu.Unlock()
+		if err != nil {
+			if firstErr == nil {
+				firstErr = err
+				// Abort the remaining components: the whole solve fails,
+				// so any further search is wasted work.
+				ex.Stop()
+			}
+			return
+		}
+		outcome.MergeOutcome(&res.Stats)
+		if bc := res.Biclique.Remap(toOrig).Balanced(); bc.Size() > best.Size() {
+			best = bc
+			ex.OfferBest(bc.Size())
+		}
+	}
+	if workers <= 1 {
+		for _, j := range jobs {
+			solveComp(j)
+		}
+	} else {
+		ch := make(chan job)
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for j := range ch {
+					solveComp(j)
+				}
+			}()
+		}
+		for _, j := range jobs {
+			ch <- j
+		}
+		close(ch)
+		wg.Wait()
+	}
+	if firstErr != nil {
+		return core.Result{}, firstErr
+	}
+
+	stats := ex.Snapshot()
+	stats.MergeOutcome(&outcome)
+	if stats.HeurGlobalSize < tau {
+		stats.HeurGlobalSize = tau
+	}
+	if ex.Stopped() {
+		stats.TimedOut = true
+	}
+	return core.Result{Biclique: best, Stats: stats}, nil
+}

@@ -1,0 +1,191 @@
+package mbb_test
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/mbb"
+)
+
+// disjointUnion places a and b on disjoint vertex ranges of one graph.
+func disjointUnion(a, b *mbb.Graph) *mbb.Graph {
+	bld := mbb.NewBuilder(a.NL()+b.NL(), a.NR()+b.NR())
+	for _, e := range a.Edges() {
+		bld.AddEdge(e[0], e[1])
+	}
+	for _, e := range b.Edges() {
+		bld.AddEdge(a.NL()+e[0], a.NR()+e[1])
+	}
+	return bld.Build()
+}
+
+// hardComponentGraph builds a deliberately disconnected graph whose
+// components each hide an optimum the greedy seed underestimates (the
+// dataset stand-ins plant a quasi-dense decoy block for exactly that), so
+// the planner's component stage has real search work to distribute.
+func hardComponentGraph(seedA, seedB int64) *mbb.Graph {
+	a, _ := mbb.GenerateDataset("github", 800, seedA)
+	b, _ := mbb.GenerateDataset("youtube-groupmemberships", 800, seedB)
+	return disjointUnion(a, b)
+}
+
+// TestPlannerMatchesUnreducedOnPlanted re-solves planted power-law
+// instances with the planner on and off: the reduction and component
+// split must preserve the optimum for every exact solver path.
+func TestPlannerMatchesUnreducedOnPlanted(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for it := 0; it < 6; it++ {
+		nl, nr := 40+rng.Intn(40), 40+rng.Intn(40)
+		k := 4 + rng.Intn(3)
+		g := mbb.PlantBiclique(mbb.GeneratePowerLaw(nl, nr, 3*(nl+nr), rng.Int63()), k, rng.Int63())
+		for _, solver := range []string{"auto", "hbvMBB", "extBBCL"} {
+			off, err := mbb.Solve(g, &mbb.Options{Solver: solver, Reduce: mbb.ReduceOff})
+			if err != nil {
+				t.Fatal(err)
+			}
+			on, err := mbb.Solve(g, &mbb.Options{Solver: solver, Reduce: mbb.ReduceOn})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !on.Exact || !off.Exact {
+				t.Fatalf("%s: inexact without a budget (on=%v off=%v)", solver, on.Exact, off.Exact)
+			}
+			if on.Biclique.Size() != off.Biclique.Size() {
+				t.Fatalf("%s: planner changed the optimum: %d (on) vs %d (off)",
+					solver, on.Biclique.Size(), off.Biclique.Size())
+			}
+			if on.Biclique.Size() < k {
+				t.Fatalf("%s: missed the planted %d×%d biclique (got %d)", solver, k, k, on.Biclique.Size())
+			}
+			if !on.Biclique.IsBicliqueOf(g) {
+				t.Fatalf("%s: planner returned an invalid witness", solver)
+			}
+		}
+	}
+}
+
+// TestPlannerComponentParallelParity solves a many-component graph with
+// the planner sequential and with several component workers: the optimum
+// and the Exact flag must be identical (the schedule may differ). Run
+// under -race this also locks down the planner's shared-state handling.
+func TestPlannerComponentParallelParity(t *testing.T) {
+	for seed := int64(1); seed <= 4; seed++ {
+		g := hardComponentGraph(seed, seed+10)
+		seq, err := mbb.Solve(g, &mbb.Options{Reduce: mbb.ReduceOn})
+		if err != nil {
+			t.Fatal(err)
+		}
+		par, err := mbb.Solve(g, &mbb.Options{Reduce: mbb.ReduceOn, Workers: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if seq.Biclique.Size() != par.Biclique.Size() || seq.Exact != par.Exact {
+			t.Fatalf("seed %d: parallel planner diverged: size %d/%v (seq) vs %d/%v (par)",
+				seed, seq.Biclique.Size(), seq.Exact, par.Biclique.Size(), par.Exact)
+		}
+		if !par.Biclique.IsBicliqueOf(g) || !par.Biclique.IsBalanced() {
+			t.Fatalf("seed %d: parallel planner returned a bad witness", seed)
+		}
+	}
+}
+
+// TestPlannerCancellation: a pre-cancelled context must come back
+// immediately and inexact; a mid-solve cancellation must still return a
+// valid balanced biclique. Both with parallel component workers, so
+// cancellation paths are exercised under -race too.
+func TestPlannerCancellation(t *testing.T) {
+	g := hardComponentGraph(7, 17)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res, err := mbb.SolveContext(ctx, g, &mbb.Options{Reduce: mbb.ReduceOn, Workers: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Exact {
+		t.Fatal("pre-cancelled planner solve claims exactness")
+	}
+	if !res.Biclique.IsBicliqueOf(g) || !res.Biclique.IsBalanced() {
+		t.Fatal("pre-cancelled planner solve returned a bad witness")
+	}
+
+	// Mid-solve: cancel shortly after the search starts. Whatever the
+	// schedule, the result must be a valid balanced biclique, and if the
+	// run claims exactness it must match the uncancelled optimum.
+	want, err := mbb.Solve(g, &mbb.Options{Reduce: mbb.ReduceOn})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, delay := range []time.Duration{50 * time.Microsecond, 500 * time.Microsecond, 5 * time.Millisecond} {
+		ctx, cancel := context.WithTimeout(context.Background(), delay)
+		res, err := mbb.SolveContext(ctx, g, &mbb.Options{Reduce: mbb.ReduceOn, Workers: 3})
+		cancel()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Biclique.IsBicliqueOf(g) || !res.Biclique.IsBalanced() {
+			t.Fatalf("delay %v: cancelled planner solve returned a bad witness", delay)
+		}
+		if res.Exact && res.Biclique.Size() != want.Biclique.Size() {
+			t.Fatalf("delay %v: cancelled solve claims exact size %d, want %d",
+				delay, res.Biclique.Size(), want.Biclique.Size())
+		}
+	}
+}
+
+// TestReduceSolvesFewerNodes is the planner's acceptance benchmark: on a
+// sparse power-law stand-in from the workload registry, "auto" with the
+// planner must reach the identical optimum while spending strictly fewer
+// search nodes than without it.
+func TestReduceSolvesFewerNodes(t *testing.T) {
+	for _, seed := range []int64{1, 3} {
+		g, ok := mbb.GenerateDataset("edit-frwiktionary", 1500, seed)
+		if !ok {
+			t.Fatal("dataset missing from the workload registry")
+		}
+		on, err := mbb.Solve(g, &mbb.Options{Solver: "auto", Reduce: mbb.ReduceOn})
+		if err != nil {
+			t.Fatal(err)
+		}
+		off, err := mbb.Solve(g, &mbb.Options{Solver: "auto", Reduce: mbb.ReduceOff})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !on.Exact || !off.Exact {
+			t.Fatalf("seed %d: inexact without a budget", seed)
+		}
+		if on.Biclique.Size() != off.Biclique.Size() {
+			t.Fatalf("seed %d: optimum differs: %d (reduce on) vs %d (off)",
+				seed, on.Biclique.Size(), off.Biclique.Size())
+		}
+		if on.Stats.Nodes >= off.Stats.Nodes {
+			t.Fatalf("seed %d: reduce on spent %d nodes, off spent %d — want strictly fewer",
+				seed, on.Stats.Nodes, off.Stats.Nodes)
+		}
+	}
+}
+
+// TestPlannerStats: the planner reports its reduction statistics, and a
+// planner-free run reports none.
+func TestPlannerStats(t *testing.T) {
+	g := hardComponentGraph(5, 15)
+	on, err := mbb.Solve(g, &mbb.Options{Reduce: mbb.ReduceOn})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if on.Stats.SeedTau <= 0 {
+		t.Fatalf("planner ran but SeedTau = %d", on.Stats.SeedTau)
+	}
+	if on.Stats.Components <= 1 {
+		t.Fatalf("multi-block graph solved as %d components", on.Stats.Components)
+	}
+	off, err := mbb.Solve(g, &mbb.Options{Solver: "hbvMBB", Reduce: mbb.ReduceOff})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if off.Stats.SeedTau != 0 || off.Stats.Peeled != 0 || off.Stats.Components != 0 {
+		t.Fatalf("planner-free run reports planner stats: %+v", off.Stats)
+	}
+}

@@ -115,7 +115,8 @@ func runSparse(variant func() sparse.Options) func(*core.Exec, *Graph, *Options)
 
 // runDense adapts the dense matrix solver: build the adjacency matrix
 // (guarded by DenseCellLimit) and lift matrix-local indices back to
-// unified ids.
+// unified ids. The run's counters are also published to the execution
+// context so the planner's per-component solves aggregate there.
 func runDense(mode dense.Mode) func(*core.Exec, *Graph, *Options) (core.Result, error) {
 	return func(ex *core.Exec, g *Graph, opt *Options) (core.Result, error) {
 		m, err := matrixOf(g)
@@ -123,6 +124,7 @@ func runDense(mode dense.Mode) func(*core.Exec, *Graph, *Options) (core.Result, 
 			return core.Result{}, err
 		}
 		dres := dense.Solve(ex, m, dense.Options{Mode: mode})
+		ex.AddStats(&dres.Stats)
 		res := core.Result{Stats: dres.Stats}
 		if dres.Found {
 			res.Biclique = liftMatrix(g, dres.A, dres.B)
@@ -133,7 +135,9 @@ func runDense(mode dense.Mode) func(*core.Exec, *Graph, *Options) (core.Result, 
 
 func runAdp(kind baseline.AdpKind) func(*core.Exec, *Graph, *Options) (core.Result, error) {
 	return func(ex *core.Exec, g *Graph, opt *Options) (core.Result, error) {
-		return baseline.Adp(ex, g, kind), nil
+		res := baseline.Adp(ex, g, kind)
+		ex.AddStats(&res.Stats)
+		return res, nil
 	}
 }
 
@@ -165,7 +169,9 @@ func init() {
 		Name: "extBBCL", Paper: "§3 [31]",
 		Doc: "prior state-of-the-art exact algorithm (Zhou, Rossi, Hao)",
 		Run: func(ex *core.Exec, g *Graph, opt *Options) (core.Result, error) {
-			return baseline.ExtBBCL(ex, g), nil
+			res := baseline.ExtBBCL(ex, g)
+			ex.AddStats(&res.Stats)
+			return res, nil
 		},
 	})
 
