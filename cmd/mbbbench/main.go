@@ -3,11 +3,18 @@
 //
 // Usage:
 //
-//	mbbbench -exp table4|table5|table6|fig4|fig5|fig6|all
+//	mbbbench -exp table4|table5|table6|fig4|fig5|fig6|servebench|all
 //	         [-budget 20s] [-maxverts 30000] [-instances 3]
 //	         [-sizes 32,64,128] [-densities 0.7,0.8,0.9,0.95]
 //	         [-datasets github,jester] [-seed 1] [-workers 4]
 //	         [-reduce auto|on|off] [-json]
+//	         [-serveurl http://host:8080] [-requests 32] [-clients 4]
+//
+// -exp servebench replays a solve-request mix against an mbbserved
+// daemon (started in-process unless -serveurl points at one) and reports
+// cold-vs-warm latency: the first request pays for parsing and the
+// reduce-and-conquer plan, every later one reuses the cached plan. "all"
+// runs only the paper artifacts and excludes servebench.
 //
 // With -json the human-readable tables go to standard error and a JSON
 // array of per-run records — one object per (experiment, dataset, solver)
@@ -44,9 +51,12 @@ func main() {
 	densities := flag.String("densities", "0.70,0.75,0.80,0.85,0.90,0.95", "Table 4 densities")
 	datasets := flag.String("datasets", "", "comma-separated dataset subset (default: all)")
 	seed := flag.Int64("seed", 1, "random seed")
-	workers := flag.Int("workers", 0, "sparse verification pipeline / planner goroutines (<=1 sequential)")
+	workers := flag.Int("workers", 0, "sparse verification pipeline / planner goroutines (0/1 sequential; negative rejected)")
 	reduceFlag := flag.String("reduce", "auto", "reduce-and-conquer planner: auto (off for named solvers), on, off")
 	jsonOut := flag.Bool("json", false, "emit per-run timing records as JSON on stdout (tables move to stderr)")
+	serveURL := flag.String("serveurl", "", "servebench: base URL of a running mbbserved (empty = start one in-process)")
+	requests := flag.Int("requests", 32, "servebench: warm requests to replay")
+	clients := flag.Int("clients", 4, "servebench: concurrent clients")
 	flag.Parse()
 
 	out := os.Stdout
@@ -66,6 +76,9 @@ func main() {
 	cfg.Reduce = reduce
 	cfg.DenseSizes = parseInts(*sizes)
 	cfg.DenseDensities = parseFloats(*densities)
+	cfg.ServeURL = *serveURL
+	cfg.Requests = *requests
+	cfg.Clients = *clients
 	if *datasets != "" {
 		cfg.Datasets = strings.Split(*datasets, ",")
 	}
@@ -74,13 +87,16 @@ func main() {
 	}
 
 	runs := map[string]func(exp.Config) error{
-		"table4": exp.Table4,
-		"table5": exp.Table5,
-		"table6": exp.Table6,
-		"fig4":   exp.Fig4,
-		"fig5":   exp.Fig5,
-		"fig6":   exp.Fig6,
+		"table4":     exp.Table4,
+		"table5":     exp.Table5,
+		"table6":     exp.Table6,
+		"fig4":       exp.Fig4,
+		"fig5":       exp.Fig5,
+		"fig6":       exp.Fig6,
+		"servebench": exp.ServeBench,
 	}
+	// servebench replays traffic against a daemon rather than
+	// regenerating a paper artifact, so "all" deliberately excludes it.
 	order := []string{"table4", "table5", "table6", "fig4", "fig5", "fig6"}
 
 	which := strings.ToLower(*expFlag)

@@ -1,0 +1,98 @@
+// Command mbbserved is the long-running solve service: it keeps parsed
+// graphs and their reduce-and-conquer plans in a named store and runs
+// solve jobs on a bounded worker pool, so heavy query traffic amortizes
+// parsing and reduction instead of redoing them per request.
+//
+// Usage:
+//
+//	mbbserved [-addr :8080] [-workers N] [-queue 256] [-store dir]
+//	          [-maxupload 67108864] [-maxverts 10000000]
+//	          [-default-timeout 30s] [-max-timeout 10m]
+//
+// Quick start:
+//
+//	mbbserved -addr :8080 &
+//	printf '3 3 9\n0 0\n0 1\n0 2\n1 0\n1 1\n1 2\n2 0\n2 1\n2 2\n' |
+//	    curl -sT- 'http://localhost:8080/graphs/k33'
+//	curl -s -XPOST 'http://localhost:8080/graphs/k33/solve' -d '{"timeout":"5s"}'
+//
+// See DESIGN.md §6 for the API and architecture.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/server"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	workers := flag.Int("workers", 0, "solve worker pool size = concurrent-solve cap (0 = GOMAXPROCS)")
+	queue := flag.Int("queue", 256, "job queue depth (admission bound)")
+	storeDir := flag.String("store", "", "directory of graphs to preload (*.konect/out.* as KONECT, else edge-list)")
+	maxUpload := flag.Int64("maxupload", 64<<20, "max graph upload size in bytes")
+	maxVerts := flag.Int("maxverts", 10_000_000, "max vertices per uploaded graph (-1 = unlimited)")
+	defTimeout := flag.Duration("default-timeout", 30*time.Second, "per-job timeout when the request sets none (-1ns = none)")
+	maxTimeout := flag.Duration("max-timeout", 10*time.Minute, "hard cap on any per-job timeout (-1ns = no cap)")
+	maxJobWorkers := flag.Int("max-job-workers", 0, "clamp on a job's requested goroutine budget (0 = 4xGOMAXPROCS, -1 = no cap)")
+	flag.Parse()
+
+	srv, err := server.New(server.Options{
+		Workers:        *workers,
+		QueueCap:       *queue,
+		MaxUploadBytes: *maxUpload,
+		MaxVertices:    *maxVerts,
+		DefaultTimeout: *defTimeout,
+		MaxTimeout:     *maxTimeout,
+		MaxJobWorkers:  *maxJobWorkers,
+		StoreDir:       *storeDir,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	defer srv.Close()
+	if *storeDir != "" {
+		log.Printf("mbbserved: preloaded %d graphs from %s", srv.Store().Len(), *storeDir)
+	}
+
+	hs := &http.Server{
+		Addr:              *addr,
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errCh := make(chan error, 1)
+	go func() {
+		log.Printf("mbbserved: listening on %s", *addr)
+		errCh <- hs.ListenAndServe()
+	}()
+
+	select {
+	case err := <-errCh:
+		fatal(err)
+	case <-ctx.Done():
+	}
+	log.Printf("mbbserved: shutting down")
+	shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := hs.Shutdown(shutCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		log.Printf("mbbserved: shutdown: %v", err)
+	}
+	srv.Close()
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "mbbserved:", err)
+	os.Exit(1)
+}

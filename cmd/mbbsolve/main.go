@@ -34,7 +34,7 @@ func main() {
 	solverFlag := flag.String("solver", "auto", "registered solver name (try: -solver help)")
 	algoFlag := flag.String("algo", "", "alias of -solver (kept for compatibility)")
 	timeout := flag.Duration("timeout", 0, "wall-clock budget (0 = unlimited)")
-	workers := flag.Int("workers", 0, "verification pipeline / component solve goroutines (<=1 sequential)")
+	workers := flag.Int("workers", 0, "verification pipeline / component solve goroutines (0/1 sequential; negative rejected)")
 	reduceFlag := flag.String("reduce", "auto", "reduce-and-conquer planner: auto (on for -solver auto), on, off")
 	orderFlag := flag.String("order", "bidegeneracy", "total search order for the sparse framework: bidegeneracy, degeneracy, degree")
 	quiet := flag.Bool("q", false, "print only the balanced size")

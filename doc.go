@@ -58,4 +58,26 @@
 // differential fuzz harness (mbb's FuzzSolversAgree and its ≥50-case
 // seeded corpus) checks exactly that agreement against the brute-force
 // oracle on every test run.
+//
+// # Serving layer
+//
+// cmd/mbbserved and internal/server turn the library into a long-running
+// HTTP JSON service:
+//
+//	store (parsed graph) → cached plan (τ, reduction, components) →
+//	scheduler (bounded workers) → core.Exec (budget, cancellation)
+//
+// Graphs are uploaded once into a named store; the planner's
+// preprocessing phase is split out as a cacheable mbb.Plan
+// (mbb.PlanContext / Plan.SolveContext), built at most once per graph
+// and shared by every subsequent query, so heavy traffic amortizes
+// parsing and reduction instead of redoing them per request. Solve jobs
+// run on a bounded worker pool, each on its own execution context with
+// per-job budgets, cancelable via DELETE /jobs/{id} or client
+// disconnect. The ingestion path (bigraph.ReadKONECT and friends) is
+// hardened for untrusted input — hint-bound checks, surfaced scanner
+// errors, pre-allocation vertex caps — and fuzzed by FuzzReadKONECT's
+// parse→write→reparse round trip. See DESIGN.md §6 for the API and a
+// curl quick-start; cmd/mbbbench -exp servebench measures the
+// amortization.
 package repro

@@ -54,9 +54,9 @@ func ExtBBCL(ex *core.Exec, g *bigraph.Graph) core.Result {
 type extSolver struct {
 	g     *bigraph.Graph
 	ex    *core.Exec
-	tight  []int // t_v per vertex
-	best   bigraph.Biclique
-	nodes  int64
+	tight []int // t_v per vertex
+	best  bigraph.Biclique
+	nodes int64
 
 	timedOut bool
 	scratch  []int32 // counter keys for common-neighbour counting

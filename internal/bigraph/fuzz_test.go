@@ -1,0 +1,69 @@
+package bigraph
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// FuzzReadKONECT is the malformed-input fuzz harness for the KONECT
+// parser, the format the mbbserved upload endpoint exposes to untrusted
+// clients. Invariants: ReadKONECT never panics; when it accepts an input,
+// the parse → WriteKONECT → reparse round trip reproduces the graph
+// exactly (sizes and edge set). CI runs it as a bounded smoke step next
+// to FuzzSolversAgree.
+func FuzzReadKONECT(f *testing.F) {
+	seeds := []string{
+		// Well-formed, with and without the size hint.
+		"% bip unweighted\n% 4 3 5\n1 1\n1 2\n2 3 1.0 1234567\n3 5\n",
+		"% bip\n2 1\n2 4\n1 1\n1 1\n",
+		"1 1\n",
+		// Comments, blank lines, '#' comments, hint-lookalike comments.
+		"% bip unweighted\n\n# a comment\n%  1 2 3 4\n1 1\n\n2 2\n",
+		"% x y z\n1 1\n",
+		// Hint abuse: out-of-range edges, hint after edges, zero/negative
+		// sizes, duplicate hints.
+		"% 3 2 2\n5 1\n",
+		"5 1\n% 3 2 2\n",
+		"% 1 0 5\n1 1\n",
+		"% 1 -2 5\n1 1\n",
+		"% 2 2 2\n% 9 9 9\n2 2\n",
+		// Garbage.
+		"",
+		"hello world\n",
+		"1\n",
+		"0 0\n",
+		"-1 -1\n",
+		"1 999999999999999999999999\n",
+		"% 1 1 1\n",
+		"\x00\x01\x02\n",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, data string) {
+		// Fuzz through the limited reader — the service's path — with a
+		// small cap: an unlimited parse would let a mutated size hint
+		// ("% 1 9e8 9e8") demand gigabytes and OOM the fuzz run.
+		const maxVerts = 1 << 16
+		g, err := ReadKONECTLimited(strings.NewReader(data), maxVerts)
+		if err != nil {
+			return // rejected input: the only requirement is no panic
+		}
+		var buf strings.Builder
+		if err := WriteKONECT(&buf, g); err != nil {
+			t.Fatalf("WriteKONECT: %v", err)
+		}
+		g2, err := ReadKONECTLimited(strings.NewReader(buf.String()), maxVerts)
+		if err != nil {
+			t.Fatalf("reparse rejected WriteKONECT output: %v\n%s", err, buf.String())
+		}
+		if g2.NL() != g.NL() || g2.NR() != g.NR() || g2.NumEdges() != g.NumEdges() {
+			t.Fatalf("round trip %dx%d/%d edges, want %dx%d/%d (input %q)",
+				g2.NL(), g2.NR(), g2.NumEdges(), g.NL(), g.NR(), g.NumEdges(), data)
+		}
+		if !reflect.DeepEqual(g2.Edges(), g.Edges()) {
+			t.Fatalf("round trip changed the edge set (input %q)", data)
+		}
+	})
+}

@@ -35,8 +35,18 @@ func Write(w io.Writer, g *Graph) error {
 	return bw.Flush()
 }
 
-// Read parses the text edge-list format produced by Write.
+// Read parses the text edge-list format produced by Write. Servers
+// parsing untrusted uploads should use ReadLimited: the header alone
+// sizes the graph, so a tiny malicious file can demand an arbitrarily
+// large allocation here.
 func Read(r io.Reader) (*Graph, error) {
+	return ReadLimited(r, 0)
+}
+
+// ReadLimited is Read with a cap on the total vertex count declared by
+// the header (|L|+|R|); maxVertices <= 0 means unlimited. The cap is
+// enforced before any size-proportional allocation.
+func ReadLimited(r io.Reader, maxVertices int) (*Graph, error) {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1<<16), 1<<24)
 	var b *Builder
@@ -56,6 +66,9 @@ func Read(r io.Reader) (*Graph, error) {
 			nr, err2 := strconv.Atoi(fields[1])
 			if err1 != nil || err2 != nil || nl < 0 || nr < 0 {
 				return nil, fmt.Errorf("bigraph: line %d: bad header %q", line, text)
+			}
+			if maxVertices > 0 && nl+nr > maxVertices {
+				return nil, fmt.Errorf("bigraph: line %d: graph %dx%d exceeds the %d-vertex limit", line, nl, nr, maxVertices)
 			}
 			b = NewBuilder(nl, nr)
 			continue

@@ -19,7 +19,24 @@ import (
 // independently. Weights and timestamps are ignored; duplicate edges are
 // merged. Side sizes are taken from the size hint when present, otherwise
 // from the maximum observed ids.
+//
+// The parser is written for untrusted input: an edge id that exceeds the
+// hinted side size, a malformed line, and an underlying read error (a
+// truncated stream, a line over the 16 MiB scanner buffer) all return a
+// clean error instead of a silently wrong graph. ReadKONECT itself puts
+// no bound on the graph size; servers parsing untrusted uploads should
+// use ReadKONECTLimited, which caps the vertex count before the
+// adjacency arrays are allocated (a 30-byte file with a huge size hint
+// would otherwise demand gigabytes).
 func ReadKONECT(r io.Reader) (*Graph, error) {
+	return ReadKONECTLimited(r, 0)
+}
+
+// ReadKONECTLimited is ReadKONECT with a cap on the total vertex count
+// (|L|+|R|, whether it comes from the size hint or from observed ids);
+// maxVertices <= 0 means unlimited. The cap is enforced before any
+// size-proportional allocation.
+func ReadKONECTLimited(r io.Reader, maxVertices int) (*Graph, error) {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1<<16), 1<<24)
 	var edges [][2]int
@@ -56,6 +73,11 @@ func ReadKONECT(r io.Reader) (*Graph, error) {
 		if err1 != nil || err2 != nil || l < 1 || rr < 1 {
 			return nil, fmt.Errorf("bigraph: konect line %d: bad ids %q", line, text)
 		}
+		if hintSeen && (l > nl || rr > nr) {
+			// Never trust the size hint over the data: an out-of-range id
+			// is a corrupt file, not licence to index past the sides.
+			return nil, fmt.Errorf("bigraph: konect line %d: edge (%d,%d) exceeds size hint %dx%d", line, l, rr, nl, nr)
+		}
 		if !hintSeen {
 			if l > nl {
 				nl = l
@@ -67,17 +89,43 @@ func ReadKONECT(r io.Reader) (*Graph, error) {
 		edges = append(edges, [2]int{l - 1, rr - 1})
 	}
 	if err := sc.Err(); err != nil {
-		return nil, err
+		// Scanner errors (short reads, bufio.ErrTooLong) are real I/O
+		// failures: surfacing them keeps a truncated upload from parsing
+		// as a smaller, valid-looking graph.
+		return nil, fmt.Errorf("bigraph: konect read after line %d: %w", line, err)
 	}
 	if len(edges) == 0 && !hintSeen {
 		return nil, fmt.Errorf("bigraph: empty konect input")
 	}
+	if maxVertices > 0 && nl+nr > maxVertices {
+		return nil, fmt.Errorf("bigraph: konect graph %dx%d exceeds the %d-vertex limit", nl, nr, maxVertices)
+	}
 	b := NewBuilder(nl, nr)
 	for _, e := range edges {
 		if e[0] >= nl || e[1] >= nr {
+			// Edges read before a late hint line escaped the inline check.
 			return nil, fmt.Errorf("bigraph: konect edge (%d,%d) exceeds size hint %dx%d", e[0]+1, e[1]+1, nl, nr)
 		}
 		b.AddEdge(e[0], e[1])
 	}
 	return b.Build(), nil
+}
+
+// WriteKONECT serialises g in the KONECT out.* format, including the
+// "% m nL nR" size hint so that isolated boundary vertices survive a
+// round trip: ReadKONECT(WriteKONECT(g)) reproduces g exactly whenever
+// both sides are non-empty (the hint line requires positive sizes).
+func WriteKONECT(w io.Writer, g *Graph) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "%% bip unweighted\n%% %d %d %d\n", g.NumEdges(), g.NL(), g.NR()); err != nil {
+		return err
+	}
+	for l := 0; l < g.NL(); l++ {
+		for _, r := range g.Neighbors(l) {
+			if _, err := fmt.Fprintf(bw, "%d %d\n", l+1, int(r)-g.NL()+1); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
 }

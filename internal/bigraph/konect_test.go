@@ -1,8 +1,12 @@
 package bigraph
 
 import (
+	"errors"
+	"io"
+	"reflect"
 	"strings"
 	"testing"
+	"testing/iotest"
 )
 
 func TestReadKONECT(t *testing.T) {
@@ -54,5 +58,84 @@ func TestReadKONECTErrors(t *testing.T) {
 		if _, err := ReadKONECT(strings.NewReader(in)); err == nil {
 			t.Errorf("ReadKONECT(%q) succeeded, want error", in)
 		}
+	}
+}
+
+// Regression: the "% m nl nr" size hint must never be trusted over the
+// edge data — an out-of-range 1-based id is a parse error, on either
+// side, whether the hint precedes or follows the edge.
+func TestReadKONECTHintBounds(t *testing.T) {
+	cases := []struct {
+		name, in string
+	}{
+		{"left exceeds hint", "% 3 2 2\n5 1\n"},
+		{"right exceeds hint", "% 3 2 2\n1 5\n"},
+		{"both exceed hint", "% 1 2 2\n9 9\n"},
+		{"hint after edge", "5 1\n% 3 2 2\n"},
+		{"later edge exceeds", "% 3 2 2\n1 1\n2 2\n3 1\n"},
+	}
+	for _, tc := range cases {
+		g, err := ReadKONECT(strings.NewReader(tc.in))
+		if err == nil {
+			t.Errorf("%s: ReadKONECT(%q) built a %dx%d graph, want error",
+				tc.name, tc.in, g.NL(), g.NR())
+			continue
+		}
+		if !strings.Contains(err.Error(), "hint") {
+			t.Errorf("%s: error %q does not mention the size hint", tc.name, err)
+		}
+	}
+}
+
+// A tiny input carrying a huge size hint (or huge ids) must be rejected
+// by the limited readers before the adjacency arrays are allocated.
+func TestReadLimitedVertexCap(t *testing.T) {
+	if _, err := ReadKONECTLimited(strings.NewReader("% 1 1000000000 1000000000\n1 1\n"), 1000); err == nil {
+		t.Error("ReadKONECTLimited accepted a hint over the vertex cap")
+	}
+	if _, err := ReadKONECTLimited(strings.NewReader("999999 999999\n"), 1000); err == nil {
+		t.Error("ReadKONECTLimited accepted observed ids over the vertex cap")
+	}
+	if _, err := ReadLimited(strings.NewReader("1000000000 1000000000 1\n0 0\n"), 1000); err == nil {
+		t.Error("ReadLimited accepted a header over the vertex cap")
+	}
+	if g, err := ReadKONECTLimited(strings.NewReader("% 1 3 4\n1 1\n"), 1000); err != nil || g.NL() != 3 || g.NR() != 4 {
+		t.Errorf("ReadKONECTLimited rejected an in-cap graph: %v", err)
+	}
+}
+
+// Regression: a failing reader (truncated stream, oversized line) must
+// surface the scanner error instead of treating the prefix as a complete
+// file.
+func TestReadKONECTScannerError(t *testing.T) {
+	readErr := errors.New("boom: connection reset")
+	in := io.MultiReader(strings.NewReader("% bip\n1 1\n2 2\n"), iotest.ErrReader(readErr))
+	_, err := ReadKONECT(in)
+	if err == nil {
+		t.Fatal("ReadKONECT on a failing reader succeeded, want error")
+	}
+	if !errors.Is(err, readErr) {
+		t.Fatalf("error %q does not wrap the underlying read error", err)
+	}
+}
+
+func TestWriteKONECTRoundTrip(t *testing.T) {
+	// Includes an isolated trailing right vertex (index 4) that only the
+	// size hint can preserve.
+	g := FromEdges(3, 5, [][2]int{{0, 0}, {0, 1}, {1, 2}, {2, 3}})
+	var buf strings.Builder
+	if err := WriteKONECT(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := ReadKONECT(strings.NewReader(buf.String()))
+	if err != nil {
+		t.Fatalf("reparse: %v\ninput:\n%s", err, buf.String())
+	}
+	if g2.NL() != g.NL() || g2.NR() != g.NR() || g2.NumEdges() != g.NumEdges() {
+		t.Fatalf("round trip %dx%d/%d edges, want %dx%d/%d",
+			g2.NL(), g2.NR(), g2.NumEdges(), g.NL(), g.NR(), g.NumEdges())
+	}
+	if !reflect.DeepEqual(g2.Edges(), g.Edges()) {
+		t.Fatalf("round trip edges %v, want %v", g2.Edges(), g.Edges())
 	}
 }

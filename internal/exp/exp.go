@@ -65,6 +65,14 @@ type Config struct {
 	Recorder *Recorder
 
 	Seed int64
+
+	// ServeBench settings (cmd/mbbbench -exp servebench): ServeURL is an
+	// already-running mbbserved base URL — empty starts an in-process
+	// daemon — and Requests warm queries are replayed by Clients
+	// concurrent clients after one cold query.
+	ServeURL string
+	Requests int
+	Clients  int
 }
 
 // DefaultConfig returns a configuration sized to finish in a few minutes.

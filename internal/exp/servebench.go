@@ -1,0 +1,270 @@
+package exp
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/server"
+	"repro/mbb"
+)
+
+// ServeBench measures the serving layer's amortization: it replays a
+// request mix against a running mbbserved daemon (Config.ServeURL) — or
+// an in-process one when no URL is given — and compares the cold first
+// solve (which pays for the plan build) against the warm requests that
+// reuse the cached reduction, across Config.Clients concurrent clients.
+//
+// The printed table reports per-phase latency percentiles plus the
+// store's plan_builds counter, which must stay at 1 no matter how many
+// requests ran — the cached-reduction invariant.
+func ServeBench(c Config) error {
+	c.fill()
+	if c.Requests <= 0 {
+		c.Requests = 32
+	}
+	if c.Clients <= 0 {
+		c.Clients = 4
+	}
+
+	url := c.ServeURL
+	if url == "" {
+		workers := c.Workers
+		if workers < 2 {
+			workers = 2
+		}
+		srv, err := server.New(server.Options{Workers: workers, DefaultTimeout: c.Budget})
+		if err != nil {
+			return err
+		}
+		defer srv.Close()
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return err
+		}
+		hs := &http.Server{Handler: srv.Handler()}
+		go hs.Serve(ln)
+		defer hs.Close()
+		url = "http://" + ln.Addr().String()
+		fmt.Fprintf(c.W, "servebench: started in-process daemon (%d workers) at %s\n", workers, url)
+	}
+
+	// A mid-sized power-law instance: big enough that the plan build is
+	// visible, small enough that warm solves answer interactively.
+	n := c.MaxVerts / 2
+	if n > 2000 {
+		n = 2000
+	}
+	if n < 50 {
+		n = 50
+	}
+	g := mbb.GeneratePowerLaw(n, n, 5*n, c.Seed)
+	var buf bytes.Buffer
+	if err := mbb.WriteGraph(&buf, g); err != nil {
+		return err
+	}
+	if err := sbPut(url+"/graphs/servebench", buf.Bytes()); err != nil {
+		return fmt.Errorf("upload: %w", err)
+	}
+	fmt.Fprintf(c.W, "servebench: graph %dx%d, %d edges; %d requests over %d clients\n",
+		g.NL(), g.NR(), g.NumEdges(), c.Requests, c.Clients)
+
+	body := fmt.Sprintf(`{"timeout":%q,"workers":%d}`, c.Budget.String(), c.Workers)
+	solve := func() (float64, server.JobInfo, error) {
+		start := time.Now()
+		info, err := sbSolve(url+"/graphs/servebench/solve", body)
+		return time.Since(start).Seconds(), info, err
+	}
+
+	// Cold: the first request pays for the plan build.
+	coldSecs, coldInfo, err := solve()
+	if err != nil {
+		return fmt.Errorf("cold solve: %w", err)
+	}
+	if coldInfo.Result == nil {
+		return fmt.Errorf("cold solve finished without a result: state %s %s", coldInfo.State, coldInfo.Error)
+	}
+	wantSize := coldInfo.Result.Size
+	c.Recorder.add(Record{Exp: "servebench", Dataset: "cold", Solver: coldInfo.Result.Solver,
+		Seconds: coldSecs, Size: wantSize, Workers: c.Clients,
+		Tau: coldInfo.Result.Stats.Tau, Peeled: coldInfo.Result.Stats.Peeled,
+		Components: coldInfo.Result.Stats.Components})
+
+	// Warm, sequential: uncontended requests directly comparable with
+	// the cold one — the difference is the amortized parse+plan work.
+	warmN := c.Requests / 2
+	if warmN < 4 {
+		warmN = 4
+	}
+	if warmN > 16 {
+		warmN = 16
+	}
+	var warm []float64
+	for i := 0; i < warmN; i++ {
+		secs, info, err := solve()
+		if err != nil {
+			return fmt.Errorf("warm solve: %w", err)
+		}
+		if info.Result == nil || info.Result.Size != wantSize {
+			return fmt.Errorf("warm solve disagreed: %+v", info)
+		}
+		warm = append(warm, secs)
+		c.Recorder.add(Record{Exp: "servebench", Dataset: "warm", Solver: info.Result.Solver,
+			Seconds: secs, Size: info.Result.Size,
+			Tau: info.Result.Stats.Tau, Peeled: info.Result.Stats.Peeled,
+			Components: info.Result.Stats.Components})
+	}
+
+	// Burst: the full request mix fanned out over the client pool —
+	// latency here includes queueing behind the worker pool, and the
+	// wall clock gives the sustained throughput.
+	var (
+		mu    sync.Mutex
+		burst []float64
+		first error
+	)
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < c.Clients; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for range jobs {
+				secs, info, err := solve()
+				mu.Lock()
+				switch {
+				case err != nil:
+					if first == nil {
+						first = err
+					}
+				case info.Result == nil || info.Result.Size != wantSize:
+					if first == nil {
+						first = fmt.Errorf("burst solve disagreed: %+v", info)
+					}
+				default:
+					burst = append(burst, secs)
+					c.Recorder.add(Record{Exp: "servebench", Dataset: "burst", Solver: info.Result.Solver,
+						Seconds: secs, Size: info.Result.Size, Workers: c.Clients,
+						Tau: info.Result.Stats.Tau, Peeled: info.Result.Stats.Peeled,
+						Components: info.Result.Stats.Components})
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	burstStart := time.Now()
+	for i := 0; i < c.Requests; i++ {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+	burstWall := time.Since(burstStart).Seconds()
+	if first != nil {
+		return first
+	}
+
+	var gi server.GraphInfo
+	if err := sbGet(url+"/graphs/servebench", &gi); err != nil {
+		return fmt.Errorf("graph info: %w", err)
+	}
+
+	fmt.Fprintf(c.W, "%-6s %9s %10s %10s %10s %10s\n", "phase", "requests", "mean", "p50", "p95", "max")
+	fmt.Fprintf(c.W, "%-6s %9d %10s %10s %10s %10s\n", "cold", 1,
+		sbMs(coldSecs), sbMs(coldSecs), sbMs(coldSecs), sbMs(coldSecs))
+	warmMean, warmP50, warmP95, warmMax := sbDist(warm)
+	fmt.Fprintf(c.W, "%-6s %9d %10s %10s %10s %10s\n", "warm", len(warm),
+		sbMs(warmMean), sbMs(warmP50), sbMs(warmP95), sbMs(warmMax))
+	burstMean, burstP50, burstP95, burstMax := sbDist(burst)
+	fmt.Fprintf(c.W, "%-6s %9d %10s %10s %10s %10s\n", "burst", len(burst),
+		sbMs(burstMean), sbMs(burstP50), sbMs(burstP95), sbMs(burstMax))
+	fmt.Fprintf(c.W, "plan: built %d time(s) in %.1f ms, reused by %d solve(s); tau=%d peeled=%d components=%d\n",
+		gi.PlanBuilds, gi.PlanMillis, gi.PlanHits, gi.SeedTau, gi.Peeled, gi.Components)
+	if warmMean > 0 {
+		fmt.Fprintf(c.W, "amortization: cold %s (parse+plan+solve) vs warm mean %s — %.2fx per request\n",
+			sbMs(coldSecs), sbMs(warmMean), coldSecs/warmMean)
+	}
+	if burstWall > 0 && len(burst) > 0 {
+		fmt.Fprintf(c.W, "throughput: %d burst requests in %.2fs = %.1f req/s over %d clients\n",
+			len(burst), burstWall, float64(len(burst))/burstWall, c.Clients)
+	}
+	if gi.PlanBuilds != 1 {
+		return fmt.Errorf("servebench: plan built %d times, want exactly 1 (cache broken)", gi.PlanBuilds)
+	}
+	return nil
+}
+
+func sbMs(secs float64) string { return fmt.Sprintf("%.2fms", secs*1e3) }
+
+// sbDist returns mean/p50/p95/max of xs (zeros when empty).
+func sbDist(xs []float64) (mean, p50, p95, maxv float64) {
+	if len(xs) == 0 {
+		return
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	sum := 0.0
+	for _, x := range sorted {
+		sum += x
+	}
+	pick := func(q float64) float64 {
+		i := int(q * float64(len(sorted)-1))
+		return sorted[i]
+	}
+	return sum / float64(len(sorted)), pick(0.5), pick(0.95), sorted[len(sorted)-1]
+}
+
+func sbPut(url string, body []byte) error {
+	req, err := http.NewRequest(http.MethodPut, url, bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		data, _ := io.ReadAll(resp.Body)
+		return fmt.Errorf("PUT %s: %d %s", url, resp.StatusCode, data)
+	}
+	return nil
+}
+
+func sbSolve(url, body string) (server.JobInfo, error) {
+	var info server.JobInfo
+	resp, err := http.Post(url, "application/json", bytes.NewReader([]byte(body)))
+	if err != nil {
+		return info, err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return info, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return info, fmt.Errorf("POST %s: %d %s", url, resp.StatusCode, data)
+	}
+	return info, json.Unmarshal(data, &info)
+}
+
+func sbGet(url string, v any) error {
+	resp, err := http.Get(url)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("GET %s: %d %s", url, resp.StatusCode, data)
+	}
+	return json.Unmarshal(data, v)
+}

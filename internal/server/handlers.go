@@ -1,0 +1,235 @@
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"time"
+)
+
+// jsonError is the uniform error envelope.
+type jsonError struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	if err := enc.Encode(v); err != nil {
+		// Headers are gone; nothing useful left to do but log.
+		log.Printf("server: encode response: %v", err)
+	}
+}
+
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, jsonError{Error: fmt.Sprintf(format, args...)})
+}
+
+// routes builds the HTTP API:
+//
+//	GET    /healthz              liveness probe
+//	GET    /stats                store + scheduler counters
+//	GET    /graphs               list stored graphs
+//	PUT    /graphs/{name}        upload a graph (?format=edgelist|konect)
+//	GET    /graphs/{name}        graph + cached-plan info
+//	DELETE /graphs/{name}        drop a graph
+//	POST   /graphs/{name}/jobs   submit an async solve job
+//	POST   /graphs/{name}/solve  synchronous solve (cancels on disconnect)
+//	GET    /jobs                 list jobs
+//	GET    /jobs/{id}            job status (+result); ?wait=1 long-polls
+//	DELETE /jobs/{id}            cancel a job
+func (s *Server) routes() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	})
+	mux.HandleFunc("GET /stats", s.handleStats)
+	mux.HandleFunc("GET /graphs", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, s.store.List())
+	})
+	mux.HandleFunc("PUT /graphs/{name}", s.handlePutGraph)
+	mux.HandleFunc("GET /graphs/{name}", s.handleGetGraph)
+	mux.HandleFunc("DELETE /graphs/{name}", s.handleDeleteGraph)
+	mux.HandleFunc("POST /graphs/{name}/jobs", s.handleSubmit)
+	mux.HandleFunc("POST /graphs/{name}/solve", s.handleSolveSync)
+	mux.HandleFunc("GET /jobs", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, s.sched.List())
+	})
+	mux.HandleFunc("GET /jobs/{id}", s.handleGetJob)
+	mux.HandleFunc("DELETE /jobs/{id}", s.handleCancelJob)
+	return mux
+}
+
+// ServerStats is the GET /stats payload.
+type ServerStats struct {
+	Graphs     int         `json:"graphs"`
+	PlanBuilds int64       `json:"plan_builds"`
+	PlanHits   int64       `json:"plan_hits"`
+	Scheduler  SchedStats  `json:"scheduler"`
+	Uptime     float64     `json:"uptime_seconds"`
+	GraphList  []GraphInfo `json:"graph_list,omitempty"`
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	graphs := s.store.List()
+	st := ServerStats{
+		Graphs:    len(graphs),
+		Scheduler: s.sched.Stats(s.opt.Workers),
+		Uptime:    time.Since(s.started).Seconds(),
+	}
+	for _, gi := range graphs {
+		st.PlanBuilds += gi.PlanBuilds
+		st.PlanHits += gi.PlanHits
+	}
+	if r.URL.Query().Get("graphs") != "" {
+		st.GraphList = graphs
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+func (s *Server) handlePutGraph(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	format, err := ParseFormat(r.URL.Query().Get("format"))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	body := http.MaxBytesReader(w, r.Body, s.opt.MaxUploadBytes)
+	g, err := s.store.Parse(body, format)
+	if err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			writeError(w, http.StatusRequestEntityTooLarge, "upload exceeds %d bytes", tooBig.Limit)
+			return
+		}
+		writeError(w, http.StatusBadRequest, "parse %s: %v", format, err)
+		return
+	}
+	sg, err := s.store.Put(name, g)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, sg.Info())
+}
+
+func (s *Server) handleGetGraph(w http.ResponseWriter, r *http.Request) {
+	sg, ok := s.store.Get(r.PathValue("name"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown graph %q", r.PathValue("name"))
+		return
+	}
+	writeJSON(w, http.StatusOK, sg.Info())
+}
+
+func (s *Server) handleDeleteGraph(w http.ResponseWriter, r *http.Request) {
+	if !s.store.Delete(r.PathValue("name")) {
+		writeError(w, http.StatusNotFound, "unknown graph %q", r.PathValue("name"))
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "deleted"})
+}
+
+// decodeSolveRequest reads an optional JSON body; an empty body is the
+// zero request (auto solver, default budget).
+func decodeSolveRequest(r *http.Request) (SolveRequest, error) {
+	var req SolveRequest
+	dec := json.NewDecoder(http.MaxBytesReader(nil, r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	err := dec.Decode(&req)
+	if err == nil || errors.Is(err, io.EOF) {
+		return req, nil
+	}
+	return req, err
+}
+
+func (s *Server) submitJob(w http.ResponseWriter, r *http.Request) (*Job, bool) {
+	sg, ok := s.store.Get(r.PathValue("name"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown graph %q", r.PathValue("name"))
+		return nil, false
+	}
+	req, err := decodeSolveRequest(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return nil, false
+	}
+	job, err := s.sched.Submit(sg, req)
+	if err != nil {
+		switch {
+		case errors.Is(err, ErrQueueFull):
+			w.Header().Set("Retry-After", "1")
+			writeError(w, http.StatusServiceUnavailable, "%v", err)
+		case errors.Is(err, ErrClosed):
+			writeError(w, http.StatusServiceUnavailable, "%v", err)
+		default:
+			writeError(w, http.StatusBadRequest, "%v", err)
+		}
+		return nil, false
+	}
+	return job, true
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	job, ok := s.submitJob(w, r)
+	if !ok {
+		return
+	}
+	writeJSON(w, http.StatusAccepted, job.Info())
+}
+
+// handleSolveSync submits a job and waits for it, cancelling the job if
+// the client disconnects — the request context is the job's leash.
+func (s *Server) handleSolveSync(w http.ResponseWriter, r *http.Request) {
+	job, ok := s.submitJob(w, r)
+	if !ok {
+		return
+	}
+	select {
+	case <-job.Done():
+	case <-r.Context().Done():
+		s.sched.Cancel(job.ID())
+		<-job.Done() // brief: cancellation is cooperative and prompt
+	}
+	info := job.Info()
+	status := http.StatusOK
+	if info.State == JobFailed {
+		// Status-code-checking clients must not mistake a failed solve
+		// (e.g. a solver rejecting the graph) for a success with an
+		// empty result.
+		status = http.StatusInternalServerError
+	}
+	writeJSON(w, status, info)
+}
+
+func (s *Server) handleGetJob(w http.ResponseWriter, r *http.Request) {
+	job, ok := s.sched.Get(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown job %q", r.PathValue("id"))
+		return
+	}
+	if wait := r.URL.Query().Get("wait"); wait != "" && wait != "0" {
+		select {
+		case <-job.Done():
+		case <-r.Context().Done():
+		}
+	}
+	writeJSON(w, http.StatusOK, job.Info())
+}
+
+func (s *Server) handleCancelJob(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	// Hold the job before cancelling: Cancel makes it terminal, which is
+	// exactly what lets a concurrent Submit's retention pruning evict it.
+	job, ok := s.sched.Get(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown job %q", id)
+		return
+	}
+	s.sched.Cancel(id)
+	writeJSON(w, http.StatusOK, job.Info())
+}

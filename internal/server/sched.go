@@ -1,0 +1,493 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/mbb"
+)
+
+// JobState is the lifecycle of a solve job.
+type JobState string
+
+const (
+	JobQueued   JobState = "queued"
+	JobRunning  JobState = "running"
+	JobDone     JobState = "done"
+	JobFailed   JobState = "failed"
+	JobCanceled JobState = "canceled"
+)
+
+// Terminal reports whether the state is final.
+func (s JobState) Terminal() bool {
+	return s == JobDone || s == JobFailed || s == JobCanceled
+}
+
+// SolveRequest is the JSON body of a solve submission. The zero value
+// asks for the automatic solver with the server's default budget; all
+// budget fields pass straight through to mbb.Options, whose entry-point
+// validation turns nonsense (negative budgets, unknown solvers) into a
+// 400 at submit time rather than a late job failure.
+type SolveRequest struct {
+	// Solver is a registry name ("auto", "hbvMBB", "denseMBB", ...);
+	// empty means auto.
+	Solver string `json:"solver,omitempty"`
+	// Timeout is a Go duration string ("500ms", "30s"); empty picks the
+	// server default, and the server-wide maximum always applies.
+	Timeout string `json:"timeout,omitempty"`
+	// MaxNodes bounds the search nodes spent on the job; 0 = unlimited.
+	MaxNodes int64 `json:"max_nodes,omitempty"`
+	// Workers is the per-job goroutine budget (0/1 sequential).
+	Workers int `json:"workers,omitempty"`
+	// Reduce is the planner mode: "auto" (default), "on", "off". When
+	// the planner applies, the solve reuses the graph's cached plan.
+	Reduce string `json:"reduce,omitempty"`
+}
+
+// resolve turns the wire request into validated mbb.Options plus the
+// cached-plan decision. defTimeout fills an unset timeout; maxTimeout
+// (when > 0) caps any timeout, including "unlimited"; maxWorkers (when
+// > 0) clamps the per-job goroutine budget — an uncapped client value
+// would size channels and goroutine pools inside the solvers.
+func (r SolveRequest) resolve(defTimeout, maxTimeout time.Duration, maxWorkers int) (*mbb.Options, bool, error) {
+	opt := &mbb.Options{Solver: r.Solver, MaxNodes: r.MaxNodes, Workers: r.Workers}
+	if r.Timeout != "" {
+		d, err := time.ParseDuration(r.Timeout)
+		if err != nil {
+			return nil, false, fmt.Errorf("bad timeout %q: %w", r.Timeout, err)
+		}
+		opt.Timeout = d
+	} else {
+		opt.Timeout = defTimeout
+	}
+	reduce, ok := mbb.ParseReduce(r.Reduce)
+	if !ok {
+		return nil, false, fmt.Errorf("bad reduce mode %q (want auto, on or off)", r.Reduce)
+	}
+	opt.Reduce = reduce
+	if err := opt.Validate(); err != nil {
+		return nil, false, err
+	}
+	if maxTimeout > 0 && (opt.Timeout <= 0 || opt.Timeout > maxTimeout) {
+		opt.Timeout = maxTimeout
+	}
+	if maxWorkers > 0 && opt.Workers > maxWorkers {
+		opt.Workers = maxWorkers
+	}
+	usePlan, err := opt.PlanActive()
+	if err != nil {
+		return nil, false, err // unknown solver
+	}
+	return opt, usePlan, nil
+}
+
+// StatsJSON is the wire form of the search statistics the service
+// reports per job: the planner's cached-reduction story (τ, peeled,
+// components) plus the search effort.
+type StatsJSON struct {
+	Nodes      int64  `json:"nodes"`
+	Tau        int    `json:"tau"`
+	Peeled     int64  `json:"peeled"`
+	Components int    `json:"components"`
+	Step       string `json:"step,omitempty"`
+	TimedOut   bool   `json:"timed_out"`
+}
+
+func statsJSON(s core.Stats) StatsJSON {
+	out := StatsJSON{
+		Nodes: s.Nodes, Tau: s.SeedTau, Peeled: s.Peeled,
+		Components: s.Components, TimedOut: s.TimedOut,
+	}
+	if s.Step != core.StepNone {
+		out.Step = s.Step.String()
+	}
+	return out
+}
+
+// JobResult is the outcome of a finished (or canceled-midway) job. A and
+// B are side-local indices like the CLI prints.
+type JobResult struct {
+	Size       int       `json:"size"`
+	A          []int     `json:"a"`
+	B          []int     `json:"b"`
+	Exact      bool      `json:"exact"`
+	Solver     string    `json:"solver"`
+	Reduced    bool      `json:"reduced"`
+	PlanCached bool      `json:"plan_cached"`
+	Seconds    float64   `json:"seconds"`
+	Stats      StatsJSON `json:"stats"`
+}
+
+// Job is one scheduled solve. All mutable state is behind mu; Done is
+// closed exactly once when the job reaches a terminal state.
+type Job struct {
+	id      string
+	graph   *StoredGraph
+	opt     *mbb.Options
+	usePlan bool
+
+	ctx    context.Context
+	cancel context.CancelFunc
+	done   chan struct{}
+
+	mu         sync.Mutex
+	state      JobState
+	queuedAt   time.Time
+	startedAt  time.Time
+	finishedAt time.Time
+	canceled   bool
+	result     *JobResult
+	errMsg     string
+}
+
+// ID returns the job id.
+func (j *Job) ID() string { return j.id }
+
+// Done is closed when the job reaches a terminal state.
+func (j *Job) Done() <-chan struct{} { return j.done }
+
+// JobInfo is the JSON status view of a job.
+type JobInfo struct {
+	ID       string     `json:"id"`
+	Graph    string     `json:"graph"`
+	State    JobState   `json:"state"`
+	Queued   string     `json:"queued"`
+	Started  string     `json:"started,omitempty"`
+	Finished string     `json:"finished,omitempty"`
+	Error    string     `json:"error,omitempty"`
+	Result   *JobResult `json:"result,omitempty"`
+}
+
+// Info returns the job's status snapshot.
+func (j *Job) Info() JobInfo {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	info := JobInfo{
+		ID:     j.id,
+		Graph:  j.graph.Name(),
+		State:  j.state,
+		Queued: j.queuedAt.UTC().Format(time.RFC3339Nano),
+		Error:  j.errMsg,
+		Result: j.result,
+	}
+	if !j.startedAt.IsZero() {
+		info.Started = j.startedAt.UTC().Format(time.RFC3339Nano)
+	}
+	if !j.finishedAt.IsZero() {
+		info.Finished = j.finishedAt.UTC().Format(time.RFC3339Nano)
+	}
+	return info
+}
+
+// ErrQueueFull is returned by Submit when the job queue is at capacity —
+// the server-wide admission bound (HTTP maps it to 503).
+var ErrQueueFull = errors.New("server: job queue full")
+
+// ErrClosed is returned by Submit after Close.
+var ErrClosed = errors.New("server: scheduler closed")
+
+// retainFinished bounds how many finished jobs stay queryable; beyond
+// it the oldest finished jobs are pruned so a long-running daemon's job
+// table cannot grow without bound.
+const retainFinished = 1024
+
+// Scheduler runs solve jobs on a fixed pool of worker goroutines
+// draining a bounded queue. The pool size is the server-wide
+// concurrent-solve cap; the queue depth is the admission bound. Each job
+// solves on its own execution context (per-job timeout and node budget)
+// and is cancelable while queued or running.
+type Scheduler struct {
+	queue      chan *Job
+	defTimeout time.Duration
+	maxTimeout time.Duration
+	maxWorkers int
+
+	mu     sync.Mutex
+	jobs   map[string]*Job
+	order  []string // submission order, for listing and pruning
+	closed bool
+
+	nextID  atomic.Int64
+	running atomic.Int64
+	wg      sync.WaitGroup
+}
+
+// NewScheduler starts workers goroutines (min 1) draining a queue of
+// queueCap slots (min 1). defTimeout fills unset per-job timeouts;
+// maxTimeout (when > 0) caps every job's timeout, including "unlimited"
+// requests; maxWorkers (when > 0) clamps each job's requested goroutine
+// budget.
+func NewScheduler(workers, queueCap int, defTimeout, maxTimeout time.Duration, maxWorkers int) *Scheduler {
+	if workers < 1 {
+		workers = 1
+	}
+	if queueCap < 1 {
+		queueCap = 1
+	}
+	s := &Scheduler{
+		queue:      make(chan *Job, queueCap),
+		defTimeout: defTimeout,
+		maxTimeout: maxTimeout,
+		maxWorkers: maxWorkers,
+		jobs:       make(map[string]*Job),
+	}
+	for i := 0; i < workers; i++ {
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			for job := range s.queue {
+				s.run(job)
+			}
+		}()
+	}
+	return s
+}
+
+// Submit validates req, enqueues a job against sg and returns it. The
+// job holds the StoredGraph, so a concurrent store delete does not
+// affect it.
+func (s *Scheduler) Submit(sg *StoredGraph, req SolveRequest) (*Job, error) {
+	opt, usePlan, err := req.resolve(s.defTimeout, s.maxTimeout, s.maxWorkers)
+	if err != nil {
+		return nil, err
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	job := &Job{
+		graph: sg, opt: opt, usePlan: usePlan,
+		ctx: ctx, cancel: cancel,
+		done:  make(chan struct{}),
+		state: JobQueued, queuedAt: time.Now(),
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		cancel()
+		return nil, ErrClosed
+	}
+	job.id = fmt.Sprintf("j%d", s.nextID.Add(1))
+	select {
+	case s.queue <- job:
+	default:
+		cancel()
+		return nil, ErrQueueFull
+	}
+	s.jobs[job.id] = job
+	s.order = append(s.order, job.id)
+	s.pruneLocked()
+	return job, nil
+}
+
+// pruneLocked drops the oldest finished jobs beyond retainFinished.
+func (s *Scheduler) pruneLocked() {
+	if len(s.jobs) <= retainFinished {
+		return
+	}
+	kept := s.order[:0]
+	excess := len(s.jobs) - retainFinished
+	for _, id := range s.order {
+		job := s.jobs[id]
+		if excess > 0 && job != nil {
+			job.mu.Lock()
+			terminal := job.state.Terminal()
+			job.mu.Unlock()
+			if terminal {
+				delete(s.jobs, id)
+				excess--
+				continue
+			}
+		}
+		kept = append(kept, id)
+	}
+	s.order = kept
+}
+
+// run executes one dequeued job.
+func (s *Scheduler) run(job *Job) {
+	job.mu.Lock()
+	if job.state.Terminal() { // canceled while queued
+		job.mu.Unlock()
+		return
+	}
+	job.state = JobRunning
+	job.startedAt = time.Now()
+	job.mu.Unlock()
+
+	s.running.Add(1)
+	defer s.running.Add(-1)
+
+	start := time.Now()
+	var (
+		res        mbb.Result
+		err        error
+		planCached bool
+	)
+	if job.usePlan {
+		var plan *mbb.Plan
+		var built bool
+		plan, built, err = job.graph.Plan()
+		planCached = err == nil && !built
+		if err == nil {
+			res, err = plan.SolveContext(job.ctx, job.opt)
+		}
+	} else {
+		res, err = mbb.SolveContext(job.ctx, job.graph.Graph(), job.opt)
+	}
+	secs := time.Since(start).Seconds()
+
+	job.mu.Lock()
+	defer job.mu.Unlock()
+	job.finishedAt = time.Now()
+	switch {
+	case err != nil:
+		job.state = JobFailed
+		job.errMsg = err.Error()
+	case job.canceled:
+		// Canceled mid-run: the engine returned the best-so-far witness
+		// with Exact == false; keep it — a canceled solve is still a
+		// valid (inexact) answer.
+		job.state = JobCanceled
+		job.result = jobResult(job.graph.Graph(), res, planCached, secs)
+	default:
+		job.state = JobDone
+		job.result = jobResult(job.graph.Graph(), res, planCached, secs)
+	}
+	close(job.done)
+}
+
+func jobResult(g *mbb.Graph, res mbb.Result, planCached bool, secs float64) *JobResult {
+	a := make([]int, len(res.Biclique.A))
+	for i, v := range res.Biclique.A {
+		a[i] = g.LocalIndex(v)
+	}
+	b := make([]int, len(res.Biclique.B))
+	for i, v := range res.Biclique.B {
+		b[i] = g.LocalIndex(v)
+	}
+	return &JobResult{
+		Size: res.Biclique.Size(), A: a, B: b,
+		Exact: res.Exact, Solver: res.Solver, Reduced: res.Reduced,
+		PlanCached: planCached, Seconds: secs, Stats: statsJSON(res.Stats),
+	}
+}
+
+// Get returns a job by id.
+func (s *Scheduler) Get(id string) (*Job, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	job, ok := s.jobs[id]
+	return job, ok
+}
+
+// Cancel requests cooperative cancellation of a job. A queued job
+// finishes immediately as canceled; a running job's execution context is
+// cancelled and the job lands in JobCanceled with its best-so-far
+// result. Returns false for unknown ids, true otherwise (including jobs
+// already terminal — cancellation is idempotent).
+func (s *Scheduler) Cancel(id string) bool {
+	job, ok := s.Get(id)
+	if !ok {
+		return false
+	}
+	job.mu.Lock()
+	defer job.mu.Unlock()
+	if job.state.Terminal() {
+		return true
+	}
+	job.canceled = true
+	job.cancel()
+	if job.state == JobQueued {
+		// Finish now: the worker that eventually pops it will skip it.
+		job.state = JobCanceled
+		job.finishedAt = time.Now()
+		close(job.done)
+	}
+	return true
+}
+
+// List returns every retained job's info in submission order.
+func (s *Scheduler) List() []JobInfo {
+	s.mu.Lock()
+	jobs := make([]*Job, 0, len(s.jobs))
+	for _, id := range s.order {
+		if job, ok := s.jobs[id]; ok {
+			jobs = append(jobs, job)
+		}
+	}
+	s.mu.Unlock()
+	out := make([]JobInfo, len(jobs))
+	for i, job := range jobs {
+		out[i] = job.Info()
+	}
+	return out
+}
+
+// SchedStats is the scheduler section of GET /stats.
+type SchedStats struct {
+	Workers  int   `json:"workers"`
+	QueueCap int   `json:"queue_cap"`
+	Queued   int   `json:"queued"`
+	Running  int64 `json:"running"`
+	Done     int   `json:"done"`
+	Failed   int   `json:"failed"`
+	Canceled int   `json:"canceled"`
+}
+
+// Stats counts jobs by state.
+func (s *Scheduler) Stats(workers int) SchedStats {
+	st := SchedStats{Workers: workers, QueueCap: cap(s.queue), Running: s.running.Load()}
+	s.mu.Lock()
+	jobs := make([]*Job, 0, len(s.jobs))
+	for _, job := range s.jobs {
+		jobs = append(jobs, job)
+	}
+	s.mu.Unlock()
+	for _, job := range jobs {
+		job.mu.Lock()
+		state := job.state
+		job.mu.Unlock()
+		switch state {
+		case JobQueued:
+			st.Queued++
+		case JobDone:
+			st.Done++
+		case JobFailed:
+			st.Failed++
+		case JobCanceled:
+			st.Canceled++
+		}
+	}
+	return st
+}
+
+// Close stops admission, cancels every live job and waits for the
+// workers to drain. Safe to call more than once.
+func (s *Scheduler) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		s.wg.Wait()
+		return
+	}
+	s.closed = true
+	jobs := make([]*Job, 0, len(s.jobs))
+	for _, job := range s.jobs {
+		jobs = append(jobs, job)
+	}
+	close(s.queue)
+	s.mu.Unlock()
+	ids := make([]string, 0, len(jobs))
+	for _, job := range jobs {
+		ids = append(ids, job.id)
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		s.Cancel(id)
+	}
+	s.wg.Wait()
+}

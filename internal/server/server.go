@@ -1,0 +1,121 @@
+package server
+
+import (
+	"net/http"
+	"runtime"
+	"time"
+)
+
+// Options configures a Server. Zero values pick the defaults below.
+type Options struct {
+	// Workers is the solve worker pool size — the server-wide
+	// concurrent-solve cap. Default: GOMAXPROCS.
+	Workers int
+	// QueueCap is the job queue depth — the admission bound beyond the
+	// running solves. Default 256.
+	QueueCap int
+	// MaxUploadBytes caps a graph upload body. Default 64 MiB.
+	MaxUploadBytes int64
+	// MaxVertices caps the vertex count of any uploaded graph (parsing
+	// rejects larger inputs before allocating). Default 10M; negative
+	// means unlimited.
+	MaxVertices int
+	// MaxGraphs caps the store size. Default 1024; negative means
+	// unlimited.
+	MaxGraphs int
+	// DefaultTimeout fills a job's unset timeout. Default 30s; negative
+	// means none (the MaxTimeout clamp still applies).
+	DefaultTimeout time.Duration
+	// MaxTimeout caps every job's timeout, including explicit "0"
+	// (unlimited) requests. Default 10m; negative means no cap.
+	MaxTimeout time.Duration
+	// MaxJobWorkers clamps the per-job goroutine budget a request may
+	// ask for. Default 4×GOMAXPROCS; negative means no cap.
+	MaxJobWorkers int
+	// StoreDir, when non-empty, is preloaded into the store at startup
+	// (see Store.LoadDir).
+	StoreDir string
+}
+
+func (o Options) withDefaults() Options {
+	if o.Workers <= 0 {
+		o.Workers = runtime.GOMAXPROCS(0)
+	}
+	if o.QueueCap <= 0 {
+		o.QueueCap = 256
+	}
+	if o.MaxUploadBytes <= 0 {
+		o.MaxUploadBytes = 64 << 20
+	}
+	if o.MaxVertices == 0 {
+		o.MaxVertices = 10_000_000
+	} else if o.MaxVertices < 0 {
+		o.MaxVertices = 0
+	}
+	if o.MaxGraphs == 0 {
+		o.MaxGraphs = 1024
+	} else if o.MaxGraphs < 0 {
+		o.MaxGraphs = 0
+	}
+	if o.DefaultTimeout == 0 {
+		o.DefaultTimeout = 30 * time.Second
+	} else if o.DefaultTimeout < 0 {
+		// Like the neighbouring caps, negative means "none": jobs without
+		// an explicit timeout fall through to the MaxTimeout clamp instead
+		// of failing per-request validation with a negative default.
+		o.DefaultTimeout = 0
+	}
+	if o.MaxTimeout == 0 {
+		o.MaxTimeout = 10 * time.Minute
+	} else if o.MaxTimeout < 0 {
+		o.MaxTimeout = 0
+	}
+	if o.MaxJobWorkers == 0 {
+		o.MaxJobWorkers = 4 * runtime.GOMAXPROCS(0)
+	} else if o.MaxJobWorkers < 0 {
+		o.MaxJobWorkers = 0
+	}
+	return o
+}
+
+// Server wires the graph store, the job scheduler and the HTTP API. Use
+// New, mount Handler on an http.Server, and Close on shutdown.
+type Server struct {
+	opt     Options
+	store   *Store
+	sched   *Scheduler
+	mux     *http.ServeMux
+	started time.Time
+}
+
+// New builds a Server and preloads Options.StoreDir when set.
+func New(opt Options) (*Server, error) {
+	opt = opt.withDefaults()
+	s := &Server{
+		opt:     opt,
+		store:   NewStore(opt.MaxVertices, opt.MaxGraphs),
+		sched:   NewScheduler(opt.Workers, opt.QueueCap, opt.DefaultTimeout, opt.MaxTimeout, opt.MaxJobWorkers),
+		started: time.Now(),
+	}
+	s.mux = s.routes()
+	if opt.StoreDir != "" {
+		if _, err := s.store.LoadDir(opt.StoreDir); err != nil {
+			s.sched.Close()
+			return nil, err
+		}
+	}
+	return s, nil
+}
+
+// Handler returns the HTTP API.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Store exposes the graph store (used by preloading and tests).
+func (s *Server) Store() *Store { return s.store }
+
+// Scheduler exposes the job scheduler (used by tests and servebench).
+func (s *Server) Scheduler() *Scheduler { return s.sched }
+
+// Close cancels all jobs and stops the workers. The HTTP listener is the
+// caller's to shut down (http.Server.Shutdown) before calling Close.
+func (s *Server) Close() { s.sched.Close() }

@@ -1,0 +1,281 @@
+// Package server is the serving layer of the engine: a named graph
+// store with cached reduce-and-conquer plans, a bounded job scheduler
+// running solves on per-job execution contexts, and the HTTP JSON
+// handlers that cmd/mbbserved exposes. The pipeline per query is
+//
+//	store (parsed graph) → cached plan (τ, reduction, components) →
+//	scheduler (bounded workers) → core.Exec (budget, cancellation)
+//
+// so a long-running daemon pays for parsing and reduction once per graph
+// instead of once per request.
+package server
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/bigraph"
+	"repro/mbb"
+)
+
+// GraphFormat selects an upload parser.
+type GraphFormat string
+
+const (
+	// FormatEdgeList is the repo's text edge-list format ("nL nR m"
+	// header, 0-based "l r" lines) parsed by bigraph.Read.
+	FormatEdgeList GraphFormat = "edgelist"
+	// FormatKONECT is the KONECT out.* format (1-based ids, optional
+	// "% m nL nR" size hint) parsed by bigraph.ReadKONECT.
+	FormatKONECT GraphFormat = "konect"
+)
+
+// ParseFormat resolves a ?format= value; the empty string means edgelist.
+func ParseFormat(s string) (GraphFormat, error) {
+	switch strings.ToLower(s) {
+	case "", "edgelist", "edge-list", "text":
+		return FormatEdgeList, nil
+	case "konect", "out":
+		return FormatKONECT, nil
+	}
+	return "", fmt.Errorf("unknown graph format %q (want edgelist or konect)", s)
+}
+
+// StoredGraph is one named graph plus its lazily built, cached plan. The
+// graph and the plan are immutable; the plan is built at most once (the
+// first planner-backed solve pays for it, every later one reuses it).
+type StoredGraph struct {
+	name     string
+	g        *bigraph.Graph
+	loadedAt time.Time
+
+	planOnce sync.Once
+	// planVal publishes the build outcome atomically: concurrent readers
+	// (Info, from the graph/stats handlers) either see nil — build not
+	// finished — or the complete outcome, never a half-written pair.
+	planVal    atomic.Pointer[planOutcome]
+	planNanos  atomic.Int64 // wall time of the one plan build
+	planBuilds atomic.Int64 // how many times the plan was computed (stays ≤ 1)
+	planHits   atomic.Int64 // how many solves reused the cached plan
+}
+
+// planOutcome is the immutable result of the one plan build.
+type planOutcome struct {
+	plan *mbb.Plan
+	err  error
+}
+
+// Name returns the store key.
+func (sg *StoredGraph) Name() string { return sg.name }
+
+// Graph returns the parsed graph.
+func (sg *StoredGraph) Graph() *bigraph.Graph { return sg.g }
+
+// Plan returns the cached reduce-and-conquer plan, building it on first
+// use; built reports whether this call performed the build (false means
+// a cache hit). The build runs detached from any request context: a
+// client that gives up must not poison the cache for everyone after it.
+func (sg *StoredGraph) Plan() (plan *mbb.Plan, built bool, err error) {
+	sg.planOnce.Do(func() {
+		built = true
+		start := time.Now()
+		sg.planBuilds.Add(1)
+		p, perr := mbb.PlanContext(context.Background(), sg.g)
+		sg.planNanos.Store(int64(time.Since(start)))
+		sg.planVal.Store(&planOutcome{plan: p, err: perr})
+	})
+	out := sg.planVal.Load() // non-nil: Do returns only after the build stored it
+	if out.err == nil && !built {
+		sg.planHits.Add(1)
+	}
+	return out.plan, built, out.err
+}
+
+// PlanBuilds reports how many times the plan was computed — the
+// amortization invariant the e2e smoke asserts (it must stay ≤ 1 no
+// matter how many solves ran).
+func (sg *StoredGraph) PlanBuilds() int64 { return sg.planBuilds.Load() }
+
+// GraphInfo is the JSON view of a stored graph.
+type GraphInfo struct {
+	Name       string  `json:"name"`
+	NL         int     `json:"nl"`
+	NR         int     `json:"nr"`
+	Edges      int     `json:"edges"`
+	Density    float64 `json:"density"`
+	LoadedAt   string  `json:"loaded_at"`
+	PlanCached bool    `json:"plan_cached"`
+	PlanBuilds int64   `json:"plan_builds"`
+	PlanHits   int64   `json:"plan_hits"`
+	PlanMillis float64 `json:"plan_millis,omitempty"`
+	SeedTau    int     `json:"tau,omitempty"`
+	Peeled     int     `json:"peeled,omitempty"`
+	Components int     `json:"components,omitempty"`
+}
+
+// Info returns the JSON view, including the cached plan's statistics
+// once it exists.
+func (sg *StoredGraph) Info() GraphInfo {
+	info := GraphInfo{
+		Name:       sg.name,
+		NL:         sg.g.NL(),
+		NR:         sg.g.NR(),
+		Edges:      sg.g.NumEdges(),
+		Density:    sg.g.Density(),
+		LoadedAt:   sg.loadedAt.UTC().Format(time.RFC3339),
+		PlanBuilds: sg.planBuilds.Load(),
+		PlanHits:   sg.planHits.Load(),
+	}
+	if out := sg.planVal.Load(); out != nil {
+		info.PlanMillis = float64(sg.planNanos.Load()) / 1e6
+		if out.err == nil {
+			info.PlanCached = true
+			info.SeedTau = out.plan.SeedTau()
+			info.Peeled = out.plan.Peeled()
+			info.Components = out.plan.Components()
+		}
+	}
+	return info
+}
+
+// nameRe bounds graph names to URL-safe tokens.
+var nameRe = regexp.MustCompile(`^[A-Za-z0-9][A-Za-z0-9._-]{0,127}$`)
+
+// Store is the named graph store. All methods are safe for concurrent
+// use; graphs are immutable once stored, so readers never block solvers.
+type Store struct {
+	mu        sync.RWMutex
+	graphs    map[string]*StoredGraph
+	maxVerts  int // per-graph vertex cap for untrusted uploads, 0 = unlimited
+	maxGraphs int // store capacity, 0 = unlimited
+}
+
+// NewStore returns an empty store. maxVerts caps the vertex count of any
+// parsed upload (0 = unlimited); maxGraphs caps how many graphs the
+// store holds (0 = unlimited).
+func NewStore(maxVerts, maxGraphs int) *Store {
+	return &Store{graphs: make(map[string]*StoredGraph), maxVerts: maxVerts, maxGraphs: maxGraphs}
+}
+
+// Parse decodes r in the given format, honouring the store's vertex cap.
+func (s *Store) Parse(r io.Reader, format GraphFormat) (*bigraph.Graph, error) {
+	switch format {
+	case FormatKONECT:
+		return bigraph.ReadKONECTLimited(r, s.maxVerts)
+	default:
+		return bigraph.ReadLimited(r, s.maxVerts)
+	}
+}
+
+// Put stores g under name, replacing any previous graph of that name
+// (and its cached plan). It rejects invalid names and a full store.
+func (s *Store) Put(name string, g *bigraph.Graph) (*StoredGraph, error) {
+	if !nameRe.MatchString(name) {
+		return nil, fmt.Errorf("invalid graph name %q (want [A-Za-z0-9._-], max 128 chars)", name)
+	}
+	sg := &StoredGraph{name: name, g: g, loadedAt: time.Now()}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, replacing := s.graphs[name]; !replacing && s.maxGraphs > 0 && len(s.graphs) >= s.maxGraphs {
+		return nil, fmt.Errorf("graph store is full (%d graphs)", s.maxGraphs)
+	}
+	s.graphs[name] = sg
+	return sg, nil
+}
+
+// Get returns the named graph.
+func (s *Store) Get(name string) (*StoredGraph, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	sg, ok := s.graphs[name]
+	return sg, ok
+}
+
+// Delete removes the named graph. Jobs already holding the StoredGraph
+// keep solving against it; the memory is reclaimed once they finish.
+func (s *Store) Delete(name string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.graphs[name]; !ok {
+		return false
+	}
+	delete(s.graphs, name)
+	return true
+}
+
+// List returns every stored graph's info, sorted by name.
+func (s *Store) List() []GraphInfo {
+	s.mu.RLock()
+	sgs := make([]*StoredGraph, 0, len(s.graphs))
+	for _, sg := range s.graphs {
+		sgs = append(sgs, sg)
+	}
+	s.mu.RUnlock()
+	sort.Slice(sgs, func(i, j int) bool { return sgs[i].name < sgs[j].name })
+	out := make([]GraphInfo, len(sgs))
+	for i, sg := range sgs {
+		out[i] = sg.Info()
+	}
+	return out
+}
+
+// Len returns how many graphs are stored.
+func (s *Store) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.graphs)
+}
+
+// LoadDir preloads every regular file in dir into the store: files named
+// *.konect or out.* parse as KONECT, everything else as the text
+// edge-list format. The graph name is the file's base name with the
+// extension stripped (out.foo becomes foo). Returns how many graphs were
+// loaded; the first parse error aborts the load.
+func (s *Store) LoadDir(dir string) (int, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return 0, err
+	}
+	n := 0
+	for _, e := range entries {
+		if e.IsDir() {
+			continue
+		}
+		path := filepath.Join(dir, e.Name())
+		format := FormatEdgeList
+		name := e.Name()
+		switch {
+		case strings.HasPrefix(name, "out."):
+			format = FormatKONECT
+			name = strings.TrimPrefix(name, "out.")
+		case strings.HasSuffix(name, ".konect"):
+			format = FormatKONECT
+			name = strings.TrimSuffix(name, ".konect")
+		default:
+			name = strings.TrimSuffix(name, filepath.Ext(name))
+		}
+		f, err := os.Open(path)
+		if err != nil {
+			return n, err
+		}
+		g, err := s.Parse(f, format)
+		f.Close()
+		if err != nil {
+			return n, fmt.Errorf("%s: %w", path, err)
+		}
+		if _, err := s.Put(name, g); err != nil {
+			return n, fmt.Errorf("%s: %w", path, err)
+		}
+		n++
+	}
+	return n, nil
+}

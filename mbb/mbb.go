@@ -57,6 +57,7 @@ package mbb
 import (
 	"context"
 	"errors"
+	"fmt"
 	"io"
 	"time"
 
@@ -133,6 +134,14 @@ func (a Algorithm) String() string {
 // Options configures Solve and SolveContext. The zero value (or nil)
 // means: automatic solver choice, bidegeneracy order, no budget, a
 // sequential verification pipeline.
+//
+// Zero-value semantics are load-bearing for callers that forward
+// user-supplied budgets (such as the mbbserved daemon): Timeout == 0 and
+// MaxNodes == 0 mean "unlimited", Workers == 0 (or 1) means sequential.
+// Negative values are never meaningful; SolveContext, Solve and
+// Plan.SolveContext validate once at the entry point and reject them
+// with an error wrapping ErrBadOptions, so nonsense can't silently
+// become "unlimited" deeper in the engine.
 type Options struct {
 	// Solver names a registered solver (see Solvers). When non-empty it
 	// takes precedence over Algorithm; "auto" (or empty plus Algorithm ==
@@ -143,13 +152,14 @@ type Options struct {
 	// is empty.
 	Algorithm Algorithm
 
-	// Timeout bounds the wall-clock search time; 0 means unlimited. When
-	// the budget expires the best biclique found so far is returned with
+	// Timeout bounds the wall-clock search time; 0 means unlimited and
+	// negative values are rejected (ErrBadOptions). When the budget
+	// expires the best biclique found so far is returned with
 	// Exact == false.
 	Timeout time.Duration
 
 	// MaxNodes bounds the number of search nodes across all workers;
-	// 0 means unlimited.
+	// 0 means unlimited, negative values are rejected (ErrBadOptions).
 	MaxNodes int64
 
 	// Order selects the total search order for the sparse framework
@@ -159,7 +169,8 @@ type Options struct {
 
 	// Workers is the number of goroutines used by the sparse framework's
 	// streaming verification pipeline and by the planner's per-component
-	// solves; values ≤ 1 keep both sequential.
+	// solves; 0 and 1 keep both sequential, negative values are rejected
+	// (ErrBadOptions).
 	Workers int
 
 	// Reduce controls the reduce-and-conquer planner that runs ahead of
@@ -199,6 +210,45 @@ type Result struct {
 // ErrNilGraph is returned when Solve receives a nil graph.
 var ErrNilGraph = errors.New("mbb: nil graph")
 
+// ErrBadOptions tags errors returned for nonsensical Options values
+// (negative Timeout, MaxNodes or Workers). Test with errors.Is.
+var ErrBadOptions = errors.New("mbb: invalid options")
+
+// Validate rejects Options values that are never meaningful. It runs
+// once at every public entry point (SolveContext, Solve, PlanContext's
+// solve phase), so services can forward user-supplied budgets without
+// re-checking them.
+func (o *Options) Validate() error {
+	if o == nil {
+		return nil
+	}
+	if o.Timeout < 0 {
+		return fmt.Errorf("%w: negative Timeout %v", ErrBadOptions, o.Timeout)
+	}
+	if o.MaxNodes < 0 {
+		return fmt.Errorf("%w: negative MaxNodes %d", ErrBadOptions, o.MaxNodes)
+	}
+	if o.Workers < 0 {
+		return fmt.Errorf("%w: negative Workers %d", ErrBadOptions, o.Workers)
+	}
+	return nil
+}
+
+// resolveSpec resolves opt's solver choice through the registry and
+// reports whether it was the automatic choice (which the caller — and
+// the planner, per component — finalises from the graph shape).
+func resolveSpec(opt *Options) (SolverSpec, bool, error) {
+	name := opt.Solver
+	if name == "" {
+		name = opt.Algorithm.String()
+	}
+	spec, ok := Lookup(name)
+	if !ok {
+		return SolverSpec{}, false, unknownSolverError(name)
+	}
+	return spec, spec.Name == "auto", nil
+}
+
 // denseAutoLimit bounds the adjacency-matrix size (in bits per side
 // product) under which Auto considers the dense solver.
 const denseAutoLimit = 1 << 24 // 16M cells ≈ 2 MB per side
@@ -225,21 +275,18 @@ func SolveContext(ctx context.Context, g *Graph, opt *Options) (Result, error) {
 	if opt == nil {
 		opt = &Options{}
 	}
-	name := opt.Solver
-	if name == "" {
-		name = opt.Algorithm.String()
+	if err := opt.Validate(); err != nil {
+		return Result{}, err
 	}
-	spec, ok := Lookup(name)
-	if !ok {
-		return Result{}, unknownSolverError(name)
+	spec, isAuto, err := resolveSpec(opt)
+	if err != nil {
+		return Result{}, err
 	}
 	ex := core.NewExec(ctx, core.Limits{Timeout: opt.Timeout, MaxNodes: opt.MaxNodes})
-	isAuto := spec.Name == "auto"
 	if isAuto {
 		spec, _ = Lookup(autoSolverName(g))
 	}
 	var res core.Result
-	var err error
 	planned := planActive(opt, isAuto, spec.Heuristic)
 	if planned {
 		res, err = planSolve(ex, g, spec, isAuto, opt)

@@ -1,0 +1,46 @@
+package mbb_test
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"repro/mbb"
+)
+
+// SolveContext validates Options once at the entry point: negative
+// budgets and worker counts — which a service may receive verbatim from
+// clients — are rejected with ErrBadOptions instead of silently meaning
+// "unlimited" (or worse) deeper in the engine.
+func TestOptionsValidation(t *testing.T) {
+	g := mbb.FromEdges(2, 2, [][2]int{{0, 0}, {0, 1}, {1, 0}, {1, 1}})
+	bad := []mbb.Options{
+		{Timeout: -time.Second},
+		{MaxNodes: -1},
+		{Workers: -2},
+		{Timeout: -1, MaxNodes: -1, Workers: -1},
+	}
+	for _, opt := range bad {
+		if _, err := mbb.Solve(g, &opt); !errors.Is(err, mbb.ErrBadOptions) {
+			t.Errorf("Solve with %+v: err = %v, want ErrBadOptions", opt, err)
+		}
+	}
+	plan, err := mbb.PlanContext(context.Background(), g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, opt := range bad {
+		if _, err := plan.SolveContext(context.Background(), &opt); !errors.Is(err, mbb.ErrBadOptions) {
+			t.Errorf("Plan.SolveContext with %+v: err = %v, want ErrBadOptions", opt, err)
+		}
+	}
+	// The documented zero values stay valid: nil options and all-zero
+	// options mean auto solver, unlimited budget, sequential pipeline.
+	if res, err := mbb.Solve(g, nil); err != nil || res.Biclique.Size() != 2 {
+		t.Fatalf("nil options: res=%+v err=%v", res, err)
+	}
+	if res, err := mbb.Solve(g, &mbb.Options{}); err != nil || res.Biclique.Size() != 2 {
+		t.Fatalf("zero options: res=%+v err=%v", res, err)
+	}
+}

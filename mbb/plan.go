@@ -1,0 +1,126 @@
+package mbb
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/core"
+)
+
+// Plan is the cacheable artifact of the reduce-and-conquer planner's
+// preprocessing phase: the heuristic seed witness and its lower bound τ,
+// the optimum-preserving reduction of the graph (the (τ+1)-core
+// intersected with the 2τ+1 bicore threshold, iterated to a fixed
+// point), and the surviving connected components sorted largest first.
+//
+// The preprocessing depends only on the graph — not on budgets, worker
+// counts or the solver choice — so one Plan can back any number of
+// subsequent solves: build it once with PlanContext, then call
+// Plan.SolveContext per query with fresh per-query budgets. This is what
+// lets a long-running service amortize parsing and reduction across
+// requests instead of redoing them per solve. A Plan is immutable after
+// construction and safe for concurrent use by any number of goroutines.
+type Plan struct {
+	g       *Graph
+	seed    Biclique // heuristic witness, original unified ids
+	tau     int
+	red     reduction
+	jobs    []planJob
+	partial bool
+}
+
+// PlanContext runs the planner's preprocessing phase — heuristic seed,
+// reduction to a fixed point, component decomposition — on g and returns
+// the reusable Plan. The phase is near-linear (no branch-and-bound runs),
+// so it takes no budget options; ctx cancellation still applies, and a
+// cancelled build returns ctx's error rather than a partial plan (a
+// partial plan would be unsafe to cache: its empty component list no
+// longer proves the seed optimal).
+func PlanContext(ctx context.Context, g *Graph) (*Plan, error) {
+	if g == nil {
+		return nil, ErrNilGraph
+	}
+	ex := core.NewExec(ctx, core.Limits{})
+	p := computePlan(ex, g)
+	if p.partial {
+		if err := ex.Err(); err != nil {
+			return nil, err
+		}
+		return nil, context.Canceled
+	}
+	return p, nil
+}
+
+// Graph returns the original graph the plan was built for.
+func (p *Plan) Graph() *Graph { return p.g }
+
+// SeedTau returns the heuristic lower bound τ that seeded the reduction.
+func (p *Plan) SeedTau() int { return p.tau }
+
+// Peeled returns how many vertices the reduction removed.
+func (p *Plan) Peeled() int { return p.red.peeled }
+
+// Components returns how many components survived the reduction (those
+// large enough on both sides to beat τ). Zero means the plan already
+// proves the heuristic seed optimal.
+func (p *Plan) Components() int { return len(p.jobs) }
+
+// Seed returns the heuristic witness biclique, in original unified ids.
+// The caller must not modify it.
+func (p *Plan) Seed() Biclique { return p.seed }
+
+// SolveContext runs the plan's solve phase under ctx: the surviving
+// components are solved by the named exact solver on a fresh execution
+// context carrying opt's Timeout/MaxNodes budgets, sharing one incumbent
+// seeded with the cached τ. The result is identical to what
+// SolveContext(ctx, plan.Graph(), opt) with the planner enabled would
+// produce, minus the preprocessing cost. Heuristic solvers are rejected:
+// the plan's component pruning assumes exact sub-solves. Safe for
+// concurrent use — overlapping queries each get their own execution
+// context and only read the shared plan.
+func (p *Plan) SolveContext(ctx context.Context, opt *Options) (Result, error) {
+	if opt == nil {
+		opt = &Options{}
+	}
+	if err := opt.Validate(); err != nil {
+		return Result{}, err
+	}
+	spec, isAuto, err := resolveSpec(opt)
+	if err != nil {
+		return Result{}, err
+	}
+	if spec.Heuristic {
+		return Result{}, fmt.Errorf("%w: heuristic solver %q cannot run from a cached plan", ErrBadOptions, spec.Name)
+	}
+	if isAuto {
+		spec, _ = Lookup(autoSolverName(p.g))
+	}
+	ex := core.NewExec(ctx, core.Limits{Timeout: opt.Timeout, MaxNodes: opt.MaxNodes})
+	res, err := p.solveOn(ex, spec, isAuto, opt)
+	if err != nil {
+		return Result{}, err
+	}
+	return Result{
+		Biclique:  res.Biclique,
+		Exact:     !res.Stats.TimedOut,
+		Solver:    spec.Name,
+		Algorithm: algorithmOf(spec.Name),
+		Reduced:   true,
+		Stats:     res.Stats,
+	}, nil
+}
+
+// PlanActive reports whether SolveContext with these options would run
+// the reduce-and-conquer planner — equivalently, whether a cached Plan
+// built by PlanContext can stand in for the preprocessing phase of a
+// solve with these options. It errors on an unknown solver name.
+func (o *Options) PlanActive() (bool, error) {
+	if o == nil {
+		o = &Options{}
+	}
+	spec, isAuto, err := resolveSpec(o)
+	if err != nil {
+		return false, err
+	}
+	return planActive(o, isAuto, spec.Heuristic), nil
+}

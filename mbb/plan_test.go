@@ -1,0 +1,153 @@
+package mbb_test
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/mbb"
+)
+
+// A cached plan must reproduce exactly what a planner-enabled solve
+// computes, and carry the same planner statistics.
+func TestPlanMatchesSolve(t *testing.T) {
+	for seed := int64(1); seed <= 4; seed++ {
+		g := mbb.GeneratePowerLaw(50, 50, 260, seed)
+		direct, err := mbb.Solve(g, &mbb.Options{Reduce: mbb.ReduceOn})
+		if err != nil {
+			t.Fatal(err)
+		}
+		plan, err := mbb.PlanContext(context.Background(), g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := plan.SolveContext(context.Background(), nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Exact || !res.Reduced {
+			t.Fatalf("seed %d: cached-plan solve exact=%v reduced=%v", seed, res.Exact, res.Reduced)
+		}
+		if res.Biclique.Size() != direct.Biclique.Size() {
+			t.Fatalf("seed %d: cached-plan size %d, direct size %d", seed, res.Biclique.Size(), direct.Biclique.Size())
+		}
+		if !res.Biclique.IsBicliqueOf(g) || !res.Biclique.IsBalanced() {
+			t.Fatalf("seed %d: invalid biclique from cached plan", seed)
+		}
+		if res.Stats.SeedTau != plan.SeedTau() || res.Stats.Peeled != int64(plan.Peeled()) || res.Stats.Components != plan.Components() {
+			t.Fatalf("seed %d: result stats (tau=%d peeled=%d comps=%d) disagree with plan (%d/%d/%d)",
+				seed, res.Stats.SeedTau, res.Stats.Peeled, res.Stats.Components,
+				plan.SeedTau(), plan.Peeled(), plan.Components())
+		}
+	}
+}
+
+// One plan, many overlapping queries: the plan is read-only, so
+// concurrent SolveContext calls (each with its own budget and solver
+// choice) must all return the same optimum. Run under -race this also
+// checks the plan is genuinely shareable.
+func TestPlanConcurrentSolves(t *testing.T) {
+	g := mbb.GeneratePowerLaw(60, 60, 320, 11)
+	plan, err := mbb.PlanContext(context.Background(), g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := plan.SolveContext(context.Background(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, 8)
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			opt := &mbb.Options{Workers: i % 3}
+			res, err := plan.SolveContext(context.Background(), opt)
+			if err != nil {
+				errs <- err
+				return
+			}
+			if !res.Exact || res.Biclique.Size() != want.Biclique.Size() {
+				errs <- errors.New("concurrent plan solve disagreed with the sequential one")
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
+
+// A cancelled query on a cached plan must return promptly and report
+// Exact == false — the service's cancellation contract.
+func TestPlanSolveCancelled(t *testing.T) {
+	g := mbb.GenerateDense(48, 48, 0.9, 3)
+	plan, err := mbb.PlanContext(context.Background(), g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	start := time.Now()
+	res, err := plan.SolveContext(ctx, &mbb.Options{Solver: "basicBB", Reduce: mbb.ReduceOn})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Exact {
+		t.Fatal("cancelled solve claimed exactness")
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("cancelled solve took %v", elapsed)
+	}
+}
+
+func TestPlanErrors(t *testing.T) {
+	if _, err := mbb.PlanContext(context.Background(), nil); !errors.Is(err, mbb.ErrNilGraph) {
+		t.Errorf("nil graph: %v", err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := mbb.PlanContext(ctx, mbb.GeneratePowerLaw(20, 20, 60, 1)); err == nil {
+		t.Error("PlanContext under a cancelled context returned a cacheable plan")
+	}
+	plan, err := mbb.PlanContext(context.Background(), mbb.GeneratePowerLaw(20, 20, 60, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := plan.SolveContext(context.Background(), &mbb.Options{Solver: "heur"}); !errors.Is(err, mbb.ErrBadOptions) {
+		t.Errorf("heuristic solver on a cached plan: %v", err)
+	}
+	if _, err := plan.SolveContext(context.Background(), &mbb.Options{Solver: "nope"}); err == nil {
+		t.Error("unknown solver accepted")
+	}
+}
+
+func TestPlanActive(t *testing.T) {
+	cases := []struct {
+		opt  mbb.Options
+		want bool
+	}{
+		{mbb.Options{}, true},                                            // auto solver, auto reduce
+		{mbb.Options{Solver: "hbvMBB"}, false},                           // named solver, auto reduce
+		{mbb.Options{Solver: "hbvMBB", Reduce: mbb.ReduceOn}, true},      // forced on
+		{mbb.Options{Reduce: mbb.ReduceOff}, false},                      // forced off
+		{mbb.Options{Solver: "heur", Reduce: mbb.ReduceOn}, false},       // heuristic never plans
+		{mbb.Options{Solver: "denseMBB", Reduce: mbb.ReduceAuto}, false}, // named, auto
+	}
+	for _, tc := range cases {
+		got, err := tc.opt.PlanActive()
+		if err != nil {
+			t.Fatalf("%+v: %v", tc.opt, err)
+		}
+		if got != tc.want {
+			t.Errorf("PlanActive(%+v) = %v, want %v", tc.opt, got, tc.want)
+		}
+	}
+	if _, err := (&mbb.Options{Solver: "nope"}).PlanActive(); err == nil {
+		t.Error("PlanActive accepted an unknown solver")
+	}
+}

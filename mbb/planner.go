@@ -108,21 +108,22 @@ func reduceFixedPoint(ex *core.Exec, red reduction, tau int) reduction {
 	return red
 }
 
-// planSolve is the reduce-and-conquer planner: it seeds the shared
-// incumbent with a cheap greedy lower bound τ, peels vertices that cannot
-// belong to any balanced biclique larger than τ (reduceFixedPoint), splits
-// the survivor into connected components, solves the components
-// concurrently — largest first, as workers sharing the execution context's
-// budget and incumbent — and maps the winner back to the original ids.
-// spec is the solver to run per component; when isAuto is true the
-// dense/sparse choice is re-made per component from its shape.
-func planSolve(ex *core.Exec, g *Graph, spec SolverSpec, isAuto bool, opt *Options) (core.Result, error) {
-	// Already cancelled or past the deadline: return before paying for
-	// the (unbudgeted) seed heuristic.
+// planJob is one surviving component of the reduced graph, with its
+// per-side vertex counts.
+type planJob struct {
+	ids    []int
+	nl, nr int
+}
+
+// computePlan runs the planner's preprocessing phase — heuristic seed,
+// optimum-preserving reduction, component decomposition — and packages
+// the outcome as an immutable Plan. When ex is cut short mid-way the
+// reduction is simply larger (still equivalent); only when the component
+// collection itself had to be skipped is the plan marked partial, because
+// then an empty job list no longer proves the seed optimal.
+func computePlan(ex *core.Exec, g *Graph) *Plan {
 	if ex.ShouldStop() {
-		stats := ex.Snapshot()
-		stats.TimedOut = true
-		return core.Result{Stats: stats}, nil
+		return &Plan{g: g, red: reduction{g: g, newToOld: bigraph.IdentityMap(g.NumVertices())}, partial: true}
 	}
 
 	// Seed τ with the max-degree greedy (Algorithm 5's first pass), apply
@@ -152,29 +153,42 @@ func planSolve(ex *core.Exec, g *Graph, spec SolverSpec, isAuto bool, opt *Optio
 	// Keep only components that are large enough to beat τ on both sides,
 	// largest (by vertex count, then smallest id) first so the long solves
 	// start as early as possible.
-	type job struct {
-		ids    []int
-		nl, nr int
-	}
-	var jobs []job
-	if red.g.NumVertices() > 0 && !ex.ShouldStop() {
-		for _, comp := range red.g.Components() {
-			nl, nr := 0, 0
-			for _, v := range comp {
-				if red.g.IsLeft(v) {
-					nl++
-				} else {
-					nr++
+	var jobs []planJob
+	partial := false
+	if red.g.NumVertices() > 0 {
+		if ex.ShouldStop() {
+			partial = true
+		} else {
+			for _, comp := range red.g.Components() {
+				nl, nr := 0, 0
+				for _, v := range comp {
+					if red.g.IsLeft(v) {
+						nl++
+					} else {
+						nr++
+					}
+				}
+				if nl > tau && nr > tau {
+					jobs = append(jobs, planJob{ids: comp, nl: nl, nr: nr})
 				}
 			}
-			if nl > tau && nr > tau {
-				jobs = append(jobs, job{ids: comp, nl: nl, nr: nr})
-			}
+			sort.SliceStable(jobs, func(i, j int) bool {
+				return len(jobs[i].ids) > len(jobs[j].ids)
+			})
 		}
-		sort.SliceStable(jobs, func(i, j int) bool {
-			return len(jobs[i].ids) > len(jobs[j].ids)
-		})
 	}
+	return &Plan{g: g, seed: seed, tau: tau, red: red, jobs: jobs, partial: partial}
+}
+
+// solveOn runs the plan's solve phase on ex: the incumbent is seeded with
+// the cached τ, the surviving components are solved concurrently —
+// largest first, as workers sharing the execution context's budget and
+// incumbent — and the winner is mapped back to the original ids. spec is
+// the solver to run per component; when isAuto is true the dense/sparse
+// choice is re-made per component from its shape. It is safe to call
+// concurrently: the plan is read-only and all mutable state is local.
+func (p *Plan) solveOn(ex *core.Exec, spec SolverSpec, isAuto bool, opt *Options) (core.Result, error) {
+	ex.OfferBest(p.tau)
 
 	// When no component survives, the reduction closed the graph (or no
 	// surviving component can beat τ) and the heuristic witness is
@@ -182,12 +196,12 @@ func planSolve(ex *core.Exec, g *Graph, spec SolverSpec, isAuto bool, opt *Optio
 	// termination. Stats.Step stays untouched: it reports Algorithm-4
 	// steps and would mislabel dense/baseline solver runs; SeedTau,
 	// Peeled and Components carry the planner's own story.
-	pstats := core.Stats{SeedTau: tau, Peeled: int64(red.peeled), Components: len(jobs)}
+	pstats := core.Stats{SeedTau: p.tau, Peeled: int64(p.red.peeled), Components: len(p.jobs)}
 	ex.AddStats(&pstats)
 
 	workers := opt.Workers
-	if workers > len(jobs) {
-		workers = len(jobs)
+	if workers > len(p.jobs) {
+		workers = len(p.jobs)
 	}
 	// Options.Workers is a total goroutine budget: when the planner fans
 	// out over components, it is split across them so the per-component
@@ -199,11 +213,11 @@ func planSolve(ex *core.Exec, g *Graph, spec SolverSpec, isAuto bool, opt *Optio
 
 	var (
 		mu       sync.Mutex
-		best     = seed
+		best     = p.seed
 		outcome  core.Stats
 		firstErr error
 	)
-	solveComp := func(j job) {
+	solveComp := func(j planJob) {
 		if ex.ShouldStop() {
 			return
 		}
@@ -212,8 +226,8 @@ func planSolve(ex *core.Exec, g *Graph, spec SolverSpec, isAuto bool, opt *Optio
 		if incumbent := ex.Best(); j.nl <= incumbent || j.nr <= incumbent {
 			return
 		}
-		sub, toOrig := red.g.Induced(j.ids)
-		bigraph.ComposeMap(toOrig, red.newToOld)
+		sub, toOrig := p.red.g.Induced(j.ids)
+		bigraph.ComposeMap(toOrig, p.red.newToOld)
 		rspec := spec
 		if isAuto {
 			rspec, _ = Lookup(autoSolverName(sub))
@@ -237,11 +251,11 @@ func planSolve(ex *core.Exec, g *Graph, spec SolverSpec, isAuto bool, opt *Optio
 		}
 	}
 	if workers <= 1 {
-		for _, j := range jobs {
+		for _, j := range p.jobs {
 			solveComp(j)
 		}
 	} else {
-		ch := make(chan job)
+		ch := make(chan planJob)
 		var wg sync.WaitGroup
 		for w := 0; w < workers; w++ {
 			wg.Add(1)
@@ -252,7 +266,7 @@ func planSolve(ex *core.Exec, g *Graph, spec SolverSpec, isAuto bool, opt *Optio
 				}
 			}()
 		}
-		for _, j := range jobs {
+		for _, j := range p.jobs {
 			ch <- j
 		}
 		close(ch)
@@ -264,11 +278,30 @@ func planSolve(ex *core.Exec, g *Graph, spec SolverSpec, isAuto bool, opt *Optio
 
 	stats := ex.Snapshot()
 	stats.MergeOutcome(&outcome)
-	if stats.HeurGlobalSize < tau {
-		stats.HeurGlobalSize = tau
+	if stats.HeurGlobalSize < p.tau {
+		stats.HeurGlobalSize = p.tau
 	}
-	if ex.Stopped() {
+	if ex.Stopped() || p.partial {
+		// A partial plan skipped the component decomposition, so an empty
+		// job list proves nothing: the result is best-effort, not exact.
 		stats.TimedOut = true
 	}
 	return core.Result{Biclique: best, Stats: stats}, nil
+}
+
+// planSolve is the reduce-and-conquer planner: preprocessing
+// (computePlan) followed by the solve phase (solveOn) on the same
+// execution context. SolveContext takes this path when Options.Reduce
+// enables the planner; callers that want to amortize the preprocessing
+// across many solves build the Plan once with PlanContext and call
+// Plan.SolveContext per query.
+func planSolve(ex *core.Exec, g *Graph, spec SolverSpec, isAuto bool, opt *Options) (core.Result, error) {
+	// Already cancelled or past the deadline: return before paying for
+	// the (unbudgeted) seed heuristic.
+	if ex.ShouldStop() {
+		stats := ex.Snapshot()
+		stats.TimedOut = true
+		return core.Result{Stats: stats}, nil
+	}
+	return computePlan(ex, g).solveOn(ex, spec, isAuto, opt)
 }

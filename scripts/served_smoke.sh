@@ -1,0 +1,68 @@
+#!/usr/bin/env bash
+# End-to-end smoke test for cmd/mbbserved: build the daemon, start it,
+# upload a tiny graph, solve it twice (asserting the known optimum and
+# that the second solve reuses the cached plan), cancel a job, and shut
+# down cleanly. Run from the repo root; CI runs it after the unit tests.
+set -euo pipefail
+
+ADDR="127.0.0.1:${MBBSERVED_PORT:-18455}"
+BASE="http://$ADDR"
+
+# Reuse a prebuilt binary (CI's build step) when provided.
+BIN="${MBBSERVED_BIN:-$(mktemp -d)/mbbserved}"
+[ -x "$BIN" ] || go build -o "$BIN" ./cmd/mbbserved
+
+"$BIN" -addr "$ADDR" -workers 2 -default-timeout 30s &
+PID=$!
+cleanup() {
+    kill "$PID" 2>/dev/null || true
+    wait "$PID" 2>/dev/null || true
+}
+trap cleanup EXIT
+
+# Wait for the daemon to come up.
+for _ in $(seq 1 100); do
+    curl -fs "$BASE/healthz" >/dev/null 2>&1 && break
+    sleep 0.1
+done
+curl -fs "$BASE/healthz" >/dev/null
+
+fail() { echo "served_smoke: FAIL: $*" >&2; exit 1; }
+
+# Upload K3,3 (optimum balanced biclique: 3 per side).
+printf '3 3 9\n0 0\n0 1\n0 2\n1 0\n1 1\n1 2\n2 0\n2 1\n2 2\n' |
+    curl -fs -XPUT --data-binary @- "$BASE/graphs/k33" >/dev/null ||
+    fail "graph upload rejected"
+
+# First solve: correct optimum, exact.
+OUT=$(curl -fs -XPOST "$BASE/graphs/k33/solve" -d '{"timeout":"30s"}')
+echo "$OUT" | grep -q '"size":3' || fail "first solve: wrong size: $OUT"
+echo "$OUT" | grep -q '"exact":true' || fail "first solve: not exact: $OUT"
+
+# Second solve: same optimum, via the cached plan.
+OUT=$(curl -fs -XPOST "$BASE/graphs/k33/solve" -d '{}')
+echo "$OUT" | grep -q '"size":3' || fail "second solve: wrong size: $OUT"
+echo "$OUT" | grep -q '"plan_cached":true' || fail "second solve did not reuse the cached plan: $OUT"
+
+# The store must report exactly one plan build for the two solves.
+INFO=$(curl -fs "$BASE/graphs/k33")
+echo "$INFO" | grep -q '"plan_builds":1' || fail "plan_builds != 1: $INFO"
+
+# Async submit + cancel: the job must land in a terminal state.
+JOB=$(curl -fs -XPOST "$BASE/graphs/k33/jobs" -d '{"timeout":"30s"}')
+ID=$(echo "$JOB" | sed -n 's/.*"id":"\([^"]*\)".*/\1/p')
+[ -n "$ID" ] || fail "submit returned no job id: $JOB"
+curl -fs -XDELETE "$BASE/jobs/$ID" >/dev/null || fail "cancel rejected"
+STATUS=$(curl -fs "$BASE/jobs/$ID?wait=1")
+echo "$STATUS" | grep -Eq '"state":"(canceled|done)"' || fail "job not terminal after cancel: $STATUS"
+
+# Malformed upload must be a clean 400.
+CODE=$(printf 'not a graph\n' | curl -s -o /dev/null -w '%{http_code}' -XPUT --data-binary @- "$BASE/graphs/bad")
+[ "$CODE" = "400" ] || fail "malformed upload returned $CODE, want 400"
+
+# Graceful shutdown.
+kill -TERM "$PID"
+wait "$PID" 2>/dev/null || true
+trap - EXIT
+
+echo "served_smoke: OK"
