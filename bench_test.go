@@ -312,6 +312,37 @@ func BenchmarkGraphBuild(b *testing.B) {
 	}
 }
 
+// BenchmarkGraphApply measures the copy-on-write delta path behind the
+// mbbserved edge-mutation endpoints against a from-scratch rebuild: for
+// a small batch, Apply is a flat CSR copy plus a per-touched-vertex
+// merge, while the rebuild pays the full edge sort again.
+func BenchmarkGraphApply(b *testing.B) {
+	g := workload.PowerLaw(20000, 20000, 160000, 0.5, 5)
+	edges := g.Edges()
+	b.Run("delta8", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			d := bigraph.Delta{
+				Del: [][2]int{edges[i%len(edges)], edges[(i*7+1)%len(edges)],
+					edges[(i*13+2)%len(edges)], edges[(i*29+3)%len(edges)]},
+				Add: [][2]int{{i % 20000, (i * 31) % 20000}, {(i * 3) % 20000, (i * 37) % 20000},
+					{(i * 5) % 20000, (i * 41) % 20000}, {(i * 11) % 20000, (i * 43) % 20000}},
+			}
+			if _, _, err := g.Apply(d); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("rebuild", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			bl := bigraph.NewBuilder(20000, 20000)
+			for _, e := range edges {
+				bl.AddEdge(e[0], e[1])
+			}
+			bl.Build()
+		}
+	})
+}
+
 // --- Ablations of the engineered design choices (DESIGN.md §3) -------------
 
 // BenchmarkAblationBounds quantifies each added pruning device on a dense

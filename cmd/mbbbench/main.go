@@ -3,18 +3,26 @@
 //
 // Usage:
 //
-//	mbbbench -exp table4|table5|table6|fig4|fig5|fig6|servebench|all
+//	mbbbench -exp table4|table5|table6|fig4|fig5|fig6|servebench|mutebench|trajectory|all
 //	         [-budget 20s] [-maxverts 30000] [-instances 3]
 //	         [-sizes 32,64,128] [-densities 0.7,0.8,0.9,0.95]
 //	         [-datasets github,jester] [-seed 1] [-workers 4]
-//	         [-reduce auto|on|off] [-json]
+//	         [-reduce auto|on|off] [-json] [-baseline BENCH_n.json]
 //	         [-serveurl http://host:8080] [-requests 32] [-clients 4]
 //
 // -exp servebench replays a solve-request mix against an mbbserved
 // daemon (started in-process unless -serveurl points at one) and reports
 // cold-vs-warm latency: the first request pays for parsing and the
-// reduce-and-conquer plan, every later one reuses the cached plan. "all"
-// runs only the paper artifacts and excludes servebench.
+// reduce-and-conquer plan, every later one reuses the cached plan.
+// -exp mutebench replays an interleaved mutate/solve stream against the
+// daemon's edge-mutation endpoints, asserting every result is exact for
+// the epoch it reports and measuring plan maintenance vs rebuild.
+// -exp trajectory is the CI benchmark trajectory: pinned sequential
+// solves (deterministic node counts) plus small servebench and mutebench
+// passes; with -baseline FILE the node counts gate against a previous
+// -json export and a >2x regression exits nonzero (after the JSON is
+// written). "all" runs only the paper artifacts and excludes the serving
+// benchmarks.
 //
 // With -json the human-readable tables go to standard error and a JSON
 // array of per-run records — one object per (experiment, dataset, solver)
@@ -54,9 +62,10 @@ func main() {
 	workers := flag.Int("workers", 0, "sparse verification pipeline / planner goroutines (0/1 sequential; negative rejected)")
 	reduceFlag := flag.String("reduce", "auto", "reduce-and-conquer planner: auto (off for named solvers), on, off")
 	jsonOut := flag.Bool("json", false, "emit per-run timing records as JSON on stdout (tables move to stderr)")
-	serveURL := flag.String("serveurl", "", "servebench: base URL of a running mbbserved (empty = start one in-process)")
-	requests := flag.Int("requests", 32, "servebench: warm requests to replay")
-	clients := flag.Int("clients", 4, "servebench: concurrent clients")
+	baseline := flag.String("baseline", "", "previous -json export to gate node counts against (>2x regression fails)")
+	serveURL := flag.String("serveurl", "", "servebench/mutebench: base URL of a running mbbserved (empty = start one in-process)")
+	requests := flag.Int("requests", 32, "servebench: warm requests; mutebench: mutation rounds")
+	clients := flag.Int("clients", 4, "servebench/mutebench: concurrent clients")
 	flag.Parse()
 
 	out := os.Stdout
@@ -82,7 +91,7 @@ func main() {
 	if *datasets != "" {
 		cfg.Datasets = strings.Split(*datasets, ",")
 	}
-	if *jsonOut {
+	if *jsonOut || *baseline != "" {
 		cfg.Recorder = exp.NewRecorder()
 	}
 
@@ -94,9 +103,11 @@ func main() {
 		"fig5":       exp.Fig5,
 		"fig6":       exp.Fig6,
 		"servebench": exp.ServeBench,
+		"mutebench":  exp.MuteBench,
+		"trajectory": exp.Trajectory,
 	}
-	// servebench replays traffic against a daemon rather than
-	// regenerating a paper artifact, so "all" deliberately excludes it.
+	// The serving benchmarks replay traffic against a daemon rather than
+	// regenerating a paper artifact, so "all" deliberately excludes them.
 	order := []string{"table4", "table5", "table6", "fig4", "fig5", "fig6"}
 
 	which := strings.ToLower(*expFlag)
@@ -107,17 +118,41 @@ func main() {
 			}
 			fmt.Fprintln(out)
 		}
+	} else {
+		fn, ok := runs[which]
+		if !ok {
+			fatal(fmt.Errorf("unknown experiment %q", which))
+		}
+		if err := fn(cfg); err != nil {
+			fatal(err)
+		}
+	}
+	if *jsonOut {
+		// Only -json promises JSON on stdout; -baseline alone records for
+		// the gate but keeps stdout human-readable.
 		emitJSON(cfg)
-		return
 	}
-	fn, ok := runs[which]
-	if !ok {
-		fatal(fmt.Errorf("unknown experiment %q", which))
+	// Gate after emitting: a regression must still leave the fresh JSON
+	// on stdout so CI can archive the failing trajectory.
+	if *baseline != "" {
+		if err := gateBaseline(*baseline, cfg); err != nil {
+			fatal(err)
+		}
 	}
-	if err := fn(cfg); err != nil {
-		fatal(err)
+}
+
+// gateBaseline loads a previous -json export and fails on a >2x
+// node-count regression in the pinned trajectory records.
+func gateBaseline(path string, cfg exp.Config) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
 	}
-	emitJSON(cfg)
+	var prev []exp.Record
+	if err := json.Unmarshal(data, &prev); err != nil {
+		return fmt.Errorf("baseline %s: %w", path, err)
+	}
+	return exp.CompareRecords(prev, cfg.Recorder.Records(), 2.0, os.Stderr)
 }
 
 // emitJSON writes the collected per-run records to stdout when -json is

@@ -9,14 +9,21 @@
 //	          [-maxupload 67108864] [-maxverts 10000000]
 //	          [-default-timeout 30s] [-max-timeout 10m]
 //
+// -addr may end in ":0" to bind an ephemeral port; the actual listening
+// address is logged ("mbbserved: listening on ..."), which is how the
+// e2e smoke script discovers it without racing other daemons for a
+// hard-coded port.
+//
 // Quick start:
 //
 //	mbbserved -addr :8080 &
 //	printf '3 3 9\n0 0\n0 1\n0 2\n1 0\n1 1\n1 2\n2 0\n2 1\n2 2\n' |
 //	    curl -sT- 'http://localhost:8080/graphs/k33'
 //	curl -s -XPOST 'http://localhost:8080/graphs/k33/solve' -d '{"timeout":"5s"}'
+//	# mutate: add/remove edge batches; each bump publishes a new epoch
+//	curl -s -XPOST 'http://localhost:8080/graphs/k33/edges' -d '{"del":[[2,2]]}'
 //
-// See DESIGN.md §6 for the API and architecture.
+// See DESIGN.md §6–7 for the API and the snapshot/epoch model.
 package main
 
 import (
@@ -25,6 +32,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net"
 	"net/http"
 	"os"
 	"os/signal"
@@ -65,17 +73,23 @@ func main() {
 	}
 
 	hs := &http.Server{
-		Addr:              *addr,
 		Handler:           srv.Handler(),
 		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	// Listen before serving so ":0" resolves to a concrete port and the
+	// logged address is always dialable.
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fatal(err)
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	errCh := make(chan error, 1)
 	go func() {
-		log.Printf("mbbserved: listening on %s", *addr)
-		errCh <- hs.ListenAndServe()
+		log.Printf("mbbserved: listening on %s", ln.Addr())
+		errCh <- hs.Serve(ln)
 	}()
 
 	select {

@@ -70,14 +70,26 @@
 // Graphs are uploaded once into a named store; the planner's
 // preprocessing phase is split out as a cacheable mbb.Plan
 // (mbb.PlanContext / Plan.SolveContext), built at most once per graph
-// and shared by every subsequent query, so heavy traffic amortizes
-// parsing and reduction instead of redoing them per request. Solve jobs
-// run on a bounded worker pool, each on its own execution context with
-// per-job budgets, cancelable via DELETE /jobs/{id} or client
-// disconnect. The ingestion path (bigraph.ReadKONECT and friends) is
-// hardened for untrusted input — hint-bound checks, surfaced scanner
-// errors, pre-allocation vertex caps — and fuzzed by FuzzReadKONECT's
-// parse→write→reparse round trip. See DESIGN.md §6 for the API and a
-// curl quick-start; cmd/mbbbench -exp servebench measures the
-// amortization.
+// version and shared by every subsequent query, so heavy traffic
+// amortizes parsing and reduction instead of redoing them per request.
+// Solve jobs run on a bounded worker pool, each on its own execution
+// context with per-job budgets, cancelable via DELETE /jobs/{id} or
+// client disconnect. The ingestion path (bigraph.ReadKONECT and
+// friends) is hardened for untrusted input — hint-bound checks,
+// surfaced scanner errors, pre-allocation vertex caps — and fuzzed by
+// FuzzReadKONECT's parse→write→reparse round trip.
+//
+// Served graphs are mutable: POST/DELETE /graphs/{name}/edges apply
+// edge batches (bigraph.Delta, bigraph.Graph.Apply) as copy-on-write
+// snapshots with a monotone epoch counter. Jobs pin the snapshot
+// current at submission, so a solve never observes a half-applied batch
+// and its result is exact for the epoch it reports; deletion-only
+// batches that spare the heuristic witness carry the cached plan across
+// the epoch bump (mbb.Plan.ApplyDelta), while anything else schedules a
+// background rebuild as stale-but-exact solves continue on prior
+// snapshots. FuzzGraphApply checks the delta path against a
+// from-scratch rebuild. See DESIGN.md §6–7 for the API, a curl
+// quick-start and the invalidation rules; cmd/mbbbench -exp servebench
+// measures the amortization and -exp mutebench the mutate/solve
+// interleaving.
 package repro

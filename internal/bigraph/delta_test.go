@@ -1,0 +1,175 @@
+package bigraph
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// edgeSet collects a graph's edges as a set of side-local pairs.
+func edgeSet(g *Graph) map[[2]int]bool {
+	out := make(map[[2]int]bool, g.NumEdges())
+	for _, e := range g.Edges() {
+		out[e] = true
+	}
+	return out
+}
+
+func TestApplyBasic(t *testing.T) {
+	g := FromEdges(3, 3, [][2]int{{0, 0}, {0, 1}, {1, 0}, {1, 1}, {2, 2}})
+	g2, eff, err := g.Apply(Delta{
+		Add: [][2]int{{2, 0}, {0, 0}, {2, 0}}, // {0,0} present, {2,0} duplicated
+		Del: [][2]int{{1, 1}, {1, 2}},         // {1,2} absent
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(eff.Add) != 1 || eff.Add[0] != [2]int{2, 0} {
+		t.Errorf("effective adds %v, want [[2 0]]", eff.Add)
+	}
+	if len(eff.Del) != 1 || eff.Del[0] != [2]int{1, 1} {
+		t.Errorf("effective dels %v, want [[1 1]]", eff.Del)
+	}
+	want := map[[2]int]bool{{0, 0}: true, {0, 1}: true, {1, 0}: true, {2, 2}: true, {2, 0}: true}
+	if got := edgeSet(g2); !reflect.DeepEqual(got, want) {
+		t.Errorf("edges %v, want %v", got, want)
+	}
+	if g2.NumEdges() != 5 {
+		t.Errorf("m = %d, want 5", g2.NumEdges())
+	}
+	// Copy-on-write: the original graph is untouched.
+	if g.NumEdges() != 5 || !g.HasEdge(1, g.NL()+1) || g.HasEdge(2, g.NL()+0) {
+		t.Error("Apply mutated the original graph")
+	}
+}
+
+func TestApplyNoOp(t *testing.T) {
+	g := FromEdges(2, 2, [][2]int{{0, 0}, {1, 1}})
+	cases := []Delta{
+		{},
+		{Add: [][2]int{{0, 0}}}, // already present
+		{Del: [][2]int{{0, 1}}}, // absent
+		{Add: [][2]int{{0, 1}}, Del: [][2]int{{0, 1}}}, // del-then-add of an absent edge... effective add
+	}
+	for i, d := range cases[:3] {
+		g2, eff, err := g.Apply(d)
+		if err != nil {
+			t.Fatalf("case %d: %v", i, err)
+		}
+		if !eff.Empty() {
+			t.Errorf("case %d: effective delta %+v, want empty", i, eff)
+		}
+		if g2 != g {
+			t.Errorf("case %d: no-op delta did not return the original graph", i)
+		}
+	}
+	// An edge in both lists that is absent: deletion is a no-op, the
+	// addition lands.
+	g2, eff, err := g.Apply(cases[3])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(eff.Add) != 1 || len(eff.Del) != 0 || !g2.HasEdge(0, g2.NL()+1) {
+		t.Errorf("del+add of absent edge: eff %+v edges %v", eff, g2.Edges())
+	}
+	// An edge in both lists that is present: net no-op.
+	g3, eff, err := g.Apply(Delta{Add: [][2]int{{0, 0}}, Del: [][2]int{{0, 0}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !eff.Empty() || g3 != g {
+		t.Errorf("del+add of present edge: eff %+v", eff)
+	}
+}
+
+func TestApplyErrors(t *testing.T) {
+	g := FromEdges(2, 3, [][2]int{{0, 0}})
+	for _, d := range []Delta{
+		{Add: [][2]int{{2, 0}}},
+		{Add: [][2]int{{0, 3}}},
+		{Add: [][2]int{{-1, 0}}},
+		{Del: [][2]int{{0, -2}}},
+		{Del: [][2]int{{5, 5}}},
+	} {
+		if _, _, err := g.Apply(d); err == nil {
+			t.Errorf("Apply(%+v) accepted an out-of-range edge", d)
+		}
+	}
+}
+
+// randomDelta builds a delta of roughly k adds and k dels against g,
+// drawn from the full index space (so some name absent or duplicate
+// edges on purpose).
+func randomDelta(rng *rand.Rand, g *Graph, k int) Delta {
+	var d Delta
+	edges := g.Edges()
+	for i := 0; i < k; i++ {
+		d.Add = append(d.Add, [2]int{rng.Intn(g.NL()), rng.Intn(g.NR())})
+		if len(edges) > 0 && rng.Intn(2) == 0 {
+			d.Del = append(d.Del, edges[rng.Intn(len(edges))])
+		} else {
+			d.Del = append(d.Del, [2]int{rng.Intn(g.NL()), rng.Intn(g.NR())})
+		}
+	}
+	return d
+}
+
+// applyByRebuild is the oracle: materialise the edge set, delete, add,
+// rebuild from scratch through the Builder.
+func applyByRebuild(g *Graph, d Delta) *Graph {
+	set := edgeSet(g)
+	for _, e := range d.Del {
+		delete(set, e)
+	}
+	for _, e := range d.Add {
+		set[e] = true
+	}
+	b := NewBuilder(g.NL(), g.NR())
+	for e := range set {
+		b.AddEdge(e[0], e[1])
+	}
+	return b.Build()
+}
+
+// TestApplyMatchesRebuild is the differential test of the copy-on-write
+// path: across random graphs and random deltas, Apply must produce
+// exactly the graph a from-scratch rebuild produces.
+func TestApplyMatchesRebuild(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 200; trial++ {
+		nl, nr := 1+rng.Intn(12), 1+rng.Intn(12)
+		b := NewBuilder(nl, nr)
+		for i := 0; i < rng.Intn(3*nl*nr/2+1); i++ {
+			b.AddEdge(rng.Intn(nl), rng.Intn(nr))
+		}
+		g := b.Build()
+		d := randomDelta(rng, g, rng.Intn(8))
+		got, eff, err := g.Apply(d)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		want := applyByRebuild(g, d)
+		if got.NL() != want.NL() || got.NR() != want.NR() || got.NumEdges() != want.NumEdges() {
+			t.Fatalf("trial %d: shape %dx%d/%d, want %dx%d/%d (delta %+v)",
+				trial, got.NL(), got.NR(), got.NumEdges(), want.NL(), want.NR(), want.NumEdges(), d)
+		}
+		if !reflect.DeepEqual(got.Edges(), want.Edges()) {
+			t.Fatalf("trial %d: edge sets diverged (delta %+v)\n got %v\nwant %v",
+				trial, d, got.Edges(), want.Edges())
+		}
+		if g.NumEdges()-len(eff.Del)+len(eff.Add) != got.NumEdges() {
+			t.Fatalf("trial %d: effective counts inconsistent: m %d -%d +%d != %d",
+				trial, g.NumEdges(), len(eff.Del), len(eff.Add), got.NumEdges())
+		}
+		// Adjacency invariants the solvers rely on: sorted, duplicate-free
+		// lists on both sides.
+		for v := 0; v < got.NumVertices(); v++ {
+			ns := got.Neighbors(v)
+			for i := 1; i < len(ns); i++ {
+				if ns[i] <= ns[i-1] {
+					t.Fatalf("trial %d: vertex %d adjacency not strictly sorted: %v", trial, v, ns)
+				}
+			}
+		}
+	}
+}

@@ -12,6 +12,53 @@ import (
 // the parse → WriteKONECT → reparse round trip reproduces the graph
 // exactly (sizes and edge set). CI runs it as a bounded smoke step next
 // to FuzzSolversAgree.
+// FuzzGraphApply is the differential fuzz harness for the copy-on-write
+// mutation path behind the mbbserved edge endpoints: a byte-encoded
+// graph plus delta is applied via Graph.Apply and via a from-scratch
+// Builder rebuild, and the two must agree exactly (shape, edge set,
+// sorted adjacency). Bytes decode in pairs as (l, r) indices mod the
+// side sizes; base/add/del streams are split by length prefixes, so any
+// mutated input is a valid case. The nightly workflow runs it for
+// minutes; CI runs a bounded smoke.
+func FuzzGraphApply(f *testing.F) {
+	f.Add(uint8(3), uint8(3), []byte{0, 0, 0, 1, 1, 0, 1, 1}, []byte{2, 2}, []byte{0, 0})
+	f.Add(uint8(1), uint8(1), []byte{}, []byte{0, 0}, []byte{0, 0})
+	f.Add(uint8(5), uint8(2), []byte{0, 0, 1, 1, 2, 0, 3, 1, 4, 0}, []byte{}, []byte{2, 0, 4, 0})
+	f.Add(uint8(7), uint8(7), []byte{1, 2, 3, 4, 5, 6}, []byte{6, 6, 6, 5, 5, 6}, []byte{})
+	f.Add(uint8(0), uint8(4), []byte{}, []byte{}, []byte{})
+	f.Fuzz(func(t *testing.T, nlb, nrb uint8, base, add, del []byte) {
+		nl, nr := int(nlb%16), int(nrb%16)
+		pairs := func(data []byte) [][2]int {
+			if nl == 0 || nr == 0 {
+				return nil
+			}
+			var out [][2]int
+			for i := 0; i+1 < len(data); i += 2 {
+				out = append(out, [2]int{int(data[i]) % nl, int(data[i+1]) % nr})
+			}
+			return out
+		}
+		g := FromEdges(nl, nr, pairs(base))
+		d := Delta{Add: pairs(add), Del: pairs(del)}
+		got, eff, err := g.Apply(d)
+		if err != nil {
+			t.Fatalf("in-range delta rejected: %v", err)
+		}
+		want := applyByRebuild(g, d)
+		if got.NL() != want.NL() || got.NR() != want.NR() || got.NumEdges() != want.NumEdges() {
+			t.Fatalf("shape %dx%d/%d, want %dx%d/%d",
+				got.NL(), got.NR(), got.NumEdges(), want.NL(), want.NR(), want.NumEdges())
+		}
+		if !reflect.DeepEqual(got.Edges(), want.Edges()) {
+			t.Fatalf("edge sets diverged: got %v want %v", got.Edges(), want.Edges())
+		}
+		if g.NumEdges()-len(eff.Del)+len(eff.Add) != got.NumEdges() {
+			t.Fatalf("effective counts inconsistent: m %d -%d +%d != %d",
+				g.NumEdges(), len(eff.Del), len(eff.Add), got.NumEdges())
+		}
+	})
+}
+
 func FuzzReadKONECT(f *testing.F) {
 	seeds := []string{
 		// Well-formed, with and without the size hint.

@@ -1,0 +1,256 @@
+package exp
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/bigraph"
+	"repro/internal/server"
+	"repro/mbb"
+)
+
+// MuteBench measures the mutable-graph serving path: it replays an
+// interleaved mutate/solve stream against a running mbbserved daemon
+// (Config.ServeURL, or an in-process one) — each round publishes one
+// edge batch (insertions, deletions or both) through POST
+// /graphs/{name}/edges and then fans a burst of solves over
+// Config.Clients concurrent clients.
+//
+// Every solve is checked against the versioning contract: the result
+// must be exact and must report exactly the epoch the round published
+// (no torn batches, no stale epochs once the mutation returned). The
+// printed table reports mutation and solve latency percentiles plus the
+// plan-maintenance story: how many epoch bumps carried the cached plan
+// across (deletion-only rounds) versus forcing a background rebuild.
+func MuteBench(c Config) error {
+	c.fill()
+	rounds := c.Requests
+	if rounds <= 0 {
+		rounds = 24
+	}
+	clients := c.Clients
+	if clients <= 0 {
+		clients = 4
+	}
+	const solvesPerRound = 3
+	const batch = 4
+
+	url, stop, err := sbDaemon(c, "mutebench")
+	if err != nil {
+		return err
+	}
+	defer stop()
+
+	// Small enough that every solve answers interactively even on the
+	// rebuild rounds, big enough that the plan matters.
+	n := c.MaxVerts / 4
+	if n > 800 {
+		n = 800
+	}
+	if n < 40 {
+		n = 40
+	}
+	g := mbb.GeneratePowerLaw(n, n, 4*n, c.Seed)
+	var buf bytes.Buffer
+	if err := mbb.WriteGraph(&buf, g); err != nil {
+		return err
+	}
+	if err := sbPut(url+"/graphs/mutebench", buf.Bytes()); err != nil {
+		return fmt.Errorf("upload: %w", err)
+	}
+	fmt.Fprintf(c.W, "mutebench: graph %dx%d, %d edges; %d rounds x (1 mutation + %d solves) over %d clients\n",
+		g.NL(), g.NR(), g.NumEdges(), rounds, solvesPerRound, clients)
+
+	// Client-side mirror of the edge set, for generating batches that are
+	// valid and effective by construction.
+	edgeSet := make(map[[2]int]bool, g.NumEdges())
+	edgeList := g.Edges()
+	for _, e := range edgeList {
+		edgeSet[e] = true
+	}
+	rng := rand.New(rand.NewSource(c.Seed))
+
+	body := fmt.Sprintf(`{"timeout":%q,"workers":%d}`, c.Budget.String(), c.Workers)
+	solve := func() (float64, server.JobInfo, error) {
+		start := time.Now()
+		info, err := sbSolve(url+"/graphs/mutebench/solve", body)
+		return time.Since(start).Seconds(), info, err
+	}
+
+	// Cold solve builds the epoch-0 plan before the stream starts.
+	coldSecs, coldInfo, err := solve()
+	if err != nil {
+		return fmt.Errorf("cold solve: %w", err)
+	}
+	if coldInfo.Result == nil || !coldInfo.Result.Exact {
+		return fmt.Errorf("cold solve not exact: %+v", coldInfo)
+	}
+	c.Recorder.add(Record{Exp: "mutebench", Dataset: "cold", Solver: coldInfo.Result.Solver,
+		Seconds: coldSecs, Size: coldInfo.Result.Size, Nodes: coldInfo.Result.Stats.Nodes})
+
+	var mutLat, solveLat []float64
+	reusedRounds, rebuildRounds := 0, 0
+	for round := 0; round < rounds; round++ {
+		// Round kinds cycle: deletions only (plan maintenance path),
+		// insertions only (background rebuild path), mixed.
+		var d bigraph.Delta
+		kind := round % 3
+		delThisRound := make(map[[2]int]bool, batch)
+		if kind != 1 { // deletions
+			for k := 0; k < batch && len(edgeList) > 0; k++ {
+				i := rng.Intn(len(edgeList))
+				e := edgeList[i]
+				if !edgeSet[e] {
+					continue // already deleted this stream
+				}
+				delete(edgeSet, e)
+				delThisRound[e] = true
+				d.Del = append(d.Del, e)
+			}
+		}
+		if kind != 0 { // insertions
+			for k := 0; k < batch; k++ {
+				e := [2]int{rng.Intn(g.NL()), rng.Intn(g.NR())}
+				// Skip edges present — or deleted earlier this same round:
+				// the server nets an edge named in both lists out of the
+				// effective delta, which would break the count assertion
+				// below.
+				if edgeSet[e] || delThisRound[e] {
+					continue
+				}
+				edgeSet[e] = true
+				edgeList = append(edgeList, e)
+				d.Add = append(d.Add, e)
+			}
+		}
+		if d.Empty() {
+			continue
+		}
+		payload, err := muteBody(d)
+		if err != nil {
+			return err
+		}
+		start := time.Now()
+		var mi server.MutationInfo
+		if err := sbPost(url+"/graphs/mutebench/edges", payload, &mi); err != nil {
+			return fmt.Errorf("round %d mutation: %w", round, err)
+		}
+		mutLat = append(mutLat, time.Since(start).Seconds())
+		if mi.Added != len(d.Add) || mi.Removed != len(d.Del) {
+			return fmt.Errorf("round %d: mutation applied %d+/%d-, client expected %d+/%d-",
+				round, mi.Added, mi.Removed, len(d.Add), len(d.Del))
+		}
+		switch mi.Plan {
+		case "reused":
+			reusedRounds++
+		case "rebuilding":
+			rebuildRounds++
+		}
+
+		// Fan the round's solves over the client pool; every result must
+		// be exact for exactly the epoch this round published.
+		var (
+			wg    sync.WaitGroup
+			mu    sync.Mutex
+			first error
+		)
+		slots := make(chan struct{}, clients)
+		for i := 0; i < solvesPerRound; i++ {
+			wg.Add(1)
+			slots <- struct{}{}
+			go func() {
+				defer wg.Done()
+				defer func() { <-slots }()
+				secs, info, err := solve()
+				mu.Lock()
+				defer mu.Unlock()
+				switch {
+				case err != nil:
+					if first == nil {
+						first = err
+					}
+				case info.Result == nil || !info.Result.Exact:
+					if first == nil {
+						first = fmt.Errorf("solve not exact: %+v", info)
+					}
+				case info.Result.Epoch != mi.Epoch:
+					if first == nil {
+						first = fmt.Errorf("solve reports epoch %d, round published %d", info.Result.Epoch, mi.Epoch)
+					}
+				default:
+					solveLat = append(solveLat, secs)
+					c.Recorder.add(Record{Exp: "mutebench", Dataset: "solve", Solver: info.Result.Solver,
+						Seconds: secs, Size: info.Result.Size, Nodes: info.Result.Stats.Nodes,
+						Tau: info.Result.Stats.Tau, Peeled: info.Result.Stats.Peeled,
+						Components: info.Result.Stats.Components})
+				}
+			}()
+		}
+		wg.Wait()
+		if first != nil {
+			return first
+		}
+	}
+
+	var gi server.GraphInfo
+	if err := sbGet(url+"/graphs/mutebench", &gi); err != nil {
+		return fmt.Errorf("graph info: %w", err)
+	}
+
+	mMean, mP50, mP95, mMax := sbDist(mutLat)
+	sMean, sP50, sP95, sMax := sbDist(solveLat)
+	fmt.Fprintf(c.W, "%-9s %9s %10s %10s %10s %10s %10s\n", "op", "count", "mean", "p50", "p95", "p99", "max")
+	fmt.Fprintf(c.W, "%-9s %9d %10s %10s %10s %10s %10s\n", "mutate", len(mutLat),
+		sbMs(mMean), sbMs(mP50), sbMs(mP95), sbMs(sbPct(mutLat, 0.99)), sbMs(mMax))
+	fmt.Fprintf(c.W, "%-9s %9d %10s %10s %10s %10s %10s\n", "solve", len(solveLat),
+		sbMs(sMean), sbMs(sP50), sbMs(sP95), sbMs(sbPct(solveLat, 0.99)), sbMs(sMax))
+	fmt.Fprintf(c.W, "epochs: %d published, plan carried across %d (deletion-only), rebuilt %d; plan_builds=%d plan_hits=%d\n",
+		gi.Epoch, reusedRounds, rebuildRounds, gi.PlanBuilds, gi.PlanHits)
+	c.Recorder.add(Record{Exp: "mutebench", Dataset: "mutate-p50", Seconds: mP50, Size: int(gi.Epoch)})
+	c.Recorder.add(Record{Exp: "mutebench", Dataset: "solve-p50", Seconds: sP50})
+	c.Recorder.add(Record{Exp: "mutebench", Dataset: "solve-p99", Seconds: sbPct(solveLat, 0.99)})
+
+	if gi.Mutations == 0 || gi.PlanReuses == 0 {
+		return fmt.Errorf("mutebench: no plan maintenance happened (mutations=%d plan_reuses=%d)", gi.Mutations, gi.PlanReuses)
+	}
+	return nil
+}
+
+// muteBody encodes a delta as the POST /graphs/{name}/edges body.
+func muteBody(d bigraph.Delta) ([]byte, error) {
+	return json.Marshal(d)
+}
+
+// sbPost POSTs a JSON body and decodes a 200 response into v.
+func sbPost(url string, body []byte, v any) error {
+	resp, err := http.Post(url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("POST %s: %d %s", url, resp.StatusCode, data)
+	}
+	return json.Unmarshal(data, v)
+}
+
+// sbPct returns the q-quantile of xs (0 when empty).
+func sbPct(xs []float64, q float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	return sorted[int(q*float64(len(sorted)-1))]
+}

@@ -33,27 +33,11 @@ func ServeBench(c Config) error {
 		c.Clients = 4
 	}
 
-	url := c.ServeURL
-	if url == "" {
-		workers := c.Workers
-		if workers < 2 {
-			workers = 2
-		}
-		srv, err := server.New(server.Options{Workers: workers, DefaultTimeout: c.Budget})
-		if err != nil {
-			return err
-		}
-		defer srv.Close()
-		ln, err := net.Listen("tcp", "127.0.0.1:0")
-		if err != nil {
-			return err
-		}
-		hs := &http.Server{Handler: srv.Handler()}
-		go hs.Serve(ln)
-		defer hs.Close()
-		url = "http://" + ln.Addr().String()
-		fmt.Fprintf(c.W, "servebench: started in-process daemon (%d workers) at %s\n", workers, url)
+	url, stop, err := sbDaemon(c, "servebench")
+	if err != nil {
+		return err
 	}
+	defer stop()
 
 	// A mid-sized power-law instance: big enough that the plan build is
 	// visible, small enough that warm solves answer interactively.
@@ -197,6 +181,34 @@ func ServeBench(c Config) error {
 		return fmt.Errorf("servebench: plan built %d times, want exactly 1 (cache broken)", gi.PlanBuilds)
 	}
 	return nil
+}
+
+// sbDaemon resolves the target daemon for a serving benchmark: the
+// Config.ServeURL when one is given, otherwise an in-process mbbserved
+// on a loopback listener. stop tears the in-process one down (and is a
+// no-op for an external URL).
+func sbDaemon(c Config, bench string) (url string, stop func(), err error) {
+	if c.ServeURL != "" {
+		return c.ServeURL, func() {}, nil
+	}
+	workers := c.Workers
+	if workers < 2 {
+		workers = 2
+	}
+	srv, err := server.New(server.Options{Workers: workers, DefaultTimeout: c.Budget})
+	if err != nil {
+		return "", nil, err
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		srv.Close()
+		return "", nil, err
+	}
+	hs := &http.Server{Handler: srv.Handler()}
+	go hs.Serve(ln)
+	url = "http://" + ln.Addr().String()
+	fmt.Fprintf(c.W, "%s: started in-process daemon (%d workers) at %s\n", bench, workers, url)
+	return url, func() { hs.Close(); srv.Close() }, nil
 }
 
 func sbMs(secs float64) string { return fmt.Sprintf("%.2fms", secs*1e3) }

@@ -8,6 +8,8 @@ import (
 	"log"
 	"net/http"
 	"time"
+
+	"repro/internal/bigraph"
 )
 
 // jsonError is the uniform error envelope.
@@ -37,6 +39,8 @@ func writeError(w http.ResponseWriter, status int, format string, args ...any) {
 //	PUT    /graphs/{name}        upload a graph (?format=edgelist|konect)
 //	GET    /graphs/{name}        graph + cached-plan info
 //	DELETE /graphs/{name}        drop a graph
+//	POST   /graphs/{name}/edges  mutate: {"add":[[l,r],...],"del":[...]}
+//	DELETE /graphs/{name}/edges  mutate: {"edges":[[l,r],...]} (delete-only)
 //	POST   /graphs/{name}/jobs   submit an async solve job
 //	POST   /graphs/{name}/solve  synchronous solve (cancels on disconnect)
 //	GET    /jobs                 list jobs
@@ -54,6 +58,8 @@ func (s *Server) routes() *http.ServeMux {
 	mux.HandleFunc("PUT /graphs/{name}", s.handlePutGraph)
 	mux.HandleFunc("GET /graphs/{name}", s.handleGetGraph)
 	mux.HandleFunc("DELETE /graphs/{name}", s.handleDeleteGraph)
+	mux.HandleFunc("POST /graphs/{name}/edges", s.handleMutateGraph)
+	mux.HandleFunc("DELETE /graphs/{name}/edges", s.handleMutateGraph)
 	mux.HandleFunc("POST /graphs/{name}/jobs", s.handleSubmit)
 	mux.HandleFunc("POST /graphs/{name}/solve", s.handleSolveSync)
 	mux.HandleFunc("GET /jobs", func(w http.ResponseWriter, r *http.Request) {
@@ -67,8 +73,10 @@ func (s *Server) routes() *http.ServeMux {
 // ServerStats is the GET /stats payload.
 type ServerStats struct {
 	Graphs     int         `json:"graphs"`
+	Mutations  int64       `json:"mutations"`
 	PlanBuilds int64       `json:"plan_builds"`
 	PlanHits   int64       `json:"plan_hits"`
+	PlanReuses int64       `json:"plan_reuses"`
 	Scheduler  SchedStats  `json:"scheduler"`
 	Uptime     float64     `json:"uptime_seconds"`
 	GraphList  []GraphInfo `json:"graph_list,omitempty"`
@@ -82,8 +90,10 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		Uptime:    time.Since(s.started).Seconds(),
 	}
 	for _, gi := range graphs {
+		st.Mutations += gi.Mutations
 		st.PlanBuilds += gi.PlanBuilds
 		st.PlanHits += gi.PlanHits
+		st.PlanReuses += gi.PlanReuses
 	}
 	if r.URL.Query().Get("graphs") != "" {
 		st.GraphList = graphs
@@ -132,6 +142,57 @@ func (s *Server) handleDeleteGraph(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]string{"status": "deleted"})
+}
+
+// MutateRequest is the JSON body of the edge-mutation endpoints. POST
+// applies deletions then additions in one atomic epoch bump; DELETE is
+// the delete-only form and accepts the edges to remove under "edges"
+// (or "del" — they are merged).
+type MutateRequest struct {
+	Add   [][2]int `json:"add,omitempty"`
+	Del   [][2]int `json:"del,omitempty"`
+	Edges [][2]int `json:"edges,omitempty"` // DELETE shorthand for Del
+}
+
+func (s *Server) handleMutateGraph(w http.ResponseWriter, r *http.Request) {
+	sg, ok := s.store.Get(r.PathValue("name"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown graph %q", r.PathValue("name"))
+		return
+	}
+	var req MutateRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.opt.MaxUploadBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil && !errors.Is(err, io.EOF) {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			writeError(w, http.StatusRequestEntityTooLarge, "mutation exceeds %d bytes", tooBig.Limit)
+			return
+		}
+		writeError(w, http.StatusBadRequest, "bad mutation body: %v", err)
+		return
+	}
+	d := bigraph.Delta{Add: req.Add, Del: req.Del}
+	if r.Method == http.MethodDelete {
+		if len(req.Add) > 0 {
+			writeError(w, http.StatusBadRequest, "DELETE /edges cannot add edges; use POST with \"add\"")
+			return
+		}
+		d.Del = append(d.Del, req.Edges...)
+	} else if len(req.Edges) > 0 {
+		writeError(w, http.StatusBadRequest, "\"edges\" is the DELETE shorthand; POST takes \"add\" and \"del\"")
+		return
+	}
+	if d.Empty() {
+		writeError(w, http.StatusBadRequest, "empty mutation: provide \"add\" and/or \"del\" edge batches")
+		return
+	}
+	_, info, err := sg.Mutate(d)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, info)
 }
 
 // decodeSolveRequest reads an optional JSON body; an empty body is the

@@ -111,12 +111,16 @@ func statsJSON(s core.Stats) StatsJSON {
 }
 
 // JobResult is the outcome of a finished (or canceled-midway) job. A and
-// B are side-local indices like the CLI prints.
+// B are side-local indices like the CLI prints. Epoch is the snapshot
+// version the job solved: the result is exact (when Exact) for exactly
+// that published version of the graph, which may be older than the
+// store's current epoch if mutations landed while the job ran.
 type JobResult struct {
 	Size       int       `json:"size"`
 	A          []int     `json:"a"`
 	B          []int     `json:"b"`
 	Exact      bool      `json:"exact"`
+	Epoch      uint64    `json:"epoch"`
 	Solver     string    `json:"solver"`
 	Reduced    bool      `json:"reduced"`
 	PlanCached bool      `json:"plan_cached"`
@@ -129,6 +133,7 @@ type JobResult struct {
 type Job struct {
 	id      string
 	graph   *StoredGraph
+	snap    *Snapshot // pinned at submission: mutations never move a job
 	opt     *mbb.Options
 	usePlan bool
 
@@ -249,9 +254,10 @@ func NewScheduler(workers, queueCap int, defTimeout, maxTimeout time.Duration, m
 	return s
 }
 
-// Submit validates req, enqueues a job against sg and returns it. The
-// job holds the StoredGraph, so a concurrent store delete does not
-// affect it.
+// Submit validates req, enqueues a job against sg's current snapshot and
+// returns it. The job pins that Snapshot for its whole life, so neither
+// a concurrent store delete nor an edge mutation affects it: the solve
+// runs against exactly one published version and reports its epoch.
 func (s *Scheduler) Submit(sg *StoredGraph, req SolveRequest) (*Job, error) {
 	opt, usePlan, err := req.resolve(s.defTimeout, s.maxTimeout, s.maxWorkers)
 	if err != nil {
@@ -259,7 +265,7 @@ func (s *Scheduler) Submit(sg *StoredGraph, req SolveRequest) (*Job, error) {
 	}
 	ctx, cancel := context.WithCancel(context.Background())
 	job := &Job{
-		graph: sg, opt: opt, usePlan: usePlan,
+		graph: sg, snap: sg.Snapshot(), opt: opt, usePlan: usePlan,
 		ctx: ctx, cancel: cancel,
 		done:  make(chan struct{}),
 		state: JobQueued, queuedAt: time.Now(),
@@ -330,13 +336,13 @@ func (s *Scheduler) run(job *Job) {
 	if job.usePlan {
 		var plan *mbb.Plan
 		var built bool
-		plan, built, err = job.graph.Plan()
+		plan, built, err = job.snap.Plan()
 		planCached = err == nil && !built
 		if err == nil {
 			res, err = plan.SolveContext(job.ctx, job.opt)
 		}
 	} else {
-		res, err = mbb.SolveContext(job.ctx, job.graph.Graph(), job.opt)
+		res, err = mbb.SolveContext(job.ctx, job.snap.Graph(), job.opt)
 	}
 	secs := time.Since(start).Seconds()
 
@@ -352,15 +358,16 @@ func (s *Scheduler) run(job *Job) {
 		// with Exact == false; keep it — a canceled solve is still a
 		// valid (inexact) answer.
 		job.state = JobCanceled
-		job.result = jobResult(job.graph.Graph(), res, planCached, secs)
+		job.result = jobResult(job.snap, res, planCached, secs)
 	default:
 		job.state = JobDone
-		job.result = jobResult(job.graph.Graph(), res, planCached, secs)
+		job.result = jobResult(job.snap, res, planCached, secs)
 	}
 	close(job.done)
 }
 
-func jobResult(g *mbb.Graph, res mbb.Result, planCached bool, secs float64) *JobResult {
+func jobResult(snap *Snapshot, res mbb.Result, planCached bool, secs float64) *JobResult {
+	g := snap.Graph()
 	a := make([]int, len(res.Biclique.A))
 	for i, v := range res.Biclique.A {
 		a[i] = g.LocalIndex(v)
@@ -371,7 +378,7 @@ func jobResult(g *mbb.Graph, res mbb.Result, planCached bool, secs float64) *Job
 	}
 	return &JobResult{
 		Size: res.Biclique.Size(), A: a, B: b,
-		Exact: res.Exact, Solver: res.Solver, Reduced: res.Reduced,
+		Exact: res.Exact, Epoch: snap.Epoch(), Solver: res.Solver, Reduced: res.Reduced,
 		PlanCached: planCached, Seconds: secs, Stats: statsJSON(res.Stats),
 	}
 }

@@ -1,13 +1,18 @@
-// Package server is the serving layer of the engine: a named graph
-// store with cached reduce-and-conquer plans, a bounded job scheduler
-// running solves on per-job execution contexts, and the HTTP JSON
-// handlers that cmd/mbbserved exposes. The pipeline per query is
+// Package server is the serving layer of the engine: a named store of
+// mutable, versioned graphs with cached reduce-and-conquer plans, a
+// bounded job scheduler running solves on per-job execution contexts,
+// and the HTTP JSON handlers that cmd/mbbserved exposes. The pipeline
+// per query is
 //
-//	store (parsed graph) → cached plan (τ, reduction, components) →
+//	store (snapshot chain) → cached plan (τ, reduction, components) →
 //	scheduler (bounded workers) → core.Exec (budget, cancellation)
 //
 // so a long-running daemon pays for parsing and reduction once per graph
-// instead of once per request.
+// version instead of once per request. Mutations (POST/DELETE
+// /graphs/{name}/edges) publish a new immutable snapshot with a bumped
+// epoch; jobs pin the snapshot current at submission, so a solve never
+// observes a half-applied batch and its result is exact for the epoch it
+// reports.
 package server
 
 import (
@@ -50,92 +55,204 @@ func ParseFormat(s string) (GraphFormat, error) {
 	return "", fmt.Errorf("unknown graph format %q (want edgelist or konect)", s)
 }
 
-// StoredGraph is one named graph plus its lazily built, cached plan. The
-// graph and the plan are immutable; the plan is built at most once (the
-// first planner-backed solve pays for it, every later one reuses it).
-type StoredGraph struct {
-	name     string
-	g        *bigraph.Graph
-	loadedAt time.Time
+// Snapshot is one immutable version of a stored graph: the parsed graph,
+// its epoch, and the lazily built (or inherited) plan for exactly this
+// version. Jobs hold the Snapshot they were submitted against, so
+// mutations publishing newer snapshots never disturb a solve in flight.
+type Snapshot struct {
+	sg    *StoredGraph
+	g     *bigraph.Graph
+	epoch uint64
+	at    time.Time // when this version was published
 
 	planOnce sync.Once
 	// planVal publishes the build outcome atomically: concurrent readers
 	// (Info, from the graph/stats handlers) either see nil — build not
 	// finished — or the complete outcome, never a half-written pair.
-	planVal    atomic.Pointer[planOutcome]
-	planNanos  atomic.Int64 // wall time of the one plan build
-	planBuilds atomic.Int64 // how many times the plan was computed (stays ≤ 1)
-	planHits   atomic.Int64 // how many solves reused the cached plan
+	planVal atomic.Pointer[planOutcome]
 }
 
-// planOutcome is the immutable result of the one plan build.
+// planOutcome is the immutable result of one plan build (or inheritance).
 type planOutcome struct {
 	plan *mbb.Plan
 	err  error
 }
 
-// Name returns the store key.
-func (sg *StoredGraph) Name() string { return sg.name }
+// Graph returns this snapshot's parsed graph.
+func (sn *Snapshot) Graph() *bigraph.Graph { return sn.g }
 
-// Graph returns the parsed graph.
-func (sg *StoredGraph) Graph() *bigraph.Graph { return sg.g }
+// Epoch returns this snapshot's version counter (0 for the upload).
+func (sn *Snapshot) Epoch() uint64 { return sn.epoch }
 
-// Plan returns the cached reduce-and-conquer plan, building it on first
-// use; built reports whether this call performed the build (false means
-// a cache hit). The build runs detached from any request context: a
+// Plan returns this snapshot's reduce-and-conquer plan, building it on
+// first use; built reports whether this call performed a build (false
+// means a cache hit, including plans inherited across a mutation via
+// ApplyDelta). The build runs detached from any request context: a
 // client that gives up must not poison the cache for everyone after it.
-func (sg *StoredGraph) Plan() (plan *mbb.Plan, built bool, err error) {
-	sg.planOnce.Do(func() {
+func (sn *Snapshot) Plan() (plan *mbb.Plan, built bool, err error) {
+	sn.planOnce.Do(func() {
 		built = true
 		start := time.Now()
-		sg.planBuilds.Add(1)
-		p, perr := mbb.PlanContext(context.Background(), sg.g)
-		sg.planNanos.Store(int64(time.Since(start)))
-		sg.planVal.Store(&planOutcome{plan: p, err: perr})
+		sn.sg.planBuilds.Add(1)
+		p, perr := mbb.PlanContextEpoch(context.Background(), sn.g, sn.epoch)
+		sn.sg.planNanos.Store(int64(time.Since(start)))
+		sn.planVal.Store(&planOutcome{plan: p, err: perr})
 	})
-	out := sg.planVal.Load() // non-nil: Do returns only after the build stored it
+	out := sn.planVal.Load() // non-nil: Do returns only after the outcome stored it
 	if out.err == nil && !built {
-		sg.planHits.Add(1)
+		sn.sg.planHits.Add(1)
 	}
 	return out.plan, built, out.err
 }
 
-// PlanBuilds reports how many times the plan was computed — the
-// amortization invariant the e2e smoke asserts (it must stay ≤ 1 no
-// matter how many solves ran).
+// StoredGraph is one named graph as a chain of immutable snapshots. The
+// current snapshot is read lock-free; mutations serialize on mu and
+// publish a successor with epoch+1, carrying the cached plan across when
+// mbb.Plan.ApplyDelta proves the delta cannot invalidate it.
+type StoredGraph struct {
+	name string
+
+	mu  sync.Mutex // serializes mutations (epoch transitions)
+	cur atomic.Pointer[Snapshot]
+
+	mutations  atomic.Int64 // effective mutations (epoch bumps)
+	planBuilds atomic.Int64 // full planner runs across all snapshots
+	planHits   atomic.Int64 // solves that reused an already-present plan
+	planReuses atomic.Int64 // mutations that carried the plan across (ApplyDelta)
+	planNanos  atomic.Int64 // wall time of the latest full plan build
+}
+
+// Name returns the store key.
+func (sg *StoredGraph) Name() string { return sg.name }
+
+// Snapshot returns the current (latest) snapshot.
+func (sg *StoredGraph) Snapshot() *Snapshot { return sg.cur.Load() }
+
+// Graph returns the current snapshot's parsed graph.
+func (sg *StoredGraph) Graph() *bigraph.Graph { return sg.Snapshot().g }
+
+// Epoch returns the current snapshot's epoch.
+func (sg *StoredGraph) Epoch() uint64 { return sg.Snapshot().epoch }
+
+// PlanBuilds reports how many full planner runs the graph has paid for
+// across all its versions — the amortization counter the e2e smoke
+// asserts (it stays ≤ 1 however many solves ran, until a mutation that
+// cannot inherit the plan forces one more).
 func (sg *StoredGraph) PlanBuilds() int64 { return sg.planBuilds.Load() }
 
-// GraphInfo is the JSON view of a stored graph.
+// MutationInfo is the JSON response to an edge-mutation request.
+type MutationInfo struct {
+	Name    string `json:"name"`
+	Epoch   uint64 `json:"epoch"`
+	Added   int    `json:"added"`   // edges actually inserted
+	Removed int    `json:"removed"` // edges actually deleted
+	NL      int    `json:"nl"`
+	NR      int    `json:"nr"`
+	Edges   int    `json:"edges"`
+	// Plan reports what happened to the cached plan: "reused" (carried
+	// across by ApplyDelta), "rebuilding" (invalidated; a background
+	// rebuild was scheduled), or "none" (no plan was built yet).
+	Plan string `json:"plan"`
+}
+
+// Mutate applies d atomically: the current snapshot's graph gets the
+// delta (copy-on-write — in-flight jobs keep their pinned snapshots),
+// and the successor snapshot is published with epoch+1. When the current
+// snapshot has a built plan, mbb.Plan.ApplyDelta tries to carry it
+// across (deletion-only deltas that spare the heuristic witness);
+// otherwise a background rebuild warms the new snapshot's plan while
+// stale-but-exact solves continue on prior snapshots. A delta that
+// changes nothing keeps the current snapshot and epoch. Returns the
+// snapshot the store now serves.
+func (sg *StoredGraph) Mutate(d bigraph.Delta) (*Snapshot, MutationInfo, error) {
+	sg.mu.Lock()
+	defer sg.mu.Unlock()
+	old := sg.cur.Load()
+	g2, eff, err := old.g.Apply(d)
+	if err != nil {
+		return nil, MutationInfo{}, err
+	}
+	info := MutationInfo{
+		Name: sg.name, Epoch: old.epoch,
+		Added: len(eff.Add), Removed: len(eff.Del),
+		NL: old.g.NL(), NR: old.g.NR(), Edges: old.g.NumEdges(),
+		Plan: "none",
+	}
+	if eff.Empty() {
+		// Nothing changed: keep the snapshot (and its plan) as is, so
+		// no-op batches cost no epoch bump and no cache invalidation.
+		if out := old.planVal.Load(); out != nil && out.err == nil {
+			info.Plan = "reused"
+		}
+		return old, info, nil
+	}
+	snap := &Snapshot{sg: sg, g: g2, epoch: old.epoch + 1, at: time.Now()}
+	rebuild := false
+	if out := old.planVal.Load(); out != nil && out.err == nil {
+		if p2, ok := out.plan.ApplyDelta(g2, eff, snap.epoch); ok {
+			// Pre-populate before publishing: consume the Once so Plan()
+			// never rebuilds what the maintenance path already proved.
+			snap.planVal.Store(&planOutcome{plan: p2})
+			snap.planOnce.Do(func() {})
+			sg.planReuses.Add(1)
+			info.Plan = "reused"
+		} else {
+			rebuild = true
+			info.Plan = "rebuilding"
+		}
+	}
+	sg.cur.Store(snap)
+	sg.mutations.Add(1)
+	info.Epoch = snap.epoch
+	info.Edges = g2.NumEdges()
+	if rebuild {
+		// The previous version had a plan and the new one cannot inherit
+		// it. Rebuild in the background so in-flight traffic keeps solving
+		// on prior snapshots while the next query finds the plan warm (or
+		// at worst joins the build through the sync.Once).
+		go snap.Plan()
+	}
+	return snap, info, nil
+}
+
+// GraphInfo is the JSON view of a stored graph's current snapshot.
 type GraphInfo struct {
 	Name       string  `json:"name"`
 	NL         int     `json:"nl"`
 	NR         int     `json:"nr"`
 	Edges      int     `json:"edges"`
 	Density    float64 `json:"density"`
-	LoadedAt   string  `json:"loaded_at"`
+	Epoch      uint64  `json:"epoch"`
+	Mutations  int64   `json:"mutations"`
+	LoadedAt   string  `json:"loaded_at"` // when the current snapshot was published
 	PlanCached bool    `json:"plan_cached"`
 	PlanBuilds int64   `json:"plan_builds"`
 	PlanHits   int64   `json:"plan_hits"`
+	PlanReuses int64   `json:"plan_reuses"`
 	PlanMillis float64 `json:"plan_millis,omitempty"`
 	SeedTau    int     `json:"tau,omitempty"`
 	Peeled     int     `json:"peeled,omitempty"`
 	Components int     `json:"components,omitempty"`
 }
 
-// Info returns the JSON view, including the cached plan's statistics
-// once it exists.
+// Info returns the JSON view of the current snapshot, including the
+// cached plan's statistics once it exists.
 func (sg *StoredGraph) Info() GraphInfo {
+	sn := sg.Snapshot()
 	info := GraphInfo{
 		Name:       sg.name,
-		NL:         sg.g.NL(),
-		NR:         sg.g.NR(),
-		Edges:      sg.g.NumEdges(),
-		Density:    sg.g.Density(),
-		LoadedAt:   sg.loadedAt.UTC().Format(time.RFC3339),
+		NL:         sn.g.NL(),
+		NR:         sn.g.NR(),
+		Edges:      sn.g.NumEdges(),
+		Density:    sn.g.Density(),
+		Epoch:      sn.epoch,
+		Mutations:  sg.mutations.Load(),
+		LoadedAt:   sn.at.UTC().Format(time.RFC3339),
 		PlanBuilds: sg.planBuilds.Load(),
 		PlanHits:   sg.planHits.Load(),
+		PlanReuses: sg.planReuses.Load(),
 	}
-	if out := sg.planVal.Load(); out != nil {
+	if out := sn.planVal.Load(); out != nil {
 		info.PlanMillis = float64(sg.planNanos.Load()) / 1e6
 		if out.err == nil {
 			info.PlanCached = true
@@ -151,7 +268,8 @@ func (sg *StoredGraph) Info() GraphInfo {
 var nameRe = regexp.MustCompile(`^[A-Za-z0-9][A-Za-z0-9._-]{0,127}$`)
 
 // Store is the named graph store. All methods are safe for concurrent
-// use; graphs are immutable once stored, so readers never block solvers.
+// use; snapshots are immutable once published, so readers never block
+// solvers or mutators.
 type Store struct {
 	mu        sync.RWMutex
 	graphs    map[string]*StoredGraph
@@ -176,13 +294,15 @@ func (s *Store) Parse(r io.Reader, format GraphFormat) (*bigraph.Graph, error) {
 	}
 }
 
-// Put stores g under name, replacing any previous graph of that name
-// (and its cached plan). It rejects invalid names and a full store.
+// Put stores g under name at epoch 0, replacing any previous graph of
+// that name (and its snapshot chain). It rejects invalid names and a
+// full store.
 func (s *Store) Put(name string, g *bigraph.Graph) (*StoredGraph, error) {
 	if !nameRe.MatchString(name) {
 		return nil, fmt.Errorf("invalid graph name %q (want [A-Za-z0-9._-], max 128 chars)", name)
 	}
-	sg := &StoredGraph{name: name, g: g, loadedAt: time.Now()}
+	sg := &StoredGraph{name: name}
+	sg.cur.Store(&Snapshot{sg: sg, g: g, at: time.Now()})
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if _, replacing := s.graphs[name]; !replacing && s.maxGraphs > 0 && len(s.graphs) >= s.maxGraphs {
@@ -200,8 +320,8 @@ func (s *Store) Get(name string) (*StoredGraph, bool) {
 	return sg, ok
 }
 
-// Delete removes the named graph. Jobs already holding the StoredGraph
-// keep solving against it; the memory is reclaimed once they finish.
+// Delete removes the named graph. Jobs already holding a Snapshot keep
+// solving against it; the memory is reclaimed once they finish.
 func (s *Store) Delete(name string) bool {
 	s.mu.Lock()
 	defer s.mu.Unlock()

@@ -1,0 +1,89 @@
+package mbb
+
+import "repro/internal/bigraph"
+
+// Delta is a batch of edge mutations in side-local (left, right) pairs;
+// see bigraph.Delta for the apply semantics (deletions before additions,
+// fixed side sizes). Graph.Apply produces the mutated copy-on-write
+// snapshot plus the effective delta that Plan.ApplyDelta consumes.
+type Delta = bigraph.Delta
+
+// ApplyDelta attempts incremental plan maintenance across a graph
+// mutation: given g2 — the result of p.Graph().Apply(d) — and the
+// *effective* delta reported by that Apply call, it returns a plan for
+// g2 carrying the new epoch without re-running the planner, or
+// (nil, false) when the delta could invalidate the cached preprocessing
+// and a full PlanContext rebuild is required.
+//
+// The cheap path applies exactly when the delta is deletion-only and no
+// deleted edge lies inside the heuristic witness:
+//
+//   - deleting edges only lowers degrees and two-hop counts, so every
+//     peeled vertex's peeling certificate (the iterated (τ+1)-core ∩
+//     2τ+1-bicore mask) still holds in g2;
+//   - the witness stays a complete biclique, so τ is still an achieved
+//     lower bound;
+//   - deletions between two surviving vertices are patched into the
+//     cached reduced graph (its vertex ids are stable — no vertex is
+//     removed), so component solves see exactly g2's surviving subgraph;
+//     deletions touching a peeled endpoint don't appear in the reduced
+//     graph at all.
+//
+// Insertions always force a rebuild, even between peeled vertices: a
+// batch of insertions can assemble a biclique larger than τ entirely
+// among peeled vertices, and a single insertion between survivors can
+// raise a peeled vertex's two-hop bicore count through a surviving
+// neighbour — either way the cached reduction's certificates no longer
+// bound the new optimum. Callers are expected to keep serving the prior
+// snapshot's plan (stale but exact for that epoch) while the rebuild
+// runs; internal/server does exactly that.
+func (p *Plan) ApplyDelta(g2 *Graph, d Delta, epoch uint64) (*Plan, bool) {
+	if p.partial || len(d.Add) > 0 || g2 == nil ||
+		g2.NL() != p.g.NL() || g2.NR() != p.g.NR() {
+		return nil, false
+	}
+	np := *p
+	np.g = g2
+	np.epoch = epoch
+	if len(d.Del) == 0 {
+		return &np, true
+	}
+	inA := make(map[int]bool, len(p.seed.A))
+	for _, v := range p.seed.A {
+		inA[v] = true
+	}
+	inB := make(map[int]bool, len(p.seed.B))
+	for _, v := range p.seed.B {
+		inB[v] = true
+	}
+	oldToNew := make(map[int]int, len(p.red.newToOld))
+	for nv, ov := range p.red.newToOld {
+		oldToNew[ov] = nv
+	}
+	var redDel [][2]int
+	for _, e := range d.Del {
+		u, v := e[0], p.g.NL()+e[1]
+		if inA[u] && inB[v] {
+			// The witness is complete, so this deletion destroys it and τ
+			// is no longer achieved — rebuild.
+			return nil, false
+		}
+		nu, okU := oldToNew[u]
+		nv, okV := oldToNew[v]
+		if okU && okV {
+			// Induced subgraphs preserve sides, so nu is left-side in the
+			// reduced id space exactly when u is.
+			redDel = append(redDel, [2]int{nu, nv - p.red.g.NL()})
+		}
+	}
+	if len(redDel) > 0 {
+		sub, eff, err := p.red.g.Apply(Delta{Del: redDel})
+		if err != nil || len(eff.Del) != len(redDel) {
+			// d was not the effective delta of p.Graph().Apply — refuse
+			// rather than maintain from inconsistent input.
+			return nil, false
+		}
+		np.red = reduction{g: sub, newToOld: p.red.newToOld, peeled: p.red.peeled}
+	}
+	return &np, true
+}

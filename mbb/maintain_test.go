@@ -1,0 +1,142 @@
+package mbb
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+)
+
+// TestApplyDeltaDeletionDifferential is the differential test of
+// incremental plan maintenance: whenever ApplyDelta accepts a
+// deletion-only delta, solving through the maintained plan must produce
+// the same optimum as a cold planner run on the mutated graph.
+func TestApplyDeltaDeletionDifferential(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	reused, refused := 0, 0
+	for trial := 0; trial < 25; trial++ {
+		g := GeneratePowerLaw(40+rng.Intn(40), 40+rng.Intn(40), 300+rng.Intn(200), int64(trial))
+		p, err := PlanContext(context.Background(), g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		edges := g.Edges()
+		var d Delta
+		for i := 0; i < 1+rng.Intn(6); i++ {
+			d.Del = append(d.Del, edges[rng.Intn(len(edges))])
+		}
+		g2, eff, err := g.Apply(d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p2, ok := p.ApplyDelta(g2, eff, uint64(trial+1))
+		if !ok {
+			refused++
+			continue
+		}
+		reused++
+		if p2.Epoch() != uint64(trial+1) || p2.Graph() != g2 {
+			t.Fatalf("trial %d: maintained plan epoch %d graph %p, want %d %p",
+				trial, p2.Epoch(), p2.Graph(), trial+1, g2)
+		}
+		got, err := p2.SolveContext(context.Background(), nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := SolveContext(context.Background(), g2, &Options{Reduce: ReduceOn})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !got.Exact || !want.Exact {
+			t.Fatalf("trial %d: inexact results without a budget: %v %v", trial, got.Exact, want.Exact)
+		}
+		if got.Biclique.Size() != want.Biclique.Size() {
+			t.Fatalf("trial %d: maintained plan found %d, cold planner found %d (delta %+v)",
+				trial, got.Biclique.Size(), want.Biclique.Size(), eff)
+		}
+		if !got.Biclique.IsBicliqueOf(g2) {
+			t.Fatalf("trial %d: maintained plan returned a non-biclique of the mutated graph", trial)
+		}
+	}
+	if reused == 0 {
+		t.Fatal("no trial exercised the maintenance path")
+	}
+	t.Logf("reused %d plans, refused %d (witness deletions)", reused, refused)
+}
+
+// TestApplyDeltaRejectsInsertions: any insertion — even between peeled
+// vertices — must force a rebuild, because a batch of insertions can
+// assemble a larger biclique entirely outside the cached reduction.
+func TestApplyDeltaRejectsInsertions(t *testing.T) {
+	g := GeneratePowerLaw(50, 50, 250, 3)
+	p, err := PlanContext(context.Background(), g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := Delta{Add: [][2]int{{0, 0}}}
+	if g.HasEdge(0, g.NL()) {
+		d.Add[0] = [2]int{0, 1}
+	}
+	g2, eff, err := g.Apply(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(eff.Add) != 1 {
+		t.Fatalf("setup: addition was a no-op: %+v", eff)
+	}
+	if _, ok := p.ApplyDelta(g2, eff, 1); ok {
+		t.Fatal("ApplyDelta accepted an insertion")
+	}
+}
+
+// TestApplyDeltaWitnessDeletion: deleting an edge inside the heuristic
+// witness invalidates τ and must refuse the cheap path.
+func TestApplyDeltaWitnessDeletion(t *testing.T) {
+	g := GenerateDense(12, 12, 0.9, 5)
+	p, err := PlanContext(context.Background(), g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seed := p.Seed()
+	if len(seed.A) == 0 || len(seed.B) == 0 {
+		t.Skip("planner produced an empty witness")
+	}
+	d := Delta{Del: [][2]int{{g.LocalIndex(seed.A[0]), g.LocalIndex(seed.B[0])}}}
+	g2, eff, err := g.Apply(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(eff.Del) != 1 {
+		t.Fatalf("setup: witness edge not present? eff %+v", eff)
+	}
+	if _, ok := p.ApplyDelta(g2, eff, 1); ok {
+		t.Fatal("ApplyDelta accepted a witness-destroying deletion")
+	}
+}
+
+// TestPlanContextEpoch: epochs thread through building and maintenance.
+func TestPlanContextEpoch(t *testing.T) {
+	g := GeneratePowerLaw(30, 30, 120, 1)
+	p, err := PlanContextEpoch(context.Background(), g, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Epoch() != 7 {
+		t.Fatalf("epoch %d, want 7", p.Epoch())
+	}
+	p0, err := PlanContext(context.Background(), g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p0.Epoch() != 0 {
+		t.Fatalf("PlanContext epoch %d, want 0", p0.Epoch())
+	}
+	// An effectively empty delta still rebinds graph and epoch.
+	g2, eff, err := g.Apply(Delta{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, ok := p.ApplyDelta(g2, eff, 8)
+	if !ok || p2.Epoch() != 8 {
+		t.Fatalf("empty-delta maintenance: ok=%v epoch=%d", ok, p2.Epoch())
+	}
+}

@@ -27,6 +27,7 @@ type Plan struct {
 	red     reduction
 	jobs    []planJob
 	partial bool
+	epoch   uint64 // snapshot version the plan was built (or maintained) for
 }
 
 // PlanContext runs the planner's preprocessing phase — heuristic seed,
@@ -51,8 +52,24 @@ func PlanContext(ctx context.Context, g *Graph) (*Plan, error) {
 	return p, nil
 }
 
+// PlanContextEpoch is PlanContext for callers that version their graphs:
+// the returned plan carries the given snapshot epoch (see Plan.Epoch and
+// Plan.ApplyDelta). PlanContext itself builds at epoch 0.
+func PlanContextEpoch(ctx context.Context, g *Graph, epoch uint64) (*Plan, error) {
+	p, err := PlanContext(ctx, g)
+	if err == nil {
+		p.epoch = epoch
+	}
+	return p, err
+}
+
 // Graph returns the original graph the plan was built for.
 func (p *Plan) Graph() *Graph { return p.g }
+
+// Epoch returns the snapshot version this plan answers for: the epoch
+// given at build time (PlanContextEpoch; 0 for PlanContext) or at the
+// last successful ApplyDelta.
+func (p *Plan) Epoch() uint64 { return p.epoch }
 
 // SeedTau returns the heuristic lower bound τ that seeded the reduction.
 func (p *Plan) SeedTau() int { return p.tau }

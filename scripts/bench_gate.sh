@@ -1,0 +1,32 @@
+#!/usr/bin/env bash
+# CI benchmark trajectory: run the pinned subset (cmd/mbbbench -exp
+# trajectory), write the machine-readable record file ($BENCH_OUT,
+# default BENCH_4.json — per-solve seconds and search nodes, servebench
+# cold/warm/burst latencies, mutebench mutate/solve percentiles), and
+# gate the deterministic node counts against the newest committed
+# BENCH_*.json when one exists: a pin spending more than 2x the
+# baseline's search nodes fails the job. The JSON is written even when
+# the gate fails so CI can archive the regressing trajectory.
+set -euo pipefail
+
+OUT="${BENCH_OUT:-BENCH_4.json}"
+BUDGET="${BENCH_BUDGET:-15s}"
+
+baseline_args=()
+prev="$(git ls-files 'BENCH_*.json' | sort -V | tail -n1 || true)"
+if [ -n "$prev" ]; then
+    # The fresh run may overwrite the baseline's file (same PR number), so
+    # compare against a copy of the committed content.
+    base_copy="$(mktemp)"
+    git show "HEAD:$prev" > "$base_copy" 2>/dev/null || cp "$prev" "$base_copy"
+    echo "bench_gate: baseline $prev" >&2
+    baseline_args=(-baseline "$base_copy")
+else
+    echo "bench_gate: no committed BENCH_*.json baseline; recording only" >&2
+fi
+
+status=0
+go run ./cmd/mbbbench -exp trajectory -json -budget "$BUDGET" \
+    "${baseline_args[@]}" > "$OUT" || status=$?
+echo "bench_gate: wrote $OUT ($(wc -c < "$OUT") bytes)" >&2
+exit "$status"

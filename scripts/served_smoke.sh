@@ -1,18 +1,21 @@
 #!/usr/bin/env bash
-# End-to-end smoke test for cmd/mbbserved: build the daemon, start it,
-# upload a tiny graph, solve it twice (asserting the known optimum and
-# that the second solve reuses the cached plan), cancel a job, and shut
+# End-to-end smoke test for cmd/mbbserved: build the daemon, start it on
+# an ephemeral port (no hard-coded port — parallel CI jobs and dev
+# machines cannot collide), upload a tiny graph, solve it twice
+# (asserting the known optimum and that the second solve reuses the
+# cached plan), mutate the graph through the edge endpoints (asserting
+# epoch bumps and the new optimum per epoch), cancel a job, and shut
 # down cleanly. Run from the repo root; CI runs it after the unit tests.
 set -euo pipefail
-
-ADDR="127.0.0.1:${MBBSERVED_PORT:-18455}"
-BASE="http://$ADDR"
 
 # Reuse a prebuilt binary (CI's build step) when provided.
 BIN="${MBBSERVED_BIN:-$(mktemp -d)/mbbserved}"
 [ -x "$BIN" ] || go build -o "$BIN" ./cmd/mbbserved
 
-"$BIN" -addr "$ADDR" -workers 2 -default-timeout 30s &
+# MBBSERVED_PORT pins a port for debugging; the default asks the kernel
+# for a free one and discovers it from the daemon's startup log line.
+LOG=$(mktemp)
+"$BIN" -addr "127.0.0.1:${MBBSERVED_PORT:-0}" -workers 2 -default-timeout 30s >"$LOG" 2>&1 &
 PID=$!
 cleanup() {
     kill "$PID" 2>/dev/null || true
@@ -20,24 +23,30 @@ cleanup() {
 }
 trap cleanup EXIT
 
-# Wait for the daemon to come up.
+fail() { echo "served_smoke: FAIL: $*" >&2; sed 's/^/served_smoke: daemon: /' "$LOG" >&2; exit 1; }
+
+# Wait for the daemon to announce its actual listening address.
+ADDR=""
 for _ in $(seq 1 100); do
-    curl -fs "$BASE/healthz" >/dev/null 2>&1 && break
+    ADDR=$(sed -n 's/.*listening on \(127\.0\.0\.1:[0-9][0-9]*\).*/\1/p' "$LOG" | head -n1)
+    [ -n "$ADDR" ] && break
+    kill -0 "$PID" 2>/dev/null || fail "daemon exited before listening"
     sleep 0.1
 done
-curl -fs "$BASE/healthz" >/dev/null
-
-fail() { echo "served_smoke: FAIL: $*" >&2; exit 1; }
+[ -n "$ADDR" ] || fail "daemon never logged its listening address"
+BASE="http://$ADDR"
+curl -fs "$BASE/healthz" >/dev/null || fail "healthz unreachable at $BASE"
 
 # Upload K3,3 (optimum balanced biclique: 3 per side).
 printf '3 3 9\n0 0\n0 1\n0 2\n1 0\n1 1\n1 2\n2 0\n2 1\n2 2\n' |
     curl -fs -XPUT --data-binary @- "$BASE/graphs/k33" >/dev/null ||
     fail "graph upload rejected"
 
-# First solve: correct optimum, exact.
+# First solve: correct optimum, exact, at the upload epoch.
 OUT=$(curl -fs -XPOST "$BASE/graphs/k33/solve" -d '{"timeout":"30s"}')
 echo "$OUT" | grep -q '"size":3' || fail "first solve: wrong size: $OUT"
 echo "$OUT" | grep -q '"exact":true' || fail "first solve: not exact: $OUT"
+echo "$OUT" | grep -q '"epoch":0' || fail "first solve: wrong epoch: $OUT"
 
 # Second solve: same optimum, via the cached plan.
 OUT=$(curl -fs -XPOST "$BASE/graphs/k33/solve" -d '{}')
@@ -47,6 +56,38 @@ echo "$OUT" | grep -q '"plan_cached":true' || fail "second solve did not reuse t
 # The store must report exactly one plan build for the two solves.
 INFO=$(curl -fs "$BASE/graphs/k33")
 echo "$INFO" | grep -q '"plan_builds":1' || fail "plan_builds != 1: $INFO"
+
+# Mutate: deleting row 2 entirely drops the optimum to 2 and bumps the
+# epoch; a deletion-only batch off the witness row also carries the
+# cached plan across (no second planner run is asserted via plan_builds
+# below only for the reuse case printed by the endpoint).
+MUT=$(curl -fs -XDELETE "$BASE/graphs/k33/edges" -d '{"edges":[[2,0],[2,1],[2,2]]}')
+echo "$MUT" | grep -q '"epoch":1' || fail "mutation did not bump epoch: $MUT"
+echo "$MUT" | grep -q '"removed":3' || fail "mutation removed wrong count: $MUT"
+OUT=$(curl -fs -XPOST "$BASE/graphs/k33/solve" -d '{}')
+echo "$OUT" | grep -q '"size":2' || fail "post-delete solve: wrong size: $OUT"
+echo "$OUT" | grep -q '"exact":true' || fail "post-delete solve: not exact: $OUT"
+echo "$OUT" | grep -q '"epoch":1' || fail "post-delete solve: wrong epoch: $OUT"
+
+# Mutate back: re-adding the row restores K3,3 at epoch 2 (insertions
+# schedule a plan rebuild in the background; the solve must still be
+# exact for the new epoch).
+MUT=$(curl -fs -XPOST "$BASE/graphs/k33/edges" -d '{"add":[[2,0],[2,1],[2,2]]}')
+echo "$MUT" | grep -q '"epoch":2' || fail "re-add did not bump epoch: $MUT"
+echo "$MUT" | grep -q '"added":3' || fail "re-add added wrong count: $MUT"
+OUT=$(curl -fs -XPOST "$BASE/graphs/k33/solve" -d '{}')
+echo "$OUT" | grep -q '"size":3' || fail "post-add solve: wrong size: $OUT"
+echo "$OUT" | grep -q '"epoch":2' || fail "post-add solve: wrong epoch: $OUT"
+INFO=$(curl -fs "$BASE/graphs/k33")
+echo "$INFO" | grep -q '"epoch":2' || fail "graph info epoch != 2: $INFO"
+echo "$INFO" | grep -q '"mutations":2' || fail "graph info mutations != 2: $INFO"
+
+# Malformed mutations must be clean 400s and leave the epoch alone.
+CODE=$(curl -s -o /dev/null -w '%{http_code}' -XPOST "$BASE/graphs/k33/edges" -d '{"add":[[99,99]]}')
+[ "$CODE" = "400" ] || fail "out-of-range mutation returned $CODE, want 400"
+CODE=$(curl -s -o /dev/null -w '%{http_code}' -XPOST "$BASE/graphs/k33/edges" -d '{}')
+[ "$CODE" = "400" ] || fail "empty mutation returned $CODE, want 400"
+curl -fs "$BASE/graphs/k33" | grep -q '"epoch":2' || fail "failed mutation moved the epoch"
 
 # Async submit + cancel: the job must land in a terminal state.
 JOB=$(curl -fs -XPOST "$BASE/graphs/k33/jobs" -d '{"timeout":"30s"}')
