@@ -66,6 +66,7 @@ func main() {
 	serveURL := flag.String("serveurl", "", "servebench/mutebench: base URL of a running mbbserved (empty = start one in-process)")
 	requests := flag.Int("requests", 32, "servebench: warm requests; mutebench: mutation rounds")
 	clients := flag.Int("clients", 4, "servebench/mutebench: concurrent clients")
+	muteMix := flag.String("mutemix", "cycle", "mutebench mutation stream: cycle, insert (repair hot path), mixed")
 	flag.Parse()
 
 	out := os.Stdout
@@ -88,6 +89,7 @@ func main() {
 	cfg.ServeURL = *serveURL
 	cfg.Requests = *requests
 	cfg.Clients = *clients
+	cfg.MuteMix = *muteMix
 	if *datasets != "" {
 		cfg.Datasets = strings.Split(*datasets, ",")
 	}

@@ -83,13 +83,17 @@
 // edge batches (bigraph.Delta, bigraph.Graph.Apply) as copy-on-write
 // snapshots with a monotone epoch counter. Jobs pin the snapshot
 // current at submission, so a solve never observes a half-applied batch
-// and its result is exact for the epoch it reports; deletion-only
-// batches that spare the heuristic witness carry the cached plan across
-// the epoch bump (mbb.Plan.ApplyDelta), while anything else schedules a
-// background rebuild as stale-but-exact solves continue on prior
-// snapshots. FuzzGraphApply checks the delta path against a
-// from-scratch rebuild. See DESIGN.md §6–7 for the API, a curl
-// quick-start and the invalidation rules; cmd/mbbbench -exp servebench
-// measures the amortization and -exp mutebench the mutate/solve
-// interleaving.
+// and its result is exact for the epoch it reports. The cached plan
+// follows mutations without a planner rerun (mbb.Plan.ApplyDelta):
+// deletion-only batches that spare the heuristic witness carry it
+// across unchanged, insertion batches are absorbed by bounded local
+// repair of the peeling certificates (decomp.RepairMask re-admits only
+// vertices the batch could have restored), and only witness hits or
+// over-budget repairs schedule a background rebuild as stale-but-exact
+// solves continue on prior snapshots. FuzzGraphApply checks the delta
+// path against a from-scratch rebuild and FuzzPlanMaintain checks
+// maintained plans against cold plans and the brute-force oracle. See
+// DESIGN.md §6–7 for the API, a curl quick-start and the maintenance
+// rules; cmd/mbbbench -exp servebench measures the amortization and
+// -exp mutebench the mutate/solve interleaving per plan outcome.
 package repro

@@ -1,0 +1,47 @@
+package bigraph
+
+// DegWithin returns the degree of unified vertex v restricted to the
+// alive mask (indexed by unified id); a nil mask means the whole graph.
+// It is the subset-restricted counterpart of Deg, used by the
+// decomposition peels and by incremental plan repair, where certificates
+// are always evaluated inside a candidate vertex set rather than the
+// full graph.
+func (g *Graph) DegWithin(v int, alive []bool) int {
+	if alive == nil {
+		return g.Deg(v)
+	}
+	d := 0
+	for _, w := range g.Neighbors(v) {
+		if alive[w] {
+			d++
+		}
+	}
+	return d
+}
+
+// Endpoints returns the unified vertex ids touched by the delta — both
+// endpoints of every addition and deletion, deduplicated, in ascending
+// order. nl is the left side size of the graph the delta applies to
+// (right-local index j maps to unified id nl+j). This is the seed set
+// for incremental certificate repair: only vertices whose degree or
+// two-hop neighbourhood a batch can change are reachable from it.
+func (d Delta) Endpoints(nl int) []int {
+	seen := make(map[int]bool, 2*(len(d.Add)+len(d.Del)))
+	out := make([]int, 0, 2*(len(d.Add)+len(d.Del)))
+	take := func(v int) {
+		if !seen[v] {
+			seen[v] = true
+			out = append(out, v)
+		}
+	}
+	for _, e := range d.Add {
+		take(e[0])
+		take(nl + e[1])
+	}
+	for _, e := range d.Del {
+		take(e[0])
+		take(nl + e[1])
+	}
+	sortInts(out)
+	return out
+}

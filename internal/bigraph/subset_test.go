@@ -1,0 +1,37 @@
+package bigraph
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestDegWithin(t *testing.T) {
+	// P4-ish: L0–R0, L0–R1, L1–R1.
+	g := FromEdges(2, 2, [][2]int{{0, 0}, {0, 1}, {1, 1}})
+	if d := g.DegWithin(0, nil); d != 2 {
+		t.Fatalf("nil mask: deg(L0) = %d, want 2", d)
+	}
+	alive := []bool{true, true, false, true} // drop R0
+	cases := map[int]int{0: 1, 1: 1, 2: 1, 3: 2}
+	for v, want := range cases {
+		if d := g.DegWithin(v, alive); d != want {
+			t.Errorf("deg(%d) within mask = %d, want %d", v, d, want)
+		}
+	}
+}
+
+func TestDeltaEndpoints(t *testing.T) {
+	d := Delta{
+		Add: [][2]int{{0, 1}, {2, 0}},
+		Del: [][2]int{{0, 1}, {1, 2}},
+	}
+	// nl=3: right-local j maps to 3+j. Deduplicated, ascending.
+	got := d.Endpoints(3)
+	want := []int{0, 1, 2, 3, 4, 5}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("Endpoints = %v, want %v", got, want)
+	}
+	if ends := (Delta{}).Endpoints(3); len(ends) != 0 {
+		t.Fatalf("empty delta endpoints = %v, want none", ends)
+	}
+}

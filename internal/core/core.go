@@ -269,6 +269,7 @@ type Stats struct {
 	SeedTau    int   // heuristic lower bound τ that seeded the planner
 	Peeled     int64 // vertices removed by the optimum-preserving reduction
 	Components int   // connected components handed to the solve stage
+	Repairs    int   // times the cached plan was locally repaired, not rebuilt
 }
 
 // Merge adds other's counters into s (Step, Bidegeneracy and TimedOut are
@@ -309,6 +310,9 @@ func (s *Stats) MergeOutcome(other *Stats) {
 	}
 	if other.SeedTau > s.SeedTau {
 		s.SeedTau = other.SeedTau
+	}
+	if other.Repairs > s.Repairs {
+		s.Repairs = other.Repairs
 	}
 	s.TimedOut = s.TimedOut || other.TimedOut
 }

@@ -130,13 +130,7 @@ func KCoreMaskWithin(g *bigraph.Graph, start []bool, k int) []bool {
 			continue
 		}
 		alive[v] = true
-		d := 0
-		for _, wn := range g.Neighbors(v) {
-			if start[wn] {
-				d++
-			}
-		}
-		deg[v] = d
+		deg[v] = g.DegWithin(v, start)
 	}
 	queue := make([]int, 0)
 	for v := 0; v < n; v++ {

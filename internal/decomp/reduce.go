@@ -54,40 +54,5 @@ func ReduceMask(g *bigraph.Graph, tau int) []bool {
 // sizes the last removal affected — so when little or nothing is
 // removable it costs one two-hop sweep instead of a full peel to empty.
 func BicoreMask(g *bigraph.Graph, thr int) []bool {
-	n := g.NumVertices()
-	th := NewTwoHop(g)
-	alive := make([]bool, n)
-	for v := range alive {
-		alive[v] = true
-	}
-	queued := make([]bool, n)
-	queue := make([]int, 0)
-	for v := 0; v < n; v++ {
-		if th.Size(v, alive) < thr {
-			queue = append(queue, v)
-			queued[v] = true
-		}
-	}
-	affected := make([]int, 0, 64)
-	for len(queue) > 0 {
-		v := queue[len(queue)-1]
-		queue = queue[:len(queue)-1]
-		if !alive[v] {
-			continue
-		}
-		// Two-hop sizes only shrink as vertices are removed, so a vertex
-		// that once dropped below the threshold is certain to be peeled.
-		affected = th.Append(v, alive, affected[:0])
-		alive[v] = false
-		for _, w := range affected {
-			if !alive[w] || queued[w] {
-				continue
-			}
-			if th.Size(w, alive) < thr {
-				queue = append(queue, w)
-				queued[w] = true
-			}
-		}
-	}
-	return alive
+	return BicoreMaskWithin(g, nil, thr)
 }

@@ -1,0 +1,251 @@
+package decomp
+
+import (
+	"slices"
+
+	"repro/internal/bigraph"
+)
+
+// BicoreMaskWithin peels the subgraph of g induced by start down to the
+// thr-bicore threshold fixed point, returning the surviving mask. A nil
+// start means the whole graph (BicoreMask semantics). start is not
+// modified.
+func BicoreMaskWithin(g *bigraph.Graph, start []bool, thr int) []bool {
+	n := g.NumVertices()
+	th := NewTwoHop(g)
+	alive := make([]bool, n)
+	if start == nil {
+		for v := range alive {
+			alive[v] = true
+		}
+	} else {
+		copy(alive, start)
+	}
+	queued := make([]bool, n)
+	queue := make([]int, 0)
+	for v := 0; v < n; v++ {
+		if alive[v] && !th.AtLeast(v, alive, thr) {
+			queue = append(queue, v)
+			queued[v] = true
+		}
+	}
+	affected := make([]int, 0, 64)
+	for len(queue) > 0 {
+		v := queue[len(queue)-1]
+		queue = queue[:len(queue)-1]
+		if !alive[v] {
+			continue
+		}
+		// Two-hop sizes only shrink as vertices are removed, so a vertex
+		// that once dropped below the threshold is certain to be peeled.
+		affected = th.Append(v, alive, affected[:0])
+		alive[v] = false
+		for _, w := range affected {
+			if !alive[w] || queued[w] {
+				continue
+			}
+			if !th.AtLeast(w, alive, thr) {
+				queue = append(queue, w)
+				queued[w] = true
+			}
+		}
+	}
+	return alive
+}
+
+// ReduceMaskWithin peels the subgraph of g induced by start to the
+// fixed point of both optimum-preserving rules — the (tau+1)-core and
+// the 2·tau+1 bicore threshold — alternating the two peels until no
+// vertex is removed. Because both certificates are monotone in the
+// vertex set, any greedy peel order terminates at the same set: the
+// unique maximal subset of start in which every vertex satisfies both
+// rules. A nil start means the whole graph.
+func ReduceMaskWithin(g *bigraph.Graph, start []bool, tau int) []bool {
+	mask := KCoreMaskWithin(g, orFull(g, start), tau+1)
+	for {
+		next := BicoreMaskWithin(g, mask, 2*tau+1)
+		next = KCoreMaskWithin(g, next, tau+1)
+		if slices.Equal(next, mask) {
+			return next
+		}
+		mask = next
+	}
+}
+
+// RepairMask attempts bounded local repair of a reduction's survivor set
+// after a mutation batch that includes insertions. survivors must be the
+// certificate fixed point of the pre-mutation graph at threshold tau
+// (every survivor meets both peeling rules within the survivor set, and
+// no set of peeled vertices could be re-admitted); g is the mutated
+// graph; touched are the unified ids of the batch's edge endpoints
+// (additions and deletions).
+//
+// Insertions only raise degrees and two-hop counts, so the new fixed
+// point is a superset of survivors — mutation can re-admit ("unpeel")
+// peeled vertices but never evict a survivor. The re-admitted region is
+// reachable from the batch: every re-admitted vertex is, inductively,
+// within a two-hop step (in the mutated graph) of a touched endpoint or
+// of another re-admitted vertex — a support chain broken by one of the
+// batch's own deletions lands on a touched endpoint instead. RepairMask
+// therefore grows a candidate frontier from touched through plausible
+// peeled vertices (full-graph degree ≥ tau+1 and |N≤2| ≥ 2·tau+1 — a
+// necessary condition for membership in any fixed point) and peels
+// survivors ∪ frontier back to the certificate fixed point, which by
+// the inclusion above is exactly the mutated graph's fixed point.
+//
+// budget caps how many peeled vertices the frontier may admit (≤ 0
+// means unlimited); when the frontier outgrows it the repair is
+// abandoned and (nil, false) is returned — the caller rebuilds from
+// scratch.
+func RepairMask(g *bigraph.Graph, tau int, survivors []bool, touched []int, budget int) ([]bool, bool) {
+	n := g.NumVertices()
+	th := NewTwoHop(g)
+	// Plausibility is memoised: 0 unknown, 1 plausible, 2 not. The
+	// degree test runs first (O(1), rejects the fringe); the two-hop
+	// test first tries the O(deg) lower bound |N≤2(v)| ≥ deg(v) +
+	// max-neighbour-degree − 1 (one- and two-hop neighbours live on
+	// opposite sides, so the sets are disjoint) — any vertex near a
+	// high-degree neighbour accepts without a sweep, and the vertices
+	// that do need the exact sweep have only low-degree neighbours, so
+	// their sweep is cheap too.
+	plaus := make([]int8, n)
+	plausible := func(v int) bool {
+		if plaus[v] == 0 {
+			plaus[v] = 2
+			if g.Deg(v) >= tau+1 {
+				maxNb := 0
+				for _, wn := range g.Neighbors(v) {
+					if d := g.Deg(int(wn)); d > maxNb {
+						maxNb = d
+					}
+				}
+				if g.Deg(v)+maxNb-1 >= 2*tau+1 || th.AtLeast(v, nil, 2*tau+1) {
+					plaus[v] = 1
+				}
+			}
+		}
+		return plaus[v] == 1
+	}
+	cand := make([]bool, n)
+	copy(cand, survivors)
+	admitted := make([]int, 0, 64)
+	queue := make([]int, 0, 64)
+	admit := func(v int) bool { // false when the budget is exhausted
+		if cand[v] || !plausible(v) {
+			return true
+		}
+		if budget > 0 && len(admitted) >= budget {
+			return false
+		}
+		cand[v] = true
+		admitted = append(admitted, v)
+		queue = append(queue, v)
+		return true
+	}
+	// expand offers v's N≤2 to the frontier. The closure only needs the
+	// *set* of reachable plausible peeled vertices, so each middle
+	// vertex's adjacency is swept at most once across the whole closure
+	// (swept[w]): without this, every candidate adjacent to a
+	// high-degree survivor would re-enumerate the hub's entire
+	// neighbourhood and the closure would cost frontier × hub-degree.
+	swept := make([]bool, n)
+	expand := func(v int) bool {
+		for _, wn := range g.Neighbors(v) {
+			w := int(wn)
+			if !admit(w) {
+				return false
+			}
+			if swept[w] {
+				continue
+			}
+			swept[w] = true
+			for _, xn := range g.Neighbors(w) {
+				if !admit(int(xn)) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	// Seed: the endpoints themselves plus everything within one two-hop
+	// step of them. Survivor endpoints still expand — peeled vertices
+	// next to them are reachable through the batch.
+	for _, e := range touched {
+		if e < 0 || e >= n {
+			return nil, false
+		}
+		if !admit(e) || !expand(e) {
+			return nil, false
+		}
+	}
+	// Transitive closure: an admitted candidate can support further
+	// peeled vertices two hops away, so the frontier grows through
+	// candidates (not through survivors, whose certificates predate the
+	// batch) until no plausible peeled vertex is reachable.
+	for len(queue) > 0 {
+		v := queue[len(queue)-1]
+		queue = queue[:len(queue)-1]
+		if !expand(v) {
+			return nil, false
+		}
+	}
+	buf := make([]int, 0, 64)
+
+	// Peel the candidate set back to the certificate fixed point,
+	// locally: the only vertices whose certificates can fail are the
+	// newly admitted candidates (never verified) and vertices whose
+	// counts a deletion lowered — the touched endpoints and their
+	// neighbours (a deleted edge (a,b) only lowers counts at a, b, and
+	// their remaining neighbours). Survivors away from the batch keep
+	// the certificates they proved at the last fixed point: insertions
+	// and admissions only raise counts. Each removal re-suspects its
+	// N≤2, so failures cascade exactly as far as they reach and the
+	// result equals ReduceMaskWithin(g, candidates, tau) at the cost of
+	// the affected region instead of a whole-graph sweep per round.
+	suspected := make([]bool, n)
+	peel := queue[:0]
+	suspect := func(v int) {
+		if cand[v] && !suspected[v] {
+			suspected[v] = true
+			peel = append(peel, v)
+		}
+	}
+	for _, v := range admitted {
+		suspect(v)
+	}
+	for _, e := range touched {
+		suspect(e)
+		for _, w := range g.Neighbors(e) {
+			suspect(int(w))
+		}
+	}
+	for len(peel) > 0 {
+		v := peel[len(peel)-1]
+		peel = peel[:len(peel)-1]
+		suspected[v] = false
+		if !cand[v] {
+			continue
+		}
+		if g.DegWithin(v, cand) >= tau+1 && th.AtLeast(v, cand, 2*tau+1) {
+			continue
+		}
+		buf = th.Append(v, cand, buf[:0])
+		cand[v] = false
+		for _, w := range buf {
+			suspect(w)
+		}
+	}
+	return cand, true
+}
+
+// orFull returns start, or the all-true mask when start is nil.
+func orFull(g *bigraph.Graph, start []bool) []bool {
+	if start != nil {
+		return start
+	}
+	alive := make([]bool, g.NumVertices())
+	for v := range alive {
+		alive[v] = true
+	}
+	return alive
+}

@@ -1,0 +1,202 @@
+package decomp
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/bigraph"
+	"repro/internal/workload"
+)
+
+// k33minus is K3,3 with the (2,2) edge missing. At tau=2 its certificate
+// fixed point is empty: no vertex of the 3-core survives the first peel
+// round after L2 and R2 (degree 2) are removed.
+func k33minus() *bigraph.Graph {
+	return bigraph.FromEdges(3, 3, [][2]int{
+		{0, 0}, {0, 1}, {0, 2}, {1, 0}, {1, 1}, {1, 2}, {2, 0}, {2, 1},
+	})
+}
+
+// TestBicoreMaskWithinRestrictsToStart: peeling within a start mask must
+// equal peeling the induced subgraph with the unrestricted threshold
+// mask, mapped back to the original ids.
+func TestBicoreMaskWithinRestrictsToStart(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for it := 0; it < 20; it++ {
+		g := workload.PowerLaw(10+rng.Intn(20), 10+rng.Intn(20), 90, 0.5, rng.Int63())
+		start := make([]bool, g.NumVertices())
+		for v := range start {
+			start[v] = rng.Intn(4) != 0
+		}
+		for thr := 1; thr <= 5; thr++ {
+			got := BicoreMaskWithin(g, start, thr)
+			sub, newToOld := g.InducedByMask(start)
+			want := make([]bool, g.NumVertices())
+			for nv, ok := range BicoreMask(sub, thr) {
+				if ok {
+					want[newToOld[nv]] = true
+				}
+			}
+			for v := range got {
+				if got[v] != want[v] {
+					t.Fatalf("it=%d thr=%d vertex %d: within=%v, induced=%v", it, thr, v, got[v], want[v])
+				}
+			}
+		}
+	}
+}
+
+// TestReduceMaskWithinFixedPoint: the subset-restricted fixed point must
+// match iterating ReduceMask with induced-subgraph materialisation — the
+// planner's original formulation.
+func TestReduceMaskWithinFixedPoint(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	for it := 0; it < 20; it++ {
+		g := workload.PowerLaw(12+rng.Intn(20), 12+rng.Intn(20), 110, 0.5, rng.Int63())
+		for tau := 0; tau <= 3; tau++ {
+			got := ReduceMaskWithin(g, nil, tau)
+			want := make([]bool, g.NumVertices())
+			cur, toOrig := g, bigraph.IdentityMap(g.NumVertices())
+			for cur.NumVertices() > 0 {
+				mask := ReduceMask(cur, tau)
+				kept := 0
+				for _, ok := range mask {
+					if ok {
+						kept++
+					}
+				}
+				if kept == cur.NumVertices() {
+					break
+				}
+				sub, n2 := cur.InducedByMask(mask)
+				bigraph.ComposeMap(n2, toOrig)
+				cur, toOrig = sub, n2
+			}
+			for _, ov := range toOrig[:cur.NumVertices()] {
+				want[ov] = true
+			}
+			for v := range got {
+				if got[v] != want[v] {
+					t.Fatalf("it=%d tau=%d vertex %d: within=%v, iterated=%v", it, tau, v, got[v], want[v])
+				}
+			}
+		}
+	}
+}
+
+// TestRepairMaskBatchResurrection is the first DESIGN §7 counterexample:
+// a batch of insertions assembles a biclique larger than tau entirely
+// among peeled vertices. Starting from the empty survivor set of
+// K3,3-minus-one-edge at tau=2, adding the missing edge turns the graph
+// into K3,3 and every vertex must be re-admitted.
+func TestRepairMaskBatchResurrection(t *testing.T) {
+	g := k33minus()
+	tau := 2
+	survivors := ReduceMaskWithin(g, nil, tau)
+	for v, ok := range survivors {
+		if ok {
+			t.Fatalf("setup: vertex %d survives K3,3-minus at tau=2", v)
+		}
+	}
+	g2, eff, err := g.Apply(bigraph.Delta{Add: [][2]int{{2, 2}}})
+	if err != nil || len(eff.Add) != 1 {
+		t.Fatalf("setup: apply failed: %v %+v", err, eff)
+	}
+	mask, ok := RepairMask(g2, tau, survivors, eff.Endpoints(g2.NL()), 100)
+	if !ok {
+		t.Fatal("repair gave up within budget 100 on a 6-vertex graph")
+	}
+	for v, alive := range mask {
+		if !alive {
+			t.Fatalf("vertex %d of the resurrected K3,3 not re-admitted", v)
+		}
+	}
+}
+
+// TestRepairMaskReadmitsThroughSurvivor is the second DESIGN §7
+// counterexample family: an insertion incident to a surviving vertex
+// restores a peeled vertex's certificate through that neighbour. L2 was
+// peeled from the K2,2 core for lack of degree; the new (L2,R1) edge
+// gives it two surviving neighbours and its two-hop count flows through
+// them, so it must be re-admitted even though it lost no certificate
+// check of its own in the old graph.
+func TestRepairMaskReadmitsThroughSurvivor(t *testing.T) {
+	// K2,2 on {L0,L1}×{R0,R1} plus a pendant L2–R0.
+	g := bigraph.FromEdges(3, 2, [][2]int{{0, 0}, {0, 1}, {1, 0}, {1, 1}, {2, 0}})
+	tau := 1
+	survivors := ReduceMaskWithin(g, nil, tau)
+	want := []bool{true, true, false, true, true} // L0 L1 L2 R0 R1
+	for v := range want {
+		if survivors[v] != want[v] {
+			t.Fatalf("setup: survivor mask %v, want %v", survivors, want)
+		}
+	}
+	g2, eff, err := g.Apply(bigraph.Delta{Add: [][2]int{{2, 1}}})
+	if err != nil || len(eff.Add) != 1 {
+		t.Fatalf("setup: apply failed: %v %+v", err, eff)
+	}
+	mask, ok := RepairMask(g2, tau, survivors, eff.Endpoints(g2.NL()), 100)
+	if !ok {
+		t.Fatal("repair gave up within budget")
+	}
+	for v := range mask {
+		if !mask[v] {
+			t.Fatalf("vertex %d not in the repaired fixed point %v", v, mask)
+		}
+	}
+}
+
+// TestRepairMaskMatchesFromScratch is the strong equivalence property:
+// starting from the exact certificate fixed point of the old graph, a
+// budget-unlimited repair after a random mutation batch (insertions,
+// deletions, or both) must land on exactly the from-scratch fixed point
+// of the mutated graph.
+func TestRepairMaskMatchesFromScratch(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for it := 0; it < 60; it++ {
+		nl, nr := 8+rng.Intn(18), 8+rng.Intn(18)
+		g := workload.PowerLaw(nl, nr, 40+rng.Intn(120), 0.5, rng.Int63())
+		tau := rng.Intn(4)
+		survivors := ReduceMaskWithin(g, nil, tau)
+		var d bigraph.Delta
+		for k := 0; k < 1+rng.Intn(6); k++ {
+			d.Add = append(d.Add, [2]int{rng.Intn(nl), rng.Intn(nr)})
+		}
+		edges := g.Edges()
+		for k := 0; k < rng.Intn(4) && len(edges) > 0; k++ {
+			d.Del = append(d.Del, edges[rng.Intn(len(edges))])
+		}
+		g2, eff, err := g.Apply(d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(eff.Add) == 0 {
+			continue
+		}
+		mask, ok := RepairMask(g2, tau, survivors, eff.Endpoints(g2.NL()), 0)
+		if !ok {
+			t.Fatalf("it=%d: unlimited-budget repair gave up", it)
+		}
+		want := ReduceMaskWithin(g2, nil, tau)
+		for v := range mask {
+			if mask[v] != want[v] {
+				t.Fatalf("it=%d tau=%d vertex %d: repaired=%v, from-scratch=%v (delta %+v)",
+					it, tau, v, mask[v], want[v], eff)
+			}
+		}
+	}
+}
+
+// TestRepairMaskBudget: a frontier larger than the budget must abandon
+// the repair rather than return a partial (unsound) mask.
+func TestRepairMaskBudget(t *testing.T) {
+	g := k33minus()
+	survivors := make([]bool, g.NumVertices()) // all peeled
+	g2, eff, err := g.Apply(bigraph.Delta{Add: [][2]int{{2, 2}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := RepairMask(g2, 2, survivors, eff.Endpoints(g2.NL()), 1); ok {
+		t.Fatal("repair with budget 1 admitted a 6-vertex frontier")
+	}
+}

@@ -61,6 +61,45 @@ func (t *TwoHop) Size(u int, alive []bool) int {
 	return count
 }
 
+// AtLeast reports whether |N≤2(u)| within alive reaches thr, stopping
+// the enumeration as soon as it does. Threshold peels only ever compare
+// the size against a bound, and near a high-degree neighbour the bound
+// is reached within a handful of steps — so AtLeast turns their
+// worst-case full-neighbourhood sweeps into near-constant probes.
+func (t *TwoHop) AtLeast(u int, alive []bool, thr int) bool {
+	if thr <= 0 {
+		return true
+	}
+	t.next()
+	t.mark[u] = t.stamp
+	count := 0
+	for _, wn := range t.g.Neighbors(u) {
+		w := int(wn)
+		if alive != nil && !alive[w] {
+			continue
+		}
+		if t.mark[w] != t.stamp {
+			t.mark[w] = t.stamp
+			if count++; count >= thr {
+				return true
+			}
+		}
+		for _, xn := range t.g.Neighbors(w) {
+			x := int(xn)
+			if alive != nil && !alive[x] {
+				continue
+			}
+			if t.mark[x] != t.stamp {
+				t.mark[x] = t.stamp
+				if count++; count >= thr {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
 // Append appends N≤2(u) (within alive) to dst and returns it. The order is
 // deterministic: 1-hop and 2-hop vertices interleaved by discovery along
 // sorted adjacency lists.

@@ -73,6 +73,12 @@ type Config struct {
 	ServeURL string
 	Requests int
 	Clients  int
+
+	// MuteMix selects the mutebench mutation stream: "cycle" (default —
+	// rounds alternate deletion-only, insertion-only, mixed), "insert"
+	// (insertion-only, the plan-repair hot path), or "mixed" (every
+	// round both inserts and deletes).
+	MuteMix string
 }
 
 // DefaultConfig returns a configuration sized to finish in a few minutes.

@@ -19,16 +19,19 @@ import (
 // MuteBench measures the mutable-graph serving path: it replays an
 // interleaved mutate/solve stream against a running mbbserved daemon
 // (Config.ServeURL, or an in-process one) — each round publishes one
-// edge batch (insertions, deletions or both) through POST
-// /graphs/{name}/edges and then fans a burst of solves over
-// Config.Clients concurrent clients.
+// edge batch through POST /graphs/{name}/edges and then fans a burst of
+// solves over Config.Clients concurrent clients. Config.MuteMix picks
+// the stream: "cycle" (default) alternates deletion-only, insertion-only
+// and mixed rounds; "insert" is insertion-only (the bounded-local-repair
+// hot path); "mixed" puts insertions and deletions in every batch.
 //
 // Every solve is checked against the versioning contract: the result
 // must be exact and must report exactly the epoch the round published
 // (no torn batches, no stale epochs once the mutation returned). The
-// printed table reports mutation and solve latency percentiles plus the
-// plan-maintenance story: how many epoch bumps carried the cached plan
-// across (deletion-only rounds) versus forcing a background rebuild.
+// printed table reports solve latency percentiles plus per-outcome
+// mutation latencies — reused (deletion-only carry), repaired (local
+// insertion repair) and rebuilding (plan invalidated) — which is the
+// repair-vs-rebuild comparison the maintenance path exists to win.
 func MuteBench(c Config) error {
 	c.fill()
 	rounds := c.Requests
@@ -38,6 +41,19 @@ func MuteBench(c Config) error {
 	clients := c.Clients
 	if clients <= 0 {
 		clients = 4
+	}
+	mix := c.MuteMix
+	if mix == "" {
+		mix = "cycle"
+	}
+	if mix != "cycle" && mix != "insert" && mix != "mixed" {
+		return fmt.Errorf("mutebench: unknown mix %q (want cycle, insert or mixed)", mix)
+	}
+	// Distinct record labels per mix so trajectory baselines keyed on
+	// the default stream never collide with the insert-heavy pass.
+	suffix := ""
+	if mix != "cycle" {
+		suffix = "-" + mix
 	}
 	const solvesPerRound = 3
 	const batch = 4
@@ -65,8 +81,8 @@ func MuteBench(c Config) error {
 	if err := sbPut(url+"/graphs/mutebench", buf.Bytes()); err != nil {
 		return fmt.Errorf("upload: %w", err)
 	}
-	fmt.Fprintf(c.W, "mutebench: graph %dx%d, %d edges; %d rounds x (1 mutation + %d solves) over %d clients\n",
-		g.NL(), g.NR(), g.NumEdges(), rounds, solvesPerRound, clients)
+	fmt.Fprintf(c.W, "mutebench[%s]: graph %dx%d, %d edges; %d rounds x (1 mutation + %d solves) over %d clients\n",
+		mix, g.NL(), g.NR(), g.NumEdges(), rounds, solvesPerRound, clients)
 
 	// Client-side mirror of the edge set, for generating batches that are
 	// valid and effective by construction.
@@ -92,16 +108,23 @@ func MuteBench(c Config) error {
 	if coldInfo.Result == nil || !coldInfo.Result.Exact {
 		return fmt.Errorf("cold solve not exact: %+v", coldInfo)
 	}
-	c.Recorder.add(Record{Exp: "mutebench", Dataset: "cold", Solver: coldInfo.Result.Solver,
+	c.Recorder.add(Record{Exp: "mutebench", Dataset: "cold" + suffix, Solver: coldInfo.Result.Solver,
 		Seconds: coldSecs, Size: coldInfo.Result.Size, Nodes: coldInfo.Result.Stats.Nodes})
 
-	var mutLat, solveLat []float64
-	reusedRounds, rebuildRounds := 0, 0
+	var solveLat []float64
+	mutLat := map[string][]float64{} // mutation latency per plan outcome
 	for round := 0; round < rounds; round++ {
-		// Round kinds cycle: deletions only (plan maintenance path),
-		// insertions only (background rebuild path), mixed.
+		// Round kinds: 0 deletions only (reuse path), 1 insertions only
+		// (repair path), 2 both. The cycle mix alternates them; insert
+		// pins kind 1; mixed pins kind 2.
 		var d bigraph.Delta
 		kind := round % 3
+		switch mix {
+		case "insert":
+			kind = 1
+		case "mixed":
+			kind = 2
+		}
 		delThisRound := make(map[[2]int]bool, batch)
 		if kind != 1 { // deletions
 			for k := 0; k < batch && len(edgeList) > 0; k++ {
@@ -142,16 +165,10 @@ func MuteBench(c Config) error {
 		if err := sbPost(url+"/graphs/mutebench/edges", payload, &mi); err != nil {
 			return fmt.Errorf("round %d mutation: %w", round, err)
 		}
-		mutLat = append(mutLat, time.Since(start).Seconds())
+		mutLat[mi.Plan] = append(mutLat[mi.Plan], time.Since(start).Seconds())
 		if mi.Added != len(d.Add) || mi.Removed != len(d.Del) {
 			return fmt.Errorf("round %d: mutation applied %d+/%d-, client expected %d+/%d-",
 				round, mi.Added, mi.Removed, len(d.Add), len(d.Del))
-		}
-		switch mi.Plan {
-		case "reused":
-			reusedRounds++
-		case "rebuilding":
-			rebuildRounds++
 		}
 
 		// Fan the round's solves over the client pool; every result must
@@ -186,7 +203,7 @@ func MuteBench(c Config) error {
 					}
 				default:
 					solveLat = append(solveLat, secs)
-					c.Recorder.add(Record{Exp: "mutebench", Dataset: "solve", Solver: info.Result.Solver,
+					c.Recorder.add(Record{Exp: "mutebench", Dataset: "solve" + suffix, Solver: info.Result.Solver,
 						Seconds: secs, Size: info.Result.Size, Nodes: info.Result.Stats.Nodes,
 						Tau: info.Result.Stats.Tau, Peeled: info.Result.Stats.Peeled,
 						Components: info.Result.Stats.Components})
@@ -204,21 +221,47 @@ func MuteBench(c Config) error {
 		return fmt.Errorf("graph info: %w", err)
 	}
 
-	mMean, mP50, mP95, mMax := sbDist(mutLat)
+	fmt.Fprintf(c.W, "%-18s %9s %10s %10s %10s %10s %10s\n", "op", "count", "mean", "p50", "p95", "p99", "max")
+	for _, outcome := range []string{"reused", "repaired", "rebuilding", "unchanged", "none"} {
+		lat := mutLat[outcome]
+		if len(lat) == 0 {
+			continue
+		}
+		mean, p50, p95, maxv := sbDist(lat)
+		fmt.Fprintf(c.W, "%-18s %9d %10s %10s %10s %10s %10s\n", "mutate/"+outcome, len(lat),
+			sbMs(mean), sbMs(p50), sbMs(p95), sbMs(sbPct(lat, 0.99)), sbMs(maxv))
+		c.Recorder.add(Record{Exp: "mutebench", Dataset: "mutate-" + outcome + "-p50" + suffix, Seconds: p50})
+	}
 	sMean, sP50, sP95, sMax := sbDist(solveLat)
-	fmt.Fprintf(c.W, "%-9s %9s %10s %10s %10s %10s %10s\n", "op", "count", "mean", "p50", "p95", "p99", "max")
-	fmt.Fprintf(c.W, "%-9s %9d %10s %10s %10s %10s %10s\n", "mutate", len(mutLat),
-		sbMs(mMean), sbMs(mP50), sbMs(mP95), sbMs(sbPct(mutLat, 0.99)), sbMs(mMax))
-	fmt.Fprintf(c.W, "%-9s %9d %10s %10s %10s %10s %10s\n", "solve", len(solveLat),
+	fmt.Fprintf(c.W, "%-18s %9d %10s %10s %10s %10s %10s\n", "solve", len(solveLat),
 		sbMs(sMean), sbMs(sP50), sbMs(sP95), sbMs(sbPct(solveLat, 0.99)), sbMs(sMax))
-	fmt.Fprintf(c.W, "epochs: %d published, plan carried across %d (deletion-only), rebuilt %d; plan_builds=%d plan_hits=%d\n",
-		gi.Epoch, reusedRounds, rebuildRounds, gi.PlanBuilds, gi.PlanHits)
-	c.Recorder.add(Record{Exp: "mutebench", Dataset: "mutate-p50", Seconds: mP50, Size: int(gi.Epoch)})
-	c.Recorder.add(Record{Exp: "mutebench", Dataset: "solve-p50", Seconds: sP50})
-	c.Recorder.add(Record{Exp: "mutebench", Dataset: "solve-p99", Seconds: sbPct(solveLat, 0.99)})
+	fmt.Fprintf(c.W, "epochs: %d published, plan reused %d, repaired %d, rebuilt %d; plan_builds=%d plan_hits=%d\n",
+		gi.Epoch, len(mutLat["reused"]), len(mutLat["repaired"]), len(mutLat["rebuilding"]), gi.PlanBuilds, gi.PlanHits)
+	if rep, reb := mutLat["repaired"], mutLat["rebuilding"]; len(rep) > 0 && len(reb) > 0 {
+		_, repP50, _, _ := sbDist(rep)
+		_, rebP50, _, _ := sbDist(reb)
+		fmt.Fprintf(c.W, "repair vs rebuild: p50 %s vs %s (mutation response; rebuilds also burn a background planner run)\n",
+			sbMs(repP50), sbMs(rebP50))
+	}
+	c.Recorder.add(Record{Exp: "mutebench", Dataset: "solve-p50" + suffix, Seconds: sP50})
+	c.Recorder.add(Record{Exp: "mutebench", Dataset: "solve-p99" + suffix, Seconds: sbPct(solveLat, 0.99)})
 
-	if gi.Mutations == 0 || gi.PlanReuses == 0 {
-		return fmt.Errorf("mutebench: no plan maintenance happened (mutations=%d plan_reuses=%d)", gi.Mutations, gi.PlanReuses)
+	// The contract each mix exists to exercise: the cycle mix must carry
+	// plans across deletion-only rounds, the insert mix must absorb
+	// insertion batches by local repair.
+	switch mix {
+	case "cycle":
+		if gi.Mutations == 0 || gi.PlanReuses == 0 {
+			return fmt.Errorf("mutebench: no plan maintenance happened (mutations=%d plan_reuses=%d)", gi.Mutations, gi.PlanReuses)
+		}
+	case "insert":
+		if gi.Mutations == 0 || gi.PlanRepairs == 0 {
+			return fmt.Errorf("mutebench: no plan repair happened (mutations=%d plan_repairs=%d)", gi.Mutations, gi.PlanRepairs)
+		}
+	default:
+		if gi.Mutations == 0 {
+			return fmt.Errorf("mutebench: no mutation took effect")
+		}
 	}
 	return nil
 }

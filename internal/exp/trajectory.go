@@ -86,6 +86,14 @@ func Trajectory(c Config) error {
 	if err := MuteBench(mb); err != nil {
 		return fmt.Errorf("trajectory mutebench: %w", err)
 	}
+	// The insert-heavy pass records the bounded-local-repair path —
+	// mutate-repaired-p50-insert et al. in BENCH_<pr>.json — so the
+	// trajectory captures repair latency alongside the default stream.
+	mbi := c
+	mbi.Requests, mbi.Clients, mbi.MuteMix = 9, 3, "insert"
+	if err := MuteBench(mbi); err != nil {
+		return fmt.Errorf("trajectory mutebench insert mix: %w", err)
+	}
 	return nil
 }
 

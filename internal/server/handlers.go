@@ -72,14 +72,15 @@ func (s *Server) routes() *http.ServeMux {
 
 // ServerStats is the GET /stats payload.
 type ServerStats struct {
-	Graphs     int         `json:"graphs"`
-	Mutations  int64       `json:"mutations"`
-	PlanBuilds int64       `json:"plan_builds"`
-	PlanHits   int64       `json:"plan_hits"`
-	PlanReuses int64       `json:"plan_reuses"`
-	Scheduler  SchedStats  `json:"scheduler"`
-	Uptime     float64     `json:"uptime_seconds"`
-	GraphList  []GraphInfo `json:"graph_list,omitempty"`
+	Graphs      int         `json:"graphs"`
+	Mutations   int64       `json:"mutations"`
+	PlanBuilds  int64       `json:"plan_builds"`
+	PlanHits    int64       `json:"plan_hits"`
+	PlanReuses  int64       `json:"plan_reuses"`
+	PlanRepairs int64       `json:"plan_repairs"`
+	Scheduler   SchedStats  `json:"scheduler"`
+	Uptime      float64     `json:"uptime_seconds"`
+	GraphList   []GraphInfo `json:"graph_list,omitempty"`
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
@@ -94,6 +95,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		st.PlanBuilds += gi.PlanBuilds
 		st.PlanHits += gi.PlanHits
 		st.PlanReuses += gi.PlanReuses
+		st.PlanRepairs += gi.PlanRepairs
 	}
 	if r.URL.Query().Get("graphs") != "" {
 		st.GraphList = graphs

@@ -1,6 +1,7 @@
 package server
 
 import (
+	"encoding/json"
 	"fmt"
 	"math/rand"
 	"net/http"
@@ -37,15 +38,23 @@ func TestMutateEndpoints(t *testing.T) {
 	if mi.Epoch != 1 || mi.Added != 1 || mi.Removed != 0 || mi.Edges != 9 {
 		t.Fatalf("mutation info %+v", mi)
 	}
-	// Insertions invalidate the cached plan (it was built by the first
-	// solve), so the store must report a rebuild, not a reuse.
-	if mi.Plan != "rebuilding" {
-		t.Fatalf("insertion reported plan %q, want rebuilding", mi.Plan)
+	// A bounded insertion batch is absorbed by local repair of the
+	// cached plan (built by the first solve): no full planner rerun.
+	if mi.Plan != "repaired" {
+		t.Fatalf("insertion reported plan %q, want repaired", mi.Plan)
+	}
+	info0 := decode[GraphInfo](t, func() []byte { _, d := do(t, http.MethodGet, ts.URL+"/graphs/m", nil); return d }())
+	if info0.PlanBuilds != 1 || info0.PlanRepairs != 1 || info0.PlanSource != "repaired" {
+		t.Fatalf("after repair: plan_builds=%d plan_repairs=%d plan_source=%q, want 1, 1, repaired",
+			info0.PlanBuilds, info0.PlanRepairs, info0.PlanSource)
 	}
 
 	job = solveSync(t, ts, "m", "")
 	if job.Result == nil || job.Result.Size != 3 || !job.Result.Exact || job.Result.Epoch != 1 {
 		t.Fatalf("epoch-1 solve: %+v", job.Result)
+	}
+	if !job.Result.PlanCached {
+		t.Error("solve after repair did not hit the plan cache")
 	}
 
 	resp, data = do(t, http.MethodDelete, ts.URL+"/graphs/m/edges",
@@ -160,6 +169,65 @@ func TestMutationPlanReuse(t *testing.T) {
 	}
 	if sg.Info().PlanReuses < 1 {
 		t.Errorf("plan_reuses = %d, want >= 1", sg.Info().PlanReuses)
+	}
+}
+
+// TestMutationPlanRepair: an insertion batch on a planned graph is
+// absorbed by bounded local repair — plan_builds stays at 1, the store
+// counts a repair, and the repaired plan still solves exactly (checked
+// against a cold planner run on the mutated graph).
+func TestMutationPlanRepair(t *testing.T) {
+	srv, ts := newTestServer(t, Options{Workers: 2})
+	g := mbb.GeneratePowerLaw(100, 100, 600, 9)
+	var sb strings.Builder
+	if err := mbb.WriteGraph(&sb, g); err != nil {
+		t.Fatal(err)
+	}
+	putGraph(t, ts, "pr", sb.String(), "")
+	solveSync(t, ts, "pr", "") // builds the plan
+
+	sg, _ := srv.Store().Get("pr")
+	// Insert a batch of fresh edges; a pristine plan must repair.
+	var adds [][2]int
+	for l := 0; l < g.NL() && len(adds) < 3; l++ {
+		for r := 0; r < g.NR() && len(adds) < 3; r++ {
+			if !g.HasEdge(l, g.NL()+r) {
+				adds = append(adds, [2]int{l, r})
+			}
+		}
+	}
+	body, err := json.Marshal(bigraph.Delta{Add: adds})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, data := do(t, http.MethodPost, ts.URL+"/graphs/pr/edges", strings.NewReader(string(body)))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("mutate: %d %s", resp.StatusCode, data)
+	}
+	mi := decode[MutationInfo](t, data)
+	if mi.Plan != "repaired" {
+		t.Fatalf("insertion batch reported plan %q, want repaired", mi.Plan)
+	}
+	info := sg.Info()
+	if info.PlanBuilds != 1 {
+		t.Fatalf("plan_builds = %d after a repaired insertion, want 1", info.PlanBuilds)
+	}
+	if info.PlanRepairs != 1 || info.PlanSource != "repaired" {
+		t.Fatalf("plan_repairs=%d plan_source=%q, want 1 and repaired", info.PlanRepairs, info.PlanSource)
+	}
+	job := solveSync(t, ts, "pr", "")
+	if job.Result == nil || !job.Result.Exact || job.Result.Epoch != mi.Epoch {
+		t.Fatalf("solve after repair: %+v", job.Result)
+	}
+	if !job.Result.PlanCached {
+		t.Error("solve after repair did not hit the plan cache")
+	}
+	cold, err := mbb.Solve(sg.Graph(), &mbb.Options{Reduce: mbb.ReduceOn})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if job.Result.Size != cold.Biclique.Size() {
+		t.Errorf("repaired plan found %d, cold planner found %d", job.Result.Size, cold.Biclique.Size())
 	}
 }
 
@@ -333,5 +401,116 @@ func TestConcurrentMutateSolveExactPerEpoch(t *testing.T) {
 	}
 	if sg.Info().Mutations == 0 {
 		t.Fatal("no mutation took effect")
+	}
+}
+
+// TestConcurrentInsertRepairExactPerEpoch drives the repair path under
+// -race: a mutator publishes insertion-only batches (each absorbed by
+// bounded local repair on the pristine plan chain) while solver
+// goroutines call Snapshot.Plan and solve concurrently. Every result
+// must be exact and match the brute-force optimum of the epoch it
+// reports — repaired plans must solve identically to fresh plans.
+func TestConcurrentInsertRepairExactPerEpoch(t *testing.T) {
+	srv, err := New(Options{Workers: 4, QueueCap: 256, DefaultTimeout: time.Minute})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	g := mbb.GeneratePowerLaw(7, 7, 16, 4)
+	sg, err := srv.Store().Put("g", g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Build the epoch-0 plan up front so every mutation sees a cached
+	// plan to repair.
+	if _, _, err := sg.Snapshot().Plan(); err != nil {
+		t.Fatal(err)
+	}
+
+	var (
+		oracleMu sync.Mutex
+		oracle   = map[uint64]int{0: baseline.BruteForceSize(g)}
+	)
+	const (
+		mutations       = 30
+		solvers         = 3
+		solvesPerSolver = 12
+	)
+	var wg sync.WaitGroup
+	errCh := make(chan error, solvers+1)
+
+	wg.Add(1)
+	go func() { // mutator: insertion-only batches
+		defer wg.Done()
+		rng := rand.New(rand.NewSource(6))
+		for i := 0; i < mutations; i++ {
+			var d bigraph.Delta
+			for k := 0; k < 1+rng.Intn(3); k++ {
+				d.Add = append(d.Add, [2]int{rng.Intn(7), rng.Intn(7)})
+			}
+			snap, _, err := sg.Mutate(d)
+			if err != nil {
+				errCh <- err
+				return
+			}
+			oracleMu.Lock()
+			if _, seen := oracle[snap.Epoch()]; !seen {
+				oracle[snap.Epoch()] = baseline.BruteForceSize(snap.Graph())
+			}
+			oracleMu.Unlock()
+		}
+	}()
+
+	type outcome struct {
+		epoch uint64
+		size  int
+		exact bool
+	}
+	results := make(chan outcome, solvers*solvesPerSolver)
+	for w := 0; w < solvers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < solvesPerSolver; i++ {
+				job, err := srv.Scheduler().Submit(sg, SolveRequest{})
+				if err != nil {
+					errCh <- err
+					return
+				}
+				<-job.Done()
+				res := job.Info().Result
+				if res == nil {
+					errCh <- fmt.Errorf("job %s finished without result: %+v", job.ID(), job.Info())
+					return
+				}
+				results <- outcome{epoch: res.Epoch, size: res.Size, exact: res.Exact}
+			}
+		}()
+	}
+	wg.Wait()
+	close(results)
+	close(errCh)
+	for err := range errCh {
+		t.Fatal(err)
+	}
+	for res := range results {
+		want, ok := oracle[res.epoch]
+		if !ok {
+			t.Fatalf("result reports epoch %d, which was never published", res.epoch)
+		}
+		if !res.exact {
+			t.Errorf("solve at epoch %d not exact", res.epoch)
+		}
+		if res.size != want {
+			t.Errorf("solve at epoch %d found %d, oracle says %d", res.epoch, res.size, want)
+		}
+	}
+	info := sg.Info()
+	if info.PlanRepairs == 0 {
+		t.Fatal("no insertion batch was absorbed by repair")
+	}
+	if info.PlanBuilds != 1 {
+		t.Errorf("plan_builds = %d under insertion-only mutation, want 1 (all repairs)", info.PlanBuilds)
 	}
 }

@@ -95,6 +95,7 @@ type StatsJSON struct {
 	Tau        int    `json:"tau"`
 	Peeled     int64  `json:"peeled"`
 	Components int    `json:"components"`
+	Repairs    int    `json:"repairs,omitempty"` // plan repairs the serving plan accumulated
 	Step       string `json:"step,omitempty"`
 	TimedOut   bool   `json:"timed_out"`
 }
@@ -102,7 +103,7 @@ type StatsJSON struct {
 func statsJSON(s core.Stats) StatsJSON {
 	out := StatsJSON{
 		Nodes: s.Nodes, Tau: s.SeedTau, Peeled: s.Peeled,
-		Components: s.Components, TimedOut: s.TimedOut,
+		Components: s.Components, Repairs: s.Repairs, TimedOut: s.TimedOut,
 	}
 	if s.Step != core.StepNone {
 		out.Step = s.Step.String()
@@ -350,6 +351,12 @@ func (s *Scheduler) run(job *Job) {
 	defer job.mu.Unlock()
 	job.finishedAt = time.Now()
 	switch {
+	case job.canceled && errors.Is(err, context.Canceled):
+		// The cancellation itself surfaced as an error from the solver
+		// path. That is a canceled job, not a failed one — there is no
+		// best-so-far result to keep, but the state must say "canceled"
+		// so clients can tell their own cancel apart from a crash.
+		job.state = JobCanceled
 	case err != nil:
 		job.state = JobFailed
 		job.errMsg = err.Error()

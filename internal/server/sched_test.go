@@ -1,0 +1,77 @@
+package server
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/mbb"
+)
+
+// cancelErrSolver registers (once) a solver that waits for cancellation
+// and then surfaces it as an error, the way a solver path that checks
+// its context mid-search would.
+var cancelErrSolver sync.Once
+
+func registerCancelErrSolver(t *testing.T) {
+	t.Helper()
+	cancelErrSolver.Do(func() {
+		err := mbb.Register(mbb.SolverSpec{
+			Name: "testCancelErr",
+			Doc:  "test-only: blocks until stopped, then returns context.Canceled",
+			Run: func(ex *core.Exec, g *mbb.Graph, opt *mbb.Options) (core.Result, error) {
+				for !ex.ShouldStop() {
+					time.Sleep(time.Millisecond)
+				}
+				return core.Result{}, context.Canceled
+			},
+		})
+		if err != nil {
+			t.Fatalf("register test solver: %v", err)
+		}
+	})
+}
+
+// TestCanceledJobSurfacingCanceledError is the regression test for the
+// canceled-job misclassification: when cancellation makes the solver
+// path return context.Canceled as an error, the job must land in
+// JobCanceled — not JobFailed with a spurious error message.
+func TestCanceledJobSurfacingCanceledError(t *testing.T) {
+	registerCancelErrSolver(t)
+	srv, err := New(Options{Workers: 1, QueueCap: 4, DefaultTimeout: time.Minute})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	sg, err := srv.Store().Put("g", mustParse(t, k33minus))
+	if err != nil {
+		t.Fatal(err)
+	}
+	job, err := srv.Scheduler().Submit(sg, SolveRequest{Solver: "testCancelErr", Timeout: "1m"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Wait until the job is actually running so the cancel exercises the
+	// running-job path (a queued job is finished directly by Cancel).
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if job.Info().State == JobRunning {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job never started: %+v", job.Info())
+		}
+		time.Sleep(time.Millisecond)
+	}
+	srv.Scheduler().Cancel(job.ID())
+	<-job.Done()
+	info := job.Info()
+	if info.State != JobCanceled {
+		t.Fatalf("job state %q (error %q), want %q", info.State, info.Error, JobCanceled)
+	}
+	if info.Error != "" {
+		t.Fatalf("canceled job carries error %q, want none", info.Error)
+	}
+}

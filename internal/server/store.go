@@ -72,10 +72,18 @@ type Snapshot struct {
 	planVal atomic.Pointer[planOutcome]
 }
 
-// planOutcome is the immutable result of one plan build (or inheritance).
+// planOutcome is the immutable result of one plan build, repair or
+// inheritance. source records how this snapshot got its plan ("built":
+// a full planner run; "repaired": bounded local repair across an
+// insertion batch; "inherited": carried across a deletion-only batch
+// unchanged) and nanos the wall time this snapshot itself paid for it —
+// an inherited plan no longer reports its predecessor's build time as
+// its own.
 type planOutcome struct {
-	plan *mbb.Plan
-	err  error
+	plan   *mbb.Plan
+	err    error
+	source string
+	nanos  int64
 }
 
 // Graph returns this snapshot's parsed graph.
@@ -95,8 +103,7 @@ func (sn *Snapshot) Plan() (plan *mbb.Plan, built bool, err error) {
 		start := time.Now()
 		sn.sg.planBuilds.Add(1)
 		p, perr := mbb.PlanContextEpoch(context.Background(), sn.g, sn.epoch)
-		sn.sg.planNanos.Store(int64(time.Since(start)))
-		sn.planVal.Store(&planOutcome{plan: p, err: perr})
+		sn.planVal.Store(&planOutcome{plan: p, err: perr, source: "built", nanos: int64(time.Since(start))})
 	})
 	out := sn.planVal.Load() // non-nil: Do returns only after the outcome stored it
 	if out.err == nil && !built {
@@ -115,11 +122,11 @@ type StoredGraph struct {
 	mu  sync.Mutex // serializes mutations (epoch transitions)
 	cur atomic.Pointer[Snapshot]
 
-	mutations  atomic.Int64 // effective mutations (epoch bumps)
-	planBuilds atomic.Int64 // full planner runs across all snapshots
-	planHits   atomic.Int64 // solves that reused an already-present plan
-	planReuses atomic.Int64 // mutations that carried the plan across (ApplyDelta)
-	planNanos  atomic.Int64 // wall time of the latest full plan build
+	mutations   atomic.Int64 // effective mutations (epoch bumps)
+	planBuilds  atomic.Int64 // full planner runs across all snapshots
+	planHits    atomic.Int64 // solves that reused an already-present plan
+	planReuses  atomic.Int64 // mutations that carried the plan across unchanged
+	planRepairs atomic.Int64 // mutations absorbed by bounded local repair
 }
 
 // Name returns the store key.
@@ -150,8 +157,11 @@ type MutationInfo struct {
 	NR      int    `json:"nr"`
 	Edges   int    `json:"edges"`
 	// Plan reports what happened to the cached plan: "reused" (carried
-	// across by ApplyDelta), "rebuilding" (invalidated; a background
-	// rebuild was scheduled), or "none" (no plan was built yet).
+	// across unchanged by ApplyDelta), "repaired" (insertions absorbed
+	// by bounded local repair — still no full planner run), "rebuilding"
+	// (invalidated; a background rebuild was scheduled), "unchanged" (a
+	// no-op batch left the snapshot and its plan untouched), or "none"
+	// (no plan was built yet).
 	Plan string `json:"plan"`
 }
 
@@ -180,22 +190,31 @@ func (sg *StoredGraph) Mutate(d bigraph.Delta) (*Snapshot, MutationInfo, error) 
 	}
 	if eff.Empty() {
 		// Nothing changed: keep the snapshot (and its plan) as is, so
-		// no-op batches cost no epoch bump and no cache invalidation.
+		// no-op batches cost no epoch bump, no cache invalidation — and
+		// no reuse accounting, since nothing was carried anywhere.
 		if out := old.planVal.Load(); out != nil && out.err == nil {
-			info.Plan = "reused"
+			info.Plan = "unchanged"
 		}
 		return old, info, nil
 	}
 	snap := &Snapshot{sg: sg, g: g2, epoch: old.epoch + 1, at: time.Now()}
 	rebuild := false
 	if out := old.planVal.Load(); out != nil && out.err == nil {
+		start := time.Now()
 		if p2, ok := out.plan.ApplyDelta(g2, eff, snap.epoch); ok {
 			// Pre-populate before publishing: consume the Once so Plan()
 			// never rebuilds what the maintenance path already proved.
-			snap.planVal.Store(&planOutcome{plan: p2})
+			source := "inherited"
+			if p2.Repairs() > out.plan.Repairs() {
+				source = "repaired"
+				sg.planRepairs.Add(1)
+				info.Plan = "repaired"
+			} else {
+				sg.planReuses.Add(1)
+				info.Plan = "reused"
+			}
+			snap.planVal.Store(&planOutcome{plan: p2, source: source, nanos: int64(time.Since(start))})
 			snap.planOnce.Do(func() {})
-			sg.planReuses.Add(1)
-			info.Plan = "reused"
 		} else {
 			rebuild = true
 			info.Plan = "rebuilding"
@@ -217,18 +236,25 @@ func (sg *StoredGraph) Mutate(d bigraph.Delta) (*Snapshot, MutationInfo, error) 
 
 // GraphInfo is the JSON view of a stored graph's current snapshot.
 type GraphInfo struct {
-	Name       string  `json:"name"`
-	NL         int     `json:"nl"`
-	NR         int     `json:"nr"`
-	Edges      int     `json:"edges"`
-	Density    float64 `json:"density"`
-	Epoch      uint64  `json:"epoch"`
-	Mutations  int64   `json:"mutations"`
-	LoadedAt   string  `json:"loaded_at"` // when the current snapshot was published
-	PlanCached bool    `json:"plan_cached"`
-	PlanBuilds int64   `json:"plan_builds"`
-	PlanHits   int64   `json:"plan_hits"`
-	PlanReuses int64   `json:"plan_reuses"`
+	Name        string  `json:"name"`
+	NL          int     `json:"nl"`
+	NR          int     `json:"nr"`
+	Edges       int     `json:"edges"`
+	Density     float64 `json:"density"`
+	Epoch       uint64  `json:"epoch"`
+	Mutations   int64   `json:"mutations"`
+	LoadedAt    string  `json:"loaded_at"` // when the current snapshot was published
+	PlanCached  bool    `json:"plan_cached"`
+	PlanBuilds  int64   `json:"plan_builds"`
+	PlanHits    int64   `json:"plan_hits"`
+	PlanReuses  int64   `json:"plan_reuses"`
+	PlanRepairs int64   `json:"plan_repairs"`
+	// PlanSource says how the current snapshot got its plan ("built",
+	// "repaired", "inherited"); PlanMillis is the wall time this
+	// snapshot itself spent obtaining it — a snapshot that inherited its
+	// plan across a mutation no longer reports the predecessor's build
+	// time as its own.
+	PlanSource string  `json:"plan_source,omitempty"`
 	PlanMillis float64 `json:"plan_millis,omitempty"`
 	SeedTau    int     `json:"tau,omitempty"`
 	Peeled     int     `json:"peeled,omitempty"`
@@ -240,20 +266,22 @@ type GraphInfo struct {
 func (sg *StoredGraph) Info() GraphInfo {
 	sn := sg.Snapshot()
 	info := GraphInfo{
-		Name:       sg.name,
-		NL:         sn.g.NL(),
-		NR:         sn.g.NR(),
-		Edges:      sn.g.NumEdges(),
-		Density:    sn.g.Density(),
-		Epoch:      sn.epoch,
-		Mutations:  sg.mutations.Load(),
-		LoadedAt:   sn.at.UTC().Format(time.RFC3339),
-		PlanBuilds: sg.planBuilds.Load(),
-		PlanHits:   sg.planHits.Load(),
-		PlanReuses: sg.planReuses.Load(),
+		Name:        sg.name,
+		NL:          sn.g.NL(),
+		NR:          sn.g.NR(),
+		Edges:       sn.g.NumEdges(),
+		Density:     sn.g.Density(),
+		Epoch:       sn.epoch,
+		Mutations:   sg.mutations.Load(),
+		LoadedAt:    sn.at.UTC().Format(time.RFC3339),
+		PlanBuilds:  sg.planBuilds.Load(),
+		PlanHits:    sg.planHits.Load(),
+		PlanReuses:  sg.planReuses.Load(),
+		PlanRepairs: sg.planRepairs.Load(),
 	}
 	if out := sn.planVal.Load(); out != nil {
-		info.PlanMillis = float64(sg.planNanos.Load()) / 1e6
+		info.PlanSource = out.source
+		info.PlanMillis = float64(out.nanos) / 1e6
 		if out.err == nil {
 			info.PlanCached = true
 			info.SeedTau = out.plan.SeedTau()
@@ -358,8 +386,11 @@ func (s *Store) Len() int {
 // LoadDir preloads every regular file in dir into the store: files named
 // *.konect or out.* parse as KONECT, everything else as the text
 // edge-list format. The graph name is the file's base name with the
-// extension stripped (out.foo becomes foo). Returns how many graphs were
-// loaded; the first parse error aborts the load.
+// extension stripped (out.foo becomes foo). Hidden files (dotfiles such
+// as .gitignore or .DS_Store) are skipped — filepath.Ext would strip
+// their whole name to the empty string, which can never be a valid graph
+// name and used to abort the entire preload. Returns how many graphs
+// were loaded; the first parse error aborts the load.
 func (s *Store) LoadDir(dir string) (int, error) {
 	entries, err := os.ReadDir(dir)
 	if err != nil {
@@ -367,7 +398,7 @@ func (s *Store) LoadDir(dir string) (int, error) {
 	}
 	n := 0
 	for _, e := range entries {
-		if e.IsDir() {
+		if e.IsDir() || strings.HasPrefix(e.Name(), ".") {
 			continue
 		}
 		path := filepath.Join(dir, e.Name())

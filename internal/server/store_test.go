@@ -1,0 +1,55 @@
+package server
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestLoadDirSkipsHiddenFiles is the regression test for the dotfile
+// preload bug: filepath.Ext strips a dotfile's entire name (".gitignore"
+// has extension ".gitignore"), producing an empty graph name that fails
+// validation and used to abort the whole preload. Hidden files must be
+// skipped, not fatal.
+func TestLoadDirSkipsHiddenFiles(t *testing.T) {
+	dir := t.TempDir()
+	files := map[string]string{
+		"tiny.txt":   "2 2 2\n0 0\n1 1\n",
+		".gitignore": "*.log\n",
+		".DS_Store":  "\x00\x01junk",
+	}
+	for name, content := range files {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s := NewStore(0, 0)
+	n, err := s.LoadDir(dir)
+	if err != nil {
+		t.Fatalf("LoadDir: %v", err)
+	}
+	if n != 1 {
+		t.Fatalf("loaded %d graphs, want 1", n)
+	}
+	sg, ok := s.Get("tiny")
+	if !ok {
+		t.Fatal("graph \"tiny\" not loaded")
+	}
+	if g := sg.Graph(); g.NL() != 2 || g.NR() != 2 || g.NumEdges() != 2 {
+		t.Fatalf("loaded graph %dx%d/%d, want 2x2/2", g.NL(), g.NR(), g.NumEdges())
+	}
+}
+
+// TestLoadDirOnlyHiddenFiles: a directory holding nothing but dotfiles
+// preloads zero graphs without error.
+func TestLoadDirOnlyHiddenFiles(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, ".DS_Store"), []byte("junk"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s := NewStore(0, 0)
+	n, err := s.LoadDir(dir)
+	if err != nil || n != 0 {
+		t.Fatalf("LoadDir = (%d, %v), want (0, nil)", n, err)
+	}
+}

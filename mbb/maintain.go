@@ -1,6 +1,11 @@
 package mbb
 
-import "repro/internal/bigraph"
+import (
+	"slices"
+
+	"repro/internal/bigraph"
+	"repro/internal/decomp"
+)
 
 // Delta is a batch of edge mutations in side-local (left, right) pairs;
 // see bigraph.Delta for the apply semantics (deletions before additions,
@@ -8,45 +13,88 @@ import "repro/internal/bigraph"
 // snapshot plus the effective delta that Plan.ApplyDelta consumes.
 type Delta = bigraph.Delta
 
+// defaultRepairBudget bounds how many peeled vertices the insertion
+// repair frontier may re-examine before ApplyDelta gives up and reports
+// a rebuild: generous enough that small graphs always repair, scaling
+// sublinearly so a repair on a large graph stays local by construction.
+func defaultRepairBudget(n int) int {
+	b := n / 8
+	if b < 256 {
+		b = 256
+	}
+	return b
+}
+
+// maxPendingDel caps the deletion-endpoint log a plan may accumulate
+// between certificate fixed points; past it the plan goes loose and the
+// next insertion rebuilds. It bounds both plan memory and the repair
+// seed set a long deletion-only stream can pile up.
+const maxPendingDel = 4096
+
 // ApplyDelta attempts incremental plan maintenance across a graph
 // mutation: given g2 — the result of p.Graph().Apply(d) — and the
 // *effective* delta reported by that Apply call, it returns a plan for
 // g2 carrying the new epoch without re-running the planner, or
 // (nil, false) when the delta could invalidate the cached preprocessing
-// and a full PlanContext rebuild is required.
+// and a full PlanContext rebuild is required. It is shorthand for
+// ApplyDeltaBudget with the default repair budget.
 //
-// The cheap path applies exactly when the delta is deletion-only and no
-// deleted edge lies inside the heuristic witness:
+// Deletion-only deltas that spare the heuristic witness reuse the plan
+// outright (Repairs unchanged): deleting edges only lowers degrees and
+// two-hop counts, so every peeled vertex's certificate (the iterated
+// (τ+1)-core ∩ 2τ+1-bicore mask) still holds, the witness stays a
+// complete biclique achieving τ, and survivor–survivor deletions are
+// patched into the cached reduced graph.
 //
-//   - deleting edges only lowers degrees and two-hop counts, so every
-//     peeled vertex's peeling certificate (the iterated (τ+1)-core ∩
-//     2τ+1-bicore mask) still holds in g2;
-//   - the witness stays a complete biclique, so τ is still an achieved
-//     lower bound;
-//   - deletions between two surviving vertices are patched into the
-//     cached reduced graph (its vertex ids are stable — no vertex is
-//     removed), so component solves see exactly g2's surviving subgraph;
-//     deletions touching a peeled endpoint don't appear in the reduced
-//     graph at all.
+// Deltas with insertions take the bounded local repair path (Repairs
+// grows by one on success): insertions only raise degrees and two-hop
+// counts, so the certificate fixed point can re-admit peeled vertices
+// but never evicts a survivor, and every re-admittable vertex is
+// reachable from the batch's endpoints by two-hop steps through
+// plausible peeled vertices (decomp.RepairMask). The repaired plan's
+// reduced graph and component jobs are recomputed from the new survivor
+// set, so its solves are exact for g2. The repair refuses — forcing a
+// rebuild — when the frontier outgrows the budget, when the witness is
+// implicated (a deletion inside it would invalidate τ), or when earlier
+// deletion-only maintenance left the survivor set loose (no longer a
+// certificate fixed point, so locality of the repair can't be proven).
 //
-// Insertions always force a rebuild, even between peeled vertices: a
-// batch of insertions can assemble a biclique larger than τ entirely
-// among peeled vertices, and a single insertion between survivors can
-// raise a peeled vertex's two-hop bicore count through a surviving
-// neighbour — either way the cached reduction's certificates no longer
-// bound the new optimum. Callers are expected to keep serving the prior
-// snapshot's plan (stale but exact for that epoch) while the rebuild
-// runs; internal/server does exactly that.
+// Callers are expected to keep serving the prior snapshot's plan (stale
+// but exact for that epoch) while any rebuild runs; internal/server
+// does exactly that.
 func (p *Plan) ApplyDelta(g2 *Graph, d Delta, epoch uint64) (*Plan, bool) {
-	if p.partial || len(d.Add) > 0 || g2 == nil ||
-		g2.NL() != p.g.NL() || g2.NR() != p.g.NR() {
+	return p.ApplyDeltaBudget(g2, d, epoch, 0)
+}
+
+// ApplyDeltaBudget is ApplyDelta with an explicit repair budget: the
+// maximum number of peeled vertices the insertion repair may re-examine
+// before giving up (≤ 0 picks the default, which scales with the graph).
+func (p *Plan) ApplyDeltaBudget(g2 *Graph, d Delta, epoch uint64, budget int) (*Plan, bool) {
+	if p.partial || g2 == nil || g2.NL() != p.g.NL() || g2.NR() != p.g.NR() {
 		return nil, false
 	}
 	np := *p
 	np.g = g2
 	np.epoch = epoch
-	if len(d.Del) == 0 {
+	if d.Empty() {
 		return &np, true
+	}
+	if p.witnessHit(d.Del) {
+		// The witness is complete, so a deletion inside it destroys it
+		// and τ is no longer achieved — rebuild.
+		return nil, false
+	}
+	if len(d.Add) == 0 {
+		return p.applyDeletions(&np, d)
+	}
+	return p.applyRepair(&np, d, budget)
+}
+
+// witnessHit reports whether any deleted edge lies inside the heuristic
+// witness biclique (side-local pairs, as in Delta).
+func (p *Plan) witnessHit(del [][2]int) bool {
+	if len(del) == 0 {
+		return false
 	}
 	inA := make(map[int]bool, len(p.seed.A))
 	for _, v := range p.seed.A {
@@ -56,26 +104,48 @@ func (p *Plan) ApplyDelta(g2 *Graph, d Delta, epoch uint64) (*Plan, bool) {
 	for _, v := range p.seed.B {
 		inB[v] = true
 	}
+	for _, e := range del {
+		if inA[e[0]] && inB[p.g.NL()+e[1]] {
+			return true
+		}
+	}
+	return false
+}
+
+// oldToNewMap inverts the reduction's id mapping.
+func (p *Plan) oldToNewMap() map[int]int {
 	oldToNew := make(map[int]int, len(p.red.newToOld))
 	for nv, ov := range p.red.newToOld {
 		oldToNew[ov] = nv
 	}
-	var redDel [][2]int
-	for _, e := range d.Del {
-		u, v := e[0], p.g.NL()+e[1]
-		if inA[u] && inB[v] {
-			// The witness is complete, so this deletion destroys it and τ
-			// is no longer achieved — rebuild.
-			return nil, false
-		}
-		nu, okU := oldToNew[u]
-		nv, okV := oldToNew[v]
+	return oldToNew
+}
+
+// restrict maps the side-local edges of d whose endpoints both survive
+// the reduction into the reduced graph's side-local id space.
+func (p *Plan) restrict(oldToNew map[int]int, edges [][2]int) [][2]int {
+	var out [][2]int
+	for _, e := range edges {
+		nu, okU := oldToNew[e[0]]
+		nv, okV := oldToNew[p.g.NL()+e[1]]
 		if okU && okV {
 			// Induced subgraphs preserve sides, so nu is left-side in the
-			// reduced id space exactly when u is.
-			redDel = append(redDel, [2]int{nu, nv - p.red.g.NL()})
+			// reduced id space exactly when the original endpoint is.
+			out = append(out, [2]int{nu, nv - p.red.g.NL()})
 		}
 	}
+	return out
+}
+
+// applyDeletions is the deletion-only maintenance path: survivors and
+// component jobs are kept (deletions can only split components, and
+// solving a superset is sound), and survivor–survivor deletions are
+// patched into the cached reduced graph so component solves see exactly
+// g2's surviving subgraph. The deleted edges' endpoints are logged so a
+// later insertion repair can still bound its frontier even though the
+// kept survivor set may no longer be a certificate fixed point.
+func (p *Plan) applyDeletions(np *Plan, d Delta) (*Plan, bool) {
+	redDel := p.restrict(p.oldToNewMap(), d.Del)
 	if len(redDel) > 0 {
 		sub, eff, err := p.red.g.Apply(Delta{Del: redDel})
 		if err != nil || len(eff.Del) != len(redDel) {
@@ -85,5 +155,102 @@ func (p *Plan) ApplyDelta(g2 *Graph, d Delta, epoch uint64) (*Plan, bool) {
 		}
 		np.red = reduction{g: sub, newToOld: p.red.newToOld, peeled: p.red.peeled}
 	}
-	return &np, true
+	if !np.loose {
+		// Copy-on-append, deduplicated: sibling plans down other
+		// maintenance chains must not see this chain's log, and a
+		// stream of deletions around one hub must not inflate the log
+		// with repeats of the same endpoint.
+		seen := make(map[int]bool, len(p.pendingDel))
+		log := append([]int(nil), p.pendingDel...)
+		for _, v := range log {
+			seen[v] = true
+		}
+		for _, v := range (Delta{Del: d.Del}).Endpoints(p.g.NL()) {
+			if !seen[v] {
+				seen[v] = true
+				log = append(log, v)
+			}
+		}
+		if len(log) > maxPendingDel {
+			np.pendingDel = nil
+			np.loose = true
+		} else {
+			np.pendingDel = log
+		}
+	}
+	return np, true
+}
+
+// applyRepair is the insertion path: bounded local repair of the
+// peeling certificates, re-admitting whatever the batch could have
+// restored and rebuilding the reduced graph and jobs from the repaired
+// survivor set.
+func (p *Plan) applyRepair(np *Plan, d Delta, budget int) (*Plan, bool) {
+	if p.loose {
+		// The deletion-endpoint log overflowed: the survivor set may be
+		// arbitrarily far from a fixed point with no bounded seed set
+		// left, so the repair's locality argument does not apply.
+		return nil, false
+	}
+	g2 := np.g
+	if !p.seed.IsBicliqueOf(g2) {
+		// Witness re-validation: deletions were already checked edge by
+		// edge, so a non-witness here means d and g2 are inconsistent.
+		return nil, false
+	}
+	n := g2.NumVertices()
+	survivors := make([]bool, n)
+	for _, ov := range p.red.newToOld {
+		survivors[ov] = true
+	}
+	if budget <= 0 {
+		budget = defaultRepairBudget(n)
+	}
+	// Seed the frontier with this batch's endpoints plus every deletion
+	// endpoint logged since the last fixed point: a support chain for a
+	// re-admission that would have run through a since-deleted edge is
+	// only discoverable from that edge's endpoints.
+	touched := d.Endpoints(g2.NL())
+	if len(p.pendingDel) > 0 {
+		touched = append(append([]int(nil), touched...), p.pendingDel...)
+	}
+	mask, ok := decomp.RepairMask(g2, p.tau, survivors, touched, budget)
+	if !ok {
+		return nil, false
+	}
+	same := slices.Equal(mask, survivors)
+	// Component jobs must be recomputed whenever the reduced graph may
+	// have gained an edge or a vertex — an addition or re-admission can
+	// merge two components into one solve unit. A repair that only
+	// touched peeled fringe (or only removed reduced edges, which at
+	// worst splits a component — solving the superset job stays sound)
+	// keeps the cached job list.
+	rejoin := false
+	if same {
+		// Survivor set unchanged: patch the batch's survivor–survivor
+		// edges into the cached reduced graph instead of re-inducing.
+		oldToNew := p.oldToNewMap()
+		redAdd := p.restrict(oldToNew, d.Add)
+		redDel := p.restrict(oldToNew, d.Del)
+		if len(redAdd)+len(redDel) > 0 {
+			sub, eff, err := p.red.g.Apply(Delta{Add: redAdd, Del: redDel})
+			if err != nil || len(eff.Add) != len(redAdd) || len(eff.Del) != len(redDel) {
+				return nil, false
+			}
+			np.red = reduction{g: sub, newToOld: p.red.newToOld, peeled: p.red.peeled}
+			rejoin = len(redAdd) > 0
+		}
+	} else {
+		sub, newToOld := g2.InducedByMask(mask)
+		np.red = reduction{g: sub, newToOld: newToOld, peeled: n - sub.NumVertices()}
+		rejoin = true
+	}
+	if rejoin {
+		np.jobs = collectJobs(np.red, p.tau)
+	}
+	// The repaired survivor set is a certificate fixed point of g2
+	// again, so the deletion-endpoint log restarts empty.
+	np.pendingDel = nil
+	np.repairs = p.repairs + 1
+	return np, true
 }

@@ -63,28 +63,228 @@ func TestApplyDeltaDeletionDifferential(t *testing.T) {
 	t.Logf("reused %d plans, refused %d (witness deletions)", reused, refused)
 }
 
-// TestApplyDeltaRejectsInsertions: any insertion — even between peeled
-// vertices — must force a rebuild, because a batch of insertions can
-// assemble a larger biclique entirely outside the cached reduction.
-func TestApplyDeltaRejectsInsertions(t *testing.T) {
+// TestApplyDeltaInsertionDifferential is the differential test of the
+// bounded-local-repair path: whenever ApplyDelta absorbs a batch with
+// insertions, solving through the repaired plan must produce the same
+// optimum as a cold planner run on the mutated graph, and the repair
+// counter must advance.
+func TestApplyDeltaInsertionDifferential(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	repaired, refused := 0, 0
+	for trial := 0; trial < 25; trial++ {
+		g := GeneratePowerLaw(30+rng.Intn(30), 30+rng.Intn(30), 250+rng.Intn(200), int64(trial))
+		p, err := PlanContext(context.Background(), g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var d Delta
+		for i := 0; i < 1+rng.Intn(5); i++ {
+			d.Add = append(d.Add, [2]int{rng.Intn(g.NL()), rng.Intn(g.NR())})
+		}
+		edges := g.Edges()
+		for i := 0; i < rng.Intn(3); i++ {
+			d.Del = append(d.Del, edges[rng.Intn(len(edges))])
+		}
+		g2, eff, err := g.Apply(d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(eff.Add) == 0 {
+			continue
+		}
+		p2, ok := p.ApplyDelta(g2, eff, uint64(trial+1))
+		if !ok {
+			refused++
+			continue
+		}
+		repaired++
+		if p2.Repairs() != p.Repairs()+1 {
+			t.Fatalf("trial %d: repair did not advance the counter: %d -> %d", trial, p.Repairs(), p2.Repairs())
+		}
+		if p2.Epoch() != uint64(trial+1) || p2.Graph() != g2 {
+			t.Fatalf("trial %d: repaired plan epoch %d graph %p, want %d %p",
+				trial, p2.Epoch(), p2.Graph(), trial+1, g2)
+		}
+		got, err := p2.SolveContext(context.Background(), nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := SolveContext(context.Background(), g2, &Options{Reduce: ReduceOn})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !got.Exact || !want.Exact {
+			t.Fatalf("trial %d: inexact results without a budget: %v %v", trial, got.Exact, want.Exact)
+		}
+		if got.Biclique.Size() != want.Biclique.Size() {
+			t.Fatalf("trial %d: repaired plan found %d, cold planner found %d (delta %+v)",
+				trial, got.Biclique.Size(), want.Biclique.Size(), eff)
+		}
+		if !got.Biclique.IsBicliqueOf(g2) {
+			t.Fatalf("trial %d: repaired plan returned a non-biclique of the mutated graph", trial)
+		}
+	}
+	if repaired == 0 {
+		t.Fatal("no trial exercised the repair path")
+	}
+	t.Logf("repaired %d plans, refused %d (witness hits or budget)", repaired, refused)
+}
+
+// TestApplyDeltaBatchResurrection pins the DESIGN §7 counterexample that
+// used to force a rebuild: insertions assembling a biclique strictly
+// larger than τ entirely among peeled vertices. K3,3 minus one edge
+// plans to an empty reduction (the 2×2 witness is provably optimal);
+// adding the missing edge must re-admit all six vertices and the
+// repaired plan must find the new optimum 3.
+func TestApplyDeltaBatchResurrection(t *testing.T) {
+	g := FromEdges(3, 3, [][2]int{{0, 0}, {0, 1}, {0, 2}, {1, 0}, {1, 1}, {1, 2}, {2, 0}, {2, 1}})
+	p, err := PlanContext(context.Background(), g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.SeedTau() != 2 || p.Components() != 0 {
+		t.Fatalf("setup: plan tau=%d components=%d, want 2 and 0", p.SeedTau(), p.Components())
+	}
+	g2, eff, err := g.Apply(Delta{Add: [][2]int{{2, 2}}})
+	if err != nil || len(eff.Add) != 1 {
+		t.Fatalf("setup: %v %+v", err, eff)
+	}
+	p2, ok := p.ApplyDelta(g2, eff, 1)
+	if !ok {
+		t.Fatal("repair refused the batch-resurrection insertion")
+	}
+	if p2.Repairs() != 1 || p2.Components() != 1 || p2.Peeled() != 0 {
+		t.Fatalf("repaired plan: repairs=%d components=%d peeled=%d, want 1, 1, 0",
+			p2.Repairs(), p2.Components(), p2.Peeled())
+	}
+	res, err := p2.SolveContext(context.Background(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Exact || res.Biclique.Size() != 3 {
+		t.Fatalf("repaired solve: exact=%v size=%d, want exact size 3", res.Exact, res.Biclique.Size())
+	}
+}
+
+// TestApplyDeltaDeleteThenInsertRepairs: a survivor–survivor deletion is
+// absorbed without re-peeling (the survivor set may then no longer be a
+// certificate fixed point — the deleted endpoints are logged instead),
+// and a later insertion must still repair correctly: its frontier seeds
+// include the logged endpoints, so re-admission chains broken by the
+// earlier deletion stay discoverable. The repaired plan is checked
+// differentially against a cold planner run.
+func TestApplyDeltaDeleteThenInsertRepairs(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	exercised := 0
+	for trial := 0; trial < 40; trial++ {
+		g := GeneratePowerLaw(40+rng.Intn(40), 40+rng.Intn(40), 400+rng.Intn(200), int64(trial))
+		p, err := PlanContext(context.Background(), g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p.red.g.NumEdges() == 0 {
+			continue
+		}
+		// Delete one edge of the reduced graph (mapped back to original
+		// side-local ids) that is not a witness edge: the deletion-only
+		// path must absorb it and log its endpoints.
+		var del [2]int
+		found := false
+		for _, e := range p.red.g.Edges() {
+			u := p.red.newToOld[e[0]]
+			v := p.red.newToOld[p.red.g.NL()+e[1]]
+			cand := [2]int{u, g.LocalIndex(v)}
+			if !p.witnessHit([][2]int{cand}) {
+				del, found = cand, true
+				break
+			}
+		}
+		if !found {
+			continue
+		}
+		g2, eff, err := g.Apply(Delta{Del: [][2]int{del}})
+		if err != nil || len(eff.Del) != 1 {
+			t.Fatalf("trial %d: setup %v %+v", trial, err, eff)
+		}
+		p2, ok := p.ApplyDelta(g2, eff, 1)
+		if !ok {
+			t.Fatalf("trial %d: deletion-only maintenance refused a non-witness deletion", trial)
+		}
+		if len(p2.pendingDel) != 2 || p2.loose {
+			t.Fatalf("trial %d: deletion logged %d endpoints (loose=%v), want 2 and not loose",
+				trial, len(p2.pendingDel), p2.loose)
+		}
+		// Re-insert the deleted edge plus a fresh one: the repair must
+		// accept, clear the log, and solve like a cold plan.
+		add := [][2]int{del, {rng.Intn(g.NL()), rng.Intn(g.NR())}}
+		g3, eff3, err := g2.Apply(Delta{Add: add})
+		if err != nil || len(eff3.Add) == 0 {
+			t.Fatalf("trial %d: setup add %v %+v", trial, err, eff3)
+		}
+		p3, ok := p2.ApplyDelta(g3, eff3, 2)
+		if !ok {
+			t.Fatalf("trial %d: insertion after a logged deletion refused the repair", trial)
+		}
+		if len(p3.pendingDel) != 0 || p3.Repairs() != 1 {
+			t.Fatalf("trial %d: repair left %d logged endpoints, repairs=%d", trial, len(p3.pendingDel), p3.Repairs())
+		}
+		got, err := p3.SolveContext(context.Background(), nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := SolveContext(context.Background(), g3, &Options{Reduce: ReduceOn})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Biclique.Size() != want.Biclique.Size() || !got.Exact || !want.Exact {
+			t.Fatalf("trial %d: repaired-after-deletion plan found %d (exact %v), cold planner %d (exact %v)",
+				trial, got.Biclique.Size(), got.Exact, want.Biclique.Size(), want.Exact)
+		}
+		exercised++
+	}
+	if exercised == 0 {
+		t.Fatal("no trial produced a plan with a patchable survivor–survivor edge")
+	}
+	t.Logf("exercised %d delete-then-insert chains", exercised)
+}
+
+// TestApplyDeltaLooseLogRebuilds: once the deletion-endpoint log has
+// overflowed, an insertion has no bounded seed set and must refuse the
+// repair.
+func TestApplyDeltaLooseLogRebuilds(t *testing.T) {
 	g := GeneratePowerLaw(50, 50, 250, 3)
 	p, err := PlanContext(context.Background(), g)
 	if err != nil {
 		t.Fatal(err)
 	}
-	d := Delta{Add: [][2]int{{0, 0}}}
+	p.loose = true
+	add := [2]int{0, 0}
 	if g.HasEdge(0, g.NL()) {
-		d.Add[0] = [2]int{0, 1}
+		add = [2]int{0, 1}
 	}
-	g2, eff, err := g.Apply(d)
+	g2, eff, err := g.Apply(Delta{Add: [][2]int{add}})
+	if err != nil || len(eff.Add) != 1 {
+		t.Fatalf("setup: %v %+v", err, eff)
+	}
+	if _, ok := p.ApplyDelta(g2, eff, 1); ok {
+		t.Fatal("loose plan accepted an insertion repair")
+	}
+}
+
+// TestApplyDeltaBudgetExceeded: a tiny explicit budget must force the
+// rebuild answer rather than a partial repair.
+func TestApplyDeltaBudgetExceeded(t *testing.T) {
+	g := FromEdges(3, 3, [][2]int{{0, 0}, {0, 1}, {0, 2}, {1, 0}, {1, 1}, {1, 2}, {2, 0}, {2, 1}})
+	p, err := PlanContext(context.Background(), g)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(eff.Add) != 1 {
-		t.Fatalf("setup: addition was a no-op: %+v", eff)
+	g2, eff, err := g.Apply(Delta{Add: [][2]int{{2, 2}}})
+	if err != nil {
+		t.Fatal(err)
 	}
-	if _, ok := p.ApplyDelta(g2, eff, 1); ok {
-		t.Fatal("ApplyDelta accepted an insertion")
+	if _, ok := p.ApplyDeltaBudget(g2, eff, 1, 1); ok {
+		t.Fatal("budget-1 repair accepted a 6-vertex frontier")
 	}
 }
 

@@ -28,6 +28,22 @@ type Plan struct {
 	jobs    []planJob
 	partial bool
 	epoch   uint64 // snapshot version the plan was built (or maintained) for
+
+	// repairs counts how many times this plan chain was locally
+	// repaired by ApplyDelta's insertion path instead of rebuilt.
+	repairs int
+	// pendingDel logs the unified endpoint ids of every edge deleted by
+	// deletion-only maintenance since the last certificate fixed point
+	// (the initial build or the latest repair). Deletions are absorbed
+	// without re-peeling, so the survivor set may no longer be a fixed
+	// point; a later insertion repair seeds its frontier with these
+	// endpoints too — a re-admission support chain that runs through a
+	// since-deleted edge necessarily lands on one of them. A successful
+	// repair re-establishes the fixed point and clears the log.
+	pendingDel []int
+	// loose marks a plan whose pendingDel log overflowed; insertion
+	// repair then has no bounded seed set and forces a rebuild.
+	loose bool
 }
 
 // PlanContext runs the planner's preprocessing phase — heuristic seed,
@@ -73,6 +89,13 @@ func (p *Plan) Epoch() uint64 { return p.epoch }
 
 // SeedTau returns the heuristic lower bound τ that seeded the reduction.
 func (p *Plan) SeedTau() int { return p.tau }
+
+// Repairs returns how many times this plan chain was carried across an
+// insertion batch by bounded local repair (ApplyDelta) instead of being
+// rebuilt from scratch. It only ever grows along a maintenance chain, so
+// callers can detect a repair by comparing the counter across an
+// ApplyDelta call.
+func (p *Plan) Repairs() int { return p.repairs }
 
 // Peeled returns how many vertices the reduction removed.
 func (p *Plan) Peeled() int { return p.red.peeled }

@@ -150,34 +150,44 @@ func computePlan(ex *core.Exec, g *Graph) *Plan {
 		red = reduceFixedPoint(ex, red, tau)
 	}
 
-	// Keep only components that are large enough to beat τ on both sides,
-	// largest (by vertex count, then smallest id) first so the long solves
-	// start as early as possible.
 	var jobs []planJob
 	partial := false
 	if red.g.NumVertices() > 0 {
 		if ex.ShouldStop() {
 			partial = true
 		} else {
-			for _, comp := range red.g.Components() {
-				nl, nr := 0, 0
-				for _, v := range comp {
-					if red.g.IsLeft(v) {
-						nl++
-					} else {
-						nr++
-					}
-				}
-				if nl > tau && nr > tau {
-					jobs = append(jobs, planJob{ids: comp, nl: nl, nr: nr})
-				}
-			}
-			sort.SliceStable(jobs, func(i, j int) bool {
-				return len(jobs[i].ids) > len(jobs[j].ids)
-			})
+			jobs = collectJobs(red, tau)
 		}
 	}
 	return &Plan{g: g, seed: seed, tau: tau, red: red, jobs: jobs, partial: partial}
+}
+
+// collectJobs splits the reduced graph into its connected components and
+// keeps only those large enough to beat τ on both sides, largest (by
+// vertex count, then smallest id) first so the long solves start as
+// early as possible. Both the planner and incremental plan maintenance
+// use it — component structure must be recomputed whenever the reduced
+// graph's edge set changes by insertion, because an added edge can merge
+// two components into one solve unit.
+func collectJobs(red reduction, tau int) []planJob {
+	var jobs []planJob
+	for _, comp := range red.g.Components() {
+		nl, nr := 0, 0
+		for _, v := range comp {
+			if red.g.IsLeft(v) {
+				nl++
+			} else {
+				nr++
+			}
+		}
+		if nl > tau && nr > tau {
+			jobs = append(jobs, planJob{ids: comp, nl: nl, nr: nr})
+		}
+	}
+	sort.SliceStable(jobs, func(i, j int) bool {
+		return len(jobs[i].ids) > len(jobs[j].ids)
+	})
+	return jobs
 }
 
 // solveOn runs the plan's solve phase on ex: the incumbent is seeded with
@@ -196,7 +206,7 @@ func (p *Plan) solveOn(ex *core.Exec, spec SolverSpec, isAuto bool, opt *Options
 	// termination. Stats.Step stays untouched: it reports Algorithm-4
 	// steps and would mislabel dense/baseline solver runs; SeedTau,
 	// Peeled and Components carry the planner's own story.
-	pstats := core.Stats{SeedTau: p.tau, Peeled: int64(p.red.peeled), Components: len(p.jobs)}
+	pstats := core.Stats{SeedTau: p.tau, Peeled: int64(p.red.peeled), Components: len(p.jobs), Repairs: p.repairs}
 	ex.AddStats(&pstats)
 
 	workers := opt.Workers

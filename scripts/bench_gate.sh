@@ -1,15 +1,16 @@
 #!/usr/bin/env bash
 # CI benchmark trajectory: run the pinned subset (cmd/mbbbench -exp
 # trajectory), write the machine-readable record file ($BENCH_OUT,
-# default BENCH_4.json — per-solve seconds and search nodes, servebench
-# cold/warm/burst latencies, mutebench mutate/solve percentiles), and
-# gate the deterministic node counts against the newest committed
-# BENCH_*.json when one exists: a pin spending more than 2x the
-# baseline's search nodes fails the job. The JSON is written even when
-# the gate fails so CI can archive the regressing trajectory.
+# default BENCH_5.json — per-solve seconds and search nodes, servebench
+# cold/warm/burst latencies, mutebench mutate/solve percentiles per plan
+# outcome including the insert-heavy repair-path mix), and gate the
+# deterministic node counts against the newest committed BENCH_*.json
+# when one exists: a pin spending more than 2x the baseline's search
+# nodes fails the job. The JSON is written even when the gate fails so
+# CI can archive the regressing trajectory.
 set -euo pipefail
 
-OUT="${BENCH_OUT:-BENCH_4.json}"
+OUT="${BENCH_OUT:-BENCH_5.json}"
 BUDGET="${BENCH_BUDGET:-15s}"
 
 baseline_args=()

@@ -82,6 +82,27 @@ INFO=$(curl -fs "$BASE/graphs/k33")
 echo "$INFO" | grep -q '"epoch":2' || fail "graph info epoch != 2: $INFO"
 echo "$INFO" | grep -q '"mutations":2' || fail "graph info mutations != 2: $INFO"
 
+# Repair path: upload K3,3 minus one edge, build its plan with a solve
+# (optimum 2), then insert the missing edge. The insertion must be
+# absorbed by bounded local repair — "plan":"repaired", plan_builds
+# still 1 — and the repaired plan must find the new optimum 3.
+printf '3 3 8\n0 0\n0 1\n0 2\n1 0\n1 1\n1 2\n2 0\n2 1\n' |
+    curl -fs -XPUT --data-binary @- "$BASE/graphs/k33minus" >/dev/null ||
+    fail "k33minus upload rejected"
+OUT=$(curl -fs -XPOST "$BASE/graphs/k33minus/solve" -d '{}')
+echo "$OUT" | grep -q '"size":2' || fail "k33minus solve: wrong size: $OUT"
+MUT=$(curl -fs -XPOST "$BASE/graphs/k33minus/edges" -d '{"add":[[2,2]]}')
+echo "$MUT" | grep -q '"plan":"repaired"' || fail "insertion not absorbed by repair: $MUT"
+INFO=$(curl -fs "$BASE/graphs/k33minus")
+echo "$INFO" | grep -q '"plan_builds":1' || fail "repair triggered a plan rebuild: $INFO"
+echo "$INFO" | grep -q '"plan_repairs":1' || fail "plan_repairs != 1 after repair: $INFO"
+OUT=$(curl -fs -XPOST "$BASE/graphs/k33minus/solve" -d '{}')
+echo "$OUT" | grep -q '"size":3' || fail "repaired-plan solve: wrong size: $OUT"
+echo "$OUT" | grep -q '"exact":true' || fail "repaired-plan solve: not exact: $OUT"
+echo "$OUT" | grep -q '"plan_cached":true' || fail "repaired-plan solve missed the cache: $OUT"
+INFO=$(curl -fs "$BASE/graphs/k33minus")
+echo "$INFO" | grep -q '"plan_builds":1' || fail "plan_builds moved after repaired solve: $INFO"
+
 # Malformed mutations must be clean 400s and leave the epoch alone.
 CODE=$(curl -s -o /dev/null -w '%{http_code}' -XPOST "$BASE/graphs/k33/edges" -d '{"add":[[99,99]]}')
 [ "$CODE" = "400" ] || fail "out-of-range mutation returned $CODE, want 400"
