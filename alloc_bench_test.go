@@ -1,0 +1,141 @@
+// Allocation benchmarks for the hot paths the zero-alloc work targets:
+// steady-state dense solving on a recycled execution context, serving
+// solves from a cached plan, building the plan, and repairing it across
+// an insertion batch. Each reports allocs/op (run with -benchmem), and
+// TestAllocBudgets pins a ceiling on every one so CI fails when a hot
+// path starts allocating again — the benchmark half of the bench gate,
+// complementing the node-count trajectory in BENCH_*.json.
+package repro
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/dense"
+	"repro/internal/workload"
+	"repro/mbb"
+)
+
+// benchDenseSteady returns a warmed (exec, matrix) pair: the incumbent
+// already holds the optimum, so every further solve is the steady-state
+// re-verification the serving layer performs — and must not allocate.
+func benchDenseSteady() (*core.Exec, *dense.Matrix) {
+	ex := core.NewExec(nil, core.Limits{})
+	m := dense.FromBigraph(workload.Dense(40, 40, 0.85, 7))
+	dense.Solve(ex, m, dense.Options{})
+	return ex, m
+}
+
+func BenchmarkAllocSolveDenseSteady(b *testing.B) {
+	ex, m := benchDenseSteady()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dense.Solve(ex, m, dense.Options{})
+	}
+}
+
+// benchPlanGraph is the cached-plan workload: a sparse stand-in small
+// enough that plan solves are quick but real.
+func benchPlanGraph() *mbb.Graph {
+	d, _ := workload.ByName("github")
+	return d.Generate(8000, 1)
+}
+
+func BenchmarkAllocPlanBuild(b *testing.B) {
+	g := benchPlanGraph()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := mbb.PlanContext(context.Background(), g); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAllocPlanSolve(b *testing.B) {
+	p, err := mbb.PlanContext(context.Background(), benchPlanGraph())
+	if err != nil {
+		b.Fatal(err)
+	}
+	opt := &mbb.Options{}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := p.SolveContext(context.Background(), opt); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// benchRepairSetup builds a plan and an insertion batch that the bounded
+// local repair absorbs (rather than rejecting into a rebuild).
+func benchRepairSetup(b *testing.B) (*mbb.Plan, *mbb.Graph, mbb.Delta) {
+	b.Helper()
+	g := benchPlanGraph()
+	p, err := mbb.PlanContext(context.Background(), g)
+	if err != nil {
+		b.Fatal(err)
+	}
+	// A non-edge insertion: scan for the first absent pair.
+	var d mbb.Delta
+	for l := 0; l < g.NL() && d.Empty(); l++ {
+		for r := 0; r < g.NR(); r++ {
+			if !g.HasEdge(l, g.NL()+r) {
+				d = mbb.Delta{Add: [][2]int{{l, r}}}
+				break
+			}
+		}
+	}
+	g2, eff, err := g.Apply(d)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, ok := p.ApplyDelta(g2, eff, 1); !ok {
+		b.Skip("repair refused on this instance; benchmark needs the repair path")
+	}
+	return p, g2, eff
+}
+
+func BenchmarkAllocPlanRepair(b *testing.B) {
+	p, g2, eff := benchRepairSetup(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := p.ApplyDelta(g2, eff, 1); !ok {
+			b.Fatal("repair refused mid-benchmark")
+		}
+	}
+}
+
+// TestAllocBudgets is the CI allocation gate: each hot path must stay
+// under its pinned allocs/op ceiling. Ceilings are generous (≈2x the
+// observed steady state) so scheduler noise does not flake the gate,
+// but tight enough that an accidental per-node or per-vertex allocation
+// — which multiplies counts by orders of magnitude — always trips it.
+func TestAllocBudgets(t *testing.T) {
+	if testing.Short() {
+		t.Skip("allocation gate is not meaningful with -short's trimmed iteration counts")
+	}
+	for _, tc := range []struct {
+		name    string
+		ceiling int64
+		bench   func(b *testing.B)
+	}{
+		// The dense steady state is the zero-alloc acceptance itself; the
+		// ceiling of 0 is the point, not headroom.
+		// Observed on the reference setup: build 425, solve 287, repair 10.
+		{"dense-steady", 0, BenchmarkAllocSolveDenseSteady},
+		{"plan-build", 1500, BenchmarkAllocPlanBuild},
+		{"plan-solve", 1000, BenchmarkAllocPlanSolve},
+		{"plan-repair", 100, BenchmarkAllocPlanRepair},
+	} {
+		r := testing.Benchmark(tc.bench)
+		if got := r.AllocsPerOp(); got > tc.ceiling {
+			t.Errorf("%s: %d allocs/op exceeds the pinned ceiling %d", tc.name, got, tc.ceiling)
+		} else {
+			t.Logf("%s: %d allocs/op (ceiling %d), %d bytes/op", tc.name, got, tc.ceiling, r.AllocedBytesPerOp())
+		}
+	}
+}

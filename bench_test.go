@@ -242,10 +242,11 @@ func BenchmarkFig6VertexCentred(b *testing.B) {
 					pos[v] = j
 				}
 				th := decomp.NewTwoHop(g)
-				var kept []int
+				var kept, nbuf []int
 				for j, v := range order {
 					kept = kept[:0]
-					for _, w := range th.Set(v, nil) {
+					nbuf = th.Append(v, nil, nbuf[:0])
+					for _, w := range nbuf {
 						if pos[w] > j {
 							kept = append(kept, w)
 						}

@@ -1,0 +1,160 @@
+// Command benchdiff compares two `go test -bench` outputs and prints the
+// per-benchmark deltas — the A/B half of the bench-compare loop
+// (scripts/bench_compare.sh runs the same pinned subset on two code
+// versions and feeds both logs here). It is a dependency-free stand-in
+// for benchstat: no statistics beyond best-of-N, but deterministic,
+// parseable output and a threshold gate.
+//
+// Usage:
+//
+//	benchdiff [-threshold 1.25] [-metric ns|allocs|bytes] old.txt new.txt
+//
+// Each input is the raw stdout of `go test -bench ... [-count N]`; with
+// -count > 1 the best (minimum) value per benchmark is compared, which
+// damps scheduler noise without any distribution math. Benchmarks present
+// in only one file are listed but never gate. Exit status 1 when any
+// benchmark's new/old ratio on the chosen metric exceeds -threshold
+// (ratios below 1 are improvements and never fail).
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// metrics holds one benchmark line's measurements, keyed by unit.
+type metrics struct {
+	nsPerOp     float64
+	allocsPerOp float64
+	bytesPerOp  float64
+	haveAllocs  bool
+}
+
+// parseBench reads `go test -bench` output, keeping the minimum value per
+// benchmark name across repeated -count runs.
+func parseBench(path string) (map[string]metrics, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	out := make(map[string]metrics)
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		// BenchmarkName-8  N  1234 ns/op [ 56 B/op  7 allocs/op ]
+		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		name := fields[0]
+		if i := strings.LastIndex(name, "-"); i > 0 {
+			// Strip the GOMAXPROCS suffix so -cpu variations still match.
+			if _, err := strconv.Atoi(name[i+1:]); err == nil {
+				name = name[:i]
+			}
+		}
+		m, seen := out[name]
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				continue
+			}
+			switch fields[i+1] {
+			case "ns/op":
+				if !seen || v < m.nsPerOp {
+					m.nsPerOp = v
+				}
+			case "B/op":
+				if !m.haveAllocs || v < m.bytesPerOp {
+					m.bytesPerOp = v
+				}
+			case "allocs/op":
+				if !m.haveAllocs || v < m.allocsPerOp {
+					m.allocsPerOp = v
+				}
+				m.haveAllocs = true
+			}
+		}
+		out[name] = m
+	}
+	return out, sc.Err()
+}
+
+func pick(m metrics, metric string) (float64, bool) {
+	switch metric {
+	case "allocs":
+		return m.allocsPerOp, m.haveAllocs
+	case "bytes":
+		return m.bytesPerOp, m.haveAllocs
+	default:
+		return m.nsPerOp, true
+	}
+}
+
+func main() {
+	threshold := flag.Float64("threshold", 0, "fail (exit 1) when new/old exceeds this ratio on -metric (0 = report only)")
+	metric := flag.String("metric", "ns", "gating metric: ns, allocs or bytes")
+	flag.Parse()
+	if flag.NArg() != 2 {
+		fmt.Fprintln(os.Stderr, "usage: benchdiff [-threshold R] [-metric ns|allocs|bytes] old.txt new.txt")
+		os.Exit(2)
+	}
+	old, err := parseBench(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	cur, err := parseBench(flag.Arg(1))
+	if err != nil {
+		fatal(err)
+	}
+
+	names := make([]string, 0, len(cur))
+	for name := range cur {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	fmt.Printf("%-60s %14s %14s %8s\n", "benchmark", "old", "new", "delta")
+	failed := 0
+	for _, name := range names {
+		nm := cur[name]
+		om, ok := old[name]
+		nv, _ := pick(nm, *metric)
+		if !ok {
+			fmt.Printf("%-60s %14s %14.0f %8s\n", name, "-", nv, "new")
+			continue
+		}
+		ov, have := pick(om, *metric)
+		if !have || ov == 0 {
+			fmt.Printf("%-60s %14s %14.0f %8s\n", name, "?", nv, "n/a")
+			continue
+		}
+		ratio := nv / ov
+		mark := ""
+		if *threshold > 0 && ratio > *threshold {
+			mark = "  FAIL"
+			failed++
+		}
+		fmt.Printf("%-60s %14.0f %14.0f %+7.1f%%%s\n", name, ov, nv, (ratio-1)*100, mark)
+	}
+	for name := range old {
+		if _, ok := cur[name]; !ok {
+			fmt.Printf("%-60s %14s %14s %8s\n", name, "-", "-", "gone")
+		}
+	}
+	if failed > 0 {
+		fmt.Fprintf(os.Stderr, "benchdiff: %d benchmark(s) regressed beyond %.2fx on %s/op\n", failed, *threshold, *metric)
+		os.Exit(1)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchdiff:", err)
+	os.Exit(1)
+}

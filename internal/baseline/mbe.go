@@ -123,14 +123,19 @@ func (m *mbeSolver) scoped() {
 	order := cores.Order
 	pos := cores.Pos
 	th := decomp.NewTwoHop(g)
+	var nbuf []int
+	var scope []int32
 	for i, v := range order {
 		if m.timedOut {
 			return
 		}
 		// Scope: v's same-side two-hop successors; enumeration runs over
 		// {v} ∪ scope with the common neighbourhood inside N(v)-ish sets.
-		var scope []int32
-		for _, w := range th.Set(v, nil) {
+		// Both buffers are reused across vertices: expand never retains
+		// its candidate slice past the call.
+		nbuf = th.Append(v, nil, nbuf[:0])
+		scope = scope[:0]
+		for _, w := range nbuf {
 			if pos[w] > i && (g.IsLeft(w) == g.IsLeft(v)) {
 				scope = append(scope, int32(w))
 			}

@@ -1,0 +1,156 @@
+package bigraph
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// oracleInduced is a brute-force reference for Induce: it partitions and
+// sorts keep by hand and queries every kept pair through HasEdge.
+func oracleInduced(g *Graph, keep []int) (*Graph, []int) {
+	seen := map[int]bool{}
+	var lefts, rights []int
+	for _, v := range keep {
+		if seen[v] {
+			continue
+		}
+		seen[v] = true
+		if g.IsLeft(v) {
+			lefts = append(lefts, v)
+		} else {
+			rights = append(rights, v)
+		}
+	}
+	sortInts(lefts)
+	sortInts(rights)
+	newToOld := append(append([]int{}, lefts...), rights...)
+	b := NewBuilder(len(lefts), len(rights))
+	for i, u := range lefts {
+		for j, w := range rights {
+			if g.HasEdge(u, w) {
+				b.AddEdge(i, j)
+			}
+		}
+	}
+	return b.Build(), newToOld
+}
+
+func graphsEqual(t *testing.T, got, want *Graph, gotMap, wantMap []int) {
+	t.Helper()
+	if got.NL() != want.NL() || got.NR() != want.NR() || got.NumEdges() != want.NumEdges() {
+		t.Fatalf("shape: got %dx%d m=%d, want %dx%d m=%d",
+			got.NL(), got.NR(), got.NumEdges(), want.NL(), want.NR(), want.NumEdges())
+	}
+	if len(gotMap) != len(wantMap) {
+		t.Fatalf("newToOld length: got %d, want %d", len(gotMap), len(wantMap))
+	}
+	for i := range gotMap {
+		if gotMap[i] != wantMap[i] {
+			t.Fatalf("newToOld[%d]: got %d, want %d", i, gotMap[i], wantMap[i])
+		}
+	}
+	for v := 0; v < got.NumVertices(); v++ {
+		gn, wn := got.Neighbors(v), want.Neighbors(v)
+		if len(gn) != len(wn) {
+			t.Fatalf("deg(%d): got %d, want %d", v, len(gn), len(wn))
+		}
+		for k := range gn {
+			if gn[k] != wn[k] {
+				t.Fatalf("Neighbors(%d)[%d]: got %d, want %d (lists must be sorted)", v, k, gn[k], wn[k])
+			}
+		}
+	}
+}
+
+func TestInducerMatchesOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	ind := NewInducer() // one inducer across all cases: reuse is the point
+	for trial := 0; trial < 60; trial++ {
+		nl, nr := 1+rng.Intn(20), 1+rng.Intn(20)
+		b := NewBuilder(nl, nr)
+		for l := 0; l < nl; l++ {
+			for r := 0; r < nr; r++ {
+				if rng.Float64() < 0.3 {
+					b.AddEdge(l, r)
+				}
+			}
+		}
+		g := b.Build()
+		keep := make([]int, 0)
+		for v := 0; v < g.NumVertices(); v++ {
+			if rng.Float64() < 0.6 {
+				keep = append(keep, v)
+			}
+		}
+		if trial%3 == 0 { // unsorted and with duplicates
+			rng.Shuffle(len(keep), func(i, j int) { keep[i], keep[j] = keep[j], keep[i] })
+			if len(keep) > 0 {
+				keep = append(keep, keep[0])
+			}
+		}
+		want, wantMap := oracleInduced(g, keep)
+		got, gotMap := ind.Induce(g, keep)
+		graphsEqual(t, got, want, gotMap, wantMap)
+
+		// The method wrappers must agree too.
+		got2, gotMap2 := g.Induced(keep)
+		graphsEqual(t, got2, want, gotMap2, wantMap)
+
+		mask := make([]bool, g.NumVertices())
+		for _, v := range keep {
+			mask[v] = true
+		}
+		got3, gotMap3 := ind.InduceByMask(g, mask)
+		graphsEqual(t, got3, want, gotMap3, wantMap)
+	}
+}
+
+func TestInducerResultsOutliveReuse(t *testing.T) {
+	g := FromEdges(3, 3, [][2]int{{0, 0}, {0, 1}, {1, 1}, {2, 2}})
+	ind := NewInducer()
+	sub1, map1 := ind.Induce(g, []int{0, 1, 3, 4})
+	edges1 := sub1.Edges()
+	// A second induction on the same Inducer must not disturb sub1.
+	sub2, _ := ind.Induce(g, []int{2, 5})
+	if sub2.NumEdges() != 1 {
+		t.Fatalf("sub2 edges = %d, want 1", sub2.NumEdges())
+	}
+	if sub1.NL() != 2 || sub1.NR() != 2 || sub1.NumEdges() != 3 {
+		t.Fatalf("sub1 mutated by reuse: %dx%d m=%d", sub1.NL(), sub1.NR(), sub1.NumEdges())
+	}
+	for i, e := range sub1.Edges() {
+		if e != edges1[i] {
+			t.Fatalf("sub1 edge %d changed from %v to %v after reuse", i, edges1[i], e)
+		}
+	}
+	if map1[0] != 0 || map1[1] != 1 || map1[2] != 3 || map1[3] != 4 {
+		t.Fatalf("map1 = %v", map1)
+	}
+}
+
+// TestInducerAllocBudget pins the steady-state cost of an induction to
+// the four escaping result allocations (Graph, off, adj, newToOld).
+func TestInducerAllocBudget(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	b := NewBuilder(64, 64)
+	for l := 0; l < 64; l++ {
+		for r := 0; r < 64; r++ {
+			if rng.Float64() < 0.2 {
+				b.AddEdge(l, r)
+			}
+		}
+	}
+	g := b.Build()
+	keep := make([]int, 0)
+	for v := 0; v < g.NumVertices(); v += 2 {
+		keep = append(keep, v)
+	}
+	ind := NewInducer()
+	ind.Induce(g, keep) // warm the reusable buffers
+	allocs := testing.AllocsPerRun(50, func() {
+		ind.Induce(g, keep)
+	})
+	if allocs > 4 {
+		t.Fatalf("steady-state Induce: %.1f allocs/op, want ≤ 4", allocs)
+	}
+}

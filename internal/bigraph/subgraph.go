@@ -10,47 +10,13 @@ import "sort"
 // The second return value maps new unified ids back to original unified
 // ids (newToOld[newID] = oldID).
 func (g *Graph) Induced(keep []int) (*Graph, []int) {
-	var lefts, rights []int
-	for _, v := range keep {
-		if g.IsLeft(v) {
-			lefts = append(lefts, v)
-		} else {
-			rights = append(rights, v)
-		}
-	}
-	sortInts(lefts)
-	sortInts(rights)
-	oldToNew := make(map[int]int, len(keep))
-	newToOld := make([]int, 0, len(lefts)+len(rights))
-	for i, v := range lefts {
-		oldToNew[v] = i
-		newToOld = append(newToOld, v)
-	}
-	for j, v := range rights {
-		oldToNew[v] = len(lefts) + j
-		newToOld = append(newToOld, v)
-	}
-	b := NewBuilder(len(lefts), len(rights))
-	for i, v := range lefts {
-		for _, w := range g.Neighbors(v) {
-			if j, ok := oldToNew[int(w)]; ok {
-				b.AddEdge(i, j-len(lefts))
-			}
-		}
-	}
-	return b.Build(), newToOld
+	return NewInducer().Induce(g, keep)
 }
 
 // InducedByMask is Induced with membership given as a boolean mask indexed
 // by unified id. Vertices with mask[v] == true are kept.
 func (g *Graph) InducedByMask(mask []bool) (*Graph, []int) {
-	keep := make([]int, 0)
-	for v, ok := range mask {
-		if ok {
-			keep = append(keep, v)
-		}
-	}
-	return g.Induced(keep)
+	return NewInducer().InduceByMask(g, mask)
 }
 
 func sortInts(a []int) {

@@ -92,6 +92,24 @@ func (s *Set) trim() {
 	}
 }
 
+// Reshape changes the capacity of s to n bits and clears every bit. The
+// backing array is reused when it is large enough, so repeatedly
+// reshaping a scratch set between nearby capacities settles into a
+// zero-allocation steady state.
+func (s *Set) Reshape(n int) {
+	if n < 0 {
+		panic("bitset: negative capacity")
+	}
+	nw := (n + wordBits - 1) / wordBits
+	if nw <= cap(s.words) {
+		s.words = s.words[:nw]
+	} else {
+		s.words = make([]uint64, nw)
+	}
+	s.n = n
+	s.Clear()
+}
+
 // Clone returns an independent copy of s.
 func (s *Set) Clone() *Set {
 	w := make([]uint64, len(s.words))

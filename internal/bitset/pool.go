@@ -12,6 +12,27 @@ type Pool struct {
 // NewPool returns a pool producing sets with capacity n bits.
 func NewPool(n int) *Pool { return &Pool{n: n} }
 
+// Cap reports the capacity (in bits) of the sets the pool currently
+// hands out.
+func (p *Pool) Cap() int { return p.n }
+
+// Reset repurposes the pool to capacity n, reshaping every recycled set
+// in place so their backing arrays are reused. All sets handed out by
+// Get/GetCopy must have been returned before Reset: a set of the old
+// capacity returned afterwards is foreign and Put panics on it. Reset
+// is how per-worker scratch survives across solves of differently sized
+// (sub)graphs — e.g. a plan repair that re-induces a larger reduced
+// graph — without either panicking or reallocating from scratch.
+func (p *Pool) Reset(n int) {
+	if n == p.n {
+		return
+	}
+	p.n = n
+	for _, s := range p.free {
+		s.Reshape(n)
+	}
+}
+
 // Get returns an empty set of the pool's capacity.
 func (p *Pool) Get() *Set {
 	if k := len(p.free); k > 0 {

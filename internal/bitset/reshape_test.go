@@ -1,0 +1,112 @@
+package bitset
+
+import "testing"
+
+func TestReshapeReusesBacking(t *testing.T) {
+	s := New(256)
+	s.Add(3)
+	s.Add(200)
+	s.Reshape(64) // shrink: same backing array, truncated view
+	if s.Cap() != 64 {
+		t.Fatalf("Cap() = %d, want 64", s.Cap())
+	}
+	if !s.Empty() {
+		t.Fatalf("Reshape must clear: %v", s)
+	}
+	s.Add(63)
+	s.Reshape(192) // grow within the original backing array
+	if s.Cap() != 192 || !s.Empty() {
+		t.Fatalf("after regrow: cap=%d empty=%v", s.Cap(), s.Empty())
+	}
+	s.Add(191)
+	if got := s.Count(); got != 1 {
+		t.Fatalf("Count() = %d, want 1", got)
+	}
+	// Steady state: reshaping between capacities below the high-water
+	// mark must not allocate.
+	allocs := testing.AllocsPerRun(100, func() {
+		s.Reshape(64)
+		s.Reshape(192)
+	})
+	if allocs != 0 {
+		t.Fatalf("Reshape allocated %.1f allocs/op in steady state", allocs)
+	}
+}
+
+func TestReshapeGrowsPastBacking(t *testing.T) {
+	s := New(64)
+	s.Reshape(1024)
+	if s.Cap() != 1024 || !s.Empty() {
+		t.Fatalf("cap=%d empty=%v", s.Cap(), s.Empty())
+	}
+	s.Add(1023)
+	if !s.Contains(1023) {
+		t.Fatal("bit 1023 lost after growth")
+	}
+}
+
+func TestReshapeNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Reshape(-1) did not panic")
+		}
+	}()
+	New(8).Reshape(-1)
+}
+
+func TestPoolResetRetargetsCapacity(t *testing.T) {
+	p := NewPool(100)
+	a := p.Get()
+	b := p.Get()
+	p.Put(a)
+	p.Put(b)
+	p.Reset(300) // grow: the repair path re-induced a larger graph
+	if p.Cap() != 300 {
+		t.Fatalf("Cap() = %d, want 300", p.Cap())
+	}
+	c := p.Get()
+	if c.Cap() != 300 {
+		t.Fatalf("recycled set has capacity %d, want 300", c.Cap())
+	}
+	c.Add(299)
+	p.Put(c) // same capacity: accepted
+	p.Reset(50)
+	d := p.Get()
+	if d.Cap() != 50 || !d.Empty() {
+		t.Fatalf("after shrink: cap=%d empty=%v", d.Cap(), d.Empty())
+	}
+	p.Put(d)
+}
+
+func TestPoolPutForeignStillPanics(t *testing.T) {
+	p := NewPool(100)
+	s := p.Get()
+	p.Reset(200) // s was not returned first: it is now foreign
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Put of a stale-capacity set did not panic")
+		}
+	}()
+	p.Put(s)
+}
+
+func TestPoolResetSteadyStateZeroAlloc(t *testing.T) {
+	p := NewPool(64)
+	// Warm the pool at the largest capacity so later resets only reshape.
+	s := p.Get()
+	p.Put(s)
+	p.Reset(256)
+	s = p.Get()
+	p.Put(s)
+	allocs := testing.AllocsPerRun(100, func() {
+		p.Reset(64)
+		x := p.Get()
+		p.Put(x)
+		p.Reset(256)
+		x = p.Get()
+		p.Put(x)
+	})
+	if allocs != 0 {
+		t.Fatalf("Pool Reset/Get/Put allocated %.1f allocs/op in steady state", allocs)
+	}
+}

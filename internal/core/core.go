@@ -49,8 +49,9 @@ type Exec struct {
 	stopped atomic.Bool
 	best    atomic.Int64
 
-	mu    sync.Mutex
-	stats Stats
+	mu      sync.Mutex
+	stats   Stats
+	scratch map[*ScratchKey][]any // free per-worker scratch arenas, see scratch.go
 }
 
 // NewExec returns an execution context bound to ctx and lim. A nil ctx

@@ -1,0 +1,62 @@
+package core
+
+// Per-worker scratch recycling. The solver layers (internal/dense,
+// internal/sparse) keep large reusable arenas — bitset pools, candidate
+// lists, peeling queues — that must be reused across the many solves one
+// execution context runs (per-component plan solves, per-subgraph
+// verification) without ever being shared by two concurrent solves.
+//
+// The Exec owns those arenas: GetScratch hands a previously released
+// value back to exactly one caller (or nil when none is free, in which
+// case the caller allocates a fresh one and releases it when done), and
+// PutScratch returns it for the next solve on the same context. Because
+// a value is removed from the free list while held, ownership is
+// exclusive by construction — two workers can never observe the same
+// scratch value at the same time. Keys are compared by identity; each
+// package allocates one private key per scratch type so unrelated
+// scratch kinds on a shared Exec never collide.
+//
+// Scratch lives on the Exec rather than in package-level pools so its
+// lifetime matches the search: when the context is dropped, every arena
+// it accumulated becomes garbage at once, and solves on unrelated
+// graphs (different Execs) never exchange possibly huge buffers.
+
+// ScratchKey identifies one kind of scratch value on an Exec. Allocate
+// one per scratch type with new(ScratchKey) and keep it package-private.
+type ScratchKey struct{ _ byte }
+
+// GetScratch removes and returns a free scratch value previously
+// released under key, or nil when none is available (first use, or all
+// values are currently held by concurrent solves). A nil Exec always
+// returns nil: callers then run with a fresh, unshared value.
+func (e *Exec) GetScratch(key *ScratchKey) any {
+	if e == nil || key == nil {
+		return nil
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	free := e.scratch[key]
+	k := len(free)
+	if k == 0 {
+		return nil
+	}
+	v := free[k-1]
+	free[k-1] = nil
+	e.scratch[key] = free[:k-1]
+	return v
+}
+
+// PutScratch releases v for reuse by a later GetScratch with the same
+// key. The caller must not touch v afterwards. No-op on a nil Exec or a
+// nil value.
+func (e *Exec) PutScratch(key *ScratchKey, v any) {
+	if e == nil || key == nil || v == nil {
+		return
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.scratch == nil {
+		e.scratch = make(map[*ScratchKey][]any)
+	}
+	e.scratch[key] = append(e.scratch[key], v)
+}

@@ -87,12 +87,28 @@ func Cores(g *bigraph.Graph) *CoreResult {
 }
 
 // KCoreMask returns a boolean mask (indexed by unified id) of the vertices
-// belonging to the k-core of g, computed by iterative peeling.
+// belonging to the k-core of g, computed by iterative peeling. The mask is
+// freshly allocated; the peeling state comes from the package workspace
+// pool.
 func KCoreMask(g *bigraph.Graph, k int) []bool {
+	return KCoreMaskInto(g, k, nil)
+}
+
+// KCoreMaskInto is KCoreMask writing the result into dst, which is grown
+// as needed and returned (pass nil to allocate). Callers that peel the
+// same graph repeatedly — the sparse verification step runs one peel per
+// surviving subgraph — reuse one mask buffer across calls.
+func KCoreMaskInto(g *bigraph.Graph, k int, dst []bool) []bool {
+	ws := getWS()
+	defer putWS(ws)
 	n := g.NumVertices()
-	alive := make([]bool, n)
-	deg := make([]int, n)
-	queue := make([]int, 0)
+	if cap(dst) < n {
+		dst = make([]bool, n)
+	}
+	alive := dst[:n]
+	deg := grownInts(ws.deg, n)
+	queue := ws.queue[:0]
+	defer func() { ws.deg, ws.queue = deg, queue[:0] }()
 	for v := 0; v < n; v++ {
 		alive[v] = true
 		deg[v] = g.Deg(v)
@@ -122,9 +138,13 @@ func KCoreMask(g *bigraph.Graph, k int) []bool {
 // KCoreMaskWithin peels the subgraph of g induced by start down to its
 // k-core, returning the surviving mask. start is not modified.
 func KCoreMaskWithin(g *bigraph.Graph, start []bool, k int) []bool {
+	ws := getWS()
+	defer putWS(ws)
 	n := g.NumVertices()
 	alive := make([]bool, n)
-	deg := make([]int, n)
+	deg := grownInts(ws.deg, n)
+	queue := ws.queue[:0]
+	defer func() { ws.deg, ws.queue = deg, queue[:0] }()
 	for v := 0; v < n; v++ {
 		if !start[v] {
 			continue
@@ -132,7 +152,8 @@ func KCoreMaskWithin(g *bigraph.Graph, start []bool, k int) []bool {
 		alive[v] = true
 		deg[v] = g.DegWithin(v, start)
 	}
-	queue := make([]int, 0)
+	// deg is stale where start is false, but those vertices are dead and
+	// never read.
 	for v := 0; v < n; v++ {
 		if alive[v] && deg[v] < k {
 			alive[v] = false

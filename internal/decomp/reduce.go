@@ -36,7 +36,9 @@ func ReduceMask(g *bigraph.Graph, tau int) []bool {
 	// mask intact, still clear the threshold. BicoreMask peels only to
 	// the threshold fixed point instead of running the full (and far more
 	// expensive) bicore decomposition.
-	sub, newToOld := g.InducedByMask(mask)
+	ws := getWS()
+	sub, newToOld := ws.ind.InduceByMask(g, mask)
+	putWS(ws)
 	keep := BicoreMask(sub, 2*tau+1)
 	for v, ov := range newToOld {
 		if !keep[v] {

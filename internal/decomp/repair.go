@@ -11,8 +11,11 @@ import (
 // start means the whole graph (BicoreMask semantics). start is not
 // modified.
 func BicoreMaskWithin(g *bigraph.Graph, start []bool, thr int) []bool {
+	ws := getWS()
+	defer putWS(ws)
 	n := g.NumVertices()
-	th := NewTwoHop(g)
+	th := &ws.th
+	th.Reset(g)
 	alive := make([]bool, n)
 	if start == nil {
 		for v := range alive {
@@ -21,15 +24,18 @@ func BicoreMaskWithin(g *bigraph.Graph, start []bool, thr int) []bool {
 	} else {
 		copy(alive, start)
 	}
-	queued := make([]bool, n)
-	queue := make([]int, 0)
+	queued := clearedBools(ws.queued, n)
+	queue := ws.queue[:0]
+	affected := ws.affected[:0]
+	defer func() {
+		ws.queued, ws.queue, ws.affected = queued, queue[:0], affected[:0]
+	}()
 	for v := 0; v < n; v++ {
 		if alive[v] && !th.AtLeast(v, alive, thr) {
 			queue = append(queue, v)
 			queued[v] = true
 		}
 	}
-	affected := make([]int, 0, 64)
 	for len(queue) > 0 {
 		v := queue[len(queue)-1]
 		queue = queue[:len(queue)-1]
@@ -98,8 +104,11 @@ func ReduceMaskWithin(g *bigraph.Graph, start []bool, tau int) []bool {
 // abandoned and (nil, false) is returned — the caller rebuilds from
 // scratch.
 func RepairMask(g *bigraph.Graph, tau int, survivors []bool, touched []int, budget int) ([]bool, bool) {
+	ws := getWS()
+	defer putWS(ws)
 	n := g.NumVertices()
-	th := NewTwoHop(g)
+	th := &ws.th
+	th.Reset(g)
 	// Plausibility is memoised: 0 unknown, 1 plausible, 2 not. The
 	// degree test runs first (O(1), rejects the fringe); the two-hop
 	// test first tries the O(deg) lower bound |N≤2(v)| ≥ deg(v) +
@@ -108,7 +117,8 @@ func RepairMask(g *bigraph.Graph, tau int, survivors []bool, touched []int, budg
 	// high-degree neighbour accepts without a sweep, and the vertices
 	// that do need the exact sweep have only low-degree neighbours, so
 	// their sweep is cheap too.
-	plaus := make([]int8, n)
+	plaus := clearedInt8(ws.plaus, n)
+	ws.plaus = plaus
 	plausible := func(v int) bool {
 		if plaus[v] == 0 {
 			plaus[v] = 2
@@ -126,10 +136,11 @@ func RepairMask(g *bigraph.Graph, tau int, survivors []bool, touched []int, budg
 		}
 		return plaus[v] == 1
 	}
-	cand := make([]bool, n)
+	cand := make([]bool, n) // escapes: the repaired mask is the result
 	copy(cand, survivors)
-	admitted := make([]int, 0, 64)
-	queue := make([]int, 0, 64)
+	admitted := ws.admitted[:0]
+	queue := ws.queue[:0]
+	defer func() { ws.admitted, ws.queue = admitted[:0], queue[:0] }()
 	admit := func(v int) bool { // false when the budget is exhausted
 		if cand[v] || !plausible(v) {
 			return true
@@ -148,7 +159,8 @@ func RepairMask(g *bigraph.Graph, tau int, survivors []bool, touched []int, budg
 	// (swept[w]): without this, every candidate adjacent to a
 	// high-degree survivor would re-enumerate the hub's entire
 	// neighbourhood and the closure would cost frontier × hub-degree.
-	swept := make([]bool, n)
+	swept := clearedBools(ws.swept, n)
+	ws.swept = swept
 	expand := func(v int) bool {
 		for _, wn := range g.Neighbors(v) {
 			w := int(wn)
@@ -189,7 +201,8 @@ func RepairMask(g *bigraph.Graph, tau int, survivors []bool, touched []int, budg
 			return nil, false
 		}
 	}
-	buf := make([]int, 0, 64)
+	buf := ws.buf[:0]
+	defer func() { ws.buf = buf[:0] }()
 
 	// Peel the candidate set back to the certificate fixed point,
 	// locally: the only vertices whose certificates can fail are the
@@ -202,7 +215,8 @@ func RepairMask(g *bigraph.Graph, tau int, survivors []bool, touched []int, budg
 	// N≤2, so failures cascade exactly as far as they reach and the
 	// result equals ReduceMaskWithin(g, candidates, tau) at the cost of
 	// the affected region instead of a whole-graph sweep per round.
-	suspected := make([]bool, n)
+	suspected := clearedBools(ws.suspected, n)
+	ws.suspected = suspected
 	peel := queue[:0]
 	suspect := func(v int) {
 		if cand[v] && !suspected[v] {

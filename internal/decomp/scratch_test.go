@@ -1,0 +1,76 @@
+package decomp
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/bigraph"
+)
+
+func randomTestGraph(rng *rand.Rand, nl, nr int, p float64) *bigraph.Graph {
+	b := bigraph.NewBuilder(nl, nr)
+	for l := 0; l < nl; l++ {
+		for r := 0; r < nr; r++ {
+			if rng.Float64() < p {
+				b.AddEdge(l, r)
+			}
+		}
+	}
+	return b.Build()
+}
+
+// TestTwoHopResetAcrossGraphs drives one TwoHop through graphs of
+// growing and shrinking sizes and checks every query against a fresh
+// instance — the monotone-stamp argument in Reset must hold even when
+// the mark array is a reused, never-cleared prefix.
+func TestTwoHopResetAcrossGraphs(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	th := &TwoHop{}
+	for _, shape := range [][2]int{{6, 6}, {20, 15}, {4, 9}, {30, 30}, {2, 2}} {
+		g := randomTestGraph(rng, shape[0], shape[1], 0.3)
+		th.Reset(g)
+		fresh := NewTwoHop(g)
+		for v := 0; v < g.NumVertices(); v++ {
+			if got, want := th.Size(v, nil), fresh.Size(v, nil); got != want {
+				t.Fatalf("%v: Size(%d) = %d after Reset, want %d", shape, v, got, want)
+			}
+			if got, want := th.AtLeast(v, nil, 3), fresh.AtLeast(v, nil, 3); got != want {
+				t.Fatalf("%v: AtLeast(%d, 3) = %v after Reset, want %v", shape, v, got, want)
+			}
+		}
+	}
+}
+
+// TestPeelsStableUnderWorkspaceReuse interleaves differently-shaped
+// reductions so pooled workspaces are handed stale buffers from larger
+// and smaller earlier calls, and checks results match a first,
+// cold-workspace run. (Each subsequent call necessarily reuses pooled
+// state; the test fails if any stale content leaks through.)
+func TestPeelsStableUnderWorkspaceReuse(t *testing.T) {
+	rng := rand.New(rand.NewSource(29))
+	type testCase struct {
+		g   *bigraph.Graph
+		tau int
+	}
+	cases := make([]testCase, 0, 8)
+	for i := 0; i < 8; i++ {
+		cases = append(cases, testCase{
+			g:   randomTestGraph(rng, 5+rng.Intn(40), 5+rng.Intn(40), 0.25),
+			tau: 1 + rng.Intn(3),
+		})
+	}
+	want := make([][]bool, len(cases))
+	for i, tc := range cases {
+		want[i] = ReduceMaskWithin(tc.g, nil, tc.tau)
+	}
+	for round := 0; round < 3; round++ {
+		for i, tc := range cases {
+			got := ReduceMaskWithin(tc.g, nil, tc.tau)
+			for v := range got {
+				if got[v] != want[i][v] {
+					t.Fatalf("round %d case %d: mask[%d] = %v, want %v", round, i, v, got[v], want[i][v])
+				}
+			}
+		}
+	}
+}

@@ -18,7 +18,24 @@ type TwoHop struct {
 
 // NewTwoHop returns a query object for g.
 func NewTwoHop(g *bigraph.Graph) *TwoHop {
-	return &TwoHop{g: g, mark: make([]int32, g.NumVertices())}
+	t := &TwoHop{}
+	t.Reset(g)
+	return t
+}
+
+// Reset retargets t to g, reusing the mark storage when it is large
+// enough. The stamp is kept monotone across resets: stale marks written
+// for an earlier graph are always ≤ the current stamp and next()
+// advances past them before every query, so no clearing is needed.
+func (t *TwoHop) Reset(g *bigraph.Graph) {
+	t.g = g
+	n := g.NumVertices()
+	if cap(t.mark) < n {
+		t.mark = make([]int32, n)
+		t.stamp = 0
+	} else {
+		t.mark = t.mark[:n]
+	}
 }
 
 // next advances the timestamp, resetting marks implicitly.

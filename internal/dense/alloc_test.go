@@ -1,0 +1,75 @@
+package dense_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/dense"
+)
+
+// TestSolveSteadyStateZeroAlloc asserts the allocation discipline of the
+// dense branch-and-bound inner loop: once the recycled solver arenas on
+// the execution context are warm, a full solve that does not improve on
+// Options.Lower performs zero heap allocations. This is the regime the
+// planner and the sparse verification pipeline run in almost always —
+// the incumbent is already optimal and solves only confirm it.
+func TestSolveSteadyStateZeroAlloc(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	const n = 40
+	m := dense.NewMatrix(n, n)
+	for l := 0; l < n; l++ {
+		for r := 0; r < n; r++ {
+			if rng.Float64() < 0.85 {
+				m.AddEdge(l, r)
+			}
+		}
+	}
+	ex := core.Background()
+	first := dense.Solve(ex, m, dense.Options{Mode: dense.ModeDense})
+	if !first.Found {
+		t.Fatal("warm-up solve found nothing")
+	}
+	// With Lower at the optimum nothing is found, so no witness is copied
+	// out; repeated solves must reuse every arena.
+	opt := dense.Options{Mode: dense.ModeDense, Lower: first.Size}
+	for i := 0; i < 3; i++ {
+		if res := dense.Solve(ex, m, opt); res.Found {
+			t.Fatalf("solve with Lower=optimum reported size %d", res.Size)
+		}
+	}
+	allocs := testing.AllocsPerRun(20, func() {
+		dense.Solve(ex, m, opt)
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state dense solve: %.1f allocs/op, want 0", allocs)
+	}
+}
+
+// TestSolveScratchSurvivesResize checks that one context's recycled
+// solver handles solves over differently sized matrices back to back
+// (the plan-repair scenario: a re-induced graph grows or shrinks). The
+// shared incumbent legitimately carries across solves on one ex, so the
+// expected outcome of each complete-bipartite solve is known exactly:
+// found iff n beats the best size seen so far.
+func TestSolveScratchSurvivesResize(t *testing.T) {
+	ex := core.Background()
+	best := 0
+	for _, n := range []int{8, 30, 12, 64, 5, 80} {
+		m := dense.NewMatrix(n, n)
+		for l := 0; l < n; l++ {
+			for r := 0; r < n; r++ {
+				m.AddEdge(l, r)
+			}
+		}
+		res := dense.Solve(ex, m, dense.Options{Mode: dense.ModeDense})
+		if n > best {
+			if !res.Found || res.Size != n {
+				t.Fatalf("n=%d (incumbent %d): found=%v size=%d, want size %d", n, best, res.Found, res.Size, n)
+			}
+			best = n
+		} else if res.Found {
+			t.Fatalf("n=%d (incumbent %d): found size %d, want pruned", n, best, res.Size)
+		}
+	}
+}

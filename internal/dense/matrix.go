@@ -76,6 +76,36 @@ func (m *Matrix) Density() float64 {
 	return float64(m.edges) / (float64(m.nl) * float64(m.nr))
 }
 
+// Reset reshapes m in place into an empty nl×nr matrix, reusing the row
+// sets' backing storage (rows kept in the slices' spare capacity from
+// earlier, larger shapes are reused too). Intended for per-worker matrix
+// arenas that host one induced subgraph after another.
+func (m *Matrix) Reset(nl, nr int) {
+	m.nl, m.nr, m.edges = nl, nr, 0
+	m.rowL = resetRows(m.rowL, nl, nr)
+	m.rowR = resetRows(m.rowR, nr, nl)
+}
+
+// resetRows resizes rows to n entries of width-bit empty sets, reshaping
+// existing sets in place and allocating only for never-before-seen rows.
+func resetRows(rows []*bitset.Set, n, width int) []*bitset.Set {
+	full := rows[:cap(rows)]
+	if len(full) < n {
+		next := make([]*bitset.Set, n)
+		copy(next, full)
+		full = next
+	}
+	rows = full[:n]
+	for i, s := range rows {
+		if s == nil {
+			rows[i] = bitset.New(width)
+		} else {
+			s.Reshape(width)
+		}
+	}
+	return rows
+}
+
 // FromBigraph converts a whole bipartite graph to a matrix. Matrix left
 // index i corresponds to unified id i, right index j to unified id NL+j.
 func FromBigraph(g *bigraph.Graph) *Matrix {
@@ -93,17 +123,34 @@ func FromBigraph(g *bigraph.Graph) *Matrix {
 // the matrix; matrix index i on the left corresponds to lefts[i], index j
 // on the right to rights[j].
 func FromInduced(g *bigraph.Graph, lefts, rights []int) *Matrix {
-	m := NewMatrix(len(lefts), len(rights))
-	rpos := make(map[int]int, len(rights))
+	m := &Matrix{}
+	FromInducedInto(m, g, lefts, rights, nil)
+	return m
+}
+
+// FromInducedInto is FromInduced filling a caller-owned matrix arena:
+// m is Reset to len(lefts)×len(rights) and populated in place. pos is a
+// scratch position table indexed by unified id of g (grown as needed,
+// contents overwritten); the possibly-grown table is returned for reuse.
+func FromInducedInto(m *Matrix, g *bigraph.Graph, lefts, rights []int, pos []int32) []int32 {
+	m.Reset(len(lefts), len(rights))
+	n := g.NumVertices()
+	if cap(pos) < n {
+		pos = make([]int32, n)
+	}
+	pos = pos[:n]
+	for i := range pos {
+		pos[i] = -1
+	}
 	for j, v := range rights {
-		rpos[v] = j
+		pos[v] = int32(j)
 	}
 	for i, v := range lefts {
 		for _, wn := range g.Neighbors(v) {
-			if j, ok := rpos[int(wn)]; ok {
-				m.AddEdge(i, j)
+			if j := pos[wn]; j >= 0 {
+				m.AddEdge(i, int(j))
 			}
 		}
 	}
-	return m
+	return pos
 }

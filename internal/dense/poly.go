@@ -25,8 +25,9 @@ import "repro/internal/bitset"
 // backtracking) that materialises a witness.
 
 type component struct {
-	seq   []int // node encodings in path order (for cycles, cyclic order)
-	cycle bool
+	seq    []int // node encodings in path order (for cycles, cyclic order)
+	cycle  bool
+	countL int // #left nodes in seq (encodings < nl)
 	// frontier[a] = max #right picks over independent sets with exactly a
 	// left picks; -1 if no such set.
 	frontier []int
@@ -52,32 +53,42 @@ func (c *component) frontierClosed(nl int) {
 		}
 	}
 	countR := len(c.seq) - countL
-	c.frontier = make([]int, countL+1)
+	// Reuse the caller-provided frontier backing when it is large enough
+	// (dynamicMBB pre-slices it from a solver arena); every entry is
+	// written below, so no clearing is needed.
+	if cap(c.frontier) < countL+1 {
+		c.frontier = make([]int, countL+1)
+	} else {
+		c.frontier = c.frontier[:countL+1]
+	}
+	fr := c.frontier
 	switch {
 	case c.cycle:
 		k := countL // == countR on a cycle
-		c.frontier[0] = k
+		fr[0] = k
 		for a := 1; a <= k; a++ {
 			if b := k - 1 - a; b > 0 {
-				c.frontier[a] = b
+				fr[a] = b
+			} else {
+				fr[a] = 0
 			}
 		}
 	case countL == countR:
 		for a := 0; a <= countL; a++ {
-			c.frontier[a] = countL - a
+			fr[a] = countL - a
 		}
 	case countL > countR: // LL-ended path
 		k := countR
-		c.frontier[0] = k
+		fr[0] = k
 		for a := 1; a <= k; a++ {
-			c.frontier[a] = k - a
+			fr[a] = k - a
 		}
-		c.frontier[k+1] = 0
+		fr[k+1] = 0
 	default: // RR-ended path
 		k := countL
-		c.frontier[0] = k + 1
+		fr[0] = k + 1
 		for a := 1; a <= k; a++ {
-			c.frontier[a] = k - a
+			fr[a] = k - a
 		}
 	}
 }
@@ -243,22 +254,40 @@ func (c *component) pick(nl, a int) []int {
 // It returns the components plus the trivial (complement-isolated) nodes
 // of each side, all in node encodings: left candidate i (position in
 // caList) is i, right candidate j is nl+j.
-func (s *solver) decompose(CA, CB *bitset.Set, caList, cbList []int) (comps []*component, trivialL, trivialR []int) {
+//
+// Everything returned lives in solver-owned arenas valid until the next
+// decompose call: comps is s.compBuf, each component's seq is a subslice
+// of s.seqBuf (pre-sized to nl+nr before walking, so appends never
+// relocate it under an already-built component), and the trivial lists
+// are s.trivL/s.trivR.
+func (s *solver) decompose(CA, CB *bitset.Set, caList, cbList []int) (comps []component, trivialL, trivialR []int) {
 	nl, nr := len(caList), len(cbList)
+	n := nl + nr
 	if cap(s.posR) < s.m.nr {
 		s.posR = make([]int32, s.m.nr)
 	}
+	posR := s.posR[:s.m.nr]
 	for j, r := range cbList {
-		s.posR[r] = int32(j)
+		posR[r] = int32(j)
 	}
-	adj := make([][2]int32, nl+nr) // complement degree ≤ 2 per node
-	deg := make([]int8, nl+nr)
+	if cap(s.adjBuf) < n {
+		s.adjBuf = make([][2]int32, n)
+		s.degBuf = make([]int8, n)
+		s.visBuf = make([]bool, n)
+	}
+	adj := s.adjBuf[:n] // complement degree ≤ 2 per node
+	deg := s.degBuf[:n]
+	visited := s.visBuf[:n]
+	for i := range deg {
+		deg[i] = 0
+		visited[i] = false
+	}
 	miss := s.poolR.Get()
 	for i, u := range caList {
 		miss.CopyFrom(CB)
 		miss.AndNot(s.m.rowL[u])
 		miss.ForEach(func(r int) bool {
-			j := int(s.posR[r])
+			j := int(posR[r])
 			adj[i][deg[i]] = int32(nl + j)
 			deg[i]++
 			adj[nl+j][deg[nl+j]] = int32(i)
@@ -268,14 +297,22 @@ func (s *solver) decompose(CA, CB *bitset.Set, caList, cbList []int) (comps []*c
 	}
 	s.poolR.Put(miss)
 
-	visited := make([]bool, nl+nr)
-	walk := func(start int) *component {
-		c := &component{}
+	if cap(s.seqBuf) < n {
+		s.seqBuf = make([]int, 0, n)
+	}
+	seq := s.seqBuf[:0]
+	comps = s.compBuf[:0]
+	walk := func(start int) {
+		base := len(seq)
+		c := component{}
 		prev := -1
 		cur := start
 		for {
 			visited[cur] = true
-			c.seq = append(c.seq, cur)
+			seq = append(seq, cur)
+			if cur < nl {
+				c.countL++
+			}
 			next := -1
 			for k := int8(0); k < deg[cur]; k++ {
 				w := int(adj[cur][k])
@@ -286,16 +323,22 @@ func (s *solver) decompose(CA, CB *bitset.Set, caList, cbList []int) (comps []*c
 			}
 			if next == -1 {
 				for k := int8(0); k < deg[cur]; k++ {
-					if int(adj[cur][k]) == start && len(c.seq) > 2 {
+					if int(adj[cur][k]) == start && len(seq)-base > 2 {
 						c.cycle = true
 					}
 				}
-				return c
+				// Full-capacity cap so a later append elsewhere can never
+				// write through this component's view.
+				c.seq = seq[base:len(seq):len(seq)]
+				comps = append(comps, c)
+				return
 			}
 			prev, cur = cur, next
 		}
 	}
-	for enc := 0; enc < nl+nr; enc++ {
+	trivialL = s.trivL[:0]
+	trivialR = s.trivR[:0]
+	for enc := 0; enc < n; enc++ {
 		if deg[enc] == 0 {
 			if enc < nl {
 				trivialL = append(trivialL, enc)
@@ -305,16 +348,18 @@ func (s *solver) decompose(CA, CB *bitset.Set, caList, cbList []int) (comps []*c
 			visited[enc] = true
 		}
 	}
-	for enc := 0; enc < nl+nr; enc++ {
+	for enc := 0; enc < n; enc++ {
 		if !visited[enc] && deg[enc] == 1 {
-			comps = append(comps, walk(enc))
+			walk(enc)
 		}
 	}
-	for enc := 0; enc < nl+nr; enc++ {
+	for enc := 0; enc < n; enc++ {
 		if !visited[enc] {
-			comps = append(comps, walk(enc))
+			walk(enc)
 		}
 	}
+	s.compBuf = comps
+	s.trivL, s.trivR = trivialL, trivialR
 	return comps, trivialL, trivialR
 }
 
@@ -332,7 +377,22 @@ func (s *solver) dynamicMBB(CA, CB *bitset.Set) {
 	nl := len(caList)
 
 	comps, trivialL, trivialR := s.decompose(CA, CB, caList, cbList)
-	for _, c := range comps {
+	// Hand each component a frontier slice from one pre-sized arena, so
+	// frontierClosed fills in place without allocating. Sizing happens
+	// before any frontier is assigned: growing s.frontBuf later would
+	// relocate slices already handed out.
+	need := 0
+	for i := range comps {
+		need += comps[i].countL + 1
+	}
+	if cap(s.frontBuf) < need {
+		s.frontBuf = make([]int, need)
+	}
+	off := 0
+	for i := range comps {
+		c := &comps[i]
+		c.frontier = s.frontBuf[off : off+c.countL+1 : off+c.countL+1]
+		off += c.countL + 1
 		c.frontierClosed(nl)
 	}
 
@@ -352,7 +412,8 @@ func (s *solver) dynamicMBB(CA, CB *bitset.Set) {
 	}
 	fb[a0] = b0
 	hi := a0 // highest reachable a so far
-	for _, c := range comps {
+	for ci := range comps {
+		c := &comps[ci]
 		for i := range tmp {
 			tmp[i] = -1
 		}
@@ -396,7 +457,7 @@ func (s *solver) dynamicMBB(CA, CB *bitset.Set) {
 
 // reconstruct materialises a witness achieving min(a,b) == bestMin with
 // total left picks targetA, and installs it as the incumbent.
-func (s *solver) reconstruct(comps []*component, caList, cbList, trivialL, trivialR []int, a0, b0, targetA, bestMin int) {
+func (s *solver) reconstruct(comps []component, caList, cbList, trivialL, trivialR []int, a0, b0, targetA, bestMin int) {
 	nl := len(caList)
 	// stage[p][a] = max right picks after combining comps[:p].
 	stages := make([][]int, len(comps)+1)

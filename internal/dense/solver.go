@@ -58,6 +58,12 @@ type Result struct {
 	Stats core.Stats
 }
 
+// denseScratchKey identifies recycled *solver arenas on an Exec: one
+// solver (pools, suffix counts, dynamicMBB buffers) per concurrent solve,
+// reused across the many solves a planner or verification pipeline runs
+// on the same context.
+var denseScratchKey = new(core.ScratchKey)
+
 // Solve runs the configured algorithm under ex (nil means unlimited) to
 // completion or budget exhaustion and returns the best balanced biclique
 // strictly larger than Options.Lower, if any. Solve is safe to call from
@@ -67,23 +73,33 @@ type Result struct {
 // must be searching the same optimum — the same graph, or subgraphs of
 // one graph as the sparse verification pipeline does; reusing an ex
 // across unrelated graphs prunes with a bound that does not apply.
+//
+// Solve recycles its internal arenas through ex (see core.Exec scratch):
+// steady-state solves on one context allocate nothing unless they improve
+// on Options.Lower. The returned index slices are freshly allocated and
+// owned by the caller.
 func Solve(ex *core.Exec, m *Matrix, opt Options) Result {
-	s := &solver{
-		m:        m,
-		mode:     opt.Mode,
-		ex:       ex,
-		bestSize: opt.Lower,
-		poolL:    bitset.NewPool(m.nl),
-		poolR:    bitset.NewPool(m.nr),
-
-		noProfileBound:  opt.DisableProfileBound,
-		noMatchingBound: opt.DisableMatchingBound,
+	var s *solver
+	if v := ex.GetScratch(denseScratchKey); v != nil {
+		s = v.(*solver)
+		s.reset(m)
+	} else {
+		s = &solver{
+			poolL: bitset.NewPool(m.nl),
+			poolR: bitset.NewPool(m.nr),
+		}
 	}
+	s.m = m
+	s.mode = opt.Mode
+	s.ex = ex
+	s.bestSize = opt.Lower
+	s.noProfileBound = opt.DisableProfileBound
+	s.noMatchingBound = opt.DisableMatchingBound
 	if sb := ex.Best(); sb > s.bestSize {
 		s.bestSize = sb
 	}
 
-	CA := bitset.New(m.nl)
+	CA := s.poolL.Get()
 	if opt.CandA == nil {
 		CA.FillAll()
 	} else {
@@ -91,7 +107,7 @@ func Solve(ex *core.Exec, m *Matrix, opt Options) Result {
 			CA.Add(v)
 		}
 	}
-	CB := bitset.New(m.nr)
+	CB := s.poolR.Get()
 	if opt.CandB == nil {
 		CB.FillAll()
 	} else {
@@ -109,6 +125,8 @@ func Solve(ex *core.Exec, m *Matrix, opt Options) Result {
 		s.greedySeed(CA, CB)
 	}
 	s.node(CA, CB)
+	s.poolL.Put(CA)
+	s.poolR.Put(CB)
 
 	res := Result{Stats: s.stats}
 	res.Stats.SumSearchDepth = int64(s.maxDepth)
@@ -117,9 +135,30 @@ func Solve(ex *core.Exec, m *Matrix, opt Options) Result {
 	if s.found {
 		res.Found = true
 		res.Size = s.foundSize
-		res.A, res.B = s.bestA, s.bestB
+		// Copy out: bestA/bestB stay with the solver for the next solve.
+		res.A = append([]int(nil), s.bestA...)
+		res.B = append([]int(nil), s.bestB...)
 	}
+	ex.PutScratch(denseScratchKey, s)
 	return res
+}
+
+// reset readies a recycled solver for a solve over m: the pools are
+// reshaped to m's dimensions (reusing their backing arrays) and all
+// per-solve state is cleared. The amortised buffers (suffix counts,
+// dynamicMBB scratch, decompose arenas) keep their capacity.
+func (s *solver) reset(m *Matrix) {
+	s.poolL.Reset(m.nl)
+	s.poolR.Reset(m.nr)
+	s.A = s.A[:0]
+	s.B = s.B[:0]
+	s.bestA = s.bestA[:0]
+	s.bestB = s.bestB[:0]
+	s.stats = core.Stats{}
+	s.found = false
+	s.foundSize = 0
+	s.depth, s.maxDepth = 0, 0
+	s.timedOut = false
 }
 
 type solver struct {
@@ -149,6 +188,18 @@ type solver struct {
 	fbScratch, fbTmp     []int
 	posR                 []int32
 	matchScratch         *bitset.Set
+
+	// decompose arenas (poly.go): complement adjacency, walk state and
+	// component storage, all reused across dynamicMBB invocations. seqBuf
+	// and frontBuf are pre-sized before each decomposition so the
+	// component subslices handed out never relocate.
+	adjBuf       [][2]int32
+	degBuf       []int8
+	visBuf       []bool
+	seqBuf       []int
+	frontBuf     []int
+	compBuf      []component
+	trivL, trivR []int
 
 	noProfileBound, noMatchingBound bool
 
@@ -469,8 +520,10 @@ func (s *solver) greedySeed(CA0, CB0 *bitset.Set) {
 // Any matching certifies the bound; a greedy maximal matching (first free
 // complement partner per CA vertex) is used for speed.
 func (s *solver) matchingBound(CA, CB *bitset.Set, a, b, ca, cb int) int {
-	if s.matchScratch == nil || s.matchScratch.Cap() != s.m.nr {
+	if s.matchScratch == nil {
 		s.matchScratch = bitset.New(s.m.nr)
+	} else if s.matchScratch.Cap() != s.m.nr {
+		s.matchScratch.Reshape(s.m.nr)
 	}
 	free := s.matchScratch
 	free.CopyFrom(CB) // complement partners still unmatched

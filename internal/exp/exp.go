@@ -16,6 +16,7 @@ import (
 	"context"
 	"fmt"
 	"io"
+	"runtime"
 	"sync"
 	"time"
 
@@ -128,6 +129,13 @@ type Record struct {
 	Step     string  `json:"step,omitempty"`    // S1/S2/S3 for the sparse framework
 	Workers  int     `json:"workers,omitempty"` // verification pipeline width
 
+	// Allocation profile of the run (runtime.ReadMemStats deltas around
+	// the solve, covering all of its goroutines). Heap telemetry for the
+	// bench trajectory, not a gated number: counts are deterministic only
+	// up to scheduling, so the gate stays on Nodes.
+	AllocsPerOp int64 `json:"allocs_per_op,omitempty"` // heap allocations during the run
+	BytesPerOp  int64 `json:"bytes_per_op,omitempty"`  // bytes allocated during the run
+
 	// Planner fields, nonzero only when the reduce-and-conquer planner ran.
 	Reduce     string `json:"reduce,omitempty"`     // planner mode ("on"; omitted when off)
 	Tau        int    `json:"tau,omitempty"`        // heuristic seed lower bound
@@ -196,12 +204,15 @@ func (c *Config) runSolver(expName, dataset, name string, g *bigraph.Graph, opt 
 	if o.Reduce == mbb.ReduceAuto {
 		o.Reduce = c.Reduce
 	}
+	var m0, m1 runtime.MemStats
+	runtime.ReadMemStats(&m0)
 	start := time.Now()
 	sres, err := mbb.SolveContext(context.Background(), g, &o)
 	if err != nil {
 		return 0, core.Result{}, false, err
 	}
 	secs := time.Since(start).Seconds()
+	runtime.ReadMemStats(&m1)
 	res := core.Result{Biclique: sres.Biclique, Stats: sres.Stats}
 	timedOut := res.Stats.TimedOut
 	rec := Record{
@@ -209,6 +220,7 @@ func (c *Config) runSolver(expName, dataset, name string, g *bigraph.Graph, opt 
 		Seconds: secs, TimedOut: timedOut, Size: res.Biclique.Size(),
 		Nodes: res.Stats.Nodes, Step: stepLabel(res.Stats.Step), Workers: o.Workers,
 		Tau: res.Stats.SeedTau, Peeled: res.Stats.Peeled, Components: res.Stats.Components,
+		AllocsPerOp: int64(m1.Mallocs - m0.Mallocs), BytesPerOp: int64(m1.TotalAlloc - m0.TotalAlloc),
 	}
 	if sres.Reduced {
 		rec.Reduce = "on"

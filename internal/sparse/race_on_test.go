@@ -1,0 +1,8 @@
+//go:build race
+
+package sparse
+
+// raceEnabled reports whether the race detector is compiled in. Its
+// instrumentation changes escape analysis, so exact allocation-count
+// assertions are only meaningful without it.
+const raceEnabled = true

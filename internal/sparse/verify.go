@@ -7,6 +7,24 @@ import (
 	"repro/internal/dense"
 )
 
+// verifyScratch is the per-worker arena for solveCentred, recycled
+// through the execution context: the k-core mask, the subgraph inducer,
+// the id-translation buffers and the dense matrix arena are all reused
+// across the many subgraphs one verification worker processes. A pruned
+// verification (the steady state once the incumbent is optimal) touches
+// only this arena and allocates nothing.
+type verifyScratch struct {
+	mask          []bool
+	ind           bigraph.Inducer
+	toOrig        []int
+	lefts, rights []int
+	pos           []int32
+	mat           dense.Matrix
+	fixedA        [1]int
+}
+
+var verifyScratchKey = new(core.ScratchKey)
+
 // verifyOne is step 3 of the framework (Algorithm 8) for a single
 // vertex-centred subgraph: reduce it to the (best+1)-core and, if its
 // centre survives, search it exhaustively with the dense solver anchored
@@ -36,23 +54,31 @@ func (s *state) solveCentred(h centred, best int) (bigraph.Biclique, core.Stats,
 	if s.opt.UseBasicBB {
 		mode = dense.ModeBasic
 	}
+	var vs *verifyScratch
+	if v := s.ex.GetScratch(verifyScratchKey); v != nil {
+		vs = v.(*verifyScratch)
+	} else {
+		vs = &verifyScratch{}
+	}
+	defer s.ex.PutScratch(verifyScratchKey, vs)
 
 	// Re-apply the cheap prunes with the (possibly improved) incumbent.
-	mask := decomp.KCoreMask(h.sub, best+1)
-	if !mask[h.center] {
+	vs.mask = decomp.KCoreMaskInto(h.sub, best+1, vs.mask)
+	if !vs.mask[h.center] {
 		stats.SubgraphsPruned++
 		return bigraph.Biclique{}, stats, false
 	}
-	sub2, toSub := h.sub.InducedByMask(mask)
+	sub2, toSub := vs.ind.InduceByMask(h.sub, vs.mask)
 	nl, nr := sub2.NL(), sub2.NR()
 	if nl <= best || nr <= best {
 		stats.SubgraphsPruned++
 		return bigraph.Biclique{}, stats, false
 	}
-	toOrig := make([]int, len(toSub))
-	for i, v := range toSub {
-		toOrig[i] = h.toOrig[v]
+	toOrig := vs.toOrig[:0]
+	for _, v := range toSub {
+		toOrig = append(toOrig, h.toOrig[v])
 	}
+	vs.toOrig = toOrig
 
 	// Locate the centre in sub2 and orient the matrix so the centre side
 	// is the matrix's left side.
@@ -63,18 +89,20 @@ func (s *state) solveCentred(h centred, best int) (bigraph.Biclique, core.Stats,
 	}
 	var lefts, rights []int
 	if sub2.IsLeft(center) {
-		lefts = sideIDs(sub2, true)
-		rights = sideIDs(sub2, false)
+		lefts = sideIDsInto(sub2, true, vs.lefts[:0])
+		rights = sideIDsInto(sub2, false, vs.rights[:0])
 	} else {
-		lefts = sideIDs(sub2, false)
-		rights = sideIDs(sub2, true)
+		lefts = sideIDsInto(sub2, false, vs.lefts[:0])
+		rights = sideIDsInto(sub2, true, vs.rights[:0])
 	}
+	vs.lefts, vs.rights = lefts, rights
 	anchor := indexOf(lefts, center)
-	m := dense.FromInduced(sub2, lefts, rights)
-	res := dense.Solve(s.ex, m, dense.Options{
+	vs.pos = dense.FromInducedInto(&vs.mat, sub2, lefts, rights, vs.pos)
+	vs.fixedA[0] = anchor
+	res := dense.Solve(s.ex, &vs.mat, dense.Options{
 		Mode:   mode,
 		Lower:  best,
-		FixedA: []int{anchor},
+		FixedA: vs.fixedA[:],
 	})
 	stats.Merge(&res.Stats)
 	if !res.Found {
@@ -95,19 +123,18 @@ func (s *state) solveCentred(h centred, best int) (bigraph.Biclique, core.Stats,
 	return bc, stats, true
 }
 
-// sideIDs lists the unified ids of one side of g.
-func sideIDs(g *bigraph.Graph, left bool) []int {
-	var out []int
+// sideIDsInto appends the unified ids of one side of g to dst.
+func sideIDsInto(g *bigraph.Graph, left bool, dst []int) []int {
 	if left {
 		for i := 0; i < g.NL(); i++ {
-			out = append(out, g.Left(i))
+			dst = append(dst, g.Left(i))
 		}
 	} else {
 		for j := 0; j < g.NR(); j++ {
-			out = append(out, g.Right(j))
+			dst = append(dst, g.Right(j))
 		}
 	}
-	return out
+	return dst
 }
 
 func indexOf(a []int, v int) int {

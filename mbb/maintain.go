@@ -247,6 +247,8 @@ func (p *Plan) applyRepair(np *Plan, d Delta, budget int) (*Plan, bool) {
 	}
 	if rejoin {
 		np.jobs = collectJobs(np.red, p.tau)
+		// Job indices moved; the old component profiles no longer line up.
+		np.costs = make([]compCost, len(np.jobs))
 	}
 	// The repaired survivor set is a certificate fixed point of g2
 	// again, so the deletion-endpoint log restarts empty.

@@ -29,6 +29,16 @@ type Plan struct {
 	partial bool
 	epoch   uint64 // snapshot version the plan was built (or maintained) for
 
+	// costs[i] is the observed solve profile of jobs[i], updated by every
+	// solve on this plan and read by the work-stealing dispatcher to order
+	// the next solve's component pulls (see compCost). It is the one
+	// mutable, concurrency-safe field of an otherwise immutable Plan; it
+	// never affects results, only schedule. Maintenance shares it across
+	// the plan chain while the job list is preserved (deletion-only
+	// deltas) and resets it when the jobs are recomputed (insertion
+	// repair), since job indices then no longer line up.
+	costs []compCost
+
 	// repairs counts how many times this plan chain was locally
 	// repaired by ApplyDelta's insertion path instead of rebuilt.
 	repairs int

@@ -3,6 +3,8 @@ package mbb
 import (
 	"sort"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"repro/internal/bigraph"
 	"repro/internal/core"
@@ -115,6 +117,54 @@ type planJob struct {
 	nl, nr int
 }
 
+// compCost is the profile one plan accumulates for one component across
+// its solves: the branch-and-bound nodes and wall time observed the last
+// time the component was actually searched (pruned dispatches leave the
+// profile untouched). A cached Plan backs many solves, so from the second
+// solve on the dispatcher can hand out components by how expensive they
+// really were rather than by how big they look. Atomics because
+// concurrent component workers — and concurrent solves sharing one plan —
+// record profiles without coordination; the profile is an advisory
+// scheduling hint, not logical plan state, so lost updates are harmless.
+type compCost struct {
+	nodes atomic.Int64
+	nanos atomic.Int64
+}
+
+// costlier ranks job i before job j in steal order: components with a
+// higher observed node count first (the profile from earlier solves on
+// this plan), wall time as the tiebreak, and for unprofiled (cold)
+// components the static estimate — more vertices first, then collectJobs
+// order. On a cold plan every profile is zero, so the dispatch order is
+// exactly the old static largest-first order.
+func (p *Plan) costlier(i, j int) bool {
+	if ni, nj := p.costs[i].nodes.Load(), p.costs[j].nodes.Load(); ni != nj {
+		return ni > nj
+	}
+	if ti, tj := p.costs[i].nanos.Load(), p.costs[j].nanos.Load(); ti != tj {
+		return ti > tj
+	}
+	if li, lj := len(p.jobs[i].ids), len(p.jobs[j].ids); li != lj {
+		return li > lj
+	}
+	return i < j
+}
+
+// takeCostliest removes the costliest job index from pending and returns
+// it with the shrunk slice. Linear scan: component counts are small and
+// the caller holds a lock anyway.
+func (p *Plan) takeCostliest(pending []int) (int, []int) {
+	best := 0
+	for k := 1; k < len(pending); k++ {
+		if p.costlier(pending[k], pending[best]) {
+			best = k
+		}
+	}
+	idx := pending[best]
+	pending[best] = pending[len(pending)-1]
+	return idx, pending[:len(pending)-1]
+}
+
 // computePlan runs the planner's preprocessing phase — heuristic seed,
 // optimum-preserving reduction, component decomposition — and packages
 // the outcome as an immutable Plan. When ex is cut short mid-way the
@@ -159,7 +209,7 @@ func computePlan(ex *core.Exec, g *Graph) *Plan {
 			jobs = collectJobs(red, tau)
 		}
 	}
-	return &Plan{g: g, seed: seed, tau: tau, red: red, jobs: jobs, partial: partial}
+	return &Plan{g: g, seed: seed, tau: tau, red: red, jobs: jobs, costs: make([]compCost, len(jobs)), partial: partial}
 }
 
 // collectJobs splits the reduced graph into its connected components and
@@ -227,7 +277,8 @@ func (p *Plan) solveOn(ex *core.Exec, spec SolverSpec, isAuto bool, opt *Options
 		outcome  core.Stats
 		firstErr error
 	)
-	solveComp := func(j planJob) {
+	solveComp := func(ji int) {
+		j := p.jobs[ji]
 		if ex.ShouldStop() {
 			return
 		}
@@ -242,6 +293,7 @@ func (p *Plan) solveOn(ex *core.Exec, spec SolverSpec, isAuto bool, opt *Options
 		if isAuto {
 			rspec, _ = Lookup(autoSolverName(sub))
 		}
+		start := time.Now()
 		res, err := rspec.Run(ex, sub, &copt)
 		mu.Lock()
 		defer mu.Unlock()
@@ -254,32 +306,58 @@ func (p *Plan) solveOn(ex *core.Exec, spec SolverSpec, isAuto bool, opt *Options
 			}
 			return
 		}
+		// Record the observed cost so later solves on this (cached) plan
+		// dispatch the genuinely expensive components first.
+		p.costs[ji].nodes.Store(res.Stats.Nodes)
+		p.costs[ji].nanos.Store(time.Since(start).Nanoseconds())
 		outcome.MergeOutcome(&res.Stats)
 		if bc := res.Biclique.Remap(toOrig).Balanced(); bc.Size() > best.Size() {
 			best = bc
 			ex.OfferBest(bc.Size())
 		}
 	}
+	// Work-stealing dispatch: instead of pre-assigning components, every
+	// worker pulls the costliest remaining one from a shared queue when it
+	// becomes free — so when a large component fizzles early (the incumbent
+	// from a sibling already covers it), its worker immediately steals the
+	// next expensive component rather than idling behind a static schedule.
+	// The sequential path drains the same queue, so its visit order matches
+	// the parallel steal order (and, on a cold plan, the old static
+	// largest-first order exactly).
+	var qmu sync.Mutex
+	pending := make([]int, len(p.jobs))
+	for i := range pending {
+		pending[i] = i
+	}
+	nextJob := func() (int, bool) {
+		qmu.Lock()
+		defer qmu.Unlock()
+		if len(pending) == 0 {
+			return 0, false
+		}
+		var idx int
+		idx, pending = p.takeCostliest(pending)
+		return idx, true
+	}
 	if workers <= 1 {
-		for _, j := range p.jobs {
-			solveComp(j)
+		for ji, ok := nextJob(); ok; ji, ok = nextJob() {
+			solveComp(ji)
 		}
 	} else {
-		ch := make(chan planJob)
 		var wg sync.WaitGroup
 		for w := 0; w < workers; w++ {
 			wg.Add(1)
 			go func() {
 				defer wg.Done()
-				for j := range ch {
-					solveComp(j)
+				for {
+					ji, ok := nextJob()
+					if !ok {
+						return
+					}
+					solveComp(ji)
 				}
 			}()
 		}
-		for _, j := range p.jobs {
-			ch <- j
-		}
-		close(ch)
 		wg.Wait()
 	}
 	if firstErr != nil {

@@ -1,0 +1,122 @@
+package mbb
+
+import (
+	"context"
+	"sync"
+	"testing"
+)
+
+// multiComponentPlan builds a plan over two disjoint dataset stand-ins so
+// several components survive the reduction.
+func multiComponentPlan(t *testing.T) *Plan {
+	t.Helper()
+	a, _ := GenerateDataset("github", 800, 5)
+	b, _ := GenerateDataset("youtube-groupmemberships", 800, 15)
+	bld := NewBuilder(a.NL()+b.NL(), a.NR()+b.NR())
+	for _, e := range a.Edges() {
+		bld.AddEdge(e[0], e[1])
+	}
+	for _, e := range b.Edges() {
+		bld.AddEdge(a.NL()+e[0], a.NR()+e[1])
+	}
+	p, err := PlanContext(context.Background(), bld.Build())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.jobs) < 2 {
+		t.Fatalf("want ≥ 2 surviving components, got %d", len(p.jobs))
+	}
+	return p
+}
+
+// drainOrder empties a pending queue through takeCostliest and returns
+// the visit order.
+func drainOrder(p *Plan) []int {
+	pending := make([]int, len(p.jobs))
+	for i := range pending {
+		pending[i] = i
+	}
+	var order []int
+	for len(pending) > 0 {
+		var idx int
+		idx, pending = p.takeCostliest(pending)
+		order = append(order, idx)
+	}
+	return order
+}
+
+// TestStealOrderColdMatchesStatic: with no profile recorded, the steal
+// order must be exactly the static largest-first order the planner used
+// before — index order, since collectJobs pre-sorts jobs by size. This is
+// what keeps cold-plan benchmark trajectories (node counts) unchanged.
+func TestStealOrderColdMatchesStatic(t *testing.T) {
+	p := multiComponentPlan(t)
+	for i, idx := range drainOrder(p) {
+		if idx != i {
+			t.Fatalf("cold steal order %v, want identity", drainOrder(p))
+		}
+	}
+}
+
+// TestStealOrderFollowsProfile: once a solve has recorded that the
+// (statically) smallest component was the most expensive, the next
+// dispatch must hand it out first, nodes before wall time.
+func TestStealOrderFollowsProfile(t *testing.T) {
+	p := multiComponentPlan(t)
+	last := len(p.jobs) - 1
+	p.costs[last].nodes.Store(1 << 40)
+	if order := drainOrder(p); order[0] != last {
+		t.Fatalf("steal order %v ignores the node profile on job %d", order, last)
+	}
+	p.costs[last].nodes.Store(0)
+	p.costs[last].nanos.Store(1 << 40)
+	if order := drainOrder(p); order[0] != last {
+		t.Fatalf("steal order %v ignores the time profile on job %d", order, last)
+	}
+	p.costs[last].nanos.Store(0)
+	if order := drainOrder(p); order[0] != 0 {
+		t.Fatalf("steal order %v with cleared profile, want static order", order)
+	}
+}
+
+// TestSharedPlanConcurrentSolvesRecordProfile: many concurrent solves on
+// one cached plan — the profile store is written by all of them — must
+// agree on the optimum and leave a profile behind for the costliest
+// component. Under -race this locks down the dispatcher's shared state.
+func TestSharedPlanConcurrentSolvesRecordProfile(t *testing.T) {
+	p := multiComponentPlan(t)
+	opt := &Options{Workers: 4}
+	want, err := p.SolveContext(context.Background(), opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	sizes := make([]int, 6)
+	for i := range sizes {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			res, err := p.SolveContext(context.Background(), opt)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			sizes[i] = res.Biclique.Size()
+		}(i)
+	}
+	wg.Wait()
+	for i, s := range sizes {
+		if s != want.Biclique.Size() {
+			t.Fatalf("concurrent solve %d found size %d, want %d", i, s, want.Biclique.Size())
+		}
+	}
+	profiled := false
+	for i := range p.costs {
+		if p.costs[i].nanos.Load() > 0 {
+			profiled = true
+		}
+	}
+	if !profiled {
+		t.Fatal("no component profile recorded after solving")
+	}
+}

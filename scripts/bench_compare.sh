@@ -1,0 +1,63 @@
+#!/usr/bin/env bash
+# A/B benchmark comparison: run the pinned bench subset on two code
+# versions and print per-benchmark deltas via cmd/benchdiff.
+#
+#   scripts/bench_compare.sh [BASE_REF [NEW_REF]]
+#
+# With no arguments the working tree is compared against HEAD; with one,
+# against BASE_REF; with two, NEW_REF against BASE_REF. Refs are
+# materialised in temporary git worktrees so the comparison never
+# touches (or is polluted by) uncommitted state. Knobs:
+#
+#   BENCH_PATTERN   benchmark regexp (default: the pinned subset below)
+#   BENCH_COUNT     -count per side (default 3; benchdiff takes best-of)
+#   BENCH_TIME      -benchtime (default 1x: deterministic solver work
+#                   dominates, so one iteration is already comparable)
+#   BENCH_METRIC    gate metric for -threshold: ns, allocs, bytes
+#   BENCH_THRESHOLD fail when new/old exceeds this ratio (default 0: report only)
+#
+# The CI bench gate covers machine-independent node counts
+# (scripts/bench_gate.sh); this script is the complementary wall-clock /
+# allocation loop a perf change is validated with locally, e.g.:
+#
+#   scripts/bench_compare.sh HEAD~1            # did my commit help?
+#   BENCH_METRIC=allocs BENCH_THRESHOLD=1.0 scripts/bench_compare.sh
+set -euo pipefail
+
+cd "$(git rev-parse --show-toplevel)"
+
+PATTERN="${BENCH_PATTERN:-BenchmarkAlloc|BenchmarkTable4DenseMBB/n=32|BenchmarkTable5HbvMBB/github|BenchmarkDynamicMBB|BenchmarkGraphApply}"
+COUNT="${BENCH_COUNT:-3}"
+BENCHTIME="${BENCH_TIME:-1x}"
+METRIC="${BENCH_METRIC:-ns}"
+THRESHOLD="${BENCH_THRESHOLD:-0}"
+
+base_ref="${1:-HEAD}"
+new_ref="${2:-}"
+
+tmp="$(mktemp -d)"
+cleanup() {
+    git worktree remove --force "$tmp/base" >/dev/null 2>&1 || true
+    git worktree remove --force "$tmp/new" >/dev/null 2>&1 || true
+    rm -rf "$tmp"
+}
+trap cleanup EXIT
+
+run_bench() { # dir label out
+    echo "bench_compare: running $3 in $1 ($2)" >&2
+    (cd "$1" && go test -run '^$' -bench "$PATTERN" -benchtime "$BENCHTIME" \
+        -count "$COUNT" -benchmem .) > "$3"
+}
+
+git worktree add --force --detach "$tmp/base" "$base_ref" >/dev/null
+run_bench "$tmp/base" "$base_ref" "$tmp/old.txt"
+
+if [ -n "$new_ref" ]; then
+    git worktree add --force --detach "$tmp/new" "$new_ref" >/dev/null
+    run_bench "$tmp/new" "$new_ref" "$tmp/new.txt"
+else
+    run_bench "$PWD" "working tree" "$tmp/new.txt"
+fi
+
+echo "bench_compare: $base_ref -> ${new_ref:-working tree} (best of $COUNT, metric $METRIC)"
+go run ./cmd/benchdiff -metric "$METRIC" -threshold "$THRESHOLD" "$tmp/old.txt" "$tmp/new.txt"

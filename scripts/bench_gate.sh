@@ -1,7 +1,7 @@
 #!/usr/bin/env bash
 # CI benchmark trajectory: run the pinned subset (cmd/mbbbench -exp
 # trajectory), write the machine-readable record file ($BENCH_OUT,
-# default BENCH_5.json — per-solve seconds and search nodes, servebench
+# default BENCH_6.json — per-solve seconds and search nodes, servebench
 # cold/warm/burst latencies, mutebench mutate/solve percentiles per plan
 # outcome including the insert-heavy repair-path mix), and gate the
 # deterministic node counts against the newest committed BENCH_*.json
@@ -10,7 +10,7 @@
 # CI can archive the regressing trajectory.
 set -euo pipefail
 
-OUT="${BENCH_OUT:-BENCH_5.json}"
+OUT="${BENCH_OUT:-BENCH_6.json}"
 BUDGET="${BENCH_BUDGET:-15s}"
 
 baseline_args=()
