@@ -9,10 +9,13 @@ package repro
 
 import (
 	"context"
+	"net/http"
+	"net/http/httptest"
 	"testing"
 
 	"repro/internal/core"
 	"repro/internal/dense"
+	"repro/internal/server"
 	"repro/internal/workload"
 	"repro/mbb"
 )
@@ -98,6 +101,35 @@ func benchRepairSetup(b *testing.B) (*mbb.Plan, *mbb.Graph, mbb.Delta) {
 	return p, g2, eff
 }
 
+// nopResponseWriter is a reusable ResponseWriter so the middleware
+// benchmark measures the instrumentation, not the recorder.
+type nopResponseWriter struct{ h http.Header }
+
+func (w *nopResponseWriter) Header() http.Header         { return w.h }
+func (w *nopResponseWriter) Write(p []byte) (int, error) { return len(p), nil }
+func (w *nopResponseWriter) WriteHeader(int)             {}
+
+// BenchmarkAllocServeMiddleware pins the serving-path instrumentation —
+// metrics + ring access log + panic recovery — at zero allocations per
+// request, covering the solve submit path the issue gates. (RequestID
+// and Timeout sit outside this budget: context.WithValue/WithTimeout
+// allocate by design.)
+func BenchmarkAllocServeMiddleware(b *testing.B) {
+	m := server.NewMetrics()
+	rl := server.NewRingLogger(nil, 1024)
+	defer rl.Close()
+	h := server.Chain(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusAccepted)
+	}), server.Instrument(m, rl), server.Recover(m))
+	w := &nopResponseWriter{h: make(http.Header)}
+	req := httptest.NewRequest(http.MethodPost, "/graphs/bench/jobs", nil)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.ServeHTTP(w, req)
+	}
+}
+
 func BenchmarkAllocPlanRepair(b *testing.B) {
 	p, g2, eff := benchRepairSetup(b)
 	b.ReportAllocs()
@@ -123,10 +155,12 @@ func TestAllocBudgets(t *testing.T) {
 		ceiling int64
 		bench   func(b *testing.B)
 	}{
-		// The dense steady state is the zero-alloc acceptance itself; the
-		// ceiling of 0 is the point, not headroom.
+		// The dense steady state and the serving middleware are the
+		// zero-alloc acceptances themselves; their ceiling of 0 is the
+		// point, not headroom.
 		// Observed on the reference setup: build 425, solve 287, repair 10.
 		{"dense-steady", 0, BenchmarkAllocSolveDenseSteady},
+		{"serve-middleware", 0, BenchmarkAllocServeMiddleware},
 		{"plan-build", 1500, BenchmarkAllocPlanBuild},
 		{"plan-solve", 1000, BenchmarkAllocPlanSolve},
 		{"plan-repair", 100, BenchmarkAllocPlanRepair},

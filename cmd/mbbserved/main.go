@@ -8,11 +8,24 @@
 //	mbbserved [-addr :8080] [-workers N] [-queue 256] [-store dir]
 //	          [-maxupload 67108864] [-maxverts 10000000]
 //	          [-default-timeout 30s] [-max-timeout 10m]
+//	          [-drain-timeout 30s] [-request-timeout 0] [-pprof]
+//	          [-access-log stderr|none|PATH]
 //
 // -addr may end in ":0" to bind an ephemeral port; the actual listening
 // address is logged ("mbbserved: listening on ..."), which is how the
 // e2e smoke script discovers it without racing other daemons for a
 // hard-coded port.
+//
+// Every request gets an X-Request-Id (inbound ids are honored), panics
+// become 500s, access lines flow through a non-blocking ring buffer,
+// GET /metrics serves Prometheus text, and -pprof mounts /debug/pprof.
+//
+// On SIGTERM/SIGINT the daemon drains: new solve submissions get 503 +
+// Retry-After while queued and running jobs finish (up to
+// -drain-timeout, then they are canceled), read endpoints stay live
+// throughout, and only then does the listener close. A listener error
+// takes the same shutdown path, so workers and in-flight jobs are
+// always stopped — never leaked behind an early exit.
 //
 // Quick start:
 //
@@ -23,7 +36,8 @@
 //	# mutate: add/remove edge batches; each bump publishes a new epoch
 //	curl -s -XPOST 'http://localhost:8080/graphs/k33/edges' -d '{"del":[[2,2]]}'
 //
-// See DESIGN.md §6–7 for the API and the snapshot/epoch model.
+// See DESIGN.md §6–7 for the API and snapshot/epoch model, §9 for the
+// middleware stack, metrics inventory and drain sequence.
 package main
 
 import (
@@ -31,6 +45,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"net"
 	"net/http"
@@ -42,7 +57,9 @@ import (
 	"repro/internal/server"
 )
 
-func main() {
+func main() { os.Exit(run()) }
+
+func run() int {
 	addr := flag.String("addr", ":8080", "listen address")
 	workers := flag.Int("workers", 0, "solve worker pool size = concurrent-solve cap (0 = GOMAXPROCS)")
 	queue := flag.Int("queue", 256, "job queue depth (admission bound)")
@@ -52,7 +69,21 @@ func main() {
 	defTimeout := flag.Duration("default-timeout", 30*time.Second, "per-job timeout when the request sets none (-1ns = none)")
 	maxTimeout := flag.Duration("max-timeout", 10*time.Minute, "hard cap on any per-job timeout (-1ns = no cap)")
 	maxJobWorkers := flag.Int("max-job-workers", 0, "clamp on a job's requested goroutine budget (0 = 4xGOMAXPROCS, -1 = no cap)")
+	reqTimeout := flag.Duration("request-timeout", 0, "blanket per-request context timeout (0 = none; must exceed pprof profile durations)")
+	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "how long SIGTERM waits for in-flight jobs before canceling them")
+	cancelWait := flag.Duration("cancel-wait", 30*time.Second, "bound on waiting for a canceled job after a sync client disconnect (-1ns = unbounded)")
+	accessLog := flag.String("access-log", "stderr", "access-log sink: stderr, none, or a file path (appended)")
+	enablePprof := flag.Bool("pprof", false, "mount /debug/pprof/ profiling endpoints")
 	flag.Parse()
+
+	logW, logClose, err := accessLogWriter(*accessLog)
+	if err != nil {
+		log.Printf("mbbserved: %v", err)
+		return 1
+	}
+	if logClose != nil {
+		defer logClose()
+	}
 
 	srv, err := server.New(server.Options{
 		Workers:        *workers,
@@ -63,11 +94,15 @@ func main() {
 		MaxTimeout:     *maxTimeout,
 		MaxJobWorkers:  *maxJobWorkers,
 		StoreDir:       *storeDir,
+		RequestTimeout: *reqTimeout,
+		CancelWait:     *cancelWait,
+		AccessLog:      logW,
+		EnablePprof:    *enablePprof,
 	})
 	if err != nil {
-		fatal(err)
+		log.Printf("mbbserved: %v", err)
+		return 1
 	}
-	defer srv.Close()
 	if *storeDir != "" {
 		log.Printf("mbbserved: preloaded %d graphs from %s", srv.Store().Len(), *storeDir)
 	}
@@ -81,7 +116,9 @@ func main() {
 	// logged address is always dialable.
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
-		fatal(err)
+		log.Printf("mbbserved: %v", err)
+		srv.Close()
+		return 1
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -92,21 +129,50 @@ func main() {
 		errCh <- hs.Serve(ln)
 	}()
 
+	// Both exits — a Serve failure and a shutdown signal — funnel into
+	// the same drain sequence below, so scheduler workers and in-flight
+	// jobs are stopped on every path.
+	exit := 0
 	select {
 	case err := <-errCh:
-		fatal(err)
+		log.Printf("mbbserved: serve: %v", err)
+		exit = 1
 	case <-ctx.Done():
+		stop() // a second signal kills us the blunt way
+		log.Printf("mbbserved: signal received, draining (timeout %v)", *drainTimeout)
 	}
-	log.Printf("mbbserved: shutting down")
-	shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+
+	// Drain: stop admitting (503 + Retry-After), let in-flight jobs
+	// finish while the listener still serves reads and job polls, then
+	// close the listener and cancel whatever outlasted the deadline.
+	srv.BeginDrain()
+	drainCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
 	defer cancel()
+	if err := srv.WaitIdle(drainCtx); err != nil {
+		log.Printf("mbbserved: drain deadline: canceling %d unfinished jobs", srv.Scheduler().Live())
+	}
+	shutCtx, cancel2 := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel2()
 	if err := hs.Shutdown(shutCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
 		log.Printf("mbbserved: shutdown: %v", err)
 	}
 	srv.Close()
+	log.Printf("mbbserved: drained, bye")
+	return exit
 }
 
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "mbbserved:", err)
-	os.Exit(1)
+// accessLogWriter resolves the -access-log flag.
+func accessLogWriter(spec string) (io.Writer, func() error, error) {
+	switch spec {
+	case "stderr":
+		return os.Stderr, nil, nil
+	case "none", "":
+		return nil, nil, nil
+	default:
+		f, err := os.OpenFile(spec, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return nil, nil, fmt.Errorf("access log: %w", err)
+		}
+		return f, f.Close, nil
+	}
 }

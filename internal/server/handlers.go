@@ -7,6 +7,7 @@ import (
 	"io"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"time"
 
 	"repro/internal/bigraph"
@@ -34,6 +35,8 @@ func writeError(w http.ResponseWriter, status int, format string, args ...any) {
 // routes builds the HTTP API:
 //
 //	GET    /healthz              liveness probe
+//	GET    /metrics              Prometheus text exposition
+//	GET    /debug/pprof/*        profiling (when Options.EnablePprof)
 //	GET    /stats                store + scheduler counters
 //	GET    /graphs               list stored graphs
 //	PUT    /graphs/{name}        upload a graph (?format=edgelist|konect)
@@ -51,6 +54,14 @@ func (s *Server) routes() *http.ServeMux {
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 	})
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	if s.opt.EnablePprof {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
 	mux.HandleFunc("GET /stats", s.handleStats)
 	mux.HandleFunc("GET /graphs", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, s.store.List())
@@ -218,16 +229,27 @@ func (s *Server) submitJob(w http.ResponseWriter, r *http.Request) (*Job, bool) 
 	}
 	req, err := decodeSolveRequest(r)
 	if err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			// An oversized body is the client exceeding a documented
+			// limit, not a malformed request: 413, like the upload path.
+			writeError(w, http.StatusRequestEntityTooLarge, "solve request exceeds %d bytes", tooBig.Limit)
+			return nil, false
+		}
 		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
 		return nil, false
 	}
-	job, err := s.sched.Submit(sg, req)
+	job, err := s.sched.SubmitOrigin(sg, req, RequestIDFromContext(r.Context()))
 	if err != nil {
 		switch {
 		case errors.Is(err, ErrQueueFull):
 			w.Header().Set("Retry-After", "1")
 			writeError(w, http.StatusServiceUnavailable, "%v", err)
-		case errors.Is(err, ErrClosed):
+		case errors.Is(err, ErrClosed), errors.Is(err, ErrDraining):
+			// Closed and draining are transient behind a restart or a
+			// load balancer — tell the client when to come back, exactly
+			// like the queue-full 503.
+			w.Header().Set("Retry-After", "5")
 			writeError(w, http.StatusServiceUnavailable, "%v", err)
 		default:
 			writeError(w, http.StatusBadRequest, "%v", err)
@@ -256,7 +278,28 @@ func (s *Server) handleSolveSync(w http.ResponseWriter, r *http.Request) {
 	case <-job.Done():
 	case <-r.Context().Done():
 		s.sched.Cancel(job.ID())
-		<-job.Done() // brief: cancellation is cooperative and prompt
+		// Cancellation is cooperative and normally prompt, but a wedged
+		// or slow-to-cancel solver must not pin this handler goroutine
+		// forever: bound the wait by CancelWait and by server shutdown
+		// (Close cancels every job, yet a solver ignoring its context
+		// would still never close Done).
+		var bound <-chan time.Time
+		if s.opt.CancelWait > 0 {
+			t := time.NewTimer(s.opt.CancelWait)
+			defer t.Stop()
+			bound = t.C
+		}
+		select {
+		case <-job.Done():
+		case <-bound:
+			s.metrics.abandonedWaits.Add(1)
+			log.Printf("server: job %s (request %s) still not stopped %v after client disconnect; abandoning wait",
+				job.ID(), RequestIDFromContext(r.Context()), s.opt.CancelWait)
+		case <-s.closing:
+			s.metrics.abandonedWaits.Add(1)
+			log.Printf("server: abandoning wait for job %s (request %s): server closing",
+				job.ID(), RequestIDFromContext(r.Context()))
+		}
 	}
 	info := job.Info()
 	status := http.StatusOK

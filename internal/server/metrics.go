@@ -1,0 +1,227 @@
+package server
+
+import (
+	"bytes"
+	"fmt"
+	"net/http"
+	"strings"
+	"sync/atomic"
+	"time"
+)
+
+// Route classes for request metrics. Cardinality is fixed at compile
+// time so per-request accounting is an array index plus an atomic add —
+// no labels, no maps, no allocation on the hot path.
+const (
+	routeOther = iota
+	routeHealthz
+	routeStats
+	routeMetrics
+	routeGraphs // GET /graphs (list)
+	routeGraph  // /graphs/{name} (put/get/delete)
+	routeEdges  // /graphs/{name}/edges
+	routeSubmit // /graphs/{name}/jobs
+	routeSolve  // /graphs/{name}/solve
+	routeJobs   // GET /jobs (list)
+	routeJob    // /jobs/{id} (get/cancel)
+	routePprof
+	numRoutes
+)
+
+var routeNames = [numRoutes]string{
+	"other", "healthz", "stats", "metrics", "graphs", "graph",
+	"edges", "submit", "solve", "jobs", "job", "pprof",
+}
+
+// routeIndex classifies a request path into one of the fixed route
+// classes without allocating (suffix/prefix checks only — the mux has
+// not matched yet when the middleware runs).
+func routeIndex(path string) int {
+	switch path {
+	case "/healthz":
+		return routeHealthz
+	case "/stats":
+		return routeStats
+	case "/metrics":
+		return routeMetrics
+	case "/graphs":
+		return routeGraphs
+	case "/jobs":
+		return routeJobs
+	}
+	switch {
+	case strings.HasPrefix(path, "/graphs/"):
+		switch {
+		case strings.HasSuffix(path, "/edges"):
+			return routeEdges
+		case strings.HasSuffix(path, "/jobs"):
+			return routeSubmit
+		case strings.HasSuffix(path, "/solve"):
+			return routeSolve
+		}
+		return routeGraph
+	case strings.HasPrefix(path, "/jobs/"):
+		return routeJob
+	case strings.HasPrefix(path, "/debug/pprof"):
+		return routePprof
+	}
+	return routeOther
+}
+
+// latencyBounds are the histogram bucket upper bounds in seconds; the
+// implicit final bucket is +Inf. Spanning 1ms–60s covers both metadata
+// requests and long synchronous solves.
+var latencyBounds = [...]float64{
+	0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1, 5, 10, 30, 60,
+}
+
+// Metrics is the request-side counter set behind GET /metrics. All
+// fields are atomics updated in place, so the instrumentation adds zero
+// allocations per request; the /metrics handler pays the formatting
+// cost, not the solve path.
+type Metrics struct {
+	inflight atomic.Int64
+	// requests[route][class] counts completed requests; class is
+	// status/100 clamped to 0..5 (0 = no status written).
+	requests [numRoutes][6]atomic.Int64
+	// Latency histogram over all requests: buckets[i] counts requests
+	// with duration <= latencyBounds[i]; the last slot is +Inf.
+	buckets  [len(latencyBounds) + 1]atomic.Int64
+	count    atomic.Int64
+	sumNanos atomic.Int64
+
+	panics         atomic.Int64
+	abandonedWaits atomic.Int64
+	timeouts       atomic.Int64
+}
+
+// NewMetrics returns an empty metrics set.
+func NewMetrics() *Metrics { return &Metrics{} }
+
+// observe records one completed request.
+func (m *Metrics) observe(route, status int, dur time.Duration) {
+	class := status / 100
+	if class < 0 || class > 5 {
+		class = 0
+	}
+	if route < 0 || route >= numRoutes {
+		route = routeOther
+	}
+	m.requests[route][class].Add(1)
+	secs := dur.Seconds()
+	i := 0
+	for ; i < len(latencyBounds); i++ {
+		if secs <= latencyBounds[i] {
+			break
+		}
+	}
+	m.buckets[i].Add(1)
+	m.count.Add(1)
+	m.sumNanos.Add(int64(dur))
+}
+
+// Panics reports how many handler panics the recovery middleware
+// converted into 500s.
+func (m *Metrics) Panics() int64 { return m.panics.Load() }
+
+// AbandonedWaits reports how many sync-solve handlers gave up waiting
+// for a canceled job (the bounded-disconnect-wait safety valve).
+func (m *Metrics) AbandonedWaits() int64 { return m.abandonedWaits.Load() }
+
+// Requests sums completed requests on one route class across statuses.
+func (m *Metrics) Requests(route int) int64 {
+	var n int64
+	if route < 0 || route >= numRoutes {
+		return 0
+	}
+	for c := range m.requests[route] {
+		n += m.requests[route][c].Load()
+	}
+	return n
+}
+
+// handleMetrics renders the Prometheus text exposition: the request
+// counters above plus scheduler, store and logger gauges. Formatting
+// allocates freely — only recording had to be free.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	m := s.metrics
+	var b bytes.Buffer
+
+	fmt.Fprintf(&b, "# HELP mbbserved_requests_total Completed HTTP requests by route class and status class.\n")
+	fmt.Fprintf(&b, "# TYPE mbbserved_requests_total counter\n")
+	for route := 0; route < numRoutes; route++ {
+		for class := 0; class < 6; class++ {
+			if n := m.requests[route][class].Load(); n > 0 {
+				fmt.Fprintf(&b, "mbbserved_requests_total{route=%q,code=\"%dxx\"} %d\n", routeNames[route], class, n)
+			}
+		}
+	}
+
+	fmt.Fprintf(&b, "# HELP mbbserved_request_seconds Request latency histogram over all routes.\n")
+	fmt.Fprintf(&b, "# TYPE mbbserved_request_seconds histogram\n")
+	var cum int64
+	for i, bound := range latencyBounds {
+		cum += m.buckets[i].Load()
+		fmt.Fprintf(&b, "mbbserved_request_seconds_bucket{le=\"%g\"} %d\n", bound, cum)
+	}
+	cum += m.buckets[len(latencyBounds)].Load()
+	fmt.Fprintf(&b, "mbbserved_request_seconds_bucket{le=\"+Inf\"} %d\n", cum)
+	fmt.Fprintf(&b, "mbbserved_request_seconds_sum %g\n", float64(m.sumNanos.Load())/1e9)
+	fmt.Fprintf(&b, "mbbserved_request_seconds_count %d\n", m.count.Load())
+
+	gauge := func(name, help string, v int64) {
+		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s gauge\n%s %d\n", name, help, name, name, v)
+	}
+	counter := func(name, help string, v int64) {
+		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+	}
+
+	gauge("mbbserved_requests_inflight", "Requests currently being served.", m.inflight.Load())
+	counter("mbbserved_panics_total", "Handler panics converted to 500s.", m.panics.Load())
+	counter("mbbserved_request_timeouts_total", "Requests whose per-request timeout elapsed.", m.timeouts.Load())
+	counter("mbbserved_abandoned_waits_total", "Sync-solve handlers that gave up waiting for a canceled job.", m.abandonedWaits.Load())
+	counter("mbbserved_accesslog_records_total", "Access-log records accepted by the ring buffer.", s.accessLog.Logged())
+	counter("mbbserved_accesslog_dropped_total", "Access-log records overwritten before the sink drained them.", s.accessLog.Dropped())
+
+	// Scheduler: admission state and cumulative job outcomes.
+	gauge("mbbserved_queue_depth", "Jobs waiting in the scheduler queue.", int64(s.sched.QueueDepth()))
+	gauge("mbbserved_queue_capacity", "Scheduler queue capacity (admission bound).", int64(s.sched.QueueCapacity()))
+	gauge("mbbserved_jobs_running", "Jobs currently executing on workers.", s.sched.Running())
+	gauge("mbbserved_jobs_live", "Jobs not yet in a terminal state (queued + running).", s.sched.Live())
+	c := s.sched.Counters()
+	counter("mbbserved_jobs_submitted_total", "Jobs accepted by the scheduler.", c.Submitted)
+	fmt.Fprintf(&b, "# HELP mbbserved_jobs_total Jobs finished, by terminal state.\n# TYPE mbbserved_jobs_total counter\n")
+	fmt.Fprintf(&b, "mbbserved_jobs_total{state=\"done\"} %d\n", c.Done)
+	fmt.Fprintf(&b, "mbbserved_jobs_total{state=\"failed\"} %d\n", c.Failed)
+	fmt.Fprintf(&b, "mbbserved_jobs_total{state=\"canceled\"} %d\n", c.Canceled)
+
+	// Store: size, mutation volume and plan-maintenance outcomes. These
+	// are store-lifetime counters — deleting a graph does not rewind them.
+	ss := s.store.Stats()
+	gauge("mbbserved_graphs", "Graphs currently stored.", int64(s.store.Len()))
+	counter("mbbserved_mutations_total", "Effective edge-mutation batches (epoch bumps).", ss.Mutations)
+	counter("mbbserved_plan_builds_total", "Full planner runs.", ss.PlanBuilds)
+	counter("mbbserved_plan_hits_total", "Solves that reused an already-built plan.", ss.PlanHits)
+	counter("mbbserved_plan_inherits_total", "Mutations that carried the plan across unchanged.", ss.PlanReuses)
+	counter("mbbserved_plan_repairs_total", "Mutations absorbed by bounded local plan repair.", ss.PlanRepairs)
+
+	var maxEpoch uint64
+	for _, gi := range s.store.List() {
+		if gi.Epoch > maxEpoch {
+			maxEpoch = gi.Epoch
+		}
+	}
+	gauge("mbbserved_snapshot_epoch_max", "Highest snapshot epoch across stored graphs.", int64(maxEpoch))
+	gauge("mbbserved_snapshots_live", "Snapshots the GC still sees reachable (current + pinned by jobs).", LiveSnapshots())
+
+	draining := int64(0)
+	if s.Draining() {
+		draining = 1
+	}
+	gauge("mbbserved_draining", "1 while the server is draining (rejecting new jobs).", draining)
+	fmt.Fprintf(&b, "# HELP mbbserved_uptime_seconds Seconds since process start.\n# TYPE mbbserved_uptime_seconds gauge\nmbbserved_uptime_seconds %g\n", time.Since(s.started).Seconds())
+
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	w.WriteHeader(http.StatusOK)
+	w.Write(b.Bytes())
+}

@@ -1,0 +1,193 @@
+package server
+
+import (
+	"context"
+	"log"
+	"net/http"
+	"os"
+	"runtime/debug"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Middleware wraps an http.Handler. The server composes its stack with
+// Chain; each layer is independently testable and reusable.
+type Middleware func(http.Handler) http.Handler
+
+// Chain wraps h in mw, outermost first: Chain(h, a, b) serves a(b(h)).
+func Chain(h http.Handler, mw ...Middleware) http.Handler {
+	for i := len(mw) - 1; i >= 0; i-- {
+		h = mw[i](h)
+	}
+	return h
+}
+
+type ctxKey int
+
+const requestIDKey ctxKey = iota
+
+// RequestIDFromContext returns the request id the RequestID middleware
+// stored, or "" outside an instrumented request.
+func RequestIDFromContext(ctx context.Context) string {
+	id, _ := ctx.Value(requestIDKey).(string)
+	return id
+}
+
+// ridPrefix makes request ids unique across daemon restarts (the
+// counter alone would repeat); base36 of the start time keeps it short.
+var ridPrefix = strconv.FormatInt(time.Now().UnixNano()%(36*36*36*36*36*36), 36)
+
+var ridCounter atomic.Int64
+
+// validRequestID accepts client-supplied ids that are short and
+// printable-ASCII without spaces or quotes — anything else is replaced,
+// not echoed, so a hostile header cannot corrupt logs or responses.
+func validRequestID(id string) bool {
+	if id == "" || len(id) > 64 {
+		return false
+	}
+	for i := 0; i < len(id); i++ {
+		c := id[i]
+		if c <= ' ' || c > '~' || c == '"' {
+			return false
+		}
+	}
+	return true
+}
+
+// RequestID assigns every request an id — the inbound X-Request-Id when
+// it is sane (so callers can correlate across services), a fresh
+// "<start>-<n>" otherwise — echoes it in the X-Request-Id response
+// header, and stores it in the context for the access log and job info.
+func RequestID(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		id := r.Header.Get("X-Request-Id")
+		if !validRequestID(id) {
+			id = ridPrefix + "-" + strconv.FormatInt(ridCounter.Add(1), 10)
+		}
+		w.Header().Set("X-Request-Id", id)
+		next.ServeHTTP(w, r.WithContext(context.WithValue(r.Context(), requestIDKey, id)))
+	})
+}
+
+// statusWriter captures the response status and byte count for the
+// metrics and access-log layer. Instances recycle through a sync.Pool
+// so instrumentation adds no per-request allocation.
+type statusWriter struct {
+	http.ResponseWriter
+	status  int
+	written int64
+}
+
+func (sw *statusWriter) reset(w http.ResponseWriter) {
+	sw.ResponseWriter = w
+	sw.status = 0
+	sw.written = 0
+}
+
+func (sw *statusWriter) WriteHeader(status int) {
+	if sw.status == 0 {
+		sw.status = status
+	}
+	sw.ResponseWriter.WriteHeader(status)
+}
+
+func (sw *statusWriter) Write(p []byte) (int, error) {
+	if sw.status == 0 {
+		sw.status = http.StatusOK
+	}
+	n, err := sw.ResponseWriter.Write(p)
+	sw.written += int64(n)
+	return n, err
+}
+
+// Wrote reports whether the handler committed a status (used by Recover
+// to decide whether a 500 can still be written).
+func (sw *statusWriter) Wrote() bool { return sw.status != 0 }
+
+var statusWriterPool = sync.Pool{New: func() any { return new(statusWriter) }}
+
+// Instrument is the metrics + access-log layer: it wraps the response
+// writer to capture status and size, times the request, bumps the
+// atomic counters and appends one record to the ring logger. The whole
+// layer adds zero allocations per request (TestAllocBudgets pins it).
+func Instrument(m *Metrics, accessLog *RingLogger) Middleware {
+	return func(next http.Handler) http.Handler {
+		return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			sw := statusWriterPool.Get().(*statusWriter)
+			sw.reset(w)
+			m.inflight.Add(1)
+			start := time.Now()
+			next.ServeHTTP(sw, r)
+			dur := time.Since(start)
+			m.inflight.Add(-1)
+			status := sw.status
+			if status == 0 {
+				status = http.StatusOK // handler returned without writing
+			}
+			written := sw.written
+			sw.reset(nil)
+			statusWriterPool.Put(sw)
+			m.observe(routeIndex(r.URL.Path), status, dur)
+			if accessLog != nil {
+				accessLog.Record(RequestIDFromContext(r.Context()), r.Method, r.URL.Path, status, written, dur)
+			}
+		})
+	}
+}
+
+// recoverLog is swappable so the panic-recovery test does not spam the
+// test log with intentional stack traces.
+var recoverLog = log.New(os.Stderr, "", log.LstdFlags)
+
+// Recover converts a handler panic into a 500 (when no status was
+// committed yet), a counter bump and a logged stack trace, so one bad
+// request cannot take down the daemon or vanish without a trace.
+// http.ErrAbortHandler keeps its net/http abort semantics.
+func Recover(m *Metrics) Middleware {
+	return func(next http.Handler) http.Handler {
+		return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			defer func() {
+				p := recover()
+				if p == nil {
+					return
+				}
+				if p == http.ErrAbortHandler {
+					panic(p)
+				}
+				m.panics.Add(1)
+				recoverLog.Printf("server: panic serving %s %s (request %s): %v\n%s",
+					r.Method, r.URL.Path, RequestIDFromContext(r.Context()), p, debug.Stack())
+				if ws, ok := w.(interface{ Wrote() bool }); !ok || !ws.Wrote() {
+					writeError(w, http.StatusInternalServerError, "internal server error")
+				}
+			}()
+			next.ServeHTTP(w, r)
+		})
+	}
+}
+
+// Timeout bounds every request's context at d (0 or negative disables
+// the layer). Handlers already honor their context — a solve past the
+// deadline cancels its job like a client disconnect — so this is the
+// blanket hygiene bound, not the solve budget (jobs have their own).
+// Note /debug/pprof/profile?seconds=N needs d above N (or 0).
+func Timeout(d time.Duration, m *Metrics) Middleware {
+	if d <= 0 {
+		return func(next http.Handler) http.Handler { return next }
+	}
+	return func(next http.Handler) http.Handler {
+		return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			ctx, cancel := context.WithTimeout(r.Context(), d)
+			defer func() {
+				if ctx.Err() == context.DeadlineExceeded {
+					m.timeouts.Add(1)
+				}
+				cancel()
+			}()
+			next.ServeHTTP(w, r.WithContext(ctx))
+		})
+	}
+}

@@ -1,0 +1,261 @@
+package server
+
+import (
+	"io"
+	"log"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestRequestIDMiddleware(t *testing.T) {
+	var seen string
+	h := RequestID(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		seen = RequestIDFromContext(r.Context())
+	}))
+	serve := func(inbound string) string {
+		req := httptest.NewRequest(http.MethodGet, "/healthz", nil)
+		if inbound != "" {
+			req.Header.Set("X-Request-Id", inbound)
+		}
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, req)
+		return rec.Header().Get("X-Request-Id")
+	}
+
+	if got := serve("client-7"); got != "client-7" || seen != "client-7" {
+		t.Errorf("valid inbound id: header %q, context %q, want client-7 for both", got, seen)
+	}
+	if got := serve(""); got == "" || seen != got {
+		t.Errorf("generated id: header %q, context %q — want non-empty and equal", got, seen)
+	}
+	for _, bad := range []string{"has space", "quo\"te", strings.Repeat("x", 65), "ctrl\x01"} {
+		if got := serve(bad); got == bad || got == "" {
+			t.Errorf("hostile id %q was echoed (got %q); want a fresh generated id", bad, got)
+		}
+	}
+	// Generated ids must be unique per request.
+	if a, b := serve(""), serve(""); a == b {
+		t.Errorf("two generated ids collide: %q", a)
+	}
+}
+
+func TestRecoverMiddleware(t *testing.T) {
+	old := recoverLog
+	recoverLog = log.New(io.Discard, "", 0)
+	defer func() { recoverLog = old }()
+
+	m := NewMetrics()
+	h := Chain(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/late" {
+			w.WriteHeader(http.StatusAccepted) // status already committed
+		}
+		panic("boom")
+	}), Instrument(m, nil), Recover(m))
+
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/early", nil))
+	if rec.Code != http.StatusInternalServerError {
+		t.Errorf("panic before write: status %d, want 500", rec.Code)
+	}
+	if !strings.Contains(rec.Body.String(), "internal server error") {
+		t.Errorf("panic response body %q lacks the error envelope", rec.Body.String())
+	}
+
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/late", nil))
+	if rec.Code != http.StatusAccepted {
+		t.Errorf("panic after write: status %d, want the committed 202", rec.Code)
+	}
+	if got := m.Panics(); got != 2 {
+		t.Errorf("Panics = %d, want 2", got)
+	}
+
+	// http.ErrAbortHandler keeps its net/http abort semantics.
+	abort := Recover(m)(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		panic(http.ErrAbortHandler)
+	}))
+	func() {
+		defer func() {
+			if p := recover(); p != http.ErrAbortHandler {
+				t.Errorf("recovered %v, want http.ErrAbortHandler to propagate", p)
+			}
+		}()
+		abort.ServeHTTP(httptest.NewRecorder(), httptest.NewRequest(http.MethodGet, "/", nil))
+	}()
+}
+
+func TestTimeoutMiddleware(t *testing.T) {
+	m := NewMetrics()
+	h := Timeout(10*time.Millisecond, m)(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		<-r.Context().Done() // a handler that honors its context
+		w.WriteHeader(http.StatusServiceUnavailable)
+	}))
+	start := time.Now()
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/slow", nil))
+	if d := time.Since(start); d > 5*time.Second {
+		t.Fatalf("timeout middleware let the handler run %v", d)
+	}
+	if got := m.timeouts.Load(); got != 1 {
+		t.Errorf("timeouts = %d, want 1", got)
+	}
+
+	// Zero disables the layer: the handler sees no deadline.
+	var hasDeadline bool
+	off := Timeout(0, m)(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		_, hasDeadline = r.Context().Deadline()
+	}))
+	off.ServeHTTP(httptest.NewRecorder(), httptest.NewRequest(http.MethodGet, "/", nil))
+	if hasDeadline {
+		t.Error("Timeout(0) still imposed a deadline")
+	}
+}
+
+// gateWriter blocks its first Write until released, so the test can
+// deterministically wedge the ring consumer and force overwrites.
+type gateWriter struct {
+	entered chan struct{} // closed when Write is first called
+	release chan struct{}
+	got     []byte
+}
+
+func (w *gateWriter) Write(p []byte) (int, error) {
+	select {
+	case <-w.entered:
+	default:
+		close(w.entered)
+		<-w.release
+	}
+	w.got = append(w.got, p...)
+	return len(p), nil
+}
+
+func TestRingLoggerDropsWhenWedged(t *testing.T) {
+	const capacity = 16
+	gw := &gateWriter{entered: make(chan struct{}), release: make(chan struct{})}
+	l := NewRingLogger(gw, capacity)
+
+	// One record wakes the consumer, which wedges inside Write.
+	l.Record("r0", "GET", "/p0", 200, 1, time.Millisecond)
+	<-gw.entered
+
+	// Fill the (now empty) ring, then three more to force overwrites.
+	for i := 0; i < capacity+3; i++ {
+		l.Record("rX", "GET", "/pX", 200, 1, time.Millisecond)
+	}
+	if got := l.Dropped(); got != 3 {
+		t.Errorf("Dropped = %d, want 3", got)
+	}
+	if got := l.Logged(); got != capacity+4 {
+		t.Errorf("Logged = %d, want %d", got, capacity+4)
+	}
+
+	close(gw.release)
+	l.Close() // flushes the surviving records
+
+	out := string(gw.got)
+	if n := strings.Count(out, "\n"); n != capacity+1 {
+		t.Errorf("sink got %d lines, want %d (1 + the %d survivors)", n, capacity+1, capacity)
+	}
+	for _, want := range []string{"id=r0", "method=GET", "path=/p0", "status=200", "bytes=1", "dur=0.001000s"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("access line missing %q in %q", want, out)
+		}
+	}
+	// Records after Close are discarded, not deadlocked.
+	l.Record("late", "GET", "/late", 200, 0, 0)
+	if strings.Contains(string(gw.got), "late") {
+		t.Error("record after Close reached the sink")
+	}
+}
+
+func TestRingLoggerTruncatesLongFields(t *testing.T) {
+	var sb strings.Builder
+	l := NewRingLogger(writerFunc(func(p []byte) (int, error) { return sb.WriteString(string(p)) }), 16)
+	longPath := "/" + strings.Repeat("p", 300)
+	l.Record(strings.Repeat("i", 100), "OPTIONS", longPath, 200, 0, 0)
+	l.Close()
+	line := sb.String()
+	if len(line) == 0 || len(line) > 400 {
+		t.Errorf("truncated line has surprising length %d: %q", len(line), line)
+	}
+	if !strings.Contains(line, "method=OPTIONS") {
+		t.Errorf("line %q lost the method", line)
+	}
+}
+
+type writerFunc func(p []byte) (int, error)
+
+func (f writerFunc) Write(p []byte) (int, error) { return f(p) }
+
+func TestMetricsEndpoint(t *testing.T) {
+	srv, ts := newTestServer(t, Options{Workers: 1})
+	putGraph(t, ts, "k33", k33, "")
+	solveSync(t, ts, "k33", "")
+
+	resp, data := do(t, http.MethodGet, ts.URL+"/metrics", nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /metrics: %d %s", resp.StatusCode, data)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("Content-Type = %q, want text/plain exposition", ct)
+	}
+	body := string(data)
+	for _, want := range []string{
+		`mbbserved_requests_total{route="graph",code="2xx"} 1`,
+		`mbbserved_requests_total{route="solve",code="2xx"} 1`,
+		"mbbserved_request_seconds_bucket{le=\"+Inf\"}",
+		"mbbserved_jobs_submitted_total 1",
+		`mbbserved_jobs_total{state="done"} 1`,
+		"mbbserved_graphs 1",
+		"mbbserved_plan_builds_total 1",
+		"mbbserved_queue_capacity",
+		"mbbserved_snapshots_live",
+		"mbbserved_draining 0",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+	if got := srv.Metrics().Requests(routeSolve); got != 1 {
+		t.Errorf("Requests(routeSolve) = %d, want 1", got)
+	}
+}
+
+func TestPprofGate(t *testing.T) {
+	_, off := newTestServer(t, Options{})
+	if resp, _ := do(t, http.MethodGet, off.URL+"/debug/pprof/cmdline", nil); resp.StatusCode != http.StatusNotFound {
+		t.Errorf("pprof without EnablePprof: status %d, want 404", resp.StatusCode)
+	}
+	_, on := newTestServer(t, Options{EnablePprof: true})
+	if resp, _ := do(t, http.MethodGet, on.URL+"/debug/pprof/cmdline", nil); resp.StatusCode != http.StatusOK {
+		t.Errorf("pprof with EnablePprof: status %d, want 200", resp.StatusCode)
+	}
+}
+
+func TestRouteIndex(t *testing.T) {
+	for _, tc := range []struct {
+		path string
+		want int
+	}{
+		{"/healthz", routeHealthz},
+		{"/metrics", routeMetrics},
+		{"/stats", routeStats},
+		{"/graphs", routeGraphs},
+		{"/graphs/k33", routeGraph},
+		{"/graphs/k33/edges", routeEdges},
+		{"/graphs/k33/jobs", routeSubmit},
+		{"/graphs/k33/solve", routeSolve},
+		{"/jobs", routeJobs},
+		{"/jobs/j1", routeJob},
+		{"/debug/pprof/heap", routePprof},
+		{"/nonsense", routeOther},
+	} {
+		if got := routeIndex(tc.path); got != tc.want {
+			t.Errorf("routeIndex(%q) = %s, want %s", tc.path, routeNames[got], routeNames[tc.want])
+		}
+	}
+}

@@ -1,0 +1,189 @@
+package server
+
+import (
+	"io"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// accessRecord is one completed request, stored inline — fixed-size
+// byte arrays, no pointers — so recording a request copies into a
+// preallocated ring slot and never allocates. Over-long fields are
+// truncated; the log is a traffic trace, not an archival store.
+type accessRecord struct {
+	when    int64 // unix nanoseconds at completion
+	durNano int64
+	status  int32
+	written int64 // response bytes
+	methLen uint8
+	pathLen uint8
+	idLen   uint8
+	method  [8]byte
+	path    [128]byte
+	reqID   [24]byte
+}
+
+func (rec *accessRecord) set(id, method, path string, status int, written int64, dur time.Duration) {
+	rec.when = time.Now().UnixNano()
+	rec.durNano = int64(dur)
+	rec.status = int32(status)
+	rec.written = written
+	rec.methLen = uint8(copy(rec.method[:], method))
+	rec.pathLen = uint8(copy(rec.path[:], path))
+	rec.idLen = uint8(copy(rec.reqID[:], id))
+}
+
+// appendLine formats rec as one logfmt line into buf and returns the
+// extended slice. Append-only: the consumer reuses one buffer across
+// lines, so steady-state draining allocates nothing either.
+func (rec *accessRecord) appendLine(buf []byte) []byte {
+	buf = append(buf, "ts="...)
+	buf = time.Unix(0, rec.when).UTC().AppendFormat(buf, time.RFC3339Nano)
+	buf = append(buf, " id="...)
+	if rec.idLen > 0 {
+		buf = append(buf, rec.reqID[:rec.idLen]...)
+	} else {
+		buf = append(buf, '-')
+	}
+	buf = append(buf, " method="...)
+	buf = append(buf, rec.method[:rec.methLen]...)
+	buf = append(buf, " path="...)
+	buf = append(buf, rec.path[:rec.pathLen]...)
+	buf = append(buf, " status="...)
+	buf = strconv.AppendInt(buf, int64(rec.status), 10)
+	buf = append(buf, " bytes="...)
+	buf = strconv.AppendInt(buf, rec.written, 10)
+	buf = append(buf, " dur="...)
+	buf = strconv.AppendFloat(buf, time.Duration(rec.durNano).Seconds(), 'f', 6, 64)
+	buf = append(buf, "s\n"...)
+	return buf
+}
+
+// RingLogger is the non-blocking structured access log: producers copy
+// one fixed-size record into a bounded ring under a mutex (no
+// allocation, no I/O, never blocked by the sink) and a single consumer
+// goroutine drains batches to the writer. When producers outrun the
+// consumer the oldest records are overwritten and counted in Dropped —
+// a slow or wedged log sink costs log lines, never solve latency.
+type RingLogger struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	ring   []accessRecord
+	head   int // index of the oldest unconsumed record
+	count  int // unconsumed records in the ring
+	closed bool
+
+	dropped atomic.Int64
+	logged  atomic.Int64
+
+	w    io.Writer
+	done chan struct{}
+}
+
+// NewRingLogger starts a ring logger with the given capacity (min 16)
+// draining to w; a nil w discards records (they are still counted, so
+// the metrics stay meaningful). Close flushes and stops the consumer.
+func NewRingLogger(w io.Writer, capacity int) *RingLogger {
+	if capacity < 16 {
+		capacity = 16
+	}
+	if w == nil {
+		w = io.Discard
+	}
+	l := &RingLogger{
+		ring: make([]accessRecord, capacity),
+		w:    w,
+		done: make(chan struct{}),
+	}
+	l.cond = sync.NewCond(&l.mu)
+	go l.drain()
+	return l
+}
+
+// Record enqueues one completed request. It never blocks and never
+// allocates: the record is copied into the ring slot in place; if the
+// ring is full the oldest unconsumed record is overwritten and counted
+// as dropped.
+func (l *RingLogger) Record(id, method, path string, status int, written int64, dur time.Duration) {
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return
+	}
+	var slot *accessRecord
+	if l.count == len(l.ring) {
+		// Full: overwrite the oldest, keeping the most recent traffic.
+		slot = &l.ring[l.head]
+		l.head++
+		if l.head == len(l.ring) {
+			l.head = 0
+		}
+		l.dropped.Add(1)
+	} else {
+		slot = &l.ring[(l.head+l.count)%len(l.ring)]
+		l.count++
+	}
+	slot.set(id, method, path, status, written, dur)
+	l.cond.Signal()
+	l.mu.Unlock()
+	l.logged.Add(1)
+}
+
+// drain is the consumer: it copies out pending records under the lock,
+// then formats and writes them outside it, reusing one scratch batch
+// and one line buffer so steady-state logging allocates nothing.
+func (l *RingLogger) drain() {
+	defer close(l.done)
+	batch := make([]accessRecord, 0, len(l.ring))
+	buf := make([]byte, 0, 4096)
+	for {
+		l.mu.Lock()
+		for l.count == 0 && !l.closed {
+			l.cond.Wait()
+		}
+		if l.count == 0 && l.closed {
+			l.mu.Unlock()
+			return
+		}
+		batch = batch[:0]
+		for l.count > 0 {
+			batch = append(batch, l.ring[l.head])
+			l.head++
+			if l.head == len(l.ring) {
+				l.head = 0
+			}
+			l.count--
+		}
+		l.mu.Unlock()
+
+		buf = buf[:0]
+		for i := range batch {
+			buf = batch[i].appendLine(buf)
+		}
+		l.w.Write(buf) // a failing sink only loses log lines
+	}
+}
+
+// Close flushes pending records and stops the consumer. Records
+// arriving after Close are discarded.
+func (l *RingLogger) Close() {
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		<-l.done
+		return
+	}
+	l.closed = true
+	l.cond.Signal()
+	l.mu.Unlock()
+	<-l.done
+}
+
+// Dropped reports how many records were overwritten before the consumer
+// could drain them.
+func (l *RingLogger) Dropped() int64 { return l.dropped.Load() }
+
+// Logged reports how many records were accepted (dropped or written).
+func (l *RingLogger) Logged() int64 { return l.logged.Load() }

@@ -132,11 +132,15 @@ type JobResult struct {
 // Job is one scheduled solve. All mutable state is behind mu; Done is
 // closed exactly once when the job reaches a terminal state.
 type Job struct {
-	id      string
-	graph   *StoredGraph
-	snap    *Snapshot // pinned at submission: mutations never move a job
-	opt     *mbb.Options
-	usePlan bool
+	id     string
+	origin string // request id of the submitting HTTP request, if any
+	// graphName, not *StoredGraph: a terminal job retained for status
+	// queries must not keep a replaced graph generation (and its current
+	// snapshot) alive — the name is all Info ever needs.
+	graphName string
+	snap      *Snapshot // pinned at submission: mutations never move a job
+	opt       *mbb.Options
+	usePlan   bool
 
 	ctx    context.Context
 	cancel context.CancelFunc
@@ -158,16 +162,19 @@ func (j *Job) ID() string { return j.id }
 // Done is closed when the job reaches a terminal state.
 func (j *Job) Done() <-chan struct{} { return j.done }
 
-// JobInfo is the JSON status view of a job.
+// JobInfo is the JSON status view of a job. RequestID names the HTTP
+// request that submitted it, so a job can be joined back to the access
+// log and to the client's own tracing.
 type JobInfo struct {
-	ID       string     `json:"id"`
-	Graph    string     `json:"graph"`
-	State    JobState   `json:"state"`
-	Queued   string     `json:"queued"`
-	Started  string     `json:"started,omitempty"`
-	Finished string     `json:"finished,omitempty"`
-	Error    string     `json:"error,omitempty"`
-	Result   *JobResult `json:"result,omitempty"`
+	ID        string     `json:"id"`
+	RequestID string     `json:"request_id,omitempty"`
+	Graph     string     `json:"graph"`
+	State     JobState   `json:"state"`
+	Queued    string     `json:"queued"`
+	Started   string     `json:"started,omitempty"`
+	Finished  string     `json:"finished,omitempty"`
+	Error     string     `json:"error,omitempty"`
+	Result    *JobResult `json:"result,omitempty"`
 }
 
 // Info returns the job's status snapshot.
@@ -175,12 +182,13 @@ func (j *Job) Info() JobInfo {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	info := JobInfo{
-		ID:     j.id,
-		Graph:  j.graph.Name(),
-		State:  j.state,
-		Queued: j.queuedAt.UTC().Format(time.RFC3339Nano),
-		Error:  j.errMsg,
-		Result: j.result,
+		ID:        j.id,
+		RequestID: j.origin,
+		Graph:     j.graphName,
+		State:     j.state,
+		Queued:    j.queuedAt.UTC().Format(time.RFC3339Nano),
+		Error:     j.errMsg,
+		Result:    j.result,
 	}
 	if !j.startedAt.IsZero() {
 		info.Started = j.startedAt.UTC().Format(time.RFC3339Nano)
@@ -197,6 +205,12 @@ var ErrQueueFull = errors.New("server: job queue full")
 
 // ErrClosed is returned by Submit after Close.
 var ErrClosed = errors.New("server: scheduler closed")
+
+// ErrDraining is returned by Submit while the scheduler is draining:
+// admission is over but in-flight jobs are still finishing. Clients
+// should retry against the restarted (or replacement) daemon — the
+// HTTP layer maps it to a 503 with Retry-After.
+var ErrDraining = errors.New("server: draining, not accepting jobs")
 
 // retainFinished bounds how many finished jobs stay queryable; beyond
 // it the oldest finished jobs are pruned so a long-running daemon's job
@@ -219,9 +233,89 @@ type Scheduler struct {
 	order  []string // submission order, for listing and pruning
 	closed bool
 
-	nextID  atomic.Int64
-	running atomic.Int64
-	wg      sync.WaitGroup
+	nextID   atomic.Int64
+	running  atomic.Int64
+	live     atomic.Int64 // jobs not yet terminal (queued + running)
+	draining atomic.Bool
+
+	// Cumulative outcome counters for /metrics — unlike Stats, these
+	// never decrease when finished jobs are pruned from the table.
+	ctrSubmitted atomic.Int64
+	ctrDone      atomic.Int64
+	ctrFailed    atomic.Int64
+	ctrCanceled  atomic.Int64
+
+	wg sync.WaitGroup
+}
+
+// SchedCounters is the cumulative, prune-proof job accounting.
+type SchedCounters struct {
+	Submitted int64
+	Done      int64
+	Failed    int64
+	Canceled  int64
+}
+
+// Counters returns the cumulative job counters.
+func (s *Scheduler) Counters() SchedCounters {
+	return SchedCounters{
+		Submitted: s.ctrSubmitted.Load(),
+		Done:      s.ctrDone.Load(),
+		Failed:    s.ctrFailed.Load(),
+		Canceled:  s.ctrCanceled.Load(),
+	}
+}
+
+// QueueDepth reports how many jobs are waiting in the queue.
+func (s *Scheduler) QueueDepth() int { return len(s.queue) }
+
+// QueueCapacity reports the admission bound.
+func (s *Scheduler) QueueCapacity() int { return cap(s.queue) }
+
+// Running reports how many jobs are executing right now.
+func (s *Scheduler) Running() int64 { return s.running.Load() }
+
+// Live reports how many jobs have not reached a terminal state.
+func (s *Scheduler) Live() int64 { return s.live.Load() }
+
+// Drain stops admission without touching in-flight jobs: Submit returns
+// ErrDraining while queued and running jobs finish naturally. Use
+// WaitIdle to find out when they have.
+func (s *Scheduler) Drain() { s.draining.Store(true) }
+
+// Draining reports whether Drain was called.
+func (s *Scheduler) Draining() bool { return s.draining.Load() }
+
+// WaitIdle blocks until no job is queued or running, or ctx expires
+// (returning its error). It does not stop admission by itself — pair it
+// with Drain, or new submissions can keep it waiting forever.
+func (s *Scheduler) WaitIdle(ctx context.Context) error {
+	tick := time.NewTicker(10 * time.Millisecond)
+	defer tick.Stop()
+	for {
+		if s.live.Load() == 0 {
+			return nil
+		}
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-tick.C:
+		}
+	}
+}
+
+// finish records a job's terminal accounting. Call exactly once per
+// job, at the point its done channel is closed.
+func (s *Scheduler) finish(state JobState) {
+	switch state {
+	case JobDone:
+		s.ctrDone.Add(1)
+	case JobFailed:
+		s.ctrFailed.Add(1)
+	case JobCanceled:
+		s.ctrCanceled.Add(1)
+	}
+	s.live.Add(-1)
 }
 
 // NewScheduler starts workers goroutines (min 1) draining a queue of
@@ -260,13 +354,23 @@ func NewScheduler(workers, queueCap int, defTimeout, maxTimeout time.Duration, m
 // a concurrent store delete nor an edge mutation affects it: the solve
 // runs against exactly one published version and reports its epoch.
 func (s *Scheduler) Submit(sg *StoredGraph, req SolveRequest) (*Job, error) {
+	return s.SubmitOrigin(sg, req, "")
+}
+
+// SubmitOrigin is Submit carrying the request id of the HTTP request
+// that asked for the job, so job info and logs can be joined back to
+// the client's trace.
+func (s *Scheduler) SubmitOrigin(sg *StoredGraph, req SolveRequest, origin string) (*Job, error) {
 	opt, usePlan, err := req.resolve(s.defTimeout, s.maxTimeout, s.maxWorkers)
 	if err != nil {
 		return nil, err
 	}
+	if s.draining.Load() {
+		return nil, ErrDraining
+	}
 	ctx, cancel := context.WithCancel(context.Background())
 	job := &Job{
-		graph: sg, snap: sg.Snapshot(), opt: opt, usePlan: usePlan,
+		graphName: sg.Name(), origin: origin, snap: sg.Snapshot(), opt: opt, usePlan: usePlan,
 		ctx: ctx, cancel: cancel,
 		done:  make(chan struct{}),
 		state: JobQueued, queuedAt: time.Now(),
@@ -286,6 +390,8 @@ func (s *Scheduler) Submit(sg *StoredGraph, req SolveRequest) (*Job, error) {
 	}
 	s.jobs[job.id] = job
 	s.order = append(s.order, job.id)
+	s.ctrSubmitted.Add(1)
+	s.live.Add(1)
 	s.pruneLocked()
 	return job, nil
 }
@@ -370,6 +476,11 @@ func (s *Scheduler) run(job *Job) {
 		job.state = JobDone
 		job.result = jobResult(job.snap, res, planCached, secs)
 	}
+	// Release the snapshot pin: the result already carries the epoch,
+	// and a terminal job retained for status queries must not keep a
+	// whole historical graph version (plus plan) alive with it.
+	job.snap = nil
+	s.finish(job.state)
 	close(job.done)
 }
 
@@ -419,6 +530,8 @@ func (s *Scheduler) Cancel(id string) bool {
 		// Finish now: the worker that eventually pops it will skip it.
 		job.state = JobCanceled
 		job.finishedAt = time.Now()
+		job.snap = nil // release the pinned snapshot, as in run()
+		s.finish(job.state)
 		close(job.done)
 	}
 	return true

@@ -1,8 +1,11 @@
 package server
 
 import (
+	"context"
+	"io"
 	"net/http"
 	"runtime"
+	"sync"
 	"time"
 )
 
@@ -35,6 +38,24 @@ type Options struct {
 	// StoreDir, when non-empty, is preloaded into the store at startup
 	// (see Store.LoadDir).
 	StoreDir string
+	// RequestTimeout bounds every request's context (the blanket
+	// hygiene timeout, distinct from per-job solve budgets). Default 0:
+	// disabled.
+	RequestTimeout time.Duration
+	// CancelWait bounds how long a synchronous solve handler waits for
+	// its job after the client disconnected and the job was canceled. A
+	// wedged solver then costs an abandoned-wait log line and counter
+	// bump instead of a goroutine pinned forever. Default 30s; negative
+	// means wait without bound (shutdown still unblocks the handler).
+	CancelWait time.Duration
+	// AccessLog receives structured access-log lines through the
+	// non-blocking ring buffer; nil discards them (they are still
+	// counted in /metrics).
+	AccessLog io.Writer
+	// AccessLogCap is the ring capacity in records. Default 4096.
+	AccessLogCap int
+	// EnablePprof mounts net/http/pprof under /debug/pprof/.
+	EnablePprof bool
 }
 
 func (o Options) withDefaults() Options {
@@ -75,40 +96,70 @@ func (o Options) withDefaults() Options {
 	} else if o.MaxJobWorkers < 0 {
 		o.MaxJobWorkers = 0
 	}
+	if o.RequestTimeout < 0 {
+		o.RequestTimeout = 0
+	}
+	if o.CancelWait == 0 {
+		o.CancelWait = 30 * time.Second
+	} else if o.CancelWait < 0 {
+		o.CancelWait = 0
+	}
+	if o.AccessLogCap <= 0 {
+		o.AccessLogCap = 4096
+	}
 	return o
 }
 
-// Server wires the graph store, the job scheduler and the HTTP API. Use
-// New, mount Handler on an http.Server, and Close on shutdown.
+// Server wires the graph store, the job scheduler, the middleware stack
+// and the HTTP API. Use New, mount Handler on an http.Server, and Close
+// on shutdown; BeginDrain + WaitIdle in between give a graceful drain.
 type Server struct {
-	opt     Options
-	store   *Store
-	sched   *Scheduler
-	mux     *http.ServeMux
-	started time.Time
+	opt       Options
+	store     *Store
+	sched     *Scheduler
+	metrics   *Metrics
+	accessLog *RingLogger
+	handler   http.Handler
+	started   time.Time
+
+	closeOnce sync.Once
+	closing   chan struct{} // closed when Close starts: unblocks bounded waits
 }
 
 // New builds a Server and preloads Options.StoreDir when set.
 func New(opt Options) (*Server, error) {
 	opt = opt.withDefaults()
 	s := &Server{
-		opt:     opt,
-		store:   NewStore(opt.MaxVertices, opt.MaxGraphs),
-		sched:   NewScheduler(opt.Workers, opt.QueueCap, opt.DefaultTimeout, opt.MaxTimeout, opt.MaxJobWorkers),
-		started: time.Now(),
+		opt:       opt,
+		store:     NewStore(opt.MaxVertices, opt.MaxGraphs),
+		sched:     NewScheduler(opt.Workers, opt.QueueCap, opt.DefaultTimeout, opt.MaxTimeout, opt.MaxJobWorkers),
+		metrics:   NewMetrics(),
+		accessLog: NewRingLogger(opt.AccessLog, opt.AccessLogCap),
+		started:   time.Now(),
+		closing:   make(chan struct{}),
 	}
-	s.mux = s.routes()
+	// Outermost first: ids exist before anything observes the request,
+	// Instrument sees the final status of everything inside it
+	// (including panics Recover turned into 500s), and the timeout only
+	// constrains the handler proper.
+	s.handler = Chain(s.routes(),
+		RequestID,
+		Instrument(s.metrics, s.accessLog),
+		Recover(s.metrics),
+		Timeout(opt.RequestTimeout, s.metrics),
+	)
 	if opt.StoreDir != "" {
 		if _, err := s.store.LoadDir(opt.StoreDir); err != nil {
 			s.sched.Close()
+			s.accessLog.Close()
 			return nil, err
 		}
 	}
 	return s, nil
 }
 
-// Handler returns the HTTP API.
-func (s *Server) Handler() http.Handler { return s.mux }
+// Handler returns the HTTP API behind the full middleware stack.
+func (s *Server) Handler() http.Handler { return s.handler }
 
 // Store exposes the graph store (used by preloading and tests).
 func (s *Server) Store() *Store { return s.store }
@@ -116,6 +167,27 @@ func (s *Server) Store() *Store { return s.store }
 // Scheduler exposes the job scheduler (used by tests and servebench).
 func (s *Server) Scheduler() *Scheduler { return s.sched }
 
-// Close cancels all jobs and stops the workers. The HTTP listener is the
-// caller's to shut down (http.Server.Shutdown) before calling Close.
-func (s *Server) Close() { s.sched.Close() }
+// Metrics exposes the request counters (used by tests and mbbsoak).
+func (s *Server) Metrics() *Metrics { return s.metrics }
+
+// BeginDrain stops admitting solve jobs — submissions get ErrDraining
+// (HTTP 503 + Retry-After) — while everything already queued or running
+// keeps going and read endpoints stay live. Call WaitIdle to learn when
+// in-flight work has finished, then Close. Idempotent.
+func (s *Server) BeginDrain() { s.sched.Drain() }
+
+// Draining reports whether BeginDrain was called.
+func (s *Server) Draining() bool { return s.sched.Draining() }
+
+// WaitIdle blocks until no job is queued or running, or ctx expires.
+func (s *Server) WaitIdle(ctx context.Context) error { return s.sched.WaitIdle(ctx) }
+
+// Close cancels all jobs, stops the workers and flushes the access
+// log. The HTTP listener is the caller's to shut down
+// (http.Server.Shutdown) before calling Close. Safe to call more than
+// once.
+func (s *Server) Close() {
+	s.closeOnce.Do(func() { close(s.closing) })
+	s.sched.Close()
+	s.accessLog.Close()
+}

@@ -22,6 +22,7 @@ import (
 	"os"
 	"path/filepath"
 	"regexp"
+	"runtime"
 	"sort"
 	"strings"
 	"sync"
@@ -31,6 +32,24 @@ import (
 	"repro/internal/bigraph"
 	"repro/mbb"
 )
+
+// liveSnapshots counts snapshots that are still reachable: published
+// versions plus historical ones pinned by in-flight jobs. Incremented
+// at creation, decremented by a GC cleanup, it is the leak gauge the
+// soak harness (and /metrics) watch — after a drain and a GC it must
+// fall back to one per stored graph.
+var liveSnapshots atomic.Int64
+
+// trackSnapshot registers sn with the leak gauge.
+func trackSnapshot(sn *Snapshot) *Snapshot {
+	liveSnapshots.Add(1)
+	runtime.AddCleanup(sn, func(struct{}) { liveSnapshots.Add(-1) }, struct{}{})
+	return sn
+}
+
+// LiveSnapshots reports how many snapshots the GC still sees reachable
+// (an upper bound refreshed by collection, not an instantaneous count).
+func LiveSnapshots() int64 { return liveSnapshots.Load() }
 
 // GraphFormat selects an upload parser.
 type GraphFormat string
@@ -102,12 +121,18 @@ func (sn *Snapshot) Plan() (plan *mbb.Plan, built bool, err error) {
 		built = true
 		start := time.Now()
 		sn.sg.planBuilds.Add(1)
+		if sh := sn.sg.shared; sh != nil {
+			sh.planBuilds.Add(1)
+		}
 		p, perr := mbb.PlanContextEpoch(context.Background(), sn.g, sn.epoch)
 		sn.planVal.Store(&planOutcome{plan: p, err: perr, source: "built", nanos: int64(time.Since(start))})
 	})
 	out := sn.planVal.Load() // non-nil: Do returns only after the outcome stored it
 	if out.err == nil && !built {
 		sn.sg.planHits.Add(1)
+		if sh := sn.sg.shared; sh != nil {
+			sh.planHits.Add(1)
+		}
 	}
 	return out.plan, built, out.err
 }
@@ -117,7 +142,8 @@ func (sn *Snapshot) Plan() (plan *mbb.Plan, built bool, err error) {
 // publish a successor with epoch+1, carrying the cached plan across when
 // mbb.Plan.ApplyDelta proves the delta cannot invalidate it.
 type StoredGraph struct {
-	name string
+	name   string
+	shared *storeCounters // store-lifetime aggregates (nil outside a Store)
 
 	mu  sync.Mutex // serializes mutations (epoch transitions)
 	cur atomic.Pointer[Snapshot]
@@ -127,6 +153,28 @@ type StoredGraph struct {
 	planHits    atomic.Int64 // solves that reused an already-present plan
 	planReuses  atomic.Int64 // mutations that carried the plan across unchanged
 	planRepairs atomic.Int64 // mutations absorbed by bounded local repair
+}
+
+// storeCounters aggregates the per-graph counters over the store's
+// lifetime. Prometheus counters must never go backwards, and summing
+// GraphInfo at scrape time would: deleting a graph takes its history
+// with it. The same events bump both the per-graph atomics (the graph's
+// own story) and these (the fleet's).
+type storeCounters struct {
+	mutations   atomic.Int64
+	planBuilds  atomic.Int64
+	planHits    atomic.Int64
+	planReuses  atomic.Int64
+	planRepairs atomic.Int64
+}
+
+// StoreStats is the store-lifetime counter snapshot for /metrics.
+type StoreStats struct {
+	Mutations   int64
+	PlanBuilds  int64
+	PlanHits    int64
+	PlanReuses  int64
+	PlanRepairs int64
 }
 
 // Name returns the store key.
@@ -197,7 +245,7 @@ func (sg *StoredGraph) Mutate(d bigraph.Delta) (*Snapshot, MutationInfo, error) 
 		}
 		return old, info, nil
 	}
-	snap := &Snapshot{sg: sg, g: g2, epoch: old.epoch + 1, at: time.Now()}
+	snap := trackSnapshot(&Snapshot{sg: sg, g: g2, epoch: old.epoch + 1, at: time.Now()})
 	rebuild := false
 	if out := old.planVal.Load(); out != nil && out.err == nil {
 		start := time.Now()
@@ -208,9 +256,15 @@ func (sg *StoredGraph) Mutate(d bigraph.Delta) (*Snapshot, MutationInfo, error) 
 			if p2.Repairs() > out.plan.Repairs() {
 				source = "repaired"
 				sg.planRepairs.Add(1)
+				if sg.shared != nil {
+					sg.shared.planRepairs.Add(1)
+				}
 				info.Plan = "repaired"
 			} else {
 				sg.planReuses.Add(1)
+				if sg.shared != nil {
+					sg.shared.planReuses.Add(1)
+				}
 				info.Plan = "reused"
 			}
 			snap.planVal.Store(&planOutcome{plan: p2, source: source, nanos: int64(time.Since(start))})
@@ -222,6 +276,9 @@ func (sg *StoredGraph) Mutate(d bigraph.Delta) (*Snapshot, MutationInfo, error) 
 	}
 	sg.cur.Store(snap)
 	sg.mutations.Add(1)
+	if sg.shared != nil {
+		sg.shared.mutations.Add(1)
+	}
 	info.Epoch = snap.epoch
 	info.Edges = g2.NumEdges()
 	if rebuild {
@@ -303,6 +360,7 @@ type Store struct {
 	graphs    map[string]*StoredGraph
 	maxVerts  int // per-graph vertex cap for untrusted uploads, 0 = unlimited
 	maxGraphs int // store capacity, 0 = unlimited
+	counters  storeCounters
 }
 
 // NewStore returns an empty store. maxVerts caps the vertex count of any
@@ -310,6 +368,18 @@ type Store struct {
 // store holds (0 = unlimited).
 func NewStore(maxVerts, maxGraphs int) *Store {
 	return &Store{graphs: make(map[string]*StoredGraph), maxVerts: maxVerts, maxGraphs: maxGraphs}
+}
+
+// Stats returns the store-lifetime aggregates (monotone across graph
+// deletions, unlike summing List()).
+func (s *Store) Stats() StoreStats {
+	return StoreStats{
+		Mutations:   s.counters.mutations.Load(),
+		PlanBuilds:  s.counters.planBuilds.Load(),
+		PlanHits:    s.counters.planHits.Load(),
+		PlanReuses:  s.counters.planReuses.Load(),
+		PlanRepairs: s.counters.planRepairs.Load(),
+	}
 }
 
 // Parse decodes r in the given format, honouring the store's vertex cap.
@@ -329,8 +399,8 @@ func (s *Store) Put(name string, g *bigraph.Graph) (*StoredGraph, error) {
 	if !nameRe.MatchString(name) {
 		return nil, fmt.Errorf("invalid graph name %q (want [A-Za-z0-9._-], max 128 chars)", name)
 	}
-	sg := &StoredGraph{name: name}
-	sg.cur.Store(&Snapshot{sg: sg, g: g, at: time.Now()})
+	sg := &StoredGraph{name: name, shared: &s.counters}
+	sg.cur.Store(trackSnapshot(&Snapshot{sg: sg, g: g, at: time.Now()}))
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if _, replacing := s.graphs[name]; !replacing && s.maxGraphs > 0 && len(s.graphs) >= s.maxGraphs {

@@ -37,6 +37,21 @@ done
 BASE="http://$ADDR"
 curl -fs "$BASE/healthz" >/dev/null || fail "healthz unreachable at $BASE"
 
+# Every response carries an X-Request-Id; a sane inbound id is echoed so
+# clients can correlate across services.
+RID=$(curl -fs -D - -o /dev/null "$BASE/healthz" | tr -d '\r' | sed -n 's/^[Xx]-[Rr]equest-[Ii]d: //p')
+[ -n "$RID" ] || fail "response lacks a generated X-Request-Id header"
+RID=$(curl -fs -D - -o /dev/null -H 'X-Request-Id: smoke-42' "$BASE/stats" | tr -d '\r' | sed -n 's/^[Xx]-[Rr]equest-[Ii]d: //p')
+[ "$RID" = "smoke-42" ] || fail "inbound X-Request-Id not echoed (got '$RID')"
+
+# Prometheus endpoint serves the exposition format. (Capture first:
+# with pipefail, grep -q closing the pipe early would fail curl.)
+METRICS=$(curl -fs "$BASE/metrics")
+echo "$METRICS" | grep -q 'mbbserved_requests_total' ||
+    fail "/metrics missing mbbserved_requests_total"
+echo "$METRICS" | grep -q 'mbbserved_queue_capacity' ||
+    fail "/metrics missing mbbserved_queue_capacity"
+
 # Upload K3,3 (optimum balanced biclique: 3 per side).
 printf '3 3 9\n0 0\n0 1\n0 2\n1 0\n1 1\n1 2\n2 0\n2 1\n2 2\n' |
     curl -fs -XPUT --data-binary @- "$BASE/graphs/k33" >/dev/null ||
@@ -122,9 +137,34 @@ echo "$STATUS" | grep -Eq '"state":"(canceled|done)"' || fail "job not terminal 
 CODE=$(printf 'not a graph\n' | curl -s -o /dev/null -w '%{http_code}' -XPUT --data-binary @- "$BASE/graphs/bad")
 [ "$CODE" = "400" ] || fail "malformed upload returned $CODE, want 400"
 
-# Graceful shutdown.
+# Graceful drain: start a sync solve that cannot finish fast (basicBB,
+# no reduction, dense random instance, 3s budget), SIGTERM the daemon
+# mid-solve, and assert the drain contract — new submissions bounce with
+# 503 + Retry-After, the in-flight solve still completes with a 200 and
+# a terminal job state, and the daemon exits 0.
+awk 'BEGIN{srand(7);n=160;m=0;
+    for(l=0;l<n;l++)for(r=0;r<n;r++)if(rand()<0.5)e[m++]=l" "r;
+    print n,n,m;for(i=0;i<m;i++)print e[i]}' |
+    curl -fs -XPUT --data-binary @- "$BASE/graphs/slow" >/dev/null ||
+    fail "slow graph upload rejected"
+SOLVE_BODY=$(mktemp)
+SOLVE_CODE=$(mktemp)
+(curl -s -o "$SOLVE_BODY" -w '%{http_code}' -XPOST "$BASE/graphs/slow/solve" \
+    -d '{"solver":"basicBB","reduce":"off","timeout":"3s"}' >"$SOLVE_CODE") &
+SOLVE_PID=$!
+sleep 0.5
+kill -0 "$SOLVE_PID" 2>/dev/null || fail "slow solve finished before SIGTERM; drain test is vacuous"
 kill -TERM "$PID"
-wait "$PID" 2>/dev/null || true
+sleep 0.3
+HDRS=$(curl -s -D - -o /dev/null -XPOST "$BASE/graphs/k33/jobs" -d '{}' | tr -d '\r')
+echo "$HDRS" | head -n1 | grep -q ' 503 ' || fail "submit during drain did not 503: $(echo "$HDRS" | head -n1)"
+echo "$HDRS" | grep -qi '^Retry-After:' || fail "drain 503 lacks Retry-After"
+wait "$SOLVE_PID" || true
+[ "$(cat "$SOLVE_CODE")" = "200" ] || fail "in-flight solve returned $(cat "$SOLVE_CODE") during drain, want 200"
+grep -Eq '"state":"(done|failed|canceled)"' "$SOLVE_BODY" ||
+    fail "in-flight solve not terminal after drain: $(cat "$SOLVE_BODY")"
+if wait "$PID"; then :; else fail "daemon exited non-zero after SIGTERM drain"; fi
+grep -q 'draining' "$LOG" || fail "daemon log never mentioned draining"
 trap - EXIT
 
 echo "served_smoke: OK"
