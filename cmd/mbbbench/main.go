@@ -67,6 +67,7 @@ func main() {
 	requests := flag.Int("requests", 32, "servebench: warm requests; mutebench: mutation rounds")
 	clients := flag.Int("clients", 4, "servebench/mutebench: concurrent clients")
 	muteMix := flag.String("mutemix", "cycle", "mutebench mutation stream: cycle, insert (repair hot path), mixed")
+	walSync := flag.String("walsync", "", "servebench/mutebench: give the in-process daemon a WAL on a temp dir with this sync policy (always, interval, off; empty = volatile)")
 	flag.Parse()
 
 	out := os.Stdout
@@ -90,6 +91,7 @@ func main() {
 	cfg.Requests = *requests
 	cfg.Clients = *clients
 	cfg.MuteMix = *muteMix
+	cfg.WALSync = *walSync
 	if *datasets != "" {
 		cfg.Datasets = strings.Split(*datasets, ",")
 	}

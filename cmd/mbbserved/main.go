@@ -6,10 +6,23 @@
 // Usage:
 //
 //	mbbserved [-addr :8080] [-workers N] [-queue 256] [-store dir]
-//	          [-maxupload 67108864] [-maxverts 10000000]
+//	          [-data-dir dir] [-wal-sync always|interval|off]
+//	          [-wal-sync-interval 100ms] [-wal-segment-bytes N]
+//	          [-checkpoint-every 4096] [-retain-epochs 8]
+//	          [-warm-recovery] [-maxupload 67108864] [-maxverts 10000000]
 //	          [-default-timeout 30s] [-max-timeout 10m]
 //	          [-drain-timeout 30s] [-request-timeout 0] [-pprof]
 //	          [-access-log stderr|none|PATH]
+//
+// With -data-dir the store is durable: every upload, mutation and
+// delete is appended to a write-ahead log under that directory before
+// it becomes visible, and a restart replays the log — checkpoints plus
+// deltas — back to exactly the last durable epoch before the listener
+// opens. -wal-sync picks the fsync policy (always = group commit per
+// write, interval = background flush every -wal-sync-interval, off =
+// the OS decides), -checkpoint-every bounds log growth by snapshotting
+// and compacting in the background, and -retain-epochs keeps that many
+// trailing snapshots per graph solvable and exportable via ?epoch=E.
 //
 // -addr may end in ":0" to bind an ephemeral port; the actual listening
 // address is logged ("mbbserved: listening on ..."), which is how the
@@ -64,6 +77,13 @@ func run() int {
 	workers := flag.Int("workers", 0, "solve worker pool size = concurrent-solve cap (0 = GOMAXPROCS)")
 	queue := flag.Int("queue", 256, "job queue depth (admission bound)")
 	storeDir := flag.String("store", "", "directory of graphs to preload (*.konect/out.* as KONECT, else edge-list)")
+	dataDir := flag.String("data-dir", "", "write-ahead-log directory; empty = no durability")
+	walSync := flag.String("wal-sync", "always", "WAL fsync policy: always (group commit), interval, or off")
+	walSyncInterval := flag.Duration("wal-sync-interval", 100*time.Millisecond, "flush period under -wal-sync=interval")
+	walSegBytes := flag.Int64("wal-segment-bytes", 64<<20, "WAL segment rotation threshold in bytes")
+	ckptEvery := flag.Int("checkpoint-every", 4096, "background checkpoint+compaction after this many WAL appends (-1 = never)")
+	retainEpochs := flag.Int("retain-epochs", 8, "per-graph trailing snapshot epochs kept solvable via ?epoch=E")
+	warmRecovery := flag.Bool("warm-recovery", true, "build plans eagerly during WAL replay so recovery lands warm")
 	maxUpload := flag.Int64("maxupload", 64<<20, "max graph upload size in bytes")
 	maxVerts := flag.Int("maxverts", 10_000_000, "max vertices per uploaded graph (-1 = unlimited)")
 	defTimeout := flag.Duration("default-timeout", 30*time.Second, "per-job timeout when the request sets none (-1ns = none)")
@@ -86,25 +106,38 @@ func run() int {
 	}
 
 	srv, err := server.New(server.Options{
-		Workers:        *workers,
-		QueueCap:       *queue,
-		MaxUploadBytes: *maxUpload,
-		MaxVertices:    *maxVerts,
-		DefaultTimeout: *defTimeout,
-		MaxTimeout:     *maxTimeout,
-		MaxJobWorkers:  *maxJobWorkers,
-		StoreDir:       *storeDir,
-		RequestTimeout: *reqTimeout,
-		CancelWait:     *cancelWait,
-		AccessLog:      logW,
-		EnablePprof:    *enablePprof,
+		Workers:         *workers,
+		QueueCap:        *queue,
+		MaxUploadBytes:  *maxUpload,
+		MaxVertices:     *maxVerts,
+		DefaultTimeout:  *defTimeout,
+		MaxTimeout:      *maxTimeout,
+		MaxJobWorkers:   *maxJobWorkers,
+		StoreDir:        *storeDir,
+		DataDir:         *dataDir,
+		WALSync:         *walSync,
+		WALSyncInterval: *walSyncInterval,
+		WALSegmentBytes: *walSegBytes,
+		CheckpointEvery: *ckptEvery,
+		RetainEpochs:    *retainEpochs,
+		WarmRecovery:    *warmRecovery,
+		RequestTimeout:  *reqTimeout,
+		CancelWait:      *cancelWait,
+		AccessLog:       logW,
+		EnablePprof:     *enablePprof,
 	})
 	if err != nil {
 		log.Printf("mbbserved: %v", err)
 		return 1
 	}
+	if *dataDir != "" {
+		rs := srv.RecoveredStats()
+		log.Printf("mbbserved: recovered %d graphs from %s (%d segments, %d records: %d puts, %d snaps, %d deltas; %d plans warmed, %d carried; %d bytes torn tail truncated)",
+			rs.Graphs, *dataDir, rs.Segments, rs.Records, rs.Puts, rs.Snaps, rs.Deltas, rs.PlanWarmed, rs.PlansCarried, rs.TruncatedBytes)
+	}
 	if *storeDir != "" {
-		log.Printf("mbbserved: preloaded %d graphs from %s", srv.Store().Len(), *storeDir)
+		rep := srv.PreloadReport()
+		log.Printf("mbbserved: preloaded %d graphs from %s (%d files skipped)", rep.Loaded, *storeDir, len(rep.Failed))
 	}
 
 	hs := &http.Server{

@@ -7,6 +7,7 @@
 // Usage:
 //
 //	mbbsoak [-duration 60s] [-clients 8] [-graphs 6] [-seed 1] [-url http://host:port]
+//	        [-restart [-data-dir dir]]
 //
 // With no -url it starts an in-process daemon on an ephemeral port,
 // runs the workload over real TCP (so client disconnects exercise the
@@ -15,6 +16,12 @@
 // and finally checks the three leak gauges. With -url it targets a
 // remote daemon and limits the leak assertions to what /stats and
 // /metrics expose (no goroutine baseline across a process boundary).
+//
+// -restart makes the in-process daemon durable (write-ahead log under
+// -data-dir, interval sync, aggressive checkpointing) and adds a final
+// phase: a second server recovers the log and must reconstruct exactly
+// the drained state, with the snapshot-leak gauge settling at the
+// recovered retention windows.
 //
 // Exit status 0 means the workload ran clean and nothing leaked; any
 // unexpected response or leaked resource prints a diagnosis and exits 1.
@@ -73,7 +80,23 @@ func run() int {
 	seed := flag.Int64("seed", 1, "workload RNG seed")
 	url := flag.String("url", "", "target daemon base URL (empty = in-process)")
 	workers := flag.Int("workers", 0, "in-process daemon worker pool (0 = GOMAXPROCS)")
+	restart := flag.Bool("restart", false, "in-process only: run durable (WAL on -data-dir), reopen after the drain and assert recovery equality + zero snapshot leaks")
+	dataDir := flag.String("data-dir", "", "WAL directory for -restart (default: a fresh temp dir)")
 	flag.Parse()
+
+	if *restart && *url != "" {
+		fmt.Fprintln(os.Stderr, "mbbsoak: -restart needs the in-process daemon (drop -url)")
+		return 1
+	}
+	if *restart && *dataDir == "" {
+		d, err := os.MkdirTemp("", "mbbsoak-wal-")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "mbbsoak:", err)
+			return 1
+		}
+		defer os.RemoveAll(d)
+		*dataDir = d
+	}
 
 	baseGoroutines := runtime.NumGoroutine()
 
@@ -83,15 +106,25 @@ func run() int {
 		base string
 	)
 	if *url == "" {
-		var err error
-		srv, err = server.New(server.Options{
+		opt := server.Options{
 			Workers:        *workers,
 			QueueCap:       64,
 			DefaultTimeout: 5 * time.Second,
 			MaxTimeout:     10 * time.Second,
 			CancelWait:     5 * time.Second,
 			AccessLog:      nil, // counted, not written — the soak measures, it does not archive
-		})
+		}
+		if *restart {
+			// Durable mode: interval sync keeps upload-heavy soak traffic
+			// off the fsync critical path; a small checkpoint threshold
+			// makes background compaction actually fire during the run.
+			opt.DataDir = *dataDir
+			opt.WALSync = "interval"
+			opt.CheckpointEvery = 256
+			opt.RetainEpochs = 4
+		}
+		var err error
+		srv, err = server.New(opt)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "mbbsoak:", err)
 			return 1
@@ -214,6 +247,14 @@ func run() int {
 		if n := srv.Metrics().Panics(); n > 0 {
 			fails.addf("%d handler panics during the soak", n)
 		}
+
+		// Phase 5 (-restart): reopen the WAL directory in a fresh server
+		// and assert recovery lands on exactly the drained state. The
+		// listing is the first daemon's last use, so the GC can reclaim
+		// its entire snapshot history during the phase.
+		if *restart {
+			soakRestart(srv.Store().List(), *dataDir, *workers, fails)
+		}
 	}
 
 	fails.mu.Lock()
@@ -227,6 +268,55 @@ func run() int {
 	}
 	fmt.Println("mbbsoak: OK — zero leaked goroutines, jobs and snapshots")
 	return 0
+}
+
+// soakRestart is the -restart phase: a second server recovers the WAL
+// directory the drained daemon wrote, and must reconstruct exactly the
+// graphs it was serving — same names, epochs and sizes. Afterwards the
+// snapshot-leak gauge must settle at the recovered retention windows:
+// the first daemon's whole snapshot history has to be collectible.
+func soakRestart(want []server.GraphInfo, dataDir string, workers int, fails *failures) {
+	type gkey struct {
+		Name          string
+		Epoch         uint64
+		NL, NR, Edges int
+	}
+	wantSet := make(map[gkey]bool, len(want))
+	for _, gi := range want {
+		wantSet[gkey{gi.Name, gi.Epoch, gi.NL, gi.NR, gi.Edges}] = true
+	}
+	srv, err := server.New(server.Options{
+		Workers: workers, DataDir: dataDir, WALSync: "interval", RetainEpochs: 4,
+	})
+	if err != nil {
+		fails.addf("reopen %s: %v", dataDir, err)
+		return
+	}
+	defer srv.Close()
+	rs := srv.RecoveredStats()
+	fmt.Printf("mbbsoak: restart recovered %d graphs (%d records: %d puts, %d snaps, %d deltas; %d segments)\n",
+		rs.Graphs, rs.Records, rs.Puts, rs.Snaps, rs.Deltas, rs.Segments)
+	got := make(map[gkey]bool)
+	for _, gi := range srv.Store().List() {
+		got[gkey{gi.Name, gi.Epoch, gi.NL, gi.NR, gi.Edges}] = true
+	}
+	for k := range wantSet {
+		if !got[k] {
+			fails.addf("restart lost graph %+v", k)
+		}
+	}
+	for k := range got {
+		if !wantSet[k] {
+			fails.addf("restart invented graph %+v", k)
+		}
+	}
+	if !eventually(10*time.Second, func() bool {
+		runtime.GC()
+		return server.LiveSnapshots() <= srv.Store().RetainedSnapshots()
+	}) {
+		fails.addf("snapshot leak across restart: %d live, want <= %d retained",
+			server.LiveSnapshots(), srv.Store().RetainedSnapshots())
+	}
 }
 
 // eventually polls cond (with backoff) until it holds or the deadline

@@ -1,0 +1,275 @@
+package bigraph
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// Binary codec for Graph and Delta — the payload format of the
+// write-ahead log (internal/wal) and of any future replication stream.
+// Records are compact (uvarint throughout, neighbour lists gap-encoded
+// off the sorted CSR) and versioned by a leading magic+version triple so
+// the format can evolve without guessing. Framing — length prefixes and
+// per-record CRCs — is the log's job, not the codec's: these byte slices
+// are what goes inside a frame.
+//
+// The graph encoding is canonical: a Graph's adjacency is sorted and
+// deduplicated, so MarshalBinary(g) is byte-identical for equal graphs
+// and UnmarshalGraph(MarshalBinary(g)) reproduces g exactly. The decoder
+// is written for untrusted bytes (fuzzed): every declared size is
+// checked against the bytes actually present before any
+// size-proportional allocation, so a tiny corrupt record cannot demand
+// gigabytes.
+
+const (
+	// graphMagic0/1 + codecVersion lead every graph record.
+	graphMagic0 = 'B'
+	graphMagic1 = 'G'
+	// deltaMagic0/1 + codecVersion lead every delta record.
+	deltaMagic0  = 'B'
+	deltaMagic1  = 'D'
+	codecVersion = 1
+)
+
+// AppendBinary appends the canonical binary encoding of g to dst and
+// returns the extended slice.
+//
+// Layout: "BG" version, uvarint nl, nr, m, then per left vertex its
+// degree followed by its neighbour list as uvarint gaps from the
+// previous neighbour (the first gap is relative to NL, the smallest
+// right id). Right adjacency is redundant with left and not stored.
+func (g *Graph) AppendBinary(dst []byte) []byte {
+	dst = append(dst, graphMagic0, graphMagic1, codecVersion)
+	dst = binary.AppendUvarint(dst, uint64(g.nl))
+	dst = binary.AppendUvarint(dst, uint64(g.nr))
+	dst = binary.AppendUvarint(dst, uint64(g.m))
+	for l := 0; l < g.nl; l++ {
+		ns := g.Neighbors(l)
+		dst = binary.AppendUvarint(dst, uint64(len(ns)))
+		prev := int32(g.nl)
+		for _, r := range ns {
+			dst = binary.AppendUvarint(dst, uint64(r-prev))
+			prev = r
+		}
+	}
+	return dst
+}
+
+// MarshalBinary returns the canonical binary encoding of g.
+func (g *Graph) MarshalBinary() []byte { return g.AppendBinary(nil) }
+
+// codecReader walks a record payload, turning every malformed read into
+// an error instead of a panic.
+type codecReader struct {
+	data []byte
+	off  int
+}
+
+func (r *codecReader) uvarint() (uint64, error) {
+	v, n := binary.Uvarint(r.data[r.off:])
+	if n <= 0 {
+		return 0, fmt.Errorf("bigraph: codec: truncated varint at offset %d", r.off)
+	}
+	// binary.Uvarint tolerates over-long encodings (0x80 0x00 for 0);
+	// reject them so every value has exactly one byte representation and
+	// the format stays canonical.
+	if n > 1 && r.data[r.off+n-1] == 0 {
+		return 0, fmt.Errorf("bigraph: codec: non-minimal varint at offset %d", r.off)
+	}
+	r.off += n
+	return v, nil
+}
+
+// size reads a uvarint that is about to size an allocation or a loop and
+// bounds it by what the remaining bytes could possibly encode (every
+// element costs at least one byte), so corrupt counts fail cleanly.
+func (r *codecReader) size(what string) (int, error) {
+	v, err := r.uvarint()
+	if err != nil {
+		return 0, err
+	}
+	if v > uint64(len(r.data)-r.off) {
+		return 0, fmt.Errorf("bigraph: codec: %s count %d exceeds the %d bytes remaining", what, v, len(r.data)-r.off)
+	}
+	return int(v), nil
+}
+
+func (r *codecReader) done() error {
+	if r.off != len(r.data) {
+		return fmt.Errorf("bigraph: codec: %d trailing bytes", len(r.data)-r.off)
+	}
+	return nil
+}
+
+func checkMagic(data []byte, m0, m1 byte, kind string) error {
+	if len(data) < 3 || data[0] != m0 || data[1] != m1 {
+		return fmt.Errorf("bigraph: codec: not a %s record", kind)
+	}
+	if data[2] != codecVersion {
+		return fmt.Errorf("bigraph: codec: unsupported %s version %d (want %d)", kind, data[2], codecVersion)
+	}
+	return nil
+}
+
+// UnmarshalGraph decodes a graph encoded by Graph.AppendBinary. The
+// input is treated as untrusted: structural violations (out-of-range
+// neighbours, unsorted lists, declared sizes the bytes cannot back)
+// return errors, never panics or unbounded allocations.
+func UnmarshalGraph(data []byte) (*Graph, error) {
+	if err := checkMagic(data, graphMagic0, graphMagic1, "graph"); err != nil {
+		return nil, err
+	}
+	r := &codecReader{data: data, off: 3}
+	nl64, err := r.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	nr64, err := r.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	if nl64+nr64 > math.MaxInt32 {
+		return nil, fmt.Errorf("bigraph: codec: graph %dx%d too large", nl64, nr64)
+	}
+	nl, nr := int(nl64), int(nr64)
+	m, err := r.size("edge")
+	if err != nil {
+		return nil, err
+	}
+	// Each left vertex costs at least a degree byte: a huge nl with a
+	// short payload is corrupt, not a licence to allocate.
+	if nl > len(data)-r.off {
+		return nil, fmt.Errorf("bigraph: codec: %d left vertices exceed the %d bytes remaining", nl, len(data)-r.off)
+	}
+	n := nl + nr
+	off := make([]int32, n+1)
+	adj := make([]int32, 2*m)
+	// First pass: left lists decode directly into adj[0:m] in CSR order;
+	// right degrees accumulate for the second pass.
+	rdeg := make([]int32, nr)
+	w := 0
+	for l := 0; l < nl; l++ {
+		deg, err := r.size(fmt.Sprintf("vertex %d neighbour", l))
+		if err != nil {
+			return nil, err
+		}
+		if w+deg > m {
+			return nil, fmt.Errorf("bigraph: codec: degrees exceed declared edge count %d", m)
+		}
+		off[l+1] = off[l] + int32(deg)
+		prev := int32(nl)
+		for k := 0; k < deg; k++ {
+			gap, err := r.uvarint()
+			if err != nil {
+				return nil, err
+			}
+			if k > 0 && gap == 0 {
+				return nil, fmt.Errorf("bigraph: codec: duplicate neighbour in vertex %d list", l)
+			}
+			v := int64(prev) + int64(gap)
+			if v >= int64(n) {
+				return nil, fmt.Errorf("bigraph: codec: neighbour %d of vertex %d out of range %dx%d", v, l, nl, nr)
+			}
+			prev = int32(v)
+			adj[w] = prev
+			rdeg[prev-int32(nl)]++
+			w++
+		}
+	}
+	if w != m {
+		return nil, fmt.Errorf("bigraph: codec: %d edges decoded, header declared %d", w, m)
+	}
+	if err := r.done(); err != nil {
+		return nil, err
+	}
+	// Second pass: right offsets from the accumulated degrees, then fill
+	// right lists by walking left lists in order — left ids arrive
+	// ascending, so every right list comes out sorted without a sort.
+	for j := 0; j < nr; j++ {
+		off[nl+j+1] = off[nl+j] + rdeg[j]
+	}
+	cur := make([]int32, nr)
+	copy(cur, off[nl:nl+nr])
+	for l := 0; l < nl; l++ {
+		for _, v := range adj[off[l]:off[l+1]] {
+			j := v - int32(nl)
+			adj[cur[j]] = int32(l)
+			cur[j]++
+		}
+	}
+	return &Graph{nl: nl, nr: nr, off: off, adj: adj, m: m}, nil
+}
+
+// AppendBinary appends the binary encoding of d to dst. Indices must be
+// non-negative (they are side-local, as validated by Graph.Apply); a
+// negative index returns an error rather than a corrupt record. The
+// encoding preserves list order and multiplicity exactly, so the
+// round trip is the identity on any valid Delta.
+func (d Delta) AppendBinary(dst []byte) ([]byte, error) {
+	dst = append(dst, deltaMagic0, deltaMagic1, codecVersion)
+	var err error
+	if dst, err = appendEdgeList(dst, d.Add, "add"); err != nil {
+		return nil, err
+	}
+	return appendEdgeList(dst, d.Del, "del")
+}
+
+func appendEdgeList(dst []byte, edges [][2]int, kind string) ([]byte, error) {
+	dst = binary.AppendUvarint(dst, uint64(len(edges)))
+	for _, e := range edges {
+		if e[0] < 0 || e[1] < 0 {
+			return nil, fmt.Errorf("bigraph: codec: negative %s edge (%d,%d)", kind, e[0], e[1])
+		}
+		dst = binary.AppendUvarint(dst, uint64(e[0]))
+		dst = binary.AppendUvarint(dst, uint64(e[1]))
+	}
+	return dst, nil
+}
+
+// UnmarshalDelta decodes a delta encoded by Delta.AppendBinary, with the
+// same untrusted-input discipline as UnmarshalGraph.
+func UnmarshalDelta(data []byte) (Delta, error) {
+	if err := checkMagic(data, deltaMagic0, deltaMagic1, "delta"); err != nil {
+		return Delta{}, err
+	}
+	r := &codecReader{data: data, off: 3}
+	var d Delta
+	var err error
+	if d.Add, err = readEdgeList(r, "add"); err != nil {
+		return Delta{}, err
+	}
+	if d.Del, err = readEdgeList(r, "del"); err != nil {
+		return Delta{}, err
+	}
+	if err := r.done(); err != nil {
+		return Delta{}, err
+	}
+	return d, nil
+}
+
+func readEdgeList(r *codecReader, kind string) ([][2]int, error) {
+	n, err := r.size(kind + " edge")
+	if err != nil {
+		return nil, err
+	}
+	if n == 0 {
+		return nil, nil
+	}
+	edges := make([][2]int, n)
+	for i := range edges {
+		l, err := r.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		rr, err := r.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		if l > math.MaxInt32 || rr > math.MaxInt32 {
+			return nil, fmt.Errorf("bigraph: codec: %s edge (%d,%d) out of int32 range", kind, l, rr)
+		}
+		edges[i] = [2]int{int(l), int(rr)}
+	}
+	return edges, nil
+}

@@ -1,0 +1,208 @@
+package bigraph
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func mustGraph(t *testing.T, nl, nr int, edges [][2]int) *Graph {
+	t.Helper()
+	b := NewBuilder(nl, nr)
+	for _, e := range edges {
+		b.AddEdge(e[0], e[1])
+	}
+	return b.Build()
+}
+
+func codecGraphsEqual(a, b *Graph) bool {
+	if a.NL() != b.NL() || a.NR() != b.NR() || a.NumEdges() != b.NumEdges() {
+		return false
+	}
+	for v := 0; v < a.NL()+a.NR(); v++ {
+		na, nb := a.Neighbors(v), b.Neighbors(v)
+		if len(na) != len(nb) {
+			return false
+		}
+		for i := range na {
+			if na[i] != nb[i] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func TestGraphCodecRoundTrip(t *testing.T) {
+	cases := []struct {
+		name  string
+		nl    int
+		nr    int
+		edges [][2]int
+	}{
+		{"empty", 0, 0, nil},
+		{"no-edges", 3, 5, nil},
+		{"single", 1, 1, [][2]int{{0, 0}}},
+		{"k33", 3, 3, [][2]int{{0, 0}, {0, 1}, {0, 2}, {1, 0}, {1, 1}, {1, 2}, {2, 0}, {2, 1}, {2, 2}}},
+		{"isolated-tail", 4, 6, [][2]int{{0, 5}, {2, 0}, {2, 5}}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			g := mustGraph(t, tc.nl, tc.nr, tc.edges)
+			enc := g.MarshalBinary()
+			g2, err := UnmarshalGraph(enc)
+			if err != nil {
+				t.Fatalf("decode: %v", err)
+			}
+			if !codecGraphsEqual(g, g2) {
+				t.Fatalf("round trip mismatch: %dx%d m=%d vs %dx%d m=%d",
+					g.NL(), g.NR(), g.NumEdges(), g2.NL(), g2.NR(), g2.NumEdges())
+			}
+			// Canonical: re-encoding the decoded graph is byte-identical.
+			if !bytes.Equal(enc, g2.MarshalBinary()) {
+				t.Fatal("re-encoding differs from original encoding")
+			}
+		})
+	}
+}
+
+func TestGraphCodecRandomRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	for it := 0; it < 200; it++ {
+		nl, nr := rng.Intn(12), rng.Intn(12)
+		var edges [][2]int
+		if nl > 0 && nr > 0 {
+			for k := rng.Intn(30); k > 0; k-- {
+				edges = append(edges, [2]int{rng.Intn(nl), rng.Intn(nr)})
+			}
+		}
+		g := mustGraph(t, nl, nr, edges)
+		g2, err := UnmarshalGraph(g.MarshalBinary())
+		if err != nil {
+			t.Fatalf("it %d: decode: %v", it, err)
+		}
+		if !codecGraphsEqual(g, g2) {
+			t.Fatalf("it %d: round trip mismatch", it)
+		}
+	}
+}
+
+func TestDeltaCodecRoundTrip(t *testing.T) {
+	cases := []Delta{
+		{},
+		{Add: [][2]int{{0, 0}}},
+		{Del: [][2]int{{2, 1}, {0, 3}}},
+		{Add: [][2]int{{1, 2}, {1, 2}, {0, 0}}, Del: [][2]int{{5, 7}}},
+	}
+	for i, d := range cases {
+		enc, err := d.AppendBinary(nil)
+		if err != nil {
+			t.Fatalf("case %d: encode: %v", i, err)
+		}
+		d2, err := UnmarshalDelta(enc)
+		if err != nil {
+			t.Fatalf("case %d: decode: %v", i, err)
+		}
+		if len(d2.Add) != len(d.Add) || len(d2.Del) != len(d.Del) {
+			t.Fatalf("case %d: length mismatch: %+v vs %+v", i, d, d2)
+		}
+		for j := range d.Add {
+			if d2.Add[j] != d.Add[j] {
+				t.Fatalf("case %d: add[%d] = %v, want %v", i, j, d2.Add[j], d.Add[j])
+			}
+		}
+		for j := range d.Del {
+			if d2.Del[j] != d.Del[j] {
+				t.Fatalf("case %d: del[%d] = %v, want %v", i, j, d2.Del[j], d.Del[j])
+			}
+		}
+	}
+}
+
+func TestDeltaCodecRejectsNegative(t *testing.T) {
+	if _, err := (Delta{Add: [][2]int{{-1, 0}}}).AppendBinary(nil); err == nil {
+		t.Fatal("negative add index encoded without error")
+	}
+	if _, err := (Delta{Del: [][2]int{{0, -2}}}).AppendBinary(nil); err == nil {
+		t.Fatal("negative del index encoded without error")
+	}
+}
+
+func TestGraphCodecRejectsCorruption(t *testing.T) {
+	g := mustGraph(t, 3, 3, [][2]int{{0, 0}, {1, 1}, {2, 2}})
+	enc := g.MarshalBinary()
+
+	if _, err := UnmarshalGraph(nil); err == nil {
+		t.Fatal("nil input accepted")
+	}
+	if _, err := UnmarshalGraph([]byte("BD\x01")); err == nil {
+		t.Fatal("delta magic accepted as graph")
+	}
+	if _, err := UnmarshalGraph([]byte{'B', 'G', 99}); err == nil {
+		t.Fatal("future version accepted")
+	}
+	for cut := 1; cut < len(enc); cut++ {
+		if _, err := UnmarshalGraph(enc[:cut]); err == nil {
+			t.Fatalf("truncation at %d accepted", cut)
+		}
+	}
+	if _, err := UnmarshalGraph(append(append([]byte{}, enc...), 0)); err == nil ||
+		!strings.Contains(err.Error(), "trailing") {
+		t.Fatal("trailing byte accepted")
+	}
+	// A declared edge count far beyond the payload must fail before
+	// allocating, not after.
+	huge := []byte{'B', 'G', 1, 2, 2, 0xff, 0xff, 0xff, 0xff, 0x0f}
+	if _, err := UnmarshalGraph(huge); err == nil {
+		t.Fatal("absurd edge count accepted")
+	}
+}
+
+// FuzzBinaryCodec feeds arbitrary bytes to both decoders — they must
+// never panic or over-allocate — and checks the canonical round trip on
+// anything that decodes as a graph.
+func FuzzBinaryCodec(f *testing.F) {
+	g := func(nl, nr int, edges [][2]int) []byte {
+		b := NewBuilder(nl, nr)
+		for _, e := range edges {
+			b.AddEdge(e[0], e[1])
+		}
+		return b.Build().MarshalBinary()
+	}
+	f.Add(g(0, 0, nil))
+	f.Add(g(3, 3, [][2]int{{0, 0}, {0, 1}, {1, 2}, {2, 0}}))
+	d, err := (Delta{Add: [][2]int{{1, 2}}, Del: [][2]int{{0, 0}}}).AppendBinary(nil)
+	if err != nil {
+		f.Fatalf("seed delta: %v", err)
+	}
+	f.Add(d)
+	f.Add([]byte{'B', 'G', 1, 0xff, 0xff, 0xff})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if gr, err := UnmarshalGraph(data); err == nil {
+			enc := gr.MarshalBinary()
+			// The encoding is canonical, so decode∘encode must be the
+			// identity on valid records.
+			if !bytes.Equal(enc, data) {
+				t.Fatalf("valid graph record not canonical: %x vs %x", data, enc)
+			}
+			gr2, err := UnmarshalGraph(enc)
+			if err != nil {
+				t.Fatalf("re-decode: %v", err)
+			}
+			if !codecGraphsEqual(gr, gr2) {
+				t.Fatal("round trip mismatch")
+			}
+		}
+		if dd, err := UnmarshalDelta(data); err == nil {
+			enc, err := dd.AppendBinary(nil)
+			if err != nil {
+				t.Fatalf("re-encode decoded delta: %v", err)
+			}
+			if !bytes.Equal(enc, data) {
+				t.Fatalf("valid delta record not canonical: %x vs %x", data, enc)
+			}
+		}
+	})
+}

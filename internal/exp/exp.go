@@ -80,6 +80,14 @@ type Config struct {
 	// (insertion-only, the plan-repair hot path), or "mixed" (every
 	// round both inserts and deletes).
 	MuteMix string
+
+	// WALSync, when non-empty, makes the in-process daemon durable: it
+	// opens a write-ahead log on a temporary data directory with this
+	// sync policy ("always", "interval" or "off"). Empty keeps the
+	// daemon volatile (no WAL), the baseline every WAL-on run is
+	// compared against. Ignored when ServeURL points at an external
+	// daemon.
+	WALSync string
 }
 
 // DefaultConfig returns a configuration sized to finish in a few minutes.

@@ -50,10 +50,16 @@ func MuteBench(c Config) error {
 		return fmt.Errorf("mutebench: unknown mix %q (want cycle, insert or mixed)", mix)
 	}
 	// Distinct record labels per mix so trajectory baselines keyed on
-	// the default stream never collide with the insert-heavy pass.
+	// the default stream never collide with the insert-heavy pass; a
+	// further -wal suffix separates the durable-daemon pass, keeping the
+	// WAL-on vs WAL-off mutation-overhead comparison explicit in the
+	// JSON export.
 	suffix := ""
 	if mix != "cycle" {
 		suffix = "-" + mix
+	}
+	if c.WALSync != "" {
+		suffix += "-wal"
 	}
 	const solvesPerRound = 3
 	const batch = 4
@@ -81,8 +87,12 @@ func MuteBench(c Config) error {
 	if err := sbPut(url+"/graphs/mutebench", buf.Bytes()); err != nil {
 		return fmt.Errorf("upload: %w", err)
 	}
+	mixLabel := mix
+	if c.WALSync != "" {
+		mixLabel += " wal-sync=" + c.WALSync
+	}
 	fmt.Fprintf(c.W, "mutebench[%s]: graph %dx%d, %d edges; %d rounds x (1 mutation + %d solves) over %d clients\n",
-		mix, g.NL(), g.NR(), g.NumEdges(), rounds, solvesPerRound, clients)
+		mixLabel, g.NL(), g.NR(), g.NumEdges(), rounds, solvesPerRound, clients)
 
 	// Client-side mirror of the edge set, for generating batches that are
 	// valid and effective by construction.

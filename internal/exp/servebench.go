@@ -7,6 +7,7 @@ import (
 	"io"
 	"net"
 	"net/http"
+	"os"
 	"sort"
 	"sync"
 	"time"
@@ -185,8 +186,10 @@ func ServeBench(c Config) error {
 
 // sbDaemon resolves the target daemon for a serving benchmark: the
 // Config.ServeURL when one is given, otherwise an in-process mbbserved
-// on a loopback listener. stop tears the in-process one down (and is a
-// no-op for an external URL).
+// on a loopback listener. When Config.WALSync is set the in-process
+// daemon gets a write-ahead log on a throwaway data directory, so the
+// benchmark measures the durable mutation path. stop tears the
+// in-process one down (and is a no-op for an external URL).
 func sbDaemon(c Config, bench string) (url string, stop func(), err error) {
 	if c.ServeURL != "" {
 		return c.ServeURL, func() {}, nil
@@ -195,20 +198,42 @@ func sbDaemon(c Config, bench string) (url string, stop func(), err error) {
 	if workers < 2 {
 		workers = 2
 	}
-	srv, err := server.New(server.Options{Workers: workers, DefaultTimeout: c.Budget})
+	opt := server.Options{Workers: workers, DefaultTimeout: c.Budget}
+	dataDir := ""
+	if c.WALSync != "" {
+		dataDir, err = os.MkdirTemp("", bench+"-wal-")
+		if err != nil {
+			return "", nil, err
+		}
+		opt.DataDir = dataDir
+		opt.WALSync = c.WALSync
+		opt.RetainEpochs = 4
+	}
+	cleanup := func() {
+		if dataDir != "" {
+			os.RemoveAll(dataDir)
+		}
+	}
+	srv, err := server.New(opt)
 	if err != nil {
+		cleanup()
 		return "", nil, err
 	}
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		srv.Close()
+		cleanup()
 		return "", nil, err
 	}
 	hs := &http.Server{Handler: srv.Handler()}
 	go hs.Serve(ln)
 	url = "http://" + ln.Addr().String()
-	fmt.Fprintf(c.W, "%s: started in-process daemon (%d workers) at %s\n", bench, workers, url)
-	return url, func() { hs.Close(); srv.Close() }, nil
+	durable := "volatile"
+	if c.WALSync != "" {
+		durable = "wal-sync=" + c.WALSync
+	}
+	fmt.Fprintf(c.W, "%s: started in-process daemon (%d workers, %s) at %s\n", bench, workers, durable, url)
+	return url, func() { hs.Close(); srv.Close(); cleanup() }, nil
 }
 
 func sbMs(secs float64) string { return fmt.Sprintf("%.2fms", secs*1e3) }

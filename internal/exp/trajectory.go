@@ -94,6 +94,16 @@ func Trajectory(c Config) error {
 	if err := MuteBench(mbi); err != nil {
 		return fmt.Errorf("trajectory mutebench insert mix: %w", err)
 	}
+	// The WAL-on pass re-runs the default stream against a durable
+	// daemon (-wal-sync=interval on a throwaway data dir), recording
+	// mutate-*-p50-wal alongside the volatile mutate-*-p50 above so the
+	// write-ahead-log overhead on the mutation path is visible in every
+	// BENCH_<pr>.json (target: under 1.15x of the volatile p50).
+	mbw := c
+	mbw.Requests, mbw.Clients, mbw.WALSync = 9, 3, "interval"
+	if err := MuteBench(mbw); err != nil {
+		return fmt.Errorf("trajectory mutebench wal: %w", err)
+	}
 	return nil
 }
 

@@ -8,6 +8,7 @@ import (
 	"log"
 	"net/http"
 	"net/http/pprof"
+	"strconv"
 	"time"
 
 	"repro/internal/bigraph"
@@ -41,6 +42,7 @@ func writeError(w http.ResponseWriter, status int, format string, args ...any) {
 //	GET    /graphs               list stored graphs
 //	PUT    /graphs/{name}        upload a graph (?format=edgelist|konect)
 //	GET    /graphs/{name}        graph + cached-plan info
+//	GET    /graphs/{name}/export stream a retained snapshot (?epoch=E, ?format=)
 //	DELETE /graphs/{name}        drop a graph
 //	POST   /graphs/{name}/edges  mutate: {"add":[[l,r],...],"del":[...]}
 //	DELETE /graphs/{name}/edges  mutate: {"edges":[[l,r],...]} (delete-only)
@@ -69,6 +71,7 @@ func (s *Server) routes() *http.ServeMux {
 	mux.HandleFunc("PUT /graphs/{name}", s.handlePutGraph)
 	mux.HandleFunc("GET /graphs/{name}", s.handleGetGraph)
 	mux.HandleFunc("DELETE /graphs/{name}", s.handleDeleteGraph)
+	mux.HandleFunc("GET /graphs/{name}/export", s.handleExport)
 	mux.HandleFunc("POST /graphs/{name}/edges", s.handleMutateGraph)
 	mux.HandleFunc("DELETE /graphs/{name}/edges", s.handleMutateGraph)
 	mux.HandleFunc("POST /graphs/{name}/jobs", s.handleSubmit)
@@ -150,11 +153,79 @@ func (s *Server) handleGetGraph(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleDeleteGraph(w http.ResponseWriter, r *http.Request) {
-	if !s.store.Delete(r.PathValue("name")) {
+	ok, err := s.store.Delete(r.PathValue("name"))
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	if !ok {
 		writeError(w, http.StatusNotFound, "unknown graph %q", r.PathValue("name"))
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]string{"status": "deleted"})
+}
+
+// resolveEpoch resolves the optional ?epoch=E query parameter against
+// the graph's retention window, defaulting to the current snapshot. A
+// false return means the response was already written.
+func resolveEpoch(w http.ResponseWriter, r *http.Request, sg *StoredGraph) (*Snapshot, bool) {
+	q := r.URL.Query().Get("epoch")
+	if q == "" {
+		return sg.Snapshot(), true
+	}
+	epoch, err := strconv.ParseUint(q, 10, 64)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "bad epoch %q: %v", q, err)
+		return nil, false
+	}
+	snap, ok := sg.SnapshotAt(epoch)
+	if !ok {
+		lo, hi, _ := sg.RetainedRange()
+		writeError(w, http.StatusNotFound, "epoch %d of graph %q is outside the retention window [%d, %d]",
+			epoch, sg.Name(), lo, hi)
+		return nil, false
+	}
+	return snap, true
+}
+
+// handleExport streams a retained snapshot's exact graph bytes out of
+// the live daemon: KONECT by default, the text edge-list format with
+// ?format=edgelist. ?epoch=E picks any epoch in the retention window.
+func (s *Server) handleExport(w http.ResponseWriter, r *http.Request) {
+	sg, ok := s.store.Get(r.PathValue("name"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown graph %q", r.PathValue("name"))
+		return
+	}
+	format := FormatKONECT
+	if q := r.URL.Query().Get("format"); q != "" {
+		var err error
+		if format, err = ParseFormat(q); err != nil {
+			writeError(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+	}
+	snap, ok := resolveEpoch(w, r, sg)
+	if !ok {
+		return
+	}
+	// Pin for the duration of the stream so the retention trimmer keeps
+	// the epoch resolvable while it is being read.
+	snap.pin()
+	defer snap.unpin()
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	w.Header().Set("X-Graph-Epoch", strconv.FormatUint(snap.Epoch(), 10))
+	var err error
+	if format == FormatKONECT {
+		err = bigraph.WriteKONECT(w, snap.Graph())
+	} else {
+		err = bigraph.Write(w, snap.Graph())
+	}
+	if err != nil {
+		// Headers (and likely part of the body) are gone; log is all
+		// that is left.
+		log.Printf("server: export %s@%d: %v", sg.Name(), snap.Epoch(), err)
+	}
 }
 
 // MutateRequest is the JSON body of the edge-mutation endpoints. POST
@@ -239,7 +310,11 @@ func (s *Server) submitJob(w http.ResponseWriter, r *http.Request) (*Job, bool) 
 		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
 		return nil, false
 	}
-	job, err := s.sched.SubmitOrigin(sg, req, RequestIDFromContext(r.Context()))
+	snap, ok := resolveEpoch(w, r, sg)
+	if !ok {
+		return nil, false
+	}
+	job, err := s.sched.SubmitSnapshot(sg, snap, req, RequestIDFromContext(r.Context()))
 	if err != nil {
 		switch {
 		case errors.Is(err, ErrQueueFull):

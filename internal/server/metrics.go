@@ -7,6 +7,8 @@ import (
 	"strings"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/wal"
 )
 
 // Route classes for request metrics. Cardinality is fixed at compile
@@ -20,6 +22,7 @@ const (
 	routeGraphs // GET /graphs (list)
 	routeGraph  // /graphs/{name} (put/get/delete)
 	routeEdges  // /graphs/{name}/edges
+	routeExport // /graphs/{name}/export
 	routeSubmit // /graphs/{name}/jobs
 	routeSolve  // /graphs/{name}/solve
 	routeJobs   // GET /jobs (list)
@@ -30,7 +33,7 @@ const (
 
 var routeNames = [numRoutes]string{
 	"other", "healthz", "stats", "metrics", "graphs", "graph",
-	"edges", "submit", "solve", "jobs", "job", "pprof",
+	"edges", "export", "submit", "solve", "jobs", "job", "pprof",
 }
 
 // routeIndex classifies a request path into one of the fixed route
@@ -54,6 +57,8 @@ func routeIndex(path string) int {
 		switch {
 		case strings.HasSuffix(path, "/edges"):
 			return routeEdges
+		case strings.HasSuffix(path, "/export"):
+			return routeExport
 		case strings.HasSuffix(path, "/jobs"):
 			return routeSubmit
 		case strings.HasSuffix(path, "/solve"):
@@ -213,6 +218,34 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	}
 	gauge("mbbserved_snapshot_epoch_max", "Highest snapshot epoch across stored graphs.", int64(maxEpoch))
 	gauge("mbbserved_snapshots_live", "Snapshots the GC still sees reachable (current + pinned by jobs).", LiveSnapshots())
+	gauge("mbbserved_retained_snapshots", "Snapshots held in the per-graph retention windows.", s.store.RetainedSnapshots())
+
+	// WAL: durability-path counters, present only when a DataDir is
+	// configured.
+	if l := s.store.WAL(); l != nil {
+		ws := l.Stats()
+		counter("mbbserved_wal_appends_total", "Records appended to the write-ahead log.", ws.Appends)
+		counter("mbbserved_wal_append_bytes_total", "Framed bytes appended to the write-ahead log.", ws.AppendBytes)
+		counter("mbbserved_wal_fsyncs_total", "WAL fsync calls (group commits count once).", ws.Fsyncs)
+		fmt.Fprintf(&b, "# HELP mbbserved_wal_fsync_seconds WAL fsync latency histogram.\n# TYPE mbbserved_wal_fsync_seconds histogram\n")
+		var wcum uint64
+		for i, bound := range wal.FsyncBounds {
+			wcum += ws.FsyncHist[i]
+			fmt.Fprintf(&b, "mbbserved_wal_fsync_seconds_bucket{le=\"%g\"} %d\n", bound, wcum)
+		}
+		wcum += ws.FsyncHist[len(wal.FsyncBounds)]
+		fmt.Fprintf(&b, "mbbserved_wal_fsync_seconds_bucket{le=\"+Inf\"} %d\n", wcum)
+		fmt.Fprintf(&b, "mbbserved_wal_fsync_seconds_sum %g\n", float64(ws.FsyncNanos)/1e9)
+		fmt.Fprintf(&b, "mbbserved_wal_fsync_seconds_count %d\n", wcum)
+		gauge("mbbserved_wal_segments", "Live WAL segment files on disk.", ws.Segments)
+		counter("mbbserved_wal_checkpoints_total", "Checkpoints written to the WAL.", ws.Checkpoints)
+		counter("mbbserved_wal_segments_dropped_total", "Segment files removed by compaction.", ws.SegmentsDropped)
+		age := float64(0)
+		if ws.LastCheckpointUnix > 0 {
+			age = time.Since(time.Unix(0, ws.LastCheckpointUnix)).Seconds()
+		}
+		fmt.Fprintf(&b, "# HELP mbbserved_wal_checkpoint_age_seconds Seconds since the last checkpoint (0 if none yet).\n# TYPE mbbserved_wal_checkpoint_age_seconds gauge\nmbbserved_wal_checkpoint_age_seconds %g\n", age)
+	}
 
 	draining := int64(0)
 	if s.Draining() {

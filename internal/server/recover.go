@@ -1,0 +1,214 @@
+package server
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/bigraph"
+	"repro/internal/wal"
+)
+
+// RecoverStats reports what a WAL recovery reconstructed.
+type RecoverStats struct {
+	wal.ReplayStats
+	Graphs        int // graphs live after replay
+	Puts          int // full uploads replayed
+	Deltas        int // mutations replayed through Graph.Apply
+	Snaps         int // checkpoint snapshots that established state
+	PlanWarmed    int // plans built eagerly during warm recovery
+	PlansCarried  int // deltas whose plan was inherited or repaired in replay
+	PlansRebuilt  int // deltas that invalidated the plan (left for lazy rebuild)
+	SkippedStale  int // records ignored as older than reconstructed state
+	TombstonedFor int // records ignored for deleted generations
+}
+
+// replayer folds WAL records into a Store. Replay is single-threaded and
+// runs strictly before the store serves traffic, so it writes the graph
+// map under the store lock only for form's sake.
+//
+// Correctness rests on two invariants of the append side:
+//   - per graph, delta records appear in epoch order (Mutate appends
+//     while holding sg.mu), and
+//   - a checkpoint snapshot record is appended under the same sg.mu, so
+//     every later delta record for that graph has epoch > the snapshot's.
+//
+// Generation ids resolve the remaining ambiguity: a record whose gen
+// does not match the reconstructed incarnation of its name belongs to a
+// replaced or deleted predecessor and is skipped.
+type replayer struct {
+	s     *Store
+	warm  bool
+	stats RecoverStats
+	// tombs records the highest generation deleted per name, so a
+	// checkpoint snapshot emitted concurrently with the delete cannot
+	// resurrect the graph.
+	tombs map[string]uint64
+}
+
+func (r *replayer) bumpGen(gen uint64) {
+	if gen > r.s.gen.Load() {
+		r.s.gen.Store(gen)
+	}
+}
+
+// install publishes a graph reconstructed from a full-graph record (Put
+// or checkpoint snapshot) as the named graph's state.
+func (r *replayer) install(name string, gen, epoch uint64, g *bigraph.Graph) {
+	s := r.s
+	sg := &StoredGraph{name: name, shared: &s.counters, st: s, gen: gen}
+	snap := trackSnapshot(&Snapshot{sg: sg, g: g, epoch: epoch, at: time.Now()})
+	sg.publish(snap)
+	s.mu.Lock()
+	s.graphs[name] = sg
+	s.mu.Unlock()
+	if r.warm {
+		if _, _, err := snap.Plan(); err == nil {
+			r.stats.PlanWarmed++
+		}
+	}
+}
+
+func (r *replayer) apply(rec wal.Record) error {
+	s := r.s
+	switch rec.Type {
+	case wal.RecCheckpointEnd:
+		return nil
+
+	case wal.RecPut:
+		r.bumpGen(rec.Gen)
+		if tg, ok := r.tombs[rec.Name]; ok && tg < rec.Gen {
+			delete(r.tombs, rec.Name)
+		}
+		if sg, ok := s.graphs[rec.Name]; ok && sg.gen > rec.Gen {
+			// A later incarnation was already established by a checkpoint
+			// snapshot that replayed before this older put.
+			r.stats.SkippedStale++
+			return nil
+		}
+		g, err := bigraph.UnmarshalGraph(rec.Payload)
+		if err != nil {
+			return err
+		}
+		r.install(rec.Name, rec.Gen, 0, g)
+		r.stats.Puts++
+		return nil
+
+	case wal.RecDelete:
+		r.bumpGen(rec.Gen)
+		if tg, ok := r.tombs[rec.Name]; !ok || tg < rec.Gen {
+			r.tombs[rec.Name] = rec.Gen
+		}
+		if sg, ok := s.graphs[rec.Name]; ok && sg.gen == rec.Gen {
+			s.mu.Lock()
+			delete(s.graphs, rec.Name)
+			s.mu.Unlock()
+		}
+		return nil
+
+	case wal.RecDelta:
+		sg, ok := s.graphs[rec.Name]
+		if !ok || sg.gen != rec.Gen {
+			// Addressed to a deleted or replaced incarnation, or to
+			// history wholly behind a compacted checkpoint.
+			r.stats.SkippedStale++
+			return nil
+		}
+		old := sg.cur.Load()
+		if rec.Epoch <= old.epoch {
+			// Already covered by a checkpoint snapshot at a later epoch.
+			r.stats.SkippedStale++
+			return nil
+		}
+		if rec.Epoch != old.epoch+1 {
+			return fmt.Errorf("epoch gap: graph at %d, delta for %d", old.epoch, rec.Epoch)
+		}
+		d, err := bigraph.UnmarshalDelta(rec.Payload)
+		if err != nil {
+			return err
+		}
+		g2, eff, err := old.g.Apply(d)
+		if err != nil {
+			return err
+		}
+		if eff.Empty() {
+			// Only effective deltas are ever logged; an ineffective one
+			// means the graph state diverged from the log.
+			return errors.New("logged delta had no effect on the reconstructed graph")
+		}
+		snap := trackSnapshot(&Snapshot{sg: sg, g: g2, epoch: rec.Epoch, at: time.Now()})
+		// Same maintenance path as a live mutation, so recovery lands
+		// warm: plans repair across insertion batches and carry across
+		// deletions instead of forcing full rebuilds. An invalidated
+		// plan is left unbuilt for the first solve to rebuild lazily —
+		// replay never blocks on the planner.
+		if carryPlan(sg, old, snap, eff, nil) {
+			r.stats.PlansRebuilt++
+		} else if out := snap.planVal.Load(); out != nil {
+			r.stats.PlansCarried++
+		}
+		sg.publish(snap)
+		sg.mutations.Add(1)
+		if sg.shared != nil {
+			sg.shared.mutations.Add(1)
+		}
+		r.stats.Deltas++
+		return nil
+
+	case wal.RecGraphSnap:
+		r.bumpGen(rec.Gen)
+		if tg, ok := r.tombs[rec.Name]; ok && tg >= rec.Gen {
+			// Snapshot of a generation that was deleted; the delete record
+			// is authoritative (it was appended under the store lock).
+			r.stats.TombstonedFor++
+			return nil
+		}
+		if sg, ok := s.graphs[rec.Name]; ok {
+			if sg.gen > rec.Gen || (sg.gen == rec.Gen && sg.cur.Load().epoch >= rec.Epoch) {
+				// State already reconstructed past this snapshot (the
+				// deltas it summarizes replayed from an uncompacted
+				// prefix, or a newer incarnation exists).
+				r.stats.SkippedStale++
+				return nil
+			}
+		}
+		g, err := bigraph.UnmarshalGraph(rec.Payload)
+		if err != nil {
+			return err
+		}
+		r.install(rec.Name, rec.Gen, rec.Epoch, g)
+		r.stats.Snaps++
+		return nil
+
+	default:
+		return fmt.Errorf("unhandled record type %d", rec.Type)
+	}
+}
+
+// OpenWAL attaches a write-ahead log at dir to the store, replaying any
+// durable history into it first: checkpoints and uploads re-parse
+// through the binary codec, deltas re-apply through Graph.Apply and the
+// plan-maintenance path, epochs land exactly where they were. When warm
+// is set, plans are built eagerly for every full-graph record so the
+// replayed deltas exercise repair instead of starting cold.
+//
+// Replay finishes before the first new record can be appended, and every
+// graph the store already holds (there should be none) is untouched.
+// After OpenWAL returns, Put/Mutate/Delete are durable per the log's
+// sync policy, and Server.Close (via CloseWAL) must run to release it.
+func (s *Store) OpenWAL(dir string, opt wal.Options, warm bool) (RecoverStats, error) {
+	if s.wal != nil {
+		return RecoverStats{}, errors.New("server: store already has a WAL")
+	}
+	r := &replayer{s: s, warm: warm, tombs: make(map[string]uint64)}
+	l, rs, err := wal.Open(dir, opt, r.apply)
+	r.stats.ReplayStats = rs
+	if err != nil {
+		return r.stats, err
+	}
+	s.wal = l
+	s.mu.RLock()
+	r.stats.Graphs = len(s.graphs)
+	s.mu.RUnlock()
+	return r.stats, nil
+}

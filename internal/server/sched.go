@@ -361,6 +361,14 @@ func (s *Scheduler) Submit(sg *StoredGraph, req SolveRequest) (*Job, error) {
 // that asked for the job, so job info and logs can be joined back to
 // the client's trace.
 func (s *Scheduler) SubmitOrigin(sg *StoredGraph, req SolveRequest, origin string) (*Job, error) {
+	return s.SubmitSnapshot(sg, sg.Snapshot(), req, origin)
+}
+
+// SubmitSnapshot is SubmitOrigin against an explicit snapshot — the
+// entry point for epoch-pinned historical solves (?epoch=E resolves a
+// retained snapshot first). The job pins snap for its whole run, which
+// keeps the epoch inside the retention window until the solve finishes.
+func (s *Scheduler) SubmitSnapshot(sg *StoredGraph, snap *Snapshot, req SolveRequest, origin string) (*Job, error) {
 	opt, usePlan, err := req.resolve(s.defTimeout, s.maxTimeout, s.maxWorkers)
 	if err != nil {
 		return nil, err
@@ -369,8 +377,9 @@ func (s *Scheduler) SubmitOrigin(sg *StoredGraph, req SolveRequest, origin strin
 		return nil, ErrDraining
 	}
 	ctx, cancel := context.WithCancel(context.Background())
+	snap.pin()
 	job := &Job{
-		graphName: sg.Name(), origin: origin, snap: sg.Snapshot(), opt: opt, usePlan: usePlan,
+		graphName: sg.Name(), origin: origin, snap: snap, opt: opt, usePlan: usePlan,
 		ctx: ctx, cancel: cancel,
 		done:  make(chan struct{}),
 		state: JobQueued, queuedAt: time.Now(),
@@ -379,6 +388,7 @@ func (s *Scheduler) SubmitOrigin(sg *StoredGraph, req SolveRequest, origin strin
 	defer s.mu.Unlock()
 	if s.closed {
 		cancel()
+		snap.unpin()
 		return nil, ErrClosed
 	}
 	job.id = fmt.Sprintf("j%d", s.nextID.Add(1))
@@ -386,6 +396,7 @@ func (s *Scheduler) SubmitOrigin(sg *StoredGraph, req SolveRequest, origin strin
 	case s.queue <- job:
 	default:
 		cancel()
+		snap.unpin()
 		return nil, ErrQueueFull
 	}
 	s.jobs[job.id] = job
@@ -394,6 +405,15 @@ func (s *Scheduler) SubmitOrigin(sg *StoredGraph, req SolveRequest, origin strin
 	s.live.Add(1)
 	s.pruneLocked()
 	return job, nil
+}
+
+// releaseSnap drops a terminal job's snapshot pin and reference exactly
+// once. Callers hold job.mu.
+func releaseSnap(job *Job) {
+	if job.snap != nil {
+		job.snap.unpin()
+		job.snap = nil
+	}
 }
 
 // pruneLocked drops the oldest finished jobs beyond retainFinished.
@@ -479,7 +499,7 @@ func (s *Scheduler) run(job *Job) {
 	// Release the snapshot pin: the result already carries the epoch,
 	// and a terminal job retained for status queries must not keep a
 	// whole historical graph version (plus plan) alive with it.
-	job.snap = nil
+	releaseSnap(job)
 	s.finish(job.state)
 	close(job.done)
 }
@@ -530,7 +550,7 @@ func (s *Scheduler) Cancel(id string) bool {
 		// Finish now: the worker that eventually pops it will skip it.
 		job.state = JobCanceled
 		job.finishedAt = time.Now()
-		job.snap = nil // release the pinned snapshot, as in run()
+		releaseSnap(job) // release the pinned snapshot, as in run()
 		s.finish(job.state)
 		close(job.done)
 	}

@@ -3,10 +3,13 @@ package server
 import (
 	"context"
 	"io"
+	"log"
 	"net/http"
 	"runtime"
 	"sync"
 	"time"
+
+	"repro/internal/wal"
 )
 
 // Options configures a Server. Zero values pick the defaults below.
@@ -36,8 +39,34 @@ type Options struct {
 	// ask for. Default 4×GOMAXPROCS; negative means no cap.
 	MaxJobWorkers int
 	// StoreDir, when non-empty, is preloaded into the store at startup
-	// (see Store.LoadDir).
+	// (see Store.LoadDir). Unparsable files are logged and skipped.
 	StoreDir string
+	// DataDir, when non-empty, makes the store durable: a write-ahead
+	// log under this directory records every upload, mutation and
+	// delete, and New replays it before the server accepts traffic.
+	DataDir string
+	// WALSync is the append durability policy for DataDir: "always"
+	// (default — group-commit fsync before a write returns), "interval"
+	// (background fsync every WALSyncInterval) or "off".
+	WALSync string
+	// WALSyncInterval is the flush period under WALSync "interval".
+	// Default 100ms.
+	WALSyncInterval time.Duration
+	// WALSegmentBytes is the segment rotation threshold. Default 64 MiB.
+	WALSegmentBytes int64
+	// CheckpointEvery checkpoints and compacts the WAL in the background
+	// after this many appended records. Default 4096; negative disables
+	// automatic checkpoints.
+	CheckpointEvery int
+	// RetainEpochs is the per-graph snapshot retention window: how many
+	// trailing epochs stay resolvable for ?epoch=E solves and exports.
+	// Default 1 (current only).
+	RetainEpochs int
+	// WarmRecovery builds each recovered graph's plan eagerly during
+	// replay, so replayed deltas exercise the repair path and the first
+	// solve after a restart finds the plan warm. Costs planner time at
+	// boot.
+	WarmRecovery bool
 	// RequestTimeout bounds every request's context (the blanket
 	// hygiene timeout, distinct from per-job solve budgets). Default 0:
 	// disabled.
@@ -99,6 +128,17 @@ func (o Options) withDefaults() Options {
 	if o.RequestTimeout < 0 {
 		o.RequestTimeout = 0
 	}
+	if o.WALSync == "" {
+		o.WALSync = "always"
+	}
+	if o.CheckpointEvery == 0 {
+		o.CheckpointEvery = 4096
+	} else if o.CheckpointEvery < 0 {
+		o.CheckpointEvery = 0
+	}
+	if o.RetainEpochs < 1 {
+		o.RetainEpochs = 1
+	}
 	if o.CancelWait == 0 {
 		o.CancelWait = 30 * time.Second
 	} else if o.CancelWait < 0 {
@@ -121,12 +161,18 @@ type Server struct {
 	accessLog *RingLogger
 	handler   http.Handler
 	started   time.Time
+	recovered RecoverStats
+	preload   LoadReport
 
 	closeOnce sync.Once
 	closing   chan struct{} // closed when Close starts: unblocks bounded waits
 }
 
-// New builds a Server and preloads Options.StoreDir when set.
+// New builds a Server. When Options.DataDir is set it recovers the
+// durable state from the write-ahead log before anything can observe
+// the store; Options.StoreDir (if any) is preloaded afterwards, so
+// preloaded uploads are themselves logged. Recovery details land in
+// RecoveredStats.
 func New(opt Options) (*Server, error) {
 	opt = opt.withDefaults()
 	s := &Server{
@@ -138,6 +184,8 @@ func New(opt Options) (*Server, error) {
 		started:   time.Now(),
 		closing:   make(chan struct{}),
 	}
+	s.store.SetRetainEpochs(opt.RetainEpochs)
+	s.store.SetCheckpointEvery(opt.CheckpointEvery)
 	// Outermost first: ids exist before anything observes the request,
 	// Instrument sees the final status of everything inside it
 	// (including panics Recover turned into 500s), and the timeout only
@@ -148,15 +196,44 @@ func New(opt Options) (*Server, error) {
 		Recover(s.metrics),
 		Timeout(opt.RequestTimeout, s.metrics),
 	)
-	if opt.StoreDir != "" {
-		if _, err := s.store.LoadDir(opt.StoreDir); err != nil {
-			s.sched.Close()
-			s.accessLog.Close()
-			return nil, err
+	fail := func(err error) (*Server, error) {
+		s.sched.Close()
+		s.accessLog.Close()
+		_ = s.store.CloseWAL()
+		return nil, err
+	}
+	if opt.DataDir != "" {
+		policy, err := wal.ParseSyncPolicy(opt.WALSync)
+		if err != nil {
+			return fail(err)
 		}
+		rs, err := s.store.OpenWAL(opt.DataDir, wal.Options{
+			Sync:         policy,
+			SyncInterval: opt.WALSyncInterval,
+			SegmentBytes: opt.WALSegmentBytes,
+		}, opt.WarmRecovery)
+		if err != nil {
+			return fail(err)
+		}
+		s.recovered = rs
+	}
+	if opt.StoreDir != "" {
+		rep, err := s.store.LoadDir(opt.StoreDir)
+		if err != nil {
+			return fail(err)
+		}
+		s.preload = rep
 	}
 	return s, nil
 }
+
+// RecoveredStats reports what WAL recovery replayed at startup (zero
+// without a DataDir).
+func (s *Server) RecoveredStats() RecoverStats { return s.recovered }
+
+// PreloadReport reports the StoreDir preload outcome (zero without a
+// StoreDir).
+func (s *Server) PreloadReport() LoadReport { return s.preload }
 
 // Handler returns the HTTP API behind the full middleware stack.
 func (s *Server) Handler() http.Handler { return s.handler }
@@ -182,12 +259,15 @@ func (s *Server) Draining() bool { return s.sched.Draining() }
 // WaitIdle blocks until no job is queued or running, or ctx expires.
 func (s *Server) WaitIdle(ctx context.Context) error { return s.sched.WaitIdle(ctx) }
 
-// Close cancels all jobs, stops the workers and flushes the access
-// log. The HTTP listener is the caller's to shut down
-// (http.Server.Shutdown) before calling Close. Safe to call more than
-// once.
+// Close cancels all jobs, stops the workers, flushes the access log and
+// closes the WAL (final fsync included). The HTTP listener is the
+// caller's to shut down (http.Server.Shutdown) before calling Close.
+// Safe to call more than once.
 func (s *Server) Close() {
 	s.closeOnce.Do(func() { close(s.closing) })
 	s.sched.Close()
 	s.accessLog.Close()
+	if err := s.store.CloseWAL(); err != nil {
+		log.Printf("server: close wal: %v", err)
+	}
 }

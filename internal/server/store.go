@@ -17,8 +17,10 @@ package server
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"io"
+	"log"
 	"os"
 	"path/filepath"
 	"regexp"
@@ -30,6 +32,7 @@ import (
 	"time"
 
 	"repro/internal/bigraph"
+	"repro/internal/wal"
 	"repro/mbb"
 )
 
@@ -84,6 +87,11 @@ type Snapshot struct {
 	epoch uint64
 	at    time.Time // when this version was published
 
+	// pins counts jobs currently solving against this snapshot. A pinned
+	// snapshot is never trimmed out of the retention window, so
+	// ?epoch=E keeps resolving for every epoch under active solve.
+	pins atomic.Int64
+
 	planOnce sync.Once
 	// planVal publishes the build outcome atomically: concurrent readers
 	// (Info, from the graph/stats handlers) either see nil — build not
@@ -110,6 +118,11 @@ func (sn *Snapshot) Graph() *bigraph.Graph { return sn.g }
 
 // Epoch returns this snapshot's version counter (0 for the upload).
 func (sn *Snapshot) Epoch() uint64 { return sn.epoch }
+
+// pin marks a job as solving against this snapshot; unpin releases it.
+// The retention trimmer skips pinned snapshots.
+func (sn *Snapshot) pin()   { sn.pins.Add(1) }
+func (sn *Snapshot) unpin() { sn.pins.Add(-1) }
 
 // Plan returns this snapshot's reduce-and-conquer plan, building it on
 // first use; built reports whether this call performed a build (false
@@ -144,9 +157,22 @@ func (sn *Snapshot) Plan() (plan *mbb.Plan, built bool, err error) {
 type StoredGraph struct {
 	name   string
 	shared *storeCounters // store-lifetime aggregates (nil outside a Store)
+	st     *Store         // owning store (nil outside a Store)
+	// gen is the graph's generation id, unique across the store's life
+	// (including recoveries). Every WAL record carries it, so replay can
+	// tell a delta for this incarnation of the name from one addressed
+	// to a deleted or replaced predecessor.
+	gen uint64
 
 	mu  sync.Mutex // serializes mutations (epoch transitions)
 	cur atomic.Pointer[Snapshot]
+
+	// retained is the retention window: the most recent snapshots in
+	// ascending, contiguous epoch order, newest last (always containing
+	// cur). Historical ?epoch=E solves resolve against it; publish trims
+	// it to the store's window, never evicting a pinned snapshot.
+	retMu    sync.RWMutex
+	retained []*Snapshot
 
 	mutations   atomic.Int64 // effective mutations (epoch bumps)
 	planBuilds  atomic.Int64 // full planner runs across all snapshots
@@ -194,6 +220,80 @@ func (sg *StoredGraph) Epoch() uint64 { return sg.Snapshot().epoch }
 // asserts (it stays ≤ 1 however many solves ran, until a mutation that
 // cannot inherit the plan forces one more).
 func (sg *StoredGraph) PlanBuilds() int64 { return sg.planBuilds.Load() }
+
+// Generation returns the graph's WAL generation id (0 outside a
+// WAL-backed store).
+func (sg *StoredGraph) Generation() uint64 { return sg.gen }
+
+// retainWindow is how many trailing epochs this graph keeps resolvable.
+func (sg *StoredGraph) retainWindow() int {
+	if sg.st != nil && sg.st.retain > 0 {
+		return sg.st.retain
+	}
+	return 1
+}
+
+// publish makes snap the current snapshot and appends it to the
+// retention window, trimming the oldest unpinned snapshots beyond the
+// window. Callers serialize via sg.mu (or single-threaded replay).
+func (sg *StoredGraph) publish(snap *Snapshot) {
+	sg.cur.Store(snap)
+	window := sg.retainWindow()
+	sg.retMu.Lock()
+	sg.retained = append(sg.retained, snap)
+	drop := 0
+	for len(sg.retained)-drop > window && sg.retained[drop].pins.Load() == 0 {
+		drop++
+	}
+	if drop > 0 {
+		copy(sg.retained, sg.retained[drop:])
+		for i := len(sg.retained) - drop; i < len(sg.retained); i++ {
+			sg.retained[i] = nil // release the reference for the GC
+		}
+		sg.retained = sg.retained[:len(sg.retained)-drop]
+	}
+	sg.retMu.Unlock()
+}
+
+// SnapshotAt resolves an epoch within the retention window (the current
+// epoch always resolves). It reports false for epochs that were never
+// published or have been compacted away.
+func (sg *StoredGraph) SnapshotAt(epoch uint64) (*Snapshot, bool) {
+	if cur := sg.cur.Load(); cur.epoch == epoch {
+		return cur, true
+	}
+	sg.retMu.RLock()
+	defer sg.retMu.RUnlock()
+	if len(sg.retained) == 0 {
+		return nil, false
+	}
+	lo := sg.retained[0].epoch
+	if epoch < lo || epoch > sg.retained[len(sg.retained)-1].epoch {
+		return nil, false
+	}
+	// Retained epochs are contiguous, so the lookup is an index.
+	return sg.retained[epoch-lo], true
+}
+
+// RetainedRange reports the oldest and newest retained epochs and the
+// window's size (0 means only bookkeeping has not run yet; the current
+// snapshot still resolves).
+func (sg *StoredGraph) RetainedRange() (lo, hi uint64, n int) {
+	sg.retMu.RLock()
+	defer sg.retMu.RUnlock()
+	if len(sg.retained) == 0 {
+		cur := sg.cur.Load()
+		return cur.epoch, cur.epoch, 1
+	}
+	return sg.retained[0].epoch, sg.retained[len(sg.retained)-1].epoch, len(sg.retained)
+}
+
+// Retained reports how many snapshots the retention window holds.
+func (sg *StoredGraph) Retained() int {
+	sg.retMu.RLock()
+	defer sg.retMu.RUnlock()
+	return len(sg.retained)
+}
 
 // MutationInfo is the JSON response to an edge-mutation request.
 type MutationInfo struct {
@@ -246,35 +346,22 @@ func (sg *StoredGraph) Mutate(d bigraph.Delta) (*Snapshot, MutationInfo, error) 
 		return old, info, nil
 	}
 	snap := trackSnapshot(&Snapshot{sg: sg, g: g2, epoch: old.epoch + 1, at: time.Now()})
-	rebuild := false
-	if out := old.planVal.Load(); out != nil && out.err == nil {
-		start := time.Now()
-		if p2, ok := out.plan.ApplyDelta(g2, eff, snap.epoch); ok {
-			// Pre-populate before publishing: consume the Once so Plan()
-			// never rebuilds what the maintenance path already proved.
-			source := "inherited"
-			if p2.Repairs() > out.plan.Repairs() {
-				source = "repaired"
-				sg.planRepairs.Add(1)
-				if sg.shared != nil {
-					sg.shared.planRepairs.Add(1)
-				}
-				info.Plan = "repaired"
-			} else {
-				sg.planReuses.Add(1)
-				if sg.shared != nil {
-					sg.shared.planReuses.Add(1)
-				}
-				info.Plan = "reused"
-			}
-			snap.planVal.Store(&planOutcome{plan: p2, source: source, nanos: int64(time.Since(start))})
-			snap.planOnce.Do(func() {})
-		} else {
-			rebuild = true
-			info.Plan = "rebuilding"
+	// Durability before visibility: the effective delta must be in the
+	// WAL before any reader can observe the new epoch. A failed append
+	// fails the mutation — the store keeps serving the old snapshot.
+	if sg.st != nil && sg.st.wal != nil {
+		payload, err := eff.AppendBinary(nil)
+		if err != nil {
+			return nil, MutationInfo{}, err
+		}
+		if err := sg.st.wal.Append(wal.Record{
+			Type: wal.RecDelta, Name: sg.name, Gen: sg.gen, Epoch: snap.epoch, Payload: payload,
+		}); err != nil {
+			return nil, MutationInfo{}, fmt.Errorf("wal append: %w", err)
 		}
 	}
-	sg.cur.Store(snap)
+	rebuild := carryPlan(sg, old, snap, eff, &info.Plan)
+	sg.publish(snap)
 	sg.mutations.Add(1)
 	if sg.shared != nil {
 		sg.shared.mutations.Add(1)
@@ -288,7 +375,55 @@ func (sg *StoredGraph) Mutate(d bigraph.Delta) (*Snapshot, MutationInfo, error) 
 		// at worst joins the build through the sync.Once).
 		go snap.Plan()
 	}
+	if sg.st != nil {
+		sg.st.noteAppend()
+	}
 	return snap, info, nil
+}
+
+// carryPlan tries to move old's built plan onto snap across the
+// effective delta eff via mbb.Plan.ApplyDelta, pre-populating snap's
+// plan slot (and consuming its Once) when maintenance succeeds. It
+// returns true when the plan was invalidated and a rebuild is needed.
+// planState, when non-nil, receives the MutationInfo.Plan wire word.
+// Callers hold sg.mu (or run single-threaded replay).
+func carryPlan(sg *StoredGraph, old, snap *Snapshot, eff bigraph.Delta, planState *string) (rebuild bool) {
+	out := old.planVal.Load()
+	if out == nil || out.err != nil {
+		return false
+	}
+	start := time.Now()
+	p2, ok := out.plan.ApplyDelta(snap.g, eff, snap.epoch)
+	if !ok {
+		if planState != nil {
+			*planState = "rebuilding"
+		}
+		return true
+	}
+	// Pre-populate before publishing: consume the Once so Plan() never
+	// rebuilds what the maintenance path already proved.
+	source := "inherited"
+	if p2.Repairs() > out.plan.Repairs() {
+		source = "repaired"
+		sg.planRepairs.Add(1)
+		if sg.shared != nil {
+			sg.shared.planRepairs.Add(1)
+		}
+		if planState != nil {
+			*planState = "repaired"
+		}
+	} else {
+		sg.planReuses.Add(1)
+		if sg.shared != nil {
+			sg.shared.planReuses.Add(1)
+		}
+		if planState != nil {
+			*planState = "reused"
+		}
+	}
+	snap.planVal.Store(&planOutcome{plan: p2, source: source, nanos: int64(time.Since(start))})
+	snap.planOnce.Do(func() {})
+	return false
 }
 
 // GraphInfo is the JSON view of a stored graph's current snapshot.
@@ -361,14 +496,45 @@ type Store struct {
 	maxVerts  int // per-graph vertex cap for untrusted uploads, 0 = unlimited
 	maxGraphs int // store capacity, 0 = unlimited
 	counters  storeCounters
+
+	// Durability. wal is nil for a volatile store; gen issues generation
+	// ids (restored past the replayed maximum on recovery); retain is the
+	// per-graph retention window (min 1).
+	wal    *wal.Log
+	gen    atomic.Uint64
+	retain int
+
+	// Automatic checkpointing: after ckptEvery WAL appends a background
+	// single-flight checkpoint compacts the log.
+	ckptEvery int64
+	ckptCount atomic.Int64
+	ckptBusy  atomic.Bool
+	ckptWG    sync.WaitGroup
 }
 
 // NewStore returns an empty store. maxVerts caps the vertex count of any
 // parsed upload (0 = unlimited); maxGraphs caps how many graphs the
 // store holds (0 = unlimited).
 func NewStore(maxVerts, maxGraphs int) *Store {
-	return &Store{graphs: make(map[string]*StoredGraph), maxVerts: maxVerts, maxGraphs: maxGraphs}
+	return &Store{graphs: make(map[string]*StoredGraph), maxVerts: maxVerts, maxGraphs: maxGraphs, retain: 1}
 }
+
+// SetRetainEpochs sets the per-graph snapshot retention window (minimum
+// 1: the current snapshot). Call before serving traffic.
+func (s *Store) SetRetainEpochs(n int) {
+	if n < 1 {
+		n = 1
+	}
+	s.retain = n
+}
+
+// SetCheckpointEvery makes the store checkpoint-and-compact its WAL in
+// the background after every n appended records (0 disables automatic
+// checkpoints). Call before serving traffic.
+func (s *Store) SetCheckpointEvery(n int) { s.ckptEvery = int64(n) }
+
+// WAL returns the attached log, or nil for a volatile store.
+func (s *Store) WAL() *wal.Log { return s.wal }
 
 // Stats returns the store-lifetime aggregates (monotone across graph
 // deletions, unlike summing List()).
@@ -399,14 +565,25 @@ func (s *Store) Put(name string, g *bigraph.Graph) (*StoredGraph, error) {
 	if !nameRe.MatchString(name) {
 		return nil, fmt.Errorf("invalid graph name %q (want [A-Za-z0-9._-], max 128 chars)", name)
 	}
-	sg := &StoredGraph{name: name, shared: &s.counters}
-	sg.cur.Store(trackSnapshot(&Snapshot{sg: sg, g: g, at: time.Now()}))
+	sg := &StoredGraph{name: name, shared: &s.counters, st: s, gen: s.gen.Add(1)}
+	sg.publish(trackSnapshot(&Snapshot{sg: sg, g: g, at: time.Now()}))
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if _, replacing := s.graphs[name]; !replacing && s.maxGraphs > 0 && len(s.graphs) >= s.maxGraphs {
 		return nil, fmt.Errorf("graph store is full (%d graphs)", s.maxGraphs)
 	}
+	// Appending under s.mu serializes the Put record against any Delete
+	// of the same name; the rare upload fsync briefly stalling reads is
+	// an accepted cost.
+	if s.wal != nil {
+		if err := s.wal.Append(wal.Record{
+			Type: wal.RecPut, Name: name, Gen: sg.gen, Payload: g.AppendBinary(nil),
+		}); err != nil {
+			return nil, fmt.Errorf("wal append: %w", err)
+		}
+	}
 	s.graphs[name] = sg
+	s.noteAppend()
 	return sg, nil
 }
 
@@ -419,15 +596,24 @@ func (s *Store) Get(name string) (*StoredGraph, bool) {
 }
 
 // Delete removes the named graph. Jobs already holding a Snapshot keep
-// solving against it; the memory is reclaimed once they finish.
-func (s *Store) Delete(name string) bool {
+// solving against it; the memory is reclaimed once they finish. The
+// boolean reports whether the graph existed; the error is non-nil only
+// when the WAL append failed (the graph is then kept).
+func (s *Store) Delete(name string) (bool, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if _, ok := s.graphs[name]; !ok {
-		return false
+	sg, ok := s.graphs[name]
+	if !ok {
+		return false, nil
+	}
+	if s.wal != nil {
+		if err := s.wal.Append(wal.Record{Type: wal.RecDelete, Name: name, Gen: sg.gen}); err != nil {
+			return true, fmt.Errorf("wal append: %w", err)
+		}
 	}
 	delete(s.graphs, name)
-	return true
+	s.noteAppend()
+	return true, nil
 }
 
 // List returns every stored graph's info, sorted by name.
@@ -453,20 +639,41 @@ func (s *Store) Len() int {
 	return len(s.graphs)
 }
 
+// LoadError records one file LoadDir could not turn into a stored graph.
+type LoadError struct {
+	File string
+	Err  error
+}
+
+func (e LoadError) Error() string { return fmt.Sprintf("%s: %v", e.File, e.Err) }
+
+// LoadReport summarizes a LoadDir pass: how many graphs loaded and which
+// files were skipped, with why.
+type LoadReport struct {
+	Loaded int
+	Failed []LoadError
+}
+
 // LoadDir preloads every regular file in dir into the store: files named
 // *.konect or out.* parse as KONECT, everything else as the text
 // edge-list format. The graph name is the file's base name with the
 // extension stripped (out.foo becomes foo). Hidden files (dotfiles such
 // as .gitignore or .DS_Store) are skipped — filepath.Ext would strip
 // their whole name to the empty string, which can never be a valid graph
-// name and used to abort the entire preload. Returns how many graphs
-// were loaded; the first parse error aborts the load.
-func (s *Store) LoadDir(dir string) (int, error) {
+// name and used to abort the entire preload. An unreadable or unparsable
+// file is logged, recorded in the report and skipped — one stray file in
+// a data directory must not take every other graph down with it. The
+// error is non-nil only when the directory itself cannot be read.
+func (s *Store) LoadDir(dir string) (LoadReport, error) {
 	entries, err := os.ReadDir(dir)
 	if err != nil {
-		return 0, err
+		return LoadReport{}, err
 	}
-	n := 0
+	var rep LoadReport
+	fail := func(path string, err error) {
+		log.Printf("server: preload %s: %v (skipped)", path, err)
+		rep.Failed = append(rep.Failed, LoadError{File: path, Err: err})
+	}
 	for _, e := range entries {
 		if e.IsDir() || strings.HasPrefix(e.Name(), ".") {
 			continue
@@ -486,17 +693,104 @@ func (s *Store) LoadDir(dir string) (int, error) {
 		}
 		f, err := os.Open(path)
 		if err != nil {
-			return n, err
+			fail(path, err)
+			continue
 		}
 		g, err := s.Parse(f, format)
 		f.Close()
 		if err != nil {
-			return n, fmt.Errorf("%s: %w", path, err)
+			fail(path, err)
+			continue
 		}
 		if _, err := s.Put(name, g); err != nil {
-			return n, fmt.Errorf("%s: %w", path, err)
+			fail(path, err)
+			continue
 		}
-		n++
+		rep.Loaded++
 	}
-	return n, nil
+	return rep, nil
+}
+
+// Checkpoint serializes every stored graph's current snapshot into a
+// fresh WAL segment and compacts the history behind it. Each snapshot
+// record is appended while holding that graph's mutation lock, which
+// pins the invariant replay relies on: any delta record after a graph's
+// snapshot record has a higher epoch than the snapshot. Mutations on
+// other graphs interleave freely. No-op without a WAL.
+func (s *Store) Checkpoint() error {
+	if s.wal == nil {
+		return nil
+	}
+	return s.wal.Checkpoint(func(app func(wal.Record) error) error {
+		s.mu.RLock()
+		sgs := make([]*StoredGraph, 0, len(s.graphs))
+		for _, sg := range s.graphs {
+			sgs = append(sgs, sg)
+		}
+		s.mu.RUnlock()
+		sort.Slice(sgs, func(i, j int) bool { return sgs[i].name < sgs[j].name })
+		for _, sg := range sgs {
+			sg.mu.Lock()
+			cur := sg.cur.Load()
+			err := app(wal.Record{
+				Type: wal.RecGraphSnap, Name: sg.name, Gen: sg.gen,
+				Epoch: cur.epoch, Payload: cur.g.AppendBinary(nil),
+			})
+			sg.mu.Unlock()
+			if err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+}
+
+// noteAppend ticks the automatic-checkpoint counter and kicks off a
+// single-flight background checkpoint when it reaches the threshold.
+func (s *Store) noteAppend() {
+	if s.wal == nil || s.ckptEvery <= 0 {
+		return
+	}
+	if s.ckptCount.Add(1) < s.ckptEvery {
+		return
+	}
+	if !s.ckptBusy.CompareAndSwap(false, true) {
+		return
+	}
+	s.ckptCount.Store(0)
+	s.ckptWG.Add(1)
+	go func() {
+		defer s.ckptWG.Done()
+		defer s.ckptBusy.Store(false)
+		if err := s.Checkpoint(); err != nil && !errors.Is(err, wal.ErrClosed) {
+			log.Printf("server: background checkpoint: %v", err)
+		}
+	}()
+}
+
+// CloseWAL waits for any background checkpoint and closes the log (a
+// final fsync included). The store stays readable; further mutations
+// fail their WAL append.
+func (s *Store) CloseWAL() error {
+	if s.wal == nil {
+		return nil
+	}
+	s.ckptWG.Wait()
+	return s.wal.Close()
+}
+
+// RetainedSnapshots sums the retention windows across stored graphs —
+// the denominator for the soak harness's snapshot-leak gauge.
+func (s *Store) RetainedSnapshots() int64 {
+	s.mu.RLock()
+	sgs := make([]*StoredGraph, 0, len(s.graphs))
+	for _, sg := range s.graphs {
+		sgs = append(sgs, sg)
+	}
+	s.mu.RUnlock()
+	var n int64
+	for _, sg := range sgs {
+		n += int64(sg.Retained())
+	}
+	return n
 }

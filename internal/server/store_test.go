@@ -24,12 +24,15 @@ func TestLoadDirSkipsHiddenFiles(t *testing.T) {
 		}
 	}
 	s := NewStore(0, 0)
-	n, err := s.LoadDir(dir)
+	rep, err := s.LoadDir(dir)
 	if err != nil {
 		t.Fatalf("LoadDir: %v", err)
 	}
-	if n != 1 {
-		t.Fatalf("loaded %d graphs, want 1", n)
+	if rep.Loaded != 1 {
+		t.Fatalf("loaded %d graphs, want 1", rep.Loaded)
+	}
+	if len(rep.Failed) != 0 {
+		t.Fatalf("unexpected per-file failures: %v", rep.Failed)
 	}
 	sg, ok := s.Get("tiny")
 	if !ok {
@@ -48,8 +51,44 @@ func TestLoadDirOnlyHiddenFiles(t *testing.T) {
 		t.Fatal(err)
 	}
 	s := NewStore(0, 0)
-	n, err := s.LoadDir(dir)
-	if err != nil || n != 0 {
-		t.Fatalf("LoadDir = (%d, %v), want (0, nil)", n, err)
+	rep, err := s.LoadDir(dir)
+	if err != nil || rep.Loaded != 0 || len(rep.Failed) != 0 {
+		t.Fatalf("LoadDir = (%+v, %v), want (0 loaded, nil)", rep, err)
+	}
+}
+
+// TestLoadDirSkipsBadFiles: a corrupt file in the preload directory is
+// logged and skipped — the remaining graphs still load and the report
+// names the failure.
+func TestLoadDirSkipsBadFiles(t *testing.T) {
+	dir := t.TempDir()
+	files := map[string]string{
+		"good.txt":   "2 2 2\n0 0\n1 1\n",
+		"bad.txt":    "this is not a graph\n",
+		"alsook.txt": "1 1 1\n0 0\n",
+	}
+	for name, content := range files {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s := NewStore(0, 0)
+	rep, err := s.LoadDir(dir)
+	if err != nil {
+		t.Fatalf("LoadDir: %v", err)
+	}
+	if rep.Loaded != 2 {
+		t.Fatalf("loaded %d graphs, want 2", rep.Loaded)
+	}
+	if len(rep.Failed) != 1 || filepath.Base(rep.Failed[0].File) != "bad.txt" {
+		t.Fatalf("failed = %v, want one entry for bad.txt", rep.Failed)
+	}
+	if rep.Failed[0].Error() == "" {
+		t.Fatal("LoadError.Error should describe the failure")
+	}
+	for _, name := range []string{"good", "alsook"} {
+		if _, ok := s.Get(name); !ok {
+			t.Fatalf("graph %q not loaded", name)
+		}
 	}
 }

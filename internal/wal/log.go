@@ -1,0 +1,575 @@
+package wal
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// SyncPolicy controls when appended records are fsynced.
+type SyncPolicy int
+
+const (
+	// SyncAlways fsyncs before Append returns, with group commit:
+	// concurrent appenders share one fsync.
+	SyncAlways SyncPolicy = iota
+	// SyncInterval fsyncs from a background ticker; an append is durable
+	// within one SyncInterval of returning.
+	SyncInterval
+	// SyncOff never fsyncs on the append path (only on rotation,
+	// checkpoint and close). Crash durability is whatever the OS page
+	// cache allows.
+	SyncOff
+)
+
+func (p SyncPolicy) String() string {
+	switch p {
+	case SyncAlways:
+		return "always"
+	case SyncInterval:
+		return "interval"
+	case SyncOff:
+		return "off"
+	default:
+		return fmt.Sprintf("sync-policy-%d", int(p))
+	}
+}
+
+// ParseSyncPolicy parses the -wal-sync flag values.
+func ParseSyncPolicy(s string) (SyncPolicy, error) {
+	switch s {
+	case "always":
+		return SyncAlways, nil
+	case "interval":
+		return SyncInterval, nil
+	case "off":
+		return SyncOff, nil
+	default:
+		return 0, fmt.Errorf("wal: unknown sync policy %q (want always, interval or off)", s)
+	}
+}
+
+// Options configures a Log. Zero values select the defaults noted on
+// each field.
+type Options struct {
+	// SegmentBytes rotates to a new segment once the current one reaches
+	// this size. Default 64 MiB. A record never spans segments, so a
+	// segment can exceed this by at most one record.
+	SegmentBytes int64
+	// Sync is the append durability policy. Default SyncAlways.
+	Sync SyncPolicy
+	// SyncInterval is the flush period under SyncInterval. Default 100ms.
+	SyncInterval time.Duration
+}
+
+func (o Options) withDefaults() Options {
+	if o.SegmentBytes <= 0 {
+		o.SegmentBytes = 64 << 20
+	}
+	if o.SyncInterval <= 0 {
+		o.SyncInterval = 100 * time.Millisecond
+	}
+	return o
+}
+
+// ReplayStats summarizes what Open found on disk.
+type ReplayStats struct {
+	Segments       int   // segment files present at open
+	Records        int   // records replayed
+	TruncatedBytes int64 // torn bytes dropped from the tail segment
+}
+
+// FsyncBounds are the upper bounds (seconds) of the fsync latency
+// histogram buckets; counts have one extra overflow bucket.
+var FsyncBounds = []float64{0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1}
+
+// StatsSnapshot is a point-in-time copy of the log's counters.
+type StatsSnapshot struct {
+	Appends            int64
+	AppendBytes        int64
+	Fsyncs             int64
+	FsyncNanos         int64
+	FsyncHist          []uint64 // len(FsyncBounds)+1 buckets
+	Segments           int64    // live segment files
+	Checkpoints        int64
+	SegmentsDropped    int64
+	LastCheckpointUnix int64 // unix nanos of last completed checkpoint, 0 if none
+}
+
+const (
+	segPrefix = "wal-"
+	segSuffix = ".seg"
+)
+
+func segName(idx uint64) string {
+	return fmt.Sprintf("%s%016d%s", segPrefix, idx, segSuffix)
+}
+
+func parseSegName(name string) (uint64, bool) {
+	if !strings.HasPrefix(name, segPrefix) || !strings.HasSuffix(name, segSuffix) {
+		return 0, false
+	}
+	mid := name[len(segPrefix) : len(name)-len(segSuffix)]
+	if len(mid) != 16 {
+		return 0, false
+	}
+	idx, err := strconv.ParseUint(mid, 10, 64)
+	if err != nil {
+		return 0, false
+	}
+	return idx, true
+}
+
+// ErrClosed is returned by operations on a closed log.
+var ErrClosed = errors.New("wal: log closed")
+
+// Log is an append-only segmented record log. All methods are safe for
+// concurrent use.
+type Log struct {
+	dir string
+	opt Options
+
+	// mu guards the active segment (file, writer, sizes) and the append
+	// sequence. Lock order: mu before syncMu; never the reverse.
+	mu       sync.Mutex
+	f        *os.File
+	w        *bufio.Writer
+	segIdx   uint64 // index of the active segment
+	firstSeg uint64 // oldest live segment index
+	segSize  int64  // bytes appended to the active segment (incl. buffered)
+	seq      uint64 // records appended over the log's lifetime
+	dirty    bool   // buffered/unsynced bytes exist
+	closed   bool
+	scratch  []byte // frame encode buffer, reused under mu
+
+	// Group commit (SyncAlways): an appender waits until syncedSeq
+	// covers its record; the first waiter to find no sync in flight
+	// becomes leader and fsyncs everything buffered so far.
+	syncMu    sync.Mutex
+	syncCond  *sync.Cond
+	syncing   bool
+	syncedSeq uint64
+
+	// checkpointMu serializes Checkpoint passes.
+	checkpointMu sync.Mutex
+
+	stop     chan struct{} // closes the interval-sync goroutine
+	bgDone   sync.WaitGroup
+	statsVal stats
+}
+
+type stats struct {
+	appends         atomic.Int64
+	appendBytes     atomic.Int64
+	fsyncs          atomic.Int64
+	fsyncNanos      atomic.Int64
+	fsyncHist       []atomic.Uint64
+	segments        atomic.Int64
+	checkpoints     atomic.Int64
+	segmentsDropped atomic.Int64
+	lastCheckpoint  atomic.Int64
+}
+
+// Open opens (or creates) the log in dir, replays every intact record
+// through replay in append order, and readies the log for appends.
+// Replay happens strictly before any new write can be issued, so the
+// caller's state is exactly the durable state when Open returns.
+//
+// A torn tail — a partial or corrupt frame at the end of the *newest*
+// segment — is truncated away: it is the expected residue of a crash
+// mid-append. The same damage in any older segment is hard corruption
+// and fails Open, because rotation fsyncs a segment before opening its
+// successor, so older segments can never legitimately be torn.
+func Open(dir string, opt Options, replay func(Record) error) (*Log, ReplayStats, error) {
+	opt = opt.withDefaults()
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, ReplayStats{}, err
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, ReplayStats{}, err
+	}
+	var segs []uint64
+	for _, e := range entries {
+		if idx, ok := parseSegName(e.Name()); ok {
+			segs = append(segs, idx)
+		}
+	}
+	sort.Slice(segs, func(i, j int) bool { return segs[i] < segs[j] })
+
+	var rs ReplayStats
+	rs.Segments = len(segs)
+	for i, idx := range segs {
+		last := i == len(segs)-1
+		path := filepath.Join(dir, segName(idx))
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return nil, rs, err
+		}
+		off := 0
+		for off < len(data) {
+			rec, n, ferr := parseFrame(data[off:])
+			if ferr != nil {
+				if !last {
+					return nil, rs, fmt.Errorf("wal: segment %s corrupt at offset %d: %w", segName(idx), off, ferr)
+				}
+				// Torn tail: drop it and resume appending at the last
+				// intact frame.
+				rs.TruncatedBytes = int64(len(data) - off)
+				if err := os.Truncate(path, int64(off)); err != nil {
+					return nil, rs, err
+				}
+				break
+			}
+			if err := replay(rec); err != nil {
+				return nil, rs, fmt.Errorf("wal: replaying %s record for %q (epoch %d): %w", rec.Type, rec.Name, rec.Epoch, err)
+			}
+			rs.Records++
+			off += n
+		}
+	}
+
+	l := &Log{dir: dir, opt: opt, stop: make(chan struct{})}
+	l.syncCond = sync.NewCond(&l.syncMu)
+	l.statsVal.fsyncHist = make([]atomic.Uint64, len(FsyncBounds)+1)
+	if len(segs) == 0 {
+		l.segIdx, l.firstSeg = 1, 1
+		if err := l.openSegment(true); err != nil {
+			return nil, rs, err
+		}
+	} else {
+		l.segIdx, l.firstSeg = segs[len(segs)-1], segs[0]
+		if err := l.openSegment(false); err != nil {
+			return nil, rs, err
+		}
+	}
+	l.statsVal.segments.Store(int64(l.segIdx - l.firstSeg + 1))
+	if opt.Sync == SyncInterval {
+		l.bgDone.Add(1)
+		go l.intervalLoop()
+	}
+	return l, rs, nil
+}
+
+// openSegment opens the active segment for append, creating it if asked,
+// and records its current size. Called with l.mu effectively exclusive
+// (from Open or under l.mu).
+func (l *Log) openSegment(create bool) error {
+	flags := os.O_WRONLY | os.O_APPEND
+	if create {
+		flags |= os.O_CREATE | os.O_EXCL
+	}
+	f, err := os.OpenFile(filepath.Join(l.dir, segName(l.segIdx)), flags, 0o644)
+	if err != nil {
+		return err
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return err
+	}
+	l.f, l.w, l.segSize = f, bufio.NewWriterSize(f, 1<<16), st.Size()
+	if create {
+		return syncDir(l.dir)
+	}
+	return nil
+}
+
+// Append writes rec to the log and applies the sync policy: under
+// SyncAlways it returns only once the record is fsynced (sharing the
+// fsync with concurrent appenders); under SyncInterval/SyncOff it
+// returns once the record is buffered.
+func (l *Log) Append(rec Record) error {
+	seq, err := l.append(rec)
+	if err != nil {
+		return err
+	}
+	if l.opt.Sync == SyncAlways {
+		return l.syncTo(seq)
+	}
+	return nil
+}
+
+// append frames and buffers rec, rotating first if the active segment is
+// full. Returns the record's sequence number.
+func (l *Log) append(rec Record) (uint64, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return 0, ErrClosed
+	}
+	if l.segSize >= l.opt.SegmentBytes {
+		if err := l.rotate(); err != nil {
+			return 0, err
+		}
+	}
+	l.scratch = rec.appendFrame(l.scratch[:0])
+	if _, err := l.w.Write(l.scratch); err != nil {
+		return 0, err
+	}
+	l.segSize += int64(len(l.scratch))
+	l.seq++
+	l.dirty = true
+	l.statsVal.appends.Add(1)
+	l.statsVal.appendBytes.Add(int64(len(l.scratch)))
+	return l.seq, nil
+}
+
+// rotate seals the active segment (flush + fsync, preserving the
+// only-the-last-segment-can-tear invariant regardless of sync policy)
+// and opens the next one. Called under l.mu.
+func (l *Log) rotate() error {
+	if err := l.flushSyncLocked(); err != nil {
+		return err
+	}
+	if err := l.f.Close(); err != nil {
+		return err
+	}
+	l.segIdx++
+	if err := l.openSegment(true); err != nil {
+		return err
+	}
+	l.statsVal.segments.Store(int64(l.segIdx - l.firstSeg + 1))
+	return nil
+}
+
+// flushSyncLocked flushes the buffer and fsyncs the active segment,
+// advancing the group-commit horizon on success. Called under l.mu.
+func (l *Log) flushSyncLocked() error {
+	if err := l.w.Flush(); err != nil {
+		return err
+	}
+	start := time.Now()
+	if err := l.f.Sync(); err != nil {
+		return err
+	}
+	el := time.Since(start)
+	l.statsVal.fsyncs.Add(1)
+	l.statsVal.fsyncNanos.Add(el.Nanoseconds())
+	sec := el.Seconds()
+	b := 0
+	for b < len(FsyncBounds) && sec > FsyncBounds[b] {
+		b++
+	}
+	l.statsVal.fsyncHist[b].Add(1)
+	l.dirty = false
+	covered := l.seq
+	l.syncMu.Lock()
+	if covered > l.syncedSeq {
+		l.syncedSeq = covered
+	}
+	l.syncMu.Unlock()
+	return nil
+}
+
+// syncTo blocks until every record up to seq is fsynced. Group commit:
+// the first caller to find no fsync in flight becomes the leader and
+// syncs everything buffered; others ride along. On fsync failure the
+// horizon does not advance, so each waiter retries as leader and
+// surfaces its own error.
+func (l *Log) syncTo(seq uint64) error {
+	for {
+		l.syncMu.Lock()
+		for l.syncing && l.syncedSeq < seq {
+			l.syncCond.Wait()
+		}
+		if l.syncedSeq >= seq {
+			l.syncMu.Unlock()
+			return nil
+		}
+		l.syncing = true
+		l.syncMu.Unlock()
+
+		l.mu.Lock()
+		var err error
+		if l.closed {
+			err = ErrClosed
+		} else {
+			err = l.flushSyncLocked()
+		}
+		l.mu.Unlock()
+
+		l.syncMu.Lock()
+		l.syncing = false
+		l.syncCond.Broadcast()
+		l.syncMu.Unlock()
+		if err != nil {
+			return err
+		}
+	}
+}
+
+func (l *Log) intervalLoop() {
+	defer l.bgDone.Done()
+	t := time.NewTicker(l.opt.SyncInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-l.stop:
+			return
+		case <-t.C:
+			l.mu.Lock()
+			if !l.closed && l.dirty {
+				// Best effort: an error here surfaces on the next
+				// explicit sync (rotate/checkpoint/close).
+				_ = l.flushSyncLocked()
+			}
+			l.mu.Unlock()
+		}
+	}
+}
+
+// Checkpoint rotates to a fresh segment, has the caller emit one
+// RecGraphSnap per live graph through app, seals the pass with a
+// RecCheckpointEnd and an fsync, and then deletes every segment older
+// than the checkpoint segment. Concurrent Appends interleave freely with
+// the emitted snapshots — replay ignores a snapshot that is older than
+// the state already reconstructed, so the interleaving is harmless.
+func (l *Log) Checkpoint(emit func(app func(Record) error) error) error {
+	l.checkpointMu.Lock()
+	defer l.checkpointMu.Unlock()
+
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return ErrClosed
+	}
+	if err := l.rotate(); err != nil {
+		l.mu.Unlock()
+		return err
+	}
+	ckptSeg := l.segIdx
+	l.mu.Unlock()
+
+	app := func(rec Record) error {
+		_, err := l.append(rec)
+		return err
+	}
+	if err := emit(app); err != nil {
+		return err
+	}
+	if err := app(Record{Type: RecCheckpointEnd}); err != nil {
+		return err
+	}
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return ErrClosed
+	}
+	err := l.flushSyncLocked()
+	l.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	if err := l.compact(ckptSeg); err != nil {
+		return err
+	}
+	l.statsVal.checkpoints.Add(1)
+	l.statsVal.lastCheckpoint.Store(time.Now().UnixNano())
+	return nil
+}
+
+// compact deletes every segment older than keepFrom. The snapshots in
+// keepFrom are durable before compact is called, so the dropped history
+// is redundant.
+func (l *Log) compact(keepFrom uint64) error {
+	l.mu.Lock()
+	first := l.firstSeg
+	l.mu.Unlock()
+	dropped := int64(0)
+	for idx := first; idx < keepFrom; idx++ {
+		if err := os.Remove(filepath.Join(l.dir, segName(idx))); err != nil && !os.IsNotExist(err) {
+			return err
+		}
+		dropped++
+	}
+	if dropped == 0 {
+		return nil
+	}
+	if err := syncDir(l.dir); err != nil {
+		return err
+	}
+	l.mu.Lock()
+	l.firstSeg = keepFrom
+	l.statsVal.segments.Store(int64(l.segIdx - l.firstSeg + 1))
+	l.mu.Unlock()
+	l.statsVal.segmentsDropped.Add(dropped)
+	return nil
+}
+
+// Sync forces an immediate flush + fsync regardless of policy.
+func (l *Log) Sync() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return ErrClosed
+	}
+	return l.flushSyncLocked()
+}
+
+// Close flushes, fsyncs and closes the log. Further appends return
+// ErrClosed.
+func (l *Log) Close() error {
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return nil
+	}
+	err := l.flushSyncLocked()
+	l.closed = true
+	cerr := l.f.Close()
+	l.mu.Unlock()
+	close(l.stop)
+	l.bgDone.Wait()
+	// Wake any group-commit waiters so they observe closed.
+	l.syncMu.Lock()
+	l.syncCond.Broadcast()
+	l.syncMu.Unlock()
+	if err != nil {
+		return err
+	}
+	return cerr
+}
+
+// Stats returns a snapshot of the log's counters.
+func (l *Log) Stats() StatsSnapshot {
+	s := StatsSnapshot{
+		Appends:            l.statsVal.appends.Load(),
+		AppendBytes:        l.statsVal.appendBytes.Load(),
+		Fsyncs:             l.statsVal.fsyncs.Load(),
+		FsyncNanos:         l.statsVal.fsyncNanos.Load(),
+		Segments:           l.statsVal.segments.Load(),
+		Checkpoints:        l.statsVal.checkpoints.Load(),
+		SegmentsDropped:    l.statsVal.segmentsDropped.Load(),
+		LastCheckpointUnix: l.statsVal.lastCheckpoint.Load(),
+		FsyncHist:          make([]uint64, len(FsyncBounds)+1),
+	}
+	for i := range l.statsVal.fsyncHist {
+		s.FsyncHist[i] = l.statsVal.fsyncHist[i].Load()
+	}
+	return s
+}
+
+// Dir returns the log's directory.
+func (l *Log) Dir() string { return l.dir }
+
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	serr := d.Sync()
+	cerr := d.Close()
+	if serr != nil {
+		return serr
+	}
+	return cerr
+}

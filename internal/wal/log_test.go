@@ -1,0 +1,310 @@
+package wal
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+)
+
+func collect(t *testing.T, dir string, opt Options) ([]Record, *Log, ReplayStats) {
+	t.Helper()
+	var got []Record
+	l, rs, err := Open(dir, opt, func(r Record) error {
+		// Name/Payload alias the segment read buffer; copy for keeping.
+		r.Payload = append([]byte(nil), r.Payload...)
+		got = append(got, r)
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	return got, l, rs
+}
+
+func TestAppendReplayRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	_, l, _ := collect(t, dir, Options{Sync: SyncAlways})
+	want := []Record{
+		{Type: RecPut, Name: "g", Gen: 1, Payload: []byte("graph-bytes")},
+		{Type: RecDelta, Name: "g", Gen: 1, Epoch: 1, Payload: []byte("delta-1")},
+		{Type: RecDelta, Name: "g", Gen: 1, Epoch: 2, Payload: []byte{}},
+		{Type: RecDelete, Name: "g", Gen: 1},
+		{Type: RecPut, Name: "other.name-x", Gen: 2, Payload: bytes.Repeat([]byte{0xab}, 1000)},
+	}
+	for _, r := range want {
+		if err := l.Append(r); err != nil {
+			t.Fatalf("append: %v", err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+
+	got, l2, rs := collect(t, dir, Options{})
+	defer l2.Close()
+	if rs.Records != len(want) || rs.TruncatedBytes != 0 {
+		t.Fatalf("replay stats = %+v, want %d records, 0 truncated", rs, len(want))
+	}
+	if len(got) != len(want) {
+		t.Fatalf("replayed %d records, want %d", len(got), len(want))
+	}
+	for i := range want {
+		w, g := want[i], got[i]
+		if g.Type != w.Type || g.Name != w.Name || g.Gen != w.Gen || g.Epoch != w.Epoch || !bytes.Equal(g.Payload, w.Payload) {
+			t.Fatalf("record %d = %+v, want %+v", i, g, w)
+		}
+	}
+}
+
+func TestTornTailTruncated(t *testing.T) {
+	dir := t.TempDir()
+	_, l, _ := collect(t, dir, Options{Sync: SyncAlways})
+	for i := 0; i < 5; i++ {
+		if err := l.Append(Record{Type: RecDelta, Name: "g", Gen: 1, Epoch: uint64(i + 1), Payload: []byte("payload")}); err != nil {
+			t.Fatalf("append: %v", err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+
+	seg := filepath.Join(dir, segName(1))
+	data, err := os.ReadFile(seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Chop mid-record: drop the last 3 bytes, then every other possible
+	// cut of the final record, and verify recovery each time.
+	frame := len(data) / 5
+	for cut := len(data) - frame + 1; cut < len(data); cut++ {
+		if err := os.WriteFile(seg, data[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		got, l2, rs := collect(t, dir, Options{})
+		if len(got) != 4 {
+			t.Fatalf("cut %d: replayed %d records, want 4", cut, len(got))
+		}
+		if rs.TruncatedBytes != int64(cut-4*frame) {
+			t.Fatalf("cut %d: truncated %d bytes, want %d", cut, rs.TruncatedBytes, cut-4*frame)
+		}
+		// The log must be appendable after truncation.
+		if err := l2.Append(Record{Type: RecDelta, Name: "g", Gen: 1, Epoch: 5}); err != nil {
+			t.Fatalf("cut %d: append after truncate: %v", cut, err)
+		}
+		l2.Close()
+		got2, l3, _ := collect(t, dir, Options{})
+		if len(got2) != 5 || got2[4].Epoch != 5 {
+			t.Fatalf("cut %d: post-truncate replay got %d records", cut, len(got2))
+		}
+		l3.Close()
+		if err := os.WriteFile(seg, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestCorruptionInOldSegmentFailsOpen(t *testing.T) {
+	dir := t.TempDir()
+	// Tiny segments force rotation: each record is ~30 bytes.
+	_, l, _ := collect(t, dir, Options{Sync: SyncAlways, SegmentBytes: 1})
+	for i := 0; i < 3; i++ {
+		if err := l.Append(Record{Type: RecDelta, Name: "g", Gen: 1, Epoch: uint64(i + 1)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Flip a payload byte in the first segment.
+	seg := filepath.Join(dir, segName(1))
+	data, err := os.ReadFile(seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)-1] ^= 0xff
+	if err := os.WriteFile(seg, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, _, err = Open(dir, Options{}, func(Record) error { return nil })
+	if err == nil {
+		t.Fatal("corruption in non-last segment did not fail Open")
+	}
+}
+
+func TestRotationAndCheckpointCompaction(t *testing.T) {
+	dir := t.TempDir()
+	_, l, _ := collect(t, dir, Options{Sync: SyncOff, SegmentBytes: 256})
+	for i := 0; i < 50; i++ {
+		if err := l.Append(Record{Type: RecDelta, Name: "g", Gen: 1, Epoch: uint64(i + 1), Payload: bytes.Repeat([]byte{1}, 40)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if s := l.Stats(); s.Segments < 3 {
+		t.Fatalf("expected rotation to produce several segments, got %d", s.Segments)
+	}
+	err := l.Checkpoint(func(app func(Record) error) error {
+		return app(Record{Type: RecGraphSnap, Name: "g", Gen: 1, Epoch: 50, Payload: []byte("snapshot")})
+	})
+	if err != nil {
+		t.Fatalf("checkpoint: %v", err)
+	}
+	s := l.Stats()
+	if s.Segments != 1 {
+		t.Fatalf("after compaction: %d segments live, want 1", s.Segments)
+	}
+	if s.SegmentsDropped == 0 || s.Checkpoints != 1 || s.LastCheckpointUnix == 0 {
+		t.Fatalf("checkpoint stats not recorded: %+v", s)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 {
+		t.Fatalf("%d files on disk after compaction, want 1", len(entries))
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	got, l2, _ := collect(t, dir, Options{})
+	defer l2.Close()
+	if len(got) != 2 || got[0].Type != RecGraphSnap || got[1].Type != RecCheckpointEnd {
+		t.Fatalf("post-compaction replay = %d records (first %v), want snap+end", len(got), got[0].Type)
+	}
+	if string(got[0].Payload) != "snapshot" || got[0].Epoch != 50 {
+		t.Fatalf("snapshot record mangled: %+v", got[0])
+	}
+}
+
+func TestConcurrentAppendGroupCommit(t *testing.T) {
+	dir := t.TempDir()
+	_, l, _ := collect(t, dir, Options{Sync: SyncAlways, SegmentBytes: 4096})
+	const writers, each = 8, 50
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < each; i++ {
+				if err := l.Append(Record{Type: RecDelta, Name: fmt.Sprintf("g%d", w), Gen: uint64(w), Epoch: uint64(i)}); err != nil {
+					t.Errorf("append: %v", err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	s := l.Stats()
+	if s.Appends != writers*each {
+		t.Fatalf("appends = %d, want %d", s.Appends, writers*each)
+	}
+	// Group commit must batch: far fewer fsyncs than appends would be
+	// ideal, but at minimum it must not exceed appends.
+	if s.Fsyncs > s.Appends {
+		t.Fatalf("fsyncs %d > appends %d", s.Fsyncs, s.Appends)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	got, l2, _ := collect(t, dir, Options{})
+	defer l2.Close()
+	if len(got) != writers*each {
+		t.Fatalf("replayed %d records, want %d", len(got), writers*each)
+	}
+	// Per-writer epoch order must be preserved.
+	next := map[string]uint64{}
+	for _, r := range got {
+		if r.Epoch != next[r.Name] {
+			t.Fatalf("writer %s: epoch %d out of order (want %d)", r.Name, r.Epoch, next[r.Name])
+		}
+		next[r.Name]++
+	}
+}
+
+func TestIntervalSyncFlushes(t *testing.T) {
+	dir := t.TempDir()
+	_, l, _ := collect(t, dir, Options{Sync: SyncInterval, SyncInterval: 5 * time.Millisecond})
+	if err := l.Append(Record{Type: RecPut, Name: "g", Gen: 1, Payload: []byte("x")}); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for l.Stats().Fsyncs == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("interval sync never fired")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAppendAfterCloseFails(t *testing.T) {
+	_, l, _ := collect(t, t.TempDir(), Options{})
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Append(Record{Type: RecPut, Name: "g"}); err != ErrClosed {
+		t.Fatalf("append after close = %v, want ErrClosed", err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatalf("double close = %v", err)
+	}
+}
+
+func TestParseSyncPolicy(t *testing.T) {
+	for s, want := range map[string]SyncPolicy{"always": SyncAlways, "interval": SyncInterval, "off": SyncOff} {
+		got, err := ParseSyncPolicy(s)
+		if err != nil || got != want {
+			t.Fatalf("ParseSyncPolicy(%q) = %v, %v", s, got, err)
+		}
+		if got.String() != s {
+			t.Fatalf("round trip %q -> %q", s, got.String())
+		}
+	}
+	if _, err := ParseSyncPolicy("fsync-maybe"); err == nil {
+		t.Fatal("bogus policy accepted")
+	}
+}
+
+// FuzzWALRecord fuzzes the frame and body decoders with arbitrary bytes
+// (no panics, no over-allocation) and checks encode/decode round trips
+// whenever the bytes happen to parse.
+func FuzzWALRecord(f *testing.F) {
+	f.Add(Record{Type: RecPut, Name: "g", Gen: 1, Payload: []byte("payload")}.appendFrame(nil))
+	f.Add(Record{Type: RecDelta, Name: "a.b-c_d", Gen: 7, Epoch: 9, Payload: []byte{}}.appendFrame(nil))
+	f.Add(Record{Type: RecCheckpointEnd}.appendFrame(nil))
+	f.Add([]byte{0xff, 0xff, 0xff, 0x7f, 0, 0, 0, 0})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if rec, n, err := parseFrame(data); err == nil {
+			if n > len(data) {
+				t.Fatalf("frame consumed %d of %d bytes", n, len(data))
+			}
+			re := rec.appendFrame(nil)
+			rec2, _, err := parseFrame(re)
+			if err != nil {
+				t.Fatalf("re-decode: %v", err)
+			}
+			if rec2.Type != rec.Type || rec2.Name != rec.Name || rec2.Gen != rec.Gen ||
+				rec2.Epoch != rec.Epoch || !bytes.Equal(rec2.Payload, rec.Payload) {
+				t.Fatalf("frame round trip mismatch: %+v vs %+v", rec, rec2)
+			}
+		}
+		if rec, err := DecodeRecord(data); err == nil {
+			body := rec.appendBody(nil)
+			rec2, err := DecodeRecord(body)
+			if err != nil {
+				t.Fatalf("re-decode body: %v", err)
+			}
+			if rec2.Type != rec.Type || rec2.Name != rec.Name || rec2.Gen != rec.Gen ||
+				rec2.Epoch != rec.Epoch || !bytes.Equal(rec2.Payload, rec.Payload) {
+				t.Fatalf("body round trip mismatch")
+			}
+		}
+	})
+}

@@ -1,0 +1,177 @@
+// Package wal is an append-only, segmented write-ahead log for the
+// served graph store. One record is appended per state transition
+// (upload, mutation, delete), checkpoints serialize full snapshots
+// in-line, and compaction drops every segment wholly behind the newest
+// checkpoint. The log is also the future replication stream: a replica
+// that tails the segment files and applies records through the same
+// replay rules converges on the primary's state.
+package wal
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+)
+
+// RecordType discriminates WAL records. Values are part of the on-disk
+// format; never renumber.
+type RecordType uint8
+
+const (
+	// RecPut is a full graph upload: payload is a bigraph binary graph
+	// record, epoch is 0, gen is the graph's generation id.
+	RecPut RecordType = 1
+	// RecDelta is one mutation: payload is a bigraph binary delta record
+	// (the *effective* delta), epoch is the epoch the delta produced.
+	RecDelta RecordType = 2
+	// RecDelete removes a graph; payload empty, gen names the generation
+	// being deleted.
+	RecDelete RecordType = 3
+	// RecGraphSnap is a checkpoint copy of one graph at some epoch:
+	// payload is a bigraph binary graph record. Semantically a no-op for
+	// state that already replayed past it; it exists so compaction can
+	// drop the history behind it.
+	RecGraphSnap RecordType = 4
+	// RecCheckpointEnd marks a completed checkpoint pass. Name, gen,
+	// epoch and payload are unused.
+	RecCheckpointEnd RecordType = 5
+)
+
+func (t RecordType) valid() bool { return t >= RecPut && t <= RecCheckpointEnd }
+
+func (t RecordType) String() string {
+	switch t {
+	case RecPut:
+		return "put"
+	case RecDelta:
+		return "delta"
+	case RecDelete:
+		return "delete"
+	case RecGraphSnap:
+		return "snap"
+	case RecCheckpointEnd:
+		return "checkpoint-end"
+	default:
+		return fmt.Sprintf("record-type-%d", uint8(t))
+	}
+}
+
+// Record is one logical WAL entry. Gen is the owning graph's generation
+// id — a store-wide monotone counter stamped at Put time — which lets
+// replay distinguish a delta for the *current* incarnation of a name
+// from one addressed to a since-deleted predecessor.
+type Record struct {
+	Type    RecordType
+	Name    string
+	Gen     uint64
+	Epoch   uint64
+	Payload []byte
+}
+
+const (
+	// maxNameLen bounds the graph-name field on decode. The server caps
+	// names at 128 bytes; anything larger in a record is corruption.
+	maxNameLen = 256
+	// MaxRecordBytes bounds a framed record body. Graph payloads are a
+	// few bytes per edge, so this comfortably covers the server's vertex
+	// ceilings while keeping a corrupt length field from driving a
+	// giant allocation.
+	MaxRecordBytes = 1 << 28
+
+	frameHeaderLen = 8 // 4-byte little-endian body length + 4-byte CRC32C
+)
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// appendBody appends the record body (unframed) to dst.
+func (r Record) appendBody(dst []byte) []byte {
+	dst = append(dst, byte(r.Type))
+	dst = binary.AppendUvarint(dst, r.Gen)
+	dst = binary.AppendUvarint(dst, r.Epoch)
+	dst = binary.AppendUvarint(dst, uint64(len(r.Name)))
+	dst = append(dst, r.Name...)
+	dst = append(dst, r.Payload...)
+	return dst
+}
+
+// DecodeRecord parses a record body produced by appendBody. The input
+// is untrusted (it is read back from disk): malformed bodies return an
+// error, never a panic. The returned record's Name and Payload alias
+// body.
+func DecodeRecord(body []byte) (Record, error) {
+	if len(body) == 0 {
+		return Record{}, fmt.Errorf("wal: empty record body")
+	}
+	r := Record{Type: RecordType(body[0])}
+	if !r.Type.valid() {
+		return Record{}, fmt.Errorf("wal: unknown record type %d", body[0])
+	}
+	off := 1
+	next := func() (uint64, error) {
+		v, n := binary.Uvarint(body[off:])
+		if n <= 0 {
+			return 0, fmt.Errorf("wal: truncated record at offset %d", off)
+		}
+		off += n
+		return v, nil
+	}
+	var err error
+	if r.Gen, err = next(); err != nil {
+		return Record{}, err
+	}
+	if r.Epoch, err = next(); err != nil {
+		return Record{}, err
+	}
+	nameLen, err := next()
+	if err != nil {
+		return Record{}, err
+	}
+	if nameLen > maxNameLen || nameLen > uint64(len(body)-off) {
+		return Record{}, fmt.Errorf("wal: name length %d out of range", nameLen)
+	}
+	r.Name = string(body[off : off+int(nameLen)])
+	off += int(nameLen)
+	r.Payload = body[off:]
+	return r, nil
+}
+
+// appendFrame appends the framed encoding of r to dst: body length,
+// CRC32C of the body, body. The CRC covers only the body; a corrupt
+// length field is caught by the bounds checks on read and by the CRC of
+// whatever the misread length spans.
+func (r Record) appendFrame(dst []byte) []byte {
+	start := len(dst)
+	dst = append(dst, 0, 0, 0, 0, 0, 0, 0, 0)
+	dst = r.appendBody(dst)
+	body := dst[start+frameHeaderLen:]
+	binary.LittleEndian.PutUint32(dst[start:], uint32(len(body)))
+	binary.LittleEndian.PutUint32(dst[start+4:], crc32.Checksum(body, crcTable))
+	return dst
+}
+
+// parseFrame reads one framed record from the front of data. It returns
+// the record, the total frame size consumed, or an error describing why
+// the bytes cannot be a whole, intact frame (truncation and corruption
+// are both errors; the caller decides whether that means a torn tail or
+// hard corruption).
+func parseFrame(data []byte) (Record, int, error) {
+	if len(data) < frameHeaderLen {
+		return Record{}, 0, fmt.Errorf("wal: short frame header (%d bytes)", len(data))
+	}
+	n := binary.LittleEndian.Uint32(data)
+	if n == 0 || n > MaxRecordBytes {
+		return Record{}, 0, fmt.Errorf("wal: frame length %d out of range", n)
+	}
+	if uint64(n) > uint64(len(data)-frameHeaderLen) {
+		return Record{}, 0, fmt.Errorf("wal: frame length %d exceeds %d bytes available", n, len(data)-frameHeaderLen)
+	}
+	body := data[frameHeaderLen : frameHeaderLen+int(n)]
+	if got, want := crc32.Checksum(body, crcTable), binary.LittleEndian.Uint32(data[4:]); got != want {
+		return Record{}, 0, fmt.Errorf("wal: CRC mismatch (%08x != %08x)", got, want)
+	}
+	rec, err := DecodeRecord(body)
+	if err != nil {
+		return Record{}, 0, err
+	}
+	return rec, frameHeaderLen + int(n), nil
+}

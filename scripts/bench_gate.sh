@@ -1,16 +1,19 @@
 #!/usr/bin/env bash
 # CI benchmark trajectory: run the pinned subset (cmd/mbbbench -exp
 # trajectory), write the machine-readable record file ($BENCH_OUT,
-# default BENCH_6.json — per-solve seconds and search nodes, servebench
+# default BENCH_8.json — per-solve seconds and search nodes, servebench
 # cold/warm/burst latencies, mutebench mutate/solve percentiles per plan
-# outcome including the insert-heavy repair-path mix), and gate the
-# deterministic node counts against the newest committed BENCH_*.json
-# when one exists: a pin spending more than 2x the baseline's search
-# nodes fails the job. The JSON is written even when the gate fails so
-# CI can archive the regressing trajectory.
+# outcome including the insert-heavy repair-path mix and a WAL-on pass
+# whose -wal-suffixed records measure the write-ahead-log overhead of
+# the durable mutation path against the volatile records; the intent is
+# that wal-sync=interval stays under 1.15x of the volatile mutate p50),
+# and gate the deterministic node counts against the newest committed
+# BENCH_*.json when one exists: a pin spending more than 2x the
+# baseline's search nodes fails the job. The JSON is written even when
+# the gate fails so CI can archive the regressing trajectory.
 set -euo pipefail
 
-OUT="${BENCH_OUT:-BENCH_6.json}"
+OUT="${BENCH_OUT:-BENCH_8.json}"
 BUDGET="${BENCH_BUDGET:-15s}"
 
 baseline_args=()

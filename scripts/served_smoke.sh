@@ -14,9 +14,16 @@ BIN="${MBBSERVED_BIN:-$(mktemp -d)/mbbserved}"
 
 # MBBSERVED_PORT pins a port for debugging; the default asks the kernel
 # for a free one and discovers it from the daemon's startup log line.
+# The daemon runs durable: every upload/mutation lands in a write-ahead
+# log under DATA, which the kill -9 section below recovers from.
 LOG=$(mktemp)
-"$BIN" -addr "127.0.0.1:${MBBSERVED_PORT:-0}" -workers 2 -default-timeout 30s >"$LOG" 2>&1 &
-PID=$!
+DATA=$(mktemp -d)
+start_daemon() {
+    "$BIN" -addr "127.0.0.1:${MBBSERVED_PORT:-0}" -workers 2 -default-timeout 30s \
+        -data-dir "$DATA" -wal-sync always -retain-epochs 4 >"$LOG" 2>&1 &
+    PID=$!
+}
+start_daemon
 cleanup() {
     kill "$PID" 2>/dev/null || true
     wait "$PID" 2>/dev/null || true
@@ -26,15 +33,18 @@ trap cleanup EXIT
 fail() { echo "served_smoke: FAIL: $*" >&2; sed 's/^/served_smoke: daemon: /' "$LOG" >&2; exit 1; }
 
 # Wait for the daemon to announce its actual listening address.
-ADDR=""
-for _ in $(seq 1 100); do
-    ADDR=$(sed -n 's/.*listening on \(127\.0\.0\.1:[0-9][0-9]*\).*/\1/p' "$LOG" | head -n1)
-    [ -n "$ADDR" ] && break
-    kill -0 "$PID" 2>/dev/null || fail "daemon exited before listening"
-    sleep 0.1
-done
-[ -n "$ADDR" ] || fail "daemon never logged its listening address"
-BASE="http://$ADDR"
+wait_listen() {
+    ADDR=""
+    for _ in $(seq 1 100); do
+        ADDR=$(sed -n 's/.*listening on \(127\.0\.0\.1:[0-9][0-9]*\).*/\1/p' "$LOG" | head -n1)
+        [ -n "$ADDR" ] && break
+        kill -0 "$PID" 2>/dev/null || fail "daemon exited before listening"
+        sleep 0.1
+    done
+    [ -n "$ADDR" ] || fail "daemon never logged its listening address"
+    BASE="http://$ADDR"
+}
+wait_listen
 curl -fs "$BASE/healthz" >/dev/null || fail "healthz unreachable at $BASE"
 
 # Every response carries an X-Request-Id; a sane inbound id is echoed so
@@ -117,6 +127,47 @@ echo "$OUT" | grep -q '"exact":true' || fail "repaired-plan solve: not exact: $O
 echo "$OUT" | grep -q '"plan_cached":true' || fail "repaired-plan solve missed the cache: $OUT"
 INFO=$(curl -fs "$BASE/graphs/k33minus")
 echo "$INFO" | grep -q '"plan_builds":1' || fail "plan_builds moved after repaired solve: $INFO"
+
+# Historical epochs: with -retain-epochs 4 the whole k33 history
+# (epoch 0 upload, epoch 1 row deleted, epoch 2 row restored) stays
+# solvable and exportable.
+OUT=$(curl -fs -XPOST "$BASE/graphs/k33/solve?epoch=1" -d '{}')
+echo "$OUT" | grep -q '"size":2' || fail "epoch-1 solve: wrong size: $OUT"
+echo "$OUT" | grep -q '"epoch":1' || fail "epoch-1 solve: wrong epoch: $OUT"
+EXP=$(curl -fs "$BASE/graphs/k33/export?epoch=1&format=edgelist")
+echo "$EXP" | head -n1 | grep -q '^3 3 6$' || fail "epoch-1 export header wrong: $(echo "$EXP" | head -n1)"
+EXP=$(curl -fs "$BASE/graphs/k33/export?format=edgelist")
+echo "$EXP" | head -n1 | grep -q '^3 3 9$' || fail "current export header wrong: $(echo "$EXP" | head -n1)"
+CODE=$(curl -s -o /dev/null -w '%{http_code}' "$BASE/graphs/k33/export?epoch=99")
+[ "$CODE" = "404" ] || fail "out-of-window export returned $CODE, want 404"
+
+# The WAL shows up in /metrics with one append per upload/mutation.
+METRICS=$(curl -fs "$BASE/metrics")
+echo "$METRICS" | grep -q 'mbbserved_wal_appends_total' || fail "/metrics missing mbbserved_wal_appends_total"
+echo "$METRICS" | grep -q 'mbbserved_wal_fsyncs_total' || fail "/metrics missing mbbserved_wal_fsyncs_total"
+echo "$METRICS" | grep -q 'mbbserved_retained_snapshots' || fail "/metrics missing mbbserved_retained_snapshots"
+
+# Durability: kill -9 (no drain, no clean close) and restart on the same
+# data dir. Recovery must replay the WAL back to the exact pre-crash
+# state — same graphs, same epochs, same optima, retained history still
+# solvable — without re-uploading anything.
+kill -9 "$PID" 2>/dev/null || true
+wait "$PID" 2>/dev/null || true
+: >"$LOG"
+start_daemon
+wait_listen
+grep -q 'recovered' "$LOG" || fail "restarted daemon logged no recovery line"
+OUT=$(curl -fs -XPOST "$BASE/graphs/k33/solve" -d '{}')
+echo "$OUT" | grep -q '"size":3' || fail "post-crash solve: wrong size: $OUT"
+echo "$OUT" | grep -q '"exact":true' || fail "post-crash solve: not exact: $OUT"
+echo "$OUT" | grep -q '"epoch":2' || fail "post-crash solve: wrong epoch: $OUT"
+OUT=$(curl -fs -XPOST "$BASE/graphs/k33/solve?epoch=1" -d '{}')
+echo "$OUT" | grep -q '"size":2' || fail "post-crash epoch-1 solve: wrong size: $OUT"
+INFO=$(curl -fs "$BASE/graphs/k33")
+echo "$INFO" | grep -q '"epoch":2' || fail "post-crash graph info epoch != 2: $INFO"
+echo "$INFO" | grep -q '"mutations":2' || fail "post-crash graph info mutations != 2: $INFO"
+OUT=$(curl -fs -XPOST "$BASE/graphs/k33minus/solve" -d '{}')
+echo "$OUT" | grep -q '"size":3' || fail "post-crash k33minus solve: wrong size: $OUT"
 
 # Malformed mutations must be clean 400s and leave the epoch alone.
 CODE=$(curl -s -o /dev/null -w '%{http_code}' -XPOST "$BASE/graphs/k33/edges" -d '{"add":[[99,99]]}')
