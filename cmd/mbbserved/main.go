@@ -13,6 +13,10 @@
 //	          [-default-timeout 30s] [-max-timeout 10m]
 //	          [-drain-timeout 30s] [-request-timeout 0] [-pprof]
 //	          [-access-log stderr|none|PATH]
+//	          [-cluster-peers URL,URL,...] [-cluster-self URL]
+//	          [-replication 2] [-max-replica-lag 5s] [-ring-vnodes 64]
+//	mbbserved -coordinator -cluster-peers URL,URL,... [-addr :8080]
+//	          [-replication 2] [-ring-vnodes 64] [-probe-interval 1s]
 //
 // With -data-dir the store is durable: every upload, mutation and
 // delete is appended to a write-ahead log under that directory before
@@ -32,6 +36,20 @@
 // Every request gets an X-Request-Id (inbound ids are honored), panics
 // become 500s, access lines flow through a non-blocking ring buffer,
 // GET /metrics serves Prometheus text, and -pprof mounts /debug/pprof.
+//
+// Cluster mode shards graphs across workers by consistent hashing on
+// the graph name. Start every worker with the same -cluster-peers list
+// (its own URL named via -cluster-self) and a -data-dir, and one
+// -coordinator process with the same peer list fronting them: the
+// coordinator routes mutations to each graph's shard owner, fans solves
+// across the ready replicas that tail the owner's /replicate delta
+// stream, and converts per-shard queue depth and replication lag into
+// 429/503 + Retry-After admission decisions. Workers refuse misdirected
+// mutations (421 naming the owner) and lag-bounded replica solves (503
+// once -max-replica-lag is exceeded), and /readyz distinguishes a live
+// process (/healthz) from one that should receive traffic. DESIGN.md
+// §11 has the architecture and failure matrix; docs/operations.md has
+// the bring-up runbook.
 //
 // On SIGTERM/SIGINT the daemon drains: new solve submissions get 503 +
 // Retry-After while queued and running jobs finish (up to
@@ -67,6 +85,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/server"
 )
 
@@ -94,7 +113,18 @@ func run() int {
 	cancelWait := flag.Duration("cancel-wait", 30*time.Second, "bound on waiting for a canceled job after a sync client disconnect (-1ns = unbounded)")
 	accessLog := flag.String("access-log", "stderr", "access-log sink: stderr, none, or a file path (appended)")
 	enablePprof := flag.Bool("pprof", false, "mount /debug/pprof/ profiling endpoints")
+	coordinator := flag.Bool("coordinator", false, "run the cluster routing front-end instead of a worker")
+	clusterPeers := flag.String("cluster-peers", "", "comma-separated worker URLs forming the hash ring (enables cluster mode)")
+	clusterSelf := flag.String("cluster-self", "", "this worker's URL as it appears in -cluster-peers")
+	replication := flag.Int("replication", 2, "workers holding each graph, shard owner included")
+	maxReplicaLag := flag.Duration("max-replica-lag", 5*time.Second, "replica staleness bound before solves 503 (-1ns = unbounded)")
+	ringVnodes := flag.Int("ring-vnodes", 0, "virtual nodes per worker on the hash ring (0 = 64; must match cluster-wide)")
+	probeInterval := flag.Duration("probe-interval", time.Second, "coordinator /readyz poll period")
 	flag.Parse()
+
+	if *coordinator {
+		return runCoordinator(*addr, *clusterPeers, *ringVnodes, *replication, *probeInterval)
+	}
 
 	logW, logClose, err := accessLogWriter(*accessLog)
 	if err != nil {
@@ -122,6 +152,7 @@ func run() int {
 		RetainEpochs:    *retainEpochs,
 		WarmRecovery:    *warmRecovery,
 		RequestTimeout:  *reqTimeout,
+		MaxReplicaLag:   *maxReplicaLag,
 		CancelWait:      *cancelWait,
 		AccessLog:       logW,
 		EnablePprof:     *enablePprof,
@@ -140,6 +171,39 @@ func run() int {
 		log.Printf("mbbserved: preloaded %d graphs from %s (%d files skipped)", rep.Loaded, *storeDir, len(rep.Failed))
 	}
 
+	// Cluster worker mode: join the ring and tail the peers' delta
+	// streams. The ClusterInfo must be installed before the listener
+	// opens so the first request already sees ownership and lag gates.
+	var tm *cluster.TailManager
+	if *clusterPeers != "" {
+		if *dataDir == "" {
+			log.Printf("mbbserved: cluster workers need -data-dir (the WAL is the replication stream)")
+			srv.Close()
+			return 1
+		}
+		peers, perr := cluster.ParsePeers(*clusterPeers)
+		if perr != nil {
+			log.Printf("mbbserved: %v", perr)
+			srv.Close()
+			return 1
+		}
+		tm, err = cluster.NewTailManager(srv.Store(), cluster.Config{
+			Self:        cluster.NormalizeURL(*clusterSelf),
+			Peers:       peers,
+			Vnodes:      *ringVnodes,
+			Replication: *replication,
+			Warm:        *warmRecovery,
+		})
+		if err != nil {
+			log.Printf("mbbserved: %v", err)
+			srv.Close()
+			return 1
+		}
+		srv.SetCluster(tm)
+		log.Printf("mbbserved: cluster worker %s on a %d-node ring (replication %d)",
+			cluster.NormalizeURL(*clusterSelf), len(peers), *replication)
+	}
+
 	hs := &http.Server{
 		Handler:           srv.Handler(),
 		ReadHeaderTimeout: 10 * time.Second,
@@ -152,6 +216,9 @@ func run() int {
 		log.Printf("mbbserved: %v", err)
 		srv.Close()
 		return 1
+	}
+	if tm != nil {
+		tm.Start()
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -189,8 +256,66 @@ func run() int {
 	if err := hs.Shutdown(shutCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
 		log.Printf("mbbserved: shutdown: %v", err)
 	}
+	if tm != nil {
+		tm.Close()
+	}
 	srv.Close()
 	log.Printf("mbbserved: drained, bye")
+	return exit
+}
+
+// runCoordinator serves the cluster routing front-end: no store, no
+// WAL — just readiness probes and request routing over the worker ring.
+func runCoordinator(addr, peerSpec string, vnodes, replication int, probeInterval time.Duration) int {
+	peers, err := cluster.ParsePeers(peerSpec)
+	if err != nil {
+		log.Printf("mbbserved: -coordinator needs -cluster-peers: %v", err)
+		return 1
+	}
+	coord, err := cluster.NewCoordinator(cluster.CoordinatorConfig{
+		Peers:         peers,
+		Vnodes:        vnodes,
+		Replication:   replication,
+		ProbeInterval: probeInterval,
+	})
+	if err != nil {
+		log.Printf("mbbserved: %v", err)
+		return 1
+	}
+	coord.Start()
+	hs := &http.Server{
+		Handler:           server.Chain(coord.Handler(), server.RequestID),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		log.Printf("mbbserved: %v", err)
+		coord.Close()
+		return 1
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errCh := make(chan error, 1)
+	go func() {
+		log.Printf("mbbserved: coordinator listening on %s (%d workers, replication %d)", ln.Addr(), len(peers), replication)
+		errCh <- hs.Serve(ln)
+	}()
+	exit := 0
+	select {
+	case err := <-errCh:
+		log.Printf("mbbserved: serve: %v", err)
+		exit = 1
+	case <-ctx.Done():
+		stop()
+		log.Printf("mbbserved: signal received, shutting down coordinator")
+	}
+	shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := hs.Shutdown(shutCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		log.Printf("mbbserved: shutdown: %v", err)
+	}
+	coord.Close()
+	log.Printf("mbbserved: coordinator stopped, bye")
 	return exit
 }
 

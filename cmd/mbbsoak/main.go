@@ -23,6 +23,15 @@
 // the drained state, with the snapshot-leak gauge settling at the
 // recovered retention windows.
 //
+// -cluster N runs the workload against an in-process N-worker cluster
+// behind a coordinator: every worker is durable, tails its peers'
+// /replicate streams, and the workload flows through the coordinator's
+// routing (so misdirected requests would surface as failures). The
+// admission statuses the cluster legitimately produces (429 at
+// saturation, 503 during bring-up) are tolerated and counted; the final
+// phase asserts every graph converged to its shard owner's exact epoch
+// on every worker before the leak gauges run.
+//
 // Exit status 0 means the workload ran clean and nothing leaked; any
 // unexpected response or leaked resource prints a diagnosis and exits 1.
 package main
@@ -44,6 +53,9 @@ import (
 	"sync/atomic"
 	"time"
 
+	"encoding/json"
+
+	"repro/internal/cluster"
 	"repro/internal/server"
 	"repro/mbb"
 )
@@ -82,7 +94,16 @@ func run() int {
 	workers := flag.Int("workers", 0, "in-process daemon worker pool (0 = GOMAXPROCS)")
 	restart := flag.Bool("restart", false, "in-process only: run durable (WAL on -data-dir), reopen after the drain and assert recovery equality + zero snapshot leaks")
 	dataDir := flag.String("data-dir", "", "WAL directory for -restart (default: a fresh temp dir)")
+	clusterN := flag.Int("cluster", 0, "run against an in-process N-worker cluster behind a coordinator (N >= 2)")
 	flag.Parse()
+
+	if *clusterN != 0 {
+		if *clusterN < 2 || *url != "" || *restart {
+			fmt.Fprintln(os.Stderr, "mbbsoak: -cluster needs N >= 2 and neither -url nor -restart")
+			return 1
+		}
+		return runCluster(*clusterN, *duration, *clients, *graphs, *seed, *workers)
+	}
 
 	if *restart && *url != "" {
 		fmt.Fprintln(os.Stderr, "mbbsoak: -restart needs the in-process daemon (drop -url)")
@@ -319,6 +340,221 @@ func soakRestart(want []server.GraphInfo, dataDir string, workers int, fails *fa
 	}
 }
 
+// runCluster is the -cluster pass: N durable workers on one hash ring
+// behind a coordinator, the whole workload routed through the
+// coordinator, then convergence and leak assertions.
+func runCluster(n int, duration time.Duration, clients, graphs int, seed int64, workers int) int {
+	baseGoroutines := runtime.NumGoroutine()
+	fails := &failures{limit: 20}
+
+	type node struct {
+		srv *server.Server
+		hs  *http.Server
+		tm  *cluster.TailManager
+		url string
+	}
+	nodes := make([]*node, n)
+	var peers []string
+	lns := make([]net.Listener, n)
+	for i := range nodes {
+		dir, err := os.MkdirTemp("", "mbbsoak-cluster-")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "mbbsoak:", err)
+			return 1
+		}
+		defer os.RemoveAll(dir)
+		srv, err := server.New(server.Options{
+			Workers: workers, QueueCap: 64,
+			DefaultTimeout: 5 * time.Second, MaxTimeout: 10 * time.Second,
+			CancelWait: 5 * time.Second,
+			DataDir:    dir, WALSync: "interval", CheckpointEvery: 256, RetainEpochs: 4,
+			MaxReplicaLag: -1, // no kills in this pass; never lag-gate the workload
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "mbbsoak:", err)
+			return 1
+		}
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "mbbsoak:", err)
+			return 1
+		}
+		lns[i] = ln
+		nodes[i] = &node{srv: srv, url: "http://" + ln.Addr().String()}
+		peers = append(peers, nodes[i].url)
+	}
+	for i, nd := range nodes {
+		tm, err := cluster.NewTailManager(nd.srv.Store(), cluster.Config{Self: nd.url, Peers: peers, Replication: n})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "mbbsoak:", err)
+			return 1
+		}
+		nd.tm = tm
+		nd.srv.SetCluster(tm)
+		nd.hs = &http.Server{Handler: nd.srv.Handler(), ReadHeaderTimeout: 10 * time.Second}
+		go nd.hs.Serve(lns[i])
+		tm.Start()
+	}
+
+	coord, err := cluster.NewCoordinator(cluster.CoordinatorConfig{
+		Peers: peers, Replication: n, ProbeInterval: 100 * time.Millisecond,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mbbsoak:", err)
+		return 1
+	}
+	coord.Start()
+	cln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mbbsoak:", err)
+		return 1
+	}
+	chs := &http.Server{Handler: server.Chain(coord.Handler(), server.RequestID), ReadHeaderTimeout: 10 * time.Second}
+	go chs.Serve(cln)
+	base := "http://" + cln.Addr().String()
+	fmt.Printf("mbbsoak: %d-worker cluster behind coordinator %s\n", n, base)
+
+	tr := &http.Transport{MaxIdleConns: clients * 2, MaxIdleConnsPerHost: clients * 2}
+	httpc := &http.Client{Transport: tr, Timeout: 30 * time.Second}
+
+	if !eventually(10*time.Second, func() bool {
+		body, status := get(httpc, base+"/readyz")
+		return status == http.StatusOK && strings.Contains(body, fmt.Sprintf(`"workers_ready":%d`, n))
+	}) {
+		fails.addf("cluster never reached %d ready workers", n)
+	}
+
+	ctr := &counters{}
+	ctx, cancel := context.WithTimeout(context.Background(), duration)
+	defer cancel()
+	var wg sync.WaitGroup
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			c := &soakClient{
+				id: id, base: base, httpc: httpc,
+				rng:    rand.New(rand.NewSource(seed + int64(id))),
+				graphs: graphs, ctr: ctr, fails: fails,
+				extra: []int{http.StatusTooManyRequests, http.StatusServiceUnavailable},
+			}
+			c.loop(ctx)
+		}(i)
+	}
+	wg.Wait()
+
+	ops := ctr.uploads.Load() + ctr.solves.Load() + ctr.submits.Load() + ctr.cancels.Load() +
+		ctr.mutates.Load() + ctr.reads.Load() + ctr.deletes.Load() + ctr.disconnects.Load()
+	fmt.Printf("mbbsoak: %v elapsed, %d ops via coordinator (uploads %d, solves %d, submits %d, cancels %d, mutates %d, reads %d, deletes %d, disconnects %d, backoffs %d)\n",
+		duration, ops, ctr.uploads.Load(), ctr.solves.Load(), ctr.submits.Load(), ctr.cancels.Load(),
+		ctr.mutates.Load(), ctr.reads.Load(), ctr.deletes.Load(), ctr.disconnects.Load(), ctr.retried.Load())
+
+	// Quiesce every worker's scheduler.
+	for _, nd := range nodes {
+		nd := nd
+		if !eventually(30*time.Second, func() bool { return nd.srv.Scheduler().Live() == 0 }) {
+			fails.addf("worker %s still has live jobs 30s after the workload stopped", nd.url)
+		}
+	}
+
+	// The coordinator's own metrics must serve.
+	if body, status := get(httpc, base+"/metrics"); status != http.StatusOK {
+		fails.addf("coordinator /metrics returned %d", status)
+	} else if !strings.Contains(body, "mbbcoord_forwards_total") || !strings.Contains(body, "mbbcoord_workers_ready") {
+		fails.addf("coordinator /metrics is missing mbbcoord series")
+	}
+
+	// Convergence: every worker must reach its shard owner's exact state
+	// (same epoch and shape, or the same absence) for every graph name.
+	graphKey := func(url, name string) string {
+		body, status := get(httpc, url+"/graphs/"+name)
+		if status == http.StatusNotFound {
+			return "absent"
+		}
+		if status != http.StatusOK {
+			return fmt.Sprintf("status-%d", status)
+		}
+		var gi server.GraphInfo
+		if err := json.Unmarshal([]byte(body), &gi); err != nil {
+			return "undecodable"
+		}
+		return fmt.Sprintf("epoch=%d nl=%d nr=%d edges=%d", gi.Epoch, gi.NL, gi.NR, gi.Edges)
+	}
+	ring := nodes[0].tm.Ring()
+	for g := 0; g < graphs; g++ {
+		name := fmt.Sprintf("soak%d", g)
+		owner := ring.Owner(name)
+		if !eventually(20*time.Second, func() bool {
+			want := graphKey(owner, name)
+			for _, nd := range nodes {
+				if graphKey(nd.url, name) != want {
+					return false
+				}
+			}
+			return true
+		}) {
+			detail := ""
+			for _, nd := range nodes {
+				detail += fmt.Sprintf(" %s:[%s]", nd.url, graphKey(nd.url, name))
+			}
+			fails.addf("graph %s never converged to owner %s's state:%s", name, owner, detail)
+		}
+	}
+
+	// Shutdown: stop tailing first (so /replicate handlers unblock), then
+	// the coordinator, then the workers.
+	for _, nd := range nodes {
+		nd.tm.Close()
+	}
+	coord.Close()
+	shutCtx, cancelShut := context.WithTimeout(context.Background(), 10*time.Second)
+	if err := chs.Shutdown(shutCtx); err != nil {
+		fails.addf("coordinator shutdown: %v", err)
+	}
+	for _, nd := range nodes {
+		if err := nd.hs.Shutdown(shutCtx); err != nil {
+			fails.addf("worker shutdown: %v", err)
+		}
+		nd.srv.Close()
+	}
+	cancelShut()
+	tr.CloseIdleConnections()
+
+	// Leak gauges across the whole fleet.
+	var retained int64
+	for _, nd := range nodes {
+		retained += nd.srv.Store().RetainedSnapshots()
+		if p := nd.srv.Metrics().Panics(); p > 0 {
+			fails.addf("%d handler panics on worker %s", p, nd.url)
+		}
+	}
+	if !eventually(10*time.Second, func() bool {
+		runtime.GC()
+		return server.LiveSnapshots() <= retained
+	}) {
+		fails.addf("snapshot leak: %d live, want <= %d retained across %d workers", server.LiveSnapshots(), retained, n)
+	}
+	if !eventually(10*time.Second, func() bool {
+		runtime.GC()
+		return runtime.NumGoroutine() <= baseGoroutines
+	}) {
+		fails.addf("goroutine leak: %d live, baseline %d", runtime.NumGoroutine(), baseGoroutines)
+		pprof.Lookup("goroutine").WriteTo(os.Stderr, 1)
+	}
+
+	fails.mu.Lock()
+	defer fails.mu.Unlock()
+	if fails.n > 0 {
+		fmt.Fprintf(os.Stderr, "mbbsoak: FAIL: %d unexpected outcomes\n", fails.n)
+		for _, m := range fails.msgs {
+			fmt.Fprintln(os.Stderr, "mbbsoak:   ", m)
+		}
+		return 1
+	}
+	fmt.Printf("mbbsoak: OK — %d workers converged, zero leaked goroutines, jobs and snapshots\n", n)
+	return 0
+}
+
 // eventually polls cond (with backoff) until it holds or the deadline
 // passes.
 func eventually(d time.Duration, cond func() bool) bool {
@@ -376,6 +612,9 @@ type soakClient struct {
 	ctr    *counters
 	fails  *failures
 	nreq   int
+	// extra statuses tolerated on every op — cluster mode adds the
+	// coordinator's admission answers (429 saturation, 503 bring-up).
+	extra []int
 }
 
 func (c *soakClient) graphName() string {
@@ -436,9 +675,9 @@ func (c *soakClient) expect(status int, body, op string, want ...int) {
 	if status == 0 {
 		return // transport error already recorded (or context over)
 	}
-	for _, w := range want {
+	for _, w := range append(want, c.extra...) {
 		if status == w {
-			if status == http.StatusServiceUnavailable {
+			if status == http.StatusServiceUnavailable || status == http.StatusTooManyRequests {
 				c.ctr.retried.Add(1)
 			}
 			return

@@ -96,4 +96,18 @@
 // DESIGN.md §6–7 for the API, a curl quick-start and the maintenance
 // rules; cmd/mbbbench -exp servebench measures the amortization and
 // -exp mutebench the mutate/solve interleaving per plan outcome.
+//
+// The daemon is durable and clusterable. With -data-dir, every
+// upload/mutation/delete is appended to a write-ahead delta log
+// (internal/wal, versioned codec in internal/bigraph) before it
+// becomes visible, with group-commit fsync, checkpoint/compaction and
+// exact crash recovery; ?epoch=E answers against a retained window of
+// past versions (DESIGN.md §10). With -cluster-peers, workers shard
+// the store over a static consistent-hash ring and replicate each
+// owner's WAL to its followers as a delta stream (internal/cluster),
+// while a stateless -coordinator front-end routes mutations to shard
+// owners and fans solves across ready replicas; replicas that lag
+// shed reads rather than serve stale epochs, so every answer remains
+// exact for the epoch it reports cluster-wide (DESIGN.md §11,
+// docs/operations.md for the operator runbooks).
 package repro

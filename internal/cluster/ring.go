@@ -1,0 +1,156 @@
+// Package cluster scales the serving layer horizontally: a consistent
+// hash ring shards graphs by name across worker daemons, a coordinator
+// routes client traffic to shard owners (mutations) and read replicas
+// (solves), and a tail manager on each worker follows its peers'
+// /replicate delta streams so replicas converge on the owner's exact
+// epochs and answer with the same per-epoch exactness guarantee.
+//
+// The dependency points outward: this package imports internal/server
+// (and internal/wal for the stream protocol); the server sees the
+// cluster only through the small server.ClusterInfo interface. The
+// ring is static configuration — every worker and the coordinator are
+// started with the same peer list, and a worker leaving the ring does
+// not rebalance it: its graphs stay readable on replicas and writable
+// again when it returns (DESIGN.md §11 has the failure matrix).
+package cluster
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"strings"
+)
+
+// DefaultVnodes is the default virtual-node count per worker. 64 keeps
+// the expected ownership imbalance across a handful of workers within a
+// few percent while the ring stays tiny (N×64 points).
+const DefaultVnodes = 64
+
+// Ring is a consistent hash ring over worker URLs. Ownership of a name
+// is the first ring point at or after the name's hash; the replica set
+// is the next distinct workers clockwise. All workers build identical
+// rings from the same peer list (order-insensitive: nodes are sorted
+// before placement), so ownership is agreed without coordination.
+type Ring struct {
+	nodes  []string // sorted, deduplicated worker URLs
+	points []ringPoint
+}
+
+type ringPoint struct {
+	hash uint64
+	node int // index into nodes
+}
+
+// NewRing builds a ring of vnodes points per node (DefaultVnodes when
+// vnodes <= 0). Node URLs are normalized only by sorting and
+// deduplication — callers pass the same strings everywhere.
+func NewRing(nodes []string, vnodes int) (*Ring, error) {
+	if vnodes <= 0 {
+		vnodes = DefaultVnodes
+	}
+	seen := make(map[string]bool, len(nodes))
+	r := &Ring{}
+	for _, n := range nodes {
+		if n == "" {
+			return nil, fmt.Errorf("cluster: empty worker URL in peer list")
+		}
+		if !seen[n] {
+			seen[n] = true
+			r.nodes = append(r.nodes, n)
+		}
+	}
+	if len(r.nodes) == 0 {
+		return nil, fmt.Errorf("cluster: peer list is empty")
+	}
+	sort.Strings(r.nodes)
+	r.points = make([]ringPoint, 0, len(r.nodes)*vnodes)
+	for i, n := range r.nodes {
+		for v := 0; v < vnodes; v++ {
+			r.points = append(r.points, ringPoint{hash: ringHash(n + "#" + fmt.Sprint(v)), node: i})
+		}
+	}
+	sort.Slice(r.points, func(a, b int) bool {
+		p, q := r.points[a], r.points[b]
+		if p.hash != q.hash {
+			return p.hash < q.hash
+		}
+		return p.node < q.node // deterministic tiebreak on (vanishingly rare) collisions
+	})
+	return r, nil
+}
+
+// ringHash is FNV-64a: stable across processes and platforms, which is
+// what ownership agreement needs (maphash would differ per process).
+func ringHash(s string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(s))
+	return h.Sum64()
+}
+
+// Nodes returns the ring's workers, sorted.
+func (r *Ring) Nodes() []string { return r.nodes }
+
+// Owner returns the worker URL owning the named graph.
+func (r *Ring) Owner(name string) string { return r.nodes[r.points[r.search(name)].node] }
+
+// Replicas returns the named graph's preference list: the owner first,
+// then the next distinct workers clockwise, k entries total (clamped to
+// the ring size). Every worker computes the same list.
+func (r *Ring) Replicas(name string, k int) []string {
+	if k < 1 {
+		k = 1
+	}
+	if k > len(r.nodes) {
+		k = len(r.nodes)
+	}
+	out := make([]string, 0, k)
+	seen := make(map[int]bool, k)
+	for i := r.search(name); len(out) < k; i++ {
+		p := r.points[i%len(r.points)]
+		if !seen[p.node] {
+			seen[p.node] = true
+			out = append(out, r.nodes[p.node])
+		}
+	}
+	return out
+}
+
+// search finds the first ring point at or after the name's hash.
+func (r *Ring) search(name string) int {
+	h := ringHash(name)
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if i == len(r.points) {
+		i = 0
+	}
+	return i
+}
+
+// ParsePeers splits a comma-separated worker URL list, trims blanks,
+// defaults bare host:port entries to http:// and strips trailing
+// slashes, so flag values compare equal however they were spelled.
+func ParsePeers(spec string) ([]string, error) {
+	var peers []string
+	for _, p := range strings.Split(spec, ",") {
+		p = NormalizeURL(p)
+		if p == "" {
+			continue
+		}
+		peers = append(peers, p)
+	}
+	if len(peers) == 0 {
+		return nil, fmt.Errorf("cluster: no worker URLs in %q", spec)
+	}
+	return peers, nil
+}
+
+// NormalizeURL canonicalizes one worker URL the way ParsePeers does.
+func NormalizeURL(p string) string {
+	p = strings.TrimSpace(p)
+	if p == "" {
+		return ""
+	}
+	if !strings.Contains(p, "://") {
+		p = "http://" + p
+	}
+	return strings.TrimRight(p, "/")
+}

@@ -1,0 +1,103 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestRingDeterministicAcrossOrderings(t *testing.T) {
+	a, err := NewRing([]string{"http://w1:1", "http://w2:2", "http://w3:3"}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewRing([]string{"http://w3:3", "http://w1:1", "http://w2:2", "http://w1:1"}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 500; i++ {
+		name := fmt.Sprintf("graph-%d", i)
+		if a.Owner(name) != b.Owner(name) {
+			t.Fatalf("owner of %q differs across peer orderings: %s vs %s", name, a.Owner(name), b.Owner(name))
+		}
+		ra, rb := a.Replicas(name, 2), b.Replicas(name, 2)
+		if len(ra) != 2 || ra[0] != rb[0] || ra[1] != rb[1] {
+			t.Fatalf("replicas of %q differ: %v vs %v", name, ra, rb)
+		}
+	}
+}
+
+func TestRingDistribution(t *testing.T) {
+	nodes := []string{"http://a:1", "http://b:1", "http://c:1"}
+	r, err := NewRing(nodes, DefaultVnodes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[string]int{}
+	const n = 9000
+	for i := 0; i < n; i++ {
+		counts[r.Owner(fmt.Sprintf("g%d", i))]++
+	}
+	for _, u := range nodes {
+		// A perfectly even split is n/3; require each node to own at
+		// least a third of its fair share — a very loose bound that only
+		// a broken placement would miss.
+		if counts[u] < n/9 {
+			t.Fatalf("unbalanced ring: %v", counts)
+		}
+	}
+}
+
+func TestRingReplicas(t *testing.T) {
+	r, err := NewRing([]string{"http://a:1", "http://b:1", "http://c:1"}, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 200; i++ {
+		name := fmt.Sprintf("g%d", i)
+		reps := r.Replicas(name, 5) // over-asking clamps to ring size
+		if len(reps) != 3 {
+			t.Fatalf("replicas(%q, 5) = %v, want all 3 distinct nodes", name, reps)
+		}
+		if reps[0] != r.Owner(name) {
+			t.Fatalf("preference list of %q does not start with its owner: %v", name, reps)
+		}
+		seen := map[string]bool{}
+		for _, u := range reps {
+			if seen[u] {
+				t.Fatalf("duplicate replica in %v", reps)
+			}
+			seen[u] = true
+		}
+	}
+	if got := r.Replicas("g", 1); len(got) != 1 || got[0] != r.Owner("g") {
+		t.Fatalf("replication 1 should be the owner alone, got %v", got)
+	}
+}
+
+func TestRingRejectsBadInput(t *testing.T) {
+	if _, err := NewRing(nil, 4); err == nil {
+		t.Fatal("empty peer list accepted")
+	}
+	if _, err := NewRing([]string{"http://a:1", ""}, 4); err == nil {
+		t.Fatal("blank peer URL accepted")
+	}
+}
+
+func TestParsePeers(t *testing.T) {
+	peers, err := ParsePeers(" localhost:8080, http://w2:9090/ ,https://w3 ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"http://localhost:8080", "http://w2:9090", "https://w3"}
+	if len(peers) != len(want) {
+		t.Fatalf("peers %v, want %v", peers, want)
+	}
+	for i := range want {
+		if peers[i] != want[i] {
+			t.Fatalf("peers %v, want %v", peers, want)
+		}
+	}
+	if _, err := ParsePeers(" , "); err == nil {
+		t.Fatal("blank spec accepted")
+	}
+}

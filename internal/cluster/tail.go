@@ -1,0 +1,386 @@
+package cluster
+
+import (
+	"bufio"
+	"context"
+	"errors"
+	"fmt"
+	"log"
+	"net/http"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/server"
+	"repro/internal/wal"
+)
+
+// Config configures a worker's cluster membership.
+type Config struct {
+	// Self is this worker's URL exactly as it appears in Peers.
+	Self string
+	// Peers is every worker URL on the ring, self included.
+	Peers []string
+	// Vnodes is the ring's virtual-node count; must match across the
+	// cluster. Default DefaultVnodes.
+	Vnodes int
+	// Replication is how many workers hold each graph, owner included.
+	// Default 2; clamped to the ring size. 1 disables replication
+	// (sharding only).
+	Replication int
+	// Warm builds plans eagerly for replicated graph installs, like
+	// -warm-recovery does for WAL replay.
+	Warm bool
+	// Client performs the /replicate requests. Default: a dedicated
+	// client with no overall timeout (the streams are unbounded).
+	Client *http.Client
+}
+
+func (c Config) withDefaults() (Config, error) {
+	if c.Self == "" {
+		return c, fmt.Errorf("cluster: Self URL is required")
+	}
+	if c.Vnodes <= 0 {
+		c.Vnodes = DefaultVnodes
+	}
+	if c.Replication <= 0 {
+		c.Replication = 2
+	}
+	if c.Replication > len(c.Peers) {
+		c.Replication = len(c.Peers)
+	}
+	if c.Client == nil {
+		c.Client = &http.Client{}
+	}
+	found := false
+	for _, p := range c.Peers {
+		if p == c.Self {
+			found = true
+			break
+		}
+	}
+	if !found {
+		return c, fmt.Errorf("cluster: self %q is not in the peer list %v", c.Self, c.Peers)
+	}
+	return c, nil
+}
+
+// TailManager follows peers' /replicate delta streams and applies the
+// records this worker replicates (graphs whose ring owner is the
+// streamed peer and whose replica set includes self) into the local
+// store through Store.ApplyReplica. It implements server.ClusterInfo,
+// so the server's handlers enforce ownership (421 on misdirected
+// mutations) and lag bounds (503 on stale replica solves) through it.
+type TailManager struct {
+	cfg   Config
+	ring  *Ring
+	store *server.Store
+
+	ctx    context.Context
+	cancel context.CancelFunc
+	wg     sync.WaitGroup
+
+	applied atomic.Int64
+	resyncs atomic.Int64
+
+	streams map[string]*tailStream // keyed by peer URL; empty when Replication == 1
+}
+
+// tailStream is one peer's replication stream state.
+type tailStream struct {
+	peer string
+
+	mu        sync.Mutex
+	pos       wal.Pos // resume position in the peer's log coordinates
+	connected bool
+	synced    bool      // completed initial catch-up (sticky across reconnects)
+	lagSince  time.Time // zero while connected and caught up
+	failed    error     // sticky apply/protocol failure (cleared by a clean catch-up)
+}
+
+// NewTailManager builds the manager; Start begins tailing.
+func NewTailManager(store *server.Store, cfg Config) (*TailManager, error) {
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	ring, err := NewRing(cfg.Peers, cfg.Vnodes)
+	if err != nil {
+		return nil, err
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	m := &TailManager{cfg: cfg, ring: ring, store: store, ctx: ctx, cancel: cancel, streams: make(map[string]*tailStream)}
+	if cfg.Replication >= 2 {
+		for _, p := range ring.Nodes() {
+			if p != cfg.Self {
+				m.streams[p] = &tailStream{peer: p}
+			}
+		}
+	}
+	return m, nil
+}
+
+// Ring exposes the manager's hash ring (the coordinator test harness
+// and mbbsoak use it to pick owners).
+func (m *TailManager) Ring() *Ring { return m.ring }
+
+// Start launches one tail goroutine per peer. Call after the local
+// store has recovered (server.New returned), so replicated state lands
+// on a settled store.
+func (m *TailManager) Start() {
+	for _, st := range m.streams {
+		m.wg.Add(1)
+		go m.run(st)
+	}
+}
+
+// Close stops every stream and waits for the tail goroutines.
+func (m *TailManager) Close() {
+	m.cancel()
+	m.wg.Wait()
+}
+
+// OwnerOf implements server.ClusterInfo.
+func (m *TailManager) OwnerOf(name string) (string, bool) {
+	owner := m.ring.Owner(name)
+	return owner, owner == m.cfg.Self
+}
+
+// ReplicaOf implements server.ClusterInfo.
+func (m *TailManager) ReplicaOf(name string) bool {
+	for _, p := range m.ring.Replicas(name, m.cfg.Replication)[1:] {
+		if p == m.cfg.Self {
+			return true
+		}
+	}
+	return false
+}
+
+// Lag implements server.ClusterInfo: the replication state of the
+// stream from the named graph's owner. A disconnected stream counts as
+// lagging from the moment it broke — the replica cannot tell a dead
+// owner (safe to serve: no writes are landing anywhere) from a
+// partition (its data may be going stale), so the lag bound is the
+// operator's knob for how long to keep serving under that uncertainty.
+func (m *TailManager) Lag(name string) (time.Duration, bool) {
+	owner := m.ring.Owner(name)
+	if owner == m.cfg.Self {
+		return 0, true
+	}
+	st, ok := m.streams[owner]
+	if !ok {
+		return 0, false // not replicating that peer at all
+	}
+	return st.state()
+}
+
+// Status implements server.ClusterInfo.
+func (m *TailManager) Status() server.ClusterStatus {
+	cs := server.ClusterStatus{
+		Self:    m.cfg.Self,
+		Peers:   len(m.ring.Nodes()),
+		Synced:  true,
+		Applied: m.applied.Load(),
+		Resyncs: m.resyncs.Load(),
+	}
+	for _, st := range m.streams {
+		lag, synced := st.state()
+		st.mu.Lock()
+		connected := st.connected
+		st.mu.Unlock()
+		if connected {
+			cs.Streams++
+		}
+		if !synced {
+			cs.Synced = false
+		}
+		if lag > cs.MaxLag {
+			cs.MaxLag = lag
+		}
+	}
+	return cs
+}
+
+func (st *tailStream) state() (lag time.Duration, synced bool) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if !st.lagSince.IsZero() {
+		lag = time.Since(st.lagSince)
+	}
+	return lag, st.synced && st.failed == nil
+}
+
+// run reconnects the peer's stream forever, backing off on failures.
+// Sticky apply failures (codec version skew, divergence) retry on the
+// longest backoff: the record cannot be skipped, but the peer may be
+// rolled to a compatible version later.
+func (m *TailManager) run(st *tailStream) {
+	defer m.wg.Done()
+	const minBackoff, maxBackoff, failedBackoff = 250 * time.Millisecond, 2 * time.Second, 5 * time.Second
+	backoff := minBackoff
+	for m.ctx.Err() == nil {
+		applied, err := m.streamOnce(st)
+		if m.ctx.Err() != nil {
+			return
+		}
+		if err != nil && !errors.Is(err, context.Canceled) {
+			log.Printf("cluster: replicate stream from %s: %v", st.peer, err)
+		}
+		st.mu.Lock()
+		st.connected = false
+		if st.lagSince.IsZero() {
+			st.lagSince = time.Now()
+		}
+		sticky := st.failed != nil
+		st.mu.Unlock()
+		if applied > 0 {
+			backoff = minBackoff
+		}
+		wait := backoff
+		if sticky {
+			wait = failedBackoff
+		} else if backoff < maxBackoff {
+			backoff *= 2
+		}
+		select {
+		case <-m.ctx.Done():
+			return
+		case <-time.After(wait):
+		}
+	}
+}
+
+// streamOnce runs one /replicate connection to completion, applying
+// replicated records and tracking catch-up state. It returns how many
+// records it applied and the error that ended the stream.
+func (m *TailManager) streamOnce(st *tailStream) (int64, error) {
+	st.mu.Lock()
+	pos := st.pos
+	st.mu.Unlock()
+	url := st.peer + "/replicate"
+	if !pos.IsZero() {
+		url += "?pos=" + pos.String()
+	}
+	req, err := http.NewRequestWithContext(m.ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return 0, err
+	}
+	resp, err := m.cfg.Client.Do(req)
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return 0, fmt.Errorf("%s: %s", url, resp.Status)
+	}
+	if v, err := strconv.Atoi(resp.Header.Get(wal.StreamProtoHeader)); err != nil || v != wal.StreamProtoVersion {
+		// A protocol we cannot parse: refuse the stream rather than
+		// guess at frame layouts. Sticky until the peer speaks ours.
+		err := fmt.Errorf("replication protocol version %q from %s (want %d)", resp.Header.Get(wal.StreamProtoHeader), st.peer, wal.StreamProtoVersion)
+		st.fail(err)
+		return 0, err
+	}
+	// The server names the position it actually serves from — our
+	// requested resume point, or its oldest byte when compaction (or a
+	// log rebuild) dropped ours. Adopt it so positions and heartbeats
+	// compare in the same coordinates.
+	start, err := wal.ParsePos(resp.Header.Get(wal.StreamStartHeader))
+	if err != nil {
+		return 0, fmt.Errorf("bad %s header from %s: %v", wal.StreamStartHeader, st.peer, err)
+	}
+	st.mu.Lock()
+	if start != st.pos {
+		if !st.pos.IsZero() {
+			m.resyncs.Add(1)
+			st.synced = false // re-reading history; caught-up again at the next covering heartbeat
+		}
+		st.pos = start
+	}
+	st.connected = true
+	st.mu.Unlock()
+
+	var applied int64
+	br := bufio.NewReaderSize(resp.Body, 64<<10)
+	for {
+		msg, err := wal.ReadStreamMsg(br)
+		if err != nil {
+			return applied, err
+		}
+		switch msg.Kind {
+		case wal.StreamHeartbeat:
+			st.observeEnd(msg.Pos)
+		case wal.StreamRecord:
+			if m.replicates(st.peer, msg.Rec) {
+				if err := m.store.ApplyReplica(msg.Rec, m.cfg.Warm); err != nil {
+					if errors.Is(err, server.ErrReplicaGap) {
+						// The stream skipped state we need; restart it
+						// from the owner's oldest segment (complete
+						// state at its checkpoint head).
+						m.resyncs.Add(1)
+						st.mu.Lock()
+						st.pos = wal.Pos{}
+						st.synced = false
+						st.mu.Unlock()
+						return applied, err
+					}
+					// A record we cannot apply — codec version skew or
+					// divergence. The position does NOT advance past
+					// it (no partial or skipped apply); the stream is
+					// unsynced until an operator fixes the skew.
+					st.fail(err)
+					return applied, err
+				}
+				m.applied.Add(1)
+				applied++
+			}
+			st.advance(msg.Pos)
+		}
+	}
+}
+
+// replicates reports whether rec, arriving on peer's stream, is a
+// graph this worker replicates from that peer. Records without a name
+// (checkpoint-end) and graphs owned elsewhere or not replicated here
+// are filtered out — the position still advances past them.
+func (m *TailManager) replicates(peer string, rec wal.Record) bool {
+	if rec.Name == "" {
+		return false
+	}
+	if m.ring.Owner(rec.Name) != peer {
+		return false
+	}
+	return m.ReplicaOf(rec.Name)
+}
+
+func (st *tailStream) advance(pos wal.Pos) {
+	st.mu.Lock()
+	st.pos = pos
+	st.mu.Unlock()
+}
+
+// observeEnd folds a heartbeat (the owner's log end) into the lag
+// state: at or past it we are caught up — synced, zero lag, and any
+// sticky failure is cleared (the bad record was compacted away or the
+// peer was fixed); behind it, the lag clock starts if it wasn't
+// already running.
+func (st *tailStream) observeEnd(end wal.Pos) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if !end.After(st.pos) {
+		st.synced = true
+		st.failed = nil
+		st.lagSince = time.Time{}
+	} else if st.lagSince.IsZero() {
+		st.lagSince = time.Now()
+	}
+}
+
+func (st *tailStream) fail(err error) {
+	st.mu.Lock()
+	st.failed = err
+	if st.lagSince.IsZero() {
+		st.lagSince = time.Now()
+	}
+	st.mu.Unlock()
+}

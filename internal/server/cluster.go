@@ -1,0 +1,163 @@
+package server
+
+import (
+	"fmt"
+	"net/http"
+	"time"
+)
+
+// ClusterStatus is a point-in-time summary of a worker's replication
+// state, surfaced through /readyz and /metrics.
+type ClusterStatus struct {
+	Self    string        // this worker's advertised URL
+	Peers   int           // workers on the ring, self included
+	Streams int           // replication streams currently connected
+	Synced  bool          // every stream has completed its initial catch-up
+	MaxLag  time.Duration // worst replication lag across streams
+	Applied int64         // records applied from peers' streams
+	Resyncs int64         // full stream restarts (epoch gaps, log resets)
+}
+
+// ClusterInfo is what the server needs to know about its cluster role;
+// internal/cluster implements it. The server only consults it — graph
+// ownership, replica membership and replication lag — so the dependency
+// points outward (cluster imports server, never the reverse). Install
+// with SetCluster before serving traffic; nil means single-node.
+type ClusterInfo interface {
+	// OwnerOf returns the owning worker's URL for a graph name and
+	// whether this worker is that owner.
+	OwnerOf(name string) (owner string, self bool)
+	// ReplicaOf reports whether this worker replicates the named graph
+	// (owner excluded).
+	ReplicaOf(name string) bool
+	// Lag returns the replication lag behind the named graph's owner
+	// and whether that stream has completed its initial catch-up. The
+	// owner's own graphs report (0, true).
+	Lag(name string) (lag time.Duration, synced bool)
+	// Status summarizes all streams for readiness and metrics.
+	Status() ClusterStatus
+}
+
+// SetCluster installs the worker's cluster view. Must be called before
+// the handler serves traffic (cmd wiring does it between New and
+// listen); handlers read the field without synchronization.
+func (s *Server) SetCluster(ci ClusterInfo) { s.cluster = ci }
+
+// ReadyStatus is the GET /readyz payload — the machine-readable
+// readiness the coordinator's health probes steer by.
+type ReadyStatus struct {
+	Ready         bool    `json:"ready"`
+	Draining      bool    `json:"draining"`
+	QueueDepth    int     `json:"queue_depth"`
+	QueueCapacity int     `json:"queue_capacity"`
+	Running       int64   `json:"running"`
+	Synced        bool    `json:"synced"`
+	LagSeconds    float64 `json:"lag_seconds"`
+	Reason        string  `json:"reason,omitempty"`
+}
+
+// readyStatus computes the current readiness: false while draining or
+// while any replication stream is still in its initial catch-up or
+// lagging past the bound. (Recovery cannot be observed here: New
+// replays the WAL before the handler exists, so a recovering daemon is
+// simply not listening yet.)
+func (s *Server) readyStatus() ReadyStatus {
+	st := ReadyStatus{
+		Ready:         true,
+		Draining:      s.Draining(),
+		QueueDepth:    s.sched.QueueDepth(),
+		QueueCapacity: s.sched.QueueCapacity(),
+		Running:       s.sched.Running(),
+		Synced:        true,
+	}
+	if st.Draining {
+		st.Ready = false
+		st.Reason = "draining"
+	}
+	if ci := s.cluster; ci != nil {
+		cs := ci.Status()
+		st.Synced = cs.Synced
+		st.LagSeconds = cs.MaxLag.Seconds()
+		switch {
+		case !cs.Synced && st.Ready:
+			st.Ready = false
+			st.Reason = "replication catching up"
+		case s.opt.MaxReplicaLag > 0 && cs.MaxLag > s.opt.MaxReplicaLag && st.Ready:
+			st.Ready = false
+			st.Reason = fmt.Sprintf("replication lag %.1fs exceeds %v", cs.MaxLag.Seconds(), s.opt.MaxReplicaLag)
+		}
+	}
+	return st
+}
+
+// handleReadyz is the readiness probe: 200 while the worker should
+// receive traffic, 503 otherwise. /healthz stays pure liveness (the
+// process is up); this is the one load balancers and the coordinator
+// watch.
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	st := s.readyStatus()
+	code := http.StatusOK
+	if !st.Ready {
+		code = http.StatusServiceUnavailable
+		w.Header().Set("Retry-After", "1")
+	}
+	writeJSON(w, code, st)
+}
+
+// misdirected rejects a mutation addressed to a graph this worker does
+// not own with 421 Misdirected Request, naming the owner in the
+// X-Mbb-Owner header so a bypassing client can fix its routing. The
+// ownership check is what keeps every mutation on its shard owner's
+// WAL — the durability-before-visibility invariant only holds there.
+// A true return means the response was written.
+func (s *Server) misdirected(w http.ResponseWriter, name string) bool {
+	ci := s.cluster
+	if ci == nil {
+		return false
+	}
+	owner, self := ci.OwnerOf(name)
+	if self {
+		return false
+	}
+	s.metrics.misdirected.Add(1)
+	w.Header().Set("X-Mbb-Owner", owner)
+	writeError(w, http.StatusMisdirectedRequest, "graph %q is owned by %s (this worker is not its shard owner)", name, owner)
+	return true
+}
+
+// replicaGate rejects a solve this worker cannot answer honestly:
+// 421 when it neither owns nor replicates the graph, 503 + Retry-After
+// when its replica is still catching up or lagging past MaxReplicaLag —
+// a lagging replica must refuse rather than silently serve a stale
+// epoch as if it were current. (?epoch=E solves go through the same
+// gate: the retention window only holds epochs the replica has applied,
+// so lag would quietly narrow the answerable range too.) A true return
+// means the response was written.
+func (s *Server) replicaGate(w http.ResponseWriter, name string) bool {
+	ci := s.cluster
+	if ci == nil {
+		return false
+	}
+	owner, self := ci.OwnerOf(name)
+	if self {
+		return false
+	}
+	if !ci.ReplicaOf(name) {
+		s.metrics.misdirected.Add(1)
+		w.Header().Set("X-Mbb-Owner", owner)
+		writeError(w, http.StatusMisdirectedRequest, "graph %q is neither owned nor replicated here (owner %s)", name, owner)
+		return true
+	}
+	lag, synced := ci.Lag(name)
+	if !synced || (s.opt.MaxReplicaLag > 0 && lag > s.opt.MaxReplicaLag) {
+		s.metrics.lagRejects.Add(1)
+		w.Header().Set("Retry-After", "1")
+		if !synced {
+			writeError(w, http.StatusServiceUnavailable, "replica of %q is still catching up on %s's delta stream", name, owner)
+		} else {
+			writeError(w, http.StatusServiceUnavailable, "replica of %q is %.1fs behind owner %s (bound %v)", name, lag.Seconds(), owner, s.opt.MaxReplicaLag)
+		}
+		return true
+	}
+	return false
+}

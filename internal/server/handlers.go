@@ -35,7 +35,10 @@ func writeError(w http.ResponseWriter, status int, format string, args ...any) {
 
 // routes builds the HTTP API:
 //
-//	GET    /healthz              liveness probe
+//	GET    /healthz              liveness probe (process up; always 200)
+//	GET    /readyz               readiness probe (503 while draining,
+//	                             catching up, or lagging past the bound)
+//	GET    /replicate            stream this worker's WAL (?pos=seg:off)
 //	GET    /metrics              Prometheus text exposition
 //	GET    /debug/pprof/*        profiling (when Options.EnablePprof)
 //	GET    /stats                store + scheduler counters
@@ -56,6 +59,8 @@ func (s *Server) routes() *http.ServeMux {
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 	})
+	mux.HandleFunc("GET /readyz", s.handleReadyz)
+	mux.HandleFunc("GET /replicate", s.handleReplicate)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	if s.opt.EnablePprof {
 		mux.HandleFunc("/debug/pprof/", pprof.Index)
@@ -119,6 +124,9 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handlePutGraph(w http.ResponseWriter, r *http.Request) {
 	name := r.PathValue("name")
+	if s.misdirected(w, name) {
+		return
+	}
 	format, err := ParseFormat(r.URL.Query().Get("format"))
 	if err != nil {
 		writeError(w, http.StatusBadRequest, "%v", err)
@@ -153,6 +161,9 @@ func (s *Server) handleGetGraph(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleDeleteGraph(w http.ResponseWriter, r *http.Request) {
+	if s.misdirected(w, r.PathValue("name")) {
+		return
+	}
 	ok, err := s.store.Delete(r.PathValue("name"))
 	if err != nil {
 		writeError(w, http.StatusInternalServerError, "%v", err)
@@ -239,6 +250,9 @@ type MutateRequest struct {
 }
 
 func (s *Server) handleMutateGraph(w http.ResponseWriter, r *http.Request) {
+	if s.misdirected(w, r.PathValue("name")) {
+		return
+	}
 	sg, ok := s.store.Get(r.PathValue("name"))
 	if !ok {
 		writeError(w, http.StatusNotFound, "unknown graph %q", r.PathValue("name"))
@@ -293,6 +307,9 @@ func decodeSolveRequest(r *http.Request) (SolveRequest, error) {
 }
 
 func (s *Server) submitJob(w http.ResponseWriter, r *http.Request) (*Job, bool) {
+	if s.replicaGate(w, r.PathValue("name")) {
+		return nil, false
+	}
 	sg, ok := s.store.Get(r.PathValue("name"))
 	if !ok {
 		writeError(w, http.StatusNotFound, "unknown graph %q", r.PathValue("name"))

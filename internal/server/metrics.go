@@ -17,6 +17,8 @@ import (
 const (
 	routeOther = iota
 	routeHealthz
+	routeReadyz
+	routeReplicate
 	routeStats
 	routeMetrics
 	routeGraphs // GET /graphs (list)
@@ -32,8 +34,9 @@ const (
 )
 
 var routeNames = [numRoutes]string{
-	"other", "healthz", "stats", "metrics", "graphs", "graph",
-	"edges", "export", "submit", "solve", "jobs", "job", "pprof",
+	"other", "healthz", "readyz", "replicate", "stats", "metrics",
+	"graphs", "graph", "edges", "export", "submit", "solve", "jobs",
+	"job", "pprof",
 }
 
 // routeIndex classifies a request path into one of the fixed route
@@ -43,6 +46,10 @@ func routeIndex(path string) int {
 	switch path {
 	case "/healthz":
 		return routeHealthz
+	case "/readyz":
+		return routeReadyz
+	case "/replicate":
+		return routeReplicate
 	case "/stats":
 		return routeStats
 	case "/metrics":
@@ -98,6 +105,14 @@ type Metrics struct {
 	panics         atomic.Int64
 	abandonedWaits atomic.Int64
 	timeouts       atomic.Int64
+
+	// Cluster-mode counters (zero on a single node): mutations rejected
+	// as addressed to the wrong shard owner, solves rejected for
+	// replication lag, records and streams served over /replicate.
+	misdirected      atomic.Int64
+	lagRejects       atomic.Int64
+	replicateRecords atomic.Int64
+	replicateStreams atomic.Int64
 }
 
 // NewMetrics returns an empty metrics set.
@@ -246,6 +261,32 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		}
 		fmt.Fprintf(&b, "# HELP mbbserved_wal_checkpoint_age_seconds Seconds since the last checkpoint (0 if none yet).\n# TYPE mbbserved_wal_checkpoint_age_seconds gauge\nmbbserved_wal_checkpoint_age_seconds %g\n", age)
 	}
+
+	// Cluster: ownership enforcement, lag-bounded reads and replication
+	// stream state. The stream counters exist on any worker; the status
+	// block needs an installed ClusterInfo.
+	counter("mbbserved_misdirected_total", "Mutations rejected with 421 as addressed to the wrong shard owner.", m.misdirected.Load())
+	counter("mbbserved_lag_rejects_total", "Solves rejected with 503 because replication lag exceeded the bound.", m.lagRejects.Load())
+	counter("mbbserved_replicate_records_total", "WAL records served over /replicate streams.", m.replicateRecords.Load())
+	gauge("mbbserved_replicate_streams", "Open /replicate streams (replicas tailing this worker).", m.replicateStreams.Load())
+	if ci := s.cluster; ci != nil {
+		cs := ci.Status()
+		gauge("mbbserved_cluster_peers", "Workers on the cluster ring, self included.", int64(cs.Peers))
+		gauge("mbbserved_replication_streams", "Replication streams this worker has connected to peers.", int64(cs.Streams))
+		synced := int64(0)
+		if cs.Synced {
+			synced = 1
+		}
+		gauge("mbbserved_replication_synced", "1 once every replication stream finished its initial catch-up.", synced)
+		fmt.Fprintf(&b, "# HELP mbbserved_replication_lag_seconds Worst replication lag behind any peer's delta stream.\n# TYPE mbbserved_replication_lag_seconds gauge\nmbbserved_replication_lag_seconds %g\n", cs.MaxLag.Seconds())
+		counter("mbbserved_replication_applied_total", "Records applied from peers' replication streams.", cs.Applied)
+		counter("mbbserved_replication_resyncs_total", "Full replication stream restarts (epoch gaps, log resets).", cs.Resyncs)
+	}
+	ready := int64(0)
+	if s.readyStatus().Ready {
+		ready = 1
+	}
+	gauge("mbbserved_ready", "1 while /readyz reports ready.", ready)
 
 	draining := int64(0)
 	if s.Draining() {

@@ -103,6 +103,19 @@ func (sw *statusWriter) Write(p []byte) (int, error) {
 	return n, err
 }
 
+// Flush forwards http.Flusher so streaming handlers (/replicate) can
+// push frames through the instrumented writer as they are produced.
+// The embedded interface would otherwise hide the underlying Flush from
+// type assertions.
+func (sw *statusWriter) Flush() {
+	if sw.status == 0 {
+		sw.status = http.StatusOK
+	}
+	if f, ok := sw.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
 // Wrote reports whether the handler committed a status (used by Recover
 // to decide whether a 500 can still be written).
 func (sw *statusWriter) Wrote() bool { return sw.status != 0 }

@@ -1,0 +1,215 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"time"
+
+	"repro/internal/bigraph"
+	"repro/internal/wal"
+)
+
+// replicateHeartbeatEvery is how often /replicate interleaves a
+// heartbeat (the log's end position) between records, bounding how
+// stale a replica's lag estimate can get.
+const replicateHeartbeatEvery = 500 * time.Millisecond
+
+// handleReplicate streams this worker's WAL to a replica: every record
+// from the resume position (?pos=seg:off, default the oldest live
+// byte) in append order, with heartbeats naming the log's end so the
+// consumer can tell caught-up from behind. The stream is unbounded; it
+// ends when the client disconnects, the server closes, or the blanket
+// -request-timeout (if set) expires — replicas resume transparently
+// from their last applied position.
+//
+// A resume position that compaction has dropped (or that belongs to a
+// previous incarnation of the log) restarts from the oldest segment;
+// the StreamStartHeader tells the consumer the position actually
+// served, and the replay rules make re-delivery idempotent.
+func (s *Server) handleReplicate(w http.ResponseWriter, r *http.Request) {
+	l := s.store.WAL()
+	if l == nil {
+		writeError(w, http.StatusNotImplemented, "replication needs a durable store: start this worker with -data-dir")
+		return
+	}
+	pos := l.StartPos()
+	if q := r.URL.Query().Get("pos"); q != "" {
+		p, err := wal.ParsePos(q)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+		// Clamp positions from a previous log incarnation (the data dir
+		// was rebuilt, or the consumer outlived a compaction) back to
+		// the oldest live byte.
+		if !p.After(l.EndPos()) && !p.Before(l.StartPos()) {
+			pos = p
+		}
+	}
+	t := l.Tail(pos)
+	defer t.Close()
+
+	w.Header().Set(wal.StreamProtoHeader, strconv.Itoa(wal.StreamProtoVersion))
+	w.Header().Set(wal.StreamStartHeader, pos.String())
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	flush := func() {
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+
+	s.metrics.replicateStreams.Add(1)
+	defer s.metrics.replicateStreams.Add(-1)
+
+	ctx := r.Context()
+	var buf []byte
+	nextHB := time.Now() // first heartbeat immediately: a caught-up replica learns so at once
+	for {
+		select {
+		case <-s.closing:
+			return
+		default:
+		}
+		if !time.Now().Before(nextHB) {
+			buf = wal.AppendStreamMsg(buf[:0], wal.StreamMsg{Kind: wal.StreamHeartbeat, Pos: l.EndPos()})
+			if _, err := w.Write(buf); err != nil {
+				return
+			}
+			flush()
+			nextHB = time.Now().Add(replicateHeartbeatEvery)
+		}
+		rctx, cancel := context.WithDeadline(ctx, nextHB)
+		rec, err := t.Next(rctx)
+		cancel()
+		switch {
+		case err == nil:
+			buf = wal.AppendStreamMsg(buf[:0], wal.StreamMsg{Kind: wal.StreamRecord, Pos: t.Pos(), Rec: rec})
+			if _, werr := w.Write(buf); werr != nil {
+				return
+			}
+			s.metrics.replicateRecords.Add(1)
+			flush()
+		case errors.Is(err, context.DeadlineExceeded) && ctx.Err() == nil:
+			// Heartbeat due (the loop head sends it); keep tailing.
+		default:
+			// Client gone, server closing, or the log closed/corrupted.
+			return
+		}
+	}
+}
+
+// ErrReplicaGap reports that the replication stream skipped state the
+// replica needs (a delta for an epoch or generation it never saw). The
+// consumer's remedy is a full resync: restart the stream from the
+// owner's oldest segment, whose checkpoint head is complete state.
+var ErrReplicaGap = errors.New("replication stream out of sequence")
+
+// ApplyReplica folds one replicated WAL record into the store on a
+// replica. It mirrors the recovery replay rules — stale records are
+// skipped, full-graph records install idempotently, deltas must extend
+// the current epoch by exactly one (anything else is ErrReplicaGap) —
+// but with live locking, the *owner's* generation ids preserved, and no
+// append to this worker's own WAL (periodic local checkpoints still
+// capture replicated graphs, which is what lets a durable replica
+// restart warm and re-tail from where its checkpoint left it).
+//
+// Every payload decodes through the versioned bigraph codec before any
+// state changes, so a frame from a newer-versioned owner is rejected
+// cleanly: the store is untouched, no partial apply. When warm is set,
+// installed graphs build their plans in the background; deltas always
+// take the carryPlan repair path, so replicas come up warm either way.
+func (s *Store) ApplyReplica(rec wal.Record, warm bool) error {
+	switch rec.Type {
+	case wal.RecCheckpointEnd:
+		return nil
+
+	case wal.RecPut, wal.RecGraphSnap:
+		g, err := bigraph.UnmarshalGraph(rec.Payload)
+		if err != nil {
+			return fmt.Errorf("replicated %s of %q: %w", rec.Type, rec.Name, err)
+		}
+		epoch := uint64(0)
+		if rec.Type == wal.RecGraphSnap {
+			epoch = rec.Epoch
+		}
+		sg := &StoredGraph{name: rec.Name, shared: &s.counters, st: s, gen: rec.Gen}
+		snap := trackSnapshot(&Snapshot{sg: sg, g: g, epoch: epoch, at: time.Now()})
+		sg.publish(snap)
+		s.mu.Lock()
+		if old, ok := s.graphs[rec.Name]; ok {
+			if old.gen > rec.Gen || (old.gen == rec.Gen && old.cur.Load().epoch >= epoch) {
+				// Already at or past this state (a stream restart is
+				// re-delivering history).
+				s.mu.Unlock()
+				return nil
+			}
+		}
+		s.graphs[rec.Name] = sg
+		s.mu.Unlock()
+		if warm {
+			go snap.Plan()
+		}
+		return nil
+
+	case wal.RecDelete:
+		s.mu.Lock()
+		if sg, ok := s.graphs[rec.Name]; ok && sg.gen <= rec.Gen {
+			delete(s.graphs, rec.Name)
+		}
+		s.mu.Unlock()
+		return nil
+
+	case wal.RecDelta:
+		s.mu.RLock()
+		sg, ok := s.graphs[rec.Name]
+		s.mu.RUnlock()
+		if !ok {
+			return fmt.Errorf("%w: delta for unknown graph %q", ErrReplicaGap, rec.Name)
+		}
+		if sg.gen != rec.Gen {
+			if sg.gen > rec.Gen {
+				return nil // delta for a replaced incarnation: stale
+			}
+			return fmt.Errorf("%w: delta for %q generation %d, replica has %d", ErrReplicaGap, rec.Name, rec.Gen, sg.gen)
+		}
+		d, err := bigraph.UnmarshalDelta(rec.Payload)
+		if err != nil {
+			return fmt.Errorf("replicated delta for %q: %w", rec.Name, err)
+		}
+		sg.mu.Lock()
+		defer sg.mu.Unlock()
+		old := sg.cur.Load()
+		if rec.Epoch <= old.epoch {
+			return nil // covered by a snapshot that installed a later epoch
+		}
+		if rec.Epoch != old.epoch+1 {
+			return fmt.Errorf("%w: %q at epoch %d, delta for %d", ErrReplicaGap, rec.Name, old.epoch, rec.Epoch)
+		}
+		g2, eff, err := old.g.Apply(d)
+		if err != nil {
+			return fmt.Errorf("replicated delta for %q: %w", rec.Name, err)
+		}
+		if eff.Empty() {
+			return fmt.Errorf("replicated delta for %q had no effect: replica diverged from owner", rec.Name)
+		}
+		snap := trackSnapshot(&Snapshot{sg: sg, g: g2, epoch: rec.Epoch, at: time.Now()})
+		rebuild := carryPlan(sg, old, snap, eff, nil)
+		sg.publish(snap)
+		sg.mutations.Add(1)
+		if sg.shared != nil {
+			sg.shared.mutations.Add(1)
+		}
+		if rebuild && warm {
+			go snap.Plan()
+		}
+		return nil
+
+	default:
+		return fmt.Errorf("replicated record of unhandled type %d", rec.Type)
+	}
+}

@@ -71,6 +71,12 @@ type Options struct {
 	// hygiene timeout, distinct from per-job solve budgets). Default 0:
 	// disabled.
 	RequestTimeout time.Duration
+	// MaxReplicaLag bounds how far behind its owner's delta stream a
+	// replica may be while still answering solves; beyond it, replica
+	// solves 503 with Retry-After instead of silently serving a stale
+	// epoch, and /readyz reports not ready. Only consulted when a
+	// ClusterInfo is installed. Default 5s; negative means unbounded.
+	MaxReplicaLag time.Duration
 	// CancelWait bounds how long a synchronous solve handler waits for
 	// its job after the client disconnected and the job was canceled. A
 	// wedged solver then costs an abandoned-wait log line and counter
@@ -144,6 +150,11 @@ func (o Options) withDefaults() Options {
 	} else if o.CancelWait < 0 {
 		o.CancelWait = 0
 	}
+	if o.MaxReplicaLag == 0 {
+		o.MaxReplicaLag = 5 * time.Second
+	} else if o.MaxReplicaLag < 0 {
+		o.MaxReplicaLag = 0
+	}
 	if o.AccessLogCap <= 0 {
 		o.AccessLogCap = 4096
 	}
@@ -163,6 +174,10 @@ type Server struct {
 	started   time.Time
 	recovered RecoverStats
 	preload   LoadReport
+	// cluster is the worker's view of its cluster (nil = single node).
+	// Written once by SetCluster before the listener opens; handlers
+	// read it without synchronization.
+	cluster ClusterInfo
 
 	closeOnce sync.Once
 	closing   chan struct{} // closed when Close starts: unblocks bounded waits

@@ -1,0 +1,261 @@
+package wal
+
+import (
+	"context"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Pos is a durable position in the log: a segment index and a byte
+// offset within that segment. Unlike the append sequence number (which
+// is process-lifetime only), a Pos survives restarts and names a spot
+// in the on-disk stream, so replication tails resume from one.
+//
+// Positions are only meaningful within the log instance that issued
+// them; after compaction a Pos may fall before StartPos, in which case
+// a tail restarts from the oldest live segment (the apply rules make
+// re-delivery harmless: a checkpoint boundary is complete state).
+type Pos struct {
+	Seg uint64
+	Off int64
+}
+
+// Before reports whether p is strictly earlier in the stream than q.
+func (p Pos) Before(q Pos) bool {
+	return p.Seg < q.Seg || (p.Seg == q.Seg && p.Off < q.Off)
+}
+
+// After reports whether p is strictly later in the stream than q.
+func (p Pos) After(q Pos) bool { return q.Before(p) }
+
+// IsZero reports whether p is the zero position ("from the beginning").
+func (p Pos) IsZero() bool { return p == Pos{} }
+
+// String renders p as "seg:off", the wire form ParsePos accepts.
+func (p Pos) String() string {
+	return strconv.FormatUint(p.Seg, 10) + ":" + strconv.FormatInt(p.Off, 10)
+}
+
+// ParsePos parses the "seg:off" form produced by Pos.String.
+func ParsePos(s string) (Pos, error) {
+	seg, off, ok := strings.Cut(s, ":")
+	if !ok {
+		return Pos{}, fmt.Errorf("wal: bad position %q (want seg:off)", s)
+	}
+	sv, err := strconv.ParseUint(seg, 10, 64)
+	if err != nil {
+		return Pos{}, fmt.Errorf("wal: bad position segment %q: %v", seg, err)
+	}
+	ov, err := strconv.ParseInt(off, 10, 64)
+	if err != nil || ov < 0 {
+		return Pos{}, fmt.Errorf("wal: bad position offset %q", off)
+	}
+	return Pos{Seg: sv, Off: ov}, nil
+}
+
+// StartPos returns the position of the oldest live byte in the log —
+// where a tail with no resume position begins.
+func (l *Log) StartPos() Pos {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return Pos{Seg: l.firstSeg}
+}
+
+// EndPos returns the position one past the newest appended record,
+// including records still in the append buffer.
+func (l *Log) EndPos() Pos {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return Pos{Seg: l.segIdx, Off: l.segSize}
+}
+
+// tailState snapshots the fields a Tailer steers by.
+func (l *Log) tailState() (first, active uint64, activeSize int64, closed bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.firstSeg, l.segIdx, l.segSize, l.closed
+}
+
+// Flush pushes buffered appended bytes through to the active segment
+// file without forcing an fsync, so a concurrent Tailer can read them.
+// Durability is unchanged: the sync policy still decides when the bytes
+// are crash-safe.
+func (l *Log) Flush() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return ErrClosed
+	}
+	return l.w.Flush()
+}
+
+// errShortFrame reports that a frame extends past the readable bytes of
+// a segment file — the reader caught up with (or outran a buffered part
+// of) the appender, not corruption.
+var errShortFrame = errors.New("wal: frame extends past readable bytes")
+
+// tailPoll is how often a caught-up Tailer re-checks for new appends.
+const tailPoll = 15 * time.Millisecond
+
+// Tailer reads the log's records in append order, starting at a Pos and
+// blocking (in Next) for records that have not been appended yet. It
+// reads the segment files directly, so it never contends with the
+// append path beyond a brief flush when it catches up with the buffer.
+// A Tailer is not safe for concurrent use; each consumer opens its own.
+type Tailer struct {
+	l    *Log
+	pos  Pos
+	f    *os.File
+	fseg uint64
+	hdr  [frameHeaderLen]byte
+	body []byte
+}
+
+// Tail returns a Tailer positioned at pos (the zero Pos means the
+// oldest live byte). A pos that compaction has since dropped restarts
+// transparently from StartPos — safe, because the records a checkpoint
+// replaced are re-delivered as snapshots that apply rules skip or
+// install idempotently.
+func (l *Log) Tail(pos Pos) *Tailer {
+	if pos.IsZero() {
+		pos = l.StartPos()
+	}
+	return &Tailer{l: l, pos: pos}
+}
+
+// Pos returns the position one past the last record Next returned —
+// the resume point for a successor Tailer.
+func (t *Tailer) Pos() Pos { return t.pos }
+
+// Close releases the Tailer's file handle. The log itself is untouched.
+func (t *Tailer) Close() {
+	if t.f != nil {
+		t.f.Close()
+		t.f = nil
+	}
+}
+
+// Next returns the next record in append order, blocking until one is
+// appended, ctx is done, or the log closes (ErrClosed). The returned
+// record's Name and Payload alias an internal buffer that the next call
+// reuses — consume or copy them before calling Next again.
+func (t *Tailer) Next(ctx context.Context) (Record, error) {
+	for {
+		if err := ctx.Err(); err != nil {
+			return Record{}, err
+		}
+		first, active, activeSize, closed := t.l.tailState()
+		if t.pos.Seg < first {
+			// Compaction dropped our segment: restart from the oldest
+			// live one. The checkpoint at its head is complete state.
+			t.Close()
+			t.pos = Pos{Seg: first}
+			continue
+		}
+		if t.f == nil || t.fseg != t.pos.Seg {
+			f, err := os.Open(filepath.Join(t.l.dir, segName(t.pos.Seg)))
+			if err != nil {
+				if os.IsNotExist(err) {
+					// Raced a compaction between tailState and Open;
+					// the next tailState pass restarts us.
+					if closed {
+						return Record{}, ErrClosed
+					}
+					continue
+				}
+				return Record{}, err
+			}
+			t.Close()
+			t.f, t.fseg = f, t.pos.Seg
+		}
+		rec, n, err := t.readFrame()
+		if err == nil {
+			t.pos.Off += int64(n)
+			return rec, nil
+		}
+		switch {
+		case t.pos.Seg < active:
+			// Sealed segment: every byte is final. A short read at its
+			// end means we consumed it — move to the next segment.
+			st, serr := t.f.Stat()
+			if serr != nil {
+				return Record{}, serr
+			}
+			if errors.Is(err, errShortFrame) && t.pos.Off >= st.Size() {
+				t.pos = Pos{Seg: t.pos.Seg + 1}
+				continue
+			}
+			return Record{}, fmt.Errorf("wal: tail %s at offset %d: %w", segName(t.pos.Seg), t.pos.Off, err)
+		case t.pos.Seg == active:
+			if !errors.Is(err, errShortFrame) {
+				return Record{}, fmt.Errorf("wal: tail %s at offset %d: %w", segName(t.pos.Seg), t.pos.Off, err)
+			}
+			if t.pos.Off < activeSize {
+				// The bytes exist but sit in the append buffer; push
+				// them to the file (no fsync) and retry. Appends only
+				// advance activeSize by whole frames, so the retry
+				// finds a complete frame.
+				if ferr := t.l.Flush(); ferr != nil {
+					if errors.Is(ferr, ErrClosed) {
+						return Record{}, ErrClosed
+					}
+					return Record{}, ferr
+				}
+				continue
+			}
+			// Caught up: wait for an append, cancellation or close.
+			if closed {
+				return Record{}, ErrClosed
+			}
+			select {
+			case <-ctx.Done():
+				return Record{}, ctx.Err()
+			case <-time.After(tailPoll):
+			}
+		default:
+			return Record{}, fmt.Errorf("wal: tail position %v is beyond the active segment %d", t.pos, active)
+		}
+	}
+}
+
+// readFrame reads one frame at the current position. errShortFrame
+// means the file does not (yet) hold the whole frame; other errors are
+// corruption or I/O failures.
+func (t *Tailer) readFrame() (Record, int, error) {
+	if _, err := t.f.ReadAt(t.hdr[:], t.pos.Off); err != nil {
+		if errors.Is(err, io.EOF) {
+			return Record{}, 0, errShortFrame
+		}
+		return Record{}, 0, err
+	}
+	n := binary.LittleEndian.Uint32(t.hdr[:4])
+	if n == 0 || n > MaxRecordBytes {
+		return Record{}, 0, fmt.Errorf("wal: frame length %d out of range", n)
+	}
+	if cap(t.body) < int(n) {
+		t.body = make([]byte, n)
+	}
+	t.body = t.body[:n]
+	if _, err := t.f.ReadAt(t.body, t.pos.Off+frameHeaderLen); err != nil {
+		if errors.Is(err, io.EOF) {
+			return Record{}, 0, errShortFrame
+		}
+		return Record{}, 0, err
+	}
+	if got, want := crc32.Checksum(t.body, crcTable), binary.LittleEndian.Uint32(t.hdr[4:]); got != want {
+		return Record{}, 0, fmt.Errorf("wal: CRC mismatch (%08x != %08x)", got, want)
+	}
+	rec, err := DecodeRecord(t.body)
+	if err != nil {
+		return Record{}, 0, err
+	}
+	return rec, frameHeaderLen + int(n), nil
+}

@@ -1,0 +1,223 @@
+package wal
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+// nextT calls Next with a test-bounded deadline so a bug hangs the test
+// for seconds, not forever.
+func nextT(t *testing.T, tl *Tailer) Record {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	rec, err := tl.Next(ctx)
+	if err != nil {
+		t.Fatalf("tail next: %v", err)
+	}
+	return rec
+}
+
+func TestTailReadsExistingAndLiveRecords(t *testing.T) {
+	dir := t.TempDir()
+	_, l, _ := collect(t, dir, Options{Sync: SyncOff}) // buffered path: exercises Flush-on-catch-up
+	defer l.Close()
+
+	for i := 1; i <= 3; i++ {
+		if err := l.Append(Record{Type: RecDelta, Name: "g", Gen: 1, Epoch: uint64(i), Payload: []byte("d")}); err != nil {
+			t.Fatalf("append: %v", err)
+		}
+	}
+	tl := l.Tail(Pos{})
+	defer tl.Close()
+	for i := 1; i <= 3; i++ {
+		rec := nextT(t, tl)
+		if rec.Type != RecDelta || rec.Epoch != uint64(i) || rec.Name != "g" {
+			t.Fatalf("record %d = %+v", i, rec)
+		}
+	}
+	if end := l.EndPos(); tl.Pos() != end {
+		t.Fatalf("caught-up tail pos %v != end pos %v", tl.Pos(), end)
+	}
+
+	// A caught-up Next blocks until the next append lands.
+	done := make(chan Record, 1)
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		rec, err := tl.Next(ctx)
+		if err == nil {
+			done <- rec
+		}
+		close(done)
+	}()
+	select {
+	case <-done:
+		t.Fatal("Next returned before any append")
+	case <-time.After(50 * time.Millisecond):
+	}
+	if err := l.Append(Record{Type: RecDelta, Name: "g", Gen: 1, Epoch: 4, Payload: []byte("live")}); err != nil {
+		t.Fatalf("append: %v", err)
+	}
+	rec, ok := <-done
+	if !ok || rec.Epoch != 4 || !bytes.Equal(rec.Payload, []byte("live")) {
+		t.Fatalf("live-followed record = %+v (ok=%v)", rec, ok)
+	}
+}
+
+func TestTailCrossesSegmentRotation(t *testing.T) {
+	dir := t.TempDir()
+	_, l, _ := collect(t, dir, Options{Sync: SyncAlways, SegmentBytes: 64})
+	defer l.Close()
+
+	const n = 20
+	for i := 1; i <= n; i++ {
+		if err := l.Append(Record{Type: RecDelta, Name: "g", Gen: 1, Epoch: uint64(i), Payload: bytes.Repeat([]byte{byte(i)}, 40)}); err != nil {
+			t.Fatalf("append: %v", err)
+		}
+	}
+	if first, active, _, _ := l.tailState(); active == first {
+		t.Fatalf("expected rotation, still on segment %d", active)
+	}
+	tl := l.Tail(Pos{})
+	defer tl.Close()
+	for i := 1; i <= n; i++ {
+		if rec := nextT(t, tl); rec.Epoch != uint64(i) {
+			t.Fatalf("record %d has epoch %d", i, rec.Epoch)
+		}
+	}
+}
+
+func TestTailRestartsAcrossCompaction(t *testing.T) {
+	dir := t.TempDir()
+	_, l, _ := collect(t, dir, Options{Sync: SyncAlways, SegmentBytes: 64})
+	defer l.Close()
+
+	for i := 1; i <= 10; i++ {
+		if err := l.Append(Record{Type: RecDelta, Name: "g", Gen: 1, Epoch: uint64(i), Payload: bytes.Repeat([]byte{1}, 40)}); err != nil {
+			t.Fatalf("append: %v", err)
+		}
+	}
+	// A tailer parked at the (about to be compacted) oldest segment.
+	tl := l.Tail(Pos{})
+	defer tl.Close()
+
+	// Checkpoint: one snapshot record, then compaction drops the old
+	// segments the tailer was pointing at.
+	err := l.Checkpoint(func(app func(Record) error) error {
+		return app(Record{Type: RecGraphSnap, Name: "g", Gen: 1, Epoch: 10, Payload: []byte("snap")})
+	})
+	if err != nil {
+		t.Fatalf("checkpoint: %v", err)
+	}
+	if start := l.StartPos(); start.Seg <= 1 {
+		t.Fatalf("compaction did not advance the start pos: %v", start)
+	}
+
+	// The tailer restarts from the oldest live segment and sees the
+	// checkpoint contents, not an error.
+	rec := nextT(t, tl)
+	if rec.Type != RecGraphSnap || rec.Name != "g" || rec.Epoch != 10 {
+		t.Fatalf("post-compaction record = %+v, want the checkpoint snapshot", rec)
+	}
+	if rec = nextT(t, tl); rec.Type != RecCheckpointEnd {
+		t.Fatalf("expected checkpoint-end, got %+v", rec)
+	}
+}
+
+func TestTailResumeFromPos(t *testing.T) {
+	dir := t.TempDir()
+	_, l, _ := collect(t, dir, Options{Sync: SyncAlways})
+	defer l.Close()
+
+	for i := 1; i <= 4; i++ {
+		if err := l.Append(Record{Type: RecDelta, Name: "g", Gen: 1, Epoch: uint64(i)}); err != nil {
+			t.Fatalf("append: %v", err)
+		}
+	}
+	tl := l.Tail(Pos{})
+	nextT(t, tl)
+	nextT(t, tl)
+	resume := tl.Pos()
+	tl.Close()
+
+	tl2 := l.Tail(resume)
+	defer tl2.Close()
+	if rec := nextT(t, tl2); rec.Epoch != 3 {
+		t.Fatalf("resumed tail read epoch %d, want 3", rec.Epoch)
+	}
+
+	// Round-trip the resume position through its wire form.
+	parsed, err := ParsePos(resume.String())
+	if err != nil || parsed != resume {
+		t.Fatalf("ParsePos(%q) = %v, %v; want %v", resume.String(), parsed, err, resume)
+	}
+}
+
+func TestTailClosedLog(t *testing.T) {
+	dir := t.TempDir()
+	_, l, _ := collect(t, dir, Options{Sync: SyncAlways})
+	if err := l.Append(Record{Type: RecPut, Name: "g", Gen: 1, Payload: []byte("x")}); err != nil {
+		t.Fatalf("append: %v", err)
+	}
+	tl := l.Tail(Pos{})
+	defer tl.Close()
+	nextT(t, tl) // the appended record still reads fine
+	if err := l.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if _, err := tl.Next(ctx); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Next on closed log = %v, want ErrClosed", err)
+	}
+}
+
+func TestStreamMsgRoundTrip(t *testing.T) {
+	rec := Record{Type: RecDelta, Name: "graph-7", Gen: 3, Epoch: 42, Payload: []byte{1, 2, 3, 4}}
+	var buf []byte
+	buf = AppendStreamMsg(buf, StreamMsg{Kind: StreamRecord, Pos: Pos{Seg: 2, Off: 99}, Rec: rec})
+	buf = AppendStreamMsg(buf, StreamMsg{Kind: StreamHeartbeat, Pos: Pos{Seg: 5, Off: 1234}})
+
+	br := bufio.NewReader(bytes.NewReader(buf))
+	m1, err := ReadStreamMsg(br)
+	if err != nil {
+		t.Fatalf("read record msg: %v", err)
+	}
+	if m1.Kind != StreamRecord || m1.Pos != (Pos{Seg: 2, Off: 99}) ||
+		m1.Rec.Type != rec.Type || m1.Rec.Name != rec.Name || m1.Rec.Gen != rec.Gen ||
+		m1.Rec.Epoch != rec.Epoch || !bytes.Equal(m1.Rec.Payload, rec.Payload) {
+		t.Fatalf("record msg = %+v", m1)
+	}
+	m2, err := ReadStreamMsg(br)
+	if err != nil {
+		t.Fatalf("read heartbeat: %v", err)
+	}
+	if m2.Kind != StreamHeartbeat || m2.Pos != (Pos{Seg: 5, Off: 1234}) {
+		t.Fatalf("heartbeat = %+v", m2)
+	}
+}
+
+func TestStreamMsgRejectsCorruption(t *testing.T) {
+	good := AppendStreamMsg(nil, StreamMsg{Kind: StreamRecord, Pos: Pos{Seg: 1}, Rec: Record{Type: RecPut, Name: "g", Gen: 1, Payload: []byte("p")}})
+
+	flip := append([]byte(nil), good...)
+	flip[len(flip)-1] ^= 0xff
+	if _, err := ReadStreamMsg(bufio.NewReader(bytes.NewReader(flip))); err == nil {
+		t.Fatal("corrupted payload read back without error")
+	}
+
+	unknown := append([]byte(nil), good...)
+	unknown[0] = 'Z'
+	if _, err := ReadStreamMsg(bufio.NewReader(bytes.NewReader(unknown))); err == nil {
+		t.Fatal("unknown message kind accepted")
+	}
+
+	if _, err := ReadStreamMsg(bufio.NewReader(bytes.NewReader(good[:5]))); err == nil {
+		t.Fatal("truncated frame accepted")
+	}
+}
