@@ -109,6 +109,29 @@ func (w *nopResponseWriter) Header() http.Header         { return w.h }
 func (w *nopResponseWriter) Write(p []byte) (int, error) { return len(p), nil }
 func (w *nopResponseWriter) WriteHeader(int)             {}
 
+// BenchmarkAllocPlanSolveK1 is BenchmarkAllocPlanSolve with TopK set to
+// 1 explicitly: the query refactor's k = 1 degeneration must be the same
+// scalar fast path — no list, no heap, no extra allocations — so it
+// shares plan-solve's budget in TestAllocBudgets.
+func BenchmarkAllocPlanSolveK1(b *testing.B) {
+	p, err := mbb.PlanContext(context.Background(), benchPlanGraph())
+	if err != nil {
+		b.Fatal(err)
+	}
+	opt := &mbb.Options{TopK: 1}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := p.SolveContext(context.Background(), opt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Bicliques != nil {
+			b.Fatal("k=1 solve allocated a list")
+		}
+	}
+}
+
 // BenchmarkAllocServeMiddleware pins the serving-path instrumentation —
 // metrics + ring access log + panic recovery — at zero allocations per
 // request, covering the solve submit path the issue gates. (RequestID
@@ -163,6 +186,7 @@ func TestAllocBudgets(t *testing.T) {
 		{"serve-middleware", 0, BenchmarkAllocServeMiddleware},
 		{"plan-build", 1500, BenchmarkAllocPlanBuild},
 		{"plan-solve", 1000, BenchmarkAllocPlanSolve},
+		{"plan-solve-k1", 1000, BenchmarkAllocPlanSolveK1},
 		{"plan-repair", 100, BenchmarkAllocPlanRepair},
 	} {
 		r := testing.Benchmark(tc.bench)

@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	mbbbench -exp table4|table5|table6|fig4|fig5|fig6|servebench|mutebench|trajectory|all
+//	mbbbench -exp table4|table5|table6|fig4|fig5|fig6|servebench|mutebench|replay|trajectory|all
 //	         [-budget 20s] [-maxverts 30000] [-instances 3]
 //	         [-sizes 32,64,128] [-densities 0.7,0.8,0.9,0.95]
 //	         [-datasets github,jester] [-seed 1] [-workers 4]
@@ -17,6 +17,11 @@
 // -exp mutebench replays an interleaved mutate/solve stream against the
 // daemon's edge-mutation endpoints, asserting every result is exact for
 // the epoch it reports and measuring plan maintenance vs rebuild.
+// -exp replay streams a temporal edge trace (timestamped power-law
+// insertions with churn deletions, batched per flush interval) through
+// the daemon's mutation API in arrival order, solving after every batch,
+// and reports the plan repair-vs-rebuild split plus solve latency — the
+// production-shaped counterpart to mutebench's synthetic rounds.
 // -exp trajectory is the CI benchmark trajectory: pinned sequential
 // solves (deterministic node counts) plus small servebench and mutebench
 // passes; with -baseline FILE the node counts gate against a previous
@@ -64,7 +69,7 @@ func main() {
 	jsonOut := flag.Bool("json", false, "emit per-run timing records as JSON on stdout (tables move to stderr)")
 	baseline := flag.String("baseline", "", "previous -json export to gate node counts against (>2x regression fails)")
 	serveURL := flag.String("serveurl", "", "servebench/mutebench: base URL of a running mbbserved (empty = start one in-process)")
-	requests := flag.Int("requests", 32, "servebench: warm requests; mutebench: mutation rounds")
+	requests := flag.Int("requests", 32, "servebench: warm requests; mutebench: mutation rounds; replay: stream rounds")
 	clients := flag.Int("clients", 4, "servebench/mutebench: concurrent clients")
 	muteMix := flag.String("mutemix", "cycle", "mutebench mutation stream: cycle, insert (repair hot path), mixed")
 	walSync := flag.String("walsync", "", "servebench/mutebench: give the in-process daemon a WAL on a temp dir with this sync policy (always, interval, off; empty = volatile)")
@@ -108,6 +113,7 @@ func main() {
 		"fig6":       exp.Fig6,
 		"servebench": exp.ServeBench,
 		"mutebench":  exp.MuteBench,
+		"replay":     exp.Replay,
 		"trajectory": exp.Trajectory,
 	}
 	// The serving benchmarks replay traffic against a daemon rather than

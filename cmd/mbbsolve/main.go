@@ -6,7 +6,13 @@
 //
 //	mbbsolve [-solver auto|hbvMBB|denseMBB|basicBB|extBBCL|bd1..bd5|adp1..adp4|heur]
 //	         [-timeout 30s] [-workers 4] [-reduce auto|on|off]
-//	         [-order bidegeneracy|degeneracy|degree] [-q] [file]
+//	         [-order bidegeneracy|degeneracy|degree]
+//	         [-k 3] [-min 5] [-q] [file]
+//
+// -k asks for the k largest distinct balanced sizes (one witness each);
+// -min restricts answers to bicliques of at least that size per side —
+// an empty exact result is then a proof that none exists. Inexact runs
+// print the certified optimality gap.
 //
 // With no file the graph is read from standard input. The solver is
 // resolved through the mbb registry (run with -solver help to list the
@@ -37,6 +43,8 @@ func main() {
 	workers := flag.Int("workers", 0, "verification pipeline / component solve goroutines (0/1 sequential; negative rejected)")
 	reduceFlag := flag.String("reduce", "auto", "reduce-and-conquer planner: auto (on for -solver auto), on, off")
 	orderFlag := flag.String("order", "bidegeneracy", "total search order for the sparse framework: bidegeneracy, degeneracy, degree")
+	topK := flag.Int("k", 0, "report the k largest distinct balanced sizes (0/1 = single maximum)")
+	minSize := flag.Int("min", 0, "only accept bicliques of at least this size per side (0 = no floor)")
 	quiet := flag.Bool("q", false, "print only the balanced size")
 	flag.Parse()
 
@@ -62,7 +70,7 @@ func main() {
 	if !ok {
 		fatal(fmt.Errorf("unknown -reduce mode %q (want auto, on or off)", *reduceFlag))
 	}
-	opt := &mbb.Options{Solver: name, Timeout: *timeout, Workers: *workers, Reduce: reduce}
+	opt := &mbb.Options{Solver: name, Timeout: *timeout, Workers: *workers, Reduce: reduce, TopK: *topK, MinSize: *minSize}
 	switch strings.ToLower(*orderFlag) {
 	case "bidegeneracy":
 		opt.Order = decomp.OrderBidegeneracy
@@ -107,12 +115,25 @@ func main() {
 	fmt.Printf("graph: %d x %d, %d edges (density %.4g)\n", g.NL(), g.NR(), g.NumEdges(), g.Density())
 	fmt.Printf("solver: %s\n", res.Solver)
 	fmt.Printf("balanced biclique size: %d per side", res.Biclique.Size())
+	if *minSize > 0 && res.Biclique.Size() == 0 {
+		if res.Exact {
+			fmt.Printf(" (proof: no balanced biclique of size >= %d exists)", *minSize)
+		} else {
+			fmt.Printf(" (none of size >= %d found within budget)", *minSize)
+		}
+	}
 	if !res.Exact {
-		fmt.Printf(" (search interrupted or budget exhausted; may be suboptimal)")
+		fmt.Printf(" (search interrupted or budget exhausted; may be suboptimal, gap <= %d)", res.Gap)
 	}
 	fmt.Println()
 	fmt.Printf("A (left):  %v\n", localIdx(g, res.Biclique.A))
 	fmt.Printf("B (right): %v\n", localIdx(g, res.Biclique.B))
+	if res.Bicliques != nil {
+		fmt.Printf("top-%d distinct sizes:\n", *topK)
+		for _, bc := range res.Bicliques {
+			fmt.Printf("  size %d: A=%v B=%v\n", bc.Size(), localIdx(g, bc.A), localIdx(g, bc.B))
+		}
+	}
 	fmt.Printf("time: %v, nodes: %d, poly cases: %d", elapsed, res.Stats.Nodes, res.Stats.PolyCases)
 	if res.Stats.Step != 0 {
 		fmt.Printf(", terminated at %v", res.Stats.Step)

@@ -15,10 +15,26 @@ import (
 // return value is the number of maximal bicliques reported (possibly
 // truncated by fn or the budget).
 func EnumerateMaximal(ex *core.Exec, g *bigraph.Graph, fn func(A, B []int) bool) int {
+	return EnumerateMaximalPruned(ex, g, nil, fn)
+}
+
+// EnumerateMaximalPruned is EnumerateMaximal with a size-bound pruning
+// hook: when bound is non-nil, any recursion subtree whose best possible
+// balanced size — min(|L|, |R|+|P|) for the current extension — is ≤
+// bound() is skipped, and maximal bicliques whose own balanced size
+// min(|A|, |B|) is ≤ bound() are not reported. Every maximal biclique
+// with balanced size strictly greater than every bound() value observed
+// during the run is still reported exactly once: a subtree only ever
+// contains bicliques with A ⊆ L and B ⊆ R∪P, so its balanced sizes are
+// capped by the pruning expression. bound may return growing values as
+// the caller's incumbent heap fills (see core.TopK.Bound); it must never
+// shrink below a value it already returned, or completeness above the
+// final bound is lost.
+func EnumerateMaximalPruned(ex *core.Exec, g *bigraph.Graph, bound func() int, fn func(A, B []int) bool) int {
 	if g.NumEdges() == 0 {
 		return 0
 	}
-	e := &enumerator{g: g, ex: ex, fn: fn}
+	e := &enumerator{g: g, ex: ex, bound: bound, fn: fn}
 	// Left candidates: every left vertex with an edge; right candidate
 	// set P: all right vertices, processed in ascending degree order (the
 	// iMBEA ordering heuristic).
@@ -47,9 +63,18 @@ func EnumerateMaximal(ex *core.Exec, g *bigraph.Graph, fn func(A, B []int) bool)
 type enumerator struct {
 	g       *bigraph.Graph
 	ex      *core.Exec
+	bound   func() int // nil = unbounded (plain enumeration)
 	fn      func(A, B []int) bool
 	count   int
 	stopped bool
+}
+
+// curBound returns the live pruning bound, 0 when unbounded.
+func (e *enumerator) curBound() int {
+	if e.bound == nil {
+		return 0
+	}
+	return e.bound()
 }
 
 // expand is the classic MBEA recursion: L is the common neighbourhood of
@@ -67,6 +92,14 @@ func (e *enumerator) expand(L, R, P, Q []int32) {
 		L2 := intersect32(e.g, L, int(x))
 		R2 := append(R[:len(R):len(R)], x)
 		if len(L2) == 0 {
+			Q = append(Q, x)
+			continue
+		}
+		// Bound pruning: every biclique in this subtree has A ⊆ L2 and
+		// B ⊆ R2∪P, so its balanced size is at most min(|L2|, |R2|+|P|).
+		// x still joins Q — it remains a processed vertex for the
+		// maximality checks of the sibling branches.
+		if b := e.curBound(); b > 0 && min2(len(L2), len(R2)+len(P)) <= b {
 			Q = append(Q, x)
 			continue
 		}
@@ -97,8 +130,10 @@ func (e *enumerator) expand(L, R, P, Q []int32) {
 					P2 = append(P2, p)
 				}
 			}
-			e.report(L2, R2)
-			if len(P2) > 0 && !e.stopped {
+			if min2(len(L2), len(R2)) > e.curBound() {
+				e.report(L2, R2)
+			}
+			if len(P2) > 0 && !e.stopped && min2(len(L2), len(R2)+len(P2)) > e.curBound() {
 				e.expand(L2, R2, P2, Q2)
 			}
 		}

@@ -1,0 +1,105 @@
+package baseline
+
+import (
+	"sort"
+
+	"repro/internal/bigraph"
+	"repro/internal/core"
+)
+
+// TopKBalanced is the brute-force top-k oracle: it enumerates every
+// maximal biclique of g (EnumerateMaximal) and returns one balanced
+// witness for each of the k largest distinct balanced sizes — where the
+// balanced size of a maximal biclique (A, B) is min(|A|, |B|) — that are
+// at least minSize (minSize ≤ 1 means no floor). This is the semantics
+// the query engine's top-k answers implement: the set of balanced sizes
+// achievable by locally-maximal balanced bicliques equals the set of
+// min-sides of maximal bicliques, so ranking maximal bicliques by
+// min-side ranks exactly the interesting (non-trim) balanced bicliques.
+//
+// Ordering and tie semantics, pinned by TestTopKBalancedSemantics:
+//
+//   - the list is sorted by size, strictly descending — one entry per
+//     distinct size, so len(result) ≤ k and may be shorter when fewer
+//     distinct sizes exist;
+//   - each witness is balanced: the larger side of the maximal biclique
+//     is trimmed to its size smallest vertex ids, and both sides are
+//     sorted ascending;
+//   - among several maximal bicliques sharing a min-side, the
+//     lexicographically smallest trimmed witness (comparing A, then B)
+//     wins — a deterministic rule independent of enumeration order.
+//
+// Intended as a testing oracle: cost is the full maximal-biclique
+// enumeration. ex bounds it like any other search.
+func TopKBalanced(ex *core.Exec, g *bigraph.Graph, k, minSize int) []bigraph.Biclique {
+	if k < 1 {
+		k = 1
+	}
+	floor := 1
+	if minSize > floor {
+		floor = minSize
+	}
+	bySize := make(map[int]bigraph.Biclique)
+	EnumerateMaximal(ex, g, func(A, B []int) bool {
+		s := min2(len(A), len(B))
+		if s < floor {
+			return true
+		}
+		w := trimWitness(A, B, s)
+		if cur, ok := bySize[s]; !ok || witnessLess(w, cur) {
+			bySize[s] = w
+		}
+		return true
+	})
+	sizes := make([]int, 0, len(bySize))
+	for s := range bySize {
+		sizes = append(sizes, s)
+	}
+	sort.Sort(sort.Reverse(sort.IntSlice(sizes)))
+	if len(sizes) > k {
+		sizes = sizes[:k]
+	}
+	out := make([]bigraph.Biclique, len(sizes))
+	for i, s := range sizes {
+		out[i] = bySize[s]
+	}
+	return out
+}
+
+// TopKSizes returns just the size sequence of TopKBalanced — the
+// comparison target for the differential fuzz harness, which checks the
+// engine's witnesses for validity separately (witness identity is not
+// comparable across enumeration orders once pruning is involved).
+func TopKSizes(ex *core.Exec, g *bigraph.Graph, k, minSize int) []int {
+	list := TopKBalanced(ex, g, k, minSize)
+	sizes := make([]int, len(list))
+	for i, bc := range list {
+		sizes[i] = bc.Size()
+	}
+	return sizes
+}
+
+// trimWitness balances (A, B) at size s deterministically: both sides
+// sorted ascending, the larger side cut to its s smallest ids.
+func trimWitness(A, B []int, s int) bigraph.Biclique {
+	a := append([]int(nil), A...)
+	b := append([]int(nil), B...)
+	sort.Ints(a)
+	sort.Ints(b)
+	return bigraph.Biclique{A: a[:s:s], B: b[:s:s]}
+}
+
+// witnessLess orders equal-size witnesses lexicographically, A first.
+func witnessLess(x, y bigraph.Biclique) bool {
+	for i := range x.A {
+		if x.A[i] != y.A[i] {
+			return x.A[i] < y.A[i]
+		}
+	}
+	for i := range x.B {
+		if x.B[i] != y.B[i] {
+			return x.B[i] < y.B[i]
+		}
+	}
+	return false
+}

@@ -1,0 +1,168 @@
+package baseline_test
+
+import (
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/baseline"
+	"repro/internal/bigraph"
+)
+
+// tieGraph has, in disjoint components, two K2,2s (a size-2 tie), a lone
+// edge and a 1×3 star (a size-1 tie). Right-side global ids are nl+j.
+func tieGraph() *bigraph.Graph {
+	return bigraph.FromEdges(6, 8, [][2]int{
+		{0, 0}, {0, 1}, {1, 0}, {1, 1}, // K2,2 on L{0,1} × R{0,1}
+		{2, 2}, {2, 3}, {3, 2}, {3, 3}, // K2,2 on L{2,3} × R{2,3}
+		{4, 4},                 // lone edge
+		{5, 5}, {5, 6}, {5, 7}, // star: maximal biclique with min-side 1
+	})
+}
+
+func TestTopKBalancedSemantics(t *testing.T) {
+	g := tieGraph()
+	got := baseline.TopKBalanced(nil, g, 3, 0)
+	// Two distinct sizes only — the list is shorter than k.
+	want := []bigraph.Biclique{
+		{A: []int{0, 1}, B: []int{6, 7}}, // size-2 tie: lex-smallest A wins
+		{A: []int{4}, B: []int{10}},      // size-1 tie: edge (4,10) beats star at left 5
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("top-3 = %+v, want %+v", got, want)
+	}
+	// k truncates.
+	if got := baseline.TopKBalanced(nil, g, 1, 0); len(got) != 1 || got[0].Size() != 2 {
+		t.Fatalf("top-1 = %+v", got)
+	}
+	// minSize floors: size-1 answers disappear, then everything does.
+	if got := baseline.TopKBalanced(nil, g, 3, 2); len(got) != 1 || got[0].Size() != 2 {
+		t.Fatalf("top-3 min 2 = %+v", got)
+	}
+	if got := baseline.TopKBalanced(nil, g, 3, 3); len(got) != 0 {
+		t.Fatalf("top-3 min 3 = %+v, want empty", got)
+	}
+	// The star's witness must be trimmed to the smallest right id: check
+	// via a graph where the star is the only component.
+	star := bigraph.FromEdges(1, 3, [][2]int{{0, 0}, {0, 1}, {0, 2}})
+	if got := baseline.TopKBalanced(nil, star, 1, 0); !reflect.DeepEqual(got,
+		[]bigraph.Biclique{{A: []int{0}, B: []int{1}}}) {
+		t.Fatalf("star witness = %+v, want trimmed to smallest right id", got)
+	}
+}
+
+// TestQuickTopKSizesMatchBrute derives the expected size list straight
+// from the brute maximal-biclique enumeration: distinct min-sides,
+// descending, truncated to k and floored at minSize.
+func TestQuickTopKSizesMatchBrute(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := randomBigraph(rng, 8, 0.2+0.5*rng.Float64())
+		k := 1 + rng.Intn(3)
+		minSize := rng.Intn(3)
+		// Brute subset sweep, as in bruteMaximalBicliques, but collecting
+		// the distinct min-sides at or above the floor.
+		distinct := map[int]bool{}
+		for mask := uint64(1); mask < 1<<uint(g.NR()); mask++ {
+			var B []int
+			for j := 0; j < g.NR(); j++ {
+				if mask&(1<<uint(j)) != 0 {
+					B = append(B, g.Right(j))
+				}
+			}
+			A := commonNeighborsOf(g, B)
+			if len(A) == 0 {
+				continue
+			}
+			B2 := commonNeighborsOf(g, A)
+			s := len(A)
+			if len(B2) < s {
+				s = len(B2)
+			}
+			if s >= 1 && s >= minSize {
+				distinct[s] = true
+			}
+		}
+		var want []int
+		for s := range distinct {
+			want = append(want, s)
+		}
+		sort.Sort(sort.Reverse(sort.IntSlice(want)))
+		if len(want) > k {
+			want = want[:k]
+		}
+		got := baseline.TopKSizes(nil, g, k, minSize)
+		if len(want) == 0 {
+			want = nil
+		}
+		if len(got) == 0 {
+			got = nil
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Logf("seed %d k=%d min=%d: got %v want %v", seed, k, minSize, got, want)
+			return false
+		}
+		// Witnesses must be valid balanced bicliques of g at their size.
+		for _, bc := range baseline.TopKBalanced(nil, g, k, minSize) {
+			if !bc.IsBalanced() || !bc.IsBicliqueOf(g) {
+				t.Logf("invalid witness %+v", bc)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickEnumeratePrunedComplete checks the pruning contract: with a
+// fixed bound b, every maximal biclique with min-side > b is still
+// reported exactly once, and nothing at or below b leaks through.
+func TestQuickEnumeratePrunedComplete(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := randomBigraph(rng, 8, 0.2+0.5*rng.Float64())
+		b := rng.Intn(3)
+		want := map[string]bool{}
+		baseline.EnumerateMaximal(nil, g, func(A, B []int) bool {
+			s := len(A)
+			if len(B) < s {
+				s = len(B)
+			}
+			if s > b {
+				want[pairKey(A, B)] = true
+			}
+			return true
+		})
+		got := map[string]bool{}
+		ok := true
+		baseline.EnumerateMaximalPruned(nil, g, func() int { return b }, func(A, B []int) bool {
+			s := len(A)
+			if len(B) < s {
+				s = len(B)
+			}
+			if s <= b {
+				t.Logf("bound %d leaked size-%d biclique %v %v", b, s, A, B)
+				ok = false
+			}
+			key := pairKey(A, B)
+			if got[key] {
+				t.Logf("duplicate %s", key)
+				ok = false
+			}
+			got[key] = true
+			return true
+		})
+		if !ok || !reflect.DeepEqual(got, want) {
+			t.Logf("seed %d bound %d: got %d bicliques, want %d", seed, b, len(got), len(want))
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,242 @@
+package cluster
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"strconv"
+	"sync"
+
+	"repro/internal/server"
+)
+
+// MergeTopK merges per-replica solve results for the same graph into one
+// answer. Epoch discipline comes first: only results at the newest epoch
+// present among the inputs participate — results from different epochs
+// answer for different graphs and are never mixed, however exact they
+// are. Within the winning epoch the top-k lists (or, for scalar solves,
+// the single witnesses) merge by distinct balanced size, largest first,
+// first witness per size wins, truncated to k when k > 1. The merged
+// result is Exact when any contributor was (same epoch ⇒ same graph ⇒
+// any one proof suffices) and carries the smallest gap any contributor
+// certified. Returns false when results is empty.
+func MergeTopK(k int, results []server.JobResult) (server.JobResult, bool) {
+	if len(results) == 0 {
+		return server.JobResult{}, false
+	}
+	epoch := results[0].Epoch
+	for _, r := range results[1:] {
+		if r.Epoch > epoch {
+			epoch = r.Epoch
+		}
+	}
+	var merged server.JobResult
+	merged.Epoch = epoch
+	first := true
+	bySize := make(map[int]server.BicliqueJSON)
+	var order []int
+	offer := func(bc server.BicliqueJSON) {
+		if bc.Size <= 0 {
+			return
+		}
+		if _, seen := bySize[bc.Size]; !seen {
+			bySize[bc.Size] = bc
+			order = append(order, bc.Size)
+		}
+	}
+	for _, r := range results {
+		if r.Epoch != epoch {
+			continue
+		}
+		if first {
+			merged = r
+			merged.Bicliques = nil
+			first = false
+		} else {
+			merged.Exact = merged.Exact || r.Exact
+			if r.Gap < merged.Gap {
+				merged.Gap = r.Gap
+			}
+			merged.Stats.Nodes += r.Stats.Nodes
+			merged.Seconds += r.Seconds
+		}
+		for _, bc := range r.Bicliques {
+			offer(bc)
+		}
+		offer(server.BicliqueJSON{Size: r.Size, A: r.A, B: r.B})
+	}
+	// Largest sizes first; insertion sort — k is tiny.
+	for i := 1; i < len(order); i++ {
+		for j := i; j > 0 && order[j] > order[j-1]; j-- {
+			order[j], order[j-1] = order[j-1], order[j]
+		}
+	}
+	if k > 1 && len(order) > k {
+		order = order[:k]
+	}
+	if k > 1 {
+		merged.Bicliques = make([]server.BicliqueJSON, len(order))
+		for i, s := range order {
+			merged.Bicliques[i] = bySize[s]
+		}
+	}
+	if len(order) > 0 {
+		top := bySize[order[0]]
+		merged.Size, merged.A, merged.B = top.Size, top.A, top.B
+	}
+	// An exact contributor's optimum closes the gap for the merge.
+	if merged.Exact {
+		merged.Gap = 0
+	}
+	return merged, true
+}
+
+// SolveAllResponse is the POST /graphs/{name}/solveall payload: the
+// merged answer plus which replicas contributed at the merged epoch and
+// which were skipped (stale epoch, failure, or unreachable).
+type SolveAllResponse struct {
+	Result  server.JobResult `json:"result"`
+	Epoch   uint64           `json:"epoch"`
+	Workers []string         `json:"workers"`
+	Skipped []string         `json:"skipped,omitempty"`
+}
+
+// handleSolveAll fans a synchronous solve to every ready replica of the
+// graph and merges the answers with MergeTopK — the cluster analogue of
+// a single worker's /solve, trading duplicated work for an answer that
+// survives any single replica's budget cut and for cross-replica
+// agreement checking. Unlike solveForward it does not fail over to ONE
+// replica; it asks all of them concurrently and keeps only results of
+// the newest epoch any of them served.
+func (c *Coordinator) handleSolveAll(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	body, err := io.ReadAll(io.LimitReader(r.Body, solveBufferBytes+1))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "read request body: %v", err)
+		return
+	}
+	if len(body) > solveBufferBytes {
+		writeError(w, http.StatusRequestEntityTooLarge, "solve request exceeds %d bytes", solveBufferBytes)
+		return
+	}
+	k, ok := c.solveAllK(w, r, body)
+	if !ok {
+		return
+	}
+	cands := c.readCandidates(name)
+	if len(cands) == 0 {
+		c.downReject.Add(1)
+		w.Header().Set("Retry-After", "5")
+		writeError(w, http.StatusServiceUnavailable, "no ready replica of graph %q", name)
+		return
+	}
+	type outcome struct {
+		worker string
+		result *server.JobResult
+	}
+	outcomes := make([]outcome, len(cands))
+	var wg sync.WaitGroup
+	for i, u := range cands {
+		wg.Add(1)
+		go func(i int, u string) {
+			defer wg.Done()
+			outcomes[i] = outcome{worker: u, result: c.solveOn(r, u, name, body)}
+		}(i, u)
+	}
+	wg.Wait()
+	var results []server.JobResult
+	var workers, skipped []string
+	for _, o := range outcomes {
+		if o.result == nil {
+			skipped = append(skipped, o.worker)
+			continue
+		}
+		results = append(results, *o.result)
+		workers = append(workers, o.worker)
+	}
+	merged, ok := MergeTopK(k, results)
+	if !ok {
+		c.downReject.Add(1)
+		w.Header().Set("Retry-After", "5")
+		writeError(w, http.StatusServiceUnavailable, "no replica of graph %q returned a result", name)
+		return
+	}
+	// Contributors are only the replicas whose result carried the merged
+	// (newest) epoch; the rest answered for an older graph.
+	var contributors []string
+	for i, res := range results {
+		if res.Epoch == merged.Epoch {
+			contributors = append(contributors, workers[i])
+		} else {
+			skipped = append(skipped, workers[i])
+		}
+	}
+	c.forwards.Add(1)
+	writeJSON(w, http.StatusOK, SolveAllResponse{
+		Result: merged, Epoch: merged.Epoch, Workers: contributors, Skipped: skipped,
+	})
+}
+
+// solveAllK extracts the top-k truncation bound for the merge from the
+// ?k= parameter or the request body's "k" field (mirroring the worker's
+// own precedence rules); writes a 400 and reports false on nonsense.
+func (c *Coordinator) solveAllK(w http.ResponseWriter, r *http.Request, body []byte) (int, bool) {
+	k := 0
+	if len(body) > 0 {
+		var probe struct {
+			K int `json:"k"`
+		}
+		if err := json.Unmarshal(body, &probe); err == nil {
+			k = probe.K
+		}
+	}
+	if raw := r.URL.Query().Get("k"); raw != "" {
+		v, err := strconv.Atoi(raw)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "bad k=%q: not an integer", raw)
+			return 0, false
+		}
+		if k != 0 && v != k {
+			writeError(w, http.StatusBadRequest, "conflicting k: URL parameter says %d, body says %d", v, k)
+			return 0, false
+		}
+		k = v
+	}
+	if k < 0 {
+		writeError(w, http.StatusBadRequest, "bad k=%d: must be positive", k)
+		return 0, false
+	}
+	return k, true
+}
+
+// solveOn runs one replica's synchronous solve and returns its result,
+// nil on transport errors, non-2xx answers, failed jobs or jobs without
+// a result (a canceled job that kept a best-so-far still counts).
+func (c *Coordinator) solveOn(r *http.Request, worker, name string, body []byte) *server.JobResult {
+	url := worker + "/graphs/" + name + "/solve" + c.rawQuery(r)
+	req, err := http.NewRequestWithContext(r.Context(), http.MethodPost, url, bytes.NewReader(body))
+	if err != nil {
+		return nil
+	}
+	if ct := r.Header.Get("Content-Type"); ct != "" {
+		req.Header.Set("Content-Type", ct)
+	}
+	if id := server.RequestIDFromContext(r.Context()); id != "" {
+		req.Header.Set("X-Request-Id", id)
+	}
+	resp, err := c.client.Do(req)
+	if err != nil {
+		return nil
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<16))
+		return nil
+	}
+	var info server.JobInfo
+	if json.NewDecoder(io.LimitReader(resp.Body, 64<<20)).Decode(&info) != nil {
+		return nil
+	}
+	return info.Result
+}

@@ -1,0 +1,174 @@
+package cluster
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/server"
+)
+
+func jr(epoch uint64, size int, exact bool, gap int, list ...server.BicliqueJSON) server.JobResult {
+	side := make([]int, size)
+	for i := range side {
+		side[i] = i
+	}
+	return server.JobResult{
+		Size: size, A: side, B: side, Exact: exact, Gap: gap,
+		Epoch: epoch, Bicliques: list,
+	}
+}
+
+func mergedSizes(r server.JobResult) []int {
+	out := make([]int, len(r.Bicliques))
+	for i, bc := range r.Bicliques {
+		out[i] = bc.Size
+	}
+	return out
+}
+
+func TestMergeTopKEmpty(t *testing.T) {
+	if _, ok := MergeTopK(2, nil); ok {
+		t.Fatal("empty merge reported a result")
+	}
+}
+
+// TestMergeTopKEpochDiscipline: results at different epochs answer for
+// different graphs; only the newest epoch participates, however good the
+// stale answers look.
+func TestMergeTopKEpochDiscipline(t *testing.T) {
+	merged, ok := MergeTopK(2,
+		[]server.JobResult{
+			jr(3, 5, true, 0), // stale but exact and larger
+			jr(7, 2, false, 1),
+			jr(7, 3, false, 2),
+		})
+	if !ok || merged.Epoch != 7 {
+		t.Fatalf("merged %+v", merged)
+	}
+	if merged.Size != 3 || merged.Exact {
+		t.Fatalf("stale contributor leaked into %+v", merged)
+	}
+	if merged.Gap != 1 {
+		t.Fatalf("gap %d, want the smallest same-epoch gap 1", merged.Gap)
+	}
+	if got := mergedSizes(merged); !reflect.DeepEqual(got, []int{3, 2}) {
+		t.Fatalf("sizes %v, want [3 2]", got)
+	}
+}
+
+func TestMergeTopKDistinctAndTruncated(t *testing.T) {
+	list1 := []server.BicliqueJSON{
+		{Size: 4, A: []int{0, 1, 2, 3}, B: []int{0, 1, 2, 3}},
+		{Size: 2, A: []int{0, 1}, B: []int{0, 1}},
+	}
+	list2 := []server.BicliqueJSON{
+		{Size: 4, A: []int{9, 8, 7, 6}, B: []int{9, 8, 7, 6}}, // duplicate size: first wins
+		{Size: 3, A: []int{0, 1, 2}, B: []int{0, 1, 2}},
+		{Size: 1, A: []int{0}, B: []int{0}},
+	}
+	merged, ok := MergeTopK(3, []server.JobResult{
+		jr(1, 4, true, 0, list1...),
+		jr(1, 4, true, 0, list2...),
+	})
+	if !ok {
+		t.Fatal("merge failed")
+	}
+	if got := mergedSizes(merged); !reflect.DeepEqual(got, []int{4, 3, 2}) {
+		t.Fatalf("sizes %v, want [4 3 2] (distinct, descending, truncated to 3)", got)
+	}
+	if !reflect.DeepEqual(merged.Bicliques[0].A, []int{0, 1, 2, 3}) {
+		t.Fatalf("size-4 witness replaced by a later contributor: %+v", merged.Bicliques[0])
+	}
+	if merged.Size != 4 || !reflect.DeepEqual(merged.A, merged.Bicliques[0].A) {
+		t.Fatalf("scalar head %d/%v disagrees with list head", merged.Size, merged.A)
+	}
+	if !merged.Exact || merged.Gap != 0 {
+		t.Fatalf("exact contributors: exact=%v gap=%d", merged.Exact, merged.Gap)
+	}
+}
+
+// TestMergeTopKScalarOnly: scalar (k ≤ 1) merges keep the best same-epoch
+// answer without growing a list, and one exact contributor closes the
+// gap for the whole merge.
+func TestMergeTopKScalarOnly(t *testing.T) {
+	merged, ok := MergeTopK(0, []server.JobResult{
+		jr(2, 2, false, 3),
+		jr(2, 4, true, 0),
+		jr(2, 3, false, 2),
+	})
+	if !ok {
+		t.Fatal("merge failed")
+	}
+	if merged.Bicliques != nil {
+		t.Fatalf("scalar merge grew a list: %+v", merged.Bicliques)
+	}
+	if merged.Size != 4 || !merged.Exact || merged.Gap != 0 {
+		t.Fatalf("merged %+v, want exact size 4 with gap 0", merged)
+	}
+}
+
+// TestSolveAllEndToEnd fans a top-k solve across a replicated pair via
+// the coordinator's /solveall and checks the merged per-epoch answer.
+func TestSolveAllEndToEnd(t *testing.T) {
+	workers := startCluster(t, 2, 2, 0)
+	coord, err := NewCoordinator(CoordinatorConfig{
+		Peers: []string{workers[0].url, workers[1].url}, Replication: 2,
+		ProbeInterval: 20 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	coord.Start()
+	t.Cleanup(coord.Close)
+	srv := httptest.NewServer(coord.Handler())
+	t.Cleanup(srv.Close)
+	cts := srv.URL
+
+	waitFor(t, 5*time.Second, "cluster ready", func() bool {
+		resp, _ := doReq(t, http.MethodGet, cts+"/readyz", "")
+		return resp.StatusCode == http.StatusOK
+	})
+	// K3,3 plus a disjoint edge: distinct balanced sizes 3 and 1.
+	two := "4 4 10\n0 0\n0 1\n0 2\n1 0\n1 1\n1 2\n2 0\n2 1\n2 2\n3 3\n"
+	resp, data := doReq(t, http.MethodPut, cts+"/graphs/two", two)
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("upload: %d %s", resp.StatusCode, data)
+	}
+
+	var sa SolveAllResponse
+	waitFor(t, 10*time.Second, "replicas ready for solveall", func() bool {
+		resp, data := doReq(t, http.MethodPost, cts+"/graphs/two/solveall?k=2", "")
+		if resp.StatusCode != http.StatusOK {
+			return false
+		}
+		sa = decodeT[SolveAllResponse](t, data)
+		return true
+	})
+	if !sa.Result.Exact || sa.Result.Size != 3 {
+		t.Fatalf("merged result %+v", sa.Result)
+	}
+	if got := mergedSizes(sa.Result); !reflect.DeepEqual(got, []int{3, 1}) {
+		t.Fatalf("merged sizes %v, want [3 1]", got)
+	}
+	if len(sa.Workers) == 0 || sa.Epoch != sa.Result.Epoch {
+		t.Fatalf("response bookkeeping %+v", sa)
+	}
+	for _, w := range sa.Workers {
+		for _, s := range sa.Skipped {
+			if w == s {
+				t.Fatalf("worker %s both contributed and skipped", w)
+			}
+		}
+	}
+
+	// Nonsense k is refused up front.
+	for _, q := range []string{"?k=abc", "?k=-1"} {
+		resp, data := doReq(t, http.MethodPost, cts+"/graphs/two/solveall"+q, "")
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("solveall%s: %d %s, want 400", q, resp.StatusCode, data)
+		}
+	}
+}

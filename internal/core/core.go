@@ -265,6 +265,17 @@ type Stats struct {
 	Bidegeneracy    int   // δ̈ of the reduced graph (0 if never computed)
 	TimedOut        bool  // budget ran out; result may be suboptimal
 
+	// UpperBound is the tightest certified upper bound on the maximum
+	// balanced size that survived the search: for a completed search it
+	// equals the optimum; for a budget-cut search it is the weakest
+	// surviving bound (the max over unfinished components of min(nl, nr),
+	// or min(NL, NR) when no finer certificate exists). It quantifies
+	// TimedOut results — Result.Gap in the public API is
+	// UpperBound − incumbent. Set once by the top-level solve; it is
+	// deliberately not folded by Merge/MergeOutcome, because per-component
+	// bounds do not compose additively.
+	UpperBound int
+
 	// Planner counters (the reduce-and-conquer preprocessing stage that
 	// mbb.SolveContext runs ahead of the solver when Options.Reduce is on).
 	SeedTau    int   // heuristic lower bound τ that seeded the planner

@@ -1,0 +1,97 @@
+package core
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/bigraph"
+)
+
+// TopK is the bounded incumbent heap behind top-k queries: it retains one
+// witness for each of the k largest *distinct* balanced sizes offered so
+// far. Distinctness is what keeps the query class meaningful — the set of
+// balanced bicliques is subset-closed, so "the k largest bicliques"
+// without a distinctness rule would always degenerate to trims of the
+// single maximum.
+//
+// The pruning bound (Bound) is published through an atomic so search
+// workers can read it on their hot path without taking the mutex: it is
+// the smallest retained size once the heap holds k distinct sizes, and 0
+// before that. A subtree whose best possible balanced size is ≤ Bound()
+// can be skipped — it can neither introduce a new qualifying size nor
+// improve a retained one. With k == 1 the bound is exactly the classic
+// single incumbent, which is why the scalar Exec.Best fast path and this
+// heap answer the same query at k == 1.
+//
+// Offer is safe for concurrent use; witnesses are copied in.
+type TopK struct {
+	k     int
+	bound atomic.Int64
+
+	mu      sync.Mutex
+	entries []bigraph.Biclique // sorted by Size() descending, sizes distinct
+}
+
+// NewTopK returns a heap retaining the k largest distinct balanced sizes.
+// k values below 1 are treated as 1.
+func NewTopK(k int) *TopK {
+	if k < 1 {
+		k = 1
+	}
+	return &TopK{k: k}
+}
+
+// K returns the heap's capacity in distinct sizes.
+func (t *TopK) K() int { return t.k }
+
+// Bound returns the current pruning bound: the smallest retained size
+// when the heap is full, 0 otherwise. It only ever grows.
+func (t *TopK) Bound() int { return int(t.bound.Load()) }
+
+// Offer submits a balanced biclique witness. It is retained — copied, the
+// caller keeps ownership of bc — when its size is positive, not already
+// present, and either the heap is not full or the size beats the current
+// bound. Reports whether the heap changed.
+func (t *TopK) Offer(bc bigraph.Biclique) bool {
+	size := bc.Size()
+	if size <= 0 || size <= t.Bound() {
+		return false
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	pos := len(t.entries)
+	for i, e := range t.entries {
+		if e.Size() == size {
+			return false // distinct sizes only; first witness wins
+		}
+		if e.Size() < size {
+			pos = i
+			break
+		}
+	}
+	cp := bigraph.Biclique{
+		A: append([]int(nil), bc.A[:size]...),
+		B: append([]int(nil), bc.B[:size]...),
+	}
+	sort.Ints(cp.A)
+	sort.Ints(cp.B)
+	t.entries = append(t.entries, bigraph.Biclique{})
+	copy(t.entries[pos+1:], t.entries[pos:])
+	t.entries[pos] = cp
+	if len(t.entries) > t.k {
+		t.entries = t.entries[:t.k]
+	}
+	if len(t.entries) == t.k {
+		t.bound.Store(int64(t.entries[t.k-1].Size()))
+	}
+	return true
+}
+
+// List returns the retained witnesses, largest size first. The slice is
+// fresh; the witnesses are shared and must not be modified.
+func (t *TopK) List() []bigraph.Biclique {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return append([]bigraph.Biclique(nil), t.entries...)
+}

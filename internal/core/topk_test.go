@@ -1,0 +1,114 @@
+package core
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+
+	"repro/internal/bigraph"
+)
+
+func bc(a, b []int) bigraph.Biclique { return bigraph.Biclique{A: a, B: b} }
+
+func sizesOf(list []bigraph.Biclique) []int {
+	out := make([]int, len(list))
+	for i, e := range list {
+		out[i] = e.Size()
+	}
+	return out
+}
+
+func TestTopKDistinctDescending(t *testing.T) {
+	h := NewTopK(3)
+	if h.Bound() != 0 {
+		t.Fatalf("empty heap bound = %d, want 0", h.Bound())
+	}
+	for _, w := range [][2][]int{
+		{{1, 2}, {3, 4}},             // size 2
+		{{5}, {6}},                   // size 1
+		{{1, 2}, {7, 8}},             // size 2 duplicate: first witness wins
+		{{0, 1, 2, 3}, {4, 5, 6, 7}}, // size 4
+	} {
+		h.Offer(bc(w[0], w[1]))
+	}
+	if got := sizesOf(h.List()); !reflect.DeepEqual(got, []int{4, 2, 1}) {
+		t.Fatalf("sizes = %v, want [4 2 1]", got)
+	}
+	// First witness per size wins: the size-2 entry is still {1,2}/{3,4}.
+	two := h.List()[1]
+	if !reflect.DeepEqual(two.A, []int{1, 2}) || !reflect.DeepEqual(two.B, []int{3, 4}) {
+		t.Fatalf("size-2 witness replaced: %+v", two)
+	}
+	if h.Bound() != 1 {
+		t.Fatalf("full heap bound = %d, want 1 (smallest retained)", h.Bound())
+	}
+	// Size 3 evicts size 1, bound grows to 2.
+	if !h.Offer(bc([]int{9, 10, 11}, []int{12, 13, 14})) {
+		t.Fatal("size 3 should be retained")
+	}
+	if got := sizesOf(h.List()); !reflect.DeepEqual(got, []int{4, 3, 2}) {
+		t.Fatalf("sizes = %v, want [4 3 2]", got)
+	}
+	if h.Bound() != 2 {
+		t.Fatalf("bound = %d, want 2", h.Bound())
+	}
+	// At or below the bound is rejected without locking.
+	if h.Offer(bc([]int{1, 2}, []int{9, 9})) {
+		t.Fatal("size at bound must be rejected")
+	}
+	if h.Offer(bc(nil, nil)) {
+		t.Fatal("empty witness must be rejected")
+	}
+}
+
+func TestTopKCopiesAndTrims(t *testing.T) {
+	h := NewTopK(2)
+	a := []int{4, 1, 9} // unbalanced: size is min side = 2
+	b := []int{7, 3}
+	h.Offer(bc(a, b))
+	a[0], b[0] = 99, 99 // caller keeps ownership; heap must have copied
+	got := h.List()[0]
+	if !reflect.DeepEqual(got.A, []int{1, 4}) || !reflect.DeepEqual(got.B, []int{3, 7}) {
+		t.Fatalf("witness not copied+trimmed+sorted: %+v", got)
+	}
+}
+
+func TestTopKDegenerateK(t *testing.T) {
+	h := NewTopK(0)
+	if h.K() != 1 {
+		t.Fatalf("k<1 must clamp to 1, got %d", h.K())
+	}
+	h.Offer(bc([]int{1}, []int{2}))
+	h.Offer(bc([]int{1, 2}, []int{3, 4}))
+	if got := sizesOf(h.List()); !reflect.DeepEqual(got, []int{2}) {
+		t.Fatalf("k=1 heap holds %v, want [2]", got)
+	}
+	if h.Bound() != 2 {
+		t.Fatalf("k=1 bound = %d, want the single incumbent", h.Bound())
+	}
+}
+
+func TestTopKConcurrentOffers(t *testing.T) {
+	h := NewTopK(4)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for s := 1; s <= 16; s++ {
+				side := make([]int, s)
+				for i := range side {
+					side[i] = w*100 + i
+				}
+				h.Offer(bc(side, side))
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := sizesOf(h.List()); !reflect.DeepEqual(got, []int{16, 15, 14, 13}) {
+		t.Fatalf("sizes = %v, want [16 15 14 13]", got)
+	}
+	if h.Bound() != 13 {
+		t.Fatalf("bound = %d, want 13", h.Bound())
+	}
+}

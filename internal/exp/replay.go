@@ -1,0 +1,165 @@
+package exp
+
+import (
+	"bytes"
+	"fmt"
+	"time"
+
+	"repro/internal/server"
+	"repro/internal/workload"
+	"repro/mbb"
+)
+
+// Replay streams a temporal edge workload through the mutation API: a
+// timestamped event trace (workload.Replay — power-law insertions with
+// uniform churn deletions, nondecreasing timestamps) is grouped into
+// per-flush-interval delta batches and POSTed in arrival order against a
+// running mbbserved daemon (Config.ServeURL, or an in-process one), with
+// an epoch-exact solve after every batch. Unlike mutebench's synthetic
+// per-kind rounds, the batch composition here is whatever the trace
+// produced — mixed, insert-heavy and deletion-only batches arrive in
+// whatever order the timestamps dictate, which is exactly the regime the
+// plan-maintenance path has to survive in production.
+//
+// The printed table reports the repair-vs-rebuild split the maintenance
+// path is judged on: how many batches the serving plan survived by reuse
+// (deletion-only carry) or bounded local repair versus how many forced a
+// rebuild, plus solve latency percentiles. Every fourth solve asks for
+// the top-2 distinct sizes (?k=2), so the replay also exercises the
+// query engine's list path against a mutating graph: list sizes must be
+// strictly descending and head-consistent with the scalar answer.
+func Replay(c Config) error {
+	c.fill()
+	rounds := c.Requests
+	if rounds <= 0 {
+		rounds = 24
+	}
+
+	url, stop, err := sbDaemon(c, "replay")
+	if err != nil {
+		return err
+	}
+	defer stop()
+
+	// Sized like mutebench: interactive solves even on rebuild rounds.
+	n := c.MaxVerts / 4
+	if n > 600 {
+		n = 600
+	}
+	if n < 40 {
+		n = 40
+	}
+	// ~6 events per 240ms batch window at a ~40ms mean gap, 30% churn.
+	stream := workload.Replay(n, n, 4*n, rounds*6, 0.3, 20, c.Seed)
+	batches := stream.Batches(240)
+	var buf bytes.Buffer
+	if err := mbb.WriteGraph(&buf, stream.Base); err != nil {
+		return err
+	}
+	if err := sbPut(url+"/graphs/replay", buf.Bytes()); err != nil {
+		return fmt.Errorf("upload: %w", err)
+	}
+	fmt.Fprintf(c.W, "replay: graph %dx%d, %d edges; %d events in %d batches (30%% churn)\n",
+		stream.Base.NL(), stream.Base.NR(), stream.Base.NumEdges(), len(stream.Events), len(batches))
+
+	solveBody := fmt.Sprintf(`{"timeout":%q,"workers":%d}`, c.Budget.String(), c.Workers)
+	topkBody := fmt.Sprintf(`{"timeout":%q,"workers":%d,"k":2}`, c.Budget.String(), c.Workers)
+
+	// Cold solve builds the epoch-0 plan before the stream starts.
+	if info, err := sbSolve(url+"/graphs/replay/solve", solveBody); err != nil {
+		return fmt.Errorf("cold solve: %w", err)
+	} else if info.Result == nil || !info.Result.Exact {
+		return fmt.Errorf("cold solve not exact: %+v", info)
+	}
+
+	var solveLat []float64
+	mutLat := map[string][]float64{}
+	for bi, d := range batches {
+		payload, err := muteBody(d)
+		if err != nil {
+			return err
+		}
+		start := time.Now()
+		var mi server.MutationInfo
+		if err := sbPost(url+"/graphs/replay/edges", payload, &mi); err != nil {
+			return fmt.Errorf("batch %d mutation: %w", bi, err)
+		}
+		mutLat[mi.Plan] = append(mutLat[mi.Plan], time.Since(start).Seconds())
+		if mi.Added != len(d.Add) || mi.Removed != len(d.Del) {
+			return fmt.Errorf("batch %d: applied %d+/%d-, trace says %d+/%d- (replay batches are effective by construction)",
+				bi, mi.Added, mi.Removed, len(d.Add), len(d.Del))
+		}
+
+		body := solveBody
+		if bi%4 == 3 {
+			body = topkBody
+		}
+		start = time.Now()
+		info, err := sbSolve(url+"/graphs/replay/solve", body)
+		secs := time.Since(start).Seconds()
+		if err != nil {
+			return fmt.Errorf("batch %d solve: %w", bi, err)
+		}
+		res := info.Result
+		switch {
+		case res == nil || !res.Exact:
+			return fmt.Errorf("batch %d solve not exact: %+v", bi, info)
+		case res.Epoch != mi.Epoch:
+			return fmt.Errorf("batch %d solve reports epoch %d, batch published %d", bi, res.Epoch, mi.Epoch)
+		}
+		if body == topkBody {
+			for i, bc := range res.Bicliques {
+				if i == 0 && bc.Size != res.Size {
+					return fmt.Errorf("batch %d: top-k head size %d disagrees with scalar %d", bi, bc.Size, res.Size)
+				}
+				if i > 0 && bc.Size >= res.Bicliques[i-1].Size {
+					return fmt.Errorf("batch %d: top-k sizes not strictly descending: %+v", bi, res.Bicliques)
+				}
+			}
+		}
+		solveLat = append(solveLat, secs)
+		c.Recorder.add(Record{Exp: "replay", Dataset: "solve", Solver: res.Solver,
+			Seconds: secs, Size: res.Size, Nodes: res.Stats.Nodes,
+			Tau: res.Stats.Tau, Peeled: res.Stats.Peeled, Components: res.Stats.Components})
+	}
+
+	var gi server.GraphInfo
+	if err := sbGet(url+"/graphs/replay", &gi); err != nil {
+		return fmt.Errorf("graph info: %w", err)
+	}
+
+	fmt.Fprintf(c.W, "%-18s %9s %10s %10s %10s %10s %10s\n", "op", "count", "mean", "p50", "p95", "p99", "max")
+	survived, rebuilt := 0, 0
+	for _, outcome := range []string{"reused", "repaired", "rebuilding", "unchanged", "none"} {
+		lat := mutLat[outcome]
+		if len(lat) == 0 {
+			continue
+		}
+		switch outcome {
+		case "reused", "repaired", "unchanged":
+			survived += len(lat)
+		case "rebuilding":
+			rebuilt += len(lat)
+		}
+		mean, p50, p95, maxv := sbDist(lat)
+		fmt.Fprintf(c.W, "%-18s %9d %10s %10s %10s %10s %10s\n", "mutate/"+outcome, len(lat),
+			sbMs(mean), sbMs(p50), sbMs(p95), sbMs(sbPct(lat, 0.99)), sbMs(maxv))
+		c.Recorder.add(Record{Exp: "replay", Dataset: "mutate-" + outcome + "-p50", Seconds: p50})
+	}
+	sMean, sP50, sP95, sMax := sbDist(solveLat)
+	fmt.Fprintf(c.W, "%-18s %9d %10s %10s %10s %10s %10s\n", "solve", len(solveLat),
+		sbMs(sMean), sbMs(sP50), sbMs(sP95), sbMs(sbPct(solveLat, 0.99)), sbMs(sMax))
+	total := survived + rebuilt
+	if total > 0 {
+		fmt.Fprintf(c.W, "plan survival: %d/%d batches (%.0f%%) absorbed without a rebuild (reused %d, repaired %d, rebuilt %d)\n",
+			survived, total, 100*float64(survived)/float64(total),
+			len(mutLat["reused"]), len(mutLat["repaired"]), len(mutLat["rebuilding"]))
+	}
+	fmt.Fprintf(c.W, "epochs: %d published; plan_builds=%d plan_hits=%d\n", gi.Epoch, gi.PlanBuilds, gi.PlanHits)
+	c.Recorder.add(Record{Exp: "replay", Dataset: "solve-p50", Seconds: sP50})
+	c.Recorder.add(Record{Exp: "replay", Dataset: "solve-p99", Seconds: sbPct(solveLat, 0.99)})
+	if gi.Mutations == 0 {
+		return fmt.Errorf("replay: no mutation took effect")
+	}
+	return nil
+}

@@ -49,8 +49,9 @@ func writeError(w http.ResponseWriter, status int, format string, args ...any) {
 //	DELETE /graphs/{name}        drop a graph
 //	POST   /graphs/{name}/edges  mutate: {"add":[[l,r],...],"del":[...]}
 //	DELETE /graphs/{name}/edges  mutate: {"edges":[[l,r],...]} (delete-only)
-//	POST   /graphs/{name}/jobs   submit an async solve job
-//	POST   /graphs/{name}/solve  synchronous solve (cancels on disconnect)
+//	POST   /graphs/{name}/jobs   submit an async solve job (?k=, ?min=)
+//	POST   /graphs/{name}/solve  synchronous solve (cancels on disconnect;
+//	                             ?k= top-k list, ?min= size floor)
 //	GET    /jobs                 list jobs
 //	GET    /jobs/{id}            job status (+result); ?wait=1 long-polls
 //	DELETE /jobs/{id}            cancel a job
@@ -306,6 +307,26 @@ func decodeSolveRequest(r *http.Request) (SolveRequest, error) {
 	return req, err
 }
 
+// queryIntParam reads an integer URL query parameter that mirrors a JSON
+// body field (?k= ↔ "k", ?min= ↔ "min_size"). A missing parameter keeps
+// the body value; a parameter that contradicts a nonzero body value is a
+// conflict the client must resolve, not a precedence puzzle the server
+// guesses at. Range validation (negatives) stays with mbb.Options.
+func queryIntParam(r *http.Request, name string, body int) (int, error) {
+	raw := r.URL.Query().Get(name)
+	if raw == "" {
+		return body, nil
+	}
+	v, err := strconv.Atoi(raw)
+	if err != nil {
+		return 0, fmt.Errorf("bad %s=%q: not an integer", name, raw)
+	}
+	if body != 0 && v != body {
+		return 0, fmt.Errorf("conflicting %s: URL parameter says %d, body says %d", name, v, body)
+	}
+	return v, nil
+}
+
 func (s *Server) submitJob(w http.ResponseWriter, r *http.Request) (*Job, bool) {
 	if s.replicaGate(w, r.PathValue("name")) {
 		return nil, false
@@ -325,6 +346,14 @@ func (s *Server) submitJob(w http.ResponseWriter, r *http.Request) (*Job, bool) 
 			return nil, false
 		}
 		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return nil, false
+	}
+	if req.TopK, err = queryIntParam(r, "k", req.TopK); err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return nil, false
+	}
+	if req.MinSize, err = queryIntParam(r, "min", req.MinSize); err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
 		return nil, false
 	}
 	snap, ok := resolveEpoch(w, r, sg)

@@ -1,0 +1,164 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// twoSizes is K3,3 plus a disjoint edge: two maximal bicliques with
+// distinct balanced sizes 3 and 1 — enough to exercise a top-2 list.
+const twoSizes = "4 4 10\n0 0\n0 1\n0 2\n1 0\n1 1\n1 2\n2 0\n2 1\n2 2\n3 3\n"
+
+func TestSolveTopKParam(t *testing.T) {
+	_, ts := newTestServer(t, Options{Workers: 2})
+	putGraph(t, ts, "two", twoSizes, "")
+
+	check := func(job JobInfo) {
+		t.Helper()
+		res := job.Result
+		if res == nil || !res.Exact || res.Size != 3 || res.Gap != 0 {
+			t.Fatalf("result %+v", res)
+		}
+		if len(res.Bicliques) != 2 || res.Bicliques[0].Size != 3 || res.Bicliques[1].Size != 1 {
+			t.Fatalf("bicliques %+v, want sizes [3 1]", res.Bicliques)
+		}
+		if res.Bicliques[0].Size != res.Size {
+			t.Fatalf("list head %d disagrees with scalar %d", res.Bicliques[0].Size, res.Size)
+		}
+	}
+	// ?k= URL parameter, the body field, and both in agreement.
+	resp, data := do(t, http.MethodPost, ts.URL+"/graphs/two/solve?k=2", nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("?k=2: %d %s", resp.StatusCode, data)
+	}
+	check(decode[JobInfo](t, data))
+	check(solveSync(t, ts, "two", `{"k":2}`))
+	resp, data = do(t, http.MethodPost, ts.URL+"/graphs/two/solve?k=2", strings.NewReader(`{"k":2}`))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("agreeing k: %d %s", resp.StatusCode, data)
+	}
+	check(decode[JobInfo](t, data))
+
+	// Scalar solves must not carry a list.
+	job := solveSync(t, ts, "two", "")
+	if job.Result == nil || job.Result.Bicliques != nil {
+		t.Fatalf("scalar solve grew a list: %+v", job.Result)
+	}
+}
+
+func TestSolveMinParam(t *testing.T) {
+	_, ts := newTestServer(t, Options{Workers: 2})
+	putGraph(t, ts, "two", twoSizes, "")
+
+	// Floor below the optimum: unchanged answer.
+	resp, data := do(t, http.MethodPost, ts.URL+"/graphs/two/solve?min=2", nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("?min=2: %d %s", resp.StatusCode, data)
+	}
+	if job := decode[JobInfo](t, data); job.Result == nil || job.Result.Size != 3 || !job.Result.Exact {
+		t.Fatalf("?min=2 result %+v", job.Result)
+	}
+	// Floor above the optimum: exact empty proof.
+	resp, data = do(t, http.MethodPost, ts.URL+"/graphs/two/solve?min=4", nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("?min=4: %d %s", resp.StatusCode, data)
+	}
+	if job := decode[JobInfo](t, data); job.Result == nil || job.Result.Size != 0 || !job.Result.Exact {
+		t.Fatalf("?min=4 result %+v, want exact empty proof", job.Result)
+	}
+	// Body form.
+	if job := solveSync(t, ts, "two", `{"min_size":3}`); job.Result == nil || job.Result.Size != 3 {
+		t.Fatalf("min_size=3 result %+v", job.Result)
+	}
+}
+
+func TestSolveQueryParamErrors(t *testing.T) {
+	_, ts := newTestServer(t, Options{})
+	putGraph(t, ts, "two", twoSizes, "")
+	cases := []struct {
+		query, body string
+	}{
+		{"?k=abc", ""},
+		{"?min=abc", ""},
+		{"?k=-1", ""},
+		{"?min=-2", ""},
+		{"?k=2", `{"k":3}`},          // conflicting values
+		{"?min=2", `{"min_size":3}`}, // conflicting values
+		{"", `{"k":-1}`},
+		{"", `{"min_size":-1}`},
+	}
+	for _, tc := range cases {
+		var body *strings.Reader
+		if tc.body != "" {
+			body = strings.NewReader(tc.body)
+		} else {
+			body = strings.NewReader("")
+		}
+		resp, data := do(t, http.MethodPost, ts.URL+"/graphs/two/solve"+tc.query, body)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("solve%s body=%q: status %d (%s), want 400", tc.query, tc.body, resp.StatusCode, data)
+		}
+	}
+}
+
+// TestResultGapOnWire: the gap field is always serialized — budget-cut
+// results report their certified gap, exact ones an explicit 0.
+func TestResultGapOnWire(t *testing.T) {
+	_, ts := newTestServer(t, Options{Workers: 2})
+	putGraph(t, ts, "two", twoSizes, "")
+	resp, data := do(t, http.MethodPost, ts.URL+"/graphs/two/solve", nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("solve: %d %s", resp.StatusCode, data)
+	}
+	var raw struct {
+		Result map[string]json.RawMessage `json:"result"`
+	}
+	if err := json.Unmarshal(data, &raw); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := raw.Result["gap"]; !ok {
+		t.Fatalf("result JSON lacks a gap field: %s", data)
+	}
+	if _, ok := raw.Result["bicliques"]; ok {
+		t.Fatalf("scalar result JSON carries bicliques: %s", data)
+	}
+
+	// A node-budget cut on a hard graph keeps best-so-far plus gap.
+	big := genDenseBody(40)
+	putGraph(t, ts, "big", big, "")
+	job := solveSync(t, ts, "big", `{"max_nodes":5,"solver":"basicBB"}`)
+	if job.Result == nil {
+		t.Fatalf("budget-cut job lost its result: %+v", job)
+	}
+	if job.Result.Exact {
+		t.Skip("graph solved within 5 nodes; gap path not exercised")
+	}
+	if job.Result.Gap <= 0 {
+		t.Fatalf("inexact result gap = %d, want positive", job.Result.Gap)
+	}
+}
+
+// genDenseBody builds an n×n ~70%-density edge list deterministically.
+func genDenseBody(n int) string {
+	var sb strings.Builder
+	var edges []string
+	state := uint32(2463534242)
+	for l := 0; l < n; l++ {
+		for r := 0; r < n; r++ {
+			state ^= state << 13
+			state ^= state >> 17
+			state ^= state << 5
+			if state%10 < 7 {
+				edges = append(edges, strconv.Itoa(l)+" "+strconv.Itoa(r)+"\n")
+			}
+		}
+	}
+	sb.WriteString(strconv.Itoa(n) + " " + strconv.Itoa(n) + " " + strconv.Itoa(len(edges)) + "\n")
+	for _, e := range edges {
+		sb.WriteString(e)
+	}
+	return sb.String()
+}

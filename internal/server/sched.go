@@ -48,6 +48,13 @@ type SolveRequest struct {
 	// Reduce is the planner mode: "auto" (default), "on", "off". When
 	// the planner applies, the solve reuses the graph's cached plan.
 	Reduce string `json:"reduce,omitempty"`
+	// TopK asks for the k largest distinct balanced sizes (0/1 = the
+	// classic single maximum). Also settable via the ?k= URL parameter.
+	TopK int `json:"k,omitempty"`
+	// MinSize is the size-constrained floor: only bicliques of at least
+	// MinSize per side count; an empty exact result is a proof of
+	// absence. Also settable via the ?min= URL parameter.
+	MinSize int `json:"min_size,omitempty"`
 }
 
 // resolve turns the wire request into validated mbb.Options plus the
@@ -56,7 +63,7 @@ type SolveRequest struct {
 // > 0) clamps the per-job goroutine budget — an uncapped client value
 // would size channels and goroutine pools inside the solvers.
 func (r SolveRequest) resolve(defTimeout, maxTimeout time.Duration, maxWorkers int) (*mbb.Options, bool, error) {
-	opt := &mbb.Options{Solver: r.Solver, MaxNodes: r.MaxNodes, Workers: r.Workers}
+	opt := &mbb.Options{Solver: r.Solver, MaxNodes: r.MaxNodes, Workers: r.Workers, TopK: r.TopK, MinSize: r.MinSize}
 	if r.Timeout != "" {
 		d, err := time.ParseDuration(r.Timeout)
 		if err != nil {
@@ -111,22 +118,37 @@ func statsJSON(s core.Stats) StatsJSON {
 	return out
 }
 
+// BicliqueJSON is one entry of a top-k answer list on the wire: a
+// balanced witness in side-local indices, like the scalar A/B fields.
+type BicliqueJSON struct {
+	Size int   `json:"size"`
+	A    []int `json:"a"`
+	B    []int `json:"b"`
+}
+
 // JobResult is the outcome of a finished (or canceled-midway) job. A and
 // B are side-local indices like the CLI prints. Epoch is the snapshot
 // version the job solved: the result is exact (when Exact) for exactly
 // that published version of the graph, which may be older than the
 // store's current epoch if mutations landed while the job ran.
+//
+// Gap is always present (including on canceled jobs' best-so-far
+// results): the certified optimality gap of the answer, 0 when Exact.
+// Bicliques appears only for top-k submissions (k > 1), one witness per
+// distinct size, largest first.
 type JobResult struct {
-	Size       int       `json:"size"`
-	A          []int     `json:"a"`
-	B          []int     `json:"b"`
-	Exact      bool      `json:"exact"`
-	Epoch      uint64    `json:"epoch"`
-	Solver     string    `json:"solver"`
-	Reduced    bool      `json:"reduced"`
-	PlanCached bool      `json:"plan_cached"`
-	Seconds    float64   `json:"seconds"`
-	Stats      StatsJSON `json:"stats"`
+	Size       int            `json:"size"`
+	A          []int          `json:"a"`
+	B          []int          `json:"b"`
+	Bicliques  []BicliqueJSON `json:"bicliques,omitempty"`
+	Exact      bool           `json:"exact"`
+	Gap        int            `json:"gap"`
+	Epoch      uint64         `json:"epoch"`
+	Solver     string         `json:"solver"`
+	Reduced    bool           `json:"reduced"`
+	PlanCached bool           `json:"plan_cached"`
+	Seconds    float64        `json:"seconds"`
+	Stats      StatsJSON      `json:"stats"`
 }
 
 // Job is one scheduled solve. All mutable state is behind mu; Done is
@@ -506,19 +528,25 @@ func (s *Scheduler) run(job *Job) {
 
 func jobResult(snap *Snapshot, res mbb.Result, planCached bool, secs float64) *JobResult {
 	g := snap.Graph()
-	a := make([]int, len(res.Biclique.A))
-	for i, v := range res.Biclique.A {
-		a[i] = g.LocalIndex(v)
+	localize := func(ids []int) []int {
+		out := make([]int, len(ids))
+		for i, v := range ids {
+			out[i] = g.LocalIndex(v)
+		}
+		return out
 	}
-	b := make([]int, len(res.Biclique.B))
-	for i, v := range res.Biclique.B {
-		b[i] = g.LocalIndex(v)
-	}
-	return &JobResult{
-		Size: res.Biclique.Size(), A: a, B: b,
-		Exact: res.Exact, Epoch: snap.Epoch(), Solver: res.Solver, Reduced: res.Reduced,
+	jr := &JobResult{
+		Size: res.Biclique.Size(), A: localize(res.Biclique.A), B: localize(res.Biclique.B),
+		Exact: res.Exact, Gap: res.Gap, Epoch: snap.Epoch(), Solver: res.Solver, Reduced: res.Reduced,
 		PlanCached: planCached, Seconds: secs, Stats: statsJSON(res.Stats),
 	}
+	if res.Bicliques != nil {
+		jr.Bicliques = make([]BicliqueJSON, len(res.Bicliques))
+		for i, bc := range res.Bicliques {
+			jr.Bicliques[i] = BicliqueJSON{Size: bc.Size(), A: localize(bc.A), B: localize(bc.B)}
+		}
+	}
+	return jr
 }
 
 // Get returns a job by id.

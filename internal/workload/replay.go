@@ -1,0 +1,136 @@
+package workload
+
+import (
+	"math/rand"
+
+	"repro/internal/bigraph"
+)
+
+// StreamEvent is one timestamped edge event of a temporal replay stream:
+// an insertion (Add) or deletion of the side-local edge (L, R) at Time.
+// Times are nondecreasing along a stream, mimicking the arrival order of
+// a logged production trace.
+type StreamEvent struct {
+	Time int64 // milliseconds since the stream start
+	Add  bool
+	L, R int
+}
+
+// EdgeStream is a replayable temporal workload: a base graph plus a
+// timestamped event sequence to stream through the mutation API. The
+// events reference side-local indices of Base's vertex space (the vertex
+// sets never change — only edges churn, like the engine's mutation API).
+type EdgeStream struct {
+	Base   *bigraph.Graph
+	Events []StreamEvent
+}
+
+// Replay generates a temporal edge stream over an nl×nr vertex space,
+// deterministic in seed. The base graph holds roughly baseEdges power-law
+// edges; the stream then issues events alternating growth and churn:
+// each event is an insertion of a fresh power-law-sampled edge with
+// probability 1−churn, or a deletion of an edge currently present with
+// probability churn. Deletions are sampled uniformly from the live edge
+// set, so hub edges churn in proportion to their prevalence — the
+// classic append-mostly trace with occasional unlinks. Event timestamps
+// advance by an exponential-ish jitter of meanGapMs (bounded, so a
+// stream's wall-clock span is predictable in tests).
+//
+// The stream never deletes below half the base edge count and never
+// inserts an edge that is already present (those samples are redirected
+// to deletions or skipped), so every event is a real mutation when
+// applied in order.
+func Replay(nl, nr, baseEdges, events int, churn float64, meanGapMs int64, seed int64) EdgeStream {
+	rng := rand.New(rand.NewSource(seed))
+	base := PowerLaw(nl, nr, baseEdges, 0.5, seed)
+
+	// Live edge set, as l*nr+r keys, for uniform deletion sampling and
+	// duplicate-insert suppression.
+	live := make([]int64, 0, base.NumEdges()+events)
+	liveIdx := make(map[int64]int, base.NumEdges()+events)
+	add := func(key int64) {
+		liveIdx[key] = len(live)
+		live = append(live, key)
+	}
+	del := func(key int64) {
+		i := liveIdx[key]
+		last := len(live) - 1
+		live[i] = live[last]
+		liveIdx[live[i]] = i
+		live = live[:last]
+		delete(liveIdx, key)
+	}
+	for _, e := range base.Edges() {
+		add(int64(e[0])*int64(nr) + int64(e[1]))
+	}
+	floor := len(live) / 2
+
+	cumL := weightCDF(nl, 0.5)
+	cumR := weightCDF(nr, 0.5)
+	if meanGapMs < 1 {
+		meanGapMs = 1
+	}
+	out := EdgeStream{Base: base}
+	now := int64(0)
+	for len(out.Events) < events {
+		// Bounded jitter in [1, 3·mean]: exponential flavour without the
+		// unbounded tail that would make test durations flaky.
+		now += 1 + rng.Int63n(3*meanGapMs)
+		if rng.Float64() < churn && len(live) > floor {
+			key := live[rng.Intn(len(live))]
+			del(key)
+			out.Events = append(out.Events, StreamEvent{
+				Time: now, Add: false, L: int(key / int64(nr)), R: int(key % int64(nr)),
+			})
+			continue
+		}
+		l := sampleCDF(cumL, rng)
+		r := sampleCDF(cumR, rng)
+		key := int64(l)*int64(nr) + int64(r)
+		if _, present := liveIdx[key]; present {
+			continue // duplicate insert: resample
+		}
+		add(key)
+		out.Events = append(out.Events, StreamEvent{Time: now, Add: true, L: l, R: r})
+	}
+	return out
+}
+
+// Batches groups the stream's events into mutation batches of at most
+// batchMs of stream time each (and at least one event), preserving
+// order: the deltas a replaying client would POST per flush interval. A
+// batch also splits early when an event touches an edge the current
+// batch already names — delete-then-reinsert inside one delta would be
+// netted out by the mutation API, and a replay batch must stay effective
+// edge for edge.
+func (s EdgeStream) Batches(batchMs int64) []bigraph.Delta {
+	if batchMs < 1 {
+		batchMs = 1
+	}
+	var out []bigraph.Delta
+	var cur bigraph.Delta
+	touched := make(map[[2]int]bool)
+	windowEnd := int64(-1)
+	flush := func() {
+		if !cur.Empty() {
+			out = append(out, cur)
+			cur = bigraph.Delta{}
+			touched = make(map[[2]int]bool)
+		}
+	}
+	for _, ev := range s.Events {
+		e := [2]int{ev.L, ev.R}
+		if ev.Time >= windowEnd || touched[e] {
+			flush()
+			windowEnd = ev.Time + batchMs
+		}
+		touched[e] = true
+		if ev.Add {
+			cur.Add = append(cur.Add, e)
+		} else {
+			cur.Del = append(cur.Del, e)
+		}
+	}
+	flush()
+	return out
+}

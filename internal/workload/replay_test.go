@@ -1,0 +1,98 @@
+package workload_test
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/bigraph"
+	"repro/internal/workload"
+)
+
+func TestReplayDeterministicInSeed(t *testing.T) {
+	s1 := workload.Replay(50, 40, 120, 200, 0.3, 20, 9)
+	s2 := workload.Replay(50, 40, 120, 200, 0.3, 20, 9)
+	if !equalEdges(s1.Base, s2.Base) || !reflect.DeepEqual(s1.Events, s2.Events) {
+		t.Fatal("same seed gave different streams")
+	}
+	s3 := workload.Replay(50, 40, 120, 200, 0.3, 20, 10)
+	if reflect.DeepEqual(s1.Events, s3.Events) {
+		t.Fatal("different seeds gave identical event sequences")
+	}
+}
+
+// TestReplayEventsEffective replays the stream event by event against the
+// base graph: every event must be a real mutation (inserts absent edges,
+// deletes present ones), timestamps must be nondecreasing, and indices in
+// range — the contract that lets the exp harness assert the server's
+// applied counts match the trace exactly.
+func TestReplayEventsEffective(t *testing.T) {
+	s := workload.Replay(30, 30, 100, 300, 0.4, 5, 3)
+	g := s.Base
+	last := int64(0)
+	deletions := 0
+	for i, ev := range s.Events {
+		if ev.Time < last {
+			t.Fatalf("event %d: time went backwards (%d after %d)", i, ev.Time, last)
+		}
+		last = ev.Time
+		if ev.L < 0 || ev.L >= g.NL() || ev.R < 0 || ev.R >= g.NR() {
+			t.Fatalf("event %d out of range: %+v", i, ev)
+		}
+		present := g.HasEdge(ev.L, g.NL()+ev.R)
+		if ev.Add == present {
+			t.Fatalf("event %d ineffective: add=%v but edge present=%v", i, ev.Add, present)
+		}
+		d := bigraph.Delta{}
+		if ev.Add {
+			d.Add = [][2]int{{ev.L, ev.R}}
+		} else {
+			d.Del = [][2]int{{ev.L, ev.R}}
+			deletions++
+		}
+		next, eff, err := g.Apply(d)
+		if err != nil || len(eff.Add)+len(eff.Del) != 1 {
+			t.Fatalf("event %d: apply eff=%+v err=%v", i, eff, err)
+		}
+		g = next
+	}
+	if deletions == 0 {
+		t.Fatal("40% churn produced no deletions")
+	}
+	if g.NumEdges() < s.Base.NumEdges()/2 {
+		t.Fatalf("stream deleted below the floor: %d of %d base edges left",
+			g.NumEdges(), s.Base.NumEdges())
+	}
+}
+
+// TestReplayBatchesEffective: batching preserves order and the
+// edge-for-edge effectiveness guarantee — no batch names the same edge
+// twice, so the server-side netting of delete-then-reinsert can never
+// shrink a batch's applied counts.
+func TestReplayBatchesEffective(t *testing.T) {
+	s := workload.Replay(30, 30, 100, 300, 0.4, 5, 3)
+	batches := s.Batches(40)
+	total := 0
+	g := s.Base
+	for bi, d := range batches {
+		seen := map[[2]int]bool{}
+		for _, e := range append(append([][2]int{}, d.Add...), d.Del...) {
+			if seen[e] {
+				t.Fatalf("batch %d names edge %v twice", bi, e)
+			}
+			seen[e] = true
+		}
+		next, eff, err := g.Apply(d)
+		if err != nil {
+			t.Fatalf("batch %d: %v", bi, err)
+		}
+		if len(eff.Add) != len(d.Add) || len(eff.Del) != len(d.Del) {
+			t.Fatalf("batch %d not fully effective: %d+/%d- applied of %d+/%d-",
+				bi, len(eff.Add), len(eff.Del), len(d.Add), len(d.Del))
+		}
+		total += len(d.Add) + len(d.Del)
+		g = next
+	}
+	if total != len(s.Events) {
+		t.Fatalf("batches carry %d events, stream has %d", total, len(s.Events))
+	}
+}

@@ -1,6 +1,7 @@
 package mbb_test
 
 import (
+	"errors"
 	"testing"
 
 	"repro/internal/baseline"
@@ -29,7 +30,9 @@ func agreeGraph(nlRaw, nrRaw, mode, density uint8, edges uint16, seed int64) *mb
 }
 
 // checkSolversAgree runs every registered solver on g in both planner
-// modes and compares against the oracle.
+// modes and compares against the oracle — the scalar maximum plus, for
+// exact solvers, the top-k size sequences (k ∈ {2, 3}) and the MinSize
+// floor semantics against the brute-force top-k oracle.
 func checkSolversAgree(t *testing.T, g *mbb.Graph) {
 	t.Helper()
 	oracle := baseline.BruteForceSize(g)
@@ -54,6 +57,11 @@ func checkSolversAgree(t *testing.T, g *mbb.Graph) {
 				if res.Exact && size != oracle {
 					t.Fatalf("%s reduce=%v: claims exactness at size %d, oracle %d", spec.Name, reduce, size, oracle)
 				}
+				// A list answer needs exact per-size certificates; heuristics
+				// must be refused up front.
+				if _, err := mbb.Solve(g, &mbb.Options{Solver: spec.Name, Reduce: reduce, TopK: 2}); !errors.Is(err, mbb.ErrBadOptions) {
+					t.Fatalf("%s reduce=%v: TopK=2 err = %v, want ErrBadOptions", spec.Name, reduce, err)
+				}
 				continue
 			}
 			if !res.Exact {
@@ -63,8 +71,81 @@ func checkSolversAgree(t *testing.T, g *mbb.Graph) {
 				t.Fatalf("%s reduce=%v: size %d, oracle %d (graph %dx%d, %d edges)",
 					spec.Name, reduce, size, oracle, g.NL(), g.NR(), g.NumEdges())
 			}
+			checkQueriesAgree(t, g, spec.Name, reduce, oracle)
 		}
 	}
+}
+
+// checkQueriesAgree checks an exact solver's query-engine answers against
+// the brute-force top-k oracle: size sequences for k ∈ {2, 3} (k = 1 is
+// the scalar path above), the MinSize floor at, below and above the
+// optimum, and the combined form. Witness identity is not comparable
+// under pruning, so lists compare by size sequence and witnesses are
+// validated structurally.
+func checkQueriesAgree(t *testing.T, g *mbb.Graph, name string, reduce mbb.Reduce, oracle int) {
+	t.Helper()
+	checkList := func(res mbb.Result, k, minSize int) {
+		t.Helper()
+		want := baseline.TopKSizes(nil, g, k, minSize)
+		got := make([]int, len(res.Bicliques))
+		for i, bc := range res.Bicliques {
+			if !bc.IsBicliqueOf(g) || !bc.IsBalanced() {
+				t.Fatalf("%s reduce=%v k=%d min=%d: invalid witness %v", name, reduce, k, minSize, bc)
+			}
+			got[i] = bc.Size()
+		}
+		if len(got) != len(want) {
+			t.Fatalf("%s reduce=%v k=%d min=%d: sizes %v, oracle %v", name, reduce, k, minSize, got, want)
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("%s reduce=%v k=%d min=%d: sizes %v, oracle %v", name, reduce, k, minSize, got, want)
+			}
+		}
+		if len(got) > 0 && res.Biclique.Size() != got[0] {
+			t.Fatalf("%s reduce=%v k=%d min=%d: scalar %d disagrees with list head %d",
+				name, reduce, k, minSize, res.Biclique.Size(), got[0])
+		}
+	}
+	for _, k := range []int{2, 3} {
+		res, err := mbb.Solve(g, &mbb.Options{Solver: name, Reduce: reduce, TopK: k})
+		if err != nil {
+			t.Fatalf("%s reduce=%v TopK=%d: %v", name, reduce, k, err)
+		}
+		if !res.Exact {
+			t.Fatalf("%s reduce=%v TopK=%d: unbudgeted solve inexact", name, reduce, k)
+		}
+		if res.Bicliques == nil {
+			t.Fatalf("%s reduce=%v TopK=%d: nil Bicliques", name, reduce, k)
+		}
+		checkList(res, k, 0)
+	}
+	for _, m := range []int{1, oracle, oracle + 1} {
+		if m < 1 {
+			continue
+		}
+		res, err := mbb.Solve(g, &mbb.Options{Solver: name, Reduce: reduce, MinSize: m})
+		if err != nil {
+			t.Fatalf("%s reduce=%v MinSize=%d: %v", name, reduce, m, err)
+		}
+		if !res.Exact {
+			t.Fatalf("%s reduce=%v MinSize=%d: unbudgeted solve inexact", name, reduce, m)
+		}
+		if res.Bicliques != nil {
+			t.Fatalf("%s reduce=%v MinSize=%d: list allocated on a scalar query", name, reduce, m)
+		}
+		switch size := res.Biclique.Size(); {
+		case m <= oracle && size != oracle:
+			t.Fatalf("%s reduce=%v MinSize=%d: size %d, oracle %d", name, reduce, m, size, oracle)
+		case m > oracle && size != 0:
+			t.Fatalf("%s reduce=%v MinSize=%d > oracle %d: size %d, want empty proof", name, reduce, m, oracle, size)
+		}
+	}
+	res, err := mbb.Solve(g, &mbb.Options{Solver: name, Reduce: reduce, TopK: 2, MinSize: 2})
+	if err != nil {
+		t.Fatalf("%s reduce=%v TopK=2 MinSize=2: %v", name, reduce, err)
+	}
+	checkList(res, 2, 2)
 }
 
 // agreeCase is one seeded corpus entry.

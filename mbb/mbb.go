@@ -35,6 +35,27 @@
 // to the original vertex ids. Reduction statistics (τ, vertices peeled,
 // components solved) are reported in Stats.
 //
+// # Query classes
+//
+// Beyond the single maximum, Options selects richer queries on the same
+// engine (and the same cached Plan — plans are query-independent):
+//
+//   - Options.TopK > 1 returns one balanced witness for each of the k
+//     largest distinct balanced sizes in Result.Bicliques, largest
+//     first, with Result.Biclique as the head. TopK ≤ 1 is exactly the
+//     classic solve — same path, no list allocated. Top-k requires an
+//     exact solver (heuristics cannot certify per-size answers).
+//   - Options.MinSize restricts answers to bicliques of at least that
+//     size per side. The floor seeds the shared incumbent, so solvers
+//     prune below it from the first node; an exact empty Result is a
+//     proof that no qualifying biclique exists, and a floor larger than
+//     a side of the graph is refused at plan time by counting alone.
+//   - Budgeted solves are anytime: an inexact Result carries the best
+//     biclique found plus Result.Gap, the certified distance between the
+//     answer and the weakest surviving upper bound
+//     (Stats.UpperBound). Gap == 0 on an inexact result still means the
+//     answer is optimal — only the proof was cut short.
+//
 // Solvers are named and pluggable: Solvers lists the registry, Lookup
 // resolves a name case-insensitively, and Register adds custom entries.
 // The built-in names (see registry.go for the paper mapping) are
@@ -184,15 +205,54 @@ type Options struct {
 	// solvers; ReduceOn/ReduceOff override per call. Heuristic solvers
 	// never use the planner.
 	Reduce Reduce
+
+	// TopK asks for the k largest distinct balanced sizes instead of one
+	// maximum: Result.Bicliques holds one witness per size, largest
+	// first (see Result.Bicliques for the exact semantics). 0 and 1 both
+	// mean the classic single-maximum query — 0 is the default, and the
+	// k == 1 path is byte-identical to it; negative values are rejected
+	// (ErrBadOptions). TopK > 1 requires an exact solver: heuristic
+	// solvers cannot rank sizes they never prove.
+	TopK int
+
+	// MinSize is the size-constrained floor: only balanced bicliques of
+	// at least MinSize per side count as answers. The engine seeds the
+	// shared incumbent with MinSize−1 — every solver then prunes below
+	// the floor for free — and the planner peels with
+	// τ = max(greedy seed, MinSize−1). When no qualifying biclique
+	// exists the result is an *empty* biclique with Exact == true: the
+	// completed floor-seeded search is the proof of absence. Queries
+	// with MinSize exceeding a side of the graph are refused at plan
+	// time with the same empty proof, without running a solver. 0 means
+	// no floor (the default); negative values are rejected
+	// (ErrBadOptions).
+	MinSize int
 }
 
 // Result is the outcome of Solve.
 type Result struct {
 	// Biclique is the best balanced biclique found. A and B are unified
-	// vertex ids of the input graph.
+	// vertex ids of the input graph. Under Options.MinSize it is empty
+	// when no biclique of at least MinSize per side exists — with
+	// Exact == true that emptiness is a proof of absence, not a failure.
 	Biclique Biclique
 	// Exact is true when the search ran to completion, proving optimality.
 	Exact bool
+	// Bicliques is the top-k answer list, populated only when
+	// Options.TopK > 1 (the k ≤ 1 fast path never allocates it): one
+	// balanced witness for each of the k largest distinct balanced sizes,
+	// largest first, every size ≥ Options.MinSize. It may be shorter than
+	// k when fewer distinct sizes exist; Bicliques[0] always agrees with
+	// Biclique. With Exact == false the list is best-effort, like the
+	// scalar incumbent.
+	Bicliques []Biclique
+	// Gap quantifies inexactness: the difference between the tightest
+	// upper bound on the maximum balanced size that survived the search
+	// (Stats.UpperBound) and the size actually found. 0 when Exact; a
+	// budget-cut solve with Gap == 0 is also optimal even though the
+	// search did not finish — the certificate just arrived from bounds
+	// rather than exhaustion.
+	Gap int
 	// Solver is the registry name of the solver that actually ran
 	// (resolves "auto").
 	Solver string
@@ -231,6 +291,12 @@ func (o *Options) Validate() error {
 	if o.Workers < 0 {
 		return fmt.Errorf("%w: negative Workers %d", ErrBadOptions, o.Workers)
 	}
+	if o.TopK < 0 {
+		return fmt.Errorf("%w: negative TopK %d", ErrBadOptions, o.TopK)
+	}
+	if o.MinSize < 0 {
+		return fmt.Errorf("%w: negative MinSize %d", ErrBadOptions, o.MinSize)
+	}
 	return nil
 }
 
@@ -263,11 +329,14 @@ func autoSolverName(g *Graph) string {
 	return "hbvMBB"
 }
 
-// SolveContext computes a maximum balanced biclique of g under ctx: the
-// solver is resolved through the registry, an execution context carrying
-// ctx plus the Timeout/MaxNodes budgets is built, and the search runs
-// until completion, budget exhaustion or cancellation — whichever comes
-// first. opt may be nil for defaults.
+// SolveContext answers a biclique query on g under ctx: the solver is
+// resolved through the registry, an execution context carrying ctx plus
+// the Timeout/MaxNodes budgets is built, and the search runs until
+// completion, budget exhaustion or cancellation — whichever comes first.
+// The default query is the classic single maximum; Options.TopK and
+// Options.MinSize select the top-k and size-constrained classes, and
+// every inexact answer carries a quantified optimality gap (Result.Gap).
+// opt may be nil for defaults.
 func SolveContext(ctx context.Context, g *Graph, opt *Options) (Result, error) {
 	if g == nil {
 		return Result{}, ErrNilGraph
@@ -282,9 +351,22 @@ func SolveContext(ctx context.Context, g *Graph, opt *Options) (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
+	q := queryOf(opt)
+	if q.k > 1 && spec.Heuristic {
+		return Result{}, fmt.Errorf("%w: heuristic solver %q cannot answer top-k queries", ErrBadOptions, spec.Name)
+	}
 	ex := core.NewExec(ctx, core.Limits{Timeout: opt.Timeout, MaxNodes: opt.MaxNodes})
 	if isAuto {
 		spec, _ = Lookup(autoSolverName(g))
+	}
+	if q.infeasible(g) {
+		return q.refuse(g, spec.Name), nil
+	}
+	if f := q.floor(); f > 0 {
+		// Seed the shared incumbent with the floor: every solver then
+		// prunes below MinSize for free, and a completed search that
+		// found nothing above it is a proof of absence.
+		ex.OfferBest(f)
 	}
 	var res core.Result
 	planned := planActive(opt, isAuto, spec.Heuristic)
@@ -302,14 +384,12 @@ func SolveContext(ctx context.Context, g *Graph, opt *Options) (Result, error) {
 		// early-termination step fired.
 		exact = exact && res.Stats.Step == core.Step1
 	}
-	return Result{
-		Biclique:  res.Biclique,
-		Exact:     exact,
-		Solver:    spec.Name,
-		Algorithm: algorithmOf(spec.Name),
-		Reduced:   planned,
-		Stats:     res.Stats,
-	}, nil
+	var list []Biclique
+	if q.k > 1 {
+		list = topKTail(ex, g, q, &res)
+		exact = exact && !res.Stats.TimedOut
+	}
+	return finishResult(g, q, spec.Name, planned, res, exact, list), nil
 }
 
 // Solve computes a maximum balanced biclique of g. opt may be nil for

@@ -19,7 +19,9 @@ func TestOptionsValidation(t *testing.T) {
 		{Timeout: -time.Second},
 		{MaxNodes: -1},
 		{Workers: -2},
-		{Timeout: -1, MaxNodes: -1, Workers: -1},
+		{TopK: -1},
+		{MinSize: -3},
+		{Timeout: -1, MaxNodes: -1, Workers: -1, TopK: -1, MinSize: -1},
 	}
 	for _, opt := range bad {
 		if _, err := mbb.Solve(g, &opt); !errors.Is(err, mbb.ErrBadOptions) {
@@ -34,6 +36,14 @@ func TestOptionsValidation(t *testing.T) {
 		if _, err := plan.SolveContext(context.Background(), &opt); !errors.Is(err, mbb.ErrBadOptions) {
 			t.Errorf("Plan.SolveContext with %+v: err = %v, want ErrBadOptions", opt, err)
 		}
+	}
+	// Heuristic solvers cannot certify per-size exactness, so a list
+	// query against one is a contradiction, not a degraded answer.
+	if _, err := mbb.Solve(g, &mbb.Options{Solver: "heur", TopK: 2}); !errors.Is(err, mbb.ErrBadOptions) {
+		t.Errorf("heur with TopK=2: err = %v, want ErrBadOptions", err)
+	}
+	if _, err := mbb.Solve(g, &mbb.Options{Solver: "heur", TopK: 1}); err != nil {
+		t.Errorf("heur with TopK=1 (scalar fast path): err = %v", err)
 	}
 	// The documented zero values stay valid: nil options and all-zero
 	// options mean auto solver, unlimited budget, sequential pipeline.

@@ -68,7 +68,7 @@ func PlanContext(ctx context.Context, g *Graph) (*Plan, error) {
 		return nil, ErrNilGraph
 	}
 	ex := core.NewExec(ctx, core.Limits{})
-	p := computePlan(ex, g)
+	p := computePlan(ex, g, 0)
 	if p.partial {
 		if err := ex.Err(); err != nil {
 			return nil, err
@@ -119,15 +119,19 @@ func (p *Plan) Components() int { return len(p.jobs) }
 // The caller must not modify it.
 func (p *Plan) Seed() Biclique { return p.seed }
 
-// SolveContext runs the plan's solve phase under ctx: the surviving
-// components are solved by the named exact solver on a fresh execution
-// context carrying opt's Timeout/MaxNodes budgets, sharing one incumbent
-// seeded with the cached τ. The result is identical to what
+// SolveContext answers a query from the cached plan under ctx: the
+// surviving components are solved by the named exact solver on a fresh
+// execution context carrying opt's Timeout/MaxNodes budgets, sharing one
+// incumbent seeded with the cached τ. The result is identical to what
 // SolveContext(ctx, plan.Graph(), opt) with the planner enabled would
-// produce, minus the preprocessing cost. Heuristic solvers are rejected:
-// the plan's component pruning assumes exact sub-solves. Safe for
-// concurrent use — overlapping queries each get their own execution
-// context and only read the shared plan.
+// produce, minus the preprocessing cost. The full query surface applies:
+// Options.TopK and Options.MinSize select the top-k and size-constrained
+// classes on the shared plan (the plan itself is query-independent — it
+// was peeled at the heuristic τ, which any floor only tightens further
+// via the incumbent seed), and inexact answers carry Result.Gap.
+// Heuristic solvers are rejected: the plan's component pruning assumes
+// exact sub-solves. Safe for concurrent use — overlapping queries each
+// get their own execution context and only read the shared plan.
 func (p *Plan) SolveContext(ctx context.Context, opt *Options) (Result, error) {
 	if opt == nil {
 		opt = &Options{}
@@ -142,22 +146,28 @@ func (p *Plan) SolveContext(ctx context.Context, opt *Options) (Result, error) {
 	if spec.Heuristic {
 		return Result{}, fmt.Errorf("%w: heuristic solver %q cannot run from a cached plan", ErrBadOptions, spec.Name)
 	}
+	q := queryOf(opt)
 	if isAuto {
 		spec, _ = Lookup(autoSolverName(p.g))
 	}
+	if q.infeasible(p.g) {
+		return q.refuse(p.g, spec.Name), nil
+	}
 	ex := core.NewExec(ctx, core.Limits{Timeout: opt.Timeout, MaxNodes: opt.MaxNodes})
+	if f := q.floor(); f > 0 {
+		ex.OfferBest(f)
+	}
 	res, err := p.solveOn(ex, spec, isAuto, opt)
 	if err != nil {
 		return Result{}, err
 	}
-	return Result{
-		Biclique:  res.Biclique,
-		Exact:     !res.Stats.TimedOut,
-		Solver:    spec.Name,
-		Algorithm: algorithmOf(spec.Name),
-		Reduced:   true,
-		Stats:     res.Stats,
-	}, nil
+	exact := !res.Stats.TimedOut
+	var list []Biclique
+	if q.k > 1 {
+		list = topKTail(ex, p.g, q, &res)
+		exact = exact && !res.Stats.TimedOut
+	}
+	return finishResult(p.g, q, spec.Name, true, res, exact, list), nil
 }
 
 // PlanActive reports whether SolveContext with these options would run

@@ -171,7 +171,15 @@ func (p *Plan) takeCostliest(pending []int) (int, []int) {
 // reduction is simply larger (still equivalent); only when the component
 // collection itself had to be skipped is the plan marked partial, because
 // then an empty job list no longer proves the seed optimal.
-func computePlan(ex *core.Exec, g *Graph) *Plan {
+//
+// floor is the size-constrained query floor (Options.MinSize − 1, 0 for
+// unconstrained queries): the peel runs at τ = max(greedy seed, floor),
+// because a query that only accepts bicliques larger than floor lets the
+// reduction discard everything at or below it even when the heuristic
+// found less. Plans built with a nonzero floor answer only queries with
+// at least that floor; cacheable plans (PlanContext) are built at 0 so
+// they stay query-independent.
+func computePlan(ex *core.Exec, g *Graph, floor int) *Plan {
 	if ex.ShouldStop() {
 		return &Plan{g: g, red: reduction{g: g, newToOld: bigraph.IdentityMap(g.NumVertices())}, partial: true}
 	}
@@ -183,6 +191,9 @@ func computePlan(ex *core.Exec, g *Graph) *Plan {
 	// graph and the best τ the heuristics could buy.
 	seed := heur.Greedy(g, heur.DegreeScores(g), 8).Balanced()
 	tau := seed.Size()
+	if floor > tau {
+		tau = floor
+	}
 	ex.OfferBest(tau)
 
 	red := reduction{g: g, newToOld: bigraph.IdentityMap(g.NumVertices())}
@@ -277,6 +288,13 @@ func (p *Plan) solveOn(ex *core.Exec, spec SolverSpec, isAuto bool, opt *Options
 		outcome  core.Stats
 		firstErr error
 	)
+	// completed[ji] records that job ji needs no further search: either
+	// its solver ran to completion, or the incumbent already covered it
+	// (min(nl, nr) ≤ incumbent ≤ final best is a valid completion
+	// certificate). Each index is handed to exactly one worker, so the
+	// per-element writes need no lock. Uncompleted jobs are what keeps
+	// the certified upper bound above the incumbent after a budget cut.
+	completed := make([]bool, len(p.jobs))
 	solveComp := func(ji int) {
 		j := p.jobs[ji]
 		if ex.ShouldStop() {
@@ -285,6 +303,7 @@ func (p *Plan) solveOn(ex *core.Exec, spec SolverSpec, isAuto bool, opt *Options
 		// Re-check against the live incumbent: an earlier (larger)
 		// component may have raised it past what this one can offer.
 		if incumbent := ex.Best(); j.nl <= incumbent || j.nr <= incumbent {
+			completed[ji] = true
 			return
 		}
 		sub, toOrig := p.red.g.Induced(j.ids)
@@ -310,6 +329,7 @@ func (p *Plan) solveOn(ex *core.Exec, spec SolverSpec, isAuto bool, opt *Options
 		// dispatch the genuinely expensive components first.
 		p.costs[ji].nodes.Store(res.Stats.Nodes)
 		p.costs[ji].nanos.Store(time.Since(start).Nanoseconds())
+		completed[ji] = !res.Stats.TimedOut
 		outcome.MergeOutcome(&res.Stats)
 		if bc := res.Biclique.Remap(toOrig).Balanced(); bc.Size() > best.Size() {
 			best = bc
@@ -374,6 +394,28 @@ func (p *Plan) solveOn(ex *core.Exec, spec SolverSpec, isAuto bool, opt *Options
 		// job list proves nothing: the result is best-effort, not exact.
 		stats.TimedOut = true
 	}
+	// Certified upper bound on the maximum balanced size: the incumbent,
+	// raised by min(nl, nr) of every component whose search did not
+	// complete (those are the only places a larger biclique could hide).
+	// A partial plan has no component list to certify with, so the whole
+	// graph's trivial bound stands in.
+	ub := best.Size()
+	if b := ex.Best(); b > ub {
+		ub = b // a floor-seeded incumbent can exceed the witness
+	}
+	for ji := range p.jobs {
+		if !completed[ji] {
+			if m := minInt(p.jobs[ji].nl, p.jobs[ji].nr); m > ub {
+				ub = m
+			}
+		}
+	}
+	if p.partial {
+		if m := minInt(p.g.NL(), p.g.NR()); m > ub {
+			ub = m
+		}
+	}
+	stats.UpperBound = ub
 	return core.Result{Biclique: best, Stats: stats}, nil
 }
 
@@ -389,7 +431,12 @@ func planSolve(ex *core.Exec, g *Graph, spec SolverSpec, isAuto bool, opt *Optio
 	if ex.ShouldStop() {
 		stats := ex.Snapshot()
 		stats.TimedOut = true
+		stats.UpperBound = minInt(g.NL(), g.NR())
 		return core.Result{Stats: stats}, nil
 	}
-	return computePlan(ex, g).solveOn(ex, spec, isAuto, opt)
+	floor := opt.MinSize - 1
+	if floor < 0 {
+		floor = 0
+	}
+	return computePlan(ex, g, floor).solveOn(ex, spec, isAuto, opt)
 }

@@ -1,0 +1,212 @@
+package mbb_test
+
+import (
+	"context"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/baseline"
+	"repro/mbb"
+)
+
+// TestTopKOneMatchesScalar pins the k = 1 degeneration: TopK ≤ 1 must be
+// byte-identical to the plain solve — same witness, same stats shape, and
+// crucially no Bicliques list allocated.
+func TestTopKOneMatchesScalar(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for i := 0; i < 10; i++ {
+		g := randomGraph(rng, 12, 0.2+0.6*rng.Float64())
+		plain, err := mbb.Solve(g, &mbb.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, k := range []int{0, 1} {
+			res, err := mbb.Solve(g, &mbb.Options{TopK: k})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(res, plain) {
+				t.Fatalf("TopK=%d result diverges from plain solve:\n got %+v\nwant %+v", k, res, plain)
+			}
+			if res.Bicliques != nil {
+				t.Fatalf("TopK=%d allocated a list", k)
+			}
+		}
+	}
+}
+
+func TestTopKList(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	for i := 0; i < 10; i++ {
+		g := randomGraph(rng, 10, 0.2+0.6*rng.Float64())
+		for _, k := range []int{2, 3, 5} {
+			res, err := mbb.Solve(g, &mbb.Options{TopK: k})
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := baseline.TopKSizes(nil, g, k, 0)
+			got := make([]int, len(res.Bicliques))
+			for j, bc := range res.Bicliques {
+				got[j] = bc.Size()
+				if !bc.IsBicliqueOf(g) || !bc.IsBalanced() {
+					t.Fatalf("k=%d: invalid witness %v", k, bc)
+				}
+			}
+			if len(got) == 0 {
+				got = nil
+			}
+			if len(want) == 0 {
+				want = nil
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("k=%d sizes = %v, oracle %v", k, got, want)
+			}
+			if len(got) > 0 && res.Biclique.Size() != got[0] {
+				t.Fatalf("k=%d scalar %d != head %d", k, res.Biclique.Size(), got[0])
+			}
+			if !res.Exact || res.Gap != 0 {
+				t.Fatalf("k=%d unbudgeted solve: exact=%v gap=%d", k, res.Exact, res.Gap)
+			}
+		}
+	}
+}
+
+// TestMinSizeProof covers the size-constrained query class: a floor at or
+// below the optimum leaves the answer unchanged, a floor above it turns
+// the completed search into a proof of absence with the matching
+// certified upper bound.
+func TestMinSizeProof(t *testing.T) {
+	g := mbb.FromEdges(4, 4, [][2]int{
+		{0, 0}, {0, 1}, {1, 0}, {1, 1}, {2, 2}, {3, 3},
+	}) // optimum 2 (K2,2), trivial bound 4
+	for m := 1; m <= 2; m++ {
+		res, err := mbb.Solve(g, &mbb.Options{MinSize: m})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Exact || res.Biclique.Size() != 2 || res.Gap != 0 {
+			t.Fatalf("MinSize=%d: %+v", m, res)
+		}
+		if res.Stats.UpperBound != 2 {
+			t.Fatalf("MinSize=%d: upper bound %d, want the optimum", m, res.Stats.UpperBound)
+		}
+	}
+	res, err := mbb.Solve(g, &mbb.Options{MinSize: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Exact || res.Biclique.Size() != 0 {
+		t.Fatalf("MinSize=3: want exact empty proof, got %+v", res)
+	}
+	if res.Stats.UpperBound != 2 {
+		t.Fatalf("MinSize=3 proof certifies optimum <= %d, want 2 (= MinSize-1)", res.Stats.UpperBound)
+	}
+	if res.Gap != 0 {
+		t.Fatalf("exact proof carries gap %d", res.Gap)
+	}
+}
+
+// TestMinSizeInfeasibleRefused: a floor beyond a side of the graph is
+// refused at plan time by counting — exact empty answer, no search.
+func TestMinSizeInfeasibleRefused(t *testing.T) {
+	g := mbb.FromEdges(3, 5, [][2]int{{0, 0}, {1, 1}, {2, 2}})
+	res, err := mbb.Solve(g, &mbb.Options{MinSize: 4}) // > NL
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Exact || res.Biclique.Size() != 0 {
+		t.Fatalf("infeasible floor: want exact empty, got %+v", res)
+	}
+	if res.Stats.Nodes != 0 {
+		t.Fatalf("refusal ran a search: %d nodes", res.Stats.Nodes)
+	}
+	if res.Stats.UpperBound != 3 {
+		t.Fatalf("refusal certificate %d, want trivial bound 3", res.Stats.UpperBound)
+	}
+	// The k > 1 form of a refusal still answers the list shape.
+	res, err = mbb.Solve(g, &mbb.Options{MinSize: 4, TopK: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Bicliques == nil || len(res.Bicliques) != 0 {
+		t.Fatalf("infeasible top-k: Bicliques = %+v, want empty list", res.Bicliques)
+	}
+}
+
+// TestBudgetCutGap: an inexact answer must carry a certified optimality
+// gap — upper bound minus best-so-far, never negative, with the bound
+// capped by the trivial min(NL, NR).
+func TestBudgetCutGap(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	g := randomGraph(rng, 60, 0.5)
+	res, err := mbb.Solve(g, &mbb.Options{Algorithm: mbb.BasicBB, MaxNodes: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Exact {
+		t.Fatal("10-node basicBB on a 60x60 graph cannot be exact")
+	}
+	trivial := g.NL()
+	if g.NR() < trivial {
+		trivial = g.NR()
+	}
+	size := res.Biclique.Size()
+	ub := res.Stats.UpperBound
+	if ub < size || ub > trivial {
+		t.Fatalf("upper bound %d outside [size %d, trivial %d]", ub, size, trivial)
+	}
+	if res.Gap != ub-size {
+		t.Fatalf("gap %d != upper bound %d - size %d", res.Gap, ub, size)
+	}
+	// Same contract through the planner and on a top-k cut.
+	res, err = mbb.Solve(g, &mbb.Options{MaxNodes: 10, Reduce: mbb.ReduceOn, TopK: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Exact {
+		t.Fatal("10-node budget with a top-k tail cannot be exact")
+	}
+	if res.Gap != res.Stats.UpperBound-res.Biclique.Size() || res.Gap < 0 {
+		t.Fatalf("top-k cut gap %d, ub %d, size %d", res.Gap, res.Stats.UpperBound, res.Biclique.Size())
+	}
+}
+
+// TestPlanQueryParity: the same query against a cached plan must answer
+// exactly like the direct solve — plans are query-independent.
+func TestPlanQueryParity(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for i := 0; i < 6; i++ {
+		g := randomGraph(rng, 10, 0.3+0.5*rng.Float64())
+		plan, err := mbb.PlanContext(context.Background(), g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		opts := []mbb.Options{
+			{TopK: 3},
+			{MinSize: 2},
+			{TopK: 2, MinSize: 2},
+			{MinSize: 99}, // infeasible on a ≤10-a-side graph
+		}
+		for _, opt := range opts {
+			o1, o2 := opt, opt
+			direct, err := mbb.Solve(g, &o1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			viaPlan, err := plan.SolveContext(context.Background(), &o2)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if viaPlan.Exact != direct.Exact || viaPlan.Biclique.Size() != direct.Biclique.Size() ||
+				viaPlan.Gap != direct.Gap || len(viaPlan.Bicliques) != len(direct.Bicliques) {
+				t.Fatalf("opt %+v: plan answer %+v diverges from direct %+v", opt, viaPlan, direct)
+			}
+			for j := range viaPlan.Bicliques {
+				if viaPlan.Bicliques[j].Size() != direct.Bicliques[j].Size() {
+					t.Fatalf("opt %+v: plan list sizes diverge at %d", opt, j)
+				}
+			}
+		}
+	}
+}

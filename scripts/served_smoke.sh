@@ -128,6 +128,32 @@ echo "$OUT" | grep -q '"plan_cached":true' || fail "repaired-plan solve missed t
 INFO=$(curl -fs "$BASE/graphs/k33minus")
 echo "$INFO" | grep -q '"plan_builds":1' || fail "plan_builds moved after repaired solve: $INFO"
 
+# Query engine: top-k and size-constrained solves through the URL
+# parameters. K3,3 plus a disjoint edge has maximal bicliques at two
+# distinct balanced sizes (3 and 1), so ?k=2 must list both, largest
+# first, with the scalar answer as the head; ?min= above the optimum
+# must come back as an exact empty proof; nonsense values are clean 400s.
+printf '4 4 10\n0 0\n0 1\n0 2\n1 0\n1 1\n1 2\n2 0\n2 1\n2 2\n3 3\n' |
+    curl -fs -XPUT --data-binary @- "$BASE/graphs/two" >/dev/null ||
+    fail "two-sizes graph upload rejected"
+OUT=$(curl -fs -XPOST "$BASE/graphs/two/solve?k=2" -d '{}')
+echo "$OUT" | grep -q '"size":3' || fail "top-k solve: wrong scalar size: $OUT"
+echo "$OUT" | grep -q '"exact":true' || fail "top-k solve: not exact: $OUT"
+echo "$OUT" | grep -q '"bicliques":\[{"size":3' || fail "top-k solve: list head is not size 3: $OUT"
+echo "$OUT" | grep -q '{"size":1' || fail "top-k solve: list lacks the size-1 entry: $OUT"
+OUT=$(curl -fs -XPOST "$BASE/graphs/two/solve?min=2" -d '{}')
+echo "$OUT" | grep -q '"size":3' || fail "min=2 solve: wrong size: $OUT"
+OUT=$(curl -fs -XPOST "$BASE/graphs/two/solve?min=4" -d '{}')
+echo "$OUT" | grep -q '"size":0' || fail "min=4 solve: expected empty proof: $OUT"
+echo "$OUT" | grep -q '"exact":true' || fail "min=4 solve: proof must be exact: $OUT"
+echo "$OUT" | grep -q '"gap":0' || fail "min=4 proof carries a gap: $OUT"
+CODE=$(curl -s -o /dev/null -w '%{http_code}' -XPOST "$BASE/graphs/two/solve?k=-1" -d '{}')
+[ "$CODE" = "400" ] || fail "k=-1 returned $CODE, want 400"
+CODE=$(curl -s -o /dev/null -w '%{http_code}' -XPOST "$BASE/graphs/two/solve?min=abc" -d '{}')
+[ "$CODE" = "400" ] || fail "min=abc returned $CODE, want 400"
+CODE=$(curl -s -o /dev/null -w '%{http_code}' -XPOST "$BASE/graphs/two/solve?k=2" -d '{"k":3}')
+[ "$CODE" = "400" ] || fail "conflicting k returned $CODE, want 400"
+
 # Historical epochs: with -retain-epochs 4 the whole k33 history
 # (epoch 0 upload, epoch 1 row deleted, epoch 2 row restored) stays
 # solvable and exportable.
